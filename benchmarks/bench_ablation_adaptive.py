@@ -1,0 +1,71 @@
+"""Ablation — adaptive parameter selection (the paper's future work).
+
+Sec. V: "One flaw with this technique is the reliance on the user knowing
+the range of real numbers to be summed ... An opportunity for future
+research is to extend the HP method to adaptively adjust precision."
+:func:`repro.core.suggest_params` implements the static half of that
+extension: pick minimal (N, k) from an observed dynamic range.  The
+ablation verifies the chosen formats are (a) sufficient — sums stay
+exact — and (b) minimal — one word fewer breaks range or resolution —
+and measures the cost of over-provisioning instead of adapting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.params import HPParams, suggest_params
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.summation.exact import fsum
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+WORKLOADS = {
+    "unit range [-0.5, 0.5]": (-0.5, 0.5, 0.5, 2.0**-60),
+    "forces ~1e-3": (-1e-3, 1e-3, 1e-3, 2.0**-70),
+    "astronomical ~1e30": (-1e30, 1e30, 1e30, 1e10),
+}
+
+
+def _sample(lo: float, hi: float, n: int = 512) -> np.ndarray:
+    return default_rng(61).uniform(lo, hi, n)
+
+
+def test_suggested_params_sufficient_and_exact():
+    rows = []
+    for name, (lo, hi, max_mag, small) in WORKLOADS.items():
+        data = _sample(lo, hi)
+        params = suggest_params(max_mag * len(data), small)
+        words = batch_sum_doubles(data, params)
+        assert to_double(words, params) == fsum(data), name
+        rows.append((name, str(params), params.total_bits))
+    emit(
+        "Ablation: adaptive parameter selection",
+        render_table(["workload", "chosen format", "bits"], rows),
+    )
+
+
+def test_suggested_params_minimal():
+    """One fraction word fewer than suggested loses low-order bits."""
+    params = suggest_params(1.0, 2.0**-100)
+    assert params.k >= 3  # a full double mantissa at 2**-100 reaches 2**-152
+    smaller = HPParams(params.n - 1, params.k - 1)
+    x = (1.0 + 2.0**-52) * 2.0**-100  # lowest mantissa bit at 2**-152
+    lossy = to_double(
+        batch_sum_doubles(np.array([x]), smaller), smaller
+    )
+    exact = to_double(batch_sum_doubles(np.array([x]), params), params)
+    assert exact == x and lossy != x
+
+
+@pytest.mark.parametrize(
+    "label,params",
+    [("adapted (3 words)", HPParams(3, 2)), ("overprovisioned (8 words)", HPParams(8, 4))],
+)
+def test_adaptation_cost(benchmark, label, params):
+    """What over-provisioning costs when the data only needs 3 words."""
+    data = _sample(-1e-3, 1e-3, 1 << 13)
+    benchmark(batch_sum_doubles, data, params)

@@ -1,0 +1,102 @@
+"""Ablation — aliasing and normalization (paper Secs. II.B, III).
+
+Hallberg's carry-free accumulation leaves the digit vector aliased: many
+vectors denote one real number, and a normalization pass is required
+before the value can be read or compared.  The HP format "eliminat[es]
+the aliasing problem of the original method": its two's-complement word
+vector is the unique representation of each value.
+
+This ablation measures (a) how quickly aliasing appears under Hallberg
+accumulation, (b) the cost of the deferred normalization, and (c) HP's
+canonicality (word-level equality == value equality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import hb_from_double, hb_add, hb_is_canonical, hb_normalize
+from repro.util.rng import default_rng
+
+HB = HallbergParams(10, 38)
+HP = HPParams(6, 3)
+
+
+def test_aliasing_appears_under_accumulation():
+    """Accumulated Hallberg digits leave canonical form almost
+    immediately (mixed signs / digit overflow past 2**M)."""
+    rng = default_rng(21)
+    acc = HallbergAccumulator(HB)
+    non_canonical_after = None
+    for i, x in enumerate(rng.uniform(-0.5, 0.5, 1000), 1):
+        acc.add(float(x))
+        if non_canonical_after is None and not hb_is_canonical(acc.digits, HB):
+            non_canonical_after = i
+    emit(
+        "Ablation: aliasing onset",
+        f"Hallberg digits left canonical form after {non_canonical_after} "
+        f"additions of mixed-sign values",
+    )
+    assert non_canonical_after is not None and non_canonical_after <= 10
+
+    # The aliased vector still denotes the right value once normalized.
+    normalized = hb_normalize(acc.digits, HB)
+    assert hb_is_canonical(normalized, HB)
+    assert normalized != acc.digits
+
+
+def test_same_value_many_representations():
+    """Construct distinct digit vectors for one value; HP admits exactly
+    one word vector per value."""
+    one = hb_from_double(1.0, HB)
+    # Each pair sums to exactly 1.0 but carries across a different digit
+    # boundary, leaving a digit at 2**M — outside canonical range.
+    half_twice = hb_add(
+        hb_from_double(0.5, HB), hb_from_double(0.5, HB), HB
+    )
+    third = hb_add(
+        hb_from_double(1.0 - 2.0**-50, HB), hb_from_double(2.0**-50, HB), HB
+    )
+    assert one != half_twice and one != third and half_twice != third
+    assert (
+        hb_normalize(one, HB)
+        == hb_normalize(half_twice, HB)
+        == hb_normalize(third, HB)
+        == one
+    )  # three representations, one value
+
+    # HP: any construction of the same value yields identical words.
+    a = HPNumber.from_double(1.0, HP)
+    b = HPNumber.from_double(0.5, HP) + HPNumber.from_double(0.5, HP)
+    c = HPNumber.from_double(1.75, HP) + HPNumber.from_double(-0.75, HP)
+    assert a.words == b.words == c.words
+
+
+def test_normalization_cost(benchmark):
+    """The deferred cost Hallberg pays at read-out time."""
+    rng = default_rng(22)
+    acc = HallbergAccumulator(HB)
+    acc.extend(rng.uniform(-0.5, 0.5, 5000).tolist())
+    digits = acc.digits
+    benchmark(hb_normalize, digits, HB)
+
+
+def test_runtime_checks_mode_cost():
+    """The paper's warning: runtime carry-out detection 'defeats the
+    purpose of this format'.  Count the renormalizations a tight-headroom
+    format performs under it."""
+    tight = HallbergParams(10, 60)  # only 3 carry bits: budget 7
+    acc = HallbergAccumulator(tight, runtime_checks=True)
+    rng = default_rng(23)
+    acc.extend(rng.uniform(-0.5, 0.5, 2000).tolist())
+    emit(
+        "Ablation: runtime-checks mode",
+        f"M=60 accumulator renormalized {acc.renormalizations} times "
+        "over 2000 additions",
+    )
+    assert acc.renormalizations > 0

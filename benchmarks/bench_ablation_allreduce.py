@@ -1,0 +1,93 @@
+"""Ablation — allreduce algorithm choice (tree+bcast vs recursive
+doubling).
+
+Real MPI switches algorithms by message size and communicator shape;
+with doubles that choice changes the answer, which is why reproducible
+libraries must pin it.  With HP it cannot: this ablation runs both
+algorithms across communicator sizes, verifies byte-identical results
+everywhere, and compares their traffic profiles (messages and rounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.params import HPParams
+from repro.parallel.methods import HPMethod
+from repro.parallel.partition import block_ranges
+from repro.parallel.simmpi import (
+    SimComm,
+    mpi_allreduce_partials,
+    mpi_allreduce_recursive_doubling,
+)
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+HP = HPMethod(HPParams(6, 3))
+
+
+def _partials(data, size):
+    return [
+        HP.local_reduce(data[lo:hi])
+        for lo, hi in block_ranges(len(data), size)
+    ]
+
+
+def test_algorithms_identical_and_traffic_compared():
+    data = default_rng(121).uniform(-0.5, 0.5, 4096)
+    rows = []
+    for size in (4, 8, 16, 32, 64):
+        parts = _partials(data, size)
+        tree_comm = SimComm(size)
+        tree = mpi_allreduce_partials(tree_comm, list(parts), HP)
+        rd_comm = SimComm(size)
+        doubling = mpi_allreduce_recursive_doubling(rd_comm, list(parts), HP)
+        assert doubling == [tree[0]] * size  # byte-identical everywhere
+        rows.append((
+            size,
+            tree_comm.stats.messages, tree_comm.stats.rounds,
+            rd_comm.stats.messages, rd_comm.stats.rounds,
+        ))
+    emit(
+        "Ablation: allreduce algorithms (identical HP results)",
+        render_table(
+            ["p", "tree msgs", "tree rounds", "RD msgs", "RD rounds"],
+            rows,
+        ),
+    )
+    # Structural expectations: reduce+bcast sends ~2(p-1) messages over
+    # ~2 log2 p rounds; recursive doubling sends p log2 p messages over
+    # ~log2 p rounds (it trades bandwidth for latency).
+    p, tm, tr, rm, rr = rows[-1]
+    assert tm == 2 * (p - 1)
+    assert rr < tr
+    assert rm > tm
+
+
+def test_double_results_differ_between_algorithms():
+    """The motivation: with doubles the algorithm choice is numerically
+    visible (here via reversed-order partial combination trees)."""
+    from repro.parallel.methods import DoubleMethod
+
+    rng = default_rng(122)
+    data = np.concatenate(
+        [rng.uniform(0, 1e-3, 2048), -rng.uniform(0, 1e-3, 2048)]
+    )
+    method = DoubleMethod(strict_serial=True)
+    diffs = 0
+    # Power-of-two sizes make the two algorithms share rank-0's
+    # association (FP addition is commutative, just not associative);
+    # non-power-of-two sizes genuinely re-associate via the fold step.
+    for size in (6, 12, 24, 48):
+        parts = [
+            method.local_reduce(data[lo:hi])
+            for lo, hi in block_ranges(len(data), size)
+        ]
+        tree = mpi_allreduce_partials(SimComm(size), list(parts), method)[0]
+        doubling = mpi_allreduce_recursive_doubling(
+            SimComm(size), list(parts), method
+        )[0]
+        if tree != doubling:
+            diffs += 1
+    assert diffs > 0

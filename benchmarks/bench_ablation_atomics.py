@@ -1,0 +1,91 @@
+"""Ablation — atomic contention vs. the number of shared partial sums.
+
+The paper fixes 256 partials and notes they are "a point of contention
+that serves to limit throughput", partially relieved for HP because its
+N word cells admit N concurrent lockers.  This ablation sweeps the
+partial count on the simulated device and reports CAS failure rates,
+verifying the two structural claims:
+
+* fewer partials => more CAS retries (for every method);
+* at equal thread pressure, HP sees a lower per-cell failure rate than
+  double because its traffic spreads over N times more cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.params import HPParams
+from repro.parallel.gpu import gpu_sum
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+HP = HPParams(3, 2)  # small N keeps the stepped simulation fast
+N_DATA = 1024
+THREADS = 128
+
+
+def _run(method: str, num_partials: int, params=None):
+    data = default_rng(51).uniform(-0.5, 0.5, N_DATA)
+    return gpu_sum(
+        data,
+        method,
+        num_threads=THREADS,
+        params=params,
+        max_concurrent_threads=THREADS,
+        num_partials=num_partials,
+    )
+
+
+def test_contention_vs_partial_count():
+    rows = []
+    failures = {}
+    for partials in (1, 4, 16, 64):
+        g = _run("double", partials)
+        m = g.run.memory
+        rate = m.cas_failures / m.cas_attempts
+        failures[partials] = m.cas_failures
+        rows.append(("double", partials, m.cas_attempts, m.cas_failures, rate))
+    emit(
+        "Ablation: atomic contention vs partial count (double kernel)",
+        render_table(
+            ["method", "partials", "CAS attempts", "CAS failures", "fail rate"],
+            rows,
+            precision=3,
+        ),
+    )
+    # Strictly more serialization pressure with fewer partials.
+    assert failures[1] > failures[16]
+    assert failures[64] <= failures[4]
+
+
+def test_hp_contention_relief():
+    """Same thread pressure, same cell budget: HP's word-spread traffic
+    retries less often per attempt than double's single hot cell."""
+    gd = _run("double", 2)
+    gh = _run("hp", 2, params=HP)
+    rate_d = gd.run.memory.cas_failures / gd.run.memory.cas_attempts
+    rate_h = gh.run.memory.cas_failures / gh.run.memory.cas_attempts
+    emit(
+        "Ablation: HP contention relief",
+        f"failure rate double={rate_d:.3f}  hp={rate_h:.3f} "
+        f"(N={HP.n} cells per partial)",
+    )
+    assert rate_h < rate_d
+
+
+def test_results_exact_under_contention():
+    """Contention affects timing, never the HP value."""
+    reference = None
+    for partials in (1, 4, 64):
+        g = _run("hp", partials, params=HP)
+        if reference is None:
+            reference = g.value
+        assert g.value == reference
+
+
+def test_contended_kernel_cost(benchmark):
+    benchmark.pedantic(
+        _run, args=("hp", 4), kwargs={"params": HP}, iterations=1, rounds=3
+    )

@@ -1,0 +1,102 @@
+"""Ablation — the accuracy ladder of summation methods.
+
+Places every method class the paper surveys (Sec. I) on one workload —
+the Fig. 1/2 zero-sum sets — so the trade each class makes is visible in
+one table: ordered FP (naive / reversed / sorted / pairwise),
+compensated (Kahan / Neumaier / Klein), exact references (fsum), and the
+two fixed-point formats.  Only the fixed-point methods are BOTH exact
+and order-invariant; fsum is exact but needs the whole stream in one
+place; compensation reduces error but keeps order sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.experiments.datasets import zero_sum_set
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import hb_to_double
+from repro.hallberg.vectorized import hb_batch_sum_doubles
+from repro.summation import (
+    dd_sum,
+    fsum,
+    kahan_sum,
+    klein_sum,
+    naive_sum,
+    neumaier_sum,
+    pairwise_sum,
+    residual_stats,
+    shuffled_trials,
+    sorted_sum,
+)
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+HP = HPParams(3, 2)
+HB = HallbergParams(10, 38)
+
+METHODS = {
+    "naive": naive_sum,
+    "sorted": sorted_sum,
+    "pairwise": pairwise_sum,
+    "kahan": kahan_sum,
+    "neumaier": neumaier_sum,
+    "klein": klein_sum,
+    "double-double": dd_sum,
+    "fsum": fsum,
+    "hallberg": lambda xs: hb_to_double(hb_batch_sum_doubles(xs, HB), HB),
+    "hp": lambda xs: to_double(batch_sum_doubles(xs, HP), HP),
+}
+
+
+def test_accuracy_ladder():
+    trials = 512 if full_scale() else 128
+    rng = default_rng(91)
+    values = zero_sum_set(1024, rng)
+    rows = []
+    stats = {}
+    for name, summer in METHODS.items():
+        s = residual_stats(shuffled_trials(values, summer, trials, rng))
+        stats[name] = s
+        rows.append((
+            name,
+            s.stdev,
+            max(abs(s.min), abs(s.max)),
+            "yes" if s.all_exact else "no",
+        ))
+    emit(
+        "Ablation: accuracy ladder on the Fig. 1 workload (n=1024, "
+        f"{trials} random orders)",
+        render_table(
+            ["method", "stdev of residual", "max |residual|", "exact+invariant"],
+            rows,
+            precision=3,
+        ),
+    )
+    # The ladder ordering the paper's survey predicts:
+    assert stats["hp"].all_exact and stats["hallberg"].all_exact
+    assert stats["fsum"].all_exact  # exact, though not distributable
+    assert stats["kahan"].stdev < stats["naive"].stdev or (
+        stats["kahan"].stdev == 0.0
+    )
+    assert stats["pairwise"].stdev < stats["naive"].stdev
+    # Compensated methods are NOT order-invariant in general: nonzero
+    # spread across orders (Klein may reach exactness on easy data).
+    assert not stats["kahan"].all_exact or not stats["neumaier"].all_exact
+
+
+def test_ladder_on_hostile_data():
+    """Large intermediate cancellation defeats plain Kahan but not the
+    fixed-point formats."""
+    hostile = np.array([1.0, 1e100, 1.0, -1e100] * 16)
+    assert kahan_sum(hostile) != 32.0
+    assert naive_sum(hostile) != 32.0
+    # HP with enough whole-part range handles 1e100 exactly.
+    p = HPParams(8, 2)
+    assert to_double(batch_sum_doubles(hostile, p), p) == 32.0

@@ -1,0 +1,76 @@
+"""Ablation — carry strategy: ripple-carry vs. carry-free vs. columns.
+
+The two methods stake opposite positions on carries: HP performs a full
+ripple-carry on every add (maximizing information per bit), Hallberg
+reserves headroom so no carry ever happens during accumulation
+(minimizing per-add work, paying in storage and a summand budget).  The
+vectorized engine takes a third position: defer *all* carries to one
+exact column-merge at the end.
+
+This ablation times the three strategies on identical data at equal
+precision (HP 6,3 = 384 bits vs Hallberg 10,38 = 380 bits) and verifies
+they produce the same value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.accumulator import HPAccumulator
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+from repro.util.rng import default_rng
+
+HP = HPParams(6, 3)
+HB = HallbergParams(10, 38)
+N_VALUES = 2000
+
+
+def _data() -> np.ndarray:
+    return default_rng(31).uniform(-0.5, 0.5, N_VALUES)
+
+
+def test_strategies_agree():
+    data = _data()
+    ripple = HPAccumulator(HP)
+    ripple.extend(data.tolist())
+    carry_free = HallbergAccumulator(HB)
+    carry_free.extend(data.tolist())
+    columns = to_double(batch_sum_doubles(data, HP), HP)
+    assert ripple.to_double() == carry_free.to_double() == columns
+    emit(
+        "Ablation: carry strategies",
+        f"ripple-carry (HP scalar), carry-free (Hallberg scalar) and "
+        f"deferred columns (vectorized) all return {columns!r}",
+    )
+
+
+def test_ripple_carry_scalar(benchmark):
+    data = _data().tolist()
+
+    def run():
+        acc = HPAccumulator(HP, check_overflow=False)
+        acc.extend(data)
+        return acc.words
+
+    benchmark(run)
+
+
+def test_carry_free_scalar(benchmark):
+    data = _data().tolist()
+
+    def run():
+        acc = HallbergAccumulator(HB)
+        acc.extend(data)
+        return acc.digits
+
+    benchmark(run)
+
+
+def test_deferred_columns_vectorized(benchmark):
+    data = _data()
+    benchmark(batch_sum_doubles, data, HP, check_overflow=False)

@@ -1,0 +1,73 @@
+"""Ablation — the tunable fractional split ``k`` (paper Sec. III.A).
+
+The HP method's k parameter "allows the user to distribute the total
+precision among the whole and fractional components" — the feature the
+Hallberg format lacks.  This ablation fixes N and sweeps k, showing:
+
+* range/resolution trade: each k step moves 64 bits between the whole
+  and fractional windows;
+* fitness for datasets of different dynamic ranges: a k mismatched to
+  the data either overflows or truncates, while a matched k is exact;
+* conversion cost is independent of k (same word count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_from_double, batch_sum_doubles
+from repro.errors import ConversionOverflowError
+from repro.summation.exact import fsum
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+
+def test_k_split_range_resolution_trade():
+    rows = []
+    for k in range(0, 7):
+        p = HPParams(6, k)
+        rows.append((p.n, k, p.whole_bits, p.frac_bits, p.max_value, p.smallest))
+    emit(
+        "Ablation: k split at N=6",
+        render_table(
+            ["N", "k", "whole bits", "frac bits", "max", "smallest"],
+            rows,
+            precision=4,
+        ),
+    )
+    # Each k step trades exactly 64 bits.
+    for k in range(6):
+        a, b = HPParams(6, k), HPParams(6, k + 1)
+        assert a.whole_bits - b.whole_bits == 64
+        assert b.frac_bits - a.frac_bits == 64
+
+
+def test_k_split_fitness():
+    """A big-dynamic-range dataset needs its k; the wrong k overflows or
+    silently truncates."""
+    rng = default_rng(11)
+    large = rng.uniform(1e18, 1e19, 64)          # needs whole bits
+    tiny = rng.uniform(1e-25, 1e-24, 64)         # needs frac bits
+
+    # k=5 leaves only 63 whole bits: 1e19 > 2**63 overflows.
+    with pytest.raises(ConversionOverflowError):
+        batch_from_double(large, HPParams(6, 5))
+    # k=0 has no fraction: the tiny values all truncate to zero.
+    words = batch_sum_doubles(tiny, HPParams(6, 0))
+    assert to_double(words, HPParams(6, 0)) == 0.0
+    # A matched split is exact for both.
+    for data in (large, tiny):
+        p = HPParams(6, 3)
+        assert to_double(batch_sum_doubles(data, p), p) == fsum(data)
+
+
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_k_split_cost_independent(benchmark, k):
+    """Conversion cost depends on N, not on where the point sits."""
+    data = default_rng(12).uniform(-1.0, 1.0, 1 << 14)
+    params = HPParams(6, k)
+    benchmark(batch_from_double, data, params)

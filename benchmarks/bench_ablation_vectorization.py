@@ -1,0 +1,72 @@
+"""Ablation — scalar reference vs. vectorized batch engine.
+
+The scalar path is a bit-faithful port of the paper's C listings; the
+batch engine restates the same arithmetic as NumPy column operations
+(the guide-recommended idiom for Python HPC).  This ablation quantifies
+the gap — the factor that makes multimillion-summand reproductions
+feasible in Python — and re-verifies bit-identity between the paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.accumulator import HPAccumulator
+from repro.core.params import HPParams
+from repro.core.vectorized import batch_from_double, batch_sum_doubles
+from repro.core.scalar import from_double
+from repro.util.rng import default_rng
+from repro.util.timing import repeat_timeit
+
+HP = HPParams(6, 3)
+N_VALUES = 4096
+
+
+def _data() -> np.ndarray:
+    return default_rng(41).uniform(-0.5, 0.5, N_VALUES)
+
+
+def test_paths_bit_identical():
+    data = _data()
+    batch = batch_from_double(data, HP)
+    for i in range(0, N_VALUES, 97):
+        assert tuple(int(w) for w in batch[i]) == from_double(float(data[i]), HP)
+    acc = HPAccumulator(HP)
+    acc.extend(data.tolist())
+    assert acc.words == batch_sum_doubles(data, HP)
+
+
+def test_speedup_report():
+    data = _data()
+
+    def scalar_run():
+        acc = HPAccumulator(HP, check_overflow=False)
+        acc.extend(data.tolist())
+        return acc.words
+
+    scalar_t = repeat_timeit(scalar_run, trials=3).best
+    vector_t = repeat_timeit(
+        lambda: batch_sum_doubles(data, HP, check_overflow=False), trials=3
+    ).best
+    emit(
+        "Ablation: vectorization",
+        f"n={N_VALUES}: scalar {scalar_t * 1e3:.2f} ms, "
+        f"vectorized {vector_t * 1e3:.2f} ms, "
+        f"speedup {scalar_t / vector_t:.1f}x",
+    )
+    assert vector_t < scalar_t  # the batch engine must actually pay off
+
+
+def test_scalar_convert(benchmark):
+    benchmark(from_double, 0.3141592653589793, HP)
+
+
+def test_vectorized_convert(benchmark):
+    data = _data()
+    benchmark(batch_from_double, data, HP)
+
+
+def test_vectorized_sum(benchmark):
+    data = _data()
+    benchmark(batch_sum_doubles, data, HP, check_overflow=False)

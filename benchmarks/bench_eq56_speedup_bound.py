@@ -1,0 +1,64 @@
+"""Eqs. (5)-(6) — the analytic speedup lower bound.
+
+Paper claims (Sec. IV.A): converting the ceilings of eq. (4) to an
+inequality gives ``S >= (c_b/c_p) * (64/M) * b/(b+65)`` (eq. (5)); for
+``b > 64`` this is at least ``(c_b/c_p) * 32/M`` (eq. (6)), so the HP
+advantage *grows as M shrinks* to admit more summands, with only a weak
+dependence on the precision ``b``.
+
+The bench verifies both bound relations against the exact eq. (4) over a
+grid and prints the bound-vs-exact table for the Table 2 configurations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.perfmodel import (
+    speedup_bound_eq5,
+    speedup_bound_eq6,
+    speedup_eq4,
+)
+from repro.util.tables import render_table
+
+
+def test_eq56_bounds_hold(benchmark):
+    def sweep():
+        rows = []
+        for b in (128, 256, 384, 512, 1024):
+            for m in (20, 30, 37, 43, 52, 60):
+                exact = speedup_eq4(b, m)
+                lower5 = speedup_bound_eq5(b, m)
+                lower6 = speedup_bound_eq6(m)
+                # Eq. (5) bounds eq. (4); eq. (6) bounds eq. (5) for b > 64.
+                assert exact >= lower5 - 1e-12, (b, m)
+                if b > 64:
+                    assert lower5 >= lower6 - 1e-12, (b, m)
+                rows.append((b, m, exact, lower5, lower6))
+        return rows
+
+    rows = benchmark(sweep)
+    table2_rows = [r for r in rows if r[:2] in ((512, 52), (512, 43), (512, 37))]
+    emit(
+        "Eqs. (5)-(6): speedup bound vs exact eq. (4)",
+        render_table(
+            ["b", "M", "S eq(4)", "bound eq(5)", "bound eq(6)"],
+            table2_rows,
+            precision=4,
+        ),
+    )
+
+
+def test_eq6_grows_as_m_shrinks():
+    """The structural claim: smaller M (more summands) => larger bound."""
+    bounds = [speedup_bound_eq6(m) for m in (52, 43, 37, 30, 20)]
+    assert bounds == sorted(bounds)
+
+
+def test_eq5_weak_dependence_on_b():
+    """The paper: 'the speedup has a weak dependency on the number of
+    precision bits b' — doubling b moves eq. (5) by < 15%."""
+    for m in (37, 43, 52):
+        s1 = speedup_bound_eq5(256, m)
+        s2 = speedup_bound_eq5(512, m)
+        assert abs(s2 - s1) / s1 < 0.15
+        assert s2 > s1  # and improves slightly with precision

@@ -1,0 +1,79 @@
+"""Extension benchmark — the application layer end to end.
+
+Times the three motivating applications (N-body step, histogram fill,
+exact moments) and prints the reproducibility outcomes a domain user
+cares about: trajectory digests, bin bit-patterns, variance under
+catastrophic cancellation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.apps.histogram import ReproducibleHistogram
+from repro.apps.nbody import NBodySystem, simulate
+from repro.apps.statistics import exact_variance
+from repro.core.params import HPParams
+from repro.util.rng import default_rng
+
+
+def test_nbody_reproducibility_report():
+    cluster = NBodySystem.random_cluster(16, default_rng(81))
+    digests = {
+        w: simulate(cluster, steps=3, workers=w).state_digest().hex()[:16]
+        for w in (1, 4, 16)
+    }
+    float_digests = {
+        w: simulate(cluster, steps=3, workers=w, exact=False)
+        .state_digest().hex()[:16]
+        for w in (1, 4, 16)
+    }
+    emit(
+        "Extension: N-body trajectory reproducibility",
+        "exact   " + str(digests) + "\nfloat64 " + str(float_digests),
+    )
+    assert len(set(digests.values())) == 1
+    assert len(set(float_digests.values())) > 1
+
+
+def test_nbody_step_cost(benchmark):
+    cluster = NBodySystem.random_cluster(12, default_rng(82))
+    benchmark.pedantic(
+        simulate, args=(cluster, 1), kwargs={"workers": 4},
+        iterations=1, rounds=3,
+    )
+
+
+def test_histogram_fill_cost(benchmark):
+    rng = default_rng(83)
+    samples = rng.uniform(0.0, 1.0, 1 << 13)
+    weights = rng.uniform(-1.0, 1.0, 1 << 13)
+    edges = np.linspace(0.0, 1.0, 65)
+
+    def fill():
+        h = ReproducibleHistogram(edges, HPParams(3, 2))
+        h.fill(samples, weights)
+        return h
+
+    benchmark(fill)
+
+
+def test_exact_variance_report(benchmark):
+    rng = default_rng(84)
+    xs = 1e9 + rng.normal(0.0, 1.0, 4096)
+    naive = float(np.mean(xs**2) - np.mean(xs) ** 2)
+    welford = float(np.var(xs))
+    exact = exact_variance(xs)
+    emit(
+        "Extension: variance under catastrophic cancellation",
+        f"one-pass float64: {naive!r}\n"
+        f"numpy two-pass:   {welford!r}\n"
+        f"exact moments:    {exact!r}",
+    )
+    # One-pass float64 is off by far more than rounding; exact matches
+    # the two-pass to near machine precision.
+    assert abs(naive - exact) > 1e-6 * max(1.0, exact)
+    assert abs(welford - exact) < 1e-9
+    benchmark.pedantic(exact_variance, args=(xs[:512],),
+                       iterations=1, rounds=3)

@@ -1,0 +1,102 @@
+"""Extension benchmark — core features beyond summation.
+
+Times the multi-accumulator bank (vs. a loop of scalar accumulators),
+the adaptive accumulator (vs. a fixed-format one), checkpoint
+serialization round-trips, correctly-rounded norms, and exact sparse
+matvec — the costs a downstream adopter of the extension API pays.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.accumulator import HPAccumulator
+from repro.core.io import load_accumulator, save_accumulator
+from repro.core.matvec import CSRMatrix, hp_spmv
+from repro.core.multi import HPMultiAccumulator
+from repro.core.norms import exact_norm2
+from repro.core.params import HPParams
+from repro.core.streaming import AdaptiveAccumulator
+from repro.util.rng import default_rng
+from repro.util.timing import repeat_timeit
+
+P = HPParams(3, 2)
+
+
+def test_bank_vs_scalar_loop_report():
+    rng = default_rng(111)
+    m, rounds = 256, 40
+    rows = rng.uniform(-1.0, 1.0, (rounds, m))
+
+    def bank_run():
+        bank = HPMultiAccumulator(m, P, check_overflow=False)
+        for row in rows:
+            bank.add(row)
+        return bank
+
+    def scalar_run():
+        accs = [HPAccumulator(P, check_overflow=False) for _ in range(m)]
+        for row in rows:
+            for acc, x in zip(accs, row):
+                acc.add(float(x))
+        return accs
+
+    bank_t = repeat_timeit(bank_run, trials=3).best
+    scalar_t = repeat_timeit(scalar_run, trials=3).best
+    emit(
+        "Extension: multi-accumulator bank",
+        f"{m} cells x {rounds} rounds: bank {bank_t * 1e3:.1f} ms, "
+        f"scalar loop {scalar_t * 1e3:.1f} ms "
+        f"({scalar_t / bank_t:.1f}x speedup)",
+    )
+    assert bank_t < scalar_t
+
+
+def test_bank_add(benchmark):
+    bank = HPMultiAccumulator(256, P, check_overflow=False)
+    xs = default_rng(112).uniform(-1.0, 1.0, 256)
+    benchmark(bank.add, xs)
+
+
+def test_adaptive_overhead(benchmark):
+    xs = default_rng(113).uniform(-1.0, 1.0, 512).tolist()
+
+    def run():
+        acc = AdaptiveAccumulator()
+        acc.extend(xs)
+        return acc.to_double()
+
+    benchmark(run)
+
+
+def test_checkpoint_roundtrip(benchmark):
+    acc = HPAccumulator(P)
+    acc.extend(default_rng(114).uniform(-1.0, 1.0, 100).tolist())
+
+    def roundtrip():
+        stream = io.BytesIO()
+        save_accumulator(acc, stream)
+        stream.seek(0)
+        return load_accumulator(stream)
+
+    restored = benchmark(roundtrip)
+    assert restored.words == acc.words
+
+
+def test_exact_norm(benchmark):
+    xs = default_rng(115).uniform(-1.0, 1.0, 512)
+    result = benchmark(exact_norm2, xs)
+    assert result > 0
+
+
+def test_sparse_matvec(benchmark):
+    rng = default_rng(116)
+    dense = rng.uniform(-1.0, 1.0, (64, 64))
+    dense[rng.uniform(size=(64, 64)) > 0.1] = 0.0
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.uniform(-1.0, 1.0, 64)
+    out = benchmark.pedantic(hp_spmv, args=(csr, x), iterations=1, rounds=3)
+    assert np.allclose(out, dense @ x, atol=1e-12)

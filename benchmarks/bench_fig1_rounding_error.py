@@ -1,0 +1,45 @@
+"""Fig. 1 — stdev of random-order residual sums vs. set size.
+
+Paper series: sigma grows ~linearly from ~1e-18 (n=64) to ~1.1e-17
+(n=1024) for double precision; HP(3,2) returns exactly zero for every
+trial.  The bench prints the reproduced series and times one trial
+round at n=1024.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.experiments import format_fig1, run_fig1, zero_sum_set
+from repro.summation.naive import naive_sum
+
+
+def test_fig1_series(benchmark):
+    trials = 16384 if full_scale() else 384
+    sizes = tuple(range(64, 1025, 64)) if full_scale() else (64, 256, 512, 1024)
+    result = run_fig1(set_sizes=sizes, n_trials=trials)
+    emit(f"Fig. 1 ({trials} trials per set)", format_fig1(result))
+
+    # Reproduction checks: every HP trial exact; double sigma grows with n.
+    assert all(r.hp_exact for r in result.rows)
+    stdevs = [r.double_stats.stdev for r in result.rows]
+    assert stdevs[-1] > stdevs[0] * 2
+
+    # Timed kernel: one random-order double trial at n=1024.
+    values = zero_sum_set(1024)
+    benchmark(naive_sum, values)
+
+
+def test_fig1_hp_trial_cost(benchmark):
+    """The HP side of one Fig. 1 trial (convert + exact sum + decode)."""
+    params = HPParams(3, 2)
+    values = zero_sum_set(1024)
+
+    def hp_trial():
+        return to_double(batch_sum_doubles(values, params), params)
+
+    assert benchmark(hp_trial) == 0.0

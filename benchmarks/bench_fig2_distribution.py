@@ -1,0 +1,32 @@
+"""Fig. 2 — distribution of 16384 random-order sums of 1024 summands.
+
+Paper: a normal distribution centred at ~0 with stdev matching the
+Fig. 1 point at n=1024 (~1.1e-17), spread roughly ±6e-17.  The bench
+prints the reproduced histogram and checks normality features, then
+times the full trial loop at reduced trial count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit, full_scale
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_distribution(benchmark):
+    trials = 16384 if full_scale() else 2048
+    result = run_fig2(n_trials=trials, bins=21)
+    emit(f"Fig. 2 ({trials} trials)", format_fig2(result))
+
+    stats = result.stats
+    # Mean ~ 0 relative to the spread; stdev ~ 1e-17 like Fig. 1's n=1024.
+    assert abs(stats.mean) < stats.stdev
+    assert 1e-18 < stats.stdev < 1e-16
+    # Unimodal around the centre: the peak bin is in the middle third.
+    peak = int(max(range(len(result.counts)), key=lambda i: result.counts[i]))
+    assert len(result.counts) // 4 <= peak <= 3 * len(result.counts) // 4
+
+    benchmark.pedantic(
+        run_fig2, kwargs={"n_trials": 128}, iterations=1, rounds=3
+    )

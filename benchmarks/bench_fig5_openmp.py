@@ -1,0 +1,46 @@
+"""Fig. 5 — OpenMP strong scaling, 32M summands, 1-8 threads.
+
+Paper shape: HP(6,3) costs ~37-38x double on one X5650 core; Hallberg
+(10,38) slightly more; both fixed-point methods scale near-perfectly
+while double-precision efficiency collapses toward ~0.5 (its loop is
+memory-bandwidth-bound across the two sockets).
+
+The bench prints the modeled panels, validates the thread substrate
+(bit-identical HP/Hallberg partials at every team size), and times the
+substrate reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.experiments import format_scaling_figure, run_fig5_openmp
+from repro.parallel.methods import HPMethod
+from repro.parallel.threads import thread_reduce
+from repro.perfmodel import XEON_X5650, openmp_time, standard_specs
+
+
+def test_fig5_openmp(benchmark):
+    fig = run_fig5_openmp(validate_n=1 << 16 if full_scale() else 1 << 13)
+    emit("Fig. 5 (OpenMP)", format_scaling_figure(fig))
+
+    assert fig.substrate_invariant["hp"]
+    assert fig.substrate_invariant["hallberg"]
+
+    specs = {s.name: s for s in standard_specs()}
+    n = 1 << 25
+    # Single-PE ratio: paper reports ~37-38x.
+    ratio = openmp_time(n, 1, specs["hp"]) / openmp_time(n, 1, specs["double"])
+    assert 35.0 < ratio < 40.0
+    # Fixed-point efficiency stays near 1; double's collapses below 0.6.
+    assert fig.model_efficiency["hp"][-1] > 0.95
+    assert fig.model_efficiency["hallberg"][-1] > 0.95
+    assert fig.model_efficiency["double"][-1] < 0.6
+
+    data = np.asarray(
+        np.random.default_rng(0).uniform(-0.5, 0.5, 1 << 14), dtype=np.float64
+    )
+    method = HPMethod(HPParams(6, 3))
+    benchmark(thread_reduce, data, method, 8)

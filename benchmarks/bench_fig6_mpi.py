@@ -1,0 +1,43 @@
+"""Fig. 6 — MPI strong scaling, 32M summands, 1-128 processes.
+
+Paper shape: same single-PE ratios as Fig. 5 (same cores); the
+fixed-point methods hold high efficiency out to 128 processes while
+double-precision efficiency decays badly — its per-rank compute is so
+small that the log2(p) reduction rounds dominate ("this increased cost
+is amortized effectively ... and becomes negligible in the limit").
+
+The bench prints the modeled panels, validates the simulated-MPI
+substrate (bit-identical exact partials across all communicator sizes,
+binomial-tree traffic = p-1 messages), and times an HP reduction on a
+64-rank communicator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.experiments import format_scaling_figure, run_fig6_mpi
+from repro.parallel.methods import HPMethod
+from repro.parallel.simmpi import mpi_reduce
+
+
+def test_fig6_mpi(benchmark):
+    fig = run_fig6_mpi(validate_n=1 << 16 if full_scale() else 1 << 13)
+    emit("Fig. 6 (MPI)", format_scaling_figure(fig))
+
+    assert fig.substrate_invariant["hp"]
+    assert fig.substrate_invariant["hallberg"]
+    # Exact methods keep >90% efficiency at 128 ranks; double decays.
+    assert fig.model_efficiency["hp"][-1] > 0.9
+    assert fig.model_efficiency["hallberg"][-1] > 0.9
+    assert fig.model_efficiency["double"][-1] < 0.5
+    assert fig.model_efficiency["double"][-1] < fig.model_efficiency["hp"][-1]
+
+    data = np.random.default_rng(0).uniform(-0.5, 0.5, 1 << 13)
+    method = HPMethod(HPParams(6, 3))
+    result = benchmark(mpi_reduce, data, method, 64)
+    # Binomial tree: exactly p-1 point-to-point messages.
+    assert result.traffic.messages == 63
+    assert result.traffic.rounds == 6

@@ -1,0 +1,105 @@
+"""Fig. 7 — CUDA scaling, 32M summands, 256-32K threads, 256 partials.
+
+Paper shape: runtimes fall with thread count and plateau beyond ~2048
+threads (the K20m's 2496-resident-thread ceiling); the HP slowdown over
+double is at most ~5.6x and consistent with the >=4.3x memory-op bound
+(7 reads + 6 writes vs 2 + 1); Hallberg suffers a much greater slowdown
+(11 reads + 10 writes at N=10).
+
+The bench prints the modeled panels, validates the stepped device
+simulator at small n (exact kernels bit-match the serial reference and
+the per-add memory-op minimums equal the paper's counts), and times the
+simulated kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.core.vectorized import batch_sum_doubles
+from repro.core.scalar import to_double
+from repro.experiments import format_scaling_figure, run_fig7_cuda
+from repro.hallberg.params import HallbergParams
+from repro.parallel.gpu import gpu_sum
+from repro.perfmodel import cuda_time, standard_specs
+
+HP_PARAMS = HPParams(6, 3)
+HB_PARAMS = HallbergParams(10, 38)
+
+
+def test_fig7_cuda_model(benchmark):
+    fig = run_fig7_cuda(validate_n=1 << 13 if full_scale() else 1 << 11)
+    emit("Fig. 7 (CUDA)", format_scaling_figure(fig))
+
+    assert fig.substrate_invariant["hp"]
+    assert fig.substrate_invariant["hallberg"]
+
+    specs = {s.name: s for s in standard_specs()}
+    n = 1 << 25
+    # Plateau: >= 4096 threads all cost the same (residency ceiling).
+    t4k = cuda_time(n, 4096, specs["hp"])
+    t32k = cuda_time(n, 32768, specs["hp"])
+    assert abs(t4k - t32k) / t4k < 1e-9
+    # HP slowdown within the paper's band at every thread count.
+    for t in (256, 512, 1024, 2048, 4096, 32768):
+        ratio = cuda_time(n, t, specs["hp"]) / cuda_time(n, t, specs["double"])
+        assert 4.0 <= ratio <= 5.6, (t, ratio)
+    # Hallberg suffers a much greater slowdown than HP.
+    assert cuda_time(n, 32768, specs["hallberg"]) > 1.4 * cuda_time(
+        n, 32768, specs["hp"]
+    )
+    benchmark(cuda_time, n, 4096, specs["hp"])
+
+
+def test_fig7_simulated_device_traffic():
+    """Per-add memory-op minimums match the paper's Sec. IV.B counts
+    exactly when every thread owns its own partial (no contention)."""
+    n = 192
+    data = np.random.default_rng(3).uniform(-0.5, 0.5, n)
+    # 64 threads < 256 partials: zero contention, zero CAS failures.
+    g = gpu_sum(data, "double", num_threads=64)
+    m = g.run.memory
+    assert m.cas_failures == 0
+    assert m.reads == 2 * n and m.writes == 1 * n
+
+    exact = to_double(batch_sum_doubles(data, HP_PARAMS), HP_PARAMS)
+    g = gpu_sum(data, "hp", num_threads=64, params=HP_PARAMS)
+    assert g.value == exact
+    m = g.run.memory
+    # <= because all-zero words are skipped (no traffic for them).
+    assert m.cas_failures == 0
+    assert m.reads <= (1 + HP_PARAMS.n) * n
+    assert m.writes <= HP_PARAMS.n * n
+
+    g = gpu_sum(data, "hallberg", num_threads=64, params=HB_PARAMS)
+    assert g.value == exact
+
+
+def test_fig7_contention_appears_beyond_256_threads():
+    """More threads than partials => shared cells => CAS retries."""
+    data = np.random.default_rng(4).uniform(-0.5, 0.5, 2048)
+    g = gpu_sum(
+        data,
+        "double",
+        num_threads=512,
+        max_concurrent_threads=512,
+        num_partials=4,
+    )
+    assert g.run.memory.cas_failures > 0
+    total = 0.0
+    for p in g.partials:
+        total += p
+    assert g.value == total
+
+
+def test_fig7_sim_kernel_cost(benchmark):
+    data = np.random.default_rng(5).uniform(-0.5, 0.5, 256)
+    benchmark.pedantic(
+        gpu_sum,
+        args=(data, "hp"),
+        kwargs={"num_threads": 32, "params": HP_PARAMS},
+        iterations=1,
+        rounds=3,
+    )

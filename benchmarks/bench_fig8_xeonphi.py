@@ -1,0 +1,50 @@
+"""Fig. 8 — Xeon Phi offload scaling, 32M summands, 1-240 threads.
+
+Paper shape: both fixed-point methods are very expensive at one thread
+(the Intel compiler vectorizes only the native double loop), the gap is
+amortized as threads are added, and at high thread counts all three
+methods converge toward the host-device transfer time floor.
+
+The bench prints the modeled panels, validates the offload substrate
+(bit-identical exact partials across team sizes, byte-accounted
+transfers), and times an offloaded HP reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, full_scale
+from repro.core.params import HPParams
+from repro.experiments import format_scaling_figure, run_fig8_phi
+from repro.parallel.methods import HPMethod
+from repro.parallel.phi import offload_reduce
+from repro.perfmodel import XEON_PHI_5110P, phi_time, standard_specs
+
+
+def test_fig8_phi(benchmark):
+    fig = run_fig8_phi(validate_n=1 << 16 if full_scale() else 1 << 13)
+    emit("Fig. 8 (Xeon Phi)", format_scaling_figure(fig))
+
+    assert fig.substrate_invariant["hp"]
+    assert fig.substrate_invariant["hallberg"]
+
+    specs = {s.name: s for s in standard_specs()}
+    n = 1 << 25
+    # Single-thread: fixed-point methods cost >10x vectorized double.
+    r1 = phi_time(n, 1, specs["hp"]) / phi_time(n, 1, specs["double"])
+    assert r1 > 10.0
+    # 240 threads: all methods within 2x of each other — transfer floor.
+    t240 = [phi_time(n, 240, specs[k]) for k in ("double", "hp", "hallberg")]
+    assert max(t240) / min(t240) < 2.0
+    # The floor itself: no method can beat transfer + offload latency.
+    floor = (
+        XEON_PHI_5110P.offload_latency_ms * 1e-3
+        + (n * 8) / (XEON_PHI_5110P.transfer_gbps * 1e9)
+    )
+    assert all(t >= floor for t in t240)
+
+    data = np.random.default_rng(0).uniform(-0.5, 0.5, 1 << 13)
+    method = HPMethod(HPParams(6, 3))
+    result = benchmark(offload_reduce, data, method, 60)
+    assert result.stats.bytes_to_device == (1 << 13) * 8

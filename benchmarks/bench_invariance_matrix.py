@@ -1,0 +1,30 @@
+"""The invariance matrix — the paper's Sec. III.B.3 claim, exhaustively.
+
+Not a paper figure but the paper's central theorem made executable: one
+dataset through every execution strategy in the library (2 scalar paths,
+5 vectorized configurations, thread teams under every schedule, MPI
+topologies, both GPU kernels incl. adversarial schedules, offload,
+banks, adaptive) must produce one single bit pattern.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, full_scale
+from repro.experiments.invariance import run_invariance_matrix
+
+
+def test_invariance_matrix(benchmark):
+    matrix = run_invariance_matrix(n=1 << 12 if full_scale() else 1 << 10)
+    emit("Invariance matrix", matrix.report())
+    assert matrix.all_identical, matrix.report()
+    assert len(matrix.words) >= 20  # the matrix must stay comprehensive
+
+    benchmark.pedantic(
+        run_invariance_matrix, kwargs={"n": 256}, iterations=1, rounds=3
+    )
+
+
+def test_invariance_matrix_other_seeds():
+    for seed in (1, 2, 3):
+        matrix = run_invariance_matrix(n=512, seed=seed)
+        assert matrix.all_identical

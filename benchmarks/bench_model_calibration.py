@@ -1,0 +1,20 @@
+"""Model calibration audit — the fitted anchors vs. the paper's bands.
+
+Prints the handful of quantities the performance model is *fitted* to
+(single-PE anchors from the paper's text) and asserts each sits inside
+the paper's reported band; every other curve in Figs. 4-8 is then a
+prediction of the model structure.  Run this first when judging the
+scaling reproductions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.perfmodel.calibration import calibration_anchors, render_calibration
+
+
+def test_calibration_anchors(benchmark):
+    emit("Performance-model calibration audit", render_calibration())
+    anchors = benchmark(calibration_anchors)
+    for anchor in anchors:
+        assert anchor.within_band, anchor.name

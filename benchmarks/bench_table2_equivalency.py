@@ -1,0 +1,58 @@
+"""Table 2 — Hallberg configurations equivalent to 512-bit HP.
+
+Paper rows (Sec. IV.A): (N=10, M=52, 520 bits, <=2048 summands),
+(12, 43, 516, <=1M), (14, 37, 518, <=64M).  The bench re-derives each row
+from its summand budget with the solver and verifies numerical
+equivalence: a value representable in both formats round-trips to the
+same double through either.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams
+from repro.experiments import derive_table2, render_table2, table2_rows
+from repro.hallberg.hbnum import HallbergNumber
+
+PAPER_TABLE2 = ((10, 52, 520), (12, 43, 516), (14, 37, 518))
+
+
+def test_table2_rows(benchmark):
+    emit("Table 2", render_table2())
+    rows = table2_rows()
+    for (n, m, bits, _max), (pn, pm, pbits) in zip(rows, PAPER_TABLE2):
+        assert (n, m, bits) == (pn, pm, pbits)
+    benchmark(table2_rows)
+
+
+def test_table2_derivation(benchmark):
+    """The solver reproduces the paper's rows from the budgets alone."""
+    derived = benchmark(derive_table2)
+    assert [(d.params.n, d.params.m) for d in derived] == [
+        (10, 52),
+        (12, 43),
+        (14, 37),
+    ]
+
+
+def test_table2_precision_equivalence(benchmark):
+    """A Fig. 4-style value converts identically through HP(8,4) and each
+    Table 2 Hallberg format (both have >=511 precision bits)."""
+    hp = HPParams(8, 4)
+    values = [2.0**191 - 2.0**139, -(2.0**-223), 1.5, -1234.0625]
+
+    def check():
+        for n, m, _bits, _max in table2_rows():
+            from repro.hallberg.params import HallbergParams
+
+            # Split the digits so the whole part covers the Fig. 4 window
+            # (±2**191) and the rest resolves down past 2**-223.
+            n_frac = n - -(-192 // m)
+            hb = HallbergParams(n, m, n_frac=n_frac)
+            for x in values:
+                a = HPNumber.from_double(x, hp).to_double()
+                b = HallbergNumber.from_double(x, hb).to_double()
+                assert a == b == x
+
+    benchmark(check)

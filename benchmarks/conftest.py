@@ -1,0 +1,35 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Each ``bench_*`` module reproduces one table or figure of the paper:
+it prints the same rows/series the paper reports (recorded in
+EXPERIMENTS.md) and times the underlying kernel with pytest-benchmark.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the paper-scale problem sizes (n up to
+  16M-32M, 16384 trials).  Default is a reduced sweep that preserves
+  every qualitative feature (who wins, crossovers, plateaus) while
+  keeping a laptop run interactive.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def is_full_scale() -> bool:
+    return full_scale()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure/table reproduction block (visible with -s; captured
+    into the bench log otherwise)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,61 @@
+"""Bit-reproducible conjugate gradients.
+
+Run:  python examples/iterative_solver.py
+
+Iterative solvers amplify summation non-reproducibility: the dot
+products steer every step, so a last-bit perturbation — from a different
+node count or even a different sparse storage order — forks the whole
+iteration path.  This example solves one SPD system with the
+conventional CG and with `repro`'s exact-reduction CG, across several
+storage orders of the same matrix, and compares iteration paths bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.solver import float_cg, reproducible_cg
+from repro.core.matvec import CSRMatrix
+from repro.util.rng import default_rng
+
+N = 40
+
+
+def main() -> None:
+    rng = default_rng(2016)
+    a = rng.uniform(-1.0, 1.0, (N, N))
+    a[rng.uniform(size=(N, N)) > 0.3] = 0.0
+    dense = a @ a.T + N * np.eye(N)
+    csr = CSRMatrix.from_dense(dense)
+    b = rng.uniform(-1.0, 1.0, N)
+
+    print(f"solving a {N}x{N} SPD system under 4 storage orders "
+          f"({len(csr.values)} nonzeros)\n")
+    print(f"{'storage order':<16}{'conventional CG':<36}{'reproducible CG'}")
+    orders = [csr] + [csr.permuted_nonzeros(default_rng(s)) for s in (1, 2, 3)]
+    float_digests, exact_digests = set(), set()
+    for label, matrix in zip(("as assembled", "shuffled #1",
+                              "shuffled #2", "shuffled #3"), orders):
+        conventional = float_cg(matrix, b, tol=1e-12)
+        exact = reproducible_cg(matrix, b, tol=1e-12)
+        fd = conventional.state_digest().hex()[:12]
+        ed = exact.state_digest().hex()[:12]
+        float_digests.add(fd)
+        exact_digests.add(ed)
+        print(f"{label:<16}{fd} ({conventional.iterations:>2} iters)      "
+              f"{ed} ({exact.iterations:>2} iters)")
+
+    print(f"\ndistinct solution digests: conventional {len(float_digests)}, "
+          f"reproducible {len(exact_digests)}")
+    assert len(exact_digests) == 1
+    residual = float(np.max(np.abs(dense @ reproducible_cg(csr, b,
+                                                           tol=1e-12).x - b)))
+    print(f"reproducible-CG residual ||Ax-b||_inf = {residual:.2e}")
+    print("\nSame matrix, same right-hand side — the conventional solver's")
+    print("path depends on how the nonzeros happen to be stored; the exact-")
+    print("reduction solver is a pure function of the mathematical problem.")
+
+
+if __name__ == "__main__":
+    main()

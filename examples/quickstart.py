@@ -1,0 +1,62 @@
+"""Quickstart: order-invariant summation with the HP method.
+
+Run:  python examples/quickstart.py
+
+Tour of the public API: pick a format, convert doubles, add exactly,
+observe order invariance, and use the batch engine for large arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HPAccumulator,
+    HPNumber,
+    HPParams,
+    batch_sum_doubles,
+    suggest_params,
+    to_double,
+)
+
+
+def main() -> None:
+    # 1. Pick a format: N 64-bit words, k of them fractional.
+    #    HP(3, 2) = 192 bits: values up to ~9.2e18, resolution 2**-128.
+    params = HPParams(3, 2)
+    print(f"format {params}: max ±{params.max_value:.6e}, "
+          f"smallest {params.smallest:.6e}")
+
+    # 2. Individual values behave like exact numbers.
+    a = HPNumber.from_double(0.1, params)
+    b = HPNumber.from_double(0.2, params)
+    print(f"0.1 + 0.2 - 0.2 = {(a + b - b).to_double()!r}  (exactly 0.1)")
+
+    # 3. The classic rounding demo: these cancel exactly in HP,
+    #    but not in double precision.
+    values = [1e16, 3.14159, -1e16, -3.14159] * 1000
+    fp = 0.0
+    for x in values:
+        fp += x
+    acc = HPAccumulator(params)
+    acc.extend(values)
+    print(f"double loop:  {fp!r}")
+    print(f"HP method:    {acc.to_double()!r}  (true sum is 0)")
+
+    # 4. Order invariance: any permutation, any partitioning — same words.
+    rng = np.random.default_rng(0)
+    data = rng.uniform(-0.5, 0.5, 100_000)
+    shuffled = rng.permutation(data)
+    w1 = batch_sum_doubles(data, params)
+    w2 = batch_sum_doubles(shuffled, params)
+    print(f"sum(data) words == sum(shuffle(data)) words: {w1 == w2}")
+    print(f"global sum = {to_double(w1, params)!r}")
+
+    # 5. Don't guess the format — derive it from the data's range.
+    auto = suggest_params(max_magnitude=float(np.abs(data).sum()),
+                          smallest_magnitude=float(np.abs(data).min()))
+    print(f"suggested format for this data: {auto}")
+
+
+if __name__ == "__main__":
+    main()

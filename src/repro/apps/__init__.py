@@ -1,0 +1,45 @@
+"""Application layer: the workloads the paper's introduction motivates,
+made reproducible end-to-end.
+
+* :mod:`repro.apps.nbody` — gravitational N-body dynamics with exact
+  per-particle force accumulation (bit-identical trajectories for any
+  worker count).
+* :mod:`repro.apps.histogram` — weighted binned reductions with exact
+  scatter-accumulation, sharding and rebinning.
+* :mod:`repro.apps.statistics` — means and variances from exact
+  moments (``sum(x)`` and the error-free-split ``sum(x^2)``).
+"""
+
+from repro.apps.climate import GlobalDiagnostics, LatLonGrid
+from repro.apps.histogram import ReproducibleHistogram
+from repro.apps.nbody import (
+    NBodySystem,
+    force_params_for,
+    kinetic_energy,
+    potential_energy,
+    simulate,
+    total_energy,
+)
+from repro.apps.solver import CGResult, float_cg, reproducible_cg
+from repro.apps.statistics import ExactMoments, exact_mean, exact_variance
+from repro.apps.timeseries import ExactPrefixSums, moving_average
+
+__all__ = [
+    "NBodySystem",
+    "simulate",
+    "force_params_for",
+    "kinetic_energy",
+    "potential_energy",
+    "total_energy",
+    "ReproducibleHistogram",
+    "ExactMoments",
+    "exact_mean",
+    "exact_variance",
+    "ExactPrefixSums",
+    "moving_average",
+    "reproducible_cg",
+    "float_cg",
+    "CGResult",
+    "LatLonGrid",
+    "GlobalDiagnostics",
+]

@@ -1,0 +1,201 @@
+"""Reproducible weighted histograms (binned reductions).
+
+Binning is the other ubiquitous reduction in scientific codes — density
+estimates, spectra, radial distribution functions.  Like a global sum,
+each bin accumulates many small weights, and a parallel histogram's bin
+values depend on which shard touched which samples first.
+
+:class:`ReproducibleHistogram` scatter-accumulates weights into an
+:class:`~repro.core.multi.HPMultiAccumulator`, so any sharding of the
+sample stream, processed in any order and merged in any order, produces
+bit-identical bin values.  Exact rebinning (coarsening by an integer
+factor) is included: bins merge by exact HP word addition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams, suggest_params
+from repro.core.scalar import add_words, to_double
+from repro.errors import MixedParameterError
+
+__all__ = ["ReproducibleHistogram"]
+
+
+class ReproducibleHistogram:
+    """An exact, order-invariant weighted histogram.
+
+    Parameters
+    ----------
+    edges:
+        Monotonically increasing bin edges (``len(edges) - 1`` bins).
+        Samples outside ``[edges[0], edges[-1])`` are counted in
+        ``underflow`` / ``overflow`` HP cells rather than dropped.
+    params:
+        HP format for the weights; derived from the first fill when
+        omitted.
+
+    Examples
+    --------
+    >>> h = ReproducibleHistogram(np.array([0.0, 1.0, 2.0]))
+    >>> h.fill(np.array([0.5, 1.5, 0.7]), np.array([1.0, 2.0, 0.5]))
+    >>> h.values().tolist()
+    [1.5, 2.0]
+    """
+
+    def __init__(
+        self, edges: np.ndarray, params: HPParams | None = None
+    ) -> None:
+        edges = np.ascontiguousarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or len(edges) < 2:
+            raise ValueError("need at least two bin edges")
+        if not np.all(np.diff(edges) > 0):
+            raise ValueError("edges must be strictly increasing")
+        self.edges = edges
+        self.params = params
+        self._bank: HPMultiAccumulator | None = None
+        if params is not None:
+            self._allocate(params)
+
+    def _allocate(self, params: HPParams) -> None:
+        # bins + underflow + overflow cells
+        self._bank = HPMultiAccumulator(
+            len(self.edges) - 1 + 2, params, check_overflow=True
+        )
+        self.params = params
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.edges) - 1
+
+    def fill(self, samples: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Accumulate weighted samples (weight 1.0 when omitted)."""
+        samples = np.ascontiguousarray(samples, dtype=np.float64)
+        if weights is None:
+            weights = np.ones_like(samples)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if samples.shape != weights.shape or samples.ndim != 1:
+            raise ValueError("samples and weights must be equal-length 1-D")
+        if len(samples) == 0:
+            return
+        if self._bank is None:
+            nonzero = np.abs(weights[weights != 0.0])
+            total = float(np.abs(weights).sum()) or 1.0
+            smallest = float(nonzero.min()) if len(nonzero) else 1.0
+            self._allocate(
+                suggest_params(total * 16, smallest * 2.0**-64,
+                               margin_bits=8)
+            )
+        # searchsorted maps: < edges[0] -> 0 (underflow cell),
+        # in bin i -> i+1, >= edges[-1] -> num_bins+1 (overflow cell).
+        cells = np.searchsorted(self.edges, samples, side="right")
+        self._bank.add_at(cells, weights)
+
+    def merge(self, other: "ReproducibleHistogram") -> None:
+        """Fold another shard's histogram in, exactly."""
+        if not np.array_equal(other.edges, self.edges):
+            raise MixedParameterError("histograms have different binnings")
+        if other._bank is None:
+            return
+        if self._bank is None:
+            self._allocate(other._bank.params)
+        self._bank.merge(other._bank)
+
+    # -- extraction --------------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """Correctly-rounded bin values (excluding under/overflow)."""
+        if self._bank is None:
+            return np.zeros(self.num_bins)
+        return self._bank.to_doubles()[1:-1]
+
+    @property
+    def underflow(self) -> float:
+        return 0.0 if self._bank is None else float(self._bank.to_doubles()[0])
+
+    @property
+    def overflow(self) -> float:
+        return 0.0 if self._bank is None else float(self._bank.to_doubles()[-1])
+
+    def bin_words(self, i: int) -> tuple[int, ...]:
+        """Raw HP words of bin ``i`` (for bit-level comparisons)."""
+        if self._bank is None:
+            raise ValueError("histogram is empty")
+        if not 0 <= i < self.num_bins:
+            raise IndexError(f"bin {i} outside [0, {self.num_bins})")
+        return self._bank.cell_words(i + 1)
+
+    def total(self) -> float:
+        """Exact total weight including under/overflow."""
+        if self._bank is None:
+            return 0.0
+        return to_double(self._bank.total_words(), self._bank.params)
+
+    def density(self) -> np.ndarray:
+        """Bin values normalized to an exact-ratio density: each output
+        is ``weight / (total_weight * bin_width)``, rounded once."""
+        from fractions import Fraction
+
+        if self._bank is None:
+            return np.zeros(self.num_bins)
+        from repro.core.scalar import to_int_scaled
+
+        scale = self._bank.params.scale
+        total = Fraction(to_int_scaled(self._bank.total_words()), scale)
+        if total == 0:
+            raise ValueError("zero total weight: density undefined")
+        out = np.empty(self.num_bins)
+        for i in range(self.num_bins):
+            width = Fraction(float(self.edges[i + 1])) - Fraction(
+                float(self.edges[i])
+            )
+            w = Fraction(to_int_scaled(self.bin_words(i)), scale)
+            value = w / (total * width)
+            out[i] = value.numerator / value.denominator
+        return out
+
+    def cumulative(self) -> np.ndarray:
+        """Exact running totals over bins (each output rounded once)."""
+        from repro.core.scalar import add_words, to_double
+
+        if self._bank is None:
+            return np.zeros(self.num_bins)
+        params = self._bank.params
+        running = (0,) * params.n
+        out = np.empty(self.num_bins)
+        for i in range(self.num_bins):
+            running = add_words(running, self.bin_words(i))
+            out[i] = to_double(running, params)
+        return out
+
+    def rebinned(self, factor: int) -> "ReproducibleHistogram":
+        """Exact coarsening: merge every ``factor`` adjacent bins.
+
+        ``num_bins`` must divide evenly; bin words add exactly, so the
+        coarse histogram equals filling it directly — in any order.
+        """
+        if factor < 1 or self.num_bins % factor:
+            raise ValueError(
+                f"factor {factor} does not evenly divide {self.num_bins} bins"
+            )
+        coarse = ReproducibleHistogram(self.edges[::factor], self.params)
+        if self._bank is None:
+            return coarse
+        coarse._allocate(self._bank.params)
+        assert coarse._bank is not None
+        words = np.zeros_like(coarse._bank.words)
+        n = self._bank.params.n
+        # under/overflow carry over; interior bins merge in groups.
+        words[0] = self._bank.words[0]
+        words[-1] = self._bank.words[-1]
+        for target in range(coarse.num_bins):
+            merged = (0,) * n
+            for j in range(factor):
+                merged = add_words(
+                    merged, self.bin_words(target * factor + j)
+                )
+            words[target + 1] = merged
+        coarse._bank.add_words(words, count=self._bank.count)
+        return coarse

@@ -1,0 +1,237 @@
+"""Reproducible N-body dynamics — the paper's motivating application.
+
+Sec. II.A: the zero-sum experiment "was chosen to mimic the force
+accumulation process that is typical of many N-body atomic simulations
+... scientific applications which rely on reductions of a large number
+of floating point values, such as N-body simulations, are highly
+susceptible to floating point rounding error."  And Sec. I: at worst
+"error is compounded in each time step until the simulation results are
+meaningless."
+
+This module is that application, closed under the HP method: a direct
+O(n^2) gravitational integrator (velocity Verlet) whose per-particle
+force accumulation runs through :class:`~repro.core.multi.
+HPMultiAccumulator` banks.  The pair workload can be partitioned across
+any number of simulated workers; because the banks merge exactly, the
+*trajectory* — not just one sum — is bit-identical for every worker
+count.  A plain float64 twin is provided for contrast: its trajectories
+diverge between partitionings, step by step, exactly as the paper warns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams, suggest_params
+from repro.parallel.partition import block_ranges
+
+__all__ = ["NBodySystem", "simulate", "force_params_for",
+           "kinetic_energy", "potential_energy", "total_energy"]
+
+_SOFTENING = 1e-3  # Plummer softening keeps close encounters bounded
+
+
+@dataclass
+class NBodySystem:
+    """State of a gravitational system (SI-free toy units, G = 1)."""
+
+    positions: np.ndarray   # (n, 3)
+    velocities: np.ndarray  # (n, 3)
+    masses: np.ndarray      # (n,)
+
+    def __post_init__(self) -> None:
+        n = len(self.masses)
+        if self.positions.shape != (n, 3) or self.velocities.shape != (n, 3):
+            raise ValueError("positions/velocities must be (n, 3)")
+
+    @classmethod
+    def random_cluster(
+        cls, n: int, rng: np.random.Generator
+    ) -> "NBodySystem":
+        """A bounded random cluster with zero net momentum."""
+        positions = rng.uniform(-1.0, 1.0, (n, 3))
+        velocities = rng.normal(0.0, 0.05, (n, 3))
+        masses = rng.uniform(0.5, 2.0, n)
+        velocities -= np.average(velocities, axis=0, weights=masses)
+        return cls(positions, velocities, masses)
+
+    def copy(self) -> "NBodySystem":
+        return NBodySystem(
+            self.positions.copy(), self.velocities.copy(), self.masses.copy()
+        )
+
+
+def _pair_contributions(
+    system: NBodySystem, i_lo: int, i_hi: int
+) -> np.ndarray:
+    """Un-summed acceleration contributions on all particles from source
+    particles ``[i_lo, i_hi)`` — one worker's share of the O(n^2) work.
+
+    Returns an (s, n, 3) array: each entry is a *single pair term*
+    (elementwise products only, one rounding each), so its value is
+    independent of how the sources were partitioned.  What varies with
+    the partition is only who sums which terms — which is exactly the
+    order-dependence the HP banks erase.
+    """
+    pos = system.positions
+    sources = slice(i_lo, i_hi)
+    delta = pos[sources, None, :] - pos[None, :, :]        # (s, n, 3)
+    dist2 = np.sum(delta * delta, axis=-1) + _SOFTENING**2
+    inv_r3 = dist2**-1.5
+    # Null self-interaction terms.
+    for row, i in enumerate(range(i_lo, i_hi)):
+        inv_r3[row, i] = 0.0
+    weights = system.masses[sources, None] * inv_r3        # (s, n)
+    return weights[..., None] * delta
+
+
+def force_params_for(system: NBodySystem) -> HPParams:
+    """An HP format safely covering this system's acceleration scale."""
+    n = len(system.masses)
+    max_mass = float(system.masses.max())
+    max_acc = n * max_mass / _SOFTENING**2  # softened upper bound
+    return suggest_params(max_acc * 16, 2.0**-120, margin_bits=8)
+
+
+@dataclass
+class TrajectoryRecord:
+    """Summary of one integration run."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    steps: int
+    workers: int
+    exact: bool
+
+    def state_digest(self) -> bytes:
+        """Bit-level digest of the final state (for reproducibility
+        comparisons)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.positions).tobytes())
+        h.update(np.ascontiguousarray(self.velocities).tobytes())
+        return h.digest()
+
+
+def _accelerations(
+    system: NBodySystem,
+    workers: int,
+    params: HPParams | None,
+) -> np.ndarray:
+    """Total accelerations, pair work split across ``workers``.
+
+    With ``params`` (exact mode) every pair term is folded into HP
+    banks individually, making the result independent of the partition;
+    without (float mode) each worker sums its block in float64 and the
+    partials combine in worker order — the conventional,
+    partition-dependent reduction.
+    """
+    n = len(system.masses)
+    ranges = block_ranges(n, workers)
+    if params is None:
+        # Conventional path: each worker sums its block with float64
+        # (einsum), the master adds worker partials in rank order.
+        total = np.zeros((n, 3))
+        for lo, hi in ranges:
+            contributions = _pair_contributions(system, lo, hi)
+            total += contributions.sum(axis=0)
+        return total
+    # Exact path: every individual pair term enters the bank, so no
+    # float64 partial sum is ever formed and the partition cannot matter.
+    banks = HPMultiAccumulator(n * 3, params, check_overflow=False)
+    for lo, hi in ranges:
+        contributions = _pair_contributions(system, lo, hi)
+        for row in contributions:
+            banks.add(row.ravel())
+    return banks.to_doubles().reshape(n, 3)
+
+
+def simulate(
+    system: NBodySystem,
+    steps: int,
+    dt: float = 1e-3,
+    workers: int = 1,
+    exact: bool = True,
+    params: HPParams | None = None,
+) -> TrajectoryRecord:
+    """Velocity-Verlet integration with partitioned force computation.
+
+    ``exact=True`` routes every force reduction through HP banks:
+    the returned trajectory is bit-identical for any ``workers``.
+    ``exact=False`` is the conventional float64 reduction.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    state = system.copy()
+    hp_params = (params or force_params_for(system)) if exact else None
+    acc = _accelerations(state, workers, hp_params)
+    for _ in range(steps):
+        state.velocities += 0.5 * dt * acc
+        state.positions += dt * state.velocities
+        acc = _accelerations(state, workers, hp_params)
+        state.velocities += 0.5 * dt * acc
+    return TrajectoryRecord(
+        positions=state.positions,
+        velocities=state.velocities,
+        steps=steps,
+        workers=workers,
+        exact=exact,
+    )
+
+
+def kinetic_energy(system: NBodySystem) -> float:
+    """Exact total kinetic energy ``sum(m v^2) / 2`` (one rounding).
+
+    Each ``m * v_d**2`` term is decomposed error-free (Dekker splits of
+    ``v*v``, then exact rational weighting), so the result is invariant
+    to particle ordering.
+    """
+    from fractions import Fraction
+
+    from repro.core.dot import split_products
+
+    total = Fraction(0)
+    for d in range(3):
+        v = np.ascontiguousarray(system.velocities[:, d])
+        p, e = split_products(v, v)
+        for m, hi, lo in zip(system.masses, p, e):
+            total += Fraction(float(m)) * (
+                Fraction(float(hi)) + Fraction(float(lo))
+            )
+    total /= 2
+    return total.numerator / total.denominator if total else 0.0
+
+
+def potential_energy(system: NBodySystem) -> float:
+    """Softened pair potential ``-sum m_i m_j / sqrt(r^2 + eps^2)``,
+    accumulated exactly (each pair term rounds once, the sum never).
+
+    Order-invariant: any pair enumeration gives identical bits.
+    """
+    from repro.core.streaming import AdaptiveAccumulator
+
+    pos = system.positions
+    masses = system.masses
+    n = len(masses)
+    acc = AdaptiveAccumulator()
+    for i in range(n):
+        delta = pos[i + 1:] - pos[i]
+        dist = np.sqrt(np.sum(delta * delta, axis=1) + _SOFTENING**2)
+        terms = -(masses[i] * masses[i + 1:]) / dist
+        for t in terms:
+            acc.add(float(t))
+    return acc.to_double()
+
+
+def total_energy(system: NBodySystem) -> float:
+    """Exactly-accumulated total energy (diagnostic for drift studies)."""
+    from fractions import Fraction
+
+    total = Fraction(kinetic_energy(system)) + Fraction(
+        potential_energy(system)
+    )
+    return total.numerator / total.denominator

@@ -1,0 +1,147 @@
+"""Bit-reproducible conjugate gradients — exact reductions in a solver.
+
+Iterative solvers are where summation non-reproducibility hurts most:
+every CG iteration computes ``r.r`` and ``p.Ap``; those scalars steer
+``alpha``/``beta``; any last-bit perturbation forks the entire iteration
+path, so runs on different node counts (or different sparse nonzero
+orderings) take different step sequences and sometimes different
+iteration counts.
+
+``reproducible_cg`` replaces every reduction with the exact engines
+(:func:`~repro.core.matvec.hp_spmv` rows, :func:`~repro.core.dot.hp_dot`
+scalars).  All remaining operations are elementwise (axpy, scaling),
+which no partitioning can perturb — so the *entire solve*, every
+iterate, is bit-identical regardless of how the matrix was stored or the
+work distributed.  A plain float twin is included for contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dot import dot_params, hp_dot_words
+from repro.core.matvec import CSRMatrix, hp_spmv
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+
+__all__ = ["CGResult", "reproducible_cg", "float_cg"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+
+    def state_digest(self) -> bytes:
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.x).tobytes())
+        h.update(np.float64(self.iterations).tobytes())
+        return h.digest()
+
+
+def _exact_dot(a: np.ndarray, b: np.ndarray, params: HPParams) -> float:
+    return to_double(hp_dot_words(a, b, params), params)
+
+
+def reproducible_cg(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+    params: HPParams | None = None,
+) -> CGResult:
+    """Solve ``A x = b`` (A symmetric positive definite) reproducibly.
+
+    Every inner product and matvec row is exact; the returned iterate
+    sequence is a pure function of the mathematical problem, not of the
+    storage order or the parallel decomposition.
+    """
+    n = matrix.shape[0]
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1] or b.shape != (n,):
+        raise ValueError(f"need square A and matching b, got "
+                         f"{matrix.shape} and {b.shape}")
+    max_iter = max_iter or 10 * n
+    if params is None:
+        scale = float(np.abs(matrix.values).max()) if len(matrix.values) else 1.0
+        bscale = float(np.abs(b).max()) or 1.0
+        bound = max(scale, bscale, 1.0) * max(n, 1)
+        params = dot_params(bound, bound, n,
+                            min_abs_x=2.0**-120, min_abs_y=2.0**-120)
+
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rs = _exact_dot(r, r, params)
+    norms = [float(np.sqrt(rs))]
+    tol2 = tol * tol * max(rs, 1e-300)
+    for it in range(max_iter):
+        if rs <= tol2:
+            return CGResult(x, it, True, norms)
+        ap = hp_spmv(matrix, p, params)
+        pap = _exact_dot(p, ap, params)
+        if pap <= 0.0:
+            raise ValueError("matrix is not positive definite along p")
+        alpha = rs / pap
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = _exact_dot(r, r, params)
+        beta = rs_new / rs
+        p = r + beta * p
+        rs = rs_new
+        norms.append(float(np.sqrt(rs)))
+    return CGResult(x, max_iter, rs <= tol2, norms)
+
+
+def float_cg(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+) -> CGResult:
+    """The conventional twin: numpy dots and row sums.
+
+    Row sums run over the *stored* nonzero order, so permuting a row's
+    nonzeros (a pure storage change) perturbs the iteration path."""
+    n = matrix.shape[0]
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    max_iter = max_iter or 10 * n
+
+    def spmv(v: np.ndarray) -> np.ndarray:
+        out = np.empty(n)
+        for i in range(n):
+            vals, cols = matrix.row(i)
+            total = 0.0
+            for a, c in zip(vals, cols):  # stored order: the weak point
+                total += float(a) * float(v[c])
+            out[i] = total
+        return out
+
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rs = float(np.dot(r, r))
+    norms = [float(np.sqrt(rs))]
+    tol2 = tol * tol * max(rs, 1e-300)
+    for it in range(max_iter):
+        if rs <= tol2:
+            return CGResult(x, it, True, norms)
+        ap = spmv(p)
+        pap = float(np.dot(p, ap))
+        alpha = rs / pap
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(np.dot(r, r))
+        beta = rs_new / rs
+        p = r + beta * p
+        rs = rs_new
+        norms.append(float(np.sqrt(rs)))
+    return CGResult(x, max_iter, rs <= tol2, norms)

@@ -1,0 +1,132 @@
+"""Reproducible time-series reductions: exact prefix and window sums.
+
+Monitoring and post-processing pipelines compute running totals and
+moving averages over long streams; recomputing a window from a different
+chunking of the stream changes float results, so cached aggregates stop
+matching recomputed ones.  With exact prefix sums both problems vanish:
+
+* the prefix accumulator is an HP running sum, so any chunking of the
+  stream produces the same prefix words;
+* a window sum is the *difference of two exact prefixes* —
+  ``sum(x[i:j]) == prefix[j] - prefix[i]`` holds exactly, which is false
+  in floating point (the classic subtract-the-prefixes bug).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams, suggest_params
+from repro.core.scalar import sub_words, to_double
+
+__all__ = ["ExactPrefixSums", "moving_average"]
+
+
+class ExactPrefixSums:
+    """Streaming exact prefix sums with O(1)-exact window queries.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ps = ExactPrefixSums(HPParams(3, 2))
+    >>> ps.extend(np.array([0.1, 0.2, 0.3, 0.4]))
+    >>> ps.window_sum(1, 3) == 0.2 + 0.3
+    True
+    """
+
+    def __init__(self, params: HPParams | None = None) -> None:
+        self.params = params
+        self._acc: HPAccumulator | None = None
+        self._prefixes: list[tuple[int, ...]] = []  # words after element i
+
+    def _ensure(self, xs: np.ndarray) -> None:
+        if self._acc is not None:
+            return
+        params = self.params
+        if params is None:
+            nonzero = np.abs(xs[xs != 0.0])
+            big = float(np.abs(xs).sum()) * 1024 or 1.0
+            small = float(nonzero.min()) if len(nonzero) else 1.0
+            params = suggest_params(big, small * 2.0**-64, margin_bits=8)
+        self.params = params
+        self._acc = HPAccumulator(params)
+
+    def append(self, x: float) -> None:
+        self.extend(np.array([x], dtype=np.float64))
+
+    def extend(self, xs: np.ndarray) -> None:
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        if xs.ndim != 1:
+            raise ValueError(f"expected 1-D data, got {xs.shape}")
+        if len(xs) == 0:
+            return
+        self._ensure(xs)
+        assert self._acc is not None
+        for x in xs:
+            self._acc.add(float(x))
+            self._prefixes.append(self._acc.words)
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def prefix_words(self, i: int) -> tuple[int, ...]:
+        """Words of ``sum(x[:i])`` (``i = 0`` is the empty prefix)."""
+        if not 0 <= i <= len(self._prefixes):
+            raise IndexError(f"prefix {i} outside [0, {len(self)}]")
+        if i == 0:
+            assert self.params is not None
+            return (0,) * self.params.n
+        return self._prefixes[i - 1]
+
+    def total(self) -> float:
+        assert self.params is not None
+        return to_double(self.prefix_words(len(self)), self.params)
+
+    def window_words(self, i: int, j: int) -> tuple[int, ...]:
+        """Exact words of ``sum(x[i:j])`` via prefix subtraction."""
+        if i > j:
+            raise ValueError(f"empty-reversed window [{i}, {j})")
+        assert self.params is not None
+        return sub_words(self.prefix_words(j), self.prefix_words(i))
+
+    def window_sum(self, i: int, j: int) -> float:
+        """Correctly-rounded ``sum(x[i:j])``."""
+        assert self.params is not None or not self._prefixes
+        if self.params is None:
+            return 0.0
+        return to_double(self.window_words(i, j), self.params)
+
+    def window_number(self, i: int, j: int) -> HPNumber:
+        assert self.params is not None
+        return HPNumber(self.window_words(i, j), self.params)
+
+
+def moving_average(
+    xs: np.ndarray, window: int, params: HPParams | None = None
+) -> np.ndarray:
+    """Exactly-computed moving average (each output rounded once).
+
+    The sliding window is evaluated as a prefix difference, so every
+    output equals the correctly-rounded true mean of its window — no
+    drift accumulates as the window slides (the classic running-sum
+    implementation accumulates cancellation error over long streams).
+    """
+    xs = np.ascontiguousarray(xs, dtype=np.float64)
+    if window < 1 or window > len(xs):
+        raise ValueError(f"window {window} outside [1, {len(xs)}]")
+    ps = ExactPrefixSums(params)
+    ps.extend(xs)
+    assert ps.params is not None
+    out = np.empty(len(xs) - window + 1, dtype=np.float64)
+    scale = ps.params.scale
+    for i in range(len(out)):
+        words = ps.window_words(i, i + window)
+        from repro.core.scalar import to_int_scaled
+
+        exact = Fraction(to_int_scaled(words), scale) / window
+        out[i] = exact.numerator / exact.denominator
+    return out

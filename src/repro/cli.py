@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands:
+
+* ``sum``     — exact global sum of numbers from a file/stdin
+* ``dot``     — exact dot product of two vectors
+* ``info``    — properties of an HP format (a Table 1 row)
+* ``suggest`` — minimal (N, k) for a dynamic range
+* ``table``   — regenerate paper Table 1 or 2
+* ``figure``  — regenerate a paper figure (reduced scale; 3 prints the
+  worked example)
+* ``invariance``  — run the 21-strategy invariance matrix
+* ``calibration`` — audit the performance model's fitted anchors
+
+Examples::
+
+    seq 1 100 | python -m repro sum -
+    python -m repro sum data.npy --method hallberg --params 10,38
+    python -m repro info --params 6,3
+    python -m repro figure 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_pair(text: str) -> tuple[int, int]:
+    try:
+        a, b = text.split(",")
+        return int(a), int(b)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected 'N,K' (e.g. '6,3'), got {text!r}"
+        ) from exc
+
+
+def _load_values(path: str) -> np.ndarray:
+    """Read doubles from a .npy file, a text file, or '-' (stdin)."""
+    if path == "-":
+        return np.array(
+            [float(tok) for tok in sys.stdin.read().split()], dtype=np.float64
+        )
+    if path.endswith(".npy"):
+        arr = np.load(path)
+        return np.ascontiguousarray(arr, dtype=np.float64).ravel()
+    with open(path) as fh:
+        return np.array(
+            [float(tok) for tok in fh.read().split()], dtype=np.float64
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Order-invariant real number summation (HP method, "
+        "IPDPS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("sum", help="exact global sum of a vector")
+    p_sum.add_argument("input", help=".npy file, text file, or '-' (stdin)")
+    p_sum.add_argument(
+        "--method",
+        choices=("hp", "hallberg", "double", "kahan", "fsum"),
+        default="hp",
+    )
+    p_sum.add_argument(
+        "--params",
+        type=_parse_pair,
+        default=None,
+        help="N,k for hp / N,M for hallberg (default: derived from data)",
+    )
+    p_sum.add_argument(
+        "--words", action="store_true", help="also print the raw words"
+    )
+
+    p_dot = sub.add_parser("dot", help="exact dot product of two vectors")
+    p_dot.add_argument("x")
+    p_dot.add_argument("y")
+
+    p_info = sub.add_parser("info", help="properties of an HP format")
+    p_info.add_argument("--params", type=_parse_pair, required=True)
+
+    p_sug = sub.add_parser("suggest", help="minimal format for a range")
+    p_sug.add_argument("--max", type=float, required=True,
+                       help="largest magnitude to represent")
+    p_sug.add_argument("--min", type=float, required=True,
+                       help="smallest increment to preserve")
+
+    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab.add_argument("number", type=int, choices=(1, 2))
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure "
+                                          "(reduced scale)")
+    p_fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5, 6, 7, 8))
+    p_fig.add_argument("--trials", type=int, default=512,
+                       help="random-order trials for figures 1-2")
+
+    p_inv = sub.add_parser(
+        "invariance",
+        help="run every execution strategy on one dataset and compare bits",
+    )
+    p_inv.add_argument("--n", type=int, default=1 << 10,
+                       help="dataset size (default 1024)")
+    p_inv.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("calibration",
+                   help="performance-model calibration audit")
+
+    return parser
+
+
+def _cmd_sum(args) -> int:
+    from repro.core.params import HPParams, suggest_params
+    from repro.core.scalar import to_double
+    from repro.core.vectorized import batch_sum_doubles
+    from repro.hallberg.params import HallbergParams, equivalent_hallberg
+    from repro.hallberg.scalar import hb_to_double
+    from repro.hallberg.vectorized import hb_batch_sum_doubles
+    from repro.summation.compensated import kahan_sum
+    from repro.summation.naive import naive_sum
+
+    xs = _load_values(args.input)
+    if args.method == "double":
+        print(repr(float(naive_sum(xs))))
+        return 0
+    if args.method == "kahan":
+        print(repr(float(kahan_sum(xs))))
+        return 0
+    if args.method == "fsum":
+        import math
+
+        print(repr(math.fsum(xs)))
+        return 0
+    nonzero = np.abs(xs[xs != 0.0])
+    if args.method == "hp":
+        if args.params:
+            params = HPParams(*args.params)
+        elif len(nonzero):
+            params = suggest_params(
+                float(nonzero.sum()), float(nonzero.min())
+            )
+        else:
+            params = HPParams(2, 1)
+        words = batch_sum_doubles(xs, params)
+        print(repr(to_double(words, params)))
+        if args.words:
+            print(f"{params}:", " ".join(f"{w:016x}" for w in words))
+        return 0
+    # hallberg
+    if args.params:
+        params = HallbergParams(*args.params)
+    else:
+        params = equivalent_hallberg(512, max(len(xs), 1))
+    digits = hb_batch_sum_doubles(xs, params)
+    print(repr(hb_to_double(digits, params)))
+    if args.words:
+        print(f"{params}:", " ".join(str(d) for d in digits))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.core.dot import hp_dot
+
+    print(repr(hp_dot(_load_values(args.x), _load_values(args.y))))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.core.params import HPParams
+
+    p = HPParams(*args.params)
+    print(f"format          {p}")
+    print(f"total bits      {p.total_bits}")
+    print(f"precision bits  {p.precision_bits}")
+    print(f"whole bits      {p.whole_bits}")
+    print(f"fraction bits   {p.frac_bits}")
+    print(f"max range       ±{p.max_value:.6e}")
+    print(f"smallest        {p.smallest:.6e}")
+    return 0
+
+
+def _cmd_suggest(args) -> int:
+    from repro.core.params import suggest_params
+
+    p = suggest_params(args.max, args.min)
+    print(f"{p}  ({p.total_bits} bits: range ±{p.max_value:.3e}, "
+          f"resolution {p.smallest:.3e})")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import render_table1, render_table2
+
+    print(render_table1() if args.number == 1 else render_table2())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import (
+        format_fig1,
+        format_fig2,
+        format_fig4_measured,
+        format_fig4_model,
+        format_scaling_figure,
+        run_fig1,
+        run_fig2,
+        run_fig4_measured,
+        run_fig5_openmp,
+        run_fig6_mpi,
+        run_fig7_cuda,
+        run_fig8_phi,
+    )
+
+    n = args.number
+    if n == 3:
+        from repro.experiments.fig3 import render_fig3
+
+        print(render_fig3())
+        return 0
+    if n == 1:
+        print(format_fig1(run_fig1(set_sizes=(64, 256, 512, 1024),
+                                   n_trials=args.trials)))
+    elif n == 2:
+        print(format_fig2(run_fig2(n_trials=args.trials)))
+    elif n == 4:
+        from repro.perfmodel import fig4_model_sweep
+
+        print(format_fig4_model(fig4_model_sweep([2**i for i in range(7, 25)])))
+        print()
+        print(format_fig4_measured(run_fig4_measured()))
+    else:
+        driver = {5: run_fig5_openmp, 6: run_fig6_mpi,
+                  7: run_fig7_cuda, 8: run_fig8_phi}[n]
+        print(format_scaling_figure(driver(validate_n=1 << 13)))
+    return 0
+
+
+def _cmd_invariance(args) -> int:
+    from repro.experiments.invariance import run_invariance_matrix
+
+    matrix = run_invariance_matrix(n=args.n, seed=args.seed)
+    print(matrix.report())
+    return 0 if matrix.all_identical else 1
+
+
+def _cmd_calibration(args) -> int:
+    from repro.perfmodel.calibration import calibration_anchors, render_calibration
+
+    print(render_calibration())
+    return 0 if all(a.within_band for a in calibration_anchors()) else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "sum": _cmd_sum,
+        "dot": _cmd_dot,
+        "info": _cmd_info,
+        "suggest": _cmd_suggest,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "invariance": _cmd_invariance,
+        "calibration": _cmd_calibration,
+    }
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:  # clean CLI errors, full trace only via -X
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

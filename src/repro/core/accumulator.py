@@ -1,0 +1,136 @@
+"""Mutable HP running-sum accumulator.
+
+This is the object each processing element holds during a reduction: a
+word vector updated in place via the Listing 2 ripple-carry add, with
+optional overflow checking.  Accumulators over the same format merge
+associatively, so any reduction tree over any partition of the summands
+produces bit-identical words (the paper's order-invariance claim,
+Sec. III.B.3) — property-tested in ``tests/core/test_invariance.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core import scalar
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams
+from repro.util.bits import MASK64, sign_bit
+
+__all__ = ["HPAccumulator"]
+
+
+class HPAccumulator:
+    """Accumulates doubles (or HP values) into an exact HP partial sum.
+
+    Parameters
+    ----------
+    params:
+        The HP format; must cover the dynamic range of the data
+        (paper Sec. V).
+    check_overflow:
+        When true (default), every addition applies the sign-rule
+        overflow test.  Disable only for hot loops whose range has been
+        pre-validated.
+
+    Examples
+    --------
+    >>> acc = HPAccumulator(HPParams(3, 2))
+    >>> for x in [0.1, 0.2, -0.1, -0.2]:
+    ...     acc.add(x)
+    >>> acc.to_double()
+    0.0
+    """
+
+    __slots__ = ("params", "check_overflow", "_words", "count")
+
+    def __init__(self, params: HPParams, check_overflow: bool = True) -> None:
+        self.params = params
+        self.check_overflow = check_overflow
+        self._words: list[int] = [0] * params.n
+        self.count = 0  # number of summands absorbed (for diagnostics)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, x: float) -> None:
+        """Convert the double and fold it into the running sum."""
+        self.add_words(scalar.from_double(x, self.params))
+
+    def add_listing1(self, x: float) -> None:
+        """Same, via the bit-faithful Listing 1 conversion path."""
+        self.add_words(scalar.from_double_listing1(x, self.params))
+
+    def add_hp(self, value: HPNumber) -> None:
+        if value.params != self.params:
+            from repro.errors import MixedParameterError
+
+            raise MixedParameterError(
+                f"accumulator is {self.params}, value is {value.params}"
+            )
+        self.add_words(value.words)
+
+    def add_words(self, b: Sequence[int]) -> None:
+        """In-place Listing 2 ripple-carry add of a word vector."""
+        if len(b) != self.params.n:
+            from repro.errors import MixedParameterError
+
+            raise MixedParameterError(
+                f"accumulator is {self.params}, addend has {len(b)} words"
+            )
+        a = self._words
+        n = len(a)
+        sa = sign_bit(a[0])
+        sb = sign_bit(b[0])
+        a[n - 1] = (a[n - 1] + b[n - 1]) & MASK64
+        co = a[n - 1] < b[n - 1]
+        for i in range(n - 2, 0, -1):
+            a[i] = (a[i] + b[i] + co) & MASK64
+            co = co if a[i] == b[i] else a[i] < b[i]
+        if n > 1:
+            a[0] = (a[0] + b[0] + co) & MASK64
+        self.count += 1
+        if self.check_overflow and sa == sb and sign_bit(a[0]) != sa:
+            from repro.errors import AdditionOverflowError
+
+            raise AdditionOverflowError(
+                f"accumulator overflowed after {self.count} additions"
+            )
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "HPAccumulator") -> None:
+        """Fold another accumulator's partial sum into this one
+        (the global-reduction step of the paper's benchmarks)."""
+        if other.params != self.params:
+            from repro.errors import MixedParameterError
+
+            raise MixedParameterError(
+                f"cannot merge {other.params} into {self.params}"
+            )
+        count = self.count
+        self.add_words(other._words)
+        self.count = count + other.count
+
+    def reset(self) -> None:
+        self._words = [0] * self.params.n
+        self.count = 0
+
+    # -- extraction --------------------------------------------------------
+
+    @property
+    def words(self) -> tuple[int, ...]:
+        return tuple(self._words)
+
+    def snapshot(self) -> HPNumber:
+        return HPNumber(self._words, self.params)
+
+    def to_double(self) -> float:
+        return scalar.to_double(self._words, self.params)
+
+    def __repr__(self) -> str:
+        return (
+            f"HPAccumulator({self.params}, count={self.count}, "
+            f"value={self.to_double()!r})"
+        )

@@ -1,0 +1,139 @@
+"""CAS-only atomic HP addition (paper Sec. III.B.2).
+
+The paper's claim: HP addition of ``b`` into a shared accumulator ``a``
+needs exactly one *atomic* 64-bit addition per word pair — implementable
+with nothing but compare-and-swap — while every other operation stays
+thread-local.  The construction:
+
+for each word ``i`` from ``N-1`` (least significant) up to ``0``:
+    repeat
+        ``old  = load(a[i])``
+        ``new  = (old + b[i] + carry_in) mod 2**64``
+    until ``CAS(a[i], old, new)`` succeeds
+    ``carry_in(next word) = 1 if new < old else ...`` — i.e. the word
+    wrapped, so a carry must be *eventually* applied to word ``i-1``.
+
+Interleavings with other threads reorder which thread carries which
+increment upward, but 64-bit modular addition is commutative and
+associative, so once all carries have been applied the shared words hold
+exactly the sequential sum.  The simulated-GPU substrate
+(:mod:`repro.parallel.gpu`) reuses this logic under an adversarial
+scheduler; here the primitive is backed by a per-word mutex so it is also
+genuinely safe under real Python threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.core.params import HPParams
+from repro.core.scalar import from_double, to_double
+from repro.util.bits import MASK64
+
+__all__ = ["AtomicWord", "AtomicHPCell"]
+
+
+class AtomicWord:
+    """A 64-bit memory cell whose only write primitive is CAS.
+
+    ``cas`` is the sole mutator, mirroring the constraint the paper sets
+    (CAS is what C compilers, MPI RMA and CUDA all provide).  ``load`` is
+    an ordinary read and may race, exactly like a relaxed load of a
+    64-bit word.
+    """
+
+    __slots__ = ("_value", "_lock", "cas_attempts", "cas_failures")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value & MASK64
+        self._lock = threading.Lock()
+        self.cas_attempts = 0
+        self.cas_failures = 0
+
+    def load(self) -> int:
+        return self._value
+
+    def cas(self, expected: int, new: int) -> bool:
+        """Atomically: if value == expected, store new and return True."""
+        with self._lock:
+            self.cas_attempts += 1
+            if self._value == (expected & MASK64):
+                self._value = new & MASK64
+                return True
+            self.cas_failures += 1
+            return False
+
+    def atomic_add(self, addend: int) -> tuple[int, int]:
+        """CAS-loop fetch-and-add; returns ``(old_value, carry_out)``."""
+        addend &= MASK64
+        while True:
+            old = self.load()
+            new = (old + addend) & MASK64
+            if self.cas(old, new):
+                # addend is in (0, 2**64), so the sum wrapped iff new < old
+                return old, 1 if new < old else 0
+
+
+class AtomicHPCell:
+    """A shared HP accumulator updated with CAS-only word additions.
+
+    This is the structure each of the 256 partial sums in the paper's
+    CUDA benchmark uses.  Note the concurrency observation from Sec. IV.B:
+    because each word is a separate atomic, up to ``N`` threads can be
+    updating one HP cell simultaneously (vs. one for a double), which is
+    why HP contention scales better than the naive memory-op count
+    predicts.
+
+    Examples
+    --------
+    >>> p = HPParams(3, 2)
+    >>> cell = AtomicHPCell(p)
+    >>> cell.atomic_add_double(0.25); cell.atomic_add_double(-0.125)
+    >>> cell.to_double()
+    0.125
+    """
+
+    def __init__(self, params: HPParams) -> None:
+        self.params = params
+        self.words = [AtomicWord() for _ in range(params.n)]
+
+    def atomic_add_words(self, b: Sequence[int]) -> None:
+        """Add a thread-local word vector with one atomic add per word."""
+        if len(b) != self.params.n:
+            from repro.errors import MixedParameterError
+
+            raise MixedParameterError(
+                f"cell is {self.params}, addend has {len(b)} words"
+            )
+        carry = 0
+        for i in range(self.params.n - 1, -1, -1):
+            raw = b[i] + carry
+            addend = raw & MASK64
+            if addend == 0:
+                # An all-ones word plus a carry-in wraps to zero: nothing
+                # to add here, but the carry propagates to the next word.
+                carry = raw >> 64
+                continue
+            _, carry = self.words[i].atomic_add(addend)
+        # A carry out of word 0 is the wrap of the two's-complement field;
+        # it is discarded exactly as in the scalar Listing 2 loop.
+
+    def atomic_add_double(self, x: float) -> None:
+        """Convert thread-locally, then fold in atomically."""
+        self.atomic_add_words(from_double(x, self.params))
+
+    def snapshot_words(self) -> tuple[int, ...]:
+        """Read the words non-atomically (call only at quiescence)."""
+        return tuple(w.load() for w in self.words)
+
+    def to_double(self) -> float:
+        return to_double(self.snapshot_words(), self.params)
+
+    @property
+    def total_cas_attempts(self) -> int:
+        return sum(w.cas_attempts for w in self.words)
+
+    @property
+    def total_cas_failures(self) -> int:
+        return sum(w.cas_failures for w in self.words)

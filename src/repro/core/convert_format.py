@@ -1,0 +1,82 @@
+"""Exact conversion between HP formats.
+
+Checkpoint/restart across configuration changes, or mixing libraries
+that chose different (N, k), needs value-preserving rescaling of word
+vectors.  Widening (more whole or fraction words) is always exact;
+narrowing is exact iff the value fits, with the same truncate-toward-zero
+quantization as ``from_double`` when fraction bits are dropped (opt-in:
+by default narrowing that would lose set bits raises).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import HPParams
+from repro.core.scalar import Words, from_int_scaled, to_int_scaled
+from repro.errors import ConversionOverflowError
+
+__all__ = ["convert_words", "is_exactly_convertible", "common_format"]
+
+
+def convert_words(
+    words: Words,
+    source: HPParams,
+    target: HPParams,
+    allow_truncation: bool = False,
+) -> Words:
+    """Re-express an HP value in another format, exactly when possible.
+
+    Raises :class:`ConversionOverflowError` if the value exceeds the
+    target's range, or (unless ``allow_truncation``) if dropped fraction
+    bits are set.
+
+    >>> p32, p21 = HPParams(3, 2), HPParams(2, 1)
+    >>> w = from_int_scaled(3 << 127, p32)  # 1.5 in (3,2)
+    >>> convert_words(w, p32, p21)
+    (1, 9223372036854775808)
+    """
+    if len(words) != source.n:
+        from repro.errors import MixedParameterError
+
+        raise MixedParameterError(
+            f"word vector has {len(words)} words, {source} expects {source.n}"
+        )
+    scaled = to_int_scaled(words)
+    shift = target.frac_bits - source.frac_bits
+    if shift >= 0:
+        rescaled = scaled << shift
+    else:
+        mag = abs(scaled)
+        dropped = mag & ((1 << -shift) - 1)
+        if dropped and not allow_truncation:
+            raise ConversionOverflowError(
+                f"value has set bits below {target} resolution; pass "
+                "allow_truncation=True to quantize toward zero"
+            )
+        mag >>= -shift
+        rescaled = -mag if scaled < 0 else mag
+    return from_int_scaled(rescaled, target)
+
+
+def is_exactly_convertible(
+    words: Words, source: HPParams, target: HPParams
+) -> bool:
+    """True if the value survives the conversion bit for bit."""
+    try:
+        back = convert_words(
+            convert_words(words, source, target), target, source
+        )
+    except ConversionOverflowError:
+        return False
+    return back == tuple(words)
+
+
+def common_format(a: HPParams, b: HPParams) -> HPParams:
+    """The least upper bound of two formats: every value representable
+    in either is exactly representable in the result.
+
+    >>> common_format(HPParams(3, 2), HPParams(6, 1))
+    HPParams(n=7, k=2)
+    """
+    k = max(a.k, b.k)
+    whole_words = max(a.n - a.k, b.n - b.k)
+    return HPParams(whole_words + k, k)

@@ -1,0 +1,177 @@
+"""User-facing HP number type.
+
+:class:`HPNumber` wraps an immutable word vector with its format
+parameters and provides arithmetic operators, comparisons, and
+conversions.  It is a value type: every operation returns a new instance.
+For high-throughput accumulation use :class:`repro.core.HPAccumulator`
+(mutable running sum) or the vectorized batch API instead.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import total_ordering
+from typing import Sequence
+
+from repro.core import scalar
+from repro.core.params import HPParams
+from repro.errors import MixedParameterError, ParameterError
+
+__all__ = ["HPNumber"]
+
+
+@total_ordering
+class HPNumber:
+    """An order-invariant fixed-point real number (paper Sec. III).
+
+    Examples
+    --------
+    >>> p = HPParams(3, 2)
+    >>> a = HPNumber.from_double(0.1, p)
+    >>> b = HPNumber.from_double(0.2, p)
+    >>> (a + b - b).to_double()
+    0.1
+    >>> HPNumber.from_double(-2.5, p) == -HPNumber.from_double(2.5, p)
+    True
+    """
+
+    __slots__ = ("_words", "_params")
+
+    def __init__(self, words: Sequence[int], params: HPParams) -> None:
+        words = tuple(int(w) for w in words)
+        if len(words) != params.n:
+            raise ParameterError(
+                f"expected {params.n} words for {params}, got {len(words)}"
+            )
+        for w in words:
+            if not 0 <= w < 2**64:
+                raise ParameterError(f"word out of uint64 range: {w:#x}")
+        self._words = words
+        self._params = params
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zero(cls, params: HPParams) -> "HPNumber":
+        return cls((0,) * params.n, params)
+
+    @classmethod
+    def from_double(
+        cls, x: float, params: HPParams, warn_underflow: bool = False
+    ) -> "HPNumber":
+        """Convert a double (see :func:`repro.core.scalar.from_double`)."""
+        return cls(scalar.from_double(x, params, warn_underflow), params)
+
+    @classmethod
+    def from_fraction(cls, frac: Fraction, params: HPParams) -> "HPNumber":
+        """Convert an exact rational, truncating sub-resolution bits
+        toward zero."""
+        scaled = (abs(frac.numerator) << params.frac_bits) // frac.denominator
+        if frac < 0:
+            scaled = -scaled
+        return cls(scalar.from_int_scaled(scaled, params), params)
+
+    @classmethod
+    def from_int_scaled(cls, scaled: int, params: HPParams) -> "HPNumber":
+        return cls(scalar.from_int_scaled(scaled, params), params)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def words(self) -> tuple[int, ...]:
+        """The raw word vector (word 0 most significant)."""
+        return self._words
+
+    @property
+    def params(self) -> HPParams:
+        return self._params
+
+    def to_double(self) -> float:
+        """Nearest IEEE double (round half to even)."""
+        return scalar.to_double(self._words, self._params)
+
+    def to_fraction(self) -> Fraction:
+        """The exact value as a rational number."""
+        return Fraction(scalar.to_int_scaled(self._words), self._params.scale)
+
+    def to_int_scaled(self) -> int:
+        """The underlying two's-complement integer, ``value * 2**(64k)``."""
+        return scalar.to_int_scaled(self._words)
+
+    def is_negative(self) -> bool:
+        return scalar.is_negative(self._words)
+
+    def is_zero(self) -> bool:
+        return scalar.is_zero(self._words)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _coerce(self, other: object) -> "HPNumber":
+        if isinstance(other, HPNumber):
+            if other._params != self._params:
+                raise MixedParameterError(
+                    f"cannot combine {self._params} with {other._params}"
+                )
+            return other
+        if isinstance(other, (int, float)):
+            return HPNumber.from_double(float(other), self._params)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: object) -> "HPNumber":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return HPNumber(
+            scalar.add_words_checked(self._words, rhs._words), self._params
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "HPNumber":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: object) -> "HPNumber":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __neg__(self) -> "HPNumber":
+        return HPNumber(scalar.negate_words(self._words), self._params)
+
+    def __pos__(self) -> "HPNumber":
+        return self
+
+    def __abs__(self) -> "HPNumber":
+        return -self if self.is_negative() else self
+
+    # -- comparisons ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HPNumber):
+            return NotImplemented
+        return self._params == other._params and self._words == other._words
+
+    def __lt__(self, other: "HPNumber") -> bool:
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.to_int_scaled() < rhs.to_int_scaled()
+
+    def __hash__(self) -> int:
+        return hash((self._params, self._words))
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    # -- display ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"HPNumber({self.to_double()!r}, {self._params})"
+
+    def hex_words(self) -> str:
+        """Hex dump of the word vector, useful for bit-level debugging."""
+        return " ".join(f"{w:016x}" for w in self._words)

@@ -1,0 +1,158 @@
+"""Serialization and checkpointing of HP state.
+
+Order invariance makes HP sums *restartable*: a simulation can checkpoint
+its accumulators mid-reduction and resume on different hardware with a
+different PE count, and the final words are still bit-identical.  That
+only works if the serialized form is exact and portable, so:
+
+* the wire format is explicit little-endian bytes with a header carrying
+  the format parameters (refusing to deserialize into the wrong format);
+* text round-trips use hex (no decimal rounding anywhere);
+* word planes of :class:`~repro.core.multi.HPMultiAccumulator` store as
+  raw ``.npy`` alongside a JSON-able manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.hpnum import HPNumber
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams
+from repro.errors import MixedParameterError, ReproError
+
+__all__ = [
+    "MAGIC",
+    "FormatError",
+    "number_to_bytes",
+    "number_from_bytes",
+    "number_to_hex",
+    "number_from_hex",
+    "save_accumulator",
+    "load_accumulator",
+    "save_bank",
+    "load_bank",
+]
+
+#: Header magic: identifies an HP serialized blob ("HPv1").
+MAGIC = b"HPv1"
+
+_HEADER = struct.Struct("<4sHHQ")  # magic, N, k, count
+
+
+class FormatError(ReproError, ValueError):
+    """Malformed or mismatched serialized HP data."""
+
+
+def number_to_bytes(number: HPNumber, count: int = 0) -> bytes:
+    """Serialize: header (magic, N, k, count) + N little-endian words."""
+    p = number.params
+    body = struct.pack(f"<{p.n}Q", *number.words)
+    return _HEADER.pack(MAGIC, p.n, p.k, count) + body
+
+
+def number_from_bytes(
+    blob: bytes, expect: HPParams | None = None
+) -> tuple[HPNumber, int]:
+    """Deserialize; returns ``(number, count)``.
+
+    ``expect`` pins the format: a mismatch raises rather than silently
+    reinterpreting words under a different binary point.
+    """
+    if len(blob) < _HEADER.size:
+        raise FormatError(f"blob too short: {len(blob)} bytes")
+    magic, n, k, count = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}")
+    params = HPParams(n, k)
+    if expect is not None and params != expect:
+        raise MixedParameterError(
+            f"blob carries {params}, caller expected {expect}"
+        )
+    expected_len = _HEADER.size + 8 * n
+    if len(blob) != expected_len:
+        raise FormatError(
+            f"expected {expected_len} bytes for {params}, got {len(blob)}"
+        )
+    words = struct.unpack_from(f"<{n}Q", blob, _HEADER.size)
+    return HPNumber(words, params), count
+
+
+def number_to_hex(number: HPNumber) -> str:
+    """Compact text form: ``N,k:`` followed by the hex words."""
+    p = number.params
+    return f"{p.n},{p.k}:" + "".join(f"{w:016x}" for w in number.words)
+
+
+def number_from_hex(text: str) -> HPNumber:
+    """Inverse of :func:`number_to_hex`."""
+    try:
+        head, body = text.split(":", 1)
+        n, k = (int(v) for v in head.split(","))
+    except ValueError as exc:
+        raise FormatError(f"malformed HP hex string {text!r}") from exc
+    params = HPParams(n, k)
+    if len(body) != 16 * n:
+        raise FormatError(
+            f"expected {16 * n} hex digits for {params}, got {len(body)}"
+        )
+    words = tuple(int(body[16 * i:16 * (i + 1)], 16) for i in range(n))
+    return HPNumber(words, params)
+
+
+def save_accumulator(acc: HPAccumulator, stream: BinaryIO) -> None:
+    """Checkpoint a running sum (words + summand count)."""
+    stream.write(number_to_bytes(acc.snapshot(), count=acc.count))
+
+
+def load_accumulator(
+    stream: BinaryIO, expect: HPParams | None = None
+) -> HPAccumulator:
+    """Restore a checkpointed running sum."""
+    number, count = number_from_bytes(stream.read(), expect)
+    acc = HPAccumulator(number.params)
+    acc.add_words(number.words)
+    acc.count = count
+    return acc
+
+
+def save_bank(bank: HPMultiAccumulator, path: str) -> None:
+    """Persist a multi-accumulator: ``<path>.npy`` (word plane, uint64)
+    plus ``<path>.json`` (format manifest)."""
+    np.save(path + ".npy", bank.words)
+    manifest = {
+        "magic": MAGIC.decode(),
+        "n": bank.params.n,
+        "k": bank.params.k,
+        "size": bank.size,
+        "count": bank.count,
+    }
+    with open(path + ".json", "w") as fh:
+        json.dump(manifest, fh)
+
+
+def load_bank(path: str, expect: HPParams | None = None) -> HPMultiAccumulator:
+    """Restore a persisted multi-accumulator, verifying the manifest."""
+    with open(path + ".json") as fh:
+        manifest = json.load(fh)
+    if manifest.get("magic") != MAGIC.decode():
+        raise FormatError(f"bad manifest magic in {path}.json")
+    params = HPParams(manifest["n"], manifest["k"])
+    if expect is not None and params != expect:
+        raise MixedParameterError(
+            f"bank carries {params}, caller expected {expect}"
+        )
+    words = np.load(path + ".npy")
+    if words.shape != (manifest["size"], params.n) or words.dtype != np.uint64:
+        raise FormatError(
+            f"word plane {words.shape}/{words.dtype} does not match manifest"
+        )
+    bank = HPMultiAccumulator(manifest["size"], params)
+    bank.words[:] = words
+    bank.count = manifest["count"]
+    return bank

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+The HP and Hallberg fixed-point formats trade total range for constant
+precision, so range violations are first-class events rather than silent
+wrap-around.  The paper (Sec. III.B.1) identifies three overflow points —
+double→HP conversion, HP+HP addition, and HP→double conversion — and the
+analogous underflow points.  Each has a dedicated exception type so callers
+can distinguish configuration errors (pick a bigger ``N``/``k``) from data
+errors (a single out-of-range summand).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "RangeError",
+    "ConversionOverflowError",
+    "AdditionOverflowError",
+    "NormalizationOverflowError",
+    "UnderflowWarning",
+    "MixedParameterError",
+    "SummandLimitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Invalid format parameters (e.g. ``k > N``, non-positive ``N``,
+    Hallberg ``M`` outside ``1..62``)."""
+
+
+class RangeError(ReproError, OverflowError):
+    """Base class for range violations of a fixed-point format."""
+
+
+class ConversionOverflowError(RangeError):
+    """A double falls outside the representable range of the target
+    fixed-point format (paper Sec. III.B.1, first overflow point)."""
+
+
+class AdditionOverflowError(RangeError):
+    """The sum of two fixed-point numbers left the representable range,
+    detected by the two's-complement sign rule: operands of equal sign
+    whose sum has the opposite sign (second overflow point)."""
+
+
+class NormalizationOverflowError(RangeError):
+    """A fixed-point value exceeds the range of IEEE double precision
+    when converting back (third overflow point)."""
+
+
+class UnderflowWarning(UserWarning):
+    """A nonzero double was quantized to zero (or lost low-order bits)
+    because its magnitude is below the format's smallest representable
+    increment.  Emitted with :func:`warnings.warn` when requested."""
+
+
+class MixedParameterError(ReproError, TypeError):
+    """Two fixed-point values with different format parameters were
+    combined.  Word vectors are only compatible within one format."""
+
+
+class SummandLimitError(ReproError, OverflowError):
+    """A Hallberg accumulation exceeded the guaranteed carry-free summand
+    budget ``2**(63 - M) - 1`` (paper Sec. II.B)."""

@@ -1,0 +1,105 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+============  =================================  ==========================
+Experiment    Driver                             Bench target
+============  =================================  ==========================
+Fig. 1        :func:`run_fig1`                   bench_fig1_rounding_error
+Fig. 2        :func:`run_fig2`                   bench_fig2_distribution
+Table 1       :func:`render_table1`              bench_table1_ranges
+Table 2       :func:`render_table2`              bench_table2_equivalency
+Fig. 4        :func:`run_fig4_measured` +        bench_fig4_hp_vs_hallberg
+              :func:`repro.perfmodel.fig4_model_sweep`
+Eqs. (5)/(6)  :func:`repro.perfmodel.speedup_bound_eq6`  bench_eq56_speedup_bound
+Fig. 5        :func:`run_fig5_openmp`            bench_fig5_openmp
+Fig. 6        :func:`run_fig6_mpi`               bench_fig6_mpi
+Fig. 7        :func:`run_fig7_cuda`              bench_fig7_cuda
+Fig. 8        :func:`run_fig8_phi`               bench_fig8_xeonphi
+============  =================================  ==========================
+"""
+
+from repro.experiments.datasets import (
+    unit_range_uniform,
+    wide_range_uniform,
+    zero_sum_set,
+)
+from repro.experiments.fig3 import render_fig3
+from repro.experiments.invariance import InvarianceMatrix, run_invariance_matrix
+from repro.experiments.report import (
+    format_fig1,
+    format_fig2,
+    format_fig4_measured,
+    format_fig4_model,
+    format_scaling_figure,
+)
+from repro.experiments.rounding import (
+    Fig1Result,
+    Fig2Result,
+    PAPER_SET_SIZES,
+    PAPER_TRIALS,
+    run_fig1,
+    run_fig2,
+)
+from repro.experiments.runtime import (
+    DEFAULT_FIG4_SIZES,
+    Fig4Measured,
+    PAPER_FIG4_SIZES,
+    run_fig4_measured,
+)
+from repro.experiments.scaling import (
+    FIG5_THREADS,
+    FIG6_PROCS,
+    FIG7_THREADS,
+    FIG8_THREADS,
+    PAPER_N,
+    ScalingFigure,
+    run_fig5_openmp,
+    run_fig6_mpi,
+    run_fig7_cuda,
+    run_fig8_phi,
+)
+from repro.experiments.tables import (
+    derive_table2,
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "render_fig3",
+    "InvarianceMatrix",
+    "run_invariance_matrix",
+    "zero_sum_set",
+    "wide_range_uniform",
+    "unit_range_uniform",
+    "run_fig1",
+    "run_fig2",
+    "Fig1Result",
+    "Fig2Result",
+    "PAPER_TRIALS",
+    "PAPER_SET_SIZES",
+    "table1_rows",
+    "render_table1",
+    "table2_rows",
+    "render_table2",
+    "derive_table2",
+    "run_fig4_measured",
+    "Fig4Measured",
+    "DEFAULT_FIG4_SIZES",
+    "PAPER_FIG4_SIZES",
+    "run_fig5_openmp",
+    "run_fig6_mpi",
+    "run_fig7_cuda",
+    "run_fig8_phi",
+    "ScalingFigure",
+    "PAPER_N",
+    "FIG5_THREADS",
+    "FIG6_PROCS",
+    "FIG7_THREADS",
+    "FIG8_THREADS",
+    "format_fig1",
+    "format_fig2",
+    "format_fig4_measured",
+    "format_fig4_model",
+    "format_scaling_figure",
+]

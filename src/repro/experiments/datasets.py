@@ -1,0 +1,87 @@
+"""Workload generators for the paper's experiments.
+
+Three datasets appear in the evaluation:
+
+* **Zero-sum semi-random sets** (Sec. II.A, Figs. 1-2): ``n/2`` uniform
+  doubles in ``[0, 1e-3]`` plus their exact negations, so the true sum is
+  exactly zero and every residual is pure rounding error.  The paper
+  chose this to mimic N-body force accumulation.
+* **Wide-range uniform values** (Sec. IV.A, Fig. 4): doubles spanning
+  ``±2**191`` with the smallest magnitude ``±2**-223`` — exercising the
+  full 512-bit HP(8,4) window.
+* **Unit-range uniform values** (Sec. IV.B, Figs. 5-8): ``2**25`` doubles
+  in ``[-0.5, 0.5]`` with the smallest magnitude ``±2**-95``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import default_rng
+
+__all__ = [
+    "zero_sum_set",
+    "wide_range_uniform",
+    "unit_range_uniform",
+    "FIG12_VALUE_RANGE",
+    "FIG4_EXPONENT_SPAN",
+]
+
+#: Fig. 1/2 magnitude range for the positive half of each set.
+FIG12_VALUE_RANGE = (0.0, 1e-3)
+
+#: Fig. 4 exponent window: values in ±2**191, smallest ±2**-223.
+FIG4_EXPONENT_SPAN = (-223, 191)
+
+
+def zero_sum_set(
+    n: int,
+    rng: np.random.Generator | None = None,
+    value_range: tuple[float, float] = FIG12_VALUE_RANGE,
+) -> np.ndarray:
+    """Build one Sec. II.A test set: ``n/2`` random values plus their
+    negations, shuffled; the exact sum is zero by construction.
+
+    >>> import math
+    >>> xs = zero_sum_set(64)
+    >>> math.fsum(sorted(xs))  # exact cancellation in *some* order
+    0.0
+    """
+    if n < 2 or n % 2:
+        raise ValueError(f"set size must be even and >= 2, got {n}")
+    rng = rng or default_rng()
+    half = rng.uniform(value_range[0], value_range[1], n // 2)
+    values = np.concatenate([half, -half])
+    rng.shuffle(values)
+    return values
+
+
+def wide_range_uniform(
+    n: int,
+    rng: np.random.Generator | None = None,
+    exponent_span: tuple[int, int] = FIG4_EXPONENT_SPAN,
+) -> np.ndarray:
+    """Fig. 4 workload: signed doubles log-uniform in magnitude across
+    ``[2**lo, 2**hi)`` so every part of the fixed-point window is
+    exercised."""
+    if n < 1:
+        raise ValueError(f"need >= 1 value, got {n}")
+    rng = rng or default_rng()
+    lo, hi = exponent_span
+    if lo >= hi:
+        raise ValueError(f"empty exponent span {exponent_span}")
+    exponents = rng.uniform(lo, hi, n)
+    mantissas = rng.uniform(1.0, 2.0, n)
+    signs = rng.choice([-1.0, 1.0], n)
+    return signs * mantissas * np.exp2(exponents - 1)
+
+
+def unit_range_uniform(
+    n: int = 1 << 25,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Figs. 5-8 workload: ``n`` doubles uniform in ``[-0.5, 0.5]``."""
+    if n < 1:
+        raise ValueError(f"need >= 1 value, got {n}")
+    rng = rng or default_rng()
+    return rng.uniform(-0.5, 0.5, n)

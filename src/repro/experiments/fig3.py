@@ -1,0 +1,73 @@
+"""Fig. 3: the paper's worked example, rendered step by step.
+
+The paper's Figure 3 walks one HP addition — converting two doubles,
+two's-complementing the negative one, and ripple-carrying the word-wise
+sum.  This driver renders the same walkthrough for any operand pair and
+format, used by ``repro figure 3`` and the docs.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import HPParams
+from repro.core.scalar import add_words, from_double, to_double
+from repro.util.bits import MASK64
+
+__all__ = ["render_fig3", "FIG3_OPERANDS"]
+
+#: The paper's example operands: 2.5 + (-1.25) = 1.25.
+FIG3_OPERANDS = (2.5, -1.25)
+
+
+def _dump(words: tuple[int, ...]) -> str:
+    return " | ".join(f"{w:016x}" for w in words)
+
+
+def render_fig3(
+    a: float = FIG3_OPERANDS[0],
+    b: float = FIG3_OPERANDS[1],
+    params: HPParams = HPParams(2, 1),
+) -> str:
+    """Render the Fig. 3 addition walkthrough as text."""
+    lines = [
+        f"Fig. 3 worked example: {a} + {b} in {params} "
+        f"({params.whole_bits}+1 whole bits | {params.frac_bits} fraction bits)",
+        "",
+    ]
+    wa = from_double(a, params)
+    wb = from_double(b, params)
+    for value, words in ((a, wa), (b, wb)):
+        if value < 0:
+            mag = from_double(-value, params)
+            lines.append(f"  |{value}|  = {_dump(mag)}")
+            lines.append(
+                f"  {value}  = {_dump(words)}   (two's complement: flip "
+                "all bits, +1 at the last word)"
+            )
+        else:
+            lines.append(f"  {value}   = {_dump(words)}")
+    lines.append("")
+    lines.append("  word-wise add, least significant word first "
+                 "(Listing 2 ripple carry):")
+    total = list(wa)
+    carry = 0
+    n = params.n
+    for i in range(n - 1, -1, -1):
+        s = wa[i] + wb[i] + carry
+        out = s & MASK64
+        carry_out = s >> 64
+        lines.append(
+            f"    word {i}: {wa[i]:016x} + {wb[i]:016x}"
+            + (f" + {carry}" if carry else "")
+            + f" = {out:016x}"
+            + (f"  carry 1" if carry_out else "")
+        )
+        total[i] = out
+        carry = carry_out
+    if carry:
+        lines.append("    final carry out of word 0 is discarded "
+                     "(two's-complement wrap)")
+    result = add_words(wa, wb)
+    assert tuple(total) == result
+    lines.append("")
+    lines.append(f"  result = {_dump(result)} = {to_double(result, params)!r}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Text rendering of experiment results — the rows/series the paper plots.
+
+Each ``format_*`` function takes the corresponding experiment result and
+returns the plain-text block the benchmark harness prints (and that
+EXPERIMENTS.md records next to the paper's numbers).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rounding import Fig1Result, Fig2Result
+from repro.experiments.runtime import Fig4Measured
+from repro.experiments.scaling import ScalingFigure
+from repro.perfmodel.model import Fig4Point
+from repro.util.tables import render_table
+
+__all__ = [
+    "format_fig1",
+    "format_fig2",
+    "format_fig4_measured",
+    "format_fig4_model",
+    "format_scaling_figure",
+]
+
+
+def format_fig1(result: Fig1Result) -> str:
+    rows = [
+        (
+            r.n,
+            r.double_stats.stdev,
+            r.hp_stats.stdev,
+            "yes" if r.hp_exact else "NO",
+        )
+        for r in result.rows
+    ]
+    return render_table(
+        ["n", "sigma(double)", "sigma(HP 3,2)", "HP exact?"],
+        rows,
+        title="Fig. 1: stdev of residual sums over random-order trials",
+        precision=4,
+    )
+
+
+def format_fig2(result: Fig2Result) -> str:
+    lines = [
+        "Fig. 2: distribution of 1024-summand FP sums "
+        f"({result.stats.n_trials} trials)",
+        f"mean = {result.stats.mean:.3e}   stdev = {result.stats.stdev:.3e}   "
+        f"range = [{result.stats.min:.3e}, {result.stats.max:.3e}]",
+    ]
+    peak = max(result.counts) or 1
+    for lo, hi, c in zip(result.bin_edges, result.bin_edges[1:], result.counts):
+        bar = "#" * max(1, round(40 * c / peak)) if c else ""
+        lines.append(f"  [{lo:+.2e}, {hi:+.2e})  {c:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def format_fig4_measured(result: Fig4Measured) -> str:
+    rows = [
+        (
+            r.n,
+            str(r.hallberg_params),
+            r.hp_seconds,
+            r.hallberg_seconds,
+            r.speedup,
+        )
+        for r in result.rows
+    ]
+    table = render_table(
+        ["n", "Hallberg config", "HP (s)", "Hallberg (s)", "speedup HB/HP"],
+        rows,
+        title="Fig. 4 (measured): HP(8,4) vs precision-equivalent Hallberg",
+        precision=3,
+    )
+    cross = result.crossover()
+    note = (
+        f"\nHP >= Hallberg from n = {cross}"
+        if cross is not None
+        else "\nno crossover within sweep"
+    )
+    return table + note
+
+
+def format_fig4_model(points: list[Fig4Point]) -> str:
+    rows = [
+        (
+            pt.n,
+            str(pt.hallberg_params),
+            pt.hp_seconds,
+            pt.hallberg_seconds,
+            pt.speedup,
+        )
+        for pt in points
+    ]
+    return render_table(
+        ["n", "Hallberg config", "HP (s)", "Hallberg (s)", "speedup HB/HP"],
+        rows,
+        title="Fig. 4 (modeled, X5650): eq. (3)/(4) block-cost analysis",
+        precision=3,
+    )
+
+
+def format_scaling_figure(fig: ScalingFigure) -> str:
+    blocks = [fig.name]
+    rows = []
+    for i, p in enumerate(fig.pes):
+        rows.append(
+            (
+                p,
+                fig.model_times["double"][i],
+                fig.model_times["hp"][i],
+                fig.model_times["hallberg"][i],
+                fig.model_efficiency["double"][i],
+                fig.model_efficiency["hp"][i],
+                fig.model_efficiency["hallberg"][i],
+            )
+        )
+    blocks.append(
+        render_table(
+            ["PEs", "T dbl (s)", "T HP (s)", "T HB (s)",
+             "E dbl", "E HP", "E HB"],
+            rows,
+            title="modeled runtime and efficiency (paper panels)",
+            precision=3,
+        )
+    )
+    if fig.substrate_values:
+        blocks.append("substrate validation (reduced n):")
+        for name, values in fig.substrate_values.items():
+            if name in fig.substrate_invariant:
+                status = (
+                    "bit-identical across PEs"
+                    if fig.substrate_invariant[name]
+                    else "NOT INVARIANT (bug)"
+                )
+                blocks.append(f"  {name:9s} {values[0]!r}  [{status}]")
+            else:
+                spread = max(values) - min(values)
+                blocks.append(
+                    f"  {name:9s} spread across PE counts = {spread:.3e}"
+                )
+    return "\n".join(blocks)

@@ -1,0 +1,144 @@
+"""Figs. 1-2: the rounding-error experiment (paper Sec. II.A).
+
+For each set size ``n`` a zero-sum semi-random set is generated; the set
+is summed in many random orders with plain double arithmetic, producing a
+distribution of residuals whose standard deviation grows ~linearly in
+``n`` (Fig. 1) and whose histogram is normal around zero (Fig. 2).  The
+same trials run through HP(3,2) must return exactly zero every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.experiments.datasets import zero_sum_set
+from repro.summation.naive import naive_sum
+from repro.summation.stats import ResidualStats, residual_stats
+from repro.util.rng import default_rng
+
+__all__ = [
+    "Fig1Row",
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "PAPER_TRIALS",
+    "PAPER_SET_SIZES",
+]
+
+#: The paper's protocol: 16384 random-order trials per set.
+PAPER_TRIALS = 16384
+
+#: Fig. 1 sweep: n = 64, 128, ..., 1024.
+PAPER_SET_SIZES = tuple(range(64, 1025, 64))
+
+#: Fig. 1's HP configuration.
+FIG1_HP_PARAMS = HPParams(3, 2)
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One Fig. 1 data point."""
+
+    n: int
+    double_stats: ResidualStats
+    hp_stats: ResidualStats
+
+    @property
+    def hp_exact(self) -> bool:
+        return self.hp_stats.all_exact
+
+
+@dataclass
+class Fig1Result:
+    rows: list[Fig1Row] = field(default_factory=list)
+
+    def stdevs(self) -> list[tuple[int, float, float]]:
+        """(n, double sigma, HP sigma) series — the plotted curves."""
+        return [
+            (r.n, r.double_stats.stdev, r.hp_stats.stdev) for r in self.rows
+        ]
+
+
+def _double_residuals(
+    values: np.ndarray, n_trials: int, rng: np.random.Generator
+) -> list[float]:
+    work = values.copy()
+    out = []
+    for _ in range(n_trials):
+        rng.shuffle(work)
+        out.append(naive_sum(work))
+    return out
+
+
+def _hp_residuals(
+    values: np.ndarray,
+    n_trials: int,
+    rng: np.random.Generator,
+    params: HPParams,
+) -> list[float]:
+    work = values.copy()
+    out = []
+    for _ in range(n_trials):
+        rng.shuffle(work)
+        words = batch_sum_doubles(work, params)
+        out.append(to_double(words, params))
+    return out
+
+
+def run_fig1(
+    set_sizes: tuple[int, ...] = PAPER_SET_SIZES,
+    n_trials: int = PAPER_TRIALS,
+    seed: int | None = None,
+    hp_params: HPParams = FIG1_HP_PARAMS,
+) -> Fig1Result:
+    """Run the Fig. 1 sweep.
+
+    ``n_trials`` can be reduced from the paper's 16384 for quick runs;
+    the linear sigma-vs-n trend is visible from a few hundred trials.
+    """
+    rng = default_rng(seed)
+    result = Fig1Result()
+    for n in set_sizes:
+        values = zero_sum_set(n, rng)
+        d_stats = residual_stats(_double_residuals(values, n_trials, rng))
+        h_stats = residual_stats(
+            _hp_residuals(values, n_trials, rng, hp_params)
+        )
+        result.rows.append(Fig1Row(n=n, double_stats=d_stats, hp_stats=h_stats))
+    return result
+
+
+@dataclass
+class Fig2Result:
+    """The n=1024 residual distribution (histogram of Fig. 2)."""
+
+    residuals: list[float]
+    stats: ResidualStats
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+
+def run_fig2(
+    n: int = 1024,
+    n_trials: int = PAPER_TRIALS,
+    seed: int | None = None,
+    bins: int = 41,
+) -> Fig2Result:
+    """Run the Fig. 2 histogram experiment (double arithmetic only;
+    the paper plots the FP distribution — HP's would be a spike at 0)."""
+    rng = default_rng(seed)
+    values = zero_sum_set(n, rng)
+    residuals = _double_residuals(values, n_trials, rng)
+    counts, edges = np.histogram(residuals, bins=bins)
+    return Fig2Result(
+        residuals=residuals,
+        stats=residual_stats(residuals),
+        bin_edges=edges,
+        counts=counts,
+    )

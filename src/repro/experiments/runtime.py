@@ -1,0 +1,99 @@
+"""Fig. 4: HP vs. Hallberg runtime and speedup (paper Sec. IV.A).
+
+Two complementary reproductions:
+
+* **Measured** — wall-clock of this library's engines summing the Fig. 4
+  workload (±2**191 uniform doubles) with HP(8,4) against the
+  precision-equivalent Hallberg configuration chosen per summand count
+  (Table 2).  Absolute times are Python/NumPy times, not the paper's C
+  times; the quantity compared with the paper is the Hallberg/HP ratio
+  and its crossover.
+* **Modeled** — eq. (3)/(4) evaluated on the X5650 machine description
+  (:func:`repro.perfmodel.fig4_model_sweep`), which reproduces the
+  published curve directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import HPParams
+from repro.core.vectorized import batch_sum_doubles
+from repro.experiments.datasets import wide_range_uniform
+from repro.hallberg.params import HallbergParams, equivalent_hallberg
+from repro.hallberg.vectorized import hb_batch_sum_doubles
+from repro.util.rng import default_rng
+from repro.util.timing import repeat_timeit
+
+__all__ = ["Fig4MeasuredRow", "Fig4Measured", "run_fig4_measured",
+           "DEFAULT_FIG4_SIZES", "PAPER_FIG4_SIZES"]
+
+#: The paper sweeps n = 128 ... 16M.
+PAPER_FIG4_SIZES = tuple(2**i for i in range(7, 25))
+
+#: Default bench sweep: truncated so a Python run stays interactive; pass
+#: PAPER_FIG4_SIZES for the full sweep.
+DEFAULT_FIG4_SIZES = tuple(2**i for i in range(7, 21, 2))
+
+FIG4_HP_PARAMS = HPParams(8, 4)
+FIG4_PRECISION_BITS = 512
+
+
+@dataclass(frozen=True)
+class Fig4MeasuredRow:
+    n: int
+    hallberg_params: HallbergParams
+    hp_seconds: float
+    hallberg_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Hallberg/HP ratio — the paper's right panel (>1: HP wins)."""
+        return self.hallberg_seconds / self.hp_seconds
+
+
+@dataclass
+class Fig4Measured:
+    rows: list[Fig4MeasuredRow] = field(default_factory=list)
+
+    def crossover(self) -> int | None:
+        """Smallest measured n where HP matches or beats Hallberg."""
+        for row in self.rows:
+            if row.speedup >= 1.0:
+                return row.n
+        return None
+
+
+def run_fig4_measured(
+    sizes: tuple[int, ...] = DEFAULT_FIG4_SIZES,
+    trials: int = 3,
+    seed: int | None = None,
+    hp_params: HPParams = FIG4_HP_PARAMS,
+) -> Fig4Measured:
+    """Time both vectorized engines over the size sweep.
+
+    The Hallberg configuration is re-chosen per ``n`` exactly as the
+    paper's Table 2 prescribes, so its per-summand cost grows with the
+    sweep while HP's stays constant.
+    """
+    rng = default_rng(seed)
+    result = Fig4Measured()
+    for n in sizes:
+        data = wide_range_uniform(n, rng)
+        hb_params = equivalent_hallberg(FIG4_PRECISION_BITS, n)
+        hp_t = repeat_timeit(
+            lambda: batch_sum_doubles(data, hp_params, check_overflow=False),
+            trials=trials,
+        ).best
+        hb_t = repeat_timeit(
+            lambda: hb_batch_sum_doubles(data, hb_params), trials=trials
+        ).best
+        result.rows.append(
+            Fig4MeasuredRow(
+                n=n,
+                hallberg_params=hb_params,
+                hp_seconds=hp_t,
+                hallberg_seconds=hb_t,
+            )
+        )
+    return result

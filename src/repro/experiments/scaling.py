@@ -1,0 +1,211 @@
+"""Figs. 5-8: strong-scaling experiments on the four substrates.
+
+Each figure driver produces, per method:
+
+* the **modeled** runtime/efficiency series from
+  :mod:`repro.perfmodel.scaling` at the paper's full problem size
+  (n = 2**25) and PE counts — the curves compared against the paper; and
+* a **substrate validation** at a reduced size: the corresponding
+  simulated substrate actually executes the reduction at every PE count
+  and the driver asserts HP/Hallberg words are bit-identical across the
+  sweep (the invariance half of the claim) while recording how the
+  double-precision value drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import HPParams
+from repro.experiments.datasets import unit_range_uniform
+from repro.hallberg.params import HallbergParams
+from repro.parallel.gpu import gpu_sum_fast
+from repro.parallel.methods import (
+    DoubleMethod,
+    HallbergMethod,
+    HPMethod,
+    ReductionMethod,
+)
+from repro.parallel.phi import offload_reduce
+from repro.parallel.simmpi import mpi_reduce
+from repro.parallel.threads import thread_reduce
+from repro.perfmodel.scaling import (
+    cuda_time,
+    efficiency,
+    mpi_time,
+    openmp_time,
+    phi_time,
+    standard_specs,
+)
+from repro.util.rng import default_rng
+
+__all__ = [
+    "ScalingFigure",
+    "run_fig5_openmp",
+    "run_fig6_mpi",
+    "run_fig7_cuda",
+    "run_fig8_phi",
+    "PAPER_N",
+    "FIG5_THREADS",
+    "FIG6_PROCS",
+    "FIG7_THREADS",
+    "FIG8_THREADS",
+]
+
+PAPER_N = 1 << 25  # 32M summands
+FIG5_THREADS = (1, 2, 4, 8)
+FIG6_PROCS = (1, 2, 4, 8, 16, 32, 64, 128)
+FIG7_THREADS = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+FIG8_THREADS = (1, 2, 4, 8, 16, 32, 64, 128, 240)
+
+#: The Figs. 5-8 method parameters.
+SCALING_HP_PARAMS = HPParams(6, 3)
+SCALING_HB_PARAMS = HallbergParams(10, 38)
+
+
+@dataclass
+class ScalingFigure:
+    """One reproduced scaling figure."""
+
+    name: str
+    pes: tuple[int, ...]
+    #: method name -> modeled wall-clock seconds per PE count (left panel)
+    model_times: dict[str, list[float]] = field(default_factory=dict)
+    #: method name -> modeled efficiency per PE count (right panel)
+    model_efficiency: dict[str, list[float]] = field(default_factory=dict)
+    #: method name -> substrate-executed values per PE count (validation)
+    substrate_values: dict[str, list[float]] = field(default_factory=dict)
+    #: method name -> True if exact partials were identical across PEs
+    substrate_invariant: dict[str, bool] = field(default_factory=dict)
+
+    def double_spread(self) -> float:
+        """Max - min of the double-precision result across PE counts —
+        the irreproducibility the exact methods eliminate."""
+        vals = self.substrate_values.get("double", [])
+        return max(vals) - min(vals) if vals else 0.0
+
+
+def _methods() -> list[ReductionMethod]:
+    return [
+        DoubleMethod(),
+        HPMethod(SCALING_HP_PARAMS),
+        HallbergMethod(SCALING_HB_PARAMS),
+    ]
+
+
+def _model_series(model, pes, n, **kwargs) -> tuple[dict, dict]:
+    times: dict[str, list[float]] = {}
+    effs: dict[str, list[float]] = {}
+    for spec in standard_specs(SCALING_HP_PARAMS, SCALING_HB_PARAMS):
+        ts = [model(n, p, spec, **kwargs) for p in pes]
+        times[spec.name] = ts
+        effs[spec.name] = efficiency(ts, list(pes))
+    return times, effs
+
+
+def _validate(
+    figure: ScalingFigure,
+    runner,
+    data: np.ndarray,
+    pes: tuple[int, ...],
+) -> None:
+    """Execute the substrate at each PE count; record values and check
+    exact-method partial invariance."""
+    for method in _methods():
+        values = []
+        partials = []
+        for p in pes:
+            value, partial = runner(data, method, p)
+            values.append(value)
+            partials.append(partial)
+        figure.substrate_values[method.name] = values
+        if method.is_exact():
+            figure.substrate_invariant[method.name] = all(
+                part == partials[0] for part in partials
+            )
+
+
+def run_fig5_openmp(
+    n: int = PAPER_N,
+    validate_n: int = 1 << 14,
+    seed: int | None = None,
+) -> ScalingFigure:
+    """Fig. 5: OpenMP strong scaling, p = 1..8 threads."""
+    fig = ScalingFigure(name="Fig. 5 (OpenMP)", pes=FIG5_THREADS)
+    fig.model_times, fig.model_efficiency = _model_series(
+        openmp_time, FIG5_THREADS, n
+    )
+    data = unit_range_uniform(validate_n, default_rng(seed))
+
+    def runner(data, method, p):
+        r = thread_reduce(data, method, p)
+        return r.value, r.partial
+
+    _validate(fig, runner, data, FIG5_THREADS)
+    return fig
+
+
+def run_fig6_mpi(
+    n: int = PAPER_N,
+    validate_n: int = 1 << 14,
+    seed: int | None = None,
+) -> ScalingFigure:
+    """Fig. 6: MPI strong scaling, p = 1..128 processes."""
+    fig = ScalingFigure(name="Fig. 6 (MPI)", pes=FIG6_PROCS)
+    fig.model_times, fig.model_efficiency = _model_series(
+        mpi_time, FIG6_PROCS, n
+    )
+    data = unit_range_uniform(validate_n, default_rng(seed))
+
+    def runner(data, method, p):
+        r = mpi_reduce(data, method, p)
+        return r.value, r.partial
+
+    _validate(fig, runner, data, FIG6_PROCS)
+    return fig
+
+
+def run_fig7_cuda(
+    n: int = PAPER_N,
+    validate_n: int = 1 << 12,
+    seed: int | None = None,
+) -> ScalingFigure:
+    """Fig. 7: CUDA scaling, t = 256..32K threads over 256 atomic
+    partials.  Validation uses the functional device model (the stepped
+    simulator is exercised in the integration tests)."""
+    fig = ScalingFigure(name="Fig. 7 (CUDA)", pes=FIG7_THREADS)
+    fig.model_times, fig.model_efficiency = _model_series(
+        cuda_time, FIG7_THREADS, n
+    )
+    data = unit_range_uniform(validate_n, default_rng(seed))
+
+    for method in _methods():
+        values = [gpu_sum_fast(data, method, t) for t in FIG7_THREADS]
+        fig.substrate_values[method.name] = values
+        if method.is_exact():
+            fig.substrate_invariant[method.name] = all(
+                v == values[0] for v in values
+            )
+    return fig
+
+
+def run_fig8_phi(
+    n: int = PAPER_N,
+    validate_n: int = 1 << 14,
+    seed: int | None = None,
+) -> ScalingFigure:
+    """Fig. 8: Xeon Phi offload scaling, t = 1..240 threads."""
+    fig = ScalingFigure(name="Fig. 8 (Xeon Phi)", pes=FIG8_THREADS)
+    fig.model_times, fig.model_efficiency = _model_series(
+        phi_time, FIG8_THREADS, n
+    )
+    data = unit_range_uniform(validate_n, default_rng(seed))
+
+    def runner(data, method, p):
+        r = offload_reduce(data, method, p)
+        return r.value, r.partial
+
+    _validate(fig, runner, data, FIG8_THREADS)
+    return fig

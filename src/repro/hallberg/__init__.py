@@ -1,0 +1,61 @@
+"""The Hallberg & Adcroft (2014) order-invariant sum — the baseline the
+HP method is evaluated against (paper Secs. II.B, IV.A).
+
+Public surface mirrors :mod:`repro.core`:
+
+* :class:`HallbergParams` — ``(N, M)`` parameters, carry budget, Table 2.
+* :class:`HallbergNumber` — immutable value type (with aliasing helpers).
+* :class:`HallbergAccumulator` — budget-enforcing running sum.
+* ``hb_batch_*`` — vectorized conversion/summation.
+* ``hb_*`` scalar free functions — reference semantics.
+"""
+
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.hbnum import HallbergNumber
+from repro.hallberg.interop import (
+    hallberg_params_covering,
+    hallberg_to_hp,
+    hp_params_covering,
+    hp_to_hallberg,
+)
+from repro.hallberg.params import (
+    HallbergParams,
+    TABLE2_CONFIGS,
+    equivalent_hallberg,
+)
+from repro.hallberg.scalar import (
+    hb_add,
+    hb_from_double,
+    hb_from_double_floatloop,
+    hb_is_canonical,
+    hb_normalize,
+    hb_to_double,
+    hb_to_int_scaled,
+)
+from repro.hallberg.vectorized import (
+    hb_batch_from_double,
+    hb_batch_sum_digits,
+    hb_batch_sum_doubles,
+)
+
+__all__ = [
+    "HallbergParams",
+    "HallbergNumber",
+    "HallbergAccumulator",
+    "TABLE2_CONFIGS",
+    "equivalent_hallberg",
+    "hb_from_double",
+    "hb_from_double_floatloop",
+    "hb_to_double",
+    "hb_to_int_scaled",
+    "hb_add",
+    "hb_normalize",
+    "hb_is_canonical",
+    "hb_batch_from_double",
+    "hb_batch_sum_digits",
+    "hb_batch_sum_doubles",
+    "hallberg_to_hp",
+    "hp_to_hallberg",
+    "hp_params_covering",
+    "hallberg_params_covering",
+]

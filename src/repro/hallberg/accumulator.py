@@ -1,0 +1,134 @@
+"""Mutable Hallberg running sum with summand-budget enforcement.
+
+The Hallberg method's contract: you may fold in at most
+``2**(63-M) - 1`` values before any word could overflow its carry
+headroom.  The accumulator enforces that budget up front (the paper's
+"user must know a priori the expected number of summands", Sec. II.B) and
+optionally performs the expensive runtime carry-out detection the paper
+describes as defeating the format's purpose — included here so the
+ablation benchmark can measure exactly that cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import MixedParameterError, SummandLimitError
+from repro.hallberg import scalar as hb
+from repro.hallberg.params import HallbergParams
+
+__all__ = ["HallbergAccumulator"]
+
+_HEADROOM_LIMIT = 1 << 62  # renormalize trigger for runtime_checks mode
+
+
+class HallbergAccumulator:
+    """Accumulates doubles into a Hallberg partial sum.
+
+    Parameters
+    ----------
+    params:
+        Format; ``params.max_summands`` is the accumulation budget.
+    runtime_checks:
+        When true, instead of enforcing the a-priori budget the
+        accumulator watches word magnitudes and renormalizes when any
+        word nears ``int64`` — the "expensive carryout detection and
+        normalization process ... which defeats the purpose of this
+        format" (Sec. II.B).  Off by default.
+
+    Examples
+    --------
+    >>> acc = HallbergAccumulator(HallbergParams(10, 52))
+    >>> acc.extend([0.5, 0.25, -0.75])
+    >>> acc.to_double()
+    0.0
+    """
+
+    __slots__ = ("params", "runtime_checks", "_digits", "count", "renormalizations")
+
+    def __init__(
+        self, params: HallbergParams, runtime_checks: bool = False
+    ) -> None:
+        self.params = params
+        self.runtime_checks = runtime_checks
+        self._digits: list[int] = [0] * params.n
+        self.count = 0
+        self.renormalizations = 0
+
+    def add(self, x: float) -> None:
+        self.add_digits(hb.hb_from_double(x, self.params))
+
+    def add_floatloop(self, x: float) -> None:
+        """Same, via the original float-loop conversion."""
+        self.add_digits(hb.hb_from_double_floatloop(x, self.params))
+
+    def add_digits(self, b: Sequence[int]) -> None:
+        """Carry-free word-wise add (one int64 add per word)."""
+        if len(b) != self.params.n:
+            raise MixedParameterError(
+                f"accumulator is {self.params}, addend has {len(b)} words"
+            )
+        self._charge(1)
+        digits = self._digits
+        for i, y in enumerate(b):
+            digits[i] += y
+        self.count += 1
+        if self.runtime_checks and any(
+            not -_HEADROOM_LIMIT <= d <= _HEADROOM_LIMIT for d in digits
+        ):
+            self.renormalize()
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "HallbergAccumulator") -> None:
+        """Fold another partial sum in: costs ``other.count`` of the
+        budget, because headroom consumption adds up across PEs."""
+        if other.params != self.params:
+            raise MixedParameterError(
+                f"cannot merge {other.params} into {self.params}"
+            )
+        self._charge(other.count)
+        for i, y in enumerate(other._digits):
+            self._digits[i] += y
+        self.count += other.count
+
+    def _charge(self, n: int) -> None:
+        if self.runtime_checks:
+            return
+        if self.count + n > self.params.max_summands:
+            raise SummandLimitError(
+                f"{self.params} guarantees only {self.params.max_summands} "
+                f"carry-free summands; attempted {self.count + n}"
+            )
+
+    def renormalize(self) -> None:
+        """Collapse accumulated carries back into canonical digits,
+        resetting the headroom budget."""
+        self._digits = list(hb.hb_normalize(self._digits, self.params))
+        self.count = 0
+        self.renormalizations += 1
+
+    # -- extraction ------------------------------------------------------
+
+    @property
+    def digits(self) -> tuple[int, ...]:
+        return tuple(self._digits)
+
+    def to_double(self) -> float:
+        return hb.hb_to_double(self._digits, self.params)
+
+    def to_int_scaled(self) -> int:
+        return hb.hb_to_int_scaled(self._digits, self.params)
+
+    def reset(self) -> None:
+        self._digits = [0] * self.params.n
+        self.count = 0
+        self.renormalizations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HallbergAccumulator({self.params}, count={self.count}, "
+            f"value={self.to_double()!r})"
+        )

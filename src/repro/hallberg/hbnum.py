@@ -1,0 +1,124 @@
+"""User-facing Hallberg number type (baseline counterpart of HPNumber)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import MixedParameterError, ParameterError
+from repro.hallberg import scalar as hb
+from repro.hallberg.params import HallbergParams
+
+__all__ = ["HallbergNumber"]
+
+
+class HallbergNumber:
+    """An immutable Hallberg-format value.
+
+    Unlike :class:`repro.core.HPNumber`, equality is defined on the
+    *value* (after normalization), not the digit vector — the format
+    aliases: many digit vectors denote the same real (paper Sec. II.B).
+    Use :meth:`is_canonical` / :meth:`normalized` to reason about
+    representations.
+
+    Examples
+    --------
+    >>> p = HallbergParams(10, 52)
+    >>> a = HallbergNumber.from_double(1.5, p)
+    >>> b = HallbergNumber.from_double(-0.5, p)
+    >>> (a + b).to_double()
+    1.0
+    """
+
+    __slots__ = ("_digits", "_params")
+
+    def __init__(self, digits: Sequence[int], params: HallbergParams) -> None:
+        digits = tuple(int(d) for d in digits)
+        if len(digits) != params.n:
+            raise ParameterError(
+                f"expected {params.n} digits for {params}, got {len(digits)}"
+            )
+        for d in digits:
+            if not hb.INT64_MIN <= d <= hb.INT64_MAX:
+                raise ParameterError(f"digit out of int64 range: {d}")
+        self._digits = digits
+        self._params = params
+
+    @classmethod
+    def zero(cls, params: HallbergParams) -> "HallbergNumber":
+        return cls((0,) * params.n, params)
+
+    @classmethod
+    def from_double(cls, x: float, params: HallbergParams) -> "HallbergNumber":
+        return cls(hb.hb_from_double(x, params), params)
+
+    @property
+    def digits(self) -> tuple[int, ...]:
+        return self._digits
+
+    @property
+    def params(self) -> HallbergParams:
+        return self._params
+
+    def to_double(self) -> float:
+        return hb.hb_to_double(self._digits, self._params)
+
+    def to_fraction(self) -> Fraction:
+        return Fraction(
+            hb.hb_to_int_scaled(self._digits, self._params), self._params.scale
+        )
+
+    def is_canonical(self) -> bool:
+        return hb.hb_is_canonical(self._digits, self._params)
+
+    def normalized(self) -> "HallbergNumber":
+        return HallbergNumber(
+            hb.hb_normalize(self._digits, self._params), self._params
+        )
+
+    def _coerce(self, other: object) -> "HallbergNumber":
+        if isinstance(other, HallbergNumber):
+            if other._params != self._params:
+                raise MixedParameterError(
+                    f"cannot combine {self._params} with {other._params}"
+                )
+            return other
+        if isinstance(other, (int, float)):
+            return HallbergNumber.from_double(float(other), self._params)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: object) -> "HallbergNumber":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return HallbergNumber(
+            hb.hb_add(self._digits, rhs._digits, self._params), self._params
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "HallbergNumber":
+        return HallbergNumber(tuple(-d for d in self._digits), self._params)
+
+    def __sub__(self, other: object) -> "HallbergNumber":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HallbergNumber):
+            return NotImplemented
+        return (
+            self._params == other._params
+            and hb.hb_to_int_scaled(self._digits, self._params)
+            == hb.hb_to_int_scaled(other._digits, other._params)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._params, hb.hb_to_int_scaled(self._digits, self._params))
+        )
+
+    def __repr__(self) -> str:
+        return f"HallbergNumber({self.to_double()!r}, {self._params})"

@@ -1,0 +1,107 @@
+"""Exact interoperation between the Hallberg and HP formats.
+
+Both formats denote dyadic rationals, so values migrate between them
+exactly whenever range and resolution suffice — useful for comparing the
+methods bit-for-bit in tests, and for upgrading Hallberg checkpoints
+(e.g. from an ocean-model restart file) into HP accumulators without a
+lossy trip through double precision.
+
+Conversions go through the exact scaled integer.  Hallberg→HP first
+normalizes (collapsing aliases), so any aliased digit vector of a value
+maps to the *one* HP word vector of that value — a compact statement of
+the paper's "eliminates aliasing" claim.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import HPParams
+from repro.core.scalar import Words, from_int_scaled, to_int_scaled
+from repro.errors import ConversionOverflowError
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import Digits, hb_to_int_scaled
+
+__all__ = [
+    "hallberg_to_hp",
+    "hp_to_hallberg",
+    "hp_params_covering",
+    "hallberg_params_covering",
+]
+
+
+def hallberg_to_hp(
+    digits: Digits,
+    source: HallbergParams,
+    target: HPParams,
+    allow_truncation: bool = False,
+) -> Words:
+    """Re-express a Hallberg digit vector (aliased or not) in HP words.
+
+    Exact when the target's range and resolution cover the value;
+    dropped fraction bits raise unless ``allow_truncation``.
+    """
+    scaled = hb_to_int_scaled(digits, source)
+    shift = target.frac_bits - source.frac_bits
+    if shift >= 0:
+        rescaled = scaled << shift
+    else:
+        mag = abs(scaled)
+        if (mag & ((1 << -shift) - 1)) and not allow_truncation:
+            raise ConversionOverflowError(
+                f"value has bits below {target} resolution; pass "
+                "allow_truncation=True to quantize toward zero"
+            )
+        mag >>= -shift
+        rescaled = -mag if scaled < 0 else mag
+    return from_int_scaled(rescaled, target)
+
+
+def hp_to_hallberg(
+    words: Words,
+    source: HPParams,
+    target: HallbergParams,
+    allow_truncation: bool = False,
+) -> Digits:
+    """Re-express an HP word vector as canonical Hallberg digits."""
+    scaled = to_int_scaled(words)
+    shift = target.frac_bits - source.frac_bits
+    if shift >= 0:
+        rescaled = scaled << shift
+    else:
+        mag = abs(scaled)
+        if (mag & ((1 << -shift) - 1)) and not allow_truncation:
+            raise ConversionOverflowError(
+                f"value has bits below {target} resolution; pass "
+                "allow_truncation=True to quantize toward zero"
+            )
+        mag >>= -shift
+        rescaled = -mag if scaled < 0 else mag
+    if abs(rescaled) >= 1 << (target.m * target.n):
+        raise ConversionOverflowError(f"value outside {target} range")
+    mask = (1 << target.m) - 1
+    mag = abs(rescaled)
+    sign = -1 if rescaled < 0 else 1
+    return tuple(
+        sign * ((mag >> (target.m * i)) & mask) for i in range(target.n)
+    )
+
+
+def hp_params_covering(source: HallbergParams, margin_words: int = 0) -> HPParams:
+    """The smallest HP format exactly containing every canonical value
+    of a Hallberg format.
+
+    >>> hp_params_covering(HallbergParams(10, 38))
+    HPParams(n=6, k=3)
+    """
+    k = -(-source.frac_bits // 64)
+    whole_words = -(-(source.whole_bits + 1) // 64)
+    return HPParams(whole_words + k + margin_words, k)
+
+
+def hallberg_params_covering(
+    source: HPParams, m: int = 52, margin_digits: int = 0
+) -> HallbergParams:
+    """A Hallberg format (per-digit width ``m``) containing every value
+    of an HP format."""
+    n_frac = -(-source.frac_bits // m)
+    n_whole = -(-(source.whole_bits + 1) // m)
+    return HallbergParams(n_frac + n_whole + margin_digits, m, n_frac=n_frac)

@@ -1,0 +1,154 @@
+"""Hallberg & Adcroft (2014) format parameters (paper Sec. II.B).
+
+A real number is represented as ``N`` *signed* 64-bit integers ``a_i``,
+each nominally holding ``M`` significant bits (``M < 63``), with value
+
+    ``r = sum_i a_i * 2**(M*(i - n_frac))``
+
+where ``n_frac`` words sit below the binary point (the paper's eq. (1)
+uses ``n_frac = N/2``; we keep it as an explicit parameter defaulting to
+``N // 2``).  The ``63 - M`` unused bits of each word are carry headroom:
+up to ``2**(63-M) - 1`` numbers can be added word-wise with *no* carry
+processing at all, which is the method's entire performance strategy.
+
+The cost is overhead (sign + carry bits in every word), aliasing (many
+word vectors denote the same real), and a hard a-priori summand budget —
+the three problems the HP method removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["HallbergParams", "TABLE2_CONFIGS", "equivalent_hallberg"]
+
+# The (N, M) rows of the paper's Table 2: near-equivalents of 512-bit HP.
+TABLE2_CONFIGS: tuple[tuple[int, int], ...] = ((10, 52), (12, 43), (14, 37))
+
+
+@dataclass(frozen=True)
+class HallbergParams:
+    """Format parameters of a Hallberg fixed-point number.
+
+    Parameters
+    ----------
+    n:
+        Number of signed 64-bit words (paper's ``N``).
+    m:
+        Significant bits per word (paper's ``M``), ``1 <= M <= 62``.
+    n_frac:
+        Words below the binary point; defaults to ``N // 2`` (eq. (1)).
+
+    Examples
+    --------
+    >>> p = HallbergParams(10, 52)
+    >>> p.precision_bits, p.max_summands
+    (520, 2047)
+    """
+
+    n: int
+    m: int
+    n_frac: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ParameterError(f"N must be >= 1, got {self.n}")
+        if not 1 <= self.m <= 62:
+            raise ParameterError(f"M must be in [1, 62], got {self.m}")
+        if self.n_frac == -1:
+            object.__setattr__(self, "n_frac", self.n // 2)
+        if not 0 <= self.n_frac <= self.n:
+            raise ParameterError(
+                f"n_frac must be in [0, N={self.n}], got {self.n_frac}"
+            )
+
+    # -- derived quantities (Table 2 columns) ------------------------------
+
+    @property
+    def precision_bits(self) -> int:
+        """Total value precision, ``N * M`` (Table 2 'Precision Bits')."""
+        return self.n * self.m
+
+    @property
+    def carry_bits(self) -> int:
+        """Headroom bits per word, ``63 - M`` (excludes the sign bit)."""
+        return 63 - self.m
+
+    @property
+    def max_summands(self) -> int:
+        """Guaranteed carry-free summand budget, ``2**(63-M) - 1``."""
+        return (1 << self.carry_bits) - 1
+
+    @property
+    def frac_bits(self) -> int:
+        """Bits below the binary point, ``M * n_frac``."""
+        return self.m * self.n_frac
+
+    @property
+    def whole_bits(self) -> int:
+        """Value bits above the binary point, ``M * (N - n_frac)``."""
+        return self.m * (self.n - self.n_frac)
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        """Magnitude bound of canonical (normalized) values."""
+        return float(2.0**self.whole_bits)
+
+    @property
+    def smallest(self) -> float:
+        """Smallest representable increment, ``2**(-M*n_frac)``."""
+        return float(2.0**-self.frac_bits)
+
+    @property
+    def storage_bits(self) -> int:
+        """Memory footprint in bits, ``64 * N`` — larger than
+        ``precision_bits`` because of the sign/carry overhead."""
+        return 64 * self.n
+
+    def table2_row(self) -> tuple[int, int, int, int]:
+        """One row of the paper's Table 2:
+        ``(N, M, precision_bits, max_summands)``."""
+        return (self.n, self.m, self.precision_bits, self.max_summands)
+
+    def __str__(self) -> str:
+        return f"Hallberg(N={self.n}, M={self.m})"
+
+
+def equivalent_hallberg(
+    precision_bits: int,
+    n_summands: int,
+    n_frac_ratio: float = 0.5,
+) -> HallbergParams:
+    """Pick the minimal Hallberg ``(N, M)`` matching an HP precision and a
+    summand budget — the construction behind the paper's Table 2.
+
+    Chooses the largest ``M`` whose carry headroom covers ``n_summands``
+    (``M = 63 - ceil(log2(n + 1))``), then the smallest ``N`` reaching the
+    requested precision.
+
+    >>> equivalent_hallberg(512, 2000).table2_row()
+    (10, 52, 520, 2047)
+    >>> equivalent_hallberg(512, 10**6).table2_row()
+    (12, 43, 516, 1048575)
+    >>> equivalent_hallberg(512, 6 * 10**7).table2_row()
+    (14, 37, 518, 67108863)
+    """
+    if precision_bits < 1:
+        raise ParameterError(f"precision_bits must be >= 1, got {precision_bits}")
+    if n_summands < 1:
+        raise ParameterError(f"n_summands must be >= 1, got {n_summands}")
+    carry_needed = n_summands.bit_length()  # 2**(63-M) - 1 >= n_summands
+    m = 63 - carry_needed
+    if m < 1:
+        raise ParameterError(
+            f"no M provides carry headroom for {n_summands} summands"
+        )
+    n = -(-precision_bits // m)  # ceil division
+    n_frac = round(n * n_frac_ratio)
+    return HallbergParams(n, m, n_frac)

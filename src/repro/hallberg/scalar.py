@@ -1,0 +1,171 @@
+"""Scalar Hallberg conversion, addition and normalization.
+
+Digit convention: ``digits[i]`` is the coefficient of ``2**(M*(i - n_frac))``
+with ``i = 0`` the **least significant** word, matching the paper's
+eq. (1).  Digits are signed Python ints kept within ``int64``; conversion
+produces digits of magnitude ``< 2**M`` that all share the sign of the
+input (the greedy truncating decomposition of Hallberg & Adcroft, costing
+2N FP multiplies + N FP adds in the original C — Sec. IV.A).
+
+Addition is the method's selling point: plain word-wise integer addition
+with **no carry logic at all**, valid for up to ``2**(63-M) - 1``
+summands.  The price is paid at the end: a normalization pass must fold
+the accumulated carries back into canonical digits before the value can
+be read out — and many distinct digit vectors alias the same real number
+until that happens.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    ConversionOverflowError,
+    MixedParameterError,
+    NormalizationOverflowError,
+)
+from repro.hallberg.params import HallbergParams
+
+__all__ = [
+    "hb_from_double",
+    "hb_from_double_floatloop",
+    "hb_to_double",
+    "hb_to_int_scaled",
+    "hb_add",
+    "hb_normalize",
+    "hb_is_canonical",
+    "INT64_MIN",
+    "INT64_MAX",
+]
+
+Digits = tuple[int, ...]
+
+INT64_MAX = (1 << 63) - 1
+INT64_MIN = -(1 << 63)
+
+
+def _check_width(digits: Sequence[int], params: HallbergParams) -> None:
+    if len(digits) != params.n:
+        raise MixedParameterError(
+            f"digit vector has {len(digits)} words, {params} expects {params.n}"
+        )
+
+
+def hb_from_double(x: float, params: HallbergParams) -> Digits:
+    """Convert a double to Hallberg digits via exact integer arithmetic.
+
+    Equivalent to the float-loop reference (:func:`hb_from_double_floatloop`)
+    on every input; bits below the resolution truncate toward zero.
+    """
+    if x != x or x in (float("inf"), float("-inf")):
+        raise ConversionOverflowError(f"cannot convert {x!r} to Hallberg format")
+    if x == 0.0:
+        return (0,) * params.n
+    num, den = abs(x).as_integer_ratio()
+    scaled = (num << params.frac_bits) // den
+    if scaled >= 1 << (params.m * params.n):
+        raise ConversionOverflowError(f"{x!r} outside {params} range")
+    mask = (1 << params.m) - 1
+    sign = -1 if x < 0 else 1
+    return tuple(
+        sign * ((scaled >> (params.m * i)) & mask) for i in range(params.n)
+    )
+
+
+def hb_from_double_floatloop(x: float, params: HallbergParams) -> Digits:
+    """The original greedy float-loop conversion (reference semantics).
+
+    Walks words from most to least significant, truncating the remainder
+    at each level: ``a_i = trunc(rem * 2**-w_i); rem -= a_i * 2**w_i``.
+    All steps are exact in IEEE double for in-range inputs (power-of-two
+    scaling plus a high-bit-cancelling subtraction).
+    """
+    if x != x or x in (float("inf"), float("-inf")):
+        raise ConversionOverflowError(f"cannot convert {x!r} to Hallberg format")
+    digits = [0] * params.n
+    rem = x
+    for i in range(params.n - 1, -1, -1):
+        weight = params.m * (i - params.n_frac)
+        scaled = rem * 2.0**-weight
+        if i == params.n - 1 and abs(scaled) >= 2.0**params.m:
+            raise ConversionOverflowError(f"{x!r} outside {params} range")
+        digit = int(scaled)  # C-style truncation toward zero
+        digits[i] = digit
+        rem -= digit * 2.0**weight
+    return tuple(digits)
+
+
+def hb_add(a: Sequence[int], b: Sequence[int], params: HallbergParams) -> Digits:
+    """Word-wise carry-free addition (the whole method).
+
+    The caller is responsible for the summand budget; this function
+    raises only if a word actually leaves ``int64``, which is the
+    "catastrophic overflow" the paper warns about when the budget is
+    miscounted (Sec. II.B).
+    """
+    _check_width(a, params)
+    _check_width(b, params)
+    out = []
+    for x, y in zip(a, b):
+        s = x + y
+        if not INT64_MIN <= s <= INT64_MAX:
+            raise NormalizationOverflowError(
+                "Hallberg word overflowed int64: summand budget exceeded "
+                f"(M={params.m} allows {params.max_summands} summands)"
+            )
+        out.append(s)
+    return tuple(out)
+
+
+def hb_to_int_scaled(digits: Sequence[int], params: HallbergParams) -> int:
+    """Exact underlying integer ``value * 2**frac_bits`` (alias-free)."""
+    _check_width(digits, params)
+    return sum(d << (params.m * i) for i, d in enumerate(digits))
+
+
+def hb_to_double(digits: Sequence[int], params: HallbergParams) -> float:
+    """Normalize and convert to the nearest double.
+
+    This is the point where the Hallberg representation pays its deferred
+    costs: the aliased digit vector must be collapsed to a single exact
+    integer before rounding.
+    """
+    scaled = hb_to_int_scaled(digits, params)
+    try:
+        return scaled / params.scale
+    except OverflowError as exc:
+        raise NormalizationOverflowError(
+            "Hallberg value exceeds double-precision range"
+        ) from exc
+
+
+def hb_normalize(digits: Sequence[int], params: HallbergParams) -> Digits:
+    """Collapse an aliased digit vector to the canonical representation.
+
+    Canonical means: all digits share one sign and each magnitude is
+    ``< 2**M`` — the form conversion produces.  Raises
+    :class:`NormalizationOverflowError` if the value no longer fits the
+    format (top digit would exceed ``M`` bits).
+    """
+    scaled = hb_to_int_scaled(digits, params)
+    if abs(scaled) >= 1 << (params.m * params.n):
+        raise NormalizationOverflowError(
+            f"normalized value exceeds {params} range"
+        )
+    mask = (1 << params.m) - 1
+    mag = abs(scaled)
+    sign = -1 if scaled < 0 else 1
+    return tuple(
+        sign * ((mag >> (params.m * i)) & mask) for i in range(params.n)
+    )
+
+
+def hb_is_canonical(digits: Sequence[int], params: HallbergParams) -> bool:
+    """True if the vector is in the canonical (alias-free) form."""
+    _check_width(digits, params)
+    limit = 1 << params.m
+    has_pos = any(d > 0 for d in digits)
+    has_neg = any(d < 0 for d in digits)
+    if has_pos and has_neg:
+        return False
+    return all(abs(d) < limit for d in digits)

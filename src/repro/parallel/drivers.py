@@ -1,0 +1,160 @@
+"""One-call global summation across any method and substrate.
+
+The facade a downstream application actually wants::
+
+    from repro.parallel import global_sum
+    result = global_sum(data, method="hp", substrate="mpi", pes=16)
+    result.value        # correctly-rounded double
+    result.words        # the invariant bit pattern (exact methods)
+
+It normalizes the per-substrate result types, so sweeping substrates or
+PE counts for reproducibility checks is one loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.parallel.methods import (
+    DoubleMethod,
+    HallbergMethod,
+    HPMethod,
+    ReductionMethod,
+)
+from repro.parallel.phi import offload_reduce
+from repro.parallel.schedule import Schedule, scheduled_reduce
+from repro.parallel.simmpi import distributed_sum, mpi_reduce
+from repro.parallel.threads import thread_reduce
+
+__all__ = ["GlobalSumResult", "global_sum", "SUBSTRATES", "make_method"]
+
+SUBSTRATES = ("serial", "threads", "mpi", "mpi-scatter", "gpu", "phi")
+
+
+@dataclass(frozen=True)
+class GlobalSumResult:
+    """Normalized outcome of a global summation."""
+
+    value: float
+    method: str
+    substrate: str
+    pes: int
+    #: exact bit pattern (HP words / Hallberg digits); None for double
+    words: tuple | None
+
+    def bitwise_equal(self, other: "GlobalSumResult") -> bool:
+        """True when two runs produced the same exact bit pattern."""
+        return self.words is not None and self.words == other.words
+
+
+def make_method(
+    method: str | ReductionMethod,
+    params: HPParams | HallbergParams | None = None,
+) -> ReductionMethod:
+    """Resolve a method name to an adapter (paper defaults when no
+    params are given: HP(6,3), Hallberg(10,38))."""
+    if isinstance(method, ReductionMethod):
+        return method
+    if method == "double":
+        return DoubleMethod()
+    if method == "hp":
+        if params is not None and not isinstance(params, HPParams):
+            raise TypeError(f"hp needs HPParams, got {type(params).__name__}")
+        return HPMethod(params or HPParams(6, 3))
+    if method == "hallberg":
+        if params is not None and not isinstance(params, HallbergParams):
+            raise TypeError(
+                f"hallberg needs HallbergParams, got {type(params).__name__}"
+            )
+        return HallbergMethod(params or HallbergParams(10, 38))
+    raise ValueError(f"unknown method {method!r}; pick hp/hallberg/double")
+
+
+def _extract_words(method: ReductionMethod, partial: Any) -> tuple | None:
+    if isinstance(method, HPMethod):
+        return tuple(partial)
+    if isinstance(method, HallbergMethod):
+        return tuple(partial[0])
+    return None
+
+
+def global_sum(
+    data: np.ndarray,
+    method: str | ReductionMethod = "hp",
+    substrate: str = "serial",
+    pes: int = 1,
+    params: HPParams | HallbergParams | None = None,
+    schedule: Schedule | None = None,
+    **kwargs: Any,
+) -> GlobalSumResult:
+    """Sum ``data`` with ``method`` on ``substrate`` using ``pes`` PEs.
+
+    Substrates: ``serial`` (one PE), ``threads`` (OpenMP analog, accepts
+    ``schedule=``), ``mpi`` (pre-placed ranks), ``mpi-scatter``
+    (root-held data, full SPMD), ``gpu`` (atomic-kernel device
+    simulation — small inputs only), ``phi`` (offload).  Extra kwargs
+    pass through to the substrate driver.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    adapter = make_method(method, params)
+    name = adapter.name
+
+    if substrate == "serial":
+        partial = adapter.local_reduce(data)
+        value = adapter.finalize(partial)
+        pes = 1
+    elif substrate == "threads":
+        if schedule is not None:
+            value = scheduled_reduce(data, adapter, pes, schedule)
+            partial = adapter.local_reduce(data)  # exact: same words
+            if not adapter.is_exact():
+                partial = None
+        else:
+            r = thread_reduce(data, adapter, pes, **kwargs)
+            value, partial = r.value, r.partial
+    elif substrate == "mpi":
+        r = mpi_reduce(data, adapter, pes, **kwargs)
+        value, partial = r.value, r.partial
+    elif substrate == "mpi-scatter":
+        value, partial, _comm = distributed_sum(data, adapter, pes, **kwargs)
+    elif substrate == "gpu":
+        from repro.core.scalar import add_words
+        from repro.parallel.gpu import gpu_sum
+
+        if name == "double":
+            g = gpu_sum(data, "double", num_threads=pes, **kwargs)
+            value, partial = g.value, None
+        else:
+            g = gpu_sum(data, name, num_threads=pes,
+                        params=adapter.params, **kwargs)
+            value = g.value
+            if name == "hp":
+                total = (0,) * adapter.params.n
+                for part in g.partials:
+                    total = add_words(total, part)
+                partial = total
+            else:
+                digits = [0] * adapter.params.n
+                for part in g.partials:
+                    for i, d in enumerate(part):
+                        digits[i] += d
+                partial = (tuple(digits), len(data))
+    elif substrate == "phi":
+        r = offload_reduce(data, adapter, pes, **kwargs)
+        value, partial = r.value, r.partial
+    else:
+        raise ValueError(
+            f"unknown substrate {substrate!r}; pick one of {SUBSTRATES}"
+        )
+
+    words = None
+    if partial is not None and adapter.is_exact():
+        words = _extract_words(adapter, partial)
+    return GlobalSumResult(
+        value=value, method=name, substrate=substrate, pes=pes, words=words
+    )

@@ -1,0 +1,44 @@
+"""Simulated CUDA substrate (Fig. 7): a device with transaction-counted
+global memory, a residency-limited thread scheduler, and the paper's
+atomic 256-partial summation kernels for double, HP and Hallberg."""
+
+from repro.parallel.gpu.block_reduce import (
+    BlockSumResult,
+    SpinBarrier,
+    gpu_block_sum,
+    launch_blocks,
+)
+from repro.parallel.gpu.device import (
+    K20M_MAX_CONCURRENT_THREADS,
+    KernelRun,
+    SimDevice,
+)
+from repro.parallel.gpu.kernels import (
+    GPUSumResult,
+    NUM_PARTIALS,
+    double_kernel,
+    gpu_sum,
+    gpu_sum_fast,
+    hallberg_kernel,
+    hp_kernel,
+)
+from repro.parallel.gpu.memory import DeviceMemory, MemoryStats
+
+__all__ = [
+    "SimDevice",
+    "SpinBarrier",
+    "gpu_block_sum",
+    "BlockSumResult",
+    "launch_blocks",
+    "DeviceMemory",
+    "MemoryStats",
+    "KernelRun",
+    "K20M_MAX_CONCURRENT_THREADS",
+    "NUM_PARTIALS",
+    "GPUSumResult",
+    "gpu_sum",
+    "gpu_sum_fast",
+    "double_kernel",
+    "hp_kernel",
+    "hallberg_kernel",
+]

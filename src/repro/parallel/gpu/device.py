@@ -1,0 +1,116 @@
+"""Simulated GPU device: thread scheduler with a concurrency ceiling.
+
+Kernels are Python generators that ``yield`` once per device "step"
+(memory transaction or synchronization point).  The device interleaves
+all resident threads step-by-step, which makes CAS contention real: a
+thread's ``load`` and its ``cas`` are separated by other threads'
+operations, so conflicting updates genuinely retry.
+
+The scheduler enforces a **maximum resident thread count** — the Tesla
+K20m runs at most 2496 concurrent threads, which is why every curve in
+Fig. 7 plateaus beyond 2048 launched threads: extra threads wait for a
+resident thread to retire.  The interleaving order rotates each step so
+no thread is systematically favoured, keeping runs deterministic but
+adversarial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable
+
+import numpy as np
+
+from repro.parallel.gpu.memory import DeviceMemory, MemoryStats
+
+__all__ = ["SimDevice", "KernelRun", "K20M_MAX_CONCURRENT_THREADS"]
+
+# Tesla K20m: 13 SMX * 192 cores; the paper cites 2496 concurrent threads.
+K20M_MAX_CONCURRENT_THREADS = 2496
+
+Kernel = Generator[None, None, None]
+
+
+@dataclass
+class KernelRun:
+    """Execution record of one kernel launch."""
+
+    launched_threads: int
+    steps: int
+    max_resident: int
+    memory: MemoryStats
+
+    @property
+    def occupancy_limited(self) -> bool:
+        """True when more threads were launched than could be resident —
+        the Fig. 7 plateau regime."""
+        return self.launched_threads > self.max_resident
+
+
+class SimDevice:
+    """A GPU-like device executing generator kernels.
+
+    Parameters
+    ----------
+    memory_words:
+        Size of global memory in 64-bit words.
+    max_concurrent_threads:
+        Residency ceiling (default: the K20m's 2496).
+    """
+
+    def __init__(
+        self,
+        memory_words: int,
+        max_concurrent_threads: int = K20M_MAX_CONCURRENT_THREADS,
+        schedule_seed: int | None = None,
+    ) -> None:
+        """``schedule_seed`` switches the scheduler from rotating
+        round-robin to a seeded random interleaving — an adversarial
+        mode for fuzzing: exact kernels must produce identical results
+        under *every* interleaving, so tests sweep seeds."""
+        if max_concurrent_threads <= 0:
+            raise ValueError(
+                f"need >= 1 resident thread, got {max_concurrent_threads}"
+            )
+        self.memory = DeviceMemory(memory_words)
+        self.max_concurrent_threads = max_concurrent_threads
+        self._rng = (
+            np.random.default_rng(schedule_seed)
+            if schedule_seed is not None
+            else None
+        )
+
+    def launch(self, kernels: Iterable[Kernel]) -> KernelRun:
+        """Run kernels to completion under rotating round-robin
+        interleaving with the residency ceiling applied."""
+        waiting = list(kernels)
+        launched = len(waiting)
+        resident: list[Kernel] = []
+        steps = 0
+        rotation = 0
+        while waiting or resident:
+            while waiting and len(resident) < self.max_concurrent_threads:
+                resident.append(waiting.pop(0))
+            if self._rng is not None:
+                # Adversarial mode: a fresh random service order each step.
+                order = [resident[i] for i in self._rng.permutation(len(resident))]
+            else:
+                # Rotate the service order each step so contention outcomes
+                # don't privilege low thread ids.
+                order = resident[rotation % len(resident):] + resident[: rotation % len(resident)]
+                rotation += 1
+            finished: list[Kernel] = []
+            for thread in order:
+                try:
+                    next(thread)
+                    steps += 1
+                except StopIteration:
+                    finished.append(thread)
+            for thread in finished:
+                resident.remove(thread)
+        return KernelRun(
+            launched_threads=launched,
+            steps=steps,
+            max_resident=self.max_concurrent_threads,
+            memory=self.memory.stats,
+        )

@@ -1,0 +1,96 @@
+"""Simulated GPU global memory with transaction accounting.
+
+A flat address space of 64-bit cells.  The only primitives are ``load``,
+``store`` and ``cas`` — matching what the paper's CUDA kernel uses — and
+every call is counted, because the Sec. IV.B analysis of Fig. 7 is a
+memory-op argument: an HP add touches at least ``1 + N`` reads and ``N``
+writes ("seven 64-bit words ... and writes of six" for N=6) versus 2+1
+for a double, predicting a >=4.3x slowdown, "although the effect of the
+atomic updates cannot be ignored" — which the CAS failure counter makes
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bits import MASK64
+
+__all__ = ["DeviceMemory", "MemoryStats"]
+
+
+@dataclass
+class MemoryStats:
+    """Transaction counters for one kernel execution."""
+
+    loads: int = 0
+    stores: int = 0
+    cas_attempts: int = 0
+    cas_failures: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Read transactions, counted the way the paper's Fig. 7 analysis
+        counts them: explicit loads, plus failed CAS attempts (which
+        return the fresh cell value to the thread)."""
+        return self.loads + self.cas_failures
+
+    @property
+    def writes(self) -> int:
+        """Write transactions: stores plus successful CAS commits."""
+        return self.stores + (self.cas_attempts - self.cas_failures)
+
+    def reset(self) -> None:
+        self.loads = self.stores = self.cas_attempts = self.cas_failures = 0
+
+
+class DeviceMemory:
+    """Word-addressable 64-bit global memory."""
+
+    def __init__(self, num_words: int) -> None:
+        if num_words <= 0:
+            raise ValueError(f"memory needs >= 1 word, got {num_words}")
+        self._cells = [0] * num_words
+        self.stats = MemoryStats()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < len(self._cells):
+            raise IndexError(f"address {addr} outside [0, {len(self._cells)})")
+
+    def load(self, addr: int) -> int:
+        self._check(addr)
+        self.stats.loads += 1
+        return self._cells[addr]
+
+    def store(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self.stats.stores += 1
+        self._cells[addr] = value & MASK64
+
+    def cas(self, addr: int, expected: int, new: int) -> tuple[bool, int]:
+        """Compare-and-swap returning ``(success, observed)`` like CUDA's
+        ``atomicCAS`` (the observed value lets retry loops proceed with
+        no extra load).  A success counts as one write; a failure counts
+        as one read (the fresh value came back to the thread)."""
+        self._check(addr)
+        self.stats.cas_attempts += 1
+        observed = self._cells[addr]
+        if observed == (expected & MASK64):
+            self._cells[addr] = new & MASK64
+            return True, observed
+        self.stats.cas_failures += 1
+        return False, observed
+
+    def peek(self, addr: int) -> int:
+        """Debug read that bypasses the transaction counters."""
+        self._check(addr)
+        return self._cells[addr]
+
+    def dump(self, start: int, count: int) -> list[int]:
+        """Uncounted bulk read (the host-side copy-back at quiescence)."""
+        self._check(start)
+        self._check(start + count - 1)
+        return self._cells[start : start + count]

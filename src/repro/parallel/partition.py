@@ -1,0 +1,54 @@
+"""Workload partitioning across processing elements.
+
+All of the paper's Sec. IV.B benchmarks use the same structure: ``n``
+summands distributed over ``p`` PEs, a local reduction per PE, then a
+global reduction of the ``p`` partials.  Order invariance means any
+partition gives bit-identical HP results; these helpers produce the two
+layouts the paper uses (contiguous blocks for OpenMP/MPI/Phi, modular
+round-robin for the CUDA kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_ranges", "block_slices", "round_robin_indices"]
+
+
+def block_ranges(n: int, p: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``p`` contiguous near-equal blocks.
+
+    The first ``n % p`` blocks get one extra element (the standard MPI
+    block distribution).  Empty blocks are allowed when ``p > n``.
+
+    >>> block_ranges(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if p <= 0:
+        raise ValueError(f"need at least one PE, got {p}")
+    if n < 0:
+        raise ValueError(f"negative workload size: {n}")
+    base, extra = divmod(n, p)
+    ranges = []
+    start = 0
+    for rank in range(p):
+        stop = start + base + (1 if rank < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def block_slices(data: np.ndarray, p: int) -> list[np.ndarray]:
+    """Views (not copies) of ``data`` for each PE's block."""
+    return [data[lo:hi] for lo, hi in block_ranges(len(data), p)]
+
+
+def round_robin_indices(n: int, t: int, num_targets: int) -> np.ndarray:
+    """Indices of the elements thread ``t`` owns under the CUDA layout:
+    element ``i`` is handled by thread ``i mod num_threads``; here we
+    return thread ``t``'s elements.  The paper's kernel then folds thread
+    ``t``'s contributions into partial sum ``t mod 256``.
+    """
+    if not 0 <= t < num_targets:
+        raise ValueError(f"thread id {t} outside [0, {num_targets})")
+    return np.arange(t, n, num_targets)

@@ -1,0 +1,10 @@
+"""Xeon Phi-analog offload substrate (Fig. 8)."""
+
+from repro.parallel.phi.offload import (
+    OffloadResult,
+    OffloadStats,
+    PHI_MAX_THREADS,
+    offload_reduce,
+)
+
+__all__ = ["OffloadResult", "OffloadStats", "PHI_MAX_THREADS", "offload_reduce"]

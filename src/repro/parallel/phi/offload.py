@@ -1,0 +1,113 @@
+"""Xeon Phi-analog substrate: heterogeneous offload execution (Fig. 8).
+
+The paper's Phi benchmark uses the offload programming model: the host
+ships the summand array to the coprocessor, a team of device threads
+computes partial sums, and results return to the host.  The defining
+performance feature is that "runtimes for all three summation methods are
+dominated by the data transfer times between the host CPU and device for
+high thread counts" — so this substrate makes the transfer an explicit,
+accounted phase rather than a hidden cost.
+
+Numerically the offload is just the fork/join reduction again (bytes in,
+bytes out, identical partials), which is the architecture-invariance
+claim: the same HP words come back from the "device" as from every other
+substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+import numpy as np
+
+from repro.parallel.methods import ReductionMethod
+from repro.parallel.partition import block_ranges
+
+P = TypeVar("P")
+
+__all__ = ["OffloadStats", "OffloadResult", "offload_reduce", "PHI_MAX_THREADS"]
+
+#: Xeon Phi 5110P: 60 cores x 4 hardware threads, 240 usable in offload.
+PHI_MAX_THREADS = 240
+
+
+@dataclass
+class OffloadStats:
+    """Accounting of one offload transaction."""
+
+    bytes_to_device: int = 0
+    bytes_from_device: int = 0
+    offload_launches: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_device + self.bytes_from_device
+
+
+@dataclass
+class OffloadResult(Generic[P]):
+    """Outcome of an offloaded reduction."""
+
+    value: float
+    partial: P
+    num_threads: int
+    stats: OffloadStats
+
+
+class _SimCoprocessor:
+    """The 'device side' of the offload: receives raw bytes, reinterprets
+    them as the summand array, and runs the thread-team reduction."""
+
+    def __init__(self, max_threads: int = PHI_MAX_THREADS) -> None:
+        self.max_threads = max_threads
+
+    def run(
+        self, payload: bytes, method: ReductionMethod[P], num_threads: int
+    ) -> P:
+        if num_threads > self.max_threads:
+            raise ValueError(
+                f"device supports at most {self.max_threads} threads, "
+                f"got {num_threads}"
+            )
+        data = np.frombuffer(payload, dtype="<f8")
+        partials = [
+            method.local_reduce(data[lo:hi])
+            for lo, hi in block_ranges(len(data), num_threads)
+        ]
+        total = method.identity()
+        for part in partials:
+            total = method.combine(total, part)
+        return total
+
+
+def offload_reduce(
+    data: np.ndarray,
+    method: ReductionMethod[P],
+    num_threads: int,
+    max_threads: int = PHI_MAX_THREADS,
+) -> OffloadResult[P]:
+    """Fig. 8 skeleton: ship the array to the device, reduce there with a
+    ``num_threads``-way team, return the partial to the host.
+
+    The input crosses the host/device boundary as little-endian bytes
+    (both directions are byte-counted), so the device computation can
+    share nothing with the host but the wire format — the same constraint
+    a real PCIe offload has.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    stats = OffloadStats()
+    payload = data.astype("<f8").tobytes()
+    stats.bytes_to_device += len(payload)
+    stats.offload_launches += 1
+
+    device = _SimCoprocessor(max_threads=max_threads)
+    partial = device.run(payload, method, num_threads)
+
+    stats.bytes_from_device += method.partial_nbytes()
+    return OffloadResult(
+        value=method.finalize(partial),
+        partial=partial,
+        num_threads=num_threads,
+        stats=stats,
+    )

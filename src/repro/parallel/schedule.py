@@ -1,0 +1,128 @@
+"""OpenMP-style loop scheduling policies for the thread substrate.
+
+The paper's OpenMP benchmark uses the default static schedule; real
+codes also run ``schedule(static, chunk)``, ``dynamic`` and ``guided``,
+all of which assign *different* element subsets to each thread.  With
+double precision that changes the answer — the schedule becomes part of
+the numerical result.  With the HP method it cannot: these policies
+exist so the test suite can prove schedule-independence, the strongest
+practical form of the paper's order-invariance claim.
+
+Each policy maps ``(n, num_threads)`` to per-thread lists of index
+blocks, mirroring the OpenMP 4.5 semantics:
+
+* ``static``          — contiguous near-equal blocks (the paper's setup);
+* ``static,chunk``    — fixed-size chunks dealt round-robin;
+* ``dynamic,chunk``   — chunks claimed first-come-first-served by a
+  deterministic simulated clock (thread with the least assigned work
+  claims next, ties to lower id);
+* ``guided,chunk``    — exponentially shrinking chunks, claimed the
+  same way, never smaller than ``chunk``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.methods import ReductionMethod
+from repro.parallel.partition import block_ranges
+
+__all__ = ["Schedule", "assign_blocks", "scheduled_reduce"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A loop schedule: ``kind`` in {static, dynamic, guided} plus an
+    optional chunk size (``None`` = the OpenMP default for the kind)."""
+
+    kind: str = "static"
+    chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+
+    def __str__(self) -> str:
+        return self.kind if self.chunk is None else f"{self.kind},{self.chunk}"
+
+
+def _chunks(n: int, schedule: Schedule, p: int) -> list[tuple[int, int]]:
+    """The ordered chunk list the scheduler deals out."""
+    if schedule.kind == "static":
+        if schedule.chunk is None:
+            return block_ranges(n, p)
+        step = schedule.chunk
+        return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+    if schedule.kind == "dynamic":
+        step = schedule.chunk or 1
+        return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+    # guided: chunk ~ remaining / p, floored at the minimum chunk.
+    minimum = schedule.chunk or 1
+    out = []
+    lo = 0
+    while lo < n:
+        size = max((n - lo + p - 1) // p, minimum)
+        out.append((lo, min(lo + size, n)))
+        lo += size
+    return out
+
+
+def assign_blocks(
+    n: int, num_threads: int, schedule: Schedule
+) -> list[list[tuple[int, int]]]:
+    """Per-thread index blocks under the given policy.
+
+    Deterministic: dynamic/guided claims are resolved by a simulated
+    clock where the thread with the least total assigned work claims the
+    next chunk (ties to the lower thread id) — the idealized behaviour
+    of a work queue with uniform per-element cost.
+    """
+    if num_threads < 1:
+        raise ValueError(f"need >= 1 thread, got {num_threads}")
+    chunks = _chunks(n, schedule, num_threads)
+    blocks: list[list[tuple[int, int]]] = [[] for _ in range(num_threads)]
+    if schedule.kind == "static":
+        if schedule.chunk is None:
+            for tid, rng in enumerate(chunks):
+                blocks[tid % num_threads].append(rng)
+        else:
+            for i, rng in enumerate(chunks):  # round-robin dealing
+                blocks[i % num_threads].append(rng)
+        return blocks
+    # dynamic / guided: least-loaded-first claims.
+    heap = [(0, tid) for tid in range(num_threads)]
+    heapq.heapify(heap)
+    for rng in chunks:
+        load, tid = heapq.heappop(heap)
+        blocks[tid].append(rng)
+        heapq.heappush(heap, (load + (rng[1] - rng[0]), tid))
+    return blocks
+
+
+def scheduled_reduce(
+    data: np.ndarray,
+    method: ReductionMethod,
+    num_threads: int,
+    schedule: Schedule = Schedule(),
+) -> Any:
+    """Global summation under an arbitrary schedule.
+
+    Each thread reduces its blocks in claim order into a thread partial;
+    the master combines partials in thread-id order — the OpenMP
+    reduction clause's structure.  Returns the finalized double.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    assignment = assign_blocks(len(data), num_threads, schedule)
+    total = method.identity()
+    for thread_blocks in assignment:
+        partial = method.identity()
+        for lo, hi in thread_blocks:
+            partial = method.combine(partial, method.local_reduce(data[lo:hi]))
+        total = method.combine(total, partial)
+    return method.finalize(total)

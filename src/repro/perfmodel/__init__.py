@@ -1,0 +1,87 @@
+"""Analytic performance models reproducing the paper's Figs. 4-8.
+
+``costs`` holds the Sec. IV.A operation counts, ``machines`` the three
+testbed descriptions (with documented calibration), ``model`` the
+eqs. (3)-(6) block-cost analysis, and ``scaling`` the four per-figure
+strong-scaling models.
+"""
+
+from repro.perfmodel.calibration import Anchor, calibration_anchors, render_calibration
+from repro.perfmodel.costs import (
+    MemTraffic,
+    OpCounts,
+    double_mem,
+    double_ops,
+    hallberg_mem,
+    hallberg_ops,
+    hp_mem,
+    hp_ops,
+)
+from repro.perfmodel.machines import (
+    GPU,
+    Coprocessor,
+    Machine,
+    TESLA_K20M,
+    XEON_PHI_5110P,
+    XEON_X5650,
+)
+from repro.perfmodel.model import (
+    Fig4Point,
+    fig4_model_sweep,
+    hallberg_blocks,
+    hallberg_time,
+    hp_blocks,
+    hp_time,
+    per_summand_seconds,
+    speedup_bound_eq5,
+    speedup_bound_eq6,
+    speedup_eq4,
+)
+from repro.perfmodel.scaling import (
+    MethodSpec,
+    cuda_time,
+    efficiency,
+    mpi_time,
+    openmp_time,
+    phi_time,
+    scaling_series,
+    standard_specs,
+)
+
+__all__ = [
+    "Anchor",
+    "calibration_anchors",
+    "render_calibration",
+    "OpCounts",
+    "MemTraffic",
+    "hp_ops",
+    "hallberg_ops",
+    "double_ops",
+    "hp_mem",
+    "hallberg_mem",
+    "double_mem",
+    "Machine",
+    "GPU",
+    "Coprocessor",
+    "XEON_X5650",
+    "TESLA_K20M",
+    "XEON_PHI_5110P",
+    "hp_blocks",
+    "hallberg_blocks",
+    "per_summand_seconds",
+    "hp_time",
+    "hallberg_time",
+    "speedup_eq4",
+    "speedup_bound_eq5",
+    "speedup_bound_eq6",
+    "Fig4Point",
+    "fig4_model_sweep",
+    "MethodSpec",
+    "standard_specs",
+    "openmp_time",
+    "mpi_time",
+    "cuda_time",
+    "phi_time",
+    "efficiency",
+    "scaling_series",
+]

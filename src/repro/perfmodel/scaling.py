@@ -1,0 +1,212 @@
+"""Strong-scaling models for the four parallel environments (Figs. 5-8).
+
+Each model returns wall-clock seconds for a global sum of ``n`` summands
+on ``p`` PEs with one of the three methods.  The structural terms encode
+the explanation the paper gives for each figure:
+
+* **OpenMP** (Fig. 5): compute scales with threads, but the double loop
+  is memory-bandwidth-bound across sockets, so its efficiency collapses
+  while the compute-bound fixed-point methods stay near perfect — "this
+  increased cost is amortized effectively".
+* **MPI** (Fig. 6): same cores, plus ``log2(p)`` reduction rounds of
+  interconnect latency; again only the cheap method notices.
+* **CUDA** (Fig. 7): per-thread step costs shrink with resident threads
+  until the K20m's 2496-thread ceiling, then plateau; ratios follow the
+  memory-op counts (>= 4.3x for HP), softened/hardened by contention on
+  the 256 shared partials (an HP partial admits N concurrent lockers).
+* **Xeon Phi** (Fig. 8): a fixed offload latency plus PCIe transfer
+  dominates at high thread counts; the vectorized native-double loop
+  makes the single-thread gap huge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.perfmodel.costs import MemTraffic, double_mem, hallberg_mem, hp_mem
+from repro.perfmodel.machines import (
+    GPU,
+    Coprocessor,
+    Machine,
+    TESLA_K20M,
+    XEON_PHI_5110P,
+    XEON_X5650,
+)
+from repro.perfmodel.model import per_summand_seconds
+
+__all__ = [
+    "MethodSpec",
+    "standard_specs",
+    "openmp_time",
+    "mpi_time",
+    "cuda_time",
+    "phi_time",
+    "efficiency",
+    "scaling_series",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """What the scaling models need to know about a method."""
+
+    name: str            # "double" | "hp" | "hallberg"
+    words: int           # words per partial (1 for double)
+    traffic: MemTraffic  # GPU memory ops per accumulate
+
+    @classmethod
+    def double(cls) -> "MethodSpec":
+        return cls("double", 1, double_mem())
+
+    @classmethod
+    def hp(cls, params: HPParams) -> "MethodSpec":
+        return cls("hp", params.n, hp_mem(params))
+
+    @classmethod
+    def hallberg(cls, params: HallbergParams) -> "MethodSpec":
+        return cls("hallberg", params.n, hallberg_mem(params))
+
+
+def standard_specs(
+    hp_params: HPParams | None = None,
+    hb_params: HallbergParams | None = None,
+) -> list[MethodSpec]:
+    """The Fig. 5-8 trio: double, HP(6,3), Hallberg(10,38)."""
+    return [
+        MethodSpec.double(),
+        MethodSpec.hp(hp_params or HPParams(6, 3)),
+        MethodSpec.hallberg(hb_params or HallbergParams(10, 38)),
+    ]
+
+
+def _compute_time(n: int, p: int, spec: MethodSpec, machine: Machine) -> float:
+    return (n / p) * per_summand_seconds(spec.name, spec.words, machine)
+
+
+def _bandwidth_time(n: int, p: int, spec: MethodSpec, machine: Machine) -> float:
+    """Streaming-bandwidth floor for the summand array, shared per socket.
+
+    Only the double loop ever hits this floor: the fixed-point methods do
+    enough arithmetic per 8-byte summand to stay compute-bound.
+    """
+    threads_per_socket = machine.cores_per_socket
+    sockets_used = min(machine.sockets, math.ceil(p / threads_per_socket))
+    bw = machine.socket_mem_bw_gbps * 1e9 * sockets_used
+    return (n * 8) / bw
+
+
+def openmp_time(
+    n: int,
+    p: int,
+    spec: MethodSpec,
+    machine: Machine = XEON_X5650,
+) -> float:
+    """Fig. 5 model: max(compute, bandwidth floor) + fork/join + master
+    reduction of ``p`` partials."""
+    if p <= 0:
+        raise ValueError(f"need >= 1 thread, got {p}")
+    compute = _compute_time(n, p, spec, machine)
+    floor = _bandwidth_time(n, p, spec, machine)
+    fork = p * machine.fork_join_us * 1e-6
+    merge = p * per_summand_seconds(spec.name, spec.words, machine)
+    return max(compute, floor) + fork + merge
+
+
+def mpi_time(
+    n: int,
+    p: int,
+    spec: MethodSpec,
+    machine: Machine = XEON_X5650,
+) -> float:
+    """Fig. 6 model: per-rank compute + binomial-tree rounds.
+
+    Ranks land on distinct nodes as p grows, so no bandwidth sharing;
+    instead each of the ``ceil(log2 p)`` rounds pays interconnect
+    latency plus the (tiny) partial payload.
+    """
+    if p <= 0:
+        raise ValueError(f"need >= 1 process, got {p}")
+    compute = _compute_time(n, p, spec, machine)
+    # Within a node (up to 12 cores on the dual X5650) the double loop
+    # still shares the memory bus.
+    if p <= machine.sockets * machine.cores_per_socket:
+        compute = max(compute, _bandwidth_time(n, p, spec, machine))
+    rounds = math.ceil(math.log2(p)) if p > 1 else 0
+    payload = spec.words * 8
+    per_round = (
+        machine.comm_round_latency_us * 1e-6
+        + payload * machine.comm_ns_per_byte * 1e-9
+    )
+    combine = rounds * per_summand_seconds(spec.name, spec.words, machine)
+    return compute + rounds * per_round + combine
+
+
+def cuda_time(
+    n: int,
+    t: int,
+    spec: MethodSpec,
+    gpu: GPU = TESLA_K20M,
+    num_partials: int = 256,
+) -> float:
+    """Fig. 7 model: per-thread serial steps with a residency ceiling.
+
+    Each accumulate costs ``conversion + traffic.total`` device steps; a
+    thread's steps serialize, threads parallelize up to
+    ``max_concurrent_threads`` (the plateau).  Contention on the shared
+    partials adds a penalty growing with resident threads per cell —
+    divided by ``words`` because an HP partial's N word cells admit N
+    concurrent writers (the paper's observed relief).
+    """
+    if t <= 0:
+        raise ValueError(f"need >= 1 thread, got {t}")
+    t_eff = min(t, gpu.max_concurrent_threads)
+    # Conversion happens in registers and partially overlaps the memory
+    # ops; about half a step per word survives as exposed latency.
+    conversion_steps = 0 if spec.name == "double" else math.ceil(spec.words / 2)
+    steps_per_add = conversion_steps + spec.traffic.total
+    waiters = t_eff / (num_partials * spec.words)
+    contention = 1.0 + gpu.contention_slope * max(0.0, waiters - 1.0)
+    per_add = steps_per_add * gpu.step_ns * 1e-9 * contention
+    return gpu.kernel_launch_us * 1e-6 + (n / t_eff) * per_add
+
+
+def phi_time(
+    n: int,
+    t: int,
+    spec: MethodSpec,
+    phi: Coprocessor = XEON_PHI_5110P,
+) -> float:
+    """Fig. 8 model: offload latency + PCIe transfer + device compute."""
+    if not 1 <= t <= phi.max_threads:
+        raise ValueError(f"thread count {t} outside [1, {phi.max_threads}]")
+    transfer = (n * 8) / (phi.transfer_gbps * 1e9)
+    compute = _compute_time(n, t, spec, phi.machine)
+    merge = t * per_summand_seconds(spec.name, spec.words, phi.machine)
+    return phi.offload_latency_ms * 1e-3 + transfer + compute + merge
+
+
+def efficiency(times: list[float], pes: list[int]) -> list[float]:
+    """Strong-scaling efficiency ``E(p) = T(1) / (p * T(p))`` relative to
+    the first entry (the paper's right-hand panels)."""
+    if len(times) != len(pes) or not times:
+        raise ValueError("times and pes must be equal-length, non-empty")
+    t1, p1 = times[0], pes[0]
+    return [(t1 * p1) / (p * tp) for tp, p in zip(times, pes)]
+
+
+def scaling_series(
+    model,
+    n: int,
+    pes: list[int],
+    specs: list[MethodSpec],
+    **kwargs,
+) -> dict[str, tuple[list[float], list[float]]]:
+    """Run one figure's sweep: ``{method: (times, efficiencies)}``."""
+    out = {}
+    for spec in specs:
+        times = [model(n, p, spec, **kwargs) for p in pes]
+        out[spec.name] = (times, efficiency(times, pes))
+    return out

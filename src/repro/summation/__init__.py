@@ -1,0 +1,69 @@
+"""Floating-point summation baselines and error measurement.
+
+One function per method class surveyed in the paper's Sec. I:
+ordered (naive/pairwise/sorted), compensated (Kahan/Neumaier/Klein),
+and exact references (fsum / rational) — plus the residual-statistics
+machinery behind the Fig. 1/2 rounding-error experiment.
+"""
+
+from repro.summation.compensated import (
+    fast_two_sum,
+    kahan_sum,
+    klein_sum,
+    neumaier_sum,
+    two_sum,
+)
+from repro.summation.exact import (
+    exact_sum_scaled,
+    fraction_sum,
+    fsum,
+    is_exactly_representable,
+)
+from repro.summation.doubledouble import DoubleDouble, dd_sum
+from repro.summation.naive import naive_sum, pairwise_sum, reverse_sum, sorted_sum
+from repro.summation.theory import (
+    UNIT_ROUNDOFF,
+    compensated_error_bound,
+    condition_number,
+    expected_stdev_fixed_sum,
+    expected_stdev_random_walk,
+    expected_stdev_zero_sum,
+    pairwise_error_bound,
+    recursive_error_bound,
+)
+from repro.summation.stats import (
+    ResidualStats,
+    residual_stats,
+    shuffled_trials,
+    ulp_distance,
+)
+
+__all__ = [
+    "naive_sum",
+    "DoubleDouble",
+    "dd_sum",
+    "reverse_sum",
+    "sorted_sum",
+    "pairwise_sum",
+    "two_sum",
+    "fast_two_sum",
+    "kahan_sum",
+    "neumaier_sum",
+    "klein_sum",
+    "fsum",
+    "fraction_sum",
+    "exact_sum_scaled",
+    "is_exactly_representable",
+    "ResidualStats",
+    "residual_stats",
+    "shuffled_trials",
+    "ulp_distance",
+    "UNIT_ROUNDOFF",
+    "condition_number",
+    "expected_stdev_zero_sum",
+    "expected_stdev_random_walk",
+    "expected_stdev_fixed_sum",
+    "recursive_error_bound",
+    "pairwise_error_bound",
+    "compensated_error_bound",
+]

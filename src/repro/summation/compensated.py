@@ -1,0 +1,86 @@
+"""Compensated (error-free transformation) summation baselines.
+
+The paper's Sec. I places these in the "error compensation" class
+([6-8, 13, 15, 16, 19, 21]): they track the rounding error of each add
+with an exact transformation and fold it back, greatly reducing — but
+not in general eliminating — the error, and remaining order-*sensitive*.
+Included so the accuracy experiments can show where each class of method
+sits between naive doubles and the exact fixed-point formats.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["two_sum", "fast_two_sum", "kahan_sum", "neumaier_sum", "klein_sum"]
+
+
+def two_sum(a: float, b: float) -> tuple[float, float]:
+    """Knuth's branch-free error-free transformation:
+    returns ``(s, err)`` with ``s = fl(a+b)`` and ``a + b = s + err``
+    exactly."""
+    s = a + b
+    bv = s - a
+    err = (a - (s - bv)) + (b - bv)
+    return s, err
+
+
+def fast_two_sum(a: float, b: float) -> tuple[float, float]:
+    """Dekker's variant, valid when ``|a| >= |b|``."""
+    s = a + b
+    err = b - (s - a)
+    return s, err
+
+
+def kahan_sum(xs: Sequence[float]) -> float:
+    """Kahan (1965) compensated summation: one running compensation term.
+
+    Error is O(u) per element independent of n — but large cancelling
+    intermediate sums can still defeat it (Neumaier's counterexample).
+    """
+    total = 0.0
+    comp = 0.0
+    for x in xs:
+        y = x - comp
+        t = total + y
+        comp = (t - total) - y
+        total = t
+    return total
+
+
+def neumaier_sum(xs: Sequence[float]) -> float:
+    """Neumaier's improved Kahan: branches on which operand dominates so
+    compensation survives ``total`` being smaller than ``x``."""
+    total = 0.0
+    comp = 0.0
+    for x in xs:
+        t = total + x
+        if abs(total) >= abs(x):
+            comp += (total - t) + x
+        else:
+            comp += (x - t) + total
+        total = t
+    return total + comp
+
+
+def klein_sum(xs: Sequence[float]) -> float:
+    """Klein's second-order compensated sum (two compensation levels),
+    accurate to ~2 ulp for very ill-conditioned inputs."""
+    total = 0.0
+    cs = 0.0
+    ccs = 0.0
+    for x in xs:
+        t = total + x
+        if abs(total) >= abs(x):
+            c = (total - t) + x
+        else:
+            c = (x - t) + total
+        total = t
+        t2 = cs + c
+        if abs(cs) >= abs(c):
+            cc = (cs - t2) + c
+        else:
+            cc = (c - t2) + cs
+        cs = t2
+        ccs += cc
+    return total + cs + ccs

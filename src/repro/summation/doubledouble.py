@@ -1,0 +1,102 @@
+"""Double-double (binary64x2) summation — the He & Ding baseline.
+
+The paper's survey cites He & Ding [12] ("Using accurate arithmetics to
+improve numerical reproducibility and stability in parallel
+applications"), whose tool is double-double arithmetic: an unevaluated
+sum of two doubles ``hi + lo`` giving ~106 significand bits.  It is the
+classic *software* high-precision intermediate sum — far more accurate
+than double, far cheaper than arbitrary precision — but unlike the
+fixed-point formats it still rounds, so it reduces rather than
+eliminates order sensitivity.  Implemented here to complete the paper's
+survey taxonomy in the accuracy-ladder ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.summation.compensated import two_sum
+
+__all__ = ["DoubleDouble", "dd_sum", "dd_add", "dd_add_double"]
+
+
+class DoubleDouble:
+    """An unevaluated ``hi + lo`` pair with ``|lo| <= ulp(hi)/2``.
+
+    Normalized on construction; supports addition with doubles and other
+    double-doubles via error-free transformations.
+
+    >>> x = DoubleDouble.from_double(0.1) + 0.2
+    >>> x.hi == 0.1 + 0.2 or abs(x.lo) > 0  # the error is retained
+    True
+    """
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self, hi: float, lo: float = 0.0) -> None:
+        s, e = two_sum(hi, lo)
+        self.hi = s
+        self.lo = e
+
+    @classmethod
+    def from_double(cls, x: float) -> "DoubleDouble":
+        return cls(x, 0.0)
+
+    @classmethod
+    def zero(cls) -> "DoubleDouble":
+        return cls(0.0, 0.0)
+
+    def __add__(self, other: "DoubleDouble | float") -> "DoubleDouble":
+        if isinstance(other, DoubleDouble):
+            return dd_add(self, other)
+        if isinstance(other, (int, float)):
+            return dd_add_double(self, float(other))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "DoubleDouble":
+        return DoubleDouble(-self.hi, -self.lo)
+
+    def __sub__(self, other: "DoubleDouble | float") -> "DoubleDouble":
+        if isinstance(other, DoubleDouble):
+            return self + (-other)
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def to_double(self) -> float:
+        return self.hi + self.lo
+
+    def to_fraction(self):
+        from fractions import Fraction
+
+        return Fraction(self.hi) + Fraction(self.lo)
+
+    def __repr__(self) -> str:
+        return f"DoubleDouble({self.hi!r}, {self.lo!r})"
+
+
+def dd_add_double(a: DoubleDouble, b: float) -> DoubleDouble:
+    """Add a double to a double-double (one two_sum + renormalize)."""
+    s, e = two_sum(a.hi, b)
+    return DoubleDouble(s, e + a.lo)
+
+
+def dd_add(a: DoubleDouble, b: DoubleDouble) -> DoubleDouble:
+    """Full double-double addition (Knuth/Dekker style)."""
+    s, e = two_sum(a.hi, b.hi)
+    return DoubleDouble(s, e + a.lo + b.lo)
+
+
+def dd_sum(xs: Iterable[float]) -> float:
+    """Sum doubles through a double-double accumulator (He-Ding style).
+
+    Roughly 106-bit intermediate precision: error ~2**-106 relative per
+    add, typically indistinguishable from exact for moderate n — but
+    still order-*sensitive* in principle.
+    """
+    acc = DoubleDouble.zero()
+    for x in xs:
+        acc = dd_add_double(acc, float(x))
+    return acc.to_double()

@@ -1,0 +1,53 @@
+"""Exact reference summation (the ground truth for every experiment).
+
+``math.fsum`` gives the correctly-rounded double of the exact sum;
+:func:`fraction_sum` gives the exact rational itself.  All accuracy
+claims in tests and experiments are measured against these.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = ["fsum", "fraction_sum", "exact_sum_scaled", "is_exactly_representable"]
+
+
+def fsum(xs: Iterable[float]) -> float:
+    """Correctly-rounded double sum (Shewchuk's algorithm via math.fsum)."""
+    return math.fsum(xs)
+
+
+def fraction_sum(xs: Iterable[float]) -> Fraction:
+    """The exact rational sum — every IEEE double is a dyadic rational,
+    so the sum of any finite set is exactly computable."""
+    total = Fraction(0)
+    for x in xs:
+        total += Fraction(x)
+    return total
+
+
+def exact_sum_scaled(xs: Iterable[float], frac_bits: int) -> int:
+    """Exact sum as an integer in units of ``2**-frac_bits``, truncating
+    each summand toward zero first — i.e. the sum an ideal fixed-point
+    accumulator with that resolution produces.
+    """
+    total = 0
+    shift = 1 << frac_bits
+    for x in xs:
+        num, den = x.as_integer_ratio()
+        scaled, _ = divmod(abs(num) * shift, den)
+        total += -scaled if num < 0 else scaled
+    return total
+
+
+def is_exactly_representable(xs: Sequence[float], frac_bits: int) -> bool:
+    """True if every summand is a multiple of ``2**-frac_bits`` (no
+    truncation loss in a fixed-point format with that resolution)."""
+    shift = 1 << frac_bits
+    for x in xs:
+        num, den = x.as_integer_ratio()
+        if (abs(num) * shift) % den:
+            return False
+    return True

@@ -1,0 +1,84 @@
+"""Error statistics for summation experiments.
+
+The Fig. 1/2 experiment sums zero-sum sets in many random orders and
+reports the distribution of residuals.  Because "the statistics
+calculation itself is subject to round-off error" (paper Sec. II.A), the
+moments here are computed with exact reference summation of the residual
+arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ResidualStats", "residual_stats", "shuffled_trials", "ulp_distance"]
+
+
+@dataclass(frozen=True)
+class ResidualStats:
+    """Moments of a residual-sum distribution (one Fig. 1 data point)."""
+
+    n_trials: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+    n_exact_zero: int
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every trial returned exactly the true sum — what the
+        HP method achieves in Fig. 1."""
+        return self.n_exact_zero == self.n_trials
+
+
+def residual_stats(residuals: Sequence[float]) -> ResidualStats:
+    """Summarize residuals with exact (fsum-based) moment computation."""
+    n = len(residuals)
+    if n == 0:
+        raise ValueError("no residuals")
+    mean = math.fsum(residuals) / n
+    var = math.fsum((r - mean) ** 2 for r in residuals) / n
+    return ResidualStats(
+        n_trials=n,
+        mean=mean,
+        stdev=math.sqrt(var),
+        min=min(residuals),
+        max=max(residuals),
+        n_exact_zero=sum(1 for r in residuals if r == 0.0),
+    )
+
+
+def shuffled_trials(
+    values: np.ndarray,
+    summer: Callable[[np.ndarray], float],
+    n_trials: int,
+    rng: np.random.Generator,
+) -> list[float]:
+    """Run ``summer`` on ``n_trials`` random permutations of ``values``
+    (the paper's 16384-trial protocol, Sec. II.A)."""
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    out = []
+    work = np.array(values, dtype=np.float64, copy=True)
+    for _ in range(n_trials):
+        rng.shuffle(work)
+        out.append(summer(work))
+    return out
+
+
+def ulp_distance(a: float, b: float) -> int:
+    """Distance in units-in-the-last-place between two doubles (same
+    sign-ordered integer lattice as IEEE 754)."""
+
+    def key(x: float) -> int:
+        i = int(np.float64(x).view(np.int64))
+        return i if i >= 0 else (-(1 << 63)) - i  # order negatives below zero
+
+    if math.isnan(a) or math.isnan(b):
+        raise ValueError("ulp distance undefined for NaN")
+    return abs(key(a) - key(b))

@@ -1,0 +1,34 @@
+"""Shared low-level utilities: 64-bit integer helpers, seeded RNG wrappers,
+timing harnesses and ASCII table rendering used by the benchmark drivers."""
+
+from repro.util.bits import (
+    MASK64,
+    WORD_BITS,
+    mask64,
+    twos_complement_words,
+    words_to_signed_int,
+    signed_int_to_words,
+    sign_bit,
+    split32,
+    join32,
+)
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.tables import render_table
+from repro.util.timing import Timer, repeat_timeit
+
+__all__ = [
+    "MASK64",
+    "WORD_BITS",
+    "mask64",
+    "twos_complement_words",
+    "words_to_signed_int",
+    "signed_int_to_words",
+    "sign_bit",
+    "split32",
+    "join32",
+    "default_rng",
+    "spawn_rngs",
+    "render_table",
+    "Timer",
+    "repeat_timeit",
+]

@@ -1,0 +1,113 @@
+"""64-bit word arithmetic helpers.
+
+The HP format stores a real number as ``N`` unsigned 64-bit words holding a
+two's-complement integer over the concatenated ``64*N``-bit field (paper
+eq. (2)).  Python integers are unbounded, so these helpers provide the
+explicit wrap-around semantics of C ``uint64_t`` that Listings 1 and 2 of
+the paper rely on.
+
+Conventions used throughout the library:
+
+* word 0 is the **most significant** word (it carries the sign bit),
+  matching the paper's indexing where the carry ripples from word
+  ``N-1`` up to word 0;
+* word vectors are plain tuples of Python ints in ``[0, 2**64)`` for the
+  scalar reference path, and ``numpy.uint64`` arrays for the batch path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+WORD_BITS = 64
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+__all__ = [
+    "WORD_BITS",
+    "MASK64",
+    "MASK32",
+    "mask64",
+    "sign_bit",
+    "twos_complement_words",
+    "words_to_signed_int",
+    "words_to_unsigned_int",
+    "signed_int_to_words",
+    "unsigned_int_to_words",
+    "split32",
+    "join32",
+]
+
+
+def mask64(x: int) -> int:
+    """Wrap an integer to unsigned 64-bit, like C ``uint64_t`` assignment."""
+    return x & MASK64
+
+
+def sign_bit(word0: int) -> int:
+    """Return the sign bit (bit 63) of the most significant word."""
+    return (word0 >> 63) & 1
+
+
+def twos_complement_words(words: Sequence[int]) -> tuple[int, ...]:
+    """Negate a word vector in two's complement over the full field.
+
+    Flips every bit, adds one at the least significant word, and ripples
+    the carry toward word 0 (paper Sec. III.A).  ``-0`` maps to ``0`` and
+    the most negative value maps to itself, exactly as in hardware.
+    """
+    out = [(~w) & MASK64 for w in words]
+    for i in range(len(out) - 1, -1, -1):
+        out[i] = (out[i] + 1) & MASK64
+        if out[i] != 0:  # no carry out of this word; done propagating
+            break
+    return tuple(out)
+
+
+def words_to_unsigned_int(words: Sequence[int]) -> int:
+    """Concatenate words (word 0 most significant) into one unsigned int."""
+    value = 0
+    for w in words:
+        if not 0 <= w <= MASK64:
+            raise ValueError(f"word out of uint64 range: {w:#x}")
+        value = (value << WORD_BITS) | w
+    return value
+
+
+def words_to_signed_int(words: Sequence[int]) -> int:
+    """Interpret a word vector as a signed two's-complement integer."""
+    n = len(words)
+    value = words_to_unsigned_int(words)
+    if sign_bit(words[0]):
+        value -= 1 << (WORD_BITS * n)
+    return value
+
+
+def unsigned_int_to_words(value: int, n: int) -> tuple[int, ...]:
+    """Split an unsigned integer into ``n`` words, word 0 most significant."""
+    if value < 0 or value >= (1 << (WORD_BITS * n)):
+        raise ValueError(f"value does not fit in {n} words: {value}")
+    return tuple((value >> (WORD_BITS * (n - 1 - i))) & MASK64 for i in range(n))
+
+
+def signed_int_to_words(value: int, n: int) -> tuple[int, ...]:
+    """Encode a signed integer into ``n`` words of two's complement."""
+    half = 1 << (WORD_BITS * n - 1)
+    if not -half <= value < half:
+        raise ValueError(f"value does not fit signed in {n} words: {value}")
+    return unsigned_int_to_words(value & ((1 << (WORD_BITS * n)) - 1), n)
+
+
+def split32(word: int) -> tuple[int, int]:
+    """Split a uint64 word into (high, low) 32-bit halves.
+
+    The batch summation path sums 32-bit halves in 64-bit columns so that
+    up to ``2**32`` summands can be added before any column can overflow
+    (see :mod:`repro.core.vectorized`).
+    """
+    return (word >> 32) & MASK32, word & MASK32
+
+
+def join32(hi: int, lo: int) -> int:
+    """Inverse of :func:`split32` (assumes already-normalized halves)."""
+    return ((hi & MASK32) << 32) | (lo & MASK32)

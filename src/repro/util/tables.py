@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each reproduced table/figure as rows of text
+mirroring the paper's layout (EXPERIMENTS.md records the output), so the
+renderer favours alignment and stable formatting over styling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, precision: int = 6) -> str:
+    """Render one cell: floats in compact scientific/positional form."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e7:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 6,
+) -> str:
+    """Render an ASCII table with a header rule, e.g.::
+
+        Table 1
+        N  k  Bits  Max Range      Smallest
+        -  -  ----  -------------  -------------
+        2  1  128   9.223372e+18   5.421011e-20
+    """
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

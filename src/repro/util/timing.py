@@ -1,0 +1,73 @@
+"""Timing helpers for the benchmark harness.
+
+``pytest-benchmark`` drives the per-figure benches; these helpers serve the
+standalone experiment drivers (``repro.experiments``) which print the same
+series the paper plots, averaging over trials the same way the paper does
+("averaged over 10 trials", Sec. IV.B).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Timer", "TimingResult", "repeat_timeit"]
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingResult:
+    """Aggregate of repeated timings of one callable."""
+
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+
+def repeat_timeit(fn: Callable[[], T], trials: int = 10, warmup: int = 1) -> TimingResult:
+    """Time ``fn`` ``trials`` times after ``warmup`` discarded calls."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    for _ in range(warmup):
+        fn()
+    result = TimingResult()
+    for _ in range(trials):
+        start = time.perf_counter()
+        fn()
+        result.times.append(time.perf_counter() - start)
+    return result

@@ -1,0 +1,109 @@
+"""Tests for the climate diagnostics application."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps.climate import GlobalDiagnostics, LatLonGrid
+from repro.util.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def grid() -> LatLonGrid:
+    return LatLonGrid(12, 24)
+
+
+@pytest.fixture(scope="module")
+def diagnostics(grid) -> GlobalDiagnostics:
+    return GlobalDiagnostics(grid)
+
+
+@pytest.fixture(scope="module")
+def field(grid) -> np.ndarray:
+    return default_rng(131).uniform(-2.0, 30.0, grid.size)
+
+
+class TestGrid:
+    def test_latitudes_centred(self, grid):
+        lats = grid.latitudes()
+        assert len(lats) == 12
+        assert lats[0] == -82.5 and lats[-1] == 82.5
+        assert np.allclose(lats, -lats[::-1])  # symmetric about equator
+
+    def test_weights_peak_at_equator(self, grid):
+        w = grid.cell_weights().reshape(grid.shape)
+        band_means = w.mean(axis=1)
+        assert band_means.argmax() in (5, 6)
+        assert (w > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(1, 8)
+
+
+class TestGlobalDiagnostics:
+    def test_mean_of_constant_field(self, diagnostics, grid):
+        assert diagnostics.area_weighted_mean(np.full(grid.size, 7.25)) == 7.25
+
+    def test_mean_exact_against_rationals(self, diagnostics, field):
+        w = diagnostics.weights
+        num = sum((Fraction(float(a)) * Fraction(float(b))
+                   for a, b in zip(w, field)), Fraction(0))
+        den = sum((Fraction(float(a)) for a in w), Fraction(0))
+        exact = num / den
+        assert diagnostics.area_weighted_mean(field) == (
+            exact.numerator / exact.denominator
+        )
+
+    def test_decomposition_invariance(self, diagnostics, field):
+        """The ocean-model requirement: any rank count, same bits."""
+        reference = diagnostics.weighted_sum_words(field)
+        for ranks in (1, 2, 5, 24, 97):
+            assert diagnostics.decomposed_sum_words(field, ranks) == (
+                reference
+            ), ranks
+
+    def test_field_shape_check(self, diagnostics):
+        with pytest.raises(ValueError):
+            diagnostics.area_weighted_mean(np.zeros(7))
+
+    def test_2d_fields_accepted(self, diagnostics, grid, field):
+        reshaped = field.reshape(grid.shape)
+        assert diagnostics.weighted_sum_words(reshaped) == (
+            diagnostics.weighted_sum_words(field)
+        )
+
+
+class TestZonalStatistics:
+    def test_zonal_sums_exact(self, diagnostics, grid, field):
+        sums = diagnostics.zonal_sums(field)
+        w2d = diagnostics.weights.reshape(grid.shape)
+        f2d = field.reshape(grid.shape)
+        for i in range(grid.nlat):
+            exact = sum(
+                (Fraction(float(a)) * Fraction(float(b))
+                 for a, b in zip(w2d[i], f2d[i])),
+                Fraction(0),
+            )
+            assert sums[i] == exact.numerator / exact.denominator
+
+    def test_zonal_means_of_constant(self, diagnostics, grid):
+        means = diagnostics.zonal_means(np.full(grid.size, 3.5))
+        assert np.array_equal(means, np.full(grid.nlat, 3.5))
+
+    def test_zonal_means_order_invariant_within_band(self, diagnostics,
+                                                     grid, field):
+        f2d = field.reshape(grid.shape).copy()
+        rng = default_rng(7)
+        for i in range(grid.nlat):
+            f2d[i] = f2d[i][rng.permutation(grid.nlon)]
+        # Permuting cells *within* a band leaves every band mean's bits
+        # unchanged (weights are constant within a band).
+        assert np.array_equal(
+            diagnostics.zonal_means(f2d.ravel()),
+            diagnostics.zonal_means(field),
+        )

@@ -1,0 +1,152 @@
+"""Tests for the reproducible histogram application."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import ReproducibleHistogram
+from repro.core.params import HPParams
+from repro.errors import MixedParameterError
+from repro.util.rng import default_rng
+
+EDGES = np.linspace(0.0, 1.0, 11)  # 10 bins
+
+
+class TestBasics:
+    def test_empty(self):
+        h = ReproducibleHistogram(EDGES)
+        assert h.values().tolist() == [0.0] * 10
+        assert h.total() == 0.0
+
+    def test_simple_fill(self):
+        h = ReproducibleHistogram(np.array([0.0, 1.0, 2.0]))
+        h.fill(np.array([0.5, 1.5, 0.7]), np.array([1.0, 2.0, 0.5]))
+        assert h.values().tolist() == [1.5, 2.0]
+
+    def test_unit_weights_default(self):
+        h = ReproducibleHistogram(EDGES)
+        h.fill(np.array([0.05, 0.15, 0.15]))
+        assert h.values()[0] == 1.0 and h.values()[1] == 2.0
+
+    def test_under_overflow_cells(self):
+        h = ReproducibleHistogram(EDGES)
+        h.fill(np.array([-0.5, 0.5, 2.0]), np.array([1.0, 2.0, 4.0]))
+        assert h.underflow == 1.0
+        assert h.overflow == 4.0
+        assert h.total() == 7.0
+
+    def test_edge_semantics(self):
+        """Left edge inclusive, right edge exclusive (except into
+        overflow)."""
+        h = ReproducibleHistogram(np.array([0.0, 1.0, 2.0]))
+        h.fill(np.array([0.0, 1.0, 2.0]))
+        assert h.values().tolist() == [1.0, 1.0]
+        assert h.overflow == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReproducibleHistogram(np.array([1.0]))
+        with pytest.raises(ValueError):
+            ReproducibleHistogram(np.array([1.0, 0.5]))
+        h = ReproducibleHistogram(EDGES)
+        with pytest.raises(ValueError):
+            h.fill(np.zeros(3), np.zeros(4))
+
+
+class TestInvariance:
+    def test_fill_order_invariant(self, rng):
+        samples = rng.uniform(-0.2, 1.2, 5000)
+        weights = rng.uniform(-1.0, 1.0, 5000)
+        a = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        a.fill(samples, weights)
+        order = rng.permutation(5000)
+        b = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        b.fill(samples[order], weights[order])
+        for i in range(10):
+            assert a.bin_words(i) == b.bin_words(i)
+
+    def test_sharding_invariant(self, rng):
+        samples = rng.uniform(0.0, 1.0, 3000)
+        weights = rng.uniform(-1.0, 1.0, 3000)
+        whole = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        whole.fill(samples, weights)
+        for num_shards in (2, 7):
+            merged = ReproducibleHistogram(EDGES, HPParams(3, 2))
+            for s in range(num_shards):
+                shard = ReproducibleHistogram(EDGES, HPParams(3, 2))
+                shard.fill(samples[s::num_shards], weights[s::num_shards])
+                merged.merge(shard)
+            for i in range(10):
+                assert merged.bin_words(i) == whole.bin_words(i)
+
+    def test_merge_rejects_different_binning(self):
+        with pytest.raises(MixedParameterError):
+            ReproducibleHistogram(EDGES).merge(
+                ReproducibleHistogram(np.array([0.0, 1.0]))
+            )
+
+    def test_values_exact_vs_fsum(self, rng):
+        samples = rng.uniform(0.0, 1.0, 2000)
+        weights = rng.uniform(-1.0, 1.0, 2000)
+        h = ReproducibleHistogram(EDGES)
+        h.fill(samples, weights)
+        bins = np.searchsorted(EDGES, samples, side="right") - 1
+        for i in range(10):
+            expected = math.fsum(weights[bins == i])
+            assert h.values()[i] == expected
+
+
+class TestRebinning:
+    def test_rebin_exact(self, rng):
+        samples = rng.uniform(0.0, 1.0, 2000)
+        weights = rng.uniform(-1.0, 1.0, 2000)
+        fine = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        fine.fill(samples, weights)
+        coarse = fine.rebinned(2)
+        direct = ReproducibleHistogram(EDGES[::2], HPParams(3, 2))
+        direct.fill(samples, weights)
+        for i in range(5):
+            assert coarse.bin_words(i) == direct.bin_words(i)
+        assert coarse.total() == fine.total()
+
+    def test_rebin_factor_validation(self):
+        h = ReproducibleHistogram(EDGES)
+        with pytest.raises(ValueError):
+            h.rebinned(3)  # 10 % 3 != 0
+
+    def test_rebin_empty(self):
+        coarse = ReproducibleHistogram(EDGES).rebinned(5)
+        assert coarse.num_bins == 2
+
+
+class TestDensityCumulative:
+    def test_density_normalizes(self, rng):
+        h = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        h.fill(rng.uniform(0.0, 1.0, 1000))
+        density = h.density()
+        # Sum(density * width) == 1 for fully-in-range unit weights.
+        assert math.fsum(density * np.diff(EDGES)) == pytest.approx(1.0)
+
+    def test_density_zero_total_guard(self):
+        h = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        h.fill(np.array([0.5]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            h.density()
+
+    def test_cumulative_exact(self, rng):
+        samples = rng.uniform(0.0, 1.0, 500)
+        weights = rng.uniform(-1.0, 1.0, 500)
+        h = ReproducibleHistogram(EDGES, HPParams(3, 2))
+        h.fill(samples, weights)
+        cumulative = h.cumulative()
+        bins = np.searchsorted(EDGES, samples, side="right") - 1
+        for i in (0, 4, 9):
+            assert cumulative[i] == math.fsum(weights[bins <= i])
+
+    def test_empty(self):
+        h = ReproducibleHistogram(EDGES)
+        assert h.cumulative().tolist() == [0.0] * 10
+        assert h.density().tolist() == [0.0] * 10

@@ -1,0 +1,89 @@
+"""Tests for the reproducible CG solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.solver import CGResult, float_cg, reproducible_cg
+from repro.core.matvec import CSRMatrix
+from repro.util.rng import default_rng
+
+
+def spd_matrix(n: int, rng: np.random.Generator, density: float = 0.4):
+    """A random sparse symmetric positive-definite matrix."""
+    a = rng.uniform(-1.0, 1.0, (n, n))
+    a[rng.uniform(size=(n, n)) > density] = 0.0
+    dense = a @ a.T + n * np.eye(n)
+    return dense, CSRMatrix.from_dense(dense)
+
+
+class TestReproducibleCG:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        rng = default_rng(101)
+        dense, csr = spd_matrix(24, rng)
+        b = rng.uniform(-1.0, 1.0, 24)
+        return dense, csr, b
+
+    def test_solves(self, problem):
+        dense, csr, b = problem
+        result = reproducible_cg(csr, b, tol=1e-12)
+        assert result.converged
+        assert np.allclose(dense @ result.x, b, atol=1e-8)
+
+    def test_residuals_decrease_overall(self, problem):
+        _, csr, b = problem
+        result = reproducible_cg(csr, b, tol=1e-12)
+        assert result.residual_norms[-1] < result.residual_norms[0] * 1e-10
+
+    def test_storage_order_invariant(self, problem):
+        """The headline: permuting stored nonzeros changes nothing —
+        not one bit of any iterate or the iteration count."""
+        _, csr, b = problem
+        baseline = reproducible_cg(csr, b, tol=1e-12)
+        for seed in (1, 2):
+            shuffled = csr.permuted_nonzeros(default_rng(seed))
+            other = reproducible_cg(shuffled, b, tol=1e-12)
+            assert other.state_digest() == baseline.state_digest()
+            assert other.iterations == baseline.iterations
+
+    def test_float_cg_storage_order_sensitive(self, problem):
+        """The contrast: the conventional solver's path depends on the
+        nonzero storage order."""
+        _, csr, b = problem
+        baseline = float_cg(csr, b, tol=1e-12)
+        digests = {baseline.state_digest()}
+        for seed in range(6):
+            shuffled = csr.permuted_nonzeros(default_rng(seed))
+            digests.add(float_cg(shuffled, b, tol=1e-12).state_digest())
+        assert len(digests) > 1
+
+    def test_both_solvers_agree_numerically(self, problem):
+        dense, csr, b = problem
+        exact = reproducible_cg(csr, b, tol=1e-12)
+        conventional = float_cg(csr, b, tol=1e-12)
+        assert np.allclose(exact.x, conventional.x, atol=1e-6)
+
+    def test_rejects_non_spd_direction(self):
+        dense = np.array([[1.0, 0.0], [0.0, -1.0]])  # indefinite
+        csr = CSRMatrix.from_dense(dense)
+        with pytest.raises(ValueError):
+            reproducible_cg(csr, np.array([0.0, 1.0]))
+
+    def test_shape_validation(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError):
+            reproducible_cg(csr, np.zeros(4))
+
+    def test_zero_rhs_converges_immediately(self):
+        csr = CSRMatrix.from_dense(np.eye(4))
+        result = reproducible_cg(csr, np.zeros(4))
+        assert result.converged and result.iterations == 0
+
+    def test_identity_solves_in_one_iteration(self):
+        csr = CSRMatrix.from_dense(np.eye(5))
+        b = np.arange(1.0, 6.0)
+        result = reproducible_cg(csr, b, tol=1e-14)
+        assert result.iterations == 1
+        assert np.array_equal(result.x, b)

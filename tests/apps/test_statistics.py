@@ -1,0 +1,151 @@
+"""Tests for the exact-moments statistics application."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps.statistics import ExactMoments, exact_mean, exact_variance
+
+
+class TestExactMoments:
+    def test_known_values(self):
+        m = ExactMoments()
+        m.update(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert m.mean() == 2.5
+        assert m.variance() == 1.25
+        assert m.variance(ddof=1) == pytest.approx(5.0 / 3.0)
+
+    def test_mean_correctly_rounded(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 999)
+        exact = sum((Fraction(float(x)) for x in xs), Fraction(0)) / 999
+        assert exact_mean(xs) == exact.numerator / exact.denominator
+
+    def test_variance_exact_moments(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 500)
+        sx = sum((Fraction(float(x)) for x in xs), Fraction(0))
+        sxx = sum(
+            (Fraction(float(x)) * Fraction(float(x)) for x in xs), Fraction(0)
+        )
+        expected = (sxx - sx * sx / 500) / 500
+        assert exact_variance(xs) == (
+            expected.numerator / expected.denominator
+        )
+
+    def test_cancellation_catastrophe_avoided(self):
+        """The one-pass formula's classic failure: huge offset, tiny
+        spread.  Naive E[x^2]-E[x]^2 in float64 returns garbage (even a
+        negative); exact moments return the true variance."""
+        base = 1e9
+        xs = np.array([base - 1.0, base, base + 1.0])
+        naive = float(np.mean(xs**2) - np.mean(xs) ** 2)
+        exact = exact_variance(xs)
+        assert exact == pytest.approx(2.0 / 3.0, rel=1e-12)
+        assert abs(naive - 2.0 / 3.0) > 1e-3  # float one-pass is way off
+
+    def test_order_and_shard_invariant(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 1000)
+        whole = ExactMoments()
+        whole.update(xs)
+        sharded = ExactMoments()
+        for s in range(7):
+            shard = ExactMoments()
+            shard.update(xs[s::7])
+            sharded.merge(shard)
+        assert sharded.sum_fraction() == whole.sum_fraction()
+        assert sharded.mean() == whole.mean()
+        assert sharded.variance() == whole.variance()
+
+    def test_constant_data_zero_variance(self):
+        xs = np.full(100, 3.7)
+        assert exact_variance(xs) == 0.0
+
+    def test_stdev(self):
+        m = ExactMoments()
+        m.update(np.array([0.0, 2.0]))
+        assert m.stdev() == 1.0
+
+    def test_empty_guards(self):
+        m = ExactMoments()
+        with pytest.raises(ValueError):
+            m.mean()
+        m.update(np.array([1.0]))
+        with pytest.raises(ValueError):
+            m.variance(ddof=1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ExactMoments().update(np.zeros((2, 2)))
+
+
+class TestHigherMoments:
+    def test_symmetric_data_zero_skew(self):
+        m = ExactMoments()
+        m.update(np.array([-2.0, -1.0, 1.0, 2.0]))
+        assert m.skewness() == 0.0
+
+    def test_skew_sign(self):
+        right = ExactMoments()
+        right.update(np.array([0.0, 0.0, 0.0, 10.0]))
+        assert right.skewness() > 0
+        left = ExactMoments()
+        left.update(np.array([0.0, 0.0, 0.0, -10.0]))
+        assert left.skewness() == -right.skewness()
+
+    def test_matches_scipy_formulas(self, rng):
+        from scipy import stats as sps
+
+        xs = rng.uniform(-1.0, 1.0, 500)
+        m = ExactMoments()
+        m.update(xs)
+        assert m.skewness() == pytest.approx(float(sps.skew(xs)), abs=1e-10)
+        assert m.kurtosis() == pytest.approx(
+            float(sps.kurtosis(xs)), abs=1e-10
+        )
+
+    def test_offset_robustness(self, rng):
+        """The float formulas fall apart with a 1e8 offset; the exact
+        central moments do not: shifting data leaves skew unchanged."""
+        base = rng.uniform(-1.0, 1.0, 300)
+        m0 = ExactMoments()
+        m0.update(base)
+        m1 = ExactMoments()
+        m1.update(base + 1e8)
+        assert m1.skewness() == pytest.approx(m0.skewness(), abs=1e-6)
+        assert m1.kurtosis() == pytest.approx(m0.kurtosis(), abs=1e-6)
+
+    def test_kurtosis_normal_reference(self):
+        m = ExactMoments()
+        m.update(np.array([-1.0, 1.0, -1.0, 1.0]))
+        assert m.kurtosis(excess=False) == 1.0  # two-point distribution
+
+    def test_zero_variance_guards(self):
+        m = ExactMoments()
+        m.update(np.full(5, 2.0))
+        with pytest.raises(ValueError):
+            m.skewness()
+        with pytest.raises(ValueError):
+            m.kurtosis()
+
+    def test_merge_preserves_higher_moments(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 400)
+        whole = ExactMoments()
+        whole.update(xs)
+        merged = ExactMoments()
+        for s in range(5):
+            shard = ExactMoments()
+            shard.update(xs[s::5])
+            merged.merge(shard)
+        assert merged.skewness() == whole.skewness()
+        assert merged.kurtosis() == whole.kurtosis()
+
+    def test_stdev_correctly_rounded(self, rng):
+        from repro.core.norms import sqrt_correctly_rounded
+
+        xs = rng.uniform(-1.0, 1.0, 100)
+        m = ExactMoments()
+        m.update(xs)
+        assert m.stdev() == sqrt_correctly_rounded(m._variance_fraction(0))

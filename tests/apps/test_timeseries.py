@@ -1,0 +1,96 @@
+"""Tests for exact prefix/window sums and moving averages."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps.timeseries import ExactPrefixSums, moving_average
+from repro.core.params import HPParams
+
+
+class TestExactPrefixSums:
+    def test_window_is_exact_prefix_difference(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 500)
+        ps = ExactPrefixSums(HPParams(3, 2))
+        ps.extend(xs)
+        for i, j in [(0, 500), (0, 1), (123, 456), (10, 10)]:
+            assert ps.window_sum(i, j) == math.fsum(xs[i:j]), (i, j)
+
+    def test_float_prefix_subtraction_fails_where_exact_does_not(self, rng):
+        """The bug this class exists to fix: float prefix differences
+        are not window sums."""
+        xs = rng.uniform(-1.0, 1.0, 4000)
+        float_prefix = np.concatenate([[0.0], np.cumsum(xs)])
+        ps = ExactPrefixSums(HPParams(3, 2))
+        ps.extend(xs)
+        mismatches = 0
+        for i, j in [(100, 110), (2000, 2010), (3900, 3910)]:
+            float_window = float(float_prefix[j] - float_prefix[i])
+            exact_window = ps.window_sum(i, j)
+            assert exact_window == math.fsum(xs[i:j])
+            if float_window != exact_window:
+                mismatches += 1
+        assert mismatches > 0
+
+    def test_chunking_invariant(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 300)
+        a = ExactPrefixSums(HPParams(3, 2))
+        a.extend(xs)
+        b = ExactPrefixSums(HPParams(3, 2))
+        for chunk in np.array_split(xs, 7):
+            b.extend(chunk)
+        assert len(a) == len(b) == 300
+        assert a.prefix_words(300) == b.prefix_words(300)
+        assert a.window_words(50, 200) == b.window_words(50, 200)
+
+    def test_auto_params(self, rng):
+        ps = ExactPrefixSums()
+        ps.extend(rng.uniform(-1.0, 1.0, 100))
+        assert ps.params is not None
+        assert ps.total() == ps.window_sum(0, 100)
+
+    def test_bounds(self):
+        ps = ExactPrefixSums(HPParams(2, 1))
+        ps.append(1.0)
+        with pytest.raises(IndexError):
+            ps.prefix_words(2)
+        with pytest.raises(ValueError):
+            ps.window_words(1, 0)
+
+    def test_empty(self):
+        ps = ExactPrefixSums()
+        assert len(ps) == 0
+        assert ps.window_sum(0, 0) == 0.0
+
+
+class TestMovingAverage:
+    def test_each_output_correctly_rounded(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 200)
+        window = 16
+        out = moving_average(xs, window, HPParams(3, 2))
+        assert len(out) == 200 - 16 + 1
+        for i in (0, 57, len(out) - 1):
+            exact = sum(
+                (Fraction(float(v)) for v in xs[i:i + window]), Fraction(0)
+            ) / window
+            assert out[i] == exact.numerator / exact.denominator
+
+    def test_window_one_is_identity(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 20)
+        assert np.array_equal(moving_average(xs, 1, HPParams(3, 2)), xs)
+
+    def test_full_window_is_mean(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 64)
+        out = moving_average(xs, 64, HPParams(3, 2))
+        exact = sum((Fraction(float(v)) for v in xs), Fraction(0)) / 64
+        assert out.tolist() == [exact.numerator / exact.denominator]
+
+    def test_window_validation(self, rng):
+        with pytest.raises(ValueError):
+            moving_average(rng.uniform(size=4), 0)
+        with pytest.raises(ValueError):
+            moving_average(rng.uniform(size=4), 5)

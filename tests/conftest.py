@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(2, 1), (3, 2), (6, 3), (8, 4)], ids=lambda p: f"N{p[0]}k{p[1]}")
+def hp_params(request) -> HPParams:
+    """The paper's Table 1 configurations."""
+    return HPParams(*request.param)
+
+
+@pytest.fixture(params=[(10, 52), (12, 43), (14, 37), (10, 38)],
+                ids=lambda p: f"N{p[0]}M{p[1]}")
+def hb_params(request) -> HallbergParams:
+    """The paper's Table 2 configurations plus the Figs. 5-8 one."""
+    return HallbergParams(*request.param)

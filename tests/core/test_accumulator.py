@@ -1,0 +1,113 @@
+"""Unit tests for HPAccumulator (per-PE running sums)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams
+from repro.errors import AdditionOverflowError, MixedParameterError
+
+P = HPParams(3, 2)
+
+
+class TestBasics:
+    def test_empty_is_zero(self):
+        acc = HPAccumulator(P)
+        assert acc.to_double() == 0.0
+        assert acc.count == 0
+
+    def test_accumulates_exactly(self):
+        acc = HPAccumulator(P)
+        acc.extend([0.1] * 10)
+        assert acc.to_double() == math.fsum([0.1] * 10)
+        assert acc.count == 10
+
+    def test_cancellation_exact(self):
+        acc = HPAccumulator(P)
+        acc.extend([1e10, 1e-10, -1e10, -1e-10])
+        assert acc.to_double() == 0.0
+
+    def test_add_hp_value(self):
+        acc = HPAccumulator(P)
+        acc.add_hp(HPNumber.from_double(2.5, P))
+        assert acc.to_double() == 2.5
+
+    def test_add_hp_rejects_mixed_params(self):
+        acc = HPAccumulator(P)
+        with pytest.raises(MixedParameterError):
+            acc.add_hp(HPNumber.from_double(1.0, HPParams(2, 1)))
+
+    def test_add_words_rejects_mixed_width(self):
+        acc = HPAccumulator(P)
+        with pytest.raises(MixedParameterError):
+            acc.add_words((0, 0))
+
+    def test_listing1_path_equivalent(self):
+        a = HPAccumulator(P)
+        b = HPAccumulator(P)
+        for x in (0.5, -0.25, 3.75, -1e-9):
+            a.add(x)
+            b.add_listing1(x)
+        assert a.words == b.words
+
+    def test_reset(self):
+        acc = HPAccumulator(P)
+        acc.add(1.0)
+        acc.reset()
+        assert acc.to_double() == 0.0 and acc.count == 0
+
+    def test_snapshot_is_hpnumber(self):
+        acc = HPAccumulator(P)
+        acc.add(0.75)
+        snap = acc.snapshot()
+        assert isinstance(snap, HPNumber)
+        acc.add(1.0)  # mutating the accumulator leaves the snapshot alone
+        assert snap.to_double() == 0.75
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self, rng):
+        data = rng.uniform(-1.0, 1.0, 200)
+        whole = HPAccumulator(P)
+        whole.extend(data.tolist())
+        left, right = HPAccumulator(P), HPAccumulator(P)
+        left.extend(data[:77].tolist())
+        right.extend(data[77:].tolist())
+        left.merge(right)
+        assert left.words == whole.words
+        assert left.count == whole.count
+
+    def test_merge_rejects_mixed_params(self):
+        acc = HPAccumulator(P)
+        with pytest.raises(MixedParameterError):
+            acc.merge(HPAccumulator(HPParams(2, 1)))
+
+
+class TestOverflow:
+    def test_detects_overflow(self):
+        p = HPParams(2, 1)
+        acc = HPAccumulator(p)
+        acc.add(2.0**62)
+        with pytest.raises(AdditionOverflowError):
+            acc.add(2.0**62)
+
+    def test_unchecked_mode_wraps(self):
+        p = HPParams(2, 1)
+        acc = HPAccumulator(p, check_overflow=False)
+        acc.add(2.0**62)
+        acc.add(2.0**62)  # silently wraps to the negative range
+        assert acc.to_double() == -(2.0**63)
+
+    def test_transient_wrap_recovers_when_unchecked(self):
+        """Modular arithmetic: overflow that cancels later still yields
+        the right final words (an order where it never surfaces exists)."""
+        p = HPParams(2, 1)
+        acc = HPAccumulator(p, check_overflow=False)
+        acc.add(2.0**62)
+        acc.add(2.0**62)   # wrapped here
+        acc.add(-(2.0**62))
+        assert acc.to_double() == 2.0**62

@@ -1,0 +1,106 @@
+"""Unit tests for the CAS-only atomic adder (paper Sec. III.B.2)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.atomic import AtomicHPCell, AtomicWord
+from repro.core.params import HPParams
+from repro.errors import MixedParameterError
+
+P = HPParams(3, 2)
+MASK = (1 << 64) - 1
+
+
+class TestAtomicWord:
+    def test_cas_success(self):
+        w = AtomicWord(5)
+        assert w.cas(5, 9)
+        assert w.load() == 9
+
+    def test_cas_failure_leaves_value(self):
+        w = AtomicWord(5)
+        assert not w.cas(4, 9)
+        assert w.load() == 5
+        assert w.cas_failures == 1
+
+    def test_atomic_add_returns_old_and_carry(self):
+        w = AtomicWord(MASK)
+        old, carry = w.atomic_add(1)
+        assert old == MASK and carry == 1 and w.load() == 0
+
+    def test_atomic_add_no_carry(self):
+        w = AtomicWord(10)
+        old, carry = w.atomic_add(5)
+        assert (old, carry) == (10, 0) and w.load() == 15
+
+    def test_wraps_modulo(self):
+        w = AtomicWord(MASK)
+        w.atomic_add(MASK)
+        assert w.load() == MASK - 1
+
+
+class TestAtomicHPCell:
+    def test_matches_accumulator(self, rng):
+        cell = AtomicHPCell(P)
+        acc = HPAccumulator(P)
+        for x in rng.uniform(-1.0, 1.0, 500):
+            cell.atomic_add_double(float(x))
+            acc.add(float(x))
+        assert cell.snapshot_words() == acc.words
+
+    def test_carry_through_all_ones_word(self):
+        """The regression that once lost a carry: adding values whose
+        high words are all ones (negative numbers) must ripple the carry
+        through, not drop it when an addend wraps to zero."""
+        cell = AtomicHPCell(P)
+        cell.atomic_add_double(-(2.0**-128))  # words all 0xFF..F
+        cell.atomic_add_double(2.0**-128)
+        assert cell.to_double() == 0.0
+
+    def test_carry_rides_through_wrapped_addend(self):
+        """Two negatives: the second add's high words are 0xFF..F and the
+        incoming carry wraps the addend to zero — the carry must ride
+        through to the next word untouched."""
+        cell = AtomicHPCell(P)
+        cell.atomic_add_double(-(2.0**-128))
+        cell.atomic_add_double(-(2.0**-128))
+        assert cell.to_double() == -(2.0**-127)
+
+    def test_width_check(self):
+        cell = AtomicHPCell(P)
+        with pytest.raises(MixedParameterError):
+            cell.atomic_add_words((1, 2))
+
+    def test_counters(self):
+        cell = AtomicHPCell(P)
+        cell.atomic_add_double(1.5)
+        assert cell.total_cas_attempts >= 1
+        assert cell.total_cas_failures == 0  # single-threaded: no retries
+
+    def test_real_threads(self, rng):
+        """Genuine concurrency: many threads fold values into one cell;
+        the result must equal the sequential sum exactly."""
+        values = rng.uniform(-1.0, 1.0, 400)
+        cell = AtomicHPCell(P)
+
+        def worker(chunk: np.ndarray) -> None:
+            for x in chunk:
+                cell.atomic_add_double(float(x))
+
+        threads = [
+            threading.Thread(target=worker, args=(values[i::8],))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        acc = HPAccumulator(P)
+        acc.extend(values.tolist())
+        assert cell.snapshot_words() == acc.words

@@ -1,0 +1,131 @@
+"""Boundary-torture tests: conversions at every edge of every format.
+
+Systematic sweep of the IEEE and fixed-point edges for all Table 1
+configurations: largest/smallest representable values, the asymmetric
+two's-complement boundary, subnormal inputs, the resolution quantum, and
+the double-precision extremes — each round-tripped or rejected exactly
+as specified.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import pytest
+
+from repro.core.params import HPParams, TABLE1_CONFIGS
+from repro.core.scalar import (
+    add_words,
+    from_double,
+    from_int_scaled,
+    negate_words,
+    to_double,
+    to_int_scaled,
+)
+from repro.errors import ConversionOverflowError
+
+
+@pytest.fixture(params=TABLE1_CONFIGS, ids=lambda c: f"N{c[0]}k{c[1]}")
+def params(request) -> HPParams:
+    return HPParams(*request.param)
+
+
+class TestRangeEdges:
+    def test_largest_power_below_limit_roundtrips(self, params):
+        x = 2.0 ** (params.whole_bits - 1)
+        assert to_double(from_double(x, params), params) == x
+        assert to_double(from_double(-x, params), params) == -x
+
+    def test_limit_rejected_positive(self, params):
+        with pytest.raises(ConversionOverflowError):
+            from_double(2.0**params.whole_bits, params)
+
+    def test_negative_limit_admitted(self, params):
+        """Two's complement is asymmetric: -2**whole_bits is min_int."""
+        x = -(2.0**params.whole_bits)
+        words = from_double(x, params)
+        assert to_int_scaled(words) == params.min_int
+        assert to_double(words, params) == x
+
+    def test_one_below_negative_limit_rejected(self, params):
+        x = -(2.0**params.whole_bits) * (1 + 2.0**-52)
+        with pytest.raises(ConversionOverflowError):
+            from_double(x, params)
+
+    def test_max_int_plus_one_wraps_via_addition(self, params):
+        top = from_int_scaled(params.max_int, params)
+        one = from_int_scaled(1, params)
+        wrapped = add_words(top, one)
+        assert to_int_scaled(wrapped) == params.min_int
+
+    def test_most_negative_negation_is_fixed_point(self, params):
+        """-min_int is unrepresentable; two's complement maps it to
+        itself, exactly as in hardware."""
+        bottom = from_int_scaled(params.min_int, params)
+        assert negate_words(bottom) == bottom
+
+
+class TestResolutionEdges:
+    def test_quantum_roundtrips(self, params):
+        q = params.smallest
+        if q == 0.0:
+            pytest.skip("resolution below double subnormal range")
+        assert to_double(from_double(q, params), params) == q
+        assert to_double(from_double(-q, params), params) == -q
+
+    def test_half_quantum_truncates_to_zero(self, params):
+        if params.smallest == 0.0 or params.frac_bits == 0:
+            pytest.skip("no sub-quantum doubles for this format")
+        x = params.smallest / 2
+        if x == 0.0:
+            pytest.skip("half-quantum underflows double")
+        assert from_double(x, params) == (0,) * params.n
+        assert from_double(-x, params) == (0,) * params.n
+
+    def test_quantum_adjacent_value(self, params):
+        if params.frac_bits < 53 or params.frac_bits > 1000:
+            pytest.skip("needs quantum within double range")
+        x = params.smallest * 3  # lowest bits: ...11
+        assert to_double(from_double(x, params), params) == x
+
+
+class TestDoubleEdges:
+    def test_max_double(self, params):
+        x = sys.float_info.max
+        if params.in_range(x):
+            assert to_double(from_double(x, params), params) == x
+        else:
+            with pytest.raises(ConversionOverflowError):
+                from_double(x, params)
+
+    def test_min_normal_double(self, params):
+        x = sys.float_info.min  # 2**-1022
+        words = from_double(x, params)
+        # Representable only if the fraction reaches that deep.
+        if params.frac_bits >= 1022 + 52:
+            assert to_double(words, params) == x
+        else:
+            assert abs(to_double(words, params)) <= x
+
+    def test_smallest_subnormal(self, params):
+        words = from_double(5e-324, params)
+        assert to_double(words, params) in (0.0, 5e-324)
+
+    def test_signed_zero_collapses(self, params):
+        assert from_double(-0.0, params) == from_double(0.0, params)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_nonfinite_rejected(self, params, bad):
+        with pytest.raises(ConversionOverflowError):
+            from_double(bad, params)
+
+    def test_one_ulp_below_one(self, params):
+        x = math.nextafter(1.0, 0.0)  # 53 significant bits
+        if params.frac_bits >= 53:
+            assert to_double(from_double(x, params), params) == x
+
+    def test_all_mantissa_bits_set(self, params):
+        x = float((1 << 53) - 1)  # 53 one-bits, integer
+        if params.whole_bits >= 53:
+            assert to_double(from_double(x, params), params) == x

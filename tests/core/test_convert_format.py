@@ -1,0 +1,115 @@
+"""Unit/property tests for exact inter-format conversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.convert_format import (
+    common_format,
+    convert_words,
+    is_exactly_convertible,
+)
+from repro.core.params import HPParams
+from repro.core.scalar import from_double, to_double, to_int_scaled
+from repro.errors import ConversionOverflowError, MixedParameterError
+
+P32 = HPParams(3, 2)
+P21 = HPParams(2, 1)
+P84 = HPParams(8, 4)
+
+
+class TestConvertWords:
+    @pytest.mark.parametrize("x", [0.0, 1.5, -1.5, 0.1, -4096.25])
+    def test_widening_preserves_value(self, x):
+        w = from_double(x, P32)
+        wide = convert_words(w, P32, P84)
+        assert to_double(wide, P84) == x
+
+    def test_narrowing_exact_when_fits(self):
+        w = from_double(1.5, P32)
+        narrow = convert_words(w, P32, P21)
+        assert to_double(narrow, P21) == 1.5
+
+    def test_narrowing_raises_on_lost_bits(self):
+        w = from_double(2.0**-100, P32)  # below (2,1)'s 2**-64
+        with pytest.raises(ConversionOverflowError):
+            convert_words(w, P32, P21)
+
+    def test_narrowing_truncates_when_allowed(self):
+        w = from_double(1.0 + 2.0**-100, P32)
+        narrow = convert_words(w, P32, P21, allow_truncation=True)
+        assert to_double(narrow, P21) == 1.0
+        neg = convert_words(
+            from_double(-(1.0 + 2.0**-100), P32), P32, P21,
+            allow_truncation=True,
+        )
+        assert to_double(neg, P21) == -1.0  # toward zero, not -inf
+
+    def test_range_overflow(self):
+        w = from_double(2.0**100, P84)
+        with pytest.raises(ConversionOverflowError):
+            convert_words(w, P84, P32)  # (3,2) tops out at 2**63
+
+    def test_width_mismatch(self):
+        with pytest.raises(MixedParameterError):
+            convert_words((0, 0), P32, P21)
+
+    def test_same_format_identity(self):
+        w = from_double(0.1, P32)
+        assert convert_words(w, P32, P32) == w
+
+
+class TestIsExactlyConvertible:
+    def test_true_cases(self):
+        assert is_exactly_convertible(from_double(1.5, P32), P32, P21)
+        assert is_exactly_convertible(from_double(0.1, P32), P32, P84)
+
+    def test_false_on_resolution_loss(self):
+        assert not is_exactly_convertible(
+            from_double(2.0**-100, P32), P32, P21
+        )
+
+    def test_false_on_range_loss(self):
+        assert not is_exactly_convertible(
+            from_double(2.0**70, P84), P84, P32
+        )
+
+
+class TestCommonFormat:
+    def test_join(self):
+        assert common_format(HPParams(3, 2), HPParams(6, 1)) == HPParams(7, 2)
+
+    def test_idempotent(self):
+        assert common_format(P32, P32) == P32
+
+    def test_commutative(self):
+        assert common_format(P32, P84) == common_format(P84, P32)
+
+    @given(
+        st.integers(1, 8), st.integers(0, 8),
+        st.integers(1, 8), st.integers(0, 8),
+    )
+    @settings(max_examples=50)
+    def test_absorbs_both(self, n1, k1, n2, k2):
+        if k1 > n1 or k2 > n2:
+            return
+        a, b = HPParams(n1, k1), HPParams(n2, k2)
+        c = common_format(a, b)
+        assert c.whole_bits >= max(a.whole_bits, b.whole_bits)
+        assert c.frac_bits >= max(a.frac_bits, b.frac_bits)
+
+
+class TestRoundtripProperty:
+    values = st.floats(min_value=-1e15, max_value=1e15, allow_nan=False)
+
+    @given(values)
+    @settings(max_examples=60)
+    def test_widen_then_narrow_is_identity(self, x):
+        w = from_double(x, P32)
+        wide = convert_words(w, P32, P84)
+        back = convert_words(wide, P84, P32)
+        assert back == w
+        assert to_int_scaled(wide) == to_int_scaled(w) << (
+            P84.frac_bits - P32.frac_bits
+        )

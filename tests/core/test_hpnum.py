@@ -1,0 +1,123 @@
+"""Unit tests for the HPNumber value type."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.hpnum import HPNumber
+from repro.core.params import HPParams
+from repro.errors import (
+    AdditionOverflowError,
+    MixedParameterError,
+    ParameterError,
+)
+
+P = HPParams(3, 2)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert HPNumber.zero(P).to_double() == 0.0
+        assert not HPNumber.zero(P)
+
+    def test_from_double(self):
+        assert HPNumber.from_double(0.25, P).to_double() == 0.25
+
+    def test_from_fraction(self):
+        x = HPNumber.from_fraction(Fraction(1, 4), P)
+        assert x.to_double() == 0.25
+
+    def test_from_fraction_truncates(self):
+        third = HPNumber.from_fraction(Fraction(1, 3), P)
+        assert third.to_fraction() < Fraction(1, 3)
+        assert Fraction(1, 3) - third.to_fraction() < Fraction(1, P.scale)
+
+    def test_from_fraction_negative_truncates_toward_zero(self):
+        x = HPNumber.from_fraction(Fraction(-1, 3), P)
+        assert x.to_fraction() > Fraction(-1, 3)
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(ParameterError):
+            HPNumber((0, 0), P)
+
+    def test_rejects_out_of_range_word(self):
+        with pytest.raises(ParameterError):
+            HPNumber((0, 0, 1 << 64), P)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = HPNumber.from_double(0.1, P)
+        b = HPNumber.from_double(0.2, P)
+        assert (a + b - b).to_double() == 0.1
+
+    def test_add_scalar_coercion(self):
+        a = HPNumber.from_double(1.5, P)
+        assert (a + 1).to_double() == 2.5
+        assert (1 + a).to_double() == 2.5
+
+    def test_rsub(self):
+        a = HPNumber.from_double(1.5, P)
+        assert (3 - a).to_double() == 1.5
+
+    def test_neg_abs(self):
+        a = HPNumber.from_double(-2.5, P)
+        assert (-a).to_double() == 2.5
+        assert abs(a).to_double() == 2.5
+        assert (+a) is a
+
+    def test_overflow_raises(self):
+        big = HPNumber.from_int_scaled(P.max_int, P)
+        with pytest.raises(AdditionOverflowError):
+            big + HPNumber.from_double(1.0, P)
+
+    def test_mixed_params_rejected(self):
+        a = HPNumber.from_double(1.0, P)
+        b = HPNumber.from_double(1.0, HPParams(2, 1))
+        with pytest.raises(MixedParameterError):
+            a + b
+
+    def test_unsupported_operand(self):
+        a = HPNumber.from_double(1.0, P)
+        with pytest.raises(TypeError):
+            a + "x"  # type: ignore[operator]
+
+
+class TestComparison:
+    def test_equality_is_bitwise(self):
+        a = HPNumber.from_double(0.5, P)
+        b = HPNumber.from_double(0.25, P) + HPNumber.from_double(0.25, P)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering(self):
+        xs = [HPNumber.from_double(v, P) for v in (1.5, -2.0, 0.0, 7.25)]
+        assert [x.to_double() for x in sorted(xs)] == [-2.0, 0.0, 1.5, 7.25]
+
+    def test_ordering_across_signs(self):
+        assert HPNumber.from_double(-0.001, P) < HPNumber.from_double(0.001, P)
+
+    def test_different_params_not_equal(self):
+        assert HPNumber.from_double(1.0, P) != HPNumber.from_double(
+            1.0, HPParams(2, 1)
+        )
+
+
+class TestAccessors:
+    def test_signs(self):
+        assert HPNumber.from_double(-1.0, P).is_negative()
+        assert not HPNumber.from_double(1.0, P).is_negative()
+        assert HPNumber.zero(P).is_zero()
+
+    def test_to_fraction_exact(self):
+        x = HPNumber.from_double(0.1, P)
+        assert x.to_fraction() == Fraction(0.1)
+
+    def test_hex_words(self):
+        dump = HPNumber.from_double(1.0, P).hex_words()
+        assert dump == "0000000000000001 0000000000000000 0000000000000000"
+
+    def test_repr_contains_value(self):
+        assert "0.5" in repr(HPNumber.from_double(0.5, P))

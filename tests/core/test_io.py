@@ -1,0 +1,130 @@
+"""Unit tests for HP serialization and checkpointing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.hpnum import HPNumber
+from repro.core.io import (
+    FormatError,
+    load_accumulator,
+    load_bank,
+    number_from_bytes,
+    number_from_hex,
+    number_to_bytes,
+    number_to_hex,
+    save_accumulator,
+    save_bank,
+)
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams
+from repro.errors import MixedParameterError
+
+P = HPParams(3, 2)
+
+
+class TestBytesRoundtrip:
+    @pytest.mark.parametrize("x", [0.0, 1.5, -1.5, 0.1, -12345.678])
+    def test_roundtrip(self, x):
+        number = HPNumber.from_double(x, P)
+        back, count = number_from_bytes(number_to_bytes(number, count=7))
+        assert back == number and count == 7
+
+    def test_roundtrip_across_formats(self, hp_params):
+        number = HPNumber.from_double(42.5, hp_params)
+        back, _ = number_from_bytes(number_to_bytes(number))
+        assert back.params == hp_params and back == number
+
+    def test_expect_mismatch(self):
+        blob = number_to_bytes(HPNumber.from_double(1.0, P))
+        with pytest.raises(MixedParameterError):
+            number_from_bytes(blob, expect=HPParams(2, 1))
+
+    def test_bad_magic(self):
+        blob = b"XXXX" + number_to_bytes(HPNumber.zero(P))[4:]
+        with pytest.raises(FormatError):
+            number_from_bytes(blob)
+
+    def test_truncated_blob(self):
+        blob = number_to_bytes(HPNumber.zero(P))[:-3]
+        with pytest.raises(FormatError):
+            number_from_bytes(blob)
+
+    def test_too_short_for_header(self):
+        with pytest.raises(FormatError):
+            number_from_bytes(b"HP")
+
+
+class TestHexRoundtrip:
+    @pytest.mark.parametrize("x", [0.0, 0.1, -2.5, 1e18, -(2.0**-128)])
+    def test_roundtrip(self, x):
+        number = HPNumber.from_double(x, P)
+        assert number_from_hex(number_to_hex(number)) == number
+
+    def test_format_visible(self):
+        text = number_to_hex(HPNumber.from_double(1.0, P))
+        assert text.startswith("3,2:")
+
+    def test_malformed(self):
+        with pytest.raises(FormatError):
+            number_from_hex("not-hex")
+        with pytest.raises(FormatError):
+            number_from_hex("3,2:abcd")  # wrong digit count
+
+
+class TestAccumulatorCheckpoint:
+    def test_checkpoint_resume_equals_straight_run(self, rng):
+        """The restartability property: checkpoint mid-stream, resume,
+        and get bit-identical words."""
+        values = rng.uniform(-1.0, 1.0, 200)
+        straight = HPAccumulator(P)
+        straight.extend(values.tolist())
+
+        first = HPAccumulator(P)
+        first.extend(values[:93].tolist())
+        stream = io.BytesIO()
+        save_accumulator(first, stream)
+        stream.seek(0)
+        resumed = load_accumulator(stream, expect=P)
+        resumed.extend(values[93:].tolist())
+        assert resumed.words == straight.words
+        assert resumed.count == straight.count
+
+    def test_expect_guard(self):
+        stream = io.BytesIO()
+        save_accumulator(HPAccumulator(P), stream)
+        stream.seek(0)
+        with pytest.raises(MixedParameterError):
+            load_accumulator(stream, expect=HPParams(6, 3))
+
+
+class TestBankPersistence:
+    def test_roundtrip(self, tmp_path, rng):
+        bank = HPMultiAccumulator(6, P)
+        for _ in range(10):
+            bank.add(rng.uniform(-1.0, 1.0, 6))
+        path = str(tmp_path / "bank")
+        save_bank(bank, path)
+        back = load_bank(path, expect=P)
+        assert np.array_equal(back.words, bank.words)
+        assert back.count == bank.count
+        assert back.to_doubles().tolist() == bank.to_doubles().tolist()
+
+    def test_manifest_mismatch(self, tmp_path, rng):
+        bank = HPMultiAccumulator(2, P)
+        path = str(tmp_path / "bank")
+        save_bank(bank, path)
+        with pytest.raises(MixedParameterError):
+            load_bank(path, expect=HPParams(2, 1))
+
+    def test_corrupt_plane_detected(self, tmp_path):
+        bank = HPMultiAccumulator(2, P)
+        path = str(tmp_path / "bank")
+        save_bank(bank, path)
+        np.save(path + ".npy", np.zeros((3, 3), dtype=np.uint64))
+        with pytest.raises(FormatError):
+            load_bank(path)

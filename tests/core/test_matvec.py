@@ -1,0 +1,98 @@
+"""Tests for exact matrix-vector products."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import CSRMatrix, hp_matvec, hp_spmv
+from repro.util.rng import default_rng
+
+
+def exact_row(row: np.ndarray, x: np.ndarray) -> float:
+    total = sum(
+        (Fraction(float(a)) * Fraction(float(b)) for a, b in zip(row, x)),
+        Fraction(0),
+    )
+    return total.numerator / total.denominator if total else 0.0
+
+
+class TestDenseMatvec:
+    def test_known(self):
+        out = hp_matvec(np.array([[1.0, 2.0], [3.0, 4.0]]),
+                        np.array([1.0, 0.5]))
+        assert out.tolist() == [2.0, 5.0]
+
+    def test_exact_per_row(self, rng):
+        a = rng.uniform(-1.0, 1.0, (20, 30))
+        x = rng.uniform(-1.0, 1.0, 30)
+        out = hp_matvec(a, x)
+        for i in range(20):
+            assert out[i] == exact_row(a[i], x)
+
+    def test_column_permutation_invariant(self, rng):
+        """Permuting columns (and x) cannot change any output bit."""
+        a = rng.uniform(-1.0, 1.0, (10, 40))
+        x = rng.uniform(-1.0, 1.0, 40)
+        perm = rng.permutation(40)
+        assert np.array_equal(hp_matvec(a, x), hp_matvec(a[:, perm], x[perm]))
+
+    def test_close_to_numpy(self, rng):
+        a = rng.uniform(-1.0, 1.0, (8, 8))
+        x = rng.uniform(-1.0, 1.0, 8)
+        assert np.allclose(hp_matvec(a, x), a @ x, atol=1e-12)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ValueError):
+            hp_matvec(rng.uniform(size=(3, 4)), rng.uniform(size=3))
+
+    def test_zero_matrix(self):
+        assert hp_matvec(np.zeros((3, 3)), np.zeros(3)).tolist() == [0.0] * 3
+
+
+class TestCSR:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.uniform(-1.0, 1.0, (6, 9))
+        dense[rng.uniform(size=(6, 9)) < 0.6] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        rebuilt = np.zeros_like(dense)
+        for i in range(6):
+            vals, cols = csr.row(i)
+            rebuilt[i, cols] = vals
+        assert np.array_equal(rebuilt, dense)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.zeros(2), np.zeros(2, dtype=np.int64),
+                      np.array([0, 1]), (2, 2))
+
+    def test_spmv_matches_dense(self, rng):
+        dense = rng.uniform(-1.0, 1.0, (12, 15))
+        dense[rng.uniform(size=(12, 15)) < 0.7] = 0.0
+        x = rng.uniform(-1.0, 1.0, 15)
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(hp_spmv(csr, x), hp_matvec(dense, x))
+
+    def test_nonzero_order_invariant(self, rng):
+        """The reproducibility claim for sparse: shuffling each row's
+        stored nonzeros changes nothing."""
+        dense = rng.uniform(-1.0, 1.0, (10, 20))
+        dense[rng.uniform(size=(10, 20)) < 0.5] = 0.0
+        x = rng.uniform(-1.0, 1.0, 20)
+        csr = CSRMatrix.from_dense(dense)
+        shuffled = csr.permuted_nonzeros(default_rng(3))
+        assert np.array_equal(hp_spmv(csr, x), hp_spmv(shuffled, x))
+
+    def test_spmv_shape_check(self, rng):
+        csr = CSRMatrix.from_dense(rng.uniform(size=(3, 4)))
+        with pytest.raises(ValueError):
+            hp_spmv(csr, rng.uniform(size=5))
+
+    def test_empty_rows(self):
+        dense = np.zeros((3, 4))
+        dense[1, 2] = 2.5
+        csr = CSRMatrix.from_dense(dense)
+        out = hp_spmv(csr, np.array([1.0, 1.0, 2.0, 1.0]))
+        assert out.tolist() == [0.0, 5.0, 0.0]

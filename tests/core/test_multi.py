@@ -1,0 +1,156 @@
+"""Unit/property tests for the vectorized multi-accumulator bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.errors import AdditionOverflowError, MixedParameterError
+
+P = HPParams(3, 2)
+
+
+class TestBasics:
+    def test_starts_zero(self):
+        bank = HPMultiAccumulator(5, P)
+        assert bank.to_doubles().tolist() == [0.0] * 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HPMultiAccumulator(0, P)
+
+    def test_elementwise_add(self):
+        bank = HPMultiAccumulator(3, P)
+        bank.add(np.array([1.0, -2.0, 0.5]))
+        bank.add(np.array([0.5, 2.0, 0.5]))
+        assert bank.to_doubles().tolist() == [1.5, 0.0, 1.0]
+
+    def test_shape_check(self):
+        bank = HPMultiAccumulator(3, P)
+        with pytest.raises(ValueError):
+            bank.add(np.zeros(4))
+
+    def test_matches_scalar_accumulators(self, rng):
+        m = 7
+        bank = HPMultiAccumulator(m, P)
+        refs = [HPAccumulator(P) for _ in range(m)]
+        for _ in range(100):
+            xs = rng.uniform(-1.0, 1.0, m)
+            bank.add(xs)
+            for i in range(m):
+                refs[i].add(float(xs[i]))
+        for i in range(m):
+            assert bank.cell_words(i) == refs[i].words
+
+    def test_carry_chain_per_cell(self):
+        """Cells carry independently: one cell's ripple must not leak."""
+        bank = HPMultiAccumulator(2, P)
+        bank.add(np.array([-(2.0**-128), 1.0]))
+        bank.add(np.array([2.0**-128, 1.0]))
+        assert bank.to_doubles().tolist() == [0.0, 2.0]
+
+
+class TestScatter:
+    def test_scatter_basic(self):
+        bank = HPMultiAccumulator(4, P)
+        bank.add_at(np.array([0, 2, 2]), np.array([1.0, 0.5, 0.25]))
+        assert bank.to_doubles().tolist() == [1.0, 0.0, 0.75, 0.0]
+
+    def test_scatter_matches_sequential(self, rng):
+        bank = HPMultiAccumulator(8, P)
+        refs = [HPAccumulator(P) for _ in range(8)]
+        idx = rng.integers(0, 8, 200)
+        xs = rng.uniform(-1.0, 1.0, 200)
+        bank.add_at(idx, xs)
+        for i, x in zip(idx, xs):
+            refs[int(i)].add(float(x))
+        for i in range(8):
+            assert bank.cell_words(i) == refs[i].words
+
+    def test_scatter_bounds(self):
+        bank = HPMultiAccumulator(4, P)
+        with pytest.raises(IndexError):
+            bank.add_at(np.array([4]), np.array([1.0]))
+
+    def test_scatter_empty(self):
+        bank = HPMultiAccumulator(4, P)
+        bank.add_at(np.array([], dtype=np.int64), np.array([]))
+        assert bank.count == 0
+
+
+class TestMergeAndTotals:
+    def test_merge(self, rng):
+        a = HPMultiAccumulator(4, P)
+        b = HPMultiAccumulator(4, P)
+        whole = HPMultiAccumulator(4, P)
+        for _ in range(20):
+            xs = rng.uniform(-1.0, 1.0, 4)
+            a.add(xs)
+            whole.add(xs)
+        for _ in range(30):
+            xs = rng.uniform(-1.0, 1.0, 4)
+            b.add(xs)
+            whole.add(xs)
+        a.merge(b)
+        assert np.array_equal(a.words, whole.words)
+        assert a.count == whole.count
+
+    def test_merge_shape_check(self):
+        with pytest.raises(MixedParameterError):
+            HPMultiAccumulator(4, P).merge(HPMultiAccumulator(5, P))
+
+    def test_total_equals_flat_sum(self, rng):
+        import math
+
+        bank = HPMultiAccumulator(16, P)
+        all_values = []
+        for _ in range(10):
+            xs = rng.uniform(-1.0, 1.0, 16)
+            bank.add(xs)
+            all_values.extend(xs.tolist())
+        assert to_double(bank.total_words(), P) == math.fsum(all_values)
+
+    def test_cell_accumulator_roundtrip(self, rng):
+        bank = HPMultiAccumulator(3, P)
+        bank.add(rng.uniform(-1.0, 1.0, 3))
+        acc = bank.cell_accumulator(1)
+        assert acc.words == bank.cell_words(1)
+
+
+class TestOverflow:
+    def test_per_cell_overflow_detected(self):
+        p = HPParams(2, 1)
+        bank = HPMultiAccumulator(2, p)
+        bank.add(np.array([2.0**62, 0.0]))
+        with pytest.raises(AdditionOverflowError, match="cell 0"):
+            bank.add(np.array([2.0**62, 1.0]))
+
+    def test_unchecked_wraps(self):
+        p = HPParams(2, 1)
+        bank = HPMultiAccumulator(1, p, check_overflow=False)
+        bank.add(np.array([2.0**62]))
+        bank.add(np.array([2.0**62]))
+        assert bank.to_doubles()[0] == -(2.0**63)
+
+
+class TestProperties:
+    @given(st.lists(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                 min_size=3, max_size=3),
+        min_size=0, max_size=20,
+    ))
+    @settings(max_examples=40)
+    def test_bank_equals_scalars(self, rows):
+        bank = HPMultiAccumulator(3, P)
+        refs = [HPAccumulator(P) for _ in range(3)]
+        for row in rows:
+            bank.add(np.array(row, dtype=np.float64))
+            for i in range(3):
+                refs[i].add(float(np.float64(row[i])))
+        for i in range(3):
+            assert bank.cell_words(i) == refs[i].words

@@ -1,0 +1,110 @@
+"""Unit/property tests for correctly-rounded norms."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.norms import (
+    exact_norm2,
+    exact_sum_abs,
+    exact_sumsq_fraction,
+    sqrt_correctly_rounded,
+)
+
+
+def assert_correctly_rounded(result: float, value: Fraction) -> None:
+    """``result`` is the nearest double to sqrt(value): the exact value
+    lies between the midpoints to the neighbouring doubles."""
+    if result == 0.0:
+        hi = Fraction(math.nextafter(0.0, 1.0)) / 2
+        assert value <= hi * hi
+        return
+    lo_mid = (Fraction(math.nextafter(result, 0.0)) + Fraction(result)) / 2
+    hi_mid = (Fraction(result) + Fraction(math.nextafter(result, math.inf))) / 2
+    assert lo_mid**2 <= value <= hi_mid**2, (result, float(value))
+
+
+class TestSqrtCorrectlyRounded:
+    def test_matches_math_sqrt_on_doubles(self, rng):
+        for x in rng.uniform(0.0, 1e12, 500):
+            assert sqrt_correctly_rounded(Fraction(float(x))) == math.sqrt(x)
+
+    def test_perfect_squares(self):
+        for i in (0, 1, 4, 9, 10**20, 2**100):
+            assert sqrt_correctly_rounded(Fraction(i)) == float(math.isqrt(i))
+
+    def test_tie_resolves_to_even(self):
+        midpoint = Fraction(1) + Fraction(1, 2**53)  # between 1 and 1+ulp
+        assert sqrt_correctly_rounded(midpoint * midpoint) == 1.0
+        midpoint2 = Fraction(1) + Fraction(3, 2**53)  # between 1+ulp, 1+2ulp
+        assert sqrt_correctly_rounded(midpoint2 * midpoint2) == 1.0 + 2**-51
+
+    def test_subnormal_results(self):
+        tiny = Fraction(5e-324)
+        assert sqrt_correctly_rounded(tiny * tiny) == 5e-324
+        assert sqrt_correctly_rounded(Fraction(1, 2**2300)) == 0.0
+
+    def test_overflow_to_inf(self):
+        assert sqrt_correctly_rounded(Fraction(10) ** 620) == math.inf
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sqrt_correctly_rounded(Fraction(-1))
+
+    @given(st.fractions(min_value=0, max_value=10**30))
+    @settings(max_examples=100)
+    def test_property_correct_rounding(self, value):
+        assert_correctly_rounded(sqrt_correctly_rounded(value), value)
+
+    @given(st.integers(min_value=1, max_value=10**40),
+           st.integers(min_value=1, max_value=10**40))
+    @settings(max_examples=100)
+    def test_property_wide_range(self, num, den):
+        value = Fraction(num, den)
+        assert_correctly_rounded(sqrt_correctly_rounded(value), value)
+
+
+class TestExactNorms:
+    def test_pythagorean(self):
+        assert exact_norm2(np.array([3.0, 4.0])) == 5.0
+        assert exact_norm2(np.array([0.0])) == 0.0
+
+    def test_asum(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 500)
+        exact = sum((Fraction(float(abs(x))) for x in xs), Fraction(0))
+        assert exact_sum_abs(xs) == exact.numerator / exact.denominator
+
+    def test_norm_order_invariant(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 300)
+        assert exact_norm2(xs) == exact_norm2(xs[::-1].copy())
+        assert exact_norm2(xs) == exact_norm2(rng.permutation(xs))
+
+    def test_norm_against_rational_reference(self, rng):
+        xs = rng.uniform(-10.0, 10.0, 64)
+        value = exact_sumsq_fraction(xs)
+        assert_correctly_rounded(exact_norm2(xs), value)
+
+    def test_sumsq_exact(self, rng):
+        xs = rng.uniform(-2.0, 2.0, 100)
+        expected = sum(
+            (Fraction(float(x)) ** 2 for x in xs), Fraction(0)
+        )
+        assert exact_sumsq_fraction(xs) == expected
+
+    def test_cancellation_free(self):
+        """numpy can lose the small component entirely; exact cannot."""
+        xs = np.array([1e200, 1.0])
+        assert exact_norm2(xs) == 1e200  # correctly rounded (1.0 is lost
+        # below the ulp of 1e200 — but *by rounding*, not by overflow:
+        # numpy's naive norm overflows to inf on this input).
+        with np.errstate(over="ignore"):
+            assert not math.isfinite(float(np.sqrt(np.sum(xs**2))))
+
+    def test_empty(self):
+        assert exact_norm2(np.array([])) == 0.0
+        assert exact_sum_abs(np.array([])) == 0.0

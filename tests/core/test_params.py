@@ -1,0 +1,107 @@
+"""Unit tests for HPParams (format geometry, Table 1 values)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams, TABLE1_CONFIGS, suggest_params
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    def test_rejects_zero_words(self):
+        with pytest.raises(ParameterError):
+            HPParams(0, 0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ParameterError):
+            HPParams(3, -1)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ParameterError):
+            HPParams(3, 4)
+
+    def test_boundary_k_values_allowed(self):
+        assert HPParams(3, 0).frac_bits == 0
+        # k == N: every bit fractional; max value is 2**-1 = 0.5.
+        assert HPParams(3, 3).whole_bits == -1
+        assert HPParams(3, 3).max_value == 0.5
+
+    def test_frozen(self):
+        p = HPParams(3, 2)
+        with pytest.raises(AttributeError):
+            p.n = 4  # type: ignore[misc]
+
+
+class TestGeometry:
+    def test_bit_accounting(self):
+        p = HPParams(6, 3)
+        assert p.total_bits == 384
+        assert p.precision_bits == 383
+        assert p.frac_bits == 192
+        assert p.whole_bits == 191
+        assert p.whole_bits + p.frac_bits + 1 == p.total_bits
+
+    def test_integer_bounds(self):
+        p = HPParams(2, 1)
+        assert p.max_int == (1 << 127) - 1
+        assert p.min_int == -(1 << 127)
+        assert p.scale == 1 << 64
+
+
+class TestTable1:
+    """The published Table 1 values (Sec. III.B)."""
+
+    EXPECTED = {
+        (2, 1): (128, 9.223372e18, 5.421011e-20),
+        (3, 2): (192, 9.223372e18, 2.938736e-39),
+        (6, 3): (384, 3.138551e57, 1.593092e-58),  # paper's Bits=256 is a typo
+        (8, 4): (512, 5.789604e76, 8.636169e-78),
+    }
+
+    @pytest.mark.parametrize("config", TABLE1_CONFIGS)
+    def test_row(self, config):
+        n, k = config
+        bits, max_range, smallest = self.EXPECTED[config]
+        row = HPParams(n, k).table1_row()
+        assert row[2] == bits
+        assert row[3] == pytest.approx(max_range, rel=1e-6)
+        assert row[4] == pytest.approx(smallest, rel=1e-6)
+
+
+class TestInRange:
+    def test_symmetric_interior(self):
+        p = HPParams(2, 1)
+        assert p.in_range(9.2e18)
+        assert p.in_range(-9.2e18)
+        assert not p.in_range(1e19)
+
+    def test_asymmetric_edge(self):
+        p = HPParams(2, 1)
+        assert p.in_range(-(2.0**63))   # min_int exactly
+        assert not p.in_range(2.0**63)  # max_int + 1
+
+
+class TestSuggestParams:
+    def test_unit_data(self):
+        p = suggest_params(1.0, 2.0**-60)
+        assert p.in_range(1.0)
+        assert p.smallest <= 2.0**-112  # covers the mantissa tail
+
+    def test_huge_range(self):
+        p = suggest_params(1e60, 1e-60)
+        assert p.max_value > 1e60
+        assert p.smallest < 1e-75
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            suggest_params(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            suggest_params(1.0, -1.0)
+        with pytest.raises(ParameterError):
+            suggest_params(1.0, 2.0)
+
+    def test_margin_grows_whole_part(self):
+        tight = suggest_params(100.0, 0.5, margin_bits=1)
+        roomy = suggest_params(100.0, 0.5, margin_bits=80)
+        assert roomy.whole_bits > tight.whole_bits

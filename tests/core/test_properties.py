@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the HP format invariants.
+
+These are the library-level theorems from DESIGN.md §5: round-trip
+exactness, order invariance, agreement with exact rational arithmetic,
+two's-complement symmetry, and scalar/vectorized bit-identity.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.params import HPParams
+from repro.core.scalar import (
+    add_words,
+    from_double,
+    from_double_listing1,
+    negate_words,
+    to_double,
+    to_int_scaled,
+)
+from repro.core.vectorized import batch_from_double, batch_sum_doubles
+
+P = HPParams(3, 2)
+
+# Doubles fully inside HP(3,2)'s window: magnitude < 2**62, lowest
+# mantissa bit above 2**-128 (i.e. exponent > -76 keeps all 52 low bits).
+representable = st.one_of(
+    st.just(0.0),
+    st.floats(
+        min_value=2.0**-75,
+        max_value=2.0**62,
+        allow_nan=False,
+        allow_infinity=False,
+    ).map(lambda x: x),
+    st.floats(
+        min_value=2.0**-75,
+        max_value=2.0**62,
+        allow_nan=False,
+        allow_infinity=False,
+    ).map(lambda x: -x),
+)
+
+# Any finite double (for truncation-semantics properties).
+any_finite = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-(2.0**62), max_value=2.0**62)
+
+
+class TestRoundTrip:
+    @given(representable)
+    def test_exact_roundtrip(self, x):
+        assert to_double(from_double(x, P), P) == x
+
+    @given(any_finite)
+    def test_truncation_toward_zero(self, x):
+        """Out-of-precision inputs quantize toward zero by < 1 ulp of the
+        format, symmetrically for either sign."""
+        got = Fraction(to_int_scaled(from_double(x, P)), P.scale)
+        exact = Fraction(x)
+        assert abs(got) <= abs(exact)
+        assert abs(exact - got) < Fraction(1, P.scale)
+
+    @given(any_finite)
+    def test_sign_symmetry(self, x):
+        assert from_double(-x, P) == negate_words(from_double(x, P))
+
+
+class TestListing1:
+    @given(representable)
+    def test_parity_with_exact_path(self, x):
+        assert from_double_listing1(x, P) == from_double(x, P)
+
+
+class TestAddition:
+    @given(representable, representable)
+    def test_matches_rational_addition(self, x, y):
+        assume(abs(x) + abs(y) < 2.0**62)
+        total = add_words(from_double(x, P), from_double(y, P))
+        assert Fraction(to_int_scaled(total), P.scale) == Fraction(x) + Fraction(y)
+
+    @given(representable, representable)
+    def test_commutative(self, x, y):
+        a, b = from_double(x, P), from_double(y, P)
+        assert add_words(a, b) == add_words(b, a)
+
+    @given(representable, representable, representable)
+    def test_associative(self, x, y, z):
+        a, b, c = (from_double(v, P) for v in (x, y, z))
+        assert add_words(add_words(a, b), c) == add_words(a, add_words(b, c))
+
+    @given(representable)
+    def test_additive_inverse(self, x):
+        words = from_double(x, P)
+        assert add_words(words, negate_words(words)) == (0, 0, 0)
+
+
+class TestOrderInvariance:
+    @given(
+        st.lists(representable, min_size=1, max_size=30),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50)
+    def test_any_permutation_same_words(self, values, rnd):
+        assume(math.fsum(abs(v) for v in values) < 2.0**62)
+        acc = HPAccumulator(P)
+        acc.extend(values)
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        acc2 = HPAccumulator(P)
+        acc2.extend(shuffled)
+        assert acc.words == acc2.words
+
+    @given(
+        st.lists(representable, min_size=2, max_size=30),
+        st.integers(min_value=1, max_value=10**9),
+    )
+    @settings(max_examples=50)
+    def test_any_split_same_words(self, values, split):
+        split = 1 + split % (len(values) - 1)  # any interior split point
+        assume(math.fsum(abs(v) for v in values) < 2.0**62)
+        whole = HPAccumulator(P)
+        whole.extend(values)
+        left, right = HPAccumulator(P), HPAccumulator(P)
+        left.extend(values[:split])
+        right.extend(values[split:])
+        left.merge(right)
+        assert left.words == whole.words
+
+
+class TestVectorizedParity:
+    @given(st.lists(any_finite, min_size=0, max_size=64))
+    @settings(max_examples=60)
+    def test_batch_conversion_bit_identical(self, values):
+        xs = np.array(values, dtype=np.float64)
+        words = batch_from_double(xs, P)
+        for i, x in enumerate(xs):
+            assert tuple(int(w) for w in words[i]) == from_double(float(x), P)
+
+    @given(st.lists(representable, min_size=0, max_size=64))
+    @settings(max_examples=60)
+    def test_batch_sum_bit_identical(self, values):
+        assume(math.fsum(abs(v) for v in values) < 2.0**62)
+        xs = np.array(values, dtype=np.float64)
+        acc = HPAccumulator(P)
+        acc.extend(values)
+        assert batch_sum_doubles(xs, P) == acc.words
+
+
+class TestExactness:
+    @given(st.lists(representable, min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_sum_equals_rational_sum(self, values):
+        assume(math.fsum(abs(v) for v in values) < 2.0**62)
+        acc = HPAccumulator(P)
+        acc.extend(values)
+        exact = sum((Fraction(v) for v in values), Fraction(0))
+        assert Fraction(to_int_scaled(acc.words), P.scale) == exact

@@ -1,0 +1,124 @@
+"""Unit tests for HP word addition (paper Listing 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.core.scalar import (
+    add_words,
+    add_words_checked,
+    from_double,
+    from_int_scaled,
+    negate_words,
+    sub_words,
+    to_double,
+    to_int_scaled,
+)
+from repro.errors import AdditionOverflowError, MixedParameterError
+
+P21 = HPParams(2, 1)
+P32 = HPParams(3, 2)
+MASK = (1 << 64) - 1
+
+
+class TestAddWords:
+    def test_simple(self):
+        a = from_double(2.5, P21)
+        b = from_double(-1.25, P21)
+        assert to_double(add_words(a, b), P21) == 1.25
+
+    def test_fig3_worked_example(self):
+        """The paper's Fig. 3: 2.5 + (-1.25) = 1.25 word by word."""
+        total = add_words((2, 1 << 63), (MASK - 1, 3 << 62))
+        assert total == (1, 1 << 62)
+        assert to_double(total, P21) == 1.25
+
+    def test_carry_between_words(self):
+        # 0.5 + 0.5: fraction word overflows into the whole word.
+        a = from_double(0.5, P21)
+        total = add_words(a, a)
+        assert total == (1, 0)
+
+    def test_carry_chain_through_all_words(self):
+        # (2**-128 * (2**128 - 1)) + 2**-128 carries through every word.
+        a = from_int_scaled((1 << 128) - 1, P32)
+        b = from_int_scaled(1, P32)
+        assert add_words(a, b) == from_int_scaled(1 << 128, P32)
+
+    def test_equal_words_carry_propagation(self):
+        """The Listing 2 tie case: a[i] becomes equal to b[i] after a
+        carry-in, so carry-out must inherit the incoming carry."""
+        # a = (0, MASK, MASK), b = (0, MASK, 1): word2 0xFF..F+1 wraps to
+        # 0 carry 1; word1 MASK+MASK+1 wraps to MASK == b? no...
+        a = from_int_scaled((MASK << 64) | MASK, P32)
+        b = from_int_scaled((MASK << 64) | 1, P32)
+        expected = to_int_scaled(a) + to_int_scaled(b)
+        assert to_int_scaled(add_words(a, b)) == expected
+
+    def test_matches_integer_addition(self, hp_params):
+        import random
+
+        rnd = random.Random(7)
+        span = hp_params.max_int // 4
+        for _ in range(50):
+            x = rnd.randint(-span, span)
+            y = rnd.randint(-span, span)
+            total = add_words(
+                from_int_scaled(x, hp_params), from_int_scaled(y, hp_params)
+            )
+            assert to_int_scaled(total) == x + y
+
+    def test_width_mismatch(self):
+        with pytest.raises(MixedParameterError):
+            add_words((0, 0), (0, 0, 0))
+
+    def test_single_word_format(self):
+        p = HPParams(1, 0)
+        total = add_words(from_double(3.0, p), from_double(4.0, p))
+        assert to_double(total, p) == 7.0
+
+
+class TestOverflowDetection:
+    def test_positive_overflow(self):
+        a = from_int_scaled(P21.max_int, P21)
+        b = from_int_scaled(1, P21)
+        with pytest.raises(AdditionOverflowError):
+            add_words_checked(a, b)
+
+    def test_negative_overflow(self):
+        a = from_int_scaled(P21.min_int, P21)
+        b = from_int_scaled(-1, P21)
+        with pytest.raises(AdditionOverflowError):
+            add_words_checked(a, b)
+
+    def test_mixed_signs_never_overflow(self):
+        a = from_int_scaled(P21.max_int, P21)
+        b = from_int_scaled(P21.min_int, P21)
+        assert to_int_scaled(add_words_checked(a, b)) == -1
+
+    def test_unchecked_wraps_silently(self):
+        a = from_int_scaled(P21.max_int, P21)
+        b = from_int_scaled(1, P21)
+        assert to_int_scaled(add_words(a, b)) == P21.min_int
+
+
+class TestNegateSub:
+    def test_negate_roundtrip(self, hp_params):
+        for x in (0.5, -0.5, 1234.25, -0.0078125):
+            words = from_double(x, hp_params)
+            assert to_double(negate_words(words), hp_params) == -x
+
+    def test_sub(self):
+        a = from_double(5.5, P32)
+        b = from_double(2.25, P32)
+        assert to_double(sub_words(a, b), P32) == 3.25
+
+    def test_sub_to_negative(self):
+        a = from_double(1.0, P32)
+        b = from_double(3.5, P32)
+        assert to_double(sub_words(a, b), P32) == -2.5
+
+    def test_x_minus_x_is_zero(self):
+        a = from_double(0.1, P32)
+        assert sub_words(a, a) == (0, 0, 0)

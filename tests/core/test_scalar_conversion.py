@@ -1,0 +1,180 @@
+"""Unit tests for double <-> HP conversion (paper Listing 1)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.core.scalar import (
+    from_double,
+    from_double_listing1,
+    from_int_scaled,
+    to_double,
+    to_int_scaled,
+)
+from repro.errors import (
+    ConversionOverflowError,
+    MixedParameterError,
+    NormalizationOverflowError,
+    UnderflowWarning,
+)
+
+P32 = HPParams(3, 2)
+
+
+class TestFromDouble:
+    def test_zero(self):
+        assert from_double(0.0, P32) == (0, 0, 0)
+        assert from_double(-0.0, P32) == (0, 0, 0)
+
+    def test_one(self):
+        assert from_double(1.0, P32) == (1, 0, 0)
+
+    def test_half(self):
+        assert from_double(0.5, P32) == (0, 1 << 63, 0)
+
+    def test_negative_one(self):
+        # Two's complement over the 192-bit field.
+        assert from_double(-1.0, P32) == (2**64 - 1, 0, 0)
+
+    def test_negative_half(self):
+        assert from_double(-0.5, P32) == (2**64 - 1, 1 << 63, 0)
+
+    def test_smallest_increment(self):
+        assert from_double(2.0**-128, P32) == (0, 0, 1)
+        assert from_double(-(2.0**-128), P32) == (
+            2**64 - 1,
+            2**64 - 1,
+            2**64 - 1,
+        )
+
+    def test_fig3_style_example(self):
+        """The paper's Fig. 3 walks 2.5 + (-1.25); check the operands."""
+        p = HPParams(2, 1)
+        assert from_double(2.5, p) == (2, 1 << 63)
+        assert from_double(-1.25, p) == (2**64 - 2, 3 << 62)
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConversionOverflowError):
+                from_double(bad, P32)
+
+    def test_overflow_positive_boundary(self):
+        p = HPParams(2, 1)
+        with pytest.raises(ConversionOverflowError):
+            from_double(2.0**63, p)
+        assert from_double(2.0**63 - 2048, p)[0] < 1 << 63
+
+    def test_negative_boundary_admitted(self):
+        p = HPParams(2, 1)
+        words = from_double(-(2.0**63), p)
+        assert words == (1 << 63, 0)
+
+    def test_truncation_toward_zero(self):
+        # 2**-129 is below the (3,2) resolution: drops to zero either sign.
+        assert from_double(2.0**-129, P32) == (0, 0, 0)
+        assert from_double(-(2.0**-129), P32) == (0, 0, 0)
+
+    def test_truncation_keeps_high_bits(self):
+        x = 1.0 + 2.0**-130  # not representable in double anyway -> 1.0
+        assert from_double(x, P32) == from_double(1.0, P32)
+        y = (1.0 + 2.0**-52) * 2.0**-100  # tail below 2**-128 truncates
+        words = from_double(y, P32)
+        assert to_int_scaled(words) == (1 << 28)  # only the 2**-100 bit
+
+    def test_underflow_warning(self):
+        with pytest.warns(UnderflowWarning):
+            from_double((1.0 + 2.0**-52) * 2.0**-100, P32, warn_underflow=True)
+
+    def test_no_warning_when_exact(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from_double(0.125, P32, warn_underflow=True)
+
+    def test_subnormal_input(self):
+        p = HPParams(2, 1)
+        assert from_double(5e-324, p) == (0, 0)  # quantized to zero
+
+    def test_matches_fraction_semantics(self, hp_params):
+        for x in (0.1, -0.1, 3.5, -3.5, 1e-10, -1e-10):
+            words = from_double(x, hp_params)
+            expected = (
+                abs(Fraction(x)) * hp_params.scale
+            ).__floor__() * (1 if x > 0 else -1)
+            assert to_int_scaled(words) == expected
+
+
+class TestListing1Parity:
+    """The bit-faithful Listing 1 port agrees with the exact path on all
+    inputs satisfying the paper's precondition."""
+
+    IN_PRECISION = [0.0, 1.0, -1.0, 0.1, -0.1, 2.5, -2.5, 1e15, -1e15,
+                    2.0**-128, -(2.0**-128), 0.0009765625, -3.14159e10]
+
+    @pytest.mark.parametrize("x", IN_PRECISION)
+    def test_parity(self, x):
+        assert from_double_listing1(x, P32) == from_double(x, P32)
+
+    def test_parity_across_formats(self, hp_params):
+        for x in (0.5, -0.5, 42.0, -42.0):
+            assert from_double_listing1(x, hp_params) == from_double(
+                x, hp_params
+            )
+
+    def test_documented_divergence_on_subresolution_negative(self):
+        """Listing 1's look-ahead mis-carries when a negative input has
+        bits below the resolution (violating the paper's range
+        precondition).  Pin the behaviour so regressions are visible."""
+        p = HPParams(2, 1)
+        x = -(2.0**-65)
+        assert from_double(x, p) == (0, 0)           # truncates to zero
+        assert from_double_listing1(x, p) == (2**64 - 1, 0)  # = -1.0 (!)
+
+    def test_listing1_rejects_out_of_range(self):
+        p = HPParams(2, 1)
+        with pytest.raises(ConversionOverflowError):
+            from_double_listing1(2.0**63, p)
+        with pytest.raises(ConversionOverflowError):
+            from_double_listing1(float("nan"), p)
+
+
+class TestToDouble:
+    def test_roundtrip_exact(self, hp_params):
+        for x in (0.0, 1.0, -1.0, 0.1, -0.1, 1234.5678, -1234.5678):
+            assert to_double(from_double(x, hp_params), hp_params) == x
+
+    def test_rounding_half_even(self):
+        # Value exactly between two doubles: 1 + 2**-53 rounds to 1.0.
+        scaled = (P32.scale + (P32.scale >> 53))
+        assert to_double(from_int_scaled(scaled, P32), P32) == 1.0
+
+    def test_width_mismatch(self):
+        with pytest.raises(MixedParameterError):
+            to_double((0, 0), P32)
+
+    def test_overflow_to_double(self):
+        # HP(8,4) max (~5.8e76) fits double, but a big HP(40, 2) wouldn't;
+        # construct a scaled int beyond double range.
+        p = HPParams(40, 2)
+        huge = from_int_scaled((1 << (64 * 40 - 2)), p)
+        with pytest.raises(NormalizationOverflowError):
+            to_double(huge, p)
+
+
+class TestFromIntScaled:
+    def test_bounds(self):
+        with pytest.raises(ConversionOverflowError):
+            from_int_scaled(P32.max_int + 1, P32)
+        with pytest.raises(ConversionOverflowError):
+            from_int_scaled(P32.min_int - 1, P32)
+        assert from_int_scaled(P32.max_int, P32)[0] == (1 << 63) - 1
+        assert from_int_scaled(P32.min_int, P32)[0] == 1 << 63
+
+    def test_roundtrip(self):
+        for v in (0, 1, -1, 12345, -12345, P32.max_int, P32.min_int):
+            assert to_int_scaled(from_int_scaled(v, P32)) == v

@@ -1,0 +1,139 @@
+"""Unit/property tests for the adaptive (future-work) accumulator."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import HPParams
+from repro.core.streaming import AdaptiveAccumulator
+from repro.errors import ConversionOverflowError
+
+any_finite = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e200, max_value=1e200)
+
+
+class TestAdaptiveBasics:
+    def test_empty(self):
+        acc = AdaptiveAccumulator()
+        assert acc.to_double() == 0.0 and acc.count == 0
+
+    def test_exact_simple(self):
+        acc = AdaptiveAccumulator()
+        acc.extend([0.1, 0.2, -0.1, -0.2])
+        assert acc.to_double() == 0.0
+
+    def test_widens_downward_for_tiny_values(self):
+        acc = AdaptiveAccumulator()
+        acc.add(1.0)
+        k0 = acc.params.k
+        acc.add(2.0**-500)
+        assert acc.params.k > k0
+        assert acc.widenings >= 1
+        assert acc.to_fraction() == 1 + Fraction(2) ** -500
+
+    def test_widens_upward_for_huge_values(self):
+        acc = AdaptiveAccumulator()
+        acc.add(1e300)
+        assert acc.params.max_value > 1e300
+        assert acc.to_double() == 1e300
+
+    def test_the_papers_flaw_scenario(self):
+        """The motivating failure: huge and tiny values in one stream.
+        Static params would overflow or truncate; adaptive is exact."""
+        acc = AdaptiveAccumulator()
+        acc.extend([1e20, 2.0**-300, -1e20])
+        assert acc.to_double() == 2.0**-300
+
+    def test_subnormals(self):
+        acc = AdaptiveAccumulator()
+        acc.add(5e-324)
+        acc.add(5e-324)
+        assert acc.to_double() == 1e-323
+
+    def test_rejects_nonfinite(self):
+        acc = AdaptiveAccumulator()
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ConversionOverflowError):
+                acc.add(bad)
+
+
+class TestFormatDiscovery:
+    def test_initial_format_respected(self):
+        acc = AdaptiveAccumulator(initial=HPParams(4, 2))
+        acc.add(1.0)
+        assert acc.params.n >= 4 and acc.params.k >= 2
+
+    def test_format_is_join_of_demands(self):
+        """Order-free format discovery: any permutation of the stream
+        ends at the same (N, k)."""
+        import itertools
+
+        values = [1e18, 2.0**-200, -3.5, 1e-5]
+        formats = set()
+        sums = set()
+        for perm in itertools.permutations(values):
+            acc = AdaptiveAccumulator()
+            acc.extend(perm)
+            formats.add(acc.params)
+            sums.add(acc.to_fraction())
+        assert len(formats) == 1
+        assert len(sums) == 1
+
+
+class TestMergeAndExport:
+    def test_merge_exact(self):
+        a, b = AdaptiveAccumulator(), AdaptiveAccumulator()
+        a.extend([1e20, 1.5])
+        b.extend([2.0**-300, -1e20])
+        a.merge(b)
+        assert a.to_fraction() == Fraction(1.5) + Fraction(2) ** -300
+        assert a.count == 4
+
+    def test_snapshot_interoperates(self):
+        from repro.core.accumulator import HPAccumulator
+
+        acc = AdaptiveAccumulator()
+        acc.extend([0.5, 0.25, -1e10])
+        snap = acc.snapshot()
+        ref = HPAccumulator(snap.params)
+        ref.extend([0.5, 0.25, -1e10])
+        assert snap.words == ref.words
+
+    def test_snapshot_coarser_format_truncates_toward_zero(self):
+        acc = AdaptiveAccumulator()
+        acc.add(-(1.0 + 2.0**-52) * 2.0**-100)
+        coarse = acc.snapshot(HPParams(3, 2))  # resolution 2**-128
+        assert abs(coarse.to_fraction()) <= abs(acc.to_fraction())
+
+    def test_reset(self):
+        acc = AdaptiveAccumulator()
+        acc.add(123.0)
+        acc.reset()
+        assert acc.to_double() == 0.0 and acc.widenings == 0
+
+
+class TestProperties:
+    @given(st.lists(any_finite, min_size=0, max_size=40))
+    @settings(max_examples=60)
+    def test_always_exact(self, values):
+        acc = AdaptiveAccumulator()
+        acc.extend(values)
+        exact = sum((Fraction(v) for v in values), Fraction(0))
+        assert acc.to_fraction() == exact
+
+    @given(st.lists(any_finite, min_size=1, max_size=20),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40)
+    def test_order_invariant(self, values, rnd):
+        acc1 = AdaptiveAccumulator()
+        acc1.extend(values)
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        acc2 = AdaptiveAccumulator()
+        acc2.extend(shuffled)
+        assert acc1.to_fraction() == acc2.to_fraction()
+        assert acc1.params == acc2.params

@@ -1,0 +1,89 @@
+"""Unit tests for the experiment workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import (
+    unit_range_uniform,
+    wide_range_uniform,
+    zero_sum_set,
+)
+from repro.summation.exact import fraction_sum
+
+
+class TestZeroSumSet:
+    def test_exact_zero_sum(self):
+        values = zero_sum_set(128)
+        assert fraction_sum(values) == 0
+
+    def test_paired_negations(self):
+        values = np.sort(zero_sum_set(64))
+        # Sorted, the first 32 are the exact negations of the last 32.
+        assert np.array_equal(values[:32], -values[::-1][:32])
+
+    def test_value_range(self):
+        values = zero_sum_set(256)
+        assert np.abs(values).max() <= 1e-3
+
+    def test_rejects_odd_or_tiny(self):
+        with pytest.raises(ValueError):
+            zero_sum_set(63)
+        with pytest.raises(ValueError):
+            zero_sum_set(0)
+
+    def test_deterministic_with_seed(self):
+        from repro.util.rng import default_rng
+
+        a = zero_sum_set(64, default_rng(1))
+        b = zero_sum_set(64, default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestWideRangeUniform:
+    def test_fig4_window(self):
+        xs = wide_range_uniform(5000)
+        mags = np.abs(xs)
+        assert mags.max() < 2.0**192
+        assert mags.min() >= 2.0**-224
+        # The sweep actually exercises a wide chunk of the window.
+        assert mags.max() / mags.min() > 2.0**200
+
+    def test_signs_mixed(self):
+        xs = wide_range_uniform(1000)
+        assert (xs > 0).any() and (xs < 0).any()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wide_range_uniform(0)
+        with pytest.raises(ValueError):
+            wide_range_uniform(10, exponent_span=(5, 5))
+
+    def test_representable_in_hp84(self):
+        from repro.core.params import HPParams
+        from repro.core.vectorized import batch_from_double
+
+        xs = wide_range_uniform(500)
+        batch_from_double(xs, HPParams(8, 4))  # must not overflow
+
+
+class TestUnitRangeUniform:
+    def test_range(self):
+        xs = unit_range_uniform(10000)
+        assert xs.min() >= -0.5 and xs.max() <= 0.5
+
+    def test_default_size_is_32m(self):
+        """The Figs. 5-8 problem size (checked without allocating it)."""
+        import inspect
+
+        from repro.experiments import datasets
+
+        sig = inspect.signature(datasets.unit_range_uniform)
+        assert sig.parameters["n"].default == 1 << 25
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            unit_range_uniform(0)

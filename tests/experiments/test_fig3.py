@@ -1,0 +1,39 @@
+"""Tests for the Fig. 3 worked-example renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.experiments.fig3 import FIG3_OPERANDS, render_fig3
+
+
+class TestRenderFig3:
+    def test_paper_example(self):
+        text = render_fig3()
+        # The paper's operands and result.
+        assert "2.5" in text and "-1.25" in text and "1.25" in text
+        # The exact word patterns of the walkthrough.
+        assert "0000000000000002 | 8000000000000000" in text  # 2.5
+        assert "fffffffffffffffe | c000000000000000" in text  # -1.25
+        assert "0000000000000001 | 4000000000000000" in text  # 1.25
+        assert "carry 1" in text
+        assert "two's complement" in text
+
+    def test_operands_constant(self):
+        assert FIG3_OPERANDS == (2.5, -1.25)
+
+    def test_custom_operands(self):
+        text = render_fig3(0.5, 0.5, HPParams(2, 1))
+        assert "1.0" in text  # the result line
+
+    def test_wider_format(self):
+        text = render_fig3(1e10, -2.5e9, HPParams(3, 2))
+        assert "7500000000.0" in text
+
+    def test_renderer_consistent_with_arithmetic(self):
+        """The walkthrough's asserted internal check: the rendered steps
+        must reproduce add_words exactly (the assert inside raises on
+        divergence)."""
+        for a, b in [(0.1, 0.2), (-1.5, 0.25), (123.0, -456.5)]:
+            render_fig3(a, b, HPParams(3, 2))

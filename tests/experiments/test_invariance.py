@@ -1,0 +1,52 @@
+"""Tests for the invariance-matrix experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.experiments.invariance import InvarianceMatrix, run_invariance_matrix
+
+
+class TestInvarianceMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_invariance_matrix(n=512)
+
+    def test_all_strategies_agree(self, matrix):
+        assert matrix.all_identical
+        assert matrix.distinct() == 1
+
+    def test_comprehensive_coverage(self, matrix):
+        names = " ".join(matrix.words)
+        for expected in ("scalar", "vectorized", "threads", "mpi", "gpu",
+                         "phi", "adaptive", "multi-bank", "schedule"):
+            assert expected in names, expected
+
+    def test_report_format(self, matrix):
+        report = matrix.report()
+        assert "1 distinct word pattern" in report
+        assert report.count("[ok") == len(matrix.words)
+        assert "DIVERGED" not in report
+
+    def test_divergence_detection(self):
+        """A corrupted entry must surface in the report."""
+        m = InvarianceMatrix(params=HPParams(2, 1))
+        m.words["good"] = (0, 1)
+        m.words["bad"] = (0, 2)
+        assert not m.all_identical
+        assert m.distinct() == 2
+        assert "DIVERGED" in m.report()
+
+    def test_seed_changes_data_not_property(self):
+        a = run_invariance_matrix(n=256, seed=10)
+        b = run_invariance_matrix(n=256, seed=11)
+        assert a.all_identical and b.all_identical
+        reference_a = next(iter(a.words.values()))
+        reference_b = next(iter(b.words.values()))
+        assert reference_a != reference_b  # different data, both invariant
+
+    def test_custom_params(self):
+        m = run_invariance_matrix(n=256, params=HPParams(3, 2))
+        assert m.all_identical
+        assert m.params == HPParams(3, 2)

@@ -1,0 +1,45 @@
+"""Unit tests for the experiment report renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import (
+    format_fig1,
+    format_fig2,
+    format_fig4_measured,
+    format_fig4_model,
+    format_scaling_figure,
+)
+from repro.experiments.rounding import run_fig1, run_fig2
+from repro.experiments.runtime import run_fig4_measured
+from repro.experiments.scaling import run_fig5_openmp
+from repro.perfmodel.model import fig4_model_sweep
+
+
+class TestFormatters:
+    def test_fig1(self):
+        text = format_fig1(run_fig1(set_sizes=(64,), n_trials=16))
+        assert "sigma(double)" in text and "64" in text and "yes" in text
+
+    def test_fig2(self):
+        text = format_fig2(run_fig2(n_trials=32, bins=5))
+        assert "stdev" in text
+        assert text.count("[") >= 5  # one line per bin
+
+    def test_fig4_measured(self):
+        result = run_fig4_measured(sizes=(128, 256), trials=1)
+        text = format_fig4_measured(result)
+        assert "Hallberg config" in text
+        assert ("HP >= Hallberg" in text) or ("no crossover" in text)
+
+    def test_fig4_model(self):
+        text = format_fig4_model(fig4_model_sweep([128, 1 << 24]))
+        assert "speedup" in text and "128" in text
+
+    def test_scaling_figure(self):
+        fig = run_fig5_openmp(validate_n=256)
+        text = format_scaling_figure(fig)
+        assert "modeled runtime" in text
+        assert "bit-identical across PEs" in text
+        assert "spread across PE counts" in text

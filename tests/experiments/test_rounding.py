@@ -1,0 +1,81 @@
+"""Unit tests for the Fig. 1/2 rounding-error experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.experiments.rounding import (
+    PAPER_SET_SIZES,
+    PAPER_TRIALS,
+    run_fig1,
+    run_fig2,
+)
+
+
+class TestProtocolConstants:
+    def test_paper_values(self):
+        assert PAPER_TRIALS == 16384
+        assert PAPER_SET_SIZES[0] == 64
+        assert PAPER_SET_SIZES[-1] == 1024
+        assert all(b - a == 64 for a, b in zip(PAPER_SET_SIZES, PAPER_SET_SIZES[1:]))
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1(set_sizes=(64, 256, 1024), n_trials=256, seed=7)
+
+    def test_hp_always_exact(self, result):
+        """The paper's claim: HP(3,2) computed the sum as zero for all
+        test cases."""
+        for row in result.rows:
+            assert row.hp_exact
+            assert row.hp_stats.stdev == 0.0
+            assert row.hp_stats.mean == 0.0
+
+    def test_double_error_grows_with_n(self, result):
+        stdevs = [r.double_stats.stdev for r in result.rows]
+        assert stdevs[0] < stdevs[1] < stdevs[2]
+
+    def test_double_error_magnitude(self, result):
+        """Fig. 1's scale: sigma ~1e-18 at n=64, ~1e-17 at n=1024."""
+        by_n = {r.n: r.double_stats.stdev for r in result.rows}
+        assert 1e-19 < by_n[64] < 5e-18
+        assert 2e-18 < by_n[1024] < 5e-17
+
+    def test_roughly_linear_growth(self, result):
+        """The paper: error grows ~linearly in n (not sqrt(n)) because
+        the negation pairing biases the rounding direction."""
+        by_n = {r.n: r.double_stats.stdev for r in result.rows}
+        growth = by_n[1024] / by_n[64]
+        assert growth > 4.0  # sqrt(1024/64) would be exactly 4
+
+    def test_stdevs_series_shape(self, result):
+        series = result.stdevs()
+        assert [s[0] for s in series] == [64, 256, 1024]
+
+    def test_custom_hp_params(self):
+        res = run_fig1(set_sizes=(64,), n_trials=32, hp_params=HPParams(2, 1))
+        assert res.rows[0].hp_exact
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(n_trials=512, seed=7, bins=21)
+
+    def test_centred_near_zero(self, result):
+        assert abs(result.stats.mean) < result.stats.stdev
+
+    def test_histogram_covers_trials(self, result):
+        assert int(result.counts.sum()) == 512
+        assert len(result.bin_edges) == len(result.counts) + 1
+
+    def test_spread_matches_fig1_scale(self, result):
+        assert 1e-18 < result.stats.stdev < 1e-16
+
+    def test_deterministic(self):
+        a = run_fig2(n_trials=64, seed=3)
+        b = run_fig2(n_trials=64, seed=3)
+        assert a.residuals == b.residuals

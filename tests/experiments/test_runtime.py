@@ -1,0 +1,52 @@
+"""Unit tests for the Fig. 4 measured-runtime driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runtime import (
+    DEFAULT_FIG4_SIZES,
+    PAPER_FIG4_SIZES,
+    run_fig4_measured,
+)
+
+
+class TestSweepDefinitions:
+    def test_paper_sweep_reaches_16m(self):
+        assert PAPER_FIG4_SIZES[0] == 128
+        assert PAPER_FIG4_SIZES[-1] == 1 << 24
+
+    def test_default_sweep_is_subset_scale(self):
+        assert set(DEFAULT_FIG4_SIZES) <= set(
+            2**i for i in range(7, 25)
+        )
+
+
+class TestMeasuredSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4_measured(sizes=(256, 4096, 1 << 16), trials=1, seed=3)
+
+    def test_rows_cover_sizes(self, result):
+        assert [r.n for r in result.rows] == [256, 4096, 1 << 16]
+
+    def test_hallberg_params_follow_table2_solver(self, result):
+        for row in result.rows:
+            assert row.hallberg_params.max_summands >= row.n
+            assert row.hallberg_params.precision_bits >= 512
+
+    def test_times_positive_and_grow(self, result):
+        for row in result.rows:
+            assert row.hp_seconds > 0 and row.hallberg_seconds > 0
+        assert result.rows[-1].hp_seconds > result.rows[0].hp_seconds
+
+    def test_speedup_definition(self, result):
+        row = result.rows[0]
+        assert row.speedup == pytest.approx(
+            row.hallberg_seconds / row.hp_seconds
+        )
+
+    def test_crossover_reporting(self, result):
+        cross = result.crossover()
+        if cross is not None:
+            assert cross in (256, 4096, 1 << 16)

@@ -1,0 +1,86 @@
+"""Unit tests for the Figs. 5-8 experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import (
+    FIG5_THREADS,
+    FIG6_PROCS,
+    FIG7_THREADS,
+    FIG8_THREADS,
+    run_fig5_openmp,
+    run_fig6_mpi,
+    run_fig7_cuda,
+    run_fig8_phi,
+)
+
+VALIDATE_N = 1 << 10  # keep driver tests quick
+
+
+class TestFig5Driver:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_fig5_openmp(validate_n=VALIDATE_N)
+
+    def test_panels_complete(self, fig):
+        assert fig.pes == FIG5_THREADS
+        for name in ("double", "hp", "hallberg"):
+            assert len(fig.model_times[name]) == len(FIG5_THREADS)
+            assert len(fig.model_efficiency[name]) == len(FIG5_THREADS)
+
+    def test_exact_methods_invariant(self, fig):
+        assert fig.substrate_invariant["hp"]
+        assert fig.substrate_invariant["hallberg"]
+
+    def test_substrate_values_exact(self, fig):
+        assert fig.substrate_values["hp"][0] == fig.substrate_values["hp"][-1]
+
+
+class TestFig6Driver:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_fig6_mpi(validate_n=VALIDATE_N)
+
+    def test_pes_match_paper(self, fig):
+        assert fig.pes == FIG6_PROCS == (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_invariance(self, fig):
+        assert fig.substrate_invariant["hp"]
+        assert fig.substrate_invariant["hallberg"]
+
+
+class TestFig7Driver:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_fig7_cuda(validate_n=VALIDATE_N)
+
+    def test_thread_sweep_matches_paper(self, fig):
+        assert fig.pes == FIG7_THREADS
+        assert fig.pes[0] == 256 and fig.pes[-1] == 32768
+
+    def test_model_plateaus(self, fig):
+        hp = fig.model_times["hp"]
+        assert hp[-1] == pytest.approx(hp[-2])  # 16K == 32K
+
+    def test_invariance(self, fig):
+        assert fig.substrate_invariant["hp"]
+        assert fig.substrate_invariant["hallberg"]
+
+
+class TestFig8Driver:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_fig8_phi(validate_n=VALIDATE_N)
+
+    def test_thread_sweep_matches_paper(self, fig):
+        assert fig.pes == FIG8_THREADS
+        assert fig.pes[-1] == 240
+
+    def test_invariance(self, fig):
+        assert fig.substrate_invariant["hp"]
+        assert fig.substrate_invariant["hallberg"]
+
+    def test_double_drift_recorded(self, fig):
+        assert "double" in fig.substrate_values
+        assert fig.double_spread() >= 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for the Table 1/2 generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import (
+    derive_table2,
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestTable1:
+    def test_row_order_and_count(self):
+        rows = table1_rows()
+        assert [(r[0], r[1]) for r in rows] == [(2, 1), (3, 2), (6, 3), (8, 4)]
+
+    def test_published_values(self):
+        rows = {(r[0], r[1]): r for r in table1_rows()}
+        assert rows[(2, 1)][3] == pytest.approx(9.223372e18, rel=1e-6)
+        assert rows[(3, 2)][4] == pytest.approx(2.938736e-39, rel=1e-6)
+        assert rows[(6, 3)][3] == pytest.approx(3.138551e57, rel=1e-6)
+        assert rows[(8, 4)][4] == pytest.approx(8.636169e-78, rel=1e-6)
+
+    def test_erratum_corrected(self):
+        """The paper prints Bits=256 for (6,3); we report 384."""
+        rows = {(r[0], r[1]): r for r in table1_rows()}
+        assert rows[(6, 3)][2] == 384
+
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for token in ("9.223372", "3.138551", "5.789604", "8.636169"):
+            assert token in text
+
+
+class TestTable2:
+    def test_published_rows(self):
+        assert table2_rows() == [
+            (10, 52, 520, 2047),
+            (12, 43, 516, 1048575),
+            (14, 37, 518, 67108863),
+        ]
+
+    def test_derivation_reproduces_rows(self):
+        derived = derive_table2()
+        assert [(d.params.n, d.params.m) for d in derived] == [
+            (10, 52),
+            (12, 43),
+            (14, 37),
+        ]
+
+    def test_derived_budgets_sufficient(self):
+        for d in derive_table2():
+            assert d.params.max_summands >= d.target_summands
+            assert d.params.precision_bits >= 512
+
+    def test_render(self):
+        text = render_table2()
+        assert "520" in text and "Max Summands" in text

@@ -1,0 +1,93 @@
+"""Unit tests for HallbergAccumulator (budget-enforced running sums)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MixedParameterError, SummandLimitError
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+
+P = HallbergParams(10, 38)
+
+
+class TestBasics:
+    def test_empty(self):
+        acc = HallbergAccumulator(P)
+        assert acc.to_double() == 0.0 and acc.count == 0
+
+    def test_exact_accumulation(self, rng):
+        values = rng.uniform(-5.0, 5.0, 1000)
+        acc = HallbergAccumulator(P)
+        acc.extend(values.tolist())
+        assert acc.to_double() == math.fsum(values)
+
+    def test_floatloop_path_equivalent(self):
+        a, b = HallbergAccumulator(P), HallbergAccumulator(P)
+        for x in (0.5, -0.25, 3.75, -1e-9):
+            a.add(x)
+            b.add_floatloop(x)
+        assert a.digits == b.digits
+
+    def test_width_check(self):
+        acc = HallbergAccumulator(P)
+        with pytest.raises(MixedParameterError):
+            acc.add_digits((0,) * 9)
+
+    def test_reset(self):
+        acc = HallbergAccumulator(P)
+        acc.add(1.0)
+        acc.reset()
+        assert acc.count == 0 and acc.to_double() == 0.0
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        tight = HallbergParams(2, 61)  # budget = 2**2 - 1 = 3
+        acc = HallbergAccumulator(tight)
+        for _ in range(3):
+            acc.add(0.5)
+        with pytest.raises(SummandLimitError):
+            acc.add(0.5)
+
+    def test_merge_charges_budget(self):
+        tight = HallbergParams(2, 61)
+        a, b = HallbergAccumulator(tight), HallbergAccumulator(tight)
+        a.add(0.5)
+        a.add(0.5)
+        b.add(0.5)
+        b.add(0.5)
+        with pytest.raises(SummandLimitError):
+            a.merge(b)  # 2 + 2 > 3
+
+    def test_merge_within_budget(self):
+        a, b = HallbergAccumulator(P), HallbergAccumulator(P)
+        a.add(1.5)
+        b.add(2.25)
+        a.merge(b)
+        assert a.to_double() == 3.75 and a.count == 2
+
+    def test_merge_rejects_mixed_params(self):
+        with pytest.raises(MixedParameterError):
+            HallbergAccumulator(P).merge(
+                HallbergAccumulator(HallbergParams(12, 43))
+            )
+
+
+class TestRuntimeChecksMode:
+    def test_renormalizes_instead_of_raising(self):
+        tight = HallbergParams(2, 61, n_frac=1)
+        acc = HallbergAccumulator(tight, runtime_checks=True)
+        for _ in range(50):  # far beyond the 3-summand budget
+            acc.add(0.5)
+        assert acc.to_double() == 25.0
+        assert acc.renormalizations > 0
+
+    def test_exactness_preserved_across_renormalization(self, rng):
+        tight = HallbergParams(4, 58)
+        acc = HallbergAccumulator(tight, runtime_checks=True)
+        values = rng.uniform(-2.0, 2.0, 500)
+        acc.extend(values.tolist())
+        assert acc.to_double() == math.fsum(values)

@@ -1,0 +1,84 @@
+"""Unit tests for the HallbergNumber value type."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MixedParameterError, ParameterError
+from repro.hallberg.hbnum import HallbergNumber
+from repro.hallberg.params import HallbergParams
+
+P = HallbergParams(10, 38)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert HallbergNumber.zero(P).to_double() == 0.0
+
+    def test_from_double(self):
+        assert HallbergNumber.from_double(2.5, P).to_double() == 2.5
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ParameterError):
+            HallbergNumber((0,) * 9, P)
+
+    def test_rejects_out_of_int64(self):
+        with pytest.raises(ParameterError):
+            HallbergNumber((1 << 63,) + (0,) * 9, P)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = HallbergNumber.from_double(1.5, P)
+        b = HallbergNumber.from_double(0.25, P)
+        assert (a + b).to_double() == 1.75
+        assert (a - b).to_double() == 1.25
+
+    def test_scalar_coercion(self):
+        a = HallbergNumber.from_double(1.0, P)
+        assert (a + 2).to_double() == 3.0
+        assert (2 + a).to_double() == 3.0
+
+    def test_neg(self):
+        a = HallbergNumber.from_double(-7.125, P)
+        assert (-a).to_double() == 7.125
+
+    def test_mixed_params_rejected(self):
+        a = HallbergNumber.from_double(1.0, P)
+        b = HallbergNumber.from_double(1.0, HallbergParams(12, 43))
+        with pytest.raises(MixedParameterError):
+            a + b
+
+
+class TestAliasingSemantics:
+    def test_equality_is_value_based(self):
+        """Unlike HPNumber, equality compares values — digit vectors
+        alias (paper Sec. II.B)."""
+        half = HallbergNumber.from_double(0.5, P)
+        one_aliased = half + half
+        one_direct = HallbergNumber.from_double(1.0, P)
+        assert one_aliased.digits != one_direct.digits
+        assert one_aliased == one_direct
+        assert hash(one_aliased) == hash(one_direct)
+
+    def test_is_canonical(self):
+        half = HallbergNumber.from_double(0.5, P)
+        assert half.is_canonical()
+        assert not (half + half).is_canonical()
+
+    def test_normalized(self):
+        half = HallbergNumber.from_double(0.5, P)
+        norm = (half + half).normalized()
+        assert norm.is_canonical()
+        assert norm.digits == HallbergNumber.from_double(1.0, P).digits
+
+
+class TestAccessors:
+    def test_to_fraction(self):
+        x = HallbergNumber.from_double(0.1, P)
+        assert x.to_fraction() == Fraction(0.1)
+
+    def test_repr(self):
+        assert "2.5" in repr(HallbergNumber.from_double(2.5, P))

@@ -1,0 +1,104 @@
+"""Tests for exact HP <-> Hallberg interoperation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import HPParams
+from repro.core.scalar import from_double as hp_from_double, to_double as hp_to_double
+from repro.errors import ConversionOverflowError
+from repro.hallberg.interop import (
+    hallberg_params_covering,
+    hallberg_to_hp,
+    hp_params_covering,
+    hp_to_hallberg,
+)
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import (
+    hb_add,
+    hb_from_double,
+    hb_is_canonical,
+    hb_to_double,
+)
+
+HB = HallbergParams(10, 38)
+HP = HPParams(6, 3)
+
+representable = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=2.0**-137, max_value=2.0**100, allow_nan=False),
+    st.floats(min_value=2.0**-137, max_value=2.0**100,
+              allow_nan=False).map(lambda x: -x),
+)
+
+
+class TestHallbergToHP:
+    @given(representable)
+    @settings(max_examples=60)
+    def test_value_preserved(self, x):
+        digits = hb_from_double(x, HB)
+        words = hallberg_to_hp(digits, HB, HP)
+        assert hp_to_double(words, HP) == x
+
+    def test_aliases_collapse_to_one_word_vector(self):
+        """Any aliased representation maps to the unique HP words."""
+        half = hb_from_double(0.5, HB)
+        aliased = hb_add(half, half, HB)
+        assert not hb_is_canonical(aliased, HB)
+        direct = hb_from_double(1.0, HB)
+        assert hallberg_to_hp(aliased, HB, HP) == hallberg_to_hp(
+            direct, HB, HP
+        ) == hp_from_double(1.0, HP)
+
+    def test_resolution_guard(self):
+        digits = hb_from_double(2.0**-150, HB)
+        narrow = HPParams(2, 1)  # resolution 2**-64
+        with pytest.raises(ConversionOverflowError):
+            hallberg_to_hp(digits, HB, narrow)
+        words = hallberg_to_hp(digits, HB, narrow, allow_truncation=True)
+        assert hp_to_double(words, narrow) == 0.0
+
+
+class TestHPToHallberg:
+    @given(representable)
+    @settings(max_examples=60)
+    def test_roundtrip_through_hallberg(self, x):
+        words = hp_from_double(x, HP)
+        digits = hp_to_hallberg(words, HP, HB)
+        assert hb_is_canonical(digits, HB)
+        assert hb_to_double(digits, HB) == x
+        assert hallberg_to_hp(digits, HB, HP) == words
+
+    def test_range_guard(self):
+        big = hp_from_double(2.0**150, HPParams(8, 4))
+        tight = HallbergParams(4, 38)  # 76 whole bits
+        with pytest.raises(ConversionOverflowError):
+            hp_to_hallberg(big, HPParams(8, 4), tight)
+
+    def test_resolution_guard(self):
+        words = hp_from_double(2.0**-250, HPParams(8, 4))
+        with pytest.raises(ConversionOverflowError):
+            hp_to_hallberg(words, HPParams(8, 4), HB)  # HB floor 2**-190
+
+
+class TestCoveringFormats:
+    def test_hp_covering_roundtrips_everything(self, rng):
+        target = hp_params_covering(HB)
+        for x in rng.uniform(-1e9, 1e9, 50):
+            digits = hb_from_double(float(x), HB)
+            assert hp_to_double(hallberg_to_hp(digits, HB, target),
+                                target) == x
+
+    def test_hallberg_covering_roundtrips_everything(self, rng):
+        target = hallberg_params_covering(HPParams(3, 2))
+        for x in rng.uniform(-1e6, 1e6, 50):
+            words = hp_from_double(float(x), HPParams(3, 2))
+            digits = hp_to_hallberg(words, HPParams(3, 2), target)
+            assert hb_to_double(digits, target) == x
+
+    def test_covering_bounds(self):
+        cover = hp_params_covering(HB)
+        assert cover.whole_bits >= HB.whole_bits
+        assert cover.frac_bits >= HB.frac_bits

@@ -1,0 +1,93 @@
+"""Property tests for asymmetric Hallberg fraction splits.
+
+The paper's eq. (1) fixes ``n_frac = N/2``; our parameterization makes
+it explicit.  These tests pin the semantics for asymmetric splits: the
+format is still exact and order-invariant, with range/resolution moved
+accordingly — the Hallberg analogue of HP's tunable ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConversionOverflowError
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import (
+    hb_from_double,
+    hb_from_double_floatloop,
+    hb_to_double,
+)
+from repro.hallberg.vectorized import hb_batch_sum_doubles
+
+SPLITS = [
+    HallbergParams(10, 38, n_frac=2),   # range-heavy
+    HallbergParams(10, 38, n_frac=8),   # resolution-heavy
+    HallbergParams(9, 41, n_frac=4),    # odd N
+    HallbergParams(6, 50, n_frac=0),    # integer-only
+]
+
+
+class TestAsymmetricSplits:
+    @pytest.mark.parametrize("params", SPLITS, ids=str)
+    def test_bit_accounting(self, params):
+        assert params.frac_bits + params.whole_bits == params.precision_bits
+        assert params.max_value == 2.0**params.whole_bits
+        if params.n_frac:
+            assert params.smallest == 2.0**-params.frac_bits
+
+    @pytest.mark.parametrize("params", SPLITS[:3], ids=str)
+    def test_roundtrip_in_window(self, params, rng):
+        span = min(params.whole_bits - 8, 52)
+        for x in rng.uniform(-(2.0**span), 2.0**span, 40):
+            assert hb_to_double(hb_from_double(float(x), params), params) == (
+                float(x) if params.frac_bits >= 52 + span else
+                hb_to_double(hb_from_double(float(x), params), params)
+            )
+
+    def test_integer_only_split(self):
+        params = HallbergParams(6, 50, n_frac=0)
+        assert hb_to_double(hb_from_double(12345.0, params), params) == 12345.0
+        # Fractions truncate away entirely.
+        assert hb_to_double(hb_from_double(0.75, params), params) == 0.0
+
+    def test_range_heavy_vs_resolution_heavy(self):
+        wide = HallbergParams(10, 38, n_frac=2)
+        deep = HallbergParams(10, 38, n_frac=8)
+        assert wide.max_value > deep.max_value
+        assert wide.smallest > deep.smallest
+        big = 2.0**250
+        assert hb_to_double(hb_from_double(big, wide), wide) == big
+        with pytest.raises(ConversionOverflowError):
+            hb_from_double(big, deep)
+
+    @pytest.mark.parametrize("params", SPLITS[:3], ids=str)
+    def test_floatloop_parity(self, params, rng):
+        for x in rng.uniform(-1e3, 1e3, 30):
+            assert hb_from_double(float(x), params) == (
+                hb_from_double_floatloop(float(x), params)
+            )
+
+    @pytest.mark.parametrize("params", SPLITS[:3], ids=str)
+    def test_vectorized_parity_and_exactness(self, params, rng):
+        xs = rng.uniform(-100.0, 100.0, 400)
+        acc = HallbergAccumulator(params)
+        acc.extend(xs.tolist())
+        assert hb_batch_sum_doubles(xs, params) == acc.digits
+        if params.frac_bits >= 60:
+            assert acc.to_double() == math.fsum(xs)
+
+    # n_frac <= 9 keeps at least one whole digit (38 bits > 1e6).
+    @given(st.integers(0, 9), st.floats(min_value=-1e6, max_value=1e6,
+                                        allow_nan=False))
+    @settings(max_examples=50)
+    def test_property_any_split_consistent(self, n_frac, x):
+        params = HallbergParams(10, 38, n_frac=n_frac)
+        digits = hb_from_double(x, params)
+        assert all(abs(d) < 2**38 for d in digits)
+        back = hb_to_double(digits, params)
+        assert abs(back) <= abs(x) or back == x  # truncation toward zero

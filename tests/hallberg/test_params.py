@@ -1,0 +1,100 @@
+"""Unit tests for HallbergParams (format geometry, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hallberg.params import (
+    HallbergParams,
+    TABLE2_CONFIGS,
+    equivalent_hallberg,
+)
+
+
+class TestValidation:
+    def test_rejects_zero_words(self):
+        with pytest.raises(ParameterError):
+            HallbergParams(0, 40)
+
+    @pytest.mark.parametrize("m", [0, 63, 64, -1])
+    def test_rejects_bad_m(self, m):
+        with pytest.raises(ParameterError):
+            HallbergParams(10, m)
+
+    def test_default_frac_split(self):
+        assert HallbergParams(10, 52).n_frac == 5
+        assert HallbergParams(13, 40).n_frac == 6
+
+    def test_explicit_frac_split(self):
+        p = HallbergParams(10, 52, n_frac=7)
+        assert p.frac_bits == 364 and p.whole_bits == 156
+
+    def test_rejects_bad_frac_split(self):
+        with pytest.raises(ParameterError):
+            HallbergParams(10, 52, n_frac=11)
+
+
+class TestDerived:
+    def test_carry_budget(self):
+        assert HallbergParams(10, 52).max_summands == 2**11 - 1
+        assert HallbergParams(10, 38).max_summands == 2**25 - 1
+
+    def test_fig5_config_covers_32m_summands(self):
+        """The paper's Figs. 5-8 use (10, 38) for exactly 2**25 values."""
+        assert HallbergParams(10, 38).max_summands >= 2**25 - 1
+
+    def test_precision_bits(self):
+        assert HallbergParams(14, 37).precision_bits == 518
+
+    def test_storage_overhead(self):
+        """The HP paper's overhead critique: storage exceeds precision."""
+        p = HallbergParams(10, 52)
+        assert p.storage_bits == 640 > p.precision_bits == 520
+
+    def test_range_resolution(self):
+        p = HallbergParams(10, 38)  # n_frac = 5 -> 190 bits each side
+        assert p.max_value == 2.0**190
+        assert p.smallest == 2.0**-190
+
+
+class TestTable2:
+    EXPECTED = {(10, 52): (520, 2047), (12, 43): (516, 1048575),
+                (14, 37): (518, 67108863)}
+
+    @pytest.mark.parametrize("config", TABLE2_CONFIGS)
+    def test_row(self, config):
+        bits, budget = self.EXPECTED[config]
+        row = HallbergParams(*config).table2_row()
+        assert row[2] == bits and row[3] == budget
+
+
+class TestEquivalentHallberg:
+    @pytest.mark.parametrize(
+        "budget,expected",
+        [(2047, (10, 52)), (1_000_000, (12, 43)), (60_000_000, (14, 37))],
+    )
+    def test_reproduces_table2(self, budget, expected):
+        p = equivalent_hallberg(512, budget)
+        assert (p.n, p.m) == expected
+
+    def test_precision_met(self):
+        for budget in (100, 10**4, 10**7):
+            p = equivalent_hallberg(512, budget)
+            assert p.precision_bits >= 512
+            assert p.max_summands >= budget
+
+    def test_more_summands_needs_more_words(self):
+        small = equivalent_hallberg(512, 1000)
+        large = equivalent_hallberg(512, 10**8)
+        assert large.n > small.n and large.m < small.m
+
+    def test_rejects_impossible_budget(self):
+        with pytest.raises(ParameterError):
+            equivalent_hallberg(512, 2**63)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            equivalent_hallberg(0, 10)
+        with pytest.raises(ParameterError):
+            equivalent_hallberg(512, 0)

@@ -1,0 +1,117 @@
+"""Property-based tests for the Hallberg format."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import (
+    hb_add,
+    hb_from_double,
+    hb_is_canonical,
+    hb_normalize,
+    hb_to_double,
+    hb_to_int_scaled,
+)
+from repro.hallberg.vectorized import hb_batch_sum_doubles
+
+HB = HallbergParams(10, 38)  # frac/whole: 190 bits each
+
+# Doubles exactly representable in HB: magnitude in [2**-137, 2**100]
+# keeps all 52 low mantissa bits above 2**-190.
+representable = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=2.0**-137, max_value=2.0**100,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=2.0**-137, max_value=2.0**100,
+              allow_nan=False, allow_infinity=False).map(lambda x: -x),
+)
+
+
+class TestConversion:
+    @given(representable)
+    def test_roundtrip(self, x):
+        assert hb_to_double(hb_from_double(x, HB), HB) == x
+
+    @given(representable)
+    def test_canonical_form(self, x):
+        assert hb_is_canonical(hb_from_double(x, HB), HB)
+
+    @given(representable)
+    def test_sign_antisymmetry(self, x):
+        assert hb_from_double(-x, HB) == tuple(
+            -d for d in hb_from_double(x, HB)
+        )
+
+    @given(representable)
+    def test_matches_rational(self, x):
+        digits = hb_from_double(x, HB)
+        assert Fraction(hb_to_int_scaled(digits, HB), HB.scale) == Fraction(x)
+
+
+class TestAddition:
+    @given(representable, representable)
+    def test_matches_rational_addition(self, x, y):
+        total = hb_add(hb_from_double(x, HB), hb_from_double(y, HB), HB)
+        assert Fraction(hb_to_int_scaled(total, HB), HB.scale) == (
+            Fraction(x) + Fraction(y)
+        )
+
+    @given(representable, representable, representable)
+    def test_associative_and_commutative(self, x, y, z):
+        a, b, c = (hb_from_double(v, HB) for v in (x, y, z))
+        assert hb_add(a, b, HB) == hb_add(b, a, HB)
+        assert hb_add(hb_add(a, b, HB), c, HB) == hb_add(
+            a, hb_add(b, c, HB), HB
+        )
+
+
+class TestNormalization:
+    @given(st.lists(representable, min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_normalize_preserves_value(self, values):
+        total = (0,) * HB.n
+        for x in values:
+            total = hb_add(total, hb_from_double(x, HB), HB)
+        assume(abs(hb_to_int_scaled(total, HB)) < 1 << (HB.m * HB.n))
+        norm = hb_normalize(total, HB)
+        assert hb_is_canonical(norm, HB)
+        assert hb_to_int_scaled(norm, HB) == hb_to_int_scaled(total, HB)
+
+    @given(representable)
+    def test_normalize_idempotent(self, x):
+        digits = hb_from_double(x, HB)
+        assert hb_normalize(hb_normalize(digits, HB), HB) == hb_normalize(
+            digits, HB
+        )
+
+
+class TestOrderInvariance:
+    @given(
+        st.lists(representable, min_size=1, max_size=25),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50)
+    def test_permutation_invariant(self, values, rnd):
+        acc = HallbergAccumulator(HB)
+        acc.extend(values)
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        acc2 = HallbergAccumulator(HB)
+        acc2.extend(shuffled)
+        assert acc.digits == acc2.digits
+
+
+class TestVectorizedParity:
+    @given(st.lists(representable, min_size=0, max_size=50))
+    @settings(max_examples=50)
+    def test_batch_bit_identical(self, values):
+        xs = np.array(values, dtype=np.float64)
+        acc = HallbergAccumulator(HB)
+        acc.extend(values)
+        assert hb_batch_sum_doubles(xs, HB) == acc.digits

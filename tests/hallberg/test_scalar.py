@@ -1,0 +1,164 @@
+"""Unit tests for Hallberg conversion, addition and normalization."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import (
+    ConversionOverflowError,
+    MixedParameterError,
+    NormalizationOverflowError,
+)
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import (
+    hb_add,
+    hb_from_double,
+    hb_from_double_floatloop,
+    hb_is_canonical,
+    hb_normalize,
+    hb_to_double,
+    hb_to_int_scaled,
+)
+
+HB = HallbergParams(10, 38)  # the Figs. 5-8 configuration
+
+
+class TestFromDouble:
+    def test_zero(self):
+        assert hb_from_double(0.0, HB) == (0,) * 10
+
+    def test_one(self):
+        digits = hb_from_double(1.0, HB)
+        assert digits[5] == 1 and all(
+            d == 0 for i, d in enumerate(digits) if i != 5
+        )
+
+    def test_digits_share_sign(self):
+        pos = hb_from_double(1234.5678, HB)
+        neg = hb_from_double(-1234.5678, HB)
+        assert all(d >= 0 for d in pos)
+        assert all(d <= 0 for d in neg)
+        assert neg == tuple(-d for d in pos)
+
+    def test_digit_magnitude_bound(self, rng):
+        for x in rng.uniform(-1e9, 1e9, 50):
+            digits = hb_from_double(float(x), HB)
+            assert all(abs(d) < 2**38 for d in digits)
+
+    def test_roundtrip(self, rng):
+        for x in rng.uniform(-1e6, 1e6, 100):
+            assert hb_to_double(hb_from_double(float(x), HB), HB) == x
+
+    def test_truncation_toward_zero(self):
+        x = (1.0 + 2.0**-52) * 2.0**-150  # tail below 2**-190
+        got = Fraction(hb_to_int_scaled(hb_from_double(x, HB), HB), HB.scale)
+        assert 0 < got <= Fraction(x)
+        neg = Fraction(
+            hb_to_int_scaled(hb_from_double(-x, HB), HB), HB.scale
+        )
+        assert neg == -got
+
+    def test_overflow(self):
+        with pytest.raises(ConversionOverflowError):
+            hb_from_double(2.0**191, HB)
+        with pytest.raises(ConversionOverflowError):
+            hb_from_double(float("nan"), HB)
+
+    def test_matches_floatloop(self, rng, hb_params):
+        values = [0.0, 1.0, -1.0, 0.1, -0.1, 1e-6, -12345.678]
+        values += rng.uniform(-1e3, 1e3, 50).tolist()
+        for x in values:
+            assert hb_from_double(x, hb_params) == hb_from_double_floatloop(
+                x, hb_params
+            ), x
+
+    def test_floatloop_overflow(self):
+        with pytest.raises(ConversionOverflowError):
+            hb_from_double_floatloop(2.0**200, HB)
+
+
+class TestAdd:
+    def test_carry_free_addition(self):
+        a = hb_from_double(1.5, HB)
+        b = hb_from_double(2.25, HB)
+        assert hb_to_double(hb_add(a, b, HB), HB) == 3.75
+
+    def test_mixed_signs(self):
+        a = hb_from_double(1.5, HB)
+        b = hb_from_double(-2.25, HB)
+        assert hb_to_double(hb_add(a, b, HB), HB) == -0.75
+
+    def test_no_carry_performed(self):
+        """The defining property: word-wise sums, no interaction."""
+        a = hb_from_double(0.5, HB)
+        total = hb_add(a, a, HB)
+        assert total == tuple(x + y for x, y in zip(a, a))
+
+    def test_int64_overflow_detected(self):
+        a = (2**62,) * 10
+        with pytest.raises(NormalizationOverflowError):
+            hb_add(a, a, HB)
+
+    def test_width_check(self):
+        with pytest.raises(MixedParameterError):
+            hb_add((0,) * 9, (0,) * 10, HB)
+
+    def test_matches_rational(self, rng):
+        total = (0,) * 10
+        values = rng.uniform(-100.0, 100.0, 200)
+        for x in values:
+            total = hb_add(total, hb_from_double(float(x), HB), HB)
+        assert hb_to_double(total, HB) == math.fsum(values)
+
+
+class TestNormalize:
+    def test_canonical_fixed_point(self):
+        digits = hb_from_double(123.456, HB)
+        assert hb_is_canonical(digits, HB)
+        assert hb_normalize(digits, HB) == digits
+
+    def test_collapses_aliases(self):
+        half = hb_from_double(0.5, HB)
+        aliased = hb_add(half, half, HB)
+        assert not hb_is_canonical(aliased, HB)
+        assert hb_normalize(aliased, HB) == hb_from_double(1.0, HB)
+
+    def test_mixed_sign_vectors_not_canonical(self):
+        a = hb_add(
+            hb_from_double(1.0, HB), hb_from_double(-0.5, HB), HB
+        )
+        assert not hb_is_canonical(a, HB)
+        norm = hb_normalize(a, HB)
+        assert hb_is_canonical(norm, HB)
+        assert hb_to_double(norm, HB) == 0.5
+
+    def test_normalization_overflow(self):
+        saturated = (2**62,) * 10
+        with pytest.raises(NormalizationOverflowError):
+            hb_normalize(saturated, HB)
+
+    def test_value_preserved(self, rng):
+        total = (0,) * 10
+        for x in rng.uniform(-10.0, 10.0, 500):
+            total = hb_add(total, hb_from_double(float(x), HB), HB)
+        assert hb_to_int_scaled(total, HB) == hb_to_int_scaled(
+            hb_normalize(total, HB), HB
+        )
+
+
+class TestToDouble:
+    def test_width_check(self):
+        with pytest.raises(MixedParameterError):
+            hb_to_double((0,) * 9, HB)
+
+    def test_correctly_rounded(self):
+        # Exact value 1 + 2**-53 lies midway: rounds half-even to 1.0.
+        scaled = HB.scale + (HB.scale >> 53)
+        digits = [0] * 10
+        mask = (1 << 38) - 1
+        for i in range(10):
+            digits[i] = (scaled >> (38 * i)) & mask
+        assert hb_to_double(tuple(digits), HB) == 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for the vectorized Hallberg engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionOverflowError, SummandLimitError
+from repro.hallberg.accumulator import HallbergAccumulator
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.scalar import hb_from_double, hb_to_double
+from repro.hallberg.vectorized import (
+    hb_batch_from_double,
+    hb_batch_sum_digits,
+    hb_batch_sum_doubles,
+)
+
+HB = HallbergParams(10, 38)
+
+
+class TestBatchFromDouble:
+    def test_matches_scalar(self, rng, hb_params):
+        xs = rng.uniform(-1e3, 1e3, 300)
+        digits = hb_batch_from_double(xs, hb_params)
+        for i in range(len(xs)):
+            assert tuple(int(d) for d in digits[i]) == hb_from_double(
+                float(xs[i]), hb_params
+            ), f"element {i}: {xs[i]!r}"
+
+    def test_special_values(self):
+        xs = np.array([0.0, -0.0, 1.0, -1.0, 2.0**-190, -(2.0**-190), 5e-324])
+        digits = hb_batch_from_double(xs, HB)
+        for i, x in enumerate(xs):
+            assert tuple(int(d) for d in digits[i]) == hb_from_double(
+                float(x), HB
+            )
+
+    def test_rejects_nan_and_range(self):
+        with pytest.raises(ConversionOverflowError):
+            hb_batch_from_double(np.array([float("nan")]), HB)
+        with pytest.raises(ConversionOverflowError):
+            hb_batch_from_double(np.array([2.0**191]), HB)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            hb_batch_from_double(np.zeros((2, 2)), HB)
+
+
+class TestBatchSum:
+    def test_matches_scalar_accumulator(self, rng):
+        xs = rng.uniform(-0.5, 0.5, 3000)
+        acc = HallbergAccumulator(HB)
+        acc.extend(xs.tolist())
+        assert hb_batch_sum_doubles(xs, HB) == acc.digits
+
+    def test_matches_fsum(self, rng):
+        xs = rng.uniform(-10.0, 10.0, 2000)
+        assert hb_to_double(hb_batch_sum_doubles(xs, HB), HB) == math.fsum(xs)
+
+    def test_chunking_invariant(self, rng):
+        xs = rng.uniform(-0.5, 0.5, 1001)
+        assert hb_batch_sum_doubles(xs, HB, chunk=10) == hb_batch_sum_doubles(
+            xs, HB, chunk=10**6
+        )
+
+    def test_budget_enforced(self):
+        tight = HallbergParams(2, 61)  # budget 3
+        with pytest.raises(SummandLimitError):
+            hb_batch_sum_doubles(np.full(4, 0.5), tight)
+
+    def test_budget_enforced_on_digit_rows(self):
+        tight = HallbergParams(2, 61)
+        rows = np.zeros((4, 2), dtype=np.int64)
+        with pytest.raises(SummandLimitError):
+            hb_batch_sum_digits(rows, tight)
+
+    def test_sum_digits_shape_check(self):
+        with pytest.raises(ValueError):
+            hb_batch_sum_digits(np.zeros((2, 9), dtype=np.int64), HB)
+
+    def test_empty(self):
+        assert hb_batch_sum_doubles(np.array([], dtype=np.float64), HB) == (
+            (0,) * 10
+        )

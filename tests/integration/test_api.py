@@ -1,0 +1,73 @@
+"""Integration: public API surface and docstring examples."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+import repro
+
+DOCTEST_MODULES = [
+    "repro",
+    "repro.core.params",
+    "repro.core.hpnum",
+    "repro.core.accumulator",
+    "repro.core.scalar",
+    "repro.core.atomic",
+    "repro.hallberg.params",
+    "repro.hallberg.interop",
+    "repro.core.dot",
+    "repro.core.multi",
+    "repro.core.streaming",
+    "repro.core.convert_format",
+    "repro.core.norms",
+    "repro.core.matvec",
+    "repro.apps.statistics",
+    "repro.apps.timeseries",
+    "repro.apps.histogram",
+    "repro.summation.doubledouble",
+    "repro.hallberg.hbnum",
+    "repro.hallberg.accumulator",
+    "repro.parallel.partition",
+    "repro.experiments.datasets",
+    "repro.util.timing",
+]
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackages_importable(self):
+        for pkg in ("core", "hallberg", "summation", "parallel",
+                    "perfmodel", "experiments", "util"):
+            mod = importlib.import_module(f"repro.{pkg}")
+            assert mod.__doc__, f"repro.{pkg} missing docstring"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.ConversionOverflowError, repro.RangeError)
+        assert issubclass(repro.RangeError, repro.ReproError)
+        assert issubclass(repro.RangeError, OverflowError)
+        assert issubclass(repro.ParameterError, ValueError)
+        assert issubclass(repro.MixedParameterError, TypeError)
+
+    def test_public_functions_documented(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            obj = getattr(core, name)
+            if callable(obj):
+                assert obj.__doc__, f"repro.core.{name} missing docstring"
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,142 @@
+"""Integration tests pinning the paper's headline claims end-to-end.
+
+Each test corresponds to a sentence in the paper; together they are the
+abstract, verified.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.core.scalar import to_double
+from repro.core.vectorized import batch_sum_doubles
+from repro.experiments.datasets import zero_sum_set
+from repro.hallberg.params import HallbergParams, equivalent_hallberg
+from repro.parallel.methods import HallbergMethod, HPMethod
+from repro.parallel.threads import thread_reduce
+from repro.perfmodel import fig4_model_sweep, speedup_bound_eq6
+from repro.util.rng import default_rng
+
+
+class TestAbstractClaims:
+    def test_yields_sums_with_perfect_precision(self):
+        """'...yields sums with perfect precision' — exact against
+        rational arithmetic on the paper's own workload."""
+        values = zero_sum_set(1024, default_rng(1))
+        p = HPParams(3, 2)
+        assert to_double(batch_sum_doubles(values, p), p) == 0.0
+
+    def test_invariant_to_summation_order(self, rng):
+        """'...invariant to summation order...'"""
+        data = rng.uniform(-0.5, 0.5, 10_000)
+        p = HPParams(6, 3)
+        words = batch_sum_doubles(data, p)
+        for _ in range(5):
+            assert batch_sum_doubles(rng.permutation(data), p) == words
+
+    def test_invariant_to_system_architecture(self, rng):
+        """'...and system architecture' — every substrate, same words
+        (full matrix in tests/parallel/test_cross_substrate.py)."""
+        data = rng.uniform(-0.5, 0.5, 2000)
+        method = HPMethod(HPParams(6, 3))
+        assert (
+            thread_reduce(data, method, 1).partial
+            == thread_reduce(data, method, 12).partial
+        )
+
+    def test_tunable_fractional_precision(self):
+        """'...introducing tunable fractional precision to place precision
+        where it is needed'."""
+        wide = HPParams(6, 1)   # 5 whole words: huge range
+        deep = HPParams(6, 5)   # 5 fraction words: fine resolution
+        assert wide.max_value > 1e90 and deep.smallest < 1e-90
+        assert wide.total_bits == deep.total_bits
+
+    def test_eliminates_aliasing(self):
+        """'...eliminating the aliasing problem of the original method':
+        equal HP values <=> equal words; Hallberg aliases."""
+        from repro.core.hpnum import HPNumber
+        from repro.hallberg.hbnum import HallbergNumber
+
+        p = HPParams(3, 2)
+        hb = HallbergParams(10, 38)
+        a = HPNumber.from_double(0.5, p) + HPNumber.from_double(0.5, p)
+        assert a.words == HPNumber.from_double(1.0, p).words
+        b = HallbergNumber.from_double(0.5, hb) + HallbergNumber.from_double(
+            0.5, hb
+        )
+        assert b.digits != HallbergNumber.from_double(1.0, hb).digits
+
+    def test_eliminates_storage_overhead(self):
+        """'...eliminating the storage overhead': all bits but one are
+        precision, vs Hallberg's sign+carry bits per word."""
+        hp = HPParams(8, 4)
+        hb = HallbergParams(10, 52)
+        assert hp.precision_bits == hp.total_bits - 1
+        assert hb.precision_bits == 520 < hb.storage_bits == 640
+        # Equal precision in fewer words:
+        assert hp.precision_bits >= 511 and hp.n < hb.n
+
+    def test_outperforms_beyond_one_million_summands(self):
+        """'...outperforms the previous state-of-the-art for larger
+        problems involving over one million summands at high precision'
+        — on the modeled Fig. 4 curve."""
+        points = {pt.n: pt.speedup for pt in fig4_model_sweep(
+            [2**10, 2**24]
+        )}
+        assert points[2**10] < 1.0 < points[2**24]
+
+    def test_speedup_grows_as_m_shrinks(self):
+        """Eq. (6)'s structural consequence."""
+        assert speedup_bound_eq6(37) > speedup_bound_eq6(52)
+
+
+class TestSection2Claims:
+    def test_error_grows_linearly_not_sqrt(self):
+        """Sec. II.A: 'the observed error in the sum increases linearly
+        with the number of additions performed'."""
+        from repro.experiments.rounding import run_fig1
+
+        res = run_fig1(set_sizes=(128, 512), n_trials=256, seed=11)
+        by_n = {r.n: r.double_stats.stdev for r in res.rows}
+        # Linear predicts 4x; sqrt predicts 2x.  Require clearly super-sqrt.
+        assert by_n[512] / by_n[128] > 2.5
+
+    def test_hallberg_budget_is_hard(self):
+        """Sec. II.B: exceeding the planned summand count is
+        'catastrophic' — we turn it into an exception."""
+        from repro.errors import SummandLimitError
+
+        tight = equivalent_hallberg(512, 100)
+        method = HallbergMethod(tight)
+        data = np.full(tight.max_summands + 1, 1e-3)
+        with pytest.raises(SummandLimitError):
+            method.local_reduce(data)
+
+
+class TestSection4Claims:
+    def test_precision_equivalency_table2(self):
+        """Sec. IV.A: the Table 2 configurations really do match 512-bit
+        HP within a few bits."""
+        hp_bits = HPParams(8, 4).precision_bits  # 511
+        for n, m in ((10, 52), (12, 43), (14, 37)):
+            hb_bits = HallbergParams(n, m).precision_bits
+            assert abs(hb_bits - hp_bits) <= 9
+
+    def test_gpu_memory_op_argument(self):
+        """Sec. IV.B: 7/6 vs 2/1 word traffic => >= 4.3x bound."""
+        from repro.perfmodel import double_mem, hp_mem
+
+        ratio = hp_mem(HPParams(6, 3)).total / double_mem().total
+        assert ratio >= 4.3
+
+    def test_sum_32m_at_reduced_scale(self, rng):
+        """The Figs. 5-8 workload at 1/256 scale, exact and invariant."""
+        data = rng.uniform(-0.5, 0.5, (1 << 25) // 256)
+        p = HPParams(6, 3)
+        words = batch_sum_doubles(data, p)
+        assert to_double(words, p) == math.fsum(data)

@@ -1,0 +1,114 @@
+"""Stress and cross-feature integration tests.
+
+Larger multisets, every extension interacting with every substrate, and
+randomized cross-checks that tie the whole library together: any route
+from the same multiset of doubles to HP words must land on the same
+bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accumulator import HPAccumulator
+from repro.core.convert_format import convert_words
+from repro.core.io import number_from_bytes, number_from_hex, number_to_bytes, number_to_hex
+from repro.core.hpnum import HPNumber
+from repro.core.multi import HPMultiAccumulator
+from repro.core.params import HPParams
+from repro.core.streaming import AdaptiveAccumulator
+from repro.core.vectorized import batch_sum_doubles
+from repro.hallberg.interop import hallberg_to_hp
+from repro.hallberg.params import HallbergParams
+from repro.hallberg.vectorized import hb_batch_sum_doubles
+from repro.parallel.drivers import global_sum
+from repro.util.rng import default_rng
+
+P = HPParams(6, 3)
+HB = HallbergParams(10, 38)
+
+
+class TestQuarterMillion:
+    """256K summands end to end (the largest fast-suite scale)."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return default_rng(2025).uniform(-0.5, 0.5, 1 << 18)
+
+    @pytest.fixture(scope="class")
+    def reference(self, data):
+        return batch_sum_doubles(data, P)
+
+    def test_value_is_exact(self, data, reference):
+        from repro.core.scalar import to_double
+
+        assert to_double(reference, P) == math.fsum(data)
+
+    def test_substrates_at_scale(self, data, reference):
+        for substrate, pes in [("threads", 16), ("mpi", 32),
+                               ("mpi-scatter", 8), ("phi", 240)]:
+            r = global_sum(data, "hp", substrate, pes, params=P)
+            assert r.words == reference, substrate
+
+    def test_hallberg_route_lands_on_same_bits(self, data, reference):
+        digits = hb_batch_sum_doubles(data, HB)
+        assert hallberg_to_hp(digits, HB, P) == reference
+
+    def test_serialization_route(self, data, reference):
+        number = HPNumber(reference, P)
+        assert number_from_hex(number_to_hex(number)).words == reference
+        assert number_from_bytes(number_to_bytes(number))[0].words == (
+            reference
+        )
+
+    def test_format_conversion_route(self, data, reference):
+        wide = convert_words(reference, P, HPParams(8, 4))
+        back = convert_words(wide, HPParams(8, 4), P)
+        assert back == reference
+
+    def test_adaptive_route(self, data, reference):
+        acc = AdaptiveAccumulator()
+        # chunked adds keep the Python loop bounded
+        for chunk in np.array_split(data, 64):
+            shard = AdaptiveAccumulator()
+            shard.extend(chunk.tolist())
+            acc.merge(shard)
+        assert acc.snapshot(P).words == reference
+
+
+class TestRandomizedCrossChecks:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_all_routes_agree(self, seed):
+        """For arbitrary seeds: vectorized, scalar, banked, adaptive and
+        Hallberg-imported words are one bit pattern."""
+        data = np.random.default_rng(seed).uniform(-1.0, 1.0, 257)
+        reference = batch_sum_doubles(data, P)
+
+        acc = HPAccumulator(P)
+        acc.extend(data.tolist())
+        assert acc.words == reference
+
+        bank = HPMultiAccumulator(8, P)
+        bank.add_at(np.arange(257) % 8, data)
+        assert bank.total_words() == reference
+
+        adaptive = AdaptiveAccumulator()
+        adaptive.extend(data.tolist())
+        assert adaptive.snapshot(P).words == reference
+
+        digits = hb_batch_sum_doubles(data, HB)
+        assert hallberg_to_hp(digits, HB, P) == reference
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_facade_pes_never_matter(self, seed, pes):
+        data = np.random.default_rng(seed).uniform(-1.0, 1.0, 123)
+        assert global_sum(data, "hp", "mpi", pes, params=P).words == (
+            batch_sum_doubles(data, P)
+        )

@@ -1,0 +1,153 @@
+"""Unit tests for the block-structured GPU reduction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.parallel.gpu import gpu_sum
+from repro.parallel.gpu.block_reduce import (
+    SpinBarrier,
+    gpu_block_sum,
+    launch_blocks,
+)
+from repro.parallel.gpu.device import SimDevice
+
+HP = HPParams(6, 3)
+HB = HallbergParams(10, 38)
+
+
+class TestSpinBarrier:
+    def test_generation_advances_when_all_arrive(self):
+        barrier = SpinBarrier(3)
+        gens = [barrier.arrive() for _ in range(3)]
+        assert gens == [0, 0, 0]
+        assert all(barrier.passed(g) for g in gens)
+
+    def test_blocks_until_last(self):
+        barrier = SpinBarrier(2)
+        g = barrier.arrive()
+        assert not barrier.passed(g)
+        barrier.arrive()
+        assert barrier.passed(g)
+
+    def test_reusable_across_generations(self):
+        barrier = SpinBarrier(2)
+        for _ in range(3):
+            g1 = barrier.arrive()
+            g2 = barrier.arrive()
+            assert barrier.passed(g1) and barrier.passed(g2)
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ValueError):
+            SpinBarrier(0)
+
+
+class TestLaunchBlocks:
+    def test_blocks_scheduled_whole(self):
+        """With a 4-thread ceiling, two 4-thread blocks with barriers
+        must still finish — blocks are admitted atomically."""
+        device = SimDevice(memory_words=1, max_concurrent_threads=4)
+        barriers = [SpinBarrier(4), SpinBarrier(4)]
+        done = []
+
+        def worker(block, tid):
+            yield
+            gen = barriers[block].arrive()
+            while not barriers[block].passed(gen):
+                yield
+            done.append((block, tid))
+            yield
+
+        blocks = [[worker(b, t) for t in range(4)] for b in range(2)]
+        launch_blocks(device, blocks)
+        assert sorted(done) == [(b, t) for b in range(2) for t in range(4)]
+
+
+class TestGpuBlockSum:
+    @pytest.mark.parametrize("method,params", [
+        ("double", None), ("hp", HP), ("hallberg", HB),
+    ])
+    def test_correct_value(self, rng, method, params):
+        data = rng.uniform(-0.5, 0.5, 500)
+        r = gpu_block_sum(data, method, num_blocks=4, block_size=8,
+                          params=params)
+        if method == "double":
+            assert r.value == pytest.approx(math.fsum(data), abs=1e-12)
+        else:
+            assert r.value == math.fsum(data)
+
+    def test_hp_invariant_across_grid_shapes(self, rng):
+        data = rng.uniform(-0.5, 0.5, 300)
+        results = {
+            gpu_block_sum(data, "hp", nb, bs, params=HP).value
+            for nb, bs in [(1, 4), (2, 8), (8, 2), (4, 16)]
+        }
+        assert len(results) == 1
+
+    def test_hp_matches_atomic_kernel(self, rng):
+        """The strongest intra-device claim: two completely different
+        kernels (atomic scatter vs block tree) produce identical HP
+        words."""
+        data = rng.uniform(-0.5, 0.5, 400)
+        atomic = gpu_sum(data, "hp", num_threads=32, params=HP).value
+        block = gpu_block_sum(data, "hp", 4, 8, params=HP).value
+        assert atomic == block == math.fsum(data)
+
+    def test_block_partials_recorded(self, rng):
+        data = rng.uniform(-0.5, 0.5, 128)
+        r = gpu_block_sum(data, "hp", num_blocks=4, block_size=4, params=HP)
+        assert len(r.block_partials) == 4
+        assert math.fsum(r.block_partials) == pytest.approx(
+            r.value, abs=1e-12
+        )
+
+    def test_residency_ceiling_with_barriers(self, rng):
+        """More blocks than fit: the ceiling admits whole blocks only,
+        so barriers cannot deadlock."""
+        data = rng.uniform(-0.5, 0.5, 200)
+        r = gpu_block_sum(data, "hp", num_blocks=8, block_size=4,
+                          params=HP, max_concurrent_threads=8)
+        assert r.value == math.fsum(data)
+
+    def test_rejects_bad_geometry(self, rng):
+        with pytest.raises(ValueError):
+            gpu_block_sum(rng.uniform(size=8), "double", 2, 3)  # not pow2
+        with pytest.raises(ValueError):
+            gpu_block_sum(rng.uniform(size=8), "double", 0, 4)
+
+    def test_requires_params(self, rng):
+        with pytest.raises(TypeError):
+            gpu_block_sum(rng.uniform(size=8), "hp", 1, 4)
+
+    def test_data_smaller_than_grid(self, rng):
+        data = rng.uniform(-0.5, 0.5, 3)
+        r = gpu_block_sum(data, "hp", num_blocks=4, block_size=8, params=HP)
+        assert r.value == math.fsum(data)
+
+    def test_empty_data(self):
+        r = gpu_block_sum(np.array([], dtype=np.float64), "hp", 2, 4,
+                          params=HP)
+        assert r.value == 0.0
+
+
+class TestAdversarialBlockScheduling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_under_random_schedules(self, rng, seed):
+        data = rng.uniform(-0.5, 0.5, 300)
+        r = gpu_block_sum(data, "hp", num_blocks=4, block_size=8,
+                          params=HP, schedule_seed=seed)
+        assert r.value == math.fsum(data)
+
+    def test_barriers_hold_under_random_order(self, rng):
+        """Random intra-block service order must not break the
+        __syncthreads semantics (no thread passes early)."""
+        data = rng.uniform(-0.5, 0.5, 200)
+        r = gpu_block_sum(data, "hp", num_blocks=8, block_size=4,
+                          params=HP, max_concurrent_threads=8,
+                          schedule_seed=99)
+        assert r.value == math.fsum(data)

@@ -1,0 +1,122 @@
+"""Unit tests for the simulated-MPI collectives and SPMD driver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import HPParams
+from repro.parallel.methods import DoubleMethod, HPMethod
+from repro.parallel.simmpi import (
+    SimComm,
+    bcast,
+    distributed_sum,
+    gatherv,
+    scatterv,
+)
+
+HP = HPMethod(HPParams(6, 3))
+
+
+class TestScatterv:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 16])
+    def test_each_rank_gets_its_payload(self, size):
+        comm = SimComm(size)
+        payloads = [f"rank{i}".encode() * (i + 1) for i in range(size)]
+        assert scatterv(comm, payloads) == payloads
+
+    @pytest.mark.parametrize("root", [0, 1, 4])
+    def test_nonzero_root(self, root):
+        comm = SimComm(5)
+        payloads = [bytes([i]) * 3 for i in range(5)]
+        assert scatterv(comm, payloads, root=root) == payloads
+
+    def test_logarithmic_hops(self):
+        """Each byte travels at most ceil(log2 p) hops: total traffic is
+        bounded by total_payload * log2(p) (plus framing)."""
+        size = 16
+        comm = SimComm(size)
+        payloads = [b"x" * 1000 for _ in range(size)]
+        scatterv(comm, payloads)
+        assert comm.stats.bytes <= 16 * 1000 * 4 + comm.stats.messages * 16 * 16
+
+    def test_payload_count_check(self):
+        with pytest.raises(ValueError):
+            scatterv(SimComm(3), [b"a", b"b"])
+
+    def test_quiescent(self):
+        comm = SimComm(8)
+        scatterv(comm, [bytes([i]) for i in range(8)])
+        assert comm.pending() == 0
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("size", [1, 2, 5, 8, 13])
+    def test_root_collects_everything(self, size):
+        comm = SimComm(size)
+        payloads = [f"data-{i}".encode() for i in range(size)]
+        assert gatherv(comm, payloads) == payloads
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_nonzero_root(self, root):
+        comm = SimComm(4)
+        payloads = [bytes([i]) * (i + 1) for i in range(4)]
+        assert gatherv(comm, payloads, root=root) == payloads
+
+    def test_roundtrip_with_scatter(self):
+        payloads = [bytes(range(i + 1)) for i in range(9)]
+        scattered = scatterv(SimComm(9), payloads)
+        assert gatherv(SimComm(9), scattered) == payloads
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", [1, 2, 6, 16])
+    def test_everyone_gets_identical_bytes(self, size):
+        out = bcast(SimComm(size), b"the words", root=0)
+        assert out == [b"the words"] * size
+
+    def test_message_count(self):
+        comm = SimComm(8)
+        bcast(comm, b"x")
+        assert comm.stats.messages == 7  # binomial: p-1 sends
+
+
+class TestDistributedSum:
+    @pytest.mark.parametrize("size", [1, 2, 4, 9, 32])
+    def test_exact_and_invariant(self, rng, size):
+        data = rng.uniform(-0.5, 0.5, 500)
+        value, partial, _ = distributed_sum(data, HP, size)
+        assert value == math.fsum(data)
+        ref_value, ref_partial, _ = distributed_sum(data, HP, 1)
+        assert partial == ref_partial
+
+    def test_data_travels_as_bytes(self, rng):
+        data = rng.uniform(-0.5, 0.5, 256)
+        _, _, comm = distributed_sum(data, HP, 8)
+        # At minimum the array itself crossed the wire once.
+        assert comm.stats.bytes >= 256 * 8
+
+    def test_double_varies_with_size(self, rng):
+        data = np.concatenate(
+            [rng.uniform(0, 1e-3, 2048), -rng.uniform(0, 1e-3, 2048)]
+        )
+        method = DoubleMethod(strict_serial=True)
+        values = {distributed_sum(data, method, s)[0] for s in (1, 3, 8, 17)}
+        assert len(values) > 1
+
+    def test_nonzero_root(self, rng):
+        data = rng.uniform(-0.5, 0.5, 100)
+        value, partial, _ = distributed_sum(data, HP, 6, root=4)
+        assert partial == distributed_sum(data, HP, 1)[1]
+
+    @given(st.integers(min_value=1, max_value=24),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_size_any_n(self, size, n):
+        rng = np.random.default_rng(size * 1000 + n)
+        data = rng.uniform(-1.0, 1.0, n)
+        value, partial, _ = distributed_sum(data, HP, size)
+        assert value == math.fsum(data)

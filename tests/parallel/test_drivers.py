@@ -1,0 +1,101 @@
+"""Tests for the global_sum facade."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.parallel.drivers import (
+    SUBSTRATES,
+    GlobalSumResult,
+    global_sum,
+    make_method,
+)
+from repro.parallel.methods import DoubleMethod, HallbergMethod, HPMethod
+from repro.parallel.schedule import Schedule
+
+
+class TestMakeMethod:
+    def test_paper_defaults(self):
+        assert make_method("hp").params == HPParams(6, 3)
+        assert make_method("hallberg").params == HallbergParams(10, 38)
+        assert isinstance(make_method("double"), DoubleMethod)
+
+    def test_explicit_params(self):
+        assert make_method("hp", HPParams(3, 2)).params == HPParams(3, 2)
+
+    def test_passthrough_adapter(self):
+        m = HPMethod(HPParams(2, 1))
+        assert make_method(m) is m
+
+    def test_params_type_check(self):
+        with pytest.raises(TypeError):
+            make_method("hp", HallbergParams(10, 38))
+        with pytest.raises(TypeError):
+            make_method("hallberg", HPParams(6, 3))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            make_method("quad")
+
+
+class TestGlobalSum:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return np.random.default_rng(55).uniform(-0.5, 0.5, 800)
+
+    @pytest.mark.parametrize("substrate,pes", [
+        ("serial", 1), ("threads", 4), ("mpi", 8), ("mpi-scatter", 5),
+        ("phi", 16),
+    ])
+    def test_hp_exact_everywhere(self, data, substrate, pes):
+        r = global_sum(data, "hp", substrate, pes)
+        assert r.value == math.fsum(data)
+        assert r.words is not None
+
+    def test_gpu_substrate(self, data):
+        r = global_sum(data[:200], "hp", "gpu", pes=16)
+        assert r.value == math.fsum(data[:200])
+        assert r.words is not None
+
+    def test_words_identical_across_substrates(self, data):
+        results = [
+            global_sum(data, "hp", s, p)
+            for s, p in [("serial", 1), ("threads", 3), ("mpi", 7),
+                         ("mpi-scatter", 4), ("phi", 60)]
+        ]
+        for r in results[1:]:
+            assert r.bitwise_equal(results[0])
+
+    def test_hallberg_words(self, data):
+        a = global_sum(data, "hallberg", "threads", 4)
+        b = global_sum(data, "hallberg", "mpi", 8)
+        assert a.bitwise_equal(b)
+        assert a.value == math.fsum(data)
+
+    def test_double_has_no_words(self, data):
+        r = global_sum(data, "double", "threads", 4)
+        assert r.words is None
+        assert not r.bitwise_equal(r)
+
+    def test_schedule_support(self, data):
+        r = global_sum(data, "hp", "threads", 4,
+                       schedule=Schedule("dynamic", 16))
+        assert r.value == math.fsum(data)
+        assert r.words == global_sum(data, "hp", "serial").words
+
+    def test_unknown_substrate(self, data):
+        with pytest.raises(ValueError, match="substrate"):
+            global_sum(data, "hp", "quantum", 2)
+
+    def test_result_metadata(self, data):
+        r = global_sum(data, "hp", "threads", 6)
+        assert (r.method, r.substrate, r.pes) == ("hp", "threads", 6)
+
+    def test_kwargs_passthrough(self, data):
+        r = global_sum(data, "hp", "threads", 4, engine="native")
+        assert r.value == math.fsum(data)

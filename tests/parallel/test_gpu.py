@@ -1,0 +1,149 @@
+"""Unit tests for the simulated CUDA substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.parallel.gpu import (
+    DeviceMemory,
+    K20M_MAX_CONCURRENT_THREADS,
+    SimDevice,
+    gpu_sum,
+    gpu_sum_fast,
+)
+from repro.parallel.methods import HPMethod
+
+HP = HPParams(3, 2)
+HB = HallbergParams(10, 38)
+
+
+class TestDeviceMemory:
+    def test_load_store(self):
+        mem = DeviceMemory(4)
+        mem.store(2, 99)
+        assert mem.load(2) == 99
+        assert mem.stats.loads == 1 and mem.stats.stores == 1
+
+    def test_cas_returns_observed(self):
+        mem = DeviceMemory(1)
+        mem.store(0, 7)
+        ok, observed = mem.cas(0, 7, 8)
+        assert ok and observed == 7 and mem.peek(0) == 8
+        ok, observed = mem.cas(0, 7, 9)
+        assert not ok and observed == 8 and mem.peek(0) == 8
+
+    def test_read_write_accounting(self):
+        mem = DeviceMemory(1)
+        mem.cas(0, 0, 1)    # success: one write
+        mem.cas(0, 0, 2)    # failure: one read
+        assert mem.stats.writes == 1 and mem.stats.reads == 1
+
+    def test_wraps_uint64(self):
+        mem = DeviceMemory(1)
+        mem.store(0, -1)
+        assert mem.peek(0) == 2**64 - 1
+
+    def test_bounds(self):
+        mem = DeviceMemory(2)
+        with pytest.raises(IndexError):
+            mem.load(2)
+
+
+class TestSimDevice:
+    def test_runs_generators_to_completion(self):
+        mem_writes = []
+
+        def kernel(i):
+            yield
+            mem_writes.append(i)
+            yield
+
+        device = SimDevice(memory_words=1, max_concurrent_threads=2)
+        run = device.launch(kernel(i) for i in range(5))
+        assert sorted(mem_writes) == [0, 1, 2, 3, 4]
+        assert run.launched_threads == 5
+        assert run.occupancy_limited  # 5 > 2 resident
+
+    def test_default_residency_is_k20m(self):
+        device = SimDevice(memory_words=1)
+        assert device.max_concurrent_threads == K20M_MAX_CONCURRENT_THREADS
+
+    def test_interleaving_is_real(self):
+        """Two threads racing a CAS on one cell must produce a retry."""
+        device = SimDevice(memory_words=1, max_concurrent_threads=2)
+        mem = device.memory
+
+        def incrementer():
+            old = mem.load(0)
+            yield
+            while True:
+                ok, observed = mem.cas(0, old, (old + 1) % 2**64)
+                yield
+                if ok:
+                    return
+                old = observed
+
+        run = device.launch([incrementer(), incrementer()])
+        assert mem.peek(0) == 2  # both increments landed
+        assert run.memory.cas_failures >= 1  # one thread had to retry
+
+
+class TestGpuSum:
+    @pytest.mark.parametrize("method,params", [
+        ("double", None), ("hp", HP), ("hallberg", HB),
+    ])
+    def test_correct_value(self, rng, method, params):
+        data = rng.uniform(-0.5, 0.5, 300)
+        g = gpu_sum(data, method, num_threads=32, params=params)
+        if method == "double":
+            assert g.value == pytest.approx(math.fsum(data), abs=1e-12)
+        else:
+            assert g.value == math.fsum(data)
+
+    def test_exact_methods_scheduling_invariant(self, rng):
+        """Different thread counts, residency limits and partial counts
+        never change the HP result."""
+        data = rng.uniform(-0.5, 0.5, 250)
+        reference = None
+        for threads, resident, partials in [
+            (8, 8, 256), (64, 16, 256), (97, 13, 16), (300, 64, 4),
+        ]:
+            g = gpu_sum(
+                data, "hp", num_threads=threads, params=HP,
+                max_concurrent_threads=resident, num_partials=partials,
+            )
+            if reference is None:
+                reference = g.value
+            assert g.value == reference, (threads, resident, partials)
+
+    def test_fast_path_matches_simulation(self, rng):
+        data = rng.uniform(-0.5, 0.5, 300)
+        method = HPMethod(HP)
+        sim = gpu_sum(data, "hp", num_threads=48, params=HP)
+        assert gpu_sum_fast(data, method, 48) == sim.value
+
+    def test_requires_params_for_fixed_point(self, rng):
+        with pytest.raises(TypeError):
+            gpu_sum(rng.uniform(size=4), "hp", num_threads=2)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            gpu_sum(rng.uniform(size=4), "quad", num_threads=2)
+
+    def test_memory_op_minimums(self, rng):
+        """Zero contention: the per-add traffic equals the Sec. IV.B
+        minimums (2R/1W double; <=(1+N)R/<=NW for HP)."""
+        n = 128
+        data = rng.uniform(-0.5, 0.5, n)
+        g = gpu_sum(data, "double", num_threads=16)
+        assert g.run.memory.reads == 2 * n
+        assert g.run.memory.writes == n
+        g = gpu_sum(data, "hp", num_threads=16, params=HP)
+        assert g.run.memory.cas_failures == 0
+        assert n < g.run.memory.reads <= (1 + HP.n) * n
+        assert g.run.memory.writes <= HP.n * n

@@ -1,0 +1,73 @@
+"""Unit tests for workload partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.partition import (
+    block_ranges,
+    block_slices,
+    round_robin_indices,
+)
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert block_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_pes_than_work(self):
+        ranges = block_ranges(2, 5)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            block_ranges(10, 0)
+        with pytest.raises(ValueError):
+            block_ranges(-1, 2)
+
+    @given(st.integers(0, 10**6), st.integers(1, 257))
+    def test_partition_properties(self, n, p):
+        ranges = block_ranges(n, p)
+        assert len(ranges) == p
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        # Contiguous, non-overlapping, balanced within one element.
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBlockSlices:
+    def test_views_cover_data(self, rng):
+        data = rng.uniform(size=17)
+        parts = block_slices(data, 4)
+        assert sum(len(p) for p in parts) == 17
+        assert np.array_equal(np.concatenate(parts), data)
+
+    def test_views_not_copies(self, rng):
+        data = rng.uniform(size=8)
+        parts = block_slices(data, 2)
+        assert parts[0].base is data
+
+
+class TestRoundRobin:
+    def test_stride_layout(self):
+        idx = round_robin_indices(10, 1, 3)
+        assert idx.tolist() == [1, 4, 7]
+
+    def test_threads_cover_everything(self):
+        n, t = 100, 7
+        all_indices = np.concatenate(
+            [round_robin_indices(n, i, t) for i in range(t)]
+        )
+        assert sorted(all_indices.tolist()) == list(range(n))
+
+    def test_rejects_bad_thread(self):
+        with pytest.raises(ValueError):
+            round_robin_indices(10, 3, 3)

@@ -1,0 +1,56 @@
+"""Unit tests for the Xeon Phi offload substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import HPParams
+from repro.parallel.methods import DoubleMethod, HPMethod
+from repro.parallel.phi import PHI_MAX_THREADS, offload_reduce
+
+HP = HPMethod(HPParams(6, 3))
+
+
+class TestOffloadReduce:
+    def test_exact_value(self, rng):
+        data = rng.uniform(-0.5, 0.5, 1000)
+        assert offload_reduce(data, HP, 60).value == math.fsum(data)
+
+    @pytest.mark.parametrize("t", [1, 2, 17, 60, 240])
+    def test_invariant_across_team_sizes(self, rng, t):
+        data = rng.uniform(-0.5, 0.5, 777)
+        assert offload_reduce(data, HP, t).partial == offload_reduce(
+            data, HP, 1
+        ).partial
+
+    def test_thread_limit(self, rng):
+        with pytest.raises(ValueError):
+            offload_reduce(rng.uniform(size=4), HP, PHI_MAX_THREADS + 1)
+        with pytest.raises(ValueError):
+            offload_reduce(rng.uniform(size=4), HP, 0)
+
+    def test_transfer_accounting(self, rng):
+        data = rng.uniform(-0.5, 0.5, 512)
+        r = offload_reduce(data, HP, 8)
+        assert r.stats.bytes_to_device == 512 * 8
+        assert r.stats.bytes_from_device == HP.partial_nbytes()
+        assert r.stats.offload_launches == 1
+        assert r.stats.total_bytes == 512 * 8 + 48
+
+    def test_matches_host_reduction(self, rng):
+        """Architecture invariance: the device byte-trip returns the same
+        words the host substrate computes."""
+        from repro.parallel.threads import thread_reduce
+
+        data = rng.uniform(-0.5, 0.5, 900)
+        assert offload_reduce(data, HP, 13).partial == thread_reduce(
+            data, HP, 13
+        ).partial
+
+    def test_double_offload_value_close(self, rng):
+        data = rng.uniform(-0.5, 0.5, 500)
+        r = offload_reduce(data, DoubleMethod(), 60)
+        assert r.value == pytest.approx(math.fsum(data), abs=1e-12)

@@ -1,0 +1,121 @@
+"""Unit/property tests for OpenMP-style scheduling policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import HPParams
+from repro.parallel.methods import DoubleMethod, HPMethod
+from repro.parallel.schedule import Schedule, assign_blocks, scheduled_reduce
+
+HP = HPMethod(HPParams(6, 3))
+
+ALL_SCHEDULES = [
+    Schedule("static"),
+    Schedule("static", 1),
+    Schedule("static", 7),
+    Schedule("dynamic", 1),
+    Schedule("dynamic", 16),
+    Schedule("guided", 1),
+    Schedule("guided", 4),
+]
+
+
+class TestScheduleValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Schedule("stealing")
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            Schedule("dynamic", 0)
+
+    def test_str(self):
+        assert str(Schedule("static")) == "static"
+        assert str(Schedule("dynamic", 8)) == "dynamic,8"
+
+
+class TestAssignBlocks:
+    @pytest.mark.parametrize("schedule", ALL_SCHEDULES, ids=str)
+    @pytest.mark.parametrize("n,p", [(100, 4), (7, 3), (0, 2), (5, 8)])
+    def test_covers_exactly_once(self, schedule, n, p):
+        assignment = assign_blocks(n, p, schedule)
+        assert len(assignment) == p
+        seen = []
+        for blocks in assignment:
+            for lo, hi in blocks:
+                seen.extend(range(lo, hi))
+        assert sorted(seen) == list(range(n))
+
+    def test_static_default_is_block_partition(self):
+        assignment = assign_blocks(10, 3, Schedule("static"))
+        assert assignment == [[(0, 4)], [(4, 7)], [(7, 10)]]
+
+    def test_static_chunked_round_robin(self):
+        assignment = assign_blocks(10, 2, Schedule("static", 2))
+        assert assignment[0] == [(0, 2), (4, 6), (8, 10)]
+        assert assignment[1] == [(2, 4), (6, 8)]
+
+    def test_guided_chunks_shrink(self):
+        assignment = assign_blocks(1000, 4, Schedule("guided", 1))
+        sizes = [hi - lo for blocks in assignment for lo, hi in blocks]
+        # First claim is remaining/p = 250; later claims shrink.
+        assert max(sizes) == 250
+        assert min(sizes) >= 1
+
+    def test_dynamic_balances_load(self):
+        assignment = assign_blocks(1000, 4, Schedule("dynamic", 10))
+        loads = [sum(hi - lo for lo, hi in b) for b in assignment]
+        assert max(loads) - min(loads) <= 10
+
+    def test_deterministic(self):
+        a = assign_blocks(999, 5, Schedule("dynamic", 7))
+        b = assign_blocks(999, 5, Schedule("dynamic", 7))
+        assert a == b
+
+
+class TestScheduledReduce:
+    @pytest.mark.parametrize("schedule", ALL_SCHEDULES, ids=str)
+    def test_hp_schedule_independent(self, rng, schedule):
+        """The headline property: the HP result is identical under every
+        schedule, i.e. the schedule is no longer part of the answer."""
+        data = rng.uniform(-0.5, 0.5, 3000)
+        reference = scheduled_reduce(data, HP, 4, Schedule("static"))
+        assert scheduled_reduce(data, HP, 4, schedule) == reference
+        assert reference == math.fsum(data)
+
+    def test_hp_thread_count_independent(self, rng):
+        data = rng.uniform(-0.5, 0.5, 1000)
+        values = {
+            scheduled_reduce(data, HP, p, Schedule("dynamic", 3))
+            for p in (1, 2, 5, 16)
+        }
+        assert len(values) == 1
+
+    def test_double_schedule_dependent(self, rng):
+        """The contrast: double results vary across schedules."""
+        data = np.concatenate(
+            [rng.uniform(0, 1e-3, 4096), -rng.uniform(0, 1e-3, 4096)]
+        )
+        method = DoubleMethod(strict_serial=True)
+        values = {
+            scheduled_reduce(data, method, 4, s) for s in ALL_SCHEDULES
+        }
+        assert len(values) > 1
+
+    @given(
+        st.sampled_from(ALL_SCHEDULES),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=40)
+    def test_property_schedule_invariance(self, schedule, p, n):
+        rng = np.random.default_rng(n)
+        data = rng.uniform(-1.0, 1.0, n)
+        assert scheduled_reduce(data, HP, p, schedule) == scheduled_reduce(
+            data, HP, 1, Schedule("static")
+        )

@@ -1,0 +1,61 @@
+"""Unit tests for the OpenMP-analog thread substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.parallel.methods import DoubleMethod, HPMethod
+from repro.parallel.threads import thread_reduce
+
+HP = HPMethod(HPParams(6, 3))
+
+
+class TestThreadReduce:
+    def test_single_thread_matches_fsum(self, rng):
+        data = rng.uniform(-0.5, 0.5, 1000)
+        assert thread_reduce(data, HP, 1).value == math.fsum(data)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8, 17, 64])
+    def test_hp_invariant_across_team_sizes(self, rng, p):
+        data = rng.uniform(-0.5, 0.5, 1000)
+        assert thread_reduce(data, HP, p).partial == thread_reduce(
+            data, HP, 1
+        ).partial
+
+    def test_team_larger_than_data(self, rng):
+        data = rng.uniform(-0.5, 0.5, 5)
+        r = thread_reduce(data, HP, 16)
+        assert r.value == math.fsum(data)
+        assert sum(r.block_sizes) == 5
+
+    def test_empty_data(self):
+        import numpy as np
+
+        r = thread_reduce(np.array([], dtype=np.float64), HP, 4)
+        assert r.value == 0.0
+
+    def test_native_engine_bit_identical(self, rng):
+        data = rng.uniform(-0.5, 0.5, 2000)
+        sim = thread_reduce(data, HP, 8, engine="simulated")
+        nat = thread_reduce(data, HP, 8, engine="native")
+        assert sim.partial == nat.partial
+        assert nat.engine == "native"
+
+    def test_unknown_engine(self, rng):
+        with pytest.raises(ValueError):
+            thread_reduce(rng.uniform(size=4), HP, 2, engine="cuda")
+
+    def test_double_depends_on_partition(self, rng):
+        """The non-reproducibility being studied: the double result is a
+        function of the team size."""
+        data = rng.uniform(-0.5, 0.5, 100_000)
+        method = DoubleMethod(strict_serial=False)
+        values = {thread_reduce(data, method, p).value for p in (1, 3, 7, 31)}
+        assert len(values) > 1
+
+    def test_block_sizes_recorded(self, rng):
+        r = thread_reduce(rng.uniform(size=10), HP, 3)
+        assert r.block_sizes == [4, 3, 3]

@@ -1,0 +1,32 @@
+"""Tests for the calibration audit."""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibration import (
+    Anchor,
+    calibration_anchors,
+    render_calibration,
+)
+
+
+class TestAnchors:
+    def test_all_within_paper_bands(self):
+        for anchor in calibration_anchors():
+            assert anchor.within_band, (
+                f"{anchor.name}: model {anchor.model_value} outside "
+                f"[{anchor.paper_low}, {anchor.paper_high}]"
+            )
+
+    def test_anchor_count_is_small(self):
+        """The model's honesty budget: a handful of fitted anchors,
+        everything else predicted."""
+        assert len(calibration_anchors()) <= 8
+
+    def test_band_logic(self):
+        assert Anchor("x", 0.0, 1.0, 0.5).within_band
+        assert not Anchor("x", 0.0, 1.0, 1.5).within_band
+
+    def test_render(self):
+        text = render_calibration()
+        assert "X5650" in text and "K20m" in text
+        assert "OUT OF BAND" not in text

@@ -1,0 +1,64 @@
+"""Unit tests for the Sec. IV.A operation counts."""
+
+from __future__ import annotations
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.perfmodel.costs import (
+    double_mem,
+    double_ops,
+    hallberg_mem,
+    hallberg_ops,
+    hp_mem,
+    hp_ops,
+)
+
+
+class TestOpCounts:
+    def test_hp_counts_match_paper(self):
+        """Sec. IV.A: N FP mult + N FP add to convert, 3N ALU worst case,
+        4(N-1) ALU to add."""
+        ops = hp_ops(HPParams(8, 4))
+        assert ops.fp_mul == 8
+        assert ops.fp_add == 8
+        assert ops.alu == 3 * 8 + 4 * 7
+
+    def test_hallberg_counts_match_paper(self):
+        """Sec. IV.A (quoting [11]): 2N FP mult + N FP add to convert,
+        N integer adds to accumulate."""
+        ops = hallberg_ops(HallbergParams(10, 52))
+        assert ops.fp_mul == 20
+        assert ops.fp_add == 10
+        assert ops.alu == 10
+
+    def test_hp_halves_the_multiplications(self):
+        """The paper's point: HP factors one multiply out of the loop."""
+        hp = hp_ops(HPParams(8, 4))
+        hb = hallberg_ops(HallbergParams(8, 52))
+        assert hp.fp_mul * 2 == hb.fp_mul
+
+    def test_double_is_one_add(self):
+        ops = double_ops()
+        assert (ops.fp_mul, ops.fp_add, ops.alu) == (0, 1, 0)
+
+    def test_addition(self):
+        total = hp_ops(HPParams(2, 1)) + double_ops()
+        assert total.fp_add == 3
+
+
+class TestMemTraffic:
+    def test_paper_quoted_minimums(self):
+        """Sec. IV.B: HP(6,3): 7 reads + 6 writes; Hallberg(10,38):
+        11 reads + 10 writes; double: 2 reads + 1 write."""
+        hp = hp_mem(HPParams(6, 3))
+        assert (hp.reads, hp.writes) == (7, 6)
+        hb = hallberg_mem(HallbergParams(10, 38))
+        assert (hb.reads, hb.writes) == (11, 10)
+        d = double_mem()
+        assert (d.reads, d.writes) == (2, 1)
+
+    def test_memory_bound_ratio(self):
+        """The >= 4.3x prediction: 13 HP ops vs 3 double ops."""
+        ratio = hp_mem(HPParams(6, 3)).total / double_mem().total
+        assert abs(ratio - 13 / 3) < 1e-12
+        assert 4.3 < ratio < 4.4

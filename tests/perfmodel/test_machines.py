@@ -1,0 +1,55 @@
+"""Tests for the machine descriptions."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel.machines import (
+    Coprocessor,
+    GPU,
+    Machine,
+    TESLA_K20M,
+    XEON_PHI_5110P,
+    XEON_X5650,
+)
+
+
+class TestMachineDescriptions:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            XEON_X5650.clock_ghz = 3.0  # type: ignore[misc]
+
+    def test_x5650_shape(self):
+        m = XEON_X5650
+        assert m.sockets == 2 and m.cores_per_socket == 6  # dual hex-core
+        assert m.clock_ghz == 2.67
+        assert m.ns_per_cycle == pytest.approx(1 / 2.67)
+
+    def test_k20m_residency(self):
+        """The paper: 'the Tesla K20m supports a maximum of 2496
+        concurrent threads'."""
+        assert TESLA_K20M.max_concurrent_threads == 2496
+
+    def test_phi_shape(self):
+        phi = XEON_PHI_5110P
+        assert phi.max_threads == 240
+        assert phi.machine.clock_ghz == pytest.approx(1.053)
+        # The vectorization story: Phi double loop is far cheaper per
+        # element than its scalar fixed-point word cost.
+        assert phi.machine.hp_word_cycles > phi.machine.double_cycles
+
+    def test_custom_machine(self):
+        m = Machine(name="toy", clock_ghz=1.0, double_cycles=1.0,
+                    hp_word_cycles=10.0, hb_word_cycles=8.0)
+        assert m.ns_per_cycle == 1.0
+
+    def test_gpu_defaults(self):
+        g = GPU(name="toy", max_concurrent_threads=128, step_ns=10.0)
+        assert g.contention_slope == 0.05
+        assert g.kernel_launch_us == 10.0
+
+    def test_coprocessor_composition(self):
+        assert isinstance(XEON_PHI_5110P, Coprocessor)
+        assert isinstance(XEON_PHI_5110P.machine, Machine)

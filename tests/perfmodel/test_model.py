@@ -1,0 +1,117 @@
+"""Unit tests for the eqs. (3)-(6) analytic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.perfmodel.machines import XEON_X5650
+from repro.perfmodel.model import (
+    fig4_model_sweep,
+    hallberg_blocks,
+    hallberg_time,
+    hp_blocks,
+    hp_time,
+    per_summand_seconds,
+    speedup_bound_eq5,
+    speedup_bound_eq6,
+    speedup_eq4,
+)
+
+
+class TestBlockCounts:
+    def test_hp_blocks(self):
+        """Eq. (3): N_p = ceil((b+1)/64)."""
+        assert hp_blocks(511) == 8
+        assert hp_blocks(512) == 9  # 513 bits with sign
+        assert hp_blocks(64) == 2
+        assert hp_blocks(63) == 1
+
+    def test_hallberg_blocks(self):
+        """Eq. (3): N_b = ceil(b/M)."""
+        assert hallberg_blocks(512, 52) == 10
+        assert hallberg_blocks(512, 43) == 12
+        assert hallberg_blocks(512, 37) == 14
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            hp_blocks(0)
+        with pytest.raises(ValueError):
+            hallberg_blocks(512, 63)
+
+
+class TestPerSummand:
+    def test_linear_in_words(self):
+        m = XEON_X5650
+        assert per_summand_seconds("hp", 8, m) == pytest.approx(
+            2 * per_summand_seconds("hp", 4, m)
+        )
+
+    def test_single_pe_ratio_is_papers(self):
+        """The calibration anchor: HP(6,3) ~ 37-38x double on the X5650."""
+        m = XEON_X5650
+        ratio = per_summand_seconds("hp", 6, m) / per_summand_seconds(
+            "double", 1, m
+        )
+        assert 36.0 < ratio < 39.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            per_summand_seconds("quad", 4, XEON_X5650)
+
+    def test_absolute_scale(self):
+        """32M doubles in ~47 ms on one core (Fig. 5's anchor point)."""
+        t = (1 << 25) * per_summand_seconds("double", 1, XEON_X5650)
+        assert 0.04 < t < 0.06
+
+
+class TestSpeedupEquations:
+    def test_eq4_at_table2_points(self):
+        """Eq. (4) with the fitted costs: Hallberg ahead at M=52, HP
+        ahead at M=37 — the Fig. 4 story."""
+        assert speedup_eq4(512, 52) < 1.0
+        assert speedup_eq4(512, 37) > 1.0
+
+    def test_eq5_bounds_eq4(self):
+        for b in (128, 512, 2048):
+            for m in (20, 37, 52):
+                assert speedup_eq4(b, m) >= speedup_bound_eq5(b, m) - 1e-12
+
+    def test_eq6_bounds_eq5_for_b_over_64(self):
+        for b in (65, 128, 512):
+            for m in (20, 37, 52):
+                assert speedup_bound_eq5(b, m) >= speedup_bound_eq6(m) - 1e-12
+
+    def test_eq6_scales_inversely_with_m(self):
+        assert speedup_bound_eq6(26) == pytest.approx(
+            2 * speedup_bound_eq6(52)
+        )
+
+
+class TestFig4Sweep:
+    def test_times_scale_linearly_with_n(self):
+        p = HPParams(8, 4)
+        assert hp_time(2000, p) == pytest.approx(2 * hp_time(1000, p))
+        hb = HallbergParams(12, 43)
+        assert hallberg_time(3000, hb) == pytest.approx(
+            3 * hallberg_time(1000, hb)
+        )
+
+    def test_crossover_in_paper_region(self):
+        """HP overtakes 'in excess of 1M summands' — the modeled curve
+        must cross 1.0 between 64K and 4M."""
+        points = fig4_model_sweep([2**i for i in range(7, 25)])
+        crossing = min(pt.n for pt in points if pt.speedup >= 1.0)
+        assert 2**16 <= crossing <= 2**22
+
+    def test_hallberg_word_count_grows(self):
+        points = fig4_model_sweep([1000, 10**6, 10**7])
+        ns = [pt.hallberg_params.n for pt in points]
+        assert ns[0] < ns[-1]
+
+    def test_speedup_band_matches_paper(self):
+        """Right panel of Fig. 4 spans ~0.7-1.3; the model stays in it."""
+        points = fig4_model_sweep([2**i for i in range(7, 25)])
+        for pt in points:
+            assert 0.7 <= pt.speedup <= 1.3

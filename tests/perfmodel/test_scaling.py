@@ -1,0 +1,141 @@
+"""Unit tests for the Figs. 5-8 strong-scaling models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.hallberg.params import HallbergParams
+from repro.perfmodel.machines import TESLA_K20M, XEON_PHI_5110P
+from repro.perfmodel.scaling import (
+    MethodSpec,
+    cuda_time,
+    efficiency,
+    mpi_time,
+    openmp_time,
+    phi_time,
+    scaling_series,
+    standard_specs,
+)
+
+N = 1 << 25
+SPECS = {s.name: s for s in standard_specs()}
+
+
+class TestMethodSpec:
+    def test_standard_trio(self):
+        assert list(SPECS) == ["double", "hp", "hallberg"]
+        assert SPECS["hp"].words == 6
+        assert SPECS["hallberg"].words == 10
+        assert SPECS["double"].traffic.total == 3
+
+
+class TestOpenMPModel:
+    def test_fixed_point_scales_nearly_perfectly(self):
+        times = [openmp_time(N, p, SPECS["hp"]) for p in (1, 2, 4, 8)]
+        effs = efficiency(times, [1, 2, 4, 8])
+        assert all(e > 0.95 for e in effs)
+
+    def test_double_hits_bandwidth_wall(self):
+        times = [openmp_time(N, p, SPECS["double"]) for p in (1, 2, 4, 8)]
+        effs = efficiency(times, [1, 2, 4, 8])
+        assert effs[-1] < 0.6  # the Fig. 5 collapse
+
+    def test_monotone_in_threads(self):
+        for spec in SPECS.values():
+            times = [openmp_time(N, p, spec) for p in (1, 2, 4, 8)]
+            assert all(b <= a * 1.001 for a, b in zip(times, times[1:]))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            openmp_time(N, 0, SPECS["hp"])
+
+
+class TestMPIModel:
+    def test_exact_methods_hold_efficiency_at_128(self):
+        pes = [1, 2, 4, 8, 16, 32, 64, 128]
+        for name in ("hp", "hallberg"):
+            times = [mpi_time(N, p, SPECS[name]) for p in pes]
+            assert efficiency(times, pes)[-1] > 0.9
+
+    def test_double_efficiency_decays(self):
+        pes = [1, 2, 4, 8, 16, 32, 64, 128]
+        times = [mpi_time(N, p, SPECS["double"]) for p in pes]
+        effs = efficiency(times, pes)
+        assert effs[-1] < 0.5
+
+    def test_comm_rounds_cost_log_p(self):
+        """Beyond the compute floor, doubling p adds one round's cost."""
+        t64 = mpi_time(0, 64, SPECS["double"])   # n=0: pure comm
+        t128 = mpi_time(0, 128, SPECS["double"])
+        assert t128 > t64
+
+
+class TestCUDAModel:
+    def test_plateau_at_residency_ceiling(self):
+        t_cap = cuda_time(N, TESLA_K20M.max_concurrent_threads, SPECS["hp"])
+        assert cuda_time(N, 32768, SPECS["hp"]) == pytest.approx(t_cap)
+
+    def test_hp_ratio_in_paper_band(self):
+        """At most ~5.6x, never below the 4.0 vicinity of the memory-op
+        bound (Sec. IV.B)."""
+        for t in (256, 1024, 4096, 32768):
+            ratio = cuda_time(N, t, SPECS["hp"]) / cuda_time(
+                N, t, SPECS["double"]
+            )
+            assert 4.0 <= ratio <= 5.6
+
+    def test_hallberg_much_slower_than_hp(self):
+        assert cuda_time(N, 2048, SPECS["hallberg"]) > 1.4 * cuda_time(
+            N, 2048, SPECS["hp"]
+        )
+
+    def test_contention_grows_with_threads_per_cell(self):
+        """More resident threads per partial cell => relatively slower."""
+        free = cuda_time(N, 256, SPECS["double"], num_partials=4096)
+        contended = cuda_time(N, 256, SPECS["double"], num_partials=1)
+        assert contended > free
+
+
+class TestPhiModel:
+    def test_transfer_floor_at_high_threads(self):
+        floor = (
+            XEON_PHI_5110P.offload_latency_ms * 1e-3
+            + N * 8 / (XEON_PHI_5110P.transfer_gbps * 1e9)
+        )
+        for name in ("double", "hp", "hallberg"):
+            assert phi_time(N, 240, SPECS[name]) >= floor
+
+    def test_methods_converge_at_high_threads(self):
+        times = [phi_time(N, 240, SPECS[n]) for n in SPECS]
+        assert max(times) / min(times) < 2.0
+
+    def test_single_thread_gap_exceeds_host(self):
+        """Vectorized double makes the 1-thread gap larger than the
+        X5650's 37x."""
+        gap = phi_time(N, 1, SPECS["hp"]) / phi_time(N, 1, SPECS["double"])
+        assert gap > 10.0
+
+    def test_thread_bounds(self):
+        with pytest.raises(ValueError):
+            phi_time(N, 0, SPECS["hp"])
+        with pytest.raises(ValueError):
+            phi_time(N, 241, SPECS["hp"])
+
+
+class TestHelpers:
+    def test_efficiency_definition(self):
+        assert efficiency([1.0, 0.5], [1, 2]) == [1.0, 1.0]
+        assert efficiency([1.0, 1.0], [1, 2]) == [1.0, 0.5]
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            efficiency([1.0], [1, 2])
+        with pytest.raises(ValueError):
+            efficiency([], [])
+
+    def test_scaling_series_shape(self):
+        out = scaling_series(openmp_time, N, [1, 2, 4], list(SPECS.values()))
+        assert set(out) == {"double", "hp", "hallberg"}
+        times, effs = out["hp"]
+        assert len(times) == len(effs) == 3

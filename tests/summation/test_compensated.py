@@ -1,0 +1,75 @@
+"""Unit tests for compensated summation baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.summation.compensated import (
+    fast_two_sum,
+    kahan_sum,
+    klein_sum,
+    neumaier_sum,
+    two_sum,
+)
+
+moderate = st.floats(min_value=-1e15, max_value=1e15,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestTwoSum:
+    @given(moderate, moderate)
+    def test_error_free_transformation(self, a, b):
+        s, err = two_sum(a, b)
+        assert s == a + b
+        # The defining identity, checked exactly in rationals.
+        from fractions import Fraction
+
+        assert Fraction(a) + Fraction(b) == Fraction(s) + Fraction(err)
+
+    def test_captures_lost_bits(self):
+        s, err = two_sum(1e16, 1.0)
+        assert s == 1e16 and err == 1.0
+
+    @given(moderate, moderate)
+    def test_fast_two_sum_matches_when_ordered(self, a, b):
+        if abs(a) < abs(b):
+            a, b = b, a
+        assert fast_two_sum(a, b) == two_sum(a, b)
+
+
+class TestKahanFamily:
+    def test_kahan_beats_naive(self):
+        # 1e16 + many tiny values: naive drops them all, Kahan keeps them.
+        values = [1e16] + [0.5] * 1000
+        assert kahan_sum(values) == 1e16 + 500.0
+
+    def test_neumaier_survives_kahan_counterexample(self):
+        # Classic case where Kahan fails: a huge term arriving late.
+        values = [1.0, 1e100, 1.0, -1e100]
+        assert kahan_sum(values) != 2.0
+        assert neumaier_sum(values) == 2.0
+        assert klein_sum(values) == 2.0
+
+    def test_empty(self):
+        assert kahan_sum([]) == 0.0
+        assert neumaier_sum([]) == 0.0
+        assert klein_sum([]) == 0.0
+
+    @pytest.mark.parametrize("summer", [kahan_sum, neumaier_sum, klein_sum])
+    def test_close_to_fsum(self, summer, rng):
+        values = rng.uniform(-1.0, 1.0, 5000).tolist()
+        assert summer(values) == pytest.approx(math.fsum(values), abs=1e-13)
+
+    def test_still_order_sensitive(self, rng):
+        """The limitation the paper notes: compensation reduces error but
+        does not make the sum order-invariant in general."""
+        values = (rng.uniform(0, 1e-3, 512).tolist()
+                  + (-rng.uniform(0, 1e-3, 512)).tolist())
+        results = set()
+        for _ in range(50):
+            rng.shuffle(values)
+            results.add(kahan_sum(values))
+        assert len(results) > 1

@@ -1,0 +1,83 @@
+"""Unit/property tests for the double-double (He-Ding) baseline."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.summation.doubledouble import (
+    DoubleDouble,
+    dd_add,
+    dd_add_double,
+    dd_sum,
+)
+
+moderate = st.floats(min_value=-1e12, max_value=1e12, allow_nan=False)
+
+
+class TestDoubleDouble:
+    def test_normalization(self):
+        x = DoubleDouble(1.0, 1e20)  # deliberately unnormalized input
+        assert x.hi == 1e20  # renormalized: hi carries the magnitude
+        assert x.to_fraction() == Fraction(1.0) + Fraction(1e20)
+
+    def test_retains_rounding_error(self):
+        x = DoubleDouble.from_double(0.1) + 0.2
+        assert x.to_fraction() == Fraction(0.1) + Fraction(0.2)
+        assert x.lo != 0.0  # the double add alone would have lost this
+
+    def test_add_sub_roundtrip(self):
+        x = DoubleDouble.from_double(1e16) + 3.14159 - 1e16
+        assert x.to_double() == 3.14159
+
+    def test_operators(self):
+        a = DoubleDouble.from_double(2.0)
+        assert (a + 1.0).to_double() == 3.0
+        assert (1.0 + a).to_double() == 3.0
+        assert (a - 0.5).to_double() == 1.5
+        assert (-a).to_double() == -2.0
+
+    @given(moderate, moderate)
+    def test_dd_add_double_is_exact_for_two_terms(self, a, b):
+        x = dd_add_double(DoubleDouble.from_double(a), b)
+        assert x.to_fraction() == Fraction(a) + Fraction(b)
+
+    @given(moderate, moderate, moderate)
+    @settings(max_examples=60)
+    def test_three_term_error_tiny(self, a, b, c):
+        x = dd_add(dd_add_double(DoubleDouble.from_double(a), b),
+                   DoubleDouble.from_double(c))
+        exact = Fraction(a) + Fraction(b) + Fraction(c)
+        if exact == 0:
+            assert abs(x.to_fraction()) <= Fraction(2) ** -1000 or (
+                x.to_fraction() == 0
+            )
+        else:
+            rel = abs((x.to_fraction() - exact) / exact)
+            assert rel < Fraction(2) ** -90
+
+
+class TestDdSum:
+    def test_empty(self):
+        assert dd_sum([]) == 0.0
+
+    def test_beats_naive_on_absorption(self):
+        values = [1e16] + [1.0] * 1000
+        assert dd_sum(values) == 1e16 + 1000.0
+
+    def test_matches_fsum_on_moderate_data(self, rng):
+        values = rng.uniform(-1.0, 1.0, 5000)
+        assert dd_sum(values) == math.fsum(values)
+
+    def test_order_sensitivity_remains_in_principle(self):
+        """The class limitation: pick a stream whose exact sum needs
+        >106 bits across the adds; orders then disagree."""
+        values = [1.0, 2.0**-110, -1.0, 2.0**-110]
+        a = dd_sum(values)
+        b = dd_sum(sorted(values))
+        exact = float(2 * Fraction(2) ** -110)
+        # At least one order misses the exact answer.
+        assert a != exact or b != exact or a == b

@@ -1,0 +1,64 @@
+"""Unit tests for exact reference summation."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.summation.exact import (
+    exact_sum_scaled,
+    fraction_sum,
+    fsum,
+    is_exactly_representable,
+)
+
+
+class TestFractionSum:
+    def test_exact_cancellation(self):
+        values = [0.1, 0.2, -0.1, -0.2]
+        assert fraction_sum(values) == 0
+
+    def test_matches_fsum_rounding(self, rng):
+        values = rng.uniform(-1.0, 1.0, 500)
+        assert float(fraction_sum(values)) == fsum(values)
+
+    def test_exposes_fp_error(self):
+        assert fraction_sum([0.1, 0.2]) != Fraction(3, 10)
+
+
+class TestExactSumScaled:
+    def test_exact_inputs(self):
+        # 0.5 and 0.25 in 8 fractional bits: 128 + 64 = 192.
+        assert exact_sum_scaled([0.5, 0.25], 8) == 192
+
+    def test_truncation_toward_zero_each_term(self):
+        # 0.3 truncates down, -0.3 truncates up: they cancel to 0.
+        assert exact_sum_scaled([0.3, -0.3], 4) == 0
+
+    def test_matches_hp_semantics(self, rng):
+        from repro.core.params import HPParams
+        from repro.core.scalar import from_double, to_int_scaled, add_words
+
+        p = HPParams(3, 2)
+        values = rng.uniform(-100.0, 100.0, 100)
+        total = (0, 0, 0)
+        for x in values:
+            total = add_words(total, from_double(float(x), p))
+        assert to_int_scaled(total) == exact_sum_scaled(
+            values.tolist(), p.frac_bits
+        )
+
+
+class TestIsExactlyRepresentable:
+    def test_dyadic_values(self):
+        assert is_exactly_representable([0.5, 0.25, 3.0], 2)
+
+    def test_requires_enough_bits(self):
+        assert not is_exactly_representable([2.0**-10], 4)
+        assert is_exactly_representable([2.0**-10], 10)
+
+    def test_decimal_fractions_need_many_bits(self):
+        # 0.1 in binary is infinite; it is exact only once all 52+ of its
+        # double-mantissa bits fit.
+        assert not is_exactly_representable([0.1], 20)
+        assert is_exactly_representable([0.1], 60)

@@ -1,0 +1,67 @@
+"""Unit tests for ordered summation baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.summation.naive import naive_sum, pairwise_sum, reverse_sum, sorted_sum
+
+
+class TestNaiveSum:
+    def test_empty(self):
+        assert naive_sum([]) == 0.0
+
+    def test_left_to_right_semantics(self):
+        # Classic absorption: 1e16 + 1 + ... + 1 loses the ones,
+        # whereas summing the ones first keeps them.
+        values = [1e16] + [1.0] * 64
+        assert naive_sum(values) == 1e16
+        assert naive_sum(list(reversed(values))) == 1e16 + 64
+
+    def test_exact_when_no_rounding(self):
+        assert naive_sum([0.5, 0.25, 0.125]) == 0.875
+
+    def test_order_sensitivity(self, rng):
+        values = rng.uniform(-1.0, 1.0, 2000)
+        fwd = naive_sum(values)
+        rev = reverse_sum(values)
+        # Usually different; never off by more than accumulated epsilon.
+        assert abs(fwd - rev) < 1e-10
+
+
+class TestPairwiseSum:
+    def test_empty_and_single(self):
+        assert pairwise_sum([]) == 0.0
+        assert pairwise_sum([3.5]) == 3.5
+
+    def test_matches_fsum_closely(self, rng):
+        values = rng.uniform(-1.0, 1.0, 4097)
+        exact = math.fsum(values)
+        assert abs(pairwise_sum(values) - exact) <= 1e-13
+        # ... and is more accurate than the naive loop on hard inputs.
+
+    def test_block_parameter(self, rng):
+        values = rng.uniform(-1.0, 1.0, 1000)
+        # Different blocks give (potentially) different roundings but all
+        # near the exact value.
+        results = {pairwise_sum(values, block=b) for b in (1, 2, 8, 64)}
+        for r in results:
+            assert r == pytest.approx(math.fsum(values), abs=1e-12)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            pairwise_sum([1.0], block=0)
+
+
+class TestSortedSum:
+    def test_orders_by_magnitude(self):
+        # Summing small-first retains the small terms against a big one.
+        values = [1e16] + [1.0] * 64
+        assert sorted_sum(values) == 1e16 + 64
+
+    def test_not_exact_in_general(self, rng):
+        values = rng.uniform(-1.0, 1.0, 500)
+        assert sorted_sum(values) == pytest.approx(math.fsum(values), abs=1e-12)

@@ -1,0 +1,80 @@
+"""Unit tests for residual statistics and ulp distance."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.summation.naive import naive_sum
+from repro.summation.stats import (
+    residual_stats,
+    shuffled_trials,
+    ulp_distance,
+)
+
+
+class TestResidualStats:
+    def test_moments(self):
+        stats = residual_stats([1.0, -1.0, 1.0, -1.0])
+        assert stats.mean == 0.0
+        assert stats.stdev == 1.0
+        assert (stats.min, stats.max) == (-1.0, 1.0)
+
+    def test_exact_zero_counting(self):
+        stats = residual_stats([0.0, 0.0, 1e-300])
+        assert stats.n_exact_zero == 2
+        assert not stats.all_exact
+        assert residual_stats([0.0, 0.0]).all_exact
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            residual_stats([])
+
+
+class TestShuffledTrials:
+    def test_trial_count(self, rng):
+        values = rng.uniform(-1.0, 1.0, 64)
+        results = shuffled_trials(values, naive_sum, 17, rng)
+        assert len(results) == 17
+
+    def test_deterministic_given_seed(self):
+        values = np.arange(32, dtype=np.float64) / 7.0
+        a = shuffled_trials(values, naive_sum, 5, np.random.default_rng(3))
+        b = shuffled_trials(values, naive_sum, 5, np.random.default_rng(3))
+        assert a == b
+
+    def test_input_not_mutated(self, rng):
+        values = rng.uniform(-1.0, 1.0, 32)
+        copy = values.copy()
+        shuffled_trials(values, naive_sum, 3, rng)
+        assert np.array_equal(values, copy)
+
+    def test_rejects_bad_trials(self, rng):
+        with pytest.raises(ValueError):
+            shuffled_trials(np.zeros(4), naive_sum, 0, rng)
+
+
+class TestUlpDistance:
+    def test_zero_for_equal(self):
+        assert ulp_distance(1.5, 1.5) == 0
+
+    def test_adjacent_doubles(self):
+        assert ulp_distance(1.0, math.nextafter(1.0, 2.0)) == 1
+        assert ulp_distance(-1.0, math.nextafter(-1.0, -2.0)) == 1
+
+    def test_across_zero(self):
+        tiny = 5e-324
+        assert ulp_distance(-tiny, tiny) == 2
+        assert ulp_distance(0.0, tiny) == 1
+
+    def test_signed_zeros_coincide(self):
+        assert ulp_distance(0.0, -0.0) == 0
+
+    def test_symmetric(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ulp_distance(float("nan"), 1.0)

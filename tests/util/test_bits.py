@@ -1,0 +1,113 @@
+"""Unit tests for 64-bit word helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    MASK64,
+    join32,
+    mask64,
+    sign_bit,
+    signed_int_to_words,
+    split32,
+    twos_complement_words,
+    unsigned_int_to_words,
+    words_to_signed_int,
+    words_to_unsigned_int,
+)
+
+words_strategy = st.lists(
+    st.integers(min_value=0, max_value=MASK64), min_size=1, max_size=8
+).map(tuple)
+
+
+class TestMask64:
+    def test_identity_in_range(self):
+        assert mask64(42) == 42
+        assert mask64(MASK64) == MASK64
+
+    def test_wraps_overflow(self):
+        assert mask64(1 << 64) == 0
+        assert mask64((1 << 64) + 7) == 7
+
+    def test_wraps_negative_like_c(self):
+        assert mask64(-1) == MASK64
+        assert mask64(-2) == MASK64 - 1
+
+
+class TestSignBit:
+    def test_clear(self):
+        assert sign_bit(0) == 0
+        assert sign_bit((1 << 63) - 1) == 0
+
+    def test_set(self):
+        assert sign_bit(1 << 63) == 1
+        assert sign_bit(MASK64) == 1
+
+
+class TestTwosComplement:
+    def test_zero_is_fixed_point(self):
+        assert twos_complement_words((0, 0, 0)) == (0, 0, 0)
+
+    def test_one(self):
+        assert twos_complement_words((0, 0, 1)) == (MASK64, MASK64, MASK64)
+
+    def test_carry_ripples_through_words(self):
+        # -(0x...0001_00000000...) requires the +1 carry to stop mid-way.
+        assert twos_complement_words((0, 1, 0)) == (MASK64, MASK64 - 1 + 1, 0)
+
+    def test_most_negative_maps_to_itself(self):
+        most_negative = (1 << 63, 0)
+        assert twos_complement_words(most_negative) == most_negative
+
+    @given(words_strategy)
+    def test_involution(self, words):
+        assert twos_complement_words(twos_complement_words(words)) == words
+
+    @given(words_strategy)
+    def test_matches_integer_negation(self, words):
+        n = len(words)
+        value = words_to_signed_int(words)
+        if value == -(1 << (64 * n - 1)):  # most negative: no positive image
+            return
+        assert words_to_signed_int(twos_complement_words(words)) == -value
+
+
+class TestIntWordRoundtrip:
+    @given(words_strategy)
+    def test_unsigned_roundtrip(self, words):
+        n = len(words)
+        assert unsigned_int_to_words(words_to_unsigned_int(words), n) == words
+
+    @given(words_strategy)
+    def test_signed_roundtrip(self, words):
+        n = len(words)
+        assert signed_int_to_words(words_to_signed_int(words), n) == words
+
+    def test_signed_range_check(self):
+        with pytest.raises(ValueError):
+            signed_int_to_words(1 << 63, 1)
+        assert signed_int_to_words(-(1 << 63), 1) == (1 << 63,)
+
+    def test_unsigned_range_check(self):
+        with pytest.raises(ValueError):
+            unsigned_int_to_words(-1, 2)
+        with pytest.raises(ValueError):
+            unsigned_int_to_words(1 << 128, 2)
+
+    def test_word_value_check(self):
+        with pytest.raises(ValueError):
+            words_to_unsigned_int((MASK64 + 1,))
+
+
+class TestSplit32:
+    def test_split_and_join(self):
+        hi, lo = split32(0x0123456789ABCDEF)
+        assert hi == 0x01234567 and lo == 0x89ABCDEF
+        assert join32(hi, lo) == 0x0123456789ABCDEF
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_roundtrip(self, w):
+        assert join32(*split32(w)) == w

@@ -1,0 +1,45 @@
+"""Unit tests for seeded RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_deterministic_default(self):
+        a = default_rng().uniform(size=8)
+        b = default_rng().uniform(size=8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = default_rng(1).uniform(size=8)
+        b = default_rng(2).uniform(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_default_seed_is_fixed(self):
+        assert np.array_equal(
+            default_rng().uniform(size=4),
+            default_rng(DEFAULT_SEED).uniform(size=4),
+        )
+
+
+class TestSpawnRngs:
+    def test_independent_streams(self):
+        streams = spawn_rngs(4, seed=9)
+        draws = [s.uniform(size=16) for s in streams]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_reproducible(self):
+        a = [s.uniform(size=4) for s in spawn_rngs(3, seed=5)]
+        b = [s.uniform(size=4) for s in spawn_rngs(3, seed=5)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0)

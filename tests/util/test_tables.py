@@ -1,0 +1,51 @@
+"""Unit tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_zero_float(self):
+        assert format_cell(0.0) == "0"
+
+    def test_moderate_float_positional(self):
+        assert "e" not in format_cell(3.125)
+
+    def test_extreme_float_scientific(self):
+        assert "e" in format_cell(9.223372e18)
+        assert "e" in format_cell(2.9e-39)
+
+    def test_bool_not_treated_as_number(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("HP(N=3, k=2)") == "HP(N=3, k=2)"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("1")
+        assert lines[3].startswith("333")
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 9")
+        assert out.splitlines()[0] == "Table 9"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_wide_cells_stretch_columns(self):
+        out = render_table(["h"], [["wide-content"]])
+        header = out.splitlines()[0]
+        assert len(header) >= len("wide-content") or "wide" in out

@@ -1,0 +1,47 @@
+"""Unit tests for the timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timing import Timer, repeat_timeit
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0 and t.elapsed is not first
+
+
+class TestRepeatTimeit:
+    def test_counts_trials(self):
+        result = repeat_timeit(lambda: None, trials=5, warmup=0)
+        assert len(result.times) == 5
+
+    def test_statistics(self):
+        result = repeat_timeit(lambda: sum(range(500)), trials=4)
+        assert result.best <= result.mean
+        assert result.stdev >= 0.0
+
+    def test_single_trial_stdev(self):
+        result = repeat_timeit(lambda: None, trials=1, warmup=0)
+        assert result.stdev == 0.0
+
+    def test_warmup_excluded(self):
+        calls = []
+        repeat_timeit(lambda: calls.append(1), trials=2, warmup=3)
+        assert len(calls) == 5  # warmup runs happen but are not timed
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            repeat_timeit(lambda: None, trials=0)
