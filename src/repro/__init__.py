@@ -31,6 +31,9 @@ Subpackages
     figures (eqs. (3)-(6), memory-op and contention models).
 ``repro.experiments``
     One driver per paper table/figure.
+``repro.observability``
+    Instrumentation: metrics registry, tracing spans, structured run
+    reports (zero-overhead when disabled; see docs/OBSERVABILITY.md).
 """
 
 from repro.core import (

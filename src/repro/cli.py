@@ -11,6 +11,13 @@ Subcommands:
   worked example)
 * ``invariance``  — run the 21-strategy invariance matrix
 * ``calibration`` — audit the performance model's fitted anchors
+* ``stats``   — run an instrumented workload and print the metrics
+  report (or validate previously emitted JSON with ``--validate``)
+
+Every compute subcommand also accepts ``--metrics-out PATH`` /
+``--trace-out PATH``: observability is enabled for the run and the
+metrics/trace documents (schemas in ``docs/OBSERVABILITY.md``) are
+written on exit.
 
 Examples::
 
@@ -18,6 +25,9 @@ Examples::
     python -m repro sum data.npy --method hallberg --params 10,38
     python -m repro info --params 6,3
     python -m repro figure 4
+    python -m repro stats --n 1000000 --pes 8
+    python -m repro sum data.npy --metrics-out metrics.json
+    python -m repro stats --validate metrics.json
 """
 
 from __future__ import annotations
@@ -64,7 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sum = sub.add_parser("sum", help="exact global sum of a vector")
+    # Shared observability flags: any compute subcommand can emit the
+    # instrumentation documents described in docs/OBSERVABILITY.md.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="enable metrics and write the registry snapshot JSON here",
+    )
+    obs_flags.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable tracing and write the span export JSON here",
+    )
+
+    p_sum = sub.add_parser("sum", help="exact global sum of a vector",
+                           parents=[obs_flags])
     p_sum.add_argument("input", help=".npy file, text file, or '-' (stdin)")
     p_sum.add_argument(
         "--method",
@@ -81,7 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--words", action="store_true", help="also print the raw words"
     )
 
-    p_dot = sub.add_parser("dot", help="exact dot product of two vectors")
+    p_dot = sub.add_parser("dot", help="exact dot product of two vectors",
+                           parents=[obs_flags])
     p_dot.add_argument("x")
     p_dot.add_argument("y")
 
@@ -94,11 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sug.add_argument("--min", type=float, required=True,
                        help="smallest increment to preserve")
 
-    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab = sub.add_parser("table", help="regenerate a paper table",
+                           parents=[obs_flags])
     p_tab.add_argument("number", type=int, choices=(1, 2))
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure "
-                                          "(reduced scale)")
+                                          "(reduced scale)",
+                           parents=[obs_flags])
     p_fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5, 6, 7, 8))
     p_fig.add_argument("--trials", type=int, default=512,
                        help="random-order trials for figures 1-2")
@@ -106,13 +132,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_inv = sub.add_parser(
         "invariance",
         help="run every execution strategy on one dataset and compare bits",
+        parents=[obs_flags],
     )
     p_inv.add_argument("--n", type=int, default=1 << 10,
                        help="dataset size (default 1024)")
     p_inv.add_argument("--seed", type=int, default=None)
 
     sub.add_parser("calibration",
-                   help="performance-model calibration audit")
+                   help="performance-model calibration audit",
+                   parents=[obs_flags])
+
+    p_st = sub.add_parser(
+        "stats",
+        help="run an instrumented workload and report its metrics",
+        parents=[obs_flags],
+        description="Runs an OpenMP-style (threads-substrate) global sum "
+        "with observability enabled, plus a scalar-reference stage and a "
+        "shared-atomic contention stage, then prints the carry, CAS, "
+        "message and span metrics the run produced.",
+    )
+    p_st.add_argument("--n", type=int, default=1_000_000,
+                      help="summand count (default 1M)")
+    p_st.add_argument("--method", choices=("hp", "hallberg", "double"),
+                      default="hp")
+    p_st.add_argument("--pes", type=int, default=8,
+                      help="thread-team size (default 8)")
+    p_st.add_argument("--params", type=_parse_pair, default=None,
+                      help="N,K override for the method format")
+    p_st.add_argument("--seed", type=int, default=None)
+    p_st.add_argument("--json", action="store_true",
+                      help="print the full run report as JSON")
+    p_st.add_argument(
+        "--validate", metavar="PATH", action="append", default=None,
+        help="validate an emitted metrics/trace/run-report JSON file "
+        "against the documented schema instead of running (repeatable)",
+    )
 
     return parser
 
@@ -251,6 +305,105 @@ def _cmd_invariance(args) -> int:
     return 0 if matrix.all_identical else 1
 
 
+def _cmd_stats(args) -> int:
+    from repro import observability as obs
+
+    if args.validate:
+        failures = 0
+        for path in args.validate:
+            kind, problems = obs.validate_file(path)
+            if problems:
+                failures += 1
+                print(f"{path}: INVALID ({kind})")
+                for p in problems:
+                    print(f"  - {p}")
+            else:
+                print(f"{path}: ok ({kind})")
+        return 1 if failures else 0
+
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.accumulator import HPAccumulator
+    from repro.core.atomic import AtomicHPCell
+    from repro.core.params import HPParams
+    from repro.parallel.drivers import global_sum, make_method
+    from repro.util.rng import default_rng
+
+    obs.enable()
+    report = obs.RunReport("repro-stats")
+    rng = default_rng(args.seed)
+    data = rng.uniform(-1.0, 1.0, args.n)
+    params = None
+    if args.params is not None and args.method != "double":
+        from repro.hallberg.params import HallbergParams
+
+        params = (HPParams(*args.params) if args.method == "hp"
+                  else HallbergParams(*args.params))
+
+    report.event("start", n=args.n, method=args.method, pes=args.pes)
+    with obs.span("stats.workload", n=args.n, method=args.method,
+                  pes=args.pes):
+        # Stage 1: the OpenMP-analog fork/join sum (vectorized engines).
+        result = global_sum(data, args.method, "threads", pes=args.pes,
+                            params=params, engine="native")
+        report.event("threads_sum", value=result.value)
+
+        # Stage 2: scalar reference over a sample — exercises the
+        # Listing 2 ripple-carry loop so per-add carry stats are real.
+        # (Always HP: these diagnostic stages measure the HP primitives.)
+        hp_params = params if isinstance(params, HPParams) else HPParams(6, 3)
+        sample = data[: min(args.n, 4096)]
+        with obs.span("stats.scalar_reference", n=len(sample)):
+            acc = HPAccumulator(hp_params)
+            for x in sample:
+                acc.add(float(x))
+        report.event("scalar_reference", value=acc.to_double())
+
+        # Stage 3: shared-cell atomic contention under a real thread pool
+        # — the CAS attempt/failure story of paper Sec. III.B.2.
+        cell = AtomicHPCell(hp_params)
+        cell.reset_counters()
+        chunks = [sample[i :: args.pes] for i in range(args.pes)]
+        with obs.span("stats.atomic_contention", threads=args.pes,
+                      n=len(sample)):
+            with ThreadPoolExecutor(max_workers=args.pes) as pool:
+                list(pool.map(
+                    lambda chunk: [cell.atomic_add_double(float(x))
+                                   for x in chunk],
+                    chunks,
+                ))
+        attempts, failures = cell.cas_stats()
+        report.event("atomic_contention", cas_attempts=attempts,
+                     cas_failures=failures, value=cell.to_double())
+
+    summary = report.summary(value=result.value)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    print(f"sum({args.n} summands, method={args.method}, "
+          f"pes={args.pes}) = {result.value!r}")
+    print()
+    print("metrics:")
+    for m in summary["metrics"]:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(m["labels"].items()))
+        label_str = f"{{{labels}}}" if labels else ""
+        if m["type"] == "histogram":
+            mean = m["sum"] / m["count"] if m["count"] else 0.0
+            print(f"  {m['name']}{label_str:24s} count={m['count']} "
+                  f"mean={mean:.2f} max={m['max']}")
+        else:
+            print(f"  {m['name']}{label_str:24s} {m['value']}")
+    print()
+    print("spans (by total time):")
+    for row in summary["spans"]:
+        print(f"  {row['name']:40s} count={row['count']:<6d} "
+              f"total={row['total_s'] * 1e3:9.2f} ms  "
+              f"max={row['max_s'] * 1e3:9.2f} ms")
+    return 0
+
+
 def _cmd_calibration(args) -> int:
     from repro.perfmodel.calibration import calibration_anchors, render_calibration
 
@@ -269,12 +422,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _cmd_figure,
         "invariance": _cmd_invariance,
         "calibration": _cmd_calibration,
+        "stats": _cmd_stats,
     }
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_out or trace_out:
+        from repro import observability as obs
+
+        obs.enable(enable_metrics=metrics_out is not None,
+                   enable_tracing=trace_out is not None)
     try:
         return handlers[args.command](args)
     except Exception as exc:  # clean CLI errors, full trace only via -X
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if metrics_out or trace_out:
+            from repro import observability as obs
+
+            if metrics_out:
+                obs.write_metrics(metrics_out)
+            if trace_out:
+                obs.write_trace(trace_out)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 from repro.core import scalar
 from repro.core.hpnum import HPNumber
 from repro.core.params import HPParams
+from repro.observability import metrics as _obs
 from repro.util.bits import MASK64, sign_bit
 
 __all__ = ["HPAccumulator"]
@@ -77,6 +78,9 @@ class HPAccumulator:
             raise MixedParameterError(
                 f"accumulator is {self.params}, addend has {len(b)} words"
             )
+        if _obs.ENABLED:
+            self._add_words_observed(b)
+            return
         a = self._words
         n = len(a)
         sa = sign_bit(a[0])
@@ -95,6 +99,38 @@ class HPAccumulator:
             raise AdditionOverflowError(
                 f"accumulator overflowed after {self.count} additions"
             )
+
+    def _add_words_observed(self, b: Sequence[int]) -> None:
+        """Metered twin of the Listing 2 loop: same words, same overflow
+        rule, plus carry-ripple and overflow-check counters.  A separate
+        method keeps the disabled path at a single gate check."""
+        a = self._words
+        n = len(a)
+        p = self.params
+        sa = sign_bit(a[0])
+        sb = sign_bit(b[0])
+        a[n - 1] = (a[n - 1] + b[n - 1]) & MASK64
+        co = a[n - 1] < b[n - 1]
+        carries = int(co)
+        for i in range(n - 2, 0, -1):
+            a[i] = (a[i] + b[i] + co) & MASK64
+            co = co if a[i] == b[i] else a[i] < b[i]
+            carries += co
+        if n > 1:
+            a[0] = (a[0] + b[0] + co) & MASK64
+        self.count += 1
+        reg = _obs.REGISTRY
+        reg.counter("hp.accumulator.adds", n=p.n, k=p.k).inc()
+        reg.counter("hp.carry_words", n=p.n, path="accumulator").inc(carries)
+        if self.check_overflow:
+            reg.counter("hp.overflow_checks", path="accumulator").inc()
+            if sa == sb and sign_bit(a[0]) != sa:
+                reg.counter("hp.overflows", path="accumulator").inc()
+                from repro.errors import AdditionOverflowError
+
+                raise AdditionOverflowError(
+                    f"accumulator overflowed after {self.count} additions"
+                )
 
     def extend(self, xs: Iterable[float]) -> None:
         for x in xs:

@@ -20,6 +20,12 @@ exactly the sequential sum.  The simulated-GPU substrate
 (:mod:`repro.parallel.gpu`) reuses this logic under an adversarial
 scheduler; here the primitive is backed by a per-word mutex so it is also
 genuinely safe under real Python threads.
+
+Contention accounting: every word keeps CAS attempt/failure counters
+whose reads and resets are lock-protected (so benchmark trials can
+``reset_counters()`` between runs without racing in-flight adders), and
+when observability is enabled each ``atomic_add`` feeds the attempts it
+needed into the ``atomic.cas_attempts_per_add`` contention histogram.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Sequence
 
 from repro.core.params import HPParams
 from repro.core.scalar import from_double, to_double
+from repro.observability import metrics as _obs
 from repro.util.bits import MASK64
 
 __all__ = ["AtomicWord", "AtomicHPCell"]
@@ -43,13 +50,13 @@ class AtomicWord:
     64-bit word.
     """
 
-    __slots__ = ("_value", "_lock", "cas_attempts", "cas_failures")
+    __slots__ = ("_value", "_lock", "_cas_attempts", "_cas_failures")
 
     def __init__(self, value: int = 0) -> None:
         self._value = value & MASK64
         self._lock = threading.Lock()
-        self.cas_attempts = 0
-        self.cas_failures = 0
+        self._cas_attempts = 0
+        self._cas_failures = 0
 
     def load(self) -> int:
         return self._value
@@ -57,22 +64,54 @@ class AtomicWord:
     def cas(self, expected: int, new: int) -> bool:
         """Atomically: if value == expected, store new and return True."""
         with self._lock:
-            self.cas_attempts += 1
+            self._cas_attempts += 1
             if self._value == (expected & MASK64):
                 self._value = new & MASK64
                 return True
-            self.cas_failures += 1
+            self._cas_failures += 1
             return False
 
     def atomic_add(self, addend: int) -> tuple[int, int]:
         """CAS-loop fetch-and-add; returns ``(old_value, carry_out)``."""
         addend &= MASK64
+        attempts = 0
         while True:
             old = self.load()
             new = (old + addend) & MASK64
+            attempts += 1
             if self.cas(old, new):
+                if _obs.ENABLED:
+                    reg = _obs.REGISTRY
+                    reg.histogram("atomic.cas_attempts_per_add").observe(
+                        attempts
+                    )
+                    if attempts > 1:
+                        reg.counter("atomic.cas_retries").inc(attempts - 1)
                 # addend is in (0, 2**64), so the sum wrapped iff new < old
                 return old, 1 if new < old else 0
+
+    # -- counter access (lock-protected: see module docstring) -------------
+
+    @property
+    def cas_attempts(self) -> int:
+        with self._lock:
+            return self._cas_attempts
+
+    @property
+    def cas_failures(self) -> int:
+        with self._lock:
+            return self._cas_failures
+
+    def counters(self) -> tuple[int, int]:
+        """Consistent ``(attempts, failures)`` snapshot of this word."""
+        with self._lock:
+            return self._cas_attempts, self._cas_failures
+
+    def reset_counters(self) -> None:
+        """Zero the CAS counters (call between benchmark trials)."""
+        with self._lock:
+            self._cas_attempts = 0
+            self._cas_failures = 0
 
 
 class AtomicHPCell:
@@ -92,6 +131,8 @@ class AtomicHPCell:
     >>> cell.atomic_add_double(0.25); cell.atomic_add_double(-0.125)
     >>> cell.to_double()
     0.125
+    >>> cell.reset_counters(); cell.total_cas_attempts
+    0
     """
 
     def __init__(self, params: HPParams) -> None:
@@ -107,6 +148,8 @@ class AtomicHPCell:
                 f"cell is {self.params}, addend has {len(b)} words"
             )
         carry = 0
+        touched = 0
+        carries = 0
         for i in range(self.params.n - 1, -1, -1):
             raw = b[i] + carry
             addend = raw & MASK64
@@ -116,8 +159,15 @@ class AtomicHPCell:
                 carry = raw >> 64
                 continue
             _, carry = self.words[i].atomic_add(addend)
+            touched += 1
+            carries += carry
         # A carry out of word 0 is the wrap of the two's-complement field;
         # it is discarded exactly as in the scalar Listing 2 loop.
+        if _obs.ENABLED:
+            reg = _obs.REGISTRY
+            reg.counter("atomic.word_adds", n=self.params.n).inc(touched)
+            reg.counter("hp.carry_words", n=self.params.n,
+                        path="atomic").inc(carries)
 
     def atomic_add_double(self, x: float) -> None:
         """Convert thread-locally, then fold in atomically."""
@@ -130,10 +180,30 @@ class AtomicHPCell:
     def to_double(self) -> float:
         return to_double(self.snapshot_words(), self.params)
 
+    def cas_stats(self) -> tuple[int, int]:
+        """Per-word-consistent ``(attempts, failures)`` totals.
+
+        Each word's pair is snapshotted under that word's lock, so a
+        concurrent adder can never make failures exceed attempts in the
+        aggregate — the race the old unlocked property reads allowed.
+        """
+        attempts = failures = 0
+        for w in self.words:
+            a, f = w.counters()
+            attempts += a
+            failures += f
+        return attempts, failures
+
+    def reset_counters(self) -> None:
+        """Zero every word's CAS counters so repeated benchmark trials
+        don't accumulate stale contention stats across runs."""
+        for w in self.words:
+            w.reset_counters()
+
     @property
     def total_cas_attempts(self) -> int:
-        return sum(w.cas_attempts for w in self.words)
+        return self.cas_stats()[0]
 
     @property
     def total_cas_failures(self) -> int:
-        return sum(w.cas_failures for w in self.words)
+        return self.cas_stats()[1]

@@ -27,6 +27,7 @@ import warnings
 from typing import Sequence
 
 from repro.core.params import HPParams
+from repro.observability import metrics as _obs
 from repro.errors import (
     AdditionOverflowError,
     ConversionOverflowError,
@@ -213,6 +214,8 @@ def add_words(a: Sequence[int], b: Sequence[int]) -> Words:
     :func:`add_words_checked` for the sign-rule detection.
     """
     check_params_match(a, b)
+    if _obs.ENABLED:
+        return _add_words_observed(a, b)
     n = len(a)
     out = list(a)
     out[n - 1] = (a[n - 1] + b[n - 1]) & MASK64
@@ -225,12 +228,38 @@ def add_words(a: Sequence[int], b: Sequence[int]) -> Words:
     return tuple(out)
 
 
+def _add_words_observed(a: Sequence[int], b: Sequence[int]) -> Words:
+    """Metered twin of :func:`add_words` — identical arithmetic, but
+    counts how many word positions received a carry-in (the quantity the
+    paper's amortized-cost argument is about).  Kept separate so the
+    disabled hot path pays only the gate check."""
+    n = len(a)
+    out = list(a)
+    out[n - 1] = (a[n - 1] + b[n - 1]) & MASK64
+    co = out[n - 1] < b[n - 1]
+    carries = int(co)
+    for i in range(n - 2, 0, -1):
+        out[i] = (a[i] + b[i] + co) & MASK64
+        co = co if out[i] == b[i] else out[i] < b[i]
+        carries += co
+    if n > 1:
+        out[0] = (a[0] + b[0] + co) & MASK64
+    reg = _obs.REGISTRY
+    reg.counter("hp.scalar.adds", n=n).inc()
+    reg.counter("hp.carry_words", n=n, path="scalar").inc(carries)
+    return tuple(out)
+
+
 def add_words_checked(a: Sequence[int], b: Sequence[int]) -> Words:
     """Add with the paper's overflow rule (Sec. III.A): equal-signed
     operands whose sum has the opposite sign indicate overflow."""
     out = add_words(a, b)
     sa, sb, so = sign_bit(a[0]), sign_bit(b[0]), sign_bit(out[0])
+    if _obs.ENABLED:
+        _obs.REGISTRY.counter("hp.overflow_checks", path="scalar").inc()
     if sa == sb and so != sa:
+        if _obs.ENABLED:
+            _obs.REGISTRY.counter("hp.overflows", path="scalar").inc()
         raise AdditionOverflowError(
             f"HP addition overflowed the {len(a)}-word field"
         )

@@ -22,6 +22,7 @@ from repro.core.vectorized import batch_sum_doubles
 from repro.experiments.datasets import wide_range_uniform
 from repro.hallberg.params import HallbergParams, equivalent_hallberg
 from repro.hallberg.vectorized import hb_batch_sum_doubles
+from repro.observability import tracing as _trace
 from repro.util.rng import default_rng
 from repro.util.timing import repeat_timeit
 
@@ -78,22 +79,30 @@ def run_fig4_measured(
     """
     rng = default_rng(seed)
     result = Fig4Measured()
-    for n in sizes:
-        data = wide_range_uniform(n, rng)
-        hb_params = equivalent_hallberg(FIG4_PRECISION_BITS, n)
-        hp_t = repeat_timeit(
-            lambda: batch_sum_doubles(data, hp_params, check_overflow=False),
-            trials=trials,
-        ).best
-        hb_t = repeat_timeit(
-            lambda: hb_batch_sum_doubles(data, hb_params), trials=trials
-        ).best
-        result.rows.append(
-            Fig4MeasuredRow(
-                n=n,
-                hallberg_params=hb_params,
-                hp_seconds=hp_t,
-                hallberg_seconds=hb_t,
+    with _trace.span("experiments.fig4_measured", sizes=len(sizes),
+                     trials=trials):
+        for n in sizes:
+            with _trace.span("experiments.fig4_measured.size", n=n):
+                data = wide_range_uniform(n, rng)
+                hb_params = equivalent_hallberg(FIG4_PRECISION_BITS, n)
+                hp_t = repeat_timeit(
+                    lambda: batch_sum_doubles(
+                        data, hp_params, check_overflow=False
+                    ),
+                    trials=trials,
+                    name="experiments.fig4_measured.hp",
+                ).best
+                hb_t = repeat_timeit(
+                    lambda: hb_batch_sum_doubles(data, hb_params),
+                    trials=trials,
+                    name="experiments.fig4_measured.hallberg",
+                ).best
+            result.rows.append(
+                Fig4MeasuredRow(
+                    n=n,
+                    hallberg_params=hb_params,
+                    hp_seconds=hp_t,
+                    hallberg_seconds=hb_t,
+                )
             )
-        )
     return result

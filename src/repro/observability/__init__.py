@@ -1,0 +1,122 @@
+"""Instrumentation subsystem: metrics, tracing spans, run reports.
+
+The measurement substrate behind the paper's performance story (Figs
+5-8): carry-propagation counts, CAS attempts/failures under contention,
+simulated-MPI message traffic, and per-stage timings all flow through
+this package when observability is enabled.
+
+Three layers:
+
+* :mod:`repro.observability.metrics` — a thread-safe registry of labeled
+  counters / gauges / histograms behind a zero-overhead-when-disabled
+  module gate;
+* :mod:`repro.observability.tracing` — nested spans (context manager and
+  decorator) with wall + monotonic clocks and JSON export;
+* :mod:`repro.observability.report` + :mod:`~repro.observability.schema`
+  — structured run reports (JSON-lines events + summary) and validators
+  for every emitted document.
+
+Typical use::
+
+    from repro import observability as obs
+
+    with obs.observed():                  # enable for one region
+        result = global_sum(data, "hp", "threads", pes=8)
+        obs.write_metrics("metrics.json")
+        obs.write_trace("trace.json")
+
+or from the CLI: ``repro stats``, and ``--metrics-out`` /
+``--trace-out`` on every compute subcommand.  The catalog of built-in
+metric and span names lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.observability import metrics, tracing
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.observability.report import RunReport, write_metrics, write_trace
+from repro.observability.schema import (
+    validate_document,
+    validate_file,
+    validate_metrics_doc,
+    validate_run_report_doc,
+    validate_trace_doc,
+)
+from repro.observability.tracing import Span, TRACER, Tracer, span, traced
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "observed",
+    "reset",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    # tracing
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+    # reports + schemas
+    "RunReport",
+    "write_metrics",
+    "write_trace",
+    "validate_document",
+    "validate_file",
+    "validate_metrics_doc",
+    "validate_trace_doc",
+    "validate_run_report_doc",
+]
+
+
+def enable(enable_metrics: bool = True, enable_tracing: bool = True) -> None:
+    """Turn instrumentation on (both layers by default)."""
+    if enable_metrics:
+        metrics.enable()
+    if enable_tracing:
+        tracing.enable()
+
+
+def disable() -> None:
+    """Turn both layers off; collected data is retained."""
+    metrics.disable()
+    tracing.disable()
+
+
+def is_enabled() -> bool:
+    """True when either layer's gate is on."""
+    return metrics.ENABLED or tracing.ENABLED
+
+
+def reset() -> None:
+    """Zero metrics and drop collected spans (gates are untouched)."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+@contextmanager
+def observed(enable_metrics: bool = True, enable_tracing: bool = True):
+    """Enable instrumentation for one region, restoring prior gates::
+
+        with observed():
+            run_benchmark()
+    """
+    prior = (metrics.ENABLED, tracing.ENABLED)
+    enable(enable_metrics, enable_tracing)
+    try:
+        yield
+    finally:
+        metrics.ENABLED, tracing.ENABLED = prior

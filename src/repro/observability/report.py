@@ -1,0 +1,144 @@
+"""Structured run reports: a JSON-lines event log + end-of-run summary.
+
+The experiment drivers and the CLI emit two artifact kinds:
+
+* **metrics document** — a point-in-time registry snapshot
+  (:func:`write_metrics`, ``--metrics-out``);
+* **trace document** — every finished span (:func:`write_trace`,
+  ``--trace-out``);
+
+and optionally a **run report**, which is the streaming form: a
+:class:`RunReport` appends one JSON object per line as events happen
+(crash-safe: everything up to the failure is on disk), then
+:meth:`RunReport.summary` closes the run with a single document that
+embeds the final metrics snapshot and span aggregates.  All three
+schemas are documented in ``docs/OBSERVABILITY.md`` and validated by
+:mod:`repro.observability.schema`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO
+
+from repro.observability.metrics import REGISTRY, MetricsRegistry
+from repro.observability.tracing import TRACER, Tracer
+
+__all__ = ["RunReport", "write_metrics", "write_trace",
+           "REPORT_SCHEMA_VERSION"]
+
+#: Version stamped into event lines and the run-report summary.
+REPORT_SCHEMA_VERSION = 1
+
+
+class RunReport:
+    """Event log for one run.
+
+    Parameters
+    ----------
+    name:
+        Run identifier recorded in every event line.
+    stream:
+        Optional text stream; when given, each event is written (and
+        flushed) as one JSON line the moment it is recorded.
+    registry, tracer:
+        Metric/span sources for the summary (defaults: the process-wide
+        ones).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stream: IO[str] | None = None,
+        registry: MetricsRegistry = REGISTRY,
+        tracer: Tracer = TRACER,
+    ) -> None:
+        self.name = name
+        self.events: list[dict] = []
+        self._stream = stream
+        self._registry = registry
+        self._tracer = tracer
+        self._started_unix = time.time()
+
+    def event(self, event: str, **fields: object) -> dict:
+        """Record (and stream, if configured) one event line."""
+        line = {
+            "kind": "event",
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "run": self.name,
+            "seq": len(self.events),
+            "time_unix": time.time(),
+            "event": event,
+        }
+        for key, value in fields.items():
+            if key not in line:
+                line[key] = _jsonable(value)
+        self.events.append(line)
+        if self._stream is not None:
+            self._stream.write(json.dumps(line) + "\n")
+            self._stream.flush()
+        return line
+
+    def span_summary(self) -> list[dict]:
+        """Aggregate finished spans by name: count and total/max time."""
+        agg: dict[str, dict] = {}
+        for sp in self._tracer.spans():
+            if not sp.finished:
+                continue
+            row = agg.setdefault(
+                sp.name, {"name": sp.name, "count": 0,
+                          "total_s": 0.0, "max_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += sp.duration_s
+            row["max_s"] = max(row["max_s"], sp.duration_s)
+        return sorted(agg.values(), key=lambda r: -r["total_s"])
+
+    def summary(self, **extra: object) -> dict:
+        """The end-of-run document embedding metrics + span aggregates."""
+        doc = {
+            "kind": "run_report",
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "run": self.name,
+            "started_unix": self._started_unix,
+            "finished_unix": time.time(),
+            "events": len(self.events),
+            "metrics": self._registry.collect(),
+            "spans": self.span_summary(),
+        }
+        for key, value in extra.items():
+            if key not in doc:
+                doc[key] = _jsonable(value)
+        if self._stream is not None:
+            self._stream.write(json.dumps(doc) + "\n")
+            self._stream.flush()
+        return doc
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def write_metrics(path: str, registry: MetricsRegistry = REGISTRY) -> dict:
+    """Write the registry snapshot to ``path``; returns the document."""
+    doc = registry.snapshot()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def write_trace(path: str, tracer: Tracer = TRACER) -> dict:
+    """Write the trace export to ``path``; returns the document."""
+    doc = tracer.export()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc

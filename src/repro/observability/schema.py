@@ -1,0 +1,206 @@
+"""Validators for the observability JSON documents.
+
+Hand-rolled (the toolchain has no ``jsonschema``) but equivalent in
+spirit: each ``validate_*`` returns a list of human-readable problems,
+empty when the document conforms to the schema in
+``docs/OBSERVABILITY.md``.  The CI benchmark-smoke job and the
+``repro stats --validate`` CLI path both go through
+:func:`validate_file`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.metrics import METRICS_SCHEMA_VERSION
+from repro.observability.report import REPORT_SCHEMA_VERSION
+from repro.observability.tracing import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "validate_metrics_doc",
+    "validate_trace_doc",
+    "validate_run_report_doc",
+    "validate_document",
+    "validate_file",
+]
+
+_NUMBER = (int, float)
+
+
+def _check(errors: list[str], cond: bool, message: str) -> bool:
+    if not cond:
+        errors.append(message)
+    return cond
+
+
+def _check_header(errors: list[str], doc, kind: str, version: int) -> bool:
+    if not _check(errors, isinstance(doc, dict), "document is not an object"):
+        return False
+    _check(errors, doc.get("kind") == kind,
+           f"kind is {doc.get('kind')!r}, expected {kind!r}")
+    _check(errors, doc.get("schema_version") == version,
+           f"schema_version is {doc.get('schema_version')!r}, "
+           f"expected {version}")
+    return True
+
+
+def _check_labels(errors: list[str], labels, where: str) -> None:
+    if not _check(errors, isinstance(labels, dict),
+                  f"{where}: labels is not an object"):
+        return
+    for k, v in labels.items():
+        _check(errors, isinstance(k, str) and isinstance(v, str),
+               f"{where}: label {k!r}={v!r} is not a string pair")
+
+
+def validate_metrics_doc(doc) -> list[str]:
+    """Problems with a metrics document (empty list == valid)."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "metrics", METRICS_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("generated_unix"), _NUMBER),
+           "generated_unix is not a number")
+    metrics = doc.get("metrics")
+    if not _check(errors, isinstance(metrics, list), "metrics is not a list"):
+        return errors
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not _check(errors, isinstance(m, dict), f"{where}: not an object"):
+            continue
+        _check(errors, isinstance(m.get("name"), str) and m.get("name"),
+               f"{where}: missing name")
+        mtype = m.get("type")
+        if not _check(errors, mtype in ("counter", "gauge", "histogram"),
+                      f"{where}: bad type {mtype!r}"):
+            continue
+        _check_labels(errors, m.get("labels"), where)
+        if mtype in ("counter", "gauge"):
+            _check(errors, isinstance(m.get("value"), _NUMBER),
+                   f"{where}: value is not a number")
+            if mtype == "counter":
+                _check(errors, m.get("value", 0) >= 0,
+                       f"{where}: counter value is negative")
+        else:
+            _check(errors, isinstance(m.get("count"), int),
+                   f"{where}: histogram count is not an integer")
+            _check(errors, isinstance(m.get("sum"), _NUMBER),
+                   f"{where}: histogram sum is not a number")
+            buckets = m.get("buckets")
+            if _check(errors, isinstance(buckets, list) and buckets,
+                      f"{where}: histogram buckets missing"):
+                total = 0
+                for j, b in enumerate(buckets):
+                    bw = f"{where}.buckets[{j}]"
+                    if not _check(errors, isinstance(b, dict),
+                                  f"{bw}: not an object"):
+                        continue
+                    _check(errors,
+                           b.get("le") is None or isinstance(b["le"], _NUMBER),
+                           f"{bw}: le is neither number nor null")
+                    if _check(errors, isinstance(b.get("count"), int),
+                              f"{bw}: count is not an integer"):
+                        total += b["count"]
+                _check(errors, buckets[-1].get("le") is None,
+                       f"{where}: last bucket must be the overflow (le=null)")
+                _check(errors, total == m.get("count"),
+                       f"{where}: bucket counts sum to {total}, "
+                       f"count says {m.get('count')}")
+    return errors
+
+
+def validate_trace_doc(doc) -> list[str]:
+    """Problems with a trace document (empty list == valid)."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "trace", TRACE_SCHEMA_VERSION):
+        return errors
+    spans = doc.get("spans")
+    if not _check(errors, isinstance(spans, list), "spans is not a list"):
+        return errors
+    seen_ids = set()
+    for i, s in enumerate(spans):
+        where = f"spans[{i}]"
+        if not _check(errors, isinstance(s, dict), f"{where}: not an object"):
+            continue
+        _check(errors, isinstance(s.get("name"), str) and s.get("name"),
+               f"{where}: missing name")
+        sid = s.get("span_id")
+        if _check(errors, isinstance(sid, int) and sid > 0,
+                  f"{where}: span_id is not a positive integer"):
+            _check(errors, sid not in seen_ids,
+                   f"{where}: duplicate span_id {sid}")
+            seen_ids.add(sid)
+        parent = s.get("parent_id")
+        _check(errors, parent is None or isinstance(parent, int),
+               f"{where}: parent_id is neither integer nor null")
+        _check(errors, isinstance(s.get("start_unix"), _NUMBER),
+               f"{where}: start_unix is not a number")
+        dur = s.get("duration_s")
+        _check(errors, dur is None or (isinstance(dur, _NUMBER) and dur >= 0),
+               f"{where}: duration_s is not a non-negative number")
+        _check(errors, isinstance(s.get("attrs"), dict),
+               f"{where}: attrs is not an object")
+    # Parents must exist and precede their children (spans sort by id).
+    for i, s in enumerate(spans):
+        if isinstance(s, dict) and isinstance(s.get("parent_id"), int):
+            _check(errors, s["parent_id"] in seen_ids,
+                   f"spans[{i}]: parent_id {s['parent_id']} not in document")
+    return errors
+
+
+def validate_run_report_doc(doc) -> list[str]:
+    """Problems with a run-report summary document."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "run_report", REPORT_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("run"), str) and doc.get("run"),
+           "missing run name")
+    _check(errors, isinstance(doc.get("events"), int),
+           "events is not an integer")
+    metrics = doc.get("metrics")
+    if _check(errors, isinstance(metrics, list), "metrics is not a list"):
+        inner = validate_metrics_doc({
+            "kind": "metrics",
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "generated_unix": 0.0,
+            "metrics": metrics,
+        })
+        errors.extend(e for e in inner if e.startswith("metrics["))
+    spans = doc.get("spans")
+    if _check(errors, isinstance(spans, list), "spans is not a list"):
+        for i, row in enumerate(spans):
+            where = f"spans[{i}]"
+            if not _check(errors, isinstance(row, dict),
+                          f"{where}: not an object"):
+                continue
+            for field, typ in (("name", str), ("count", int),
+                               ("total_s", _NUMBER), ("max_s", _NUMBER)):
+                _check(errors, isinstance(row.get(field), typ),
+                       f"{where}: bad {field}")
+    return errors
+
+
+_VALIDATORS = {
+    "metrics": validate_metrics_doc,
+    "trace": validate_trace_doc,
+    "run_report": validate_run_report_doc,
+}
+
+
+def validate_document(doc) -> tuple[str, list[str]]:
+    """Dispatch on the document's ``kind``; returns (kind, problems)."""
+    kind = doc.get("kind") if isinstance(doc, dict) else None
+    validator = _VALIDATORS.get(kind)
+    if validator is None:
+        return str(kind), [f"unknown document kind {kind!r}; expected one "
+                           f"of {sorted(_VALIDATORS)}"]
+    return kind, validator(doc)
+
+
+def validate_file(path: str) -> tuple[str, list[str]]:
+    """Validate a JSON file (single document) against its declared kind."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return "unreadable", [f"{path}: {exc}"]
+    return validate_document(doc)

@@ -1,0 +1,273 @@
+"""Tracing spans: nested, timed regions with JSON export.
+
+A :class:`Span` measures one region with both clocks — wall time
+(``time.time``, for aligning runs against external logs) and monotonic
+time (``time.perf_counter``, for durations).  Spans nest: the tracer
+keeps a per-thread stack, so a span opened inside another records it as
+parent, including across the worker threads of the ``native`` engine
+(each thread has its own stack; cross-thread spans are roots unless the
+caller passes ``parent=``).
+
+Like the metrics layer, tracing has a module-level :data:`ENABLED` gate.
+A span is *always* timed — :class:`repro.util.timing.Timer` is a thin
+wrapper over this API and must work unconditionally — but it is only
+registered with the tracer (id allocation, parent linkage, retention for
+export) when the gate is on at entry.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Iterator, TypeVar
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+    "TRACE_SCHEMA_VERSION",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Hot-path gate.  Mutate only through :func:`enable` / :func:`disable`.
+ENABLED = False
+
+#: Version stamped into every exported trace document.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One timed region.  Use via :func:`span` / :func:`traced`."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_unix",
+                 "_start_mono", "duration_s", "error")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.span_id: int | None = None   # allocated only when recorded
+        self.parent_id: int | None = None
+        self.start_unix = 0.0
+        self._start_mono = 0.0
+        self.duration_s: float | None = None
+        self.error: str | None = None
+
+    def _start(self) -> None:
+        self.start_unix = time.time()
+        self._start_mono = time.perf_counter()
+
+    def _finish(self) -> None:
+        self.duration_s = time.perf_counter() - self._start_mono
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_s is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`to_dict` (the JSON round-trip the tests pin)."""
+        s = cls(data["name"], dict(data.get("attrs") or {}))
+        s.span_id = data.get("span_id")
+        s.parent_id = data.get("parent_id")
+        s.start_unix = data.get("start_unix", 0.0)
+        s.duration_s = data.get("duration_s")
+        s.error = data.get("error")
+        return s
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration_s:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {dur})"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`.
+
+    Captures the gate at entry so a mid-span enable/disable cannot
+    unbalance the per-thread stack."""
+
+    __slots__ = ("_tracer", "_span", "_recorded")
+
+    def __init__(self, tracer: "Tracer", sp: Span) -> None:
+        self._tracer = tracer
+        self._span = sp
+        self._recorded = False
+
+    def __enter__(self) -> Span:
+        self._recorded = ENABLED
+        if self._recorded:
+            self._tracer._open(self._span)
+        self._span._start()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span._finish()
+        if exc is not None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        if self._recorded:
+            self._tracer._close(self._span)
+
+
+class Tracer:
+    """Collects finished spans and maintains per-thread nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, sp: Span) -> None:
+        with self._lock:
+            sp.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        if sp.parent_id is None and stack:
+            sp.parent_id = stack[-1].span_id
+        stack.append(sp)
+
+    def _close(self, sp: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        elif sp in stack:  # tolerate mis-nested exits rather than corrupt
+            stack.remove(sp)
+        with self._lock:
+            self._spans.append(sp)
+
+    def span(self, name: str, parent: Span | None = None,
+             **attrs: object) -> _SpanContext:
+        """Open a (to-be-)recorded span as a context manager."""
+        sp = Span(name, dict(attrs))
+        if parent is not None:
+            sp.parent_id = parent.span_id
+        return _SpanContext(self, sp)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- introspection / export -------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans, optionally filtered by exact name."""
+        with self._lock:
+            found = list(self._spans)
+        if name is not None:
+            found = [s for s in found if s.name == name]
+        return found
+
+    def children(self, parent: Span) -> list[Span]:
+        return [s for s in self.spans() if s.parent_id == parent.span_id]
+
+    def export(self) -> dict:
+        """The trace document (see docs/OBSERVABILITY.md).
+
+        Spans are sorted by id, i.e. open order, so parents precede
+        children."""
+        spans = sorted(self.spans(), key=lambda s: s.span_id or 0)
+        return {
+            "kind": "trace",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "generated_unix": time.time(),
+            "spans": [s.to_dict() for s in spans],
+        }
+
+    @staticmethod
+    def import_spans(doc: dict) -> list[Span]:
+        """Rebuild :class:`Span` objects from an exported document."""
+        return [Span.from_dict(d) for d in doc.get("spans", [])]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._next_id = 1
+        self._local = threading.local()
+
+
+#: The process-wide default tracer all built-in instrumentation targets.
+TRACER = Tracer()
+
+
+def enable() -> None:
+    """Turn the tracing gate on."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn the tracing gate off (collected spans are kept)."""
+    global ENABLED
+    ENABLED = False
+
+
+def span(name: str, parent: Span | None = None, **attrs: object) -> _SpanContext:
+    """Open a span on the default tracer::
+
+        with span("simmpi.reduce", algo="binomial", size=8) as sp:
+            ...
+    """
+    return TRACER.span(name, parent=parent, **attrs)
+
+
+def traced(name: str | None = None, **attrs: object) -> Callable[[F], F]:
+    """Decorator form: wrap every call of ``fn`` in a span.
+
+    >>> @traced("work.step")
+    ... def step(x):
+    ...     return x + 1
+    >>> step(1)
+    2
+    """
+
+    def decorate(fn: F) -> F:
+        span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with TRACER.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.core.params import HPParams
 from repro.hallberg.params import HallbergParams
+from repro.observability import metrics as _obs
+from repro.observability import tracing as _trace
 from repro.parallel.methods import (
     DoubleMethod,
     HallbergMethod,
@@ -104,6 +106,37 @@ def global_sum(
     adapter = make_method(method, params)
     name = adapter.name
 
+    with _trace.span("global_sum", method=name, substrate=substrate,
+                     pes=pes, n=len(data)):
+        value, partial, pes = _dispatch(
+            data, adapter, substrate, pes, schedule, kwargs
+        )
+    if _obs.ENABLED:
+        _obs.REGISTRY.counter(
+            "global_sum.calls", method=name, substrate=substrate
+        ).inc()
+        _obs.REGISTRY.counter(
+            "global_sum.summands", method=name, substrate=substrate
+        ).inc(len(data))
+
+    words = None
+    if partial is not None and adapter.is_exact():
+        words = _extract_words(adapter, partial)
+    return GlobalSumResult(
+        value=value, method=name, substrate=substrate, pes=pes, words=words
+    )
+
+
+def _dispatch(
+    data: np.ndarray,
+    adapter: ReductionMethod,
+    substrate: str,
+    pes: int,
+    schedule: Schedule | None,
+    kwargs: dict,
+) -> tuple[float, Any, int]:
+    """Route to the substrate driver; returns (value, partial, pes)."""
+    name = adapter.name
     if substrate == "serial":
         partial = adapter.local_reduce(data)
         value = adapter.finalize(partial)
@@ -151,10 +184,4 @@ def global_sum(
         raise ValueError(
             f"unknown substrate {substrate!r}; pick one of {SUBSTRATES}"
         )
-
-    words = None
-    if partial is not None and adapter.is_exact():
-        words = _extract_words(adapter, partial)
-    return GlobalSumResult(
-        value=value, method=name, substrate=substrate, pes=pes, words=words
-    )
+    return value, partial, pes

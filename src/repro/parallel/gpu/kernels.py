@@ -32,6 +32,8 @@ from repro.core.scalar import from_double as hp_from_double
 from repro.core.scalar import to_double as hp_to_double
 from repro.hallberg.params import HallbergParams
 from repro.hallberg.scalar import hb_from_double, hb_to_double
+from repro.observability import metrics as _obs
+from repro.observability import tracing as _trace
 from repro.parallel.gpu.device import KernelRun, SimDevice
 from repro.parallel.gpu.memory import DeviceMemory
 from repro.util.bits import MASK64
@@ -72,12 +74,21 @@ def _atomic_add_word(
     def add(addend: int) -> Generator[None, None, int]:
         old = mem.load(addr)
         yield
+        retries = 0
         while True:
             new = (old + addend) & MASK64
             ok, observed = mem.cas(addr, old, new)
             yield
             if ok:
+                if _obs.ENABLED:
+                    reg = _obs.REGISTRY
+                    reg.histogram("gpu.cas_attempts_per_word_add").observe(
+                        retries + 1
+                    )
+                    if retries:
+                        reg.counter("gpu.cas_retries").inc(retries)
                 return old
+            retries += 1
             old = observed
 
     return add
@@ -237,7 +248,17 @@ def gpu_sum(
             return hp_kernel(mem, tid, num_threads, 0, n, n, params, num_partials)
         return hallberg_kernel(mem, tid, num_threads, 0, n, n, params, num_partials)
 
-    run = device.launch(make_kernel(t) for t in range(num_threads))
+    with _trace.span("gpu.kernel_launch", method=method_name,
+                     threads=num_threads, n=n):
+        run = device.launch(make_kernel(t) for t in range(num_threads))
+    if _obs.ENABLED:
+        reg = _obs.REGISTRY
+        labels = {"method": method_name}
+        reg.counter("gpu.steps", **labels).inc(run.steps)
+        reg.counter("gpu.loads", **labels).inc(run.memory.loads)
+        reg.counter("gpu.stores", **labels).inc(run.memory.stores)
+        reg.counter("gpu.cas_attempts", **labels).inc(run.memory.cas_attempts)
+        reg.counter("gpu.cas_failures", **labels).inc(run.memory.cas_failures)
 
     raw = mem.dump(n, partials_words)  # device-to-host copy-back
     if method_name == "double":

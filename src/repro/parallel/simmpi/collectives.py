@@ -20,6 +20,7 @@ from typing import TypeVar
 
 import numpy as np
 
+from repro.observability import tracing as _trace
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 from repro.parallel.simmpi.comm import SimComm
@@ -61,28 +62,32 @@ def scatterv(
     if len(payloads) != comm.size:
         raise ValueError(f"root must supply {comm.size} payloads")
     comm._check_rank(root, "root")
-    virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
-    received: list[bytes] = [b""] * comm.size
-    # BFS so each tree depth is one communication round.
-    level = [(0, comm.size, [(v, payloads[virt_to_real[v]])
-                             for v in range(comm.size)])]
-    while level:
-        next_level = []
-        for lo, hi, bundle in level:
-            if hi - lo <= 1:
-                received[virt_to_real[lo]] = bundle[0][1]
-                continue
-            mid = (lo + hi + 1) // 2
-            keep = [(v, b) for v, b in bundle if v < mid]
-            send = [(v, b) for v, b in bundle if v >= mid]
-            comm.send(virt_to_real[lo], virt_to_real[mid], _pack_bundle(send))
-            got = _unpack_bundle(comm.recv(virt_to_real[mid], virt_to_real[lo]))
-            next_level.append((lo, mid, keep))
-            next_level.append((mid, hi, got))
-        if next_level:
-            comm.barrier_round()
-        level = next_level
-    return received
+    with _trace.span("simmpi.scatterv", size=comm.size):
+        virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
+        received: list[bytes] = [b""] * comm.size
+        # BFS so each tree depth is one communication round.
+        level = [(0, comm.size, [(v, payloads[virt_to_real[v]])
+                                 for v in range(comm.size)])]
+        while level:
+            next_level = []
+            for lo, hi, bundle in level:
+                if hi - lo <= 1:
+                    received[virt_to_real[lo]] = bundle[0][1]
+                    continue
+                mid = (lo + hi + 1) // 2
+                keep = [(v, b) for v, b in bundle if v < mid]
+                send = [(v, b) for v, b in bundle if v >= mid]
+                comm.send(virt_to_real[lo], virt_to_real[mid],
+                          _pack_bundle(send))
+                got = _unpack_bundle(
+                    comm.recv(virt_to_real[mid], virt_to_real[lo])
+                )
+                next_level.append((lo, mid, keep))
+                next_level.append((mid, hi, got))
+            if next_level:
+                comm.barrier_round()
+            level = next_level
+        return received
 
 
 def gatherv(comm: SimComm, payloads: list[bytes], root: int = 0) -> list[bytes]:
@@ -103,44 +108,52 @@ def gatherv(comm: SimComm, payloads: list[bytes], root: int = 0) -> list[bytes]:
 
     merges: list[tuple[int, int, int]] = []
     ranges(0, comm.size, 0, merges)
-    holding: dict[int, list[tuple[int, bytes]]] = {
-        v: [(v, payloads[virt_to_real[v]])] for v in range(comm.size)
-    }
-    for depth in sorted({d for d, _, _ in merges}, reverse=True):
-        for d, lo, mid in merges:
-            if d != depth:
-                continue
-            bundle = holding.pop(mid)
-            comm.send(virt_to_real[mid], virt_to_real[lo], _pack_bundle(bundle))
-            holding[lo].extend(
-                _unpack_bundle(comm.recv(virt_to_real[lo], virt_to_real[mid]))
-            )
-        comm.barrier_round()
-    result = [b""] * comm.size
-    for v, b in holding[0]:
-        result[virt_to_real[v]] = b
-    return result
+    with _trace.span("simmpi.gatherv", size=comm.size):
+        holding: dict[int, list[tuple[int, bytes]]] = {
+            v: [(v, payloads[virt_to_real[v]])] for v in range(comm.size)
+        }
+        for depth in sorted({d for d, _, _ in merges}, reverse=True):
+            for d, lo, mid in merges:
+                if d != depth:
+                    continue
+                bundle = holding.pop(mid)
+                comm.send(virt_to_real[mid], virt_to_real[lo],
+                          _pack_bundle(bundle))
+                holding[lo].extend(
+                    _unpack_bundle(
+                        comm.recv(virt_to_real[lo], virt_to_real[mid])
+                    )
+                )
+            comm.barrier_round()
+        result = [b""] * comm.size
+        for v, b in holding[0]:
+            result[virt_to_real[v]] = b
+        return result
 
 
 def bcast(comm: SimComm, payload: bytes, root: int = 0) -> list[bytes]:
     """Binomial broadcast of one payload from ``root``; returns what
     every rank holds (bit-identical bytes everywhere)."""
     comm._check_rank(root, "root")
-    virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
-    have: dict[int, bytes] = {0: payload}
-    mask = 1
-    while mask < comm.size:
-        for virt in list(have):
-            child = virt + mask
-            if child < comm.size and child not in have:
-                comm.send(virt_to_real[virt], virt_to_real[child], have[virt])
-                have[child] = comm.recv(virt_to_real[child], virt_to_real[virt])
-        comm.barrier_round()
-        mask *= 2
-    out = [b""] * comm.size
-    for virt, b in have.items():
-        out[virt_to_real[virt]] = b
-    return out
+    with _trace.span("simmpi.bcast", size=comm.size):
+        virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
+        have: dict[int, bytes] = {0: payload}
+        mask = 1
+        while mask < comm.size:
+            for virt in list(have):
+                child = virt + mask
+                if child < comm.size and child not in have:
+                    comm.send(virt_to_real[virt], virt_to_real[child],
+                              have[virt])
+                    have[child] = comm.recv(
+                        virt_to_real[child], virt_to_real[virt]
+                    )
+            comm.barrier_round()
+            mask *= 2
+        out = [b""] * comm.size
+        for virt, b in have.items():
+            out[virt_to_real[virt]] = b
+        return out
 
 
 def distributed_sum(
@@ -158,18 +171,20 @@ def distributed_sum(
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     comm = SimComm(size)
-    slices = [
-        data[lo:hi].astype("<f8").tobytes()
-        for lo, hi in block_ranges(len(data), size)
-    ]
-    received = scatterv(comm, slices, root=root)
-    partials = [
-        method.local_reduce(np.frombuffer(buf, dtype="<f8"))
-        for buf in received
-    ]
-    total = mpi_reduce_partials(
-        comm, partials, method, datatype_for_method(method), root=root
-    )
-    if comm.pending():
-        raise RuntimeError(f"{comm.pending()} undelivered messages")
-    return method.finalize(total), total, comm
+    with _trace.span("simmpi.distributed_sum", size=size,
+                     method=method.name, n=len(data)):
+        slices = [
+            data[lo:hi].astype("<f8").tobytes()
+            for lo, hi in block_ranges(len(data), size)
+        ]
+        received = scatterv(comm, slices, root=root)
+        partials = [
+            method.local_reduce(np.frombuffer(buf, dtype="<f8"))
+            for buf in received
+        ]
+        total = mpi_reduce_partials(
+            comm, partials, method, datatype_for_method(method), root=root
+        )
+        if comm.pending():
+            raise RuntimeError(f"{comm.pending()} undelivered messages")
+        return method.finalize(total), total, comm

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.observability import metrics as _obs
+
 __all__ = ["SimComm", "TrafficStats"]
 
 
@@ -60,6 +62,10 @@ class SimComm:
             raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
         self._channels.setdefault((src, dst), deque()).append(bytes(payload))
         self.stats.record(src, len(payload))
+        if _obs.ENABLED:
+            reg = _obs.REGISTRY
+            reg.counter("simmpi.messages", size=self.size).inc()
+            reg.counter("simmpi.bytes", size=self.size).inc(len(payload))
 
     def recv(self, dst: int, src: int) -> bytes:
         """Receive the oldest pending message on channel ``src -> dst``."""
@@ -81,3 +87,5 @@ class SimComm:
         """Mark the end of one communication round (for latency modeling:
         modeled time charges per round, not per message)."""
         self.stats.rounds += 1
+        if _obs.ENABLED:
+            _obs.REGISTRY.counter("simmpi.rounds", size=self.size).inc()

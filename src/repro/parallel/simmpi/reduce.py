@@ -16,6 +16,8 @@ from typing import Generic, TypeVar
 
 import numpy as np
 
+from repro.observability import metrics as _obs
+from repro.observability import tracing as _trace
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 from repro.parallel.simmpi.comm import SimComm, TrafficStats
@@ -59,19 +61,27 @@ def mpi_reduce_partials(
     # implementations do internally.
     virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
     dtype = datatype or datatype_for_method(method)
-    acc: list[P] = [partials[r] for r in virt_to_real]
-    mask = 1
-    while mask < comm.size:
-        for virt in range(0, comm.size, mask * 2):
-            partner = virt + mask
-            if partner >= comm.size:
-                continue
-            src, dst = virt_to_real[partner], virt_to_real[virt]
-            comm.send(src, dst, dtype.pack(acc[partner]))
-            received = dtype.unpack(comm.recv(dst, src))
-            acc[virt] = method.combine(acc[virt], received)
-        comm.barrier_round()
-        mask *= 2
+    with _trace.span("simmpi.reduce", algo="binomial", size=comm.size,
+                     method=method.name):
+        acc: list[P] = [partials[r] for r in virt_to_real]
+        mask = 1
+        depth = 0
+        while mask < comm.size:
+            for virt in range(0, comm.size, mask * 2):
+                partner = virt + mask
+                if partner >= comm.size:
+                    continue
+                src, dst = virt_to_real[partner], virt_to_real[virt]
+                comm.send(src, dst, dtype.pack(acc[partner]))
+                received = dtype.unpack(comm.recv(dst, src))
+                acc[virt] = method.combine(acc[virt], received)
+            comm.barrier_round()
+            depth += 1
+            mask *= 2
+        if _obs.ENABLED:
+            _obs.REGISTRY.gauge(
+                "simmpi.reduce_depth", algo="binomial", size=comm.size
+            ).set(depth)
     return acc[0]
 
 
@@ -84,20 +94,22 @@ def mpi_allreduce_partials(
     """Reduce-then-broadcast allreduce; every rank ends with the root's
     exact bytes, so exact methods are bit-identical everywhere."""
     dtype = datatype or datatype_for_method(method)
-    total = mpi_reduce_partials(comm, partials, method, dtype, root=0)
-    # Binomial broadcast from rank 0.
-    have = [True] + [False] * (comm.size - 1)
-    results: list[P | None] = [total] + [None] * (comm.size - 1)
-    mask = 1
-    while mask < comm.size:
-        for r in range(comm.size):
-            partner = r + mask
-            if have[r] and partner < comm.size and not have[partner]:
-                comm.send(r, partner, dtype.pack(results[r]))
-                results[partner] = dtype.unpack(comm.recv(partner, r))
-                have[partner] = True
-        comm.barrier_round()
-        mask *= 2
+    with _trace.span("simmpi.allreduce", algo="reduce_bcast",
+                     size=comm.size, method=method.name):
+        total = mpi_reduce_partials(comm, partials, method, dtype, root=0)
+        # Binomial broadcast from rank 0.
+        have = [True] + [False] * (comm.size - 1)
+        results: list[P | None] = [total] + [None] * (comm.size - 1)
+        mask = 1
+        while mask < comm.size:
+            for r in range(comm.size):
+                partner = r + mask
+                if have[r] and partner < comm.size and not have[partner]:
+                    comm.send(r, partner, dtype.pack(results[r]))
+                    results[partner] = dtype.unpack(comm.recv(partner, r))
+                    have[partner] = True
+            comm.barrier_round()
+            mask *= 2
     return [p for p in results if p is not None]
 
 
@@ -152,39 +164,49 @@ def mpi_allreduce_recursive_doubling(
     while pof2 * 2 <= size:
         pof2 *= 2
     rem = size - pof2
-    acc: list[P] = list(partials)
+    with _trace.span("simmpi.allreduce", algo="recursive_doubling",
+                     size=size, method=method.name):
+        acc: list[P] = list(partials)
 
-    # Pre-step: ranks [pof2, size) send their partials down to
-    # [0, rem), which absorb them and act for both.
-    for extra in range(rem):
-        src, dst = pof2 + extra, extra
-        comm.send(src, dst, dtype.pack(acc[src]))
-        acc[dst] = method.combine(acc[dst], dtype.unpack(comm.recv(dst, src)))
-    if rem:
-        comm.barrier_round()
+        # Pre-step: ranks [pof2, size) send their partials down to
+        # [0, rem), which absorb them and act for both.
+        for extra in range(rem):
+            src, dst = pof2 + extra, extra
+            comm.send(src, dst, dtype.pack(acc[src]))
+            acc[dst] = method.combine(
+                acc[dst], dtype.unpack(comm.recv(dst, src))
+            )
+        if rem:
+            comm.barrier_round()
 
-    mask = 1
-    while mask < pof2:
-        for rank in range(pof2):
-            partner = rank ^ mask
-            if rank < partner:  # one send per unordered pair per round
-                comm.send(rank, partner, dtype.pack(acc[rank]))
-                comm.send(partner, rank, dtype.pack(acc[partner]))
-        for rank in range(pof2):
-            partner = rank ^ mask
-            if rank < partner:
-                from_partner = dtype.unpack(comm.recv(rank, partner))
-                from_rank = dtype.unpack(comm.recv(partner, rank))
-                acc[rank] = method.combine(acc[rank], from_partner)
-                acc[partner] = method.combine(acc[partner], from_rank)
-        comm.barrier_round()
-        mask *= 2
+        mask = 1
+        depth = 0
+        while mask < pof2:
+            for rank in range(pof2):
+                partner = rank ^ mask
+                if rank < partner:  # one send per unordered pair per round
+                    comm.send(rank, partner, dtype.pack(acc[rank]))
+                    comm.send(partner, rank, dtype.pack(acc[partner]))
+            for rank in range(pof2):
+                partner = rank ^ mask
+                if rank < partner:
+                    from_partner = dtype.unpack(comm.recv(rank, partner))
+                    from_rank = dtype.unpack(comm.recv(partner, rank))
+                    acc[rank] = method.combine(acc[rank], from_partner)
+                    acc[partner] = method.combine(acc[partner], from_rank)
+            comm.barrier_round()
+            depth += 1
+            mask *= 2
+        if _obs.ENABLED:
+            _obs.REGISTRY.gauge(
+                "simmpi.reduce_depth", algo="recursive_doubling", size=size
+            ).set(depth)
 
-    # Post-step: the absorbed ranks get the total back.
-    for extra in range(rem):
-        src, dst = extra, pof2 + extra
-        comm.send(src, dst, dtype.pack(acc[src]))
-        acc[dst] = dtype.unpack(comm.recv(dst, src))
-    if rem:
-        comm.barrier_round()
+        # Post-step: the absorbed ranks get the total back.
+        for extra in range(rem):
+            src, dst = extra, pof2 + extra
+            comm.send(src, dst, dtype.pack(acc[src]))
+            acc[dst] = dtype.unpack(comm.recv(dst, src))
+        if rem:
+            comm.barrier_round()
     return acc

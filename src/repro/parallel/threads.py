@@ -27,6 +27,7 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
+from repro.observability import tracing as _trace
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 
@@ -75,23 +76,35 @@ def thread_reduce(
     data = np.ascontiguousarray(data, dtype=np.float64)
     ranges = block_ranges(len(data), num_threads)
 
-    if engine == "simulated":
-        partials = [method.local_reduce(data[lo:hi]) for lo, hi in ranges]
-    elif engine == "native":
-        with ThreadPoolExecutor(max_workers=num_threads) as pool:
-            futures = [
-                pool.submit(method.local_reduce, data[lo:hi])
-                for lo, hi in ranges
-            ]
-            partials = [f.result() for f in futures]
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    def worker(rank: int, lo: int, hi: int):
+        # One span per PE: on the native engine these run on real pool
+        # threads, so each worker span is a root in its own thread.
+        with _trace.span("threads.worker", rank=rank, engine=engine,
+                         size=hi - lo):
+            return method.local_reduce(data[lo:hi])
 
-    # Master-thread reduction of the p partials, in rank order — exactly
-    # the paper's "master PE reduces the p partial sums" step.
-    total: Any = method.identity()
-    for part in partials:
-        total = method.combine(total, part)
+    with _trace.span("threads.reduce", engine=engine, p=num_threads,
+                     method=method.name, n=len(data)):
+        if engine == "simulated":
+            partials = [
+                worker(rank, lo, hi) for rank, (lo, hi) in enumerate(ranges)
+            ]
+        elif engine == "native":
+            with ThreadPoolExecutor(max_workers=num_threads) as pool:
+                futures = [
+                    pool.submit(worker, rank, lo, hi)
+                    for rank, (lo, hi) in enumerate(ranges)
+                ]
+                partials = [f.result() for f in futures]
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+
+        # Master-thread reduction of the p partials, in rank order —
+        # exactly the paper's "master PE reduces the p partial sums" step.
+        with _trace.span("threads.combine", p=num_threads):
+            total: Any = method.identity()
+            for part in partials:
+                total = method.combine(total, part)
 
     return ThreadReduceResult(
         value=method.finalize(total),

@@ -4,14 +4,22 @@
 standalone experiment drivers (``repro.experiments``) which print the same
 series the paper plots, averaging over trials the same way the paper does
 ("averaged over 10 trials", Sec. IV.B).
+
+Since the observability subsystem landed, both helpers are thin wrappers
+over :mod:`repro.observability.tracing`: a :class:`Timer` *is* a span, so
+when tracing is enabled every timed region shows up in the exported
+trace (named ``util.timer`` unless the caller picks a name), and when it
+is disabled only the span's own clock reads remain — no registry or
+tracer work happens.
 """
 
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
+
+from repro.observability import tracing
 
 T = TypeVar("T")
 
@@ -19,7 +27,7 @@ __all__ = ["Timer", "TimingResult", "repeat_timeit"]
 
 
 class Timer:
-    """Context-manager wall-clock timer.
+    """Context-manager wall-clock timer (span-backed).
 
     >>> with Timer() as t:
     ...     sum(range(1000))
@@ -28,16 +36,22 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "util.timer", **attrs: object) -> None:
         self.elapsed = 0.0
-        self._start = 0.0
+        self._name = name
+        self._attrs = attrs
+        self._cm: tracing._SpanContext | None = None
+        self.span: tracing.Span | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._cm = tracing.TRACER.span(self._name, **self._attrs)
+        self.span = self._cm.__enter__()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        assert self._cm is not None
+        self._cm.__exit__(*exc)
+        self.elapsed = self.span.duration_s
 
 
 @dataclass
@@ -59,15 +73,26 @@ class TimingResult:
         return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
 
 
-def repeat_timeit(fn: Callable[[], T], trials: int = 10, warmup: int = 1) -> TimingResult:
-    """Time ``fn`` ``trials`` times after ``warmup`` discarded calls."""
+def repeat_timeit(
+    fn: Callable[[], T],
+    trials: int = 10,
+    warmup: int = 1,
+    name: str = "util.repeat_timeit",
+) -> TimingResult:
+    """Time ``fn`` ``trials`` times after ``warmup`` discarded calls.
+
+    Each trial is one span named ``{name}.trial`` nested under a ``name``
+    parent, so an enabled trace shows the full per-trial series, not just
+    the aggregate this function returns.
+    """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    for _ in range(warmup):
-        fn()
     result = TimingResult()
-    for _ in range(trials):
-        start = time.perf_counter()
-        fn()
-        result.times.append(time.perf_counter() - start)
+    with tracing.span(name, trials=trials, warmup=warmup):
+        for _ in range(warmup):
+            fn()
+        for _ in range(trials):
+            with Timer(f"{name}.trial") as t:
+                fn()
+            result.times.append(t.elapsed)
     return result

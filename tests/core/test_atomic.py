@@ -104,3 +104,78 @@ class TestAtomicHPCell:
         acc = HPAccumulator(P)
         acc.extend(values.tolist())
         assert cell.snapshot_words() == acc.words
+
+
+class TestCounterHygiene:
+    """The benchmark-trial bugfix: counter access is race-free and
+    resettable, so repeated trials don't accumulate stale CAS stats."""
+
+    def test_word_reset_counters(self):
+        w = AtomicWord(0)
+        w.atomic_add(5)
+        assert not w.cas(99, 1)  # one failure
+        assert w.counters() == (2, 1)
+        w.reset_counters()
+        assert w.counters() == (0, 0)
+        assert w.load() == 5  # value untouched
+
+    def test_cell_reset_counters(self):
+        cell = AtomicHPCell(P)
+        cell.atomic_add_double(1.5)
+        assert cell.total_cas_attempts >= 1
+        before = cell.to_double()
+        cell.reset_counters()
+        assert cell.total_cas_attempts == 0
+        assert cell.total_cas_failures == 0
+        assert cell.to_double() == before
+
+    def test_cas_stats_snapshot_consistent(self):
+        cell = AtomicHPCell(P)
+        cell.atomic_add_double(0.75)
+        attempts, failures = cell.cas_stats()
+        assert attempts == cell.total_cas_attempts
+        assert failures <= attempts
+
+    def test_repeated_trials_do_not_accumulate(self, rng):
+        cell = AtomicHPCell(P)
+        per_trial = []
+        for _ in range(3):
+            cell.reset_counters()
+            for x in rng.uniform(-1.0, 1.0, 50):
+                cell.atomic_add_double(float(x))
+            per_trial.append(cell.total_cas_attempts)
+        # Every trial starts from zero: counts stay in one trial's band
+        # instead of tripling across the three runs.
+        assert max(per_trial) < 2 * min(per_trial)
+
+    def test_counters_race_free_under_threads(self, rng):
+        """Concurrent reads of the totals while adders are in flight must
+        never observe failures exceeding attempts (torn aggregates)."""
+        cell = AtomicHPCell(P)
+        values = rng.uniform(-1.0, 1.0, 300)
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                attempts, failures = cell.cas_stats()
+                if failures > attempts:
+                    torn.append((attempts, failures))
+
+        def adder(chunk):
+            for x in chunk:
+                cell.atomic_add_double(float(x))
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        workers = [
+            threading.Thread(target=adder, args=(values[i::4],))
+            for i in range(4)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        watcher.join()
+        assert torn == []

@@ -1,0 +1,134 @@
+"""Integration tests for ``repro stats`` and the shared observability
+flags: the run must emit schema-valid JSON with non-zero carry/CAS
+metrics, and ``--validate`` must accept/reject files correctly."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability import metrics, tracing
+from repro.observability.metrics import REGISTRY
+from repro.observability.schema import validate_file
+from repro.observability.tracing import TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """The CLI enables the global gates; leave no state behind."""
+    metrics.disable()
+    tracing.disable()
+    REGISTRY.clear()
+    TRACER.reset()
+    yield
+    metrics.disable()
+    tracing.disable()
+    REGISTRY.clear()
+    TRACER.reset()
+
+
+def _metric_value(doc, name, **labels):
+    want = {k: str(v) for k, v in labels.items()}
+    total = 0
+    found = False
+    for m in doc["metrics"]:
+        if m["name"] != name:
+            continue
+        if all(m["labels"].get(k) == v for k, v in want.items()):
+            found = True
+            total += m.get("value", m.get("count", 0))
+    return total if found else None
+
+
+class TestStatsRun:
+    def test_stats_emits_valid_nonzero_metrics(self, tmp_path, capsys):
+        mpath = tmp_path / "metrics.json"
+        tpath = tmp_path / "trace.json"
+        code = main([
+            "stats", "--n", "20000", "--pes", "4",
+            "--metrics-out", str(mpath), "--trace-out", str(tpath),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "spans (by total time):" in out
+
+        kind, errs = validate_file(str(mpath))
+        assert (kind, errs) == ("metrics", [])
+        kind, errs = validate_file(str(tpath))
+        assert (kind, errs) == ("trace", [])
+
+        doc = json.loads(mpath.read_text())
+        # Carries from every instrumented path the stats run drives.
+        assert _metric_value(doc, "hp.carry_words", path="scalar") > 0
+        assert _metric_value(doc, "hp.carry_words", path="accumulator") > 0
+        assert _metric_value(doc, "hp.carry_words", path="atomic") > 0
+        # CAS traffic from the atomic-contention stage.
+        assert _metric_value(doc, "atomic.word_adds") > 0
+        assert _metric_value(doc, "atomic.cas_attempts_per_add") > 0
+        assert _metric_value(doc, "global_sum.calls", method="hp") == 1
+
+        trace = json.loads(tpath.read_text())
+        names = {s["name"] for s in trace["spans"]}
+        assert {"stats.workload", "stats.scalar_reference",
+                "stats.atomic_contention", "global_sum"} <= names
+
+    def test_stats_json_output(self, capsys):
+        code = main(["stats", "--n", "5000", "--pes", "2", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "run_report"
+        assert doc["run"] == "repro-stats"
+        assert doc["events"] >= 3
+        span_names = {row["name"] for row in doc["spans"]}
+        assert "stats.workload" in span_names
+
+
+class TestValidateMode:
+    def test_validate_accepts_good_files(self, tmp_path, capsys):
+        mpath = tmp_path / "m.json"
+        main(["stats", "--n", "2000", "--pes", "2", "--json",
+              "--metrics-out", str(mpath)])
+        capsys.readouterr()
+        code = main(["stats", "--validate", str(mpath)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"{mpath}: ok (metrics)" in out
+
+    def test_validate_rejects_bad_and_missing(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "trace", "schema_version": 99}')
+        code = main(["stats", "--validate", str(bad),
+                     "--validate", str(tmp_path / "nope.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out
+
+
+class TestSharedFlags:
+    def test_sum_subcommand_emits_valid_files(self, tmp_path, capsys):
+        """The shared flags hang off every compute subcommand; the
+        vectorized ``sum`` path is carry-free by design, so the emitted
+        docs may be sparse but must still match the schema."""
+        f = tmp_path / "values.txt"
+        f.write_text(" ".join(str(0.1 * i) for i in range(64)) + "\n")
+        mpath = tmp_path / "metrics.json"
+        tpath = tmp_path / "trace.json"
+        code = main(["sum", str(f), "--metrics-out", str(mpath),
+                     "--trace-out", str(tpath)])
+        assert code == 0
+        kind, errs = validate_file(str(mpath))
+        assert (kind, errs) == ("metrics", [])
+        kind, errs = validate_file(str(tpath))
+        assert (kind, errs) == ("trace", [])
+
+    def test_trace_out_alone_keeps_metrics_gate_off(self, tmp_path, capsys):
+        f = tmp_path / "values.txt"
+        f.write_text("1 2 3\n")
+        tpath = tmp_path / "trace.json"
+        code = main(["sum", str(f), "--trace-out", str(tpath)])
+        assert code == 0
+        kind, errs = validate_file(str(tpath))
+        assert (kind, errs) == ("trace", [])
+        assert len(REGISTRY) == 0  # metrics gate stayed off

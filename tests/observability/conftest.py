@@ -1,0 +1,23 @@
+"""Isolation for observability tests: every test starts with disabled
+gates and an empty registry/tracer, and leaves no state behind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import metrics, tracing
+from repro.observability.metrics import REGISTRY
+from repro.observability.tracing import TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    metrics.disable()
+    tracing.disable()
+    REGISTRY.clear()
+    TRACER.reset()
+    yield
+    metrics.disable()
+    tracing.disable()
+    REGISTRY.clear()
+    TRACER.reset()

@@ -1,0 +1,219 @@
+"""Unit tests for the metrics registry: labels, thread-safety, gating."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.observability import metrics
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    REGISTRY,
+)
+from repro.observability.schema import validate_metrics_doc
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_to_dict(self):
+        c = Counter("hits", (("n", "4"),))
+        c.inc(3)
+        assert c.to_dict() == {
+            "name": "hits", "type": "counter",
+            "labels": {"n": "4"}, "value": 3,
+        }
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 1, 5, 99, 1e6):
+            h.observe(v)
+        d = h.to_dict()
+        counts = [b["count"] for b in d["buckets"]]
+        assert counts == [2, 1, 1, 1]  # le=1, le=10, le=100, overflow
+        assert d["buckets"][-1]["le"] is None
+        assert d["count"] == 5
+        assert d["min"] == 0.5 and d["max"] == 1e6
+        assert h.mean == pytest.approx(d["sum"] / 5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", n=4) is reg.counter("a", n=4)
+        assert len(reg) == 1
+
+    def test_labels_fork_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hp.carry_words", n=4, k=2).inc(7)
+        reg.counter("hp.carry_words", n=6, k=3).inc(9)
+        assert reg.value("hp.carry_words", n=4, k=2) == 7
+        assert reg.value("hp.carry_words", n=6, k=3) == 9
+        assert len(reg) == 2
+
+    def test_label_order_and_stringification_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", n=4, k=2)
+        b = reg.counter("m", k="2", n="4")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+        assert reg.get("m") is c  # cached references stay live
+
+    def test_snapshot_validates_against_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c", n=4).inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=DEFAULT_BUCKETS).observe(7)
+        doc = json.loads(json.dumps(reg.snapshot()))  # through JSON
+        assert validate_metrics_doc(doc) == []
+
+    def test_collect_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("hp.adds").inc()
+        reg.counter("simmpi.messages").inc()
+        names = [m["name"] for m in reg.collect("hp.")]
+        assert names == ["hp.adds"]
+
+    def test_counter_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hammer")
+
+        def spin(_):
+            for _ in range(10_000):
+                c.inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+        assert c.value == 80_000
+
+    def test_histogram_thread_safety(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("hist", buckets=(5,))
+
+        def spin(_):
+            for i in range(5_000):
+                h.observe(i % 10)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+        assert h.count == 40_000
+        counts = [b["count"] for b in h.to_dict()["buckets"]]
+        assert sum(counts) == 40_000
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+
+        def make(i):
+            reg.counter("shared", lane=i % 4).inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(make, range(400)))
+        assert len(reg) == 4
+        total = sum(reg.value("shared", lane=i) for i in range(4))
+        assert total == 400
+
+
+class TestDisabledMode:
+    def test_module_helpers_return_null_when_disabled(self):
+        assert not metrics.ENABLED
+        c = metrics.counter("nope", n=1)
+        assert c is NULL_METRIC
+        c.inc()  # no-op, no error
+        metrics.gauge("nope").set(3)
+        metrics.histogram("nope").observe(1)
+        assert len(REGISTRY) == 0  # nothing registered
+
+    def test_module_helpers_register_when_enabled(self):
+        metrics.enable()
+        metrics.counter("yes").inc()
+        assert REGISTRY.value("yes") == 1
+
+    def test_instrumented_hot_path_silent_when_disabled(self):
+        from repro.core.accumulator import HPAccumulator
+        from repro.core.params import HPParams
+
+        acc = HPAccumulator(HPParams(3, 2))
+        for x in (0.5, -0.25, 1.75):
+            acc.add(x)
+        assert len(REGISTRY) == 0
+
+    def test_instrumented_hot_path_counts_when_enabled(self):
+        from repro.core.accumulator import HPAccumulator
+        from repro.core.params import HPParams
+
+        metrics.enable()
+        acc = HPAccumulator(HPParams(3, 2))
+        acc.add(-0.25)  # negative: two's complement guarantees carries
+        acc.add(0.5)
+        assert REGISTRY.value("hp.accumulator.adds", n=3, k=2) == 2
+        assert REGISTRY.value("hp.carry_words", n=3,
+                              path="accumulator") > 0
+        assert REGISTRY.value("hp.overflow_checks",
+                              path="accumulator") == 2
+
+    def test_enabled_and_disabled_paths_produce_identical_words(self, rng):
+        from repro.core.accumulator import HPAccumulator
+        from repro.core.params import HPParams
+
+        xs = rng.uniform(-1, 1, 200)
+        plain = HPAccumulator(HPParams(4, 2))
+        for x in xs:
+            plain.add(float(x))
+        metrics.enable()
+        metered = HPAccumulator(HPParams(4, 2))
+        for x in xs:
+            metered.add(float(x))
+        assert plain.words == metered.words
+
+    def test_scalar_add_words_identical_under_metering(self, rng):
+        from repro.core.params import HPParams
+        from repro.core.scalar import add_words, from_double
+
+        p = HPParams(3, 2)
+        a = from_double(float(rng.uniform(-1, 1)), p)
+        b = from_double(float(rng.uniform(-1, 1)), p)
+        plain = add_words(a, b)
+        metrics.enable()
+        assert add_words(a, b) == plain
+        assert REGISTRY.value("hp.scalar.adds", n=3) == 1

@@ -1,0 +1,91 @@
+"""Run-report tests: JSON-lines event log, summary schema, file writers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.observability import metrics, tracing
+from repro.observability.metrics import REGISTRY
+from repro.observability.report import RunReport, write_metrics, write_trace
+from repro.observability.schema import (
+    validate_file,
+    validate_run_report_doc,
+)
+from repro.observability.tracing import span
+
+
+class TestEvents:
+    def test_events_stream_as_json_lines(self):
+        buf = io.StringIO()
+        report = RunReport("t", stream=buf)
+        report.event("start", n=100)
+        report.event("stage", name="reduce", value=1.5)
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert [l["event"] for l in lines] == ["start", "stage"]
+        assert [l["seq"] for l in lines] == [0, 1]
+        assert lines[0]["n"] == 100
+        assert lines[1]["run"] == "t"
+        assert all(l["kind"] == "event" for l in lines)
+
+    def test_non_jsonable_fields_coerced(self):
+        report = RunReport("t")
+        line = report.event("x", params=object(), xs=(1, 2))
+        assert isinstance(line["params"], str)
+        assert line["xs"] == [1, 2]
+        json.dumps(line)  # must be serializable
+
+
+class TestSummary:
+    def test_summary_embeds_metrics_and_spans(self):
+        metrics.enable()
+        tracing.enable()
+        REGISTRY.counter("hp.carry_words", n=4).inc(7)
+        with span("stage.a"):
+            pass
+        with span("stage.a"):
+            pass
+        report = RunReport("t")
+        report.event("only")
+        doc = json.loads(json.dumps(report.summary(value=1.25)))
+        assert validate_run_report_doc(doc) == []
+        assert doc["events"] == 1
+        assert doc["value"] == 1.25
+        names = [m["name"] for m in doc["metrics"]]
+        assert "hp.carry_words" in names
+        (row,) = doc["spans"]
+        assert row["name"] == "stage.a" and row["count"] == 2
+
+    def test_summary_appended_to_stream(self):
+        buf = io.StringIO()
+        report = RunReport("t", stream=buf)
+        report.event("e")
+        report.summary()
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert [l["kind"] for l in lines] == ["event", "run_report"]
+
+
+class TestWriters:
+    def test_write_and_validate_files(self, tmp_path):
+        metrics.enable()
+        tracing.enable()
+        REGISTRY.histogram("atomic.cas_attempts_per_add").observe(2)
+        with span("s"):
+            pass
+        mpath = tmp_path / "metrics.json"
+        tpath = tmp_path / "trace.json"
+        write_metrics(str(mpath))
+        write_trace(str(tpath))
+        kind, errs = validate_file(str(mpath))
+        assert (kind, errs) == ("metrics", [])
+        kind, errs = validate_file(str(tpath))
+        assert (kind, errs) == ("trace", [])
+
+    def test_validate_file_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "metrics", "schema_version": 999}')
+        kind, errs = validate_file(str(bad))
+        assert kind == "metrics" and errs
+        missing = tmp_path / "missing.json"
+        kind, errs = validate_file(str(missing))
+        assert kind == "unreadable" and errs

@@ -1,0 +1,177 @@
+"""Unit tests for spans: nesting, threading, JSON round-trip, gating."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.observability import tracing
+from repro.observability.schema import validate_trace_doc
+from repro.observability.tracing import Span, TRACER, span, traced
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        tracing.enable()
+        with span("outer") as outer:
+            with span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert TRACER.children(outer) == [inner]
+
+    def test_sibling_spans_share_parent(self):
+        tracing.enable()
+        with span("outer") as outer:
+            with span("a") as a:
+                pass
+            with span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_current_tracks_stack(self):
+        tracing.enable()
+        assert TRACER.current() is None
+        with span("outer") as outer:
+            assert TRACER.current() is outer
+            with span("inner") as inner:
+                assert TRACER.current() is inner
+            assert TRACER.current() is outer
+        assert TRACER.current() is None
+
+    def test_explicit_parent_override(self):
+        tracing.enable()
+        with span("root") as root:
+            pass
+        with span("adopted", parent=root) as child:
+            pass
+        assert child.parent_id == root.span_id
+
+    def test_threads_get_independent_stacks(self):
+        tracing.enable()
+        seen = {}
+
+        def work():
+            with span("thread-root") as sp:
+                seen["parent"] = sp.parent_id
+
+        with span("main-root"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        # The other thread's span must NOT adopt this thread's open span.
+        assert seen["parent"] is None
+
+
+class TestTiming:
+    def test_clocks_recorded(self):
+        tracing.enable()
+        with span("t") as sp:
+            pass
+        assert sp.finished
+        assert sp.duration_s >= 0.0
+        assert sp.start_unix > 0.0
+
+    def test_error_captured(self):
+        tracing.enable()
+        try:
+            with span("boom"):
+                raise RuntimeError("kapow")
+        except RuntimeError:
+            pass
+        sp = TRACER.spans("boom")[0]
+        assert sp.error == "RuntimeError: kapow"
+        assert sp.finished
+
+
+class TestExport:
+    def test_json_round_trip(self):
+        tracing.enable()
+        with span("outer", method="hp", pes=8):
+            with span("inner"):
+                pass
+        doc = json.loads(json.dumps(TRACER.export()))
+        assert validate_trace_doc(doc) == []
+        back = TRACER.import_spans(doc)
+        assert [s.to_dict() for s in back] == doc["spans"]
+        by_name = {s.name: s for s in back}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].attrs == {"method": "hp", "pes": 8}
+
+    def test_export_sorted_parents_first(self):
+        tracing.enable()
+        with span("a"):
+            with span("b"):
+                with span("c"):
+                    pass
+        ids = [s["span_id"] for s in TRACER.export()["spans"]]
+        assert ids == sorted(ids)
+
+    def test_non_jsonable_attrs_stringified(self):
+        tracing.enable()
+        with span("s", params=object()) as sp:
+            pass
+        assert isinstance(sp.to_dict()["attrs"]["params"], str)
+
+
+class TestDecorator:
+    def test_traced_names_and_records(self):
+        tracing.enable()
+
+        @traced("work.step", stage=1)
+        def step(x):
+            return x * 2
+
+        assert step(21) == 42
+        sp = TRACER.spans("work.step")[0]
+        assert sp.attrs == {"stage": 1}
+
+    def test_traced_default_name(self):
+        tracing.enable()
+
+        @traced()
+        def helper():
+            return 1
+
+        helper()
+        assert len(TRACER.spans()) == 1
+        assert "helper" in TRACER.spans()[0].name
+
+
+class TestDisabledMode:
+    def test_spans_not_collected_but_still_timed(self):
+        assert not tracing.ENABLED
+        with span("ghost") as sp:
+            pass
+        assert len(TRACER) == 0
+        assert sp.duration_s >= 0.0  # Timer semantics survive the gate
+        assert sp.span_id is None
+
+    def test_timer_wrapper_works_disabled_and_enabled(self):
+        from repro.util.timing import Timer, repeat_timeit
+
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+        assert len(TRACER) == 0
+
+        tracing.enable()
+        r = repeat_timeit(lambda: None, trials=3, warmup=0)
+        assert len(r.times) == 3
+        assert len(TRACER.spans("util.repeat_timeit.trial")) == 3
+        parents = {s.parent_id for s in
+                   TRACER.spans("util.repeat_timeit.trial")}
+        (outer,) = TRACER.spans("util.repeat_timeit")
+        assert parents == {outer.span_id}
+
+    def test_mid_span_disable_does_not_unbalance(self):
+        tracing.enable()
+        with span("outer"):
+            tracing.disable()
+            with span("while-off"):
+                pass
+            tracing.enable()
+        assert TRACER.current() is None
+        names = {s.name for s in TRACER.spans()}
+        assert names == {"outer"}

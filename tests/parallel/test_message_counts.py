@@ -1,0 +1,105 @@
+"""Integration tests: simmpi collective traffic matches the textbook
+message-count formulas, both in ``TrafficStats`` and in the metrics
+registry the observability subsystem mirrors them into.
+
+* reduce-then-broadcast allreduce: ``(p-1)`` sends up the binomial tree
+  plus ``(p-1)`` down the broadcast tree — ``2(p-1)`` total, any ``p``.
+* recursive-doubling allreduce, power-of-two ``p``: every round all
+  ``p`` ranks exchange pairwise — ``p·log2(p)`` messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import HPParams
+from repro.observability import metrics
+from repro.observability.metrics import REGISTRY
+from repro.parallel.methods import HPMethod
+from repro.parallel.simmpi import (
+    SimComm,
+    mpi_allreduce_partials,
+    mpi_reduce_partials,
+)
+from repro.parallel.simmpi.reduce import mpi_allreduce_recursive_doubling
+
+HP = HPMethod(HPParams(4, 2))
+
+
+@pytest.fixture(autouse=True)
+def metered():
+    """Run each test with the registry enabled and clean."""
+    metrics.enable()
+    REGISTRY.clear()
+    yield
+    metrics.disable()
+    REGISTRY.clear()
+
+
+def _partials(p: int) -> list[tuple]:
+    return [HP.local_reduce([float(r + 1), -0.5 * r]) for r in range(p)]
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 13, 16])
+def test_binomial_reduce_message_count(p):
+    comm = SimComm(p)
+    mpi_reduce_partials(comm, _partials(p), HP)
+    assert comm.stats.messages == p - 1
+    assert REGISTRY.value("simmpi.messages", size=p) == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 13, 16])
+def test_allreduce_reduce_bcast_message_count(p):
+    comm = SimComm(p)
+    mpi_allreduce_partials(comm, _partials(p), HP)
+    expected = 2 * (p - 1)
+    assert comm.stats.messages == expected
+    assert REGISTRY.value("simmpi.messages", size=p) == expected
+    assert REGISTRY.value("simmpi.bytes", size=p) == expected * \
+        HP.partial_nbytes()
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_allreduce_recursive_doubling_message_count_pof2(p):
+    comm = SimComm(p)
+    mpi_allreduce_recursive_doubling(comm, _partials(p), HP)
+    expected = p * int(math.log2(p))
+    assert comm.stats.messages == expected
+    assert REGISTRY.value("simmpi.messages", size=p) == expected
+
+
+@pytest.mark.parametrize("p", [3, 5, 6, 13])
+def test_allreduce_recursive_doubling_non_pof2(p):
+    """Non-power-of-two adds one fold-in and one result send per excess
+    rank on top of the power-of-two core."""
+    comm = SimComm(p)
+    mpi_allreduce_recursive_doubling(comm, _partials(p), HP)
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    expected = pof2 * int(math.log2(pof2)) + 2 * rem
+    assert comm.stats.messages == expected
+
+
+@pytest.mark.parametrize("p", [4, 8, 16])
+def test_reduce_depth_gauges(p):
+    comm = SimComm(p)
+    mpi_reduce_partials(comm, _partials(p), HP)
+    depth = REGISTRY.value("simmpi.reduce_depth", algo="binomial", size=p)
+    assert depth == int(math.log2(p))
+
+    comm2 = SimComm(p)
+    mpi_allreduce_recursive_doubling(comm2, _partials(p), HP)
+    depth2 = REGISTRY.value(
+        "simmpi.reduce_depth", algo="recursive_doubling", size=p
+    )
+    assert depth2 == int(math.log2(p))
+
+
+def test_both_allreduce_algorithms_agree_bitwise():
+    """Traffic differs; with an exact method the words must not."""
+    p = 8
+    tree = mpi_allreduce_partials(SimComm(p), _partials(p), HP)
+    rd = mpi_allreduce_recursive_doubling(SimComm(p), _partials(p), HP)
+    assert set(tree) == set(rd) and len(set(rd)) == 1
