@@ -1,0 +1,23 @@
+# Developer entry points.  Everything runs from a source checkout with
+# no install step: PYTHONPATH=src is the contract (see ROADMAP.md).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint sanitize check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Static half of the correctness tooling: the HP domain linter
+# (rules HP001-HP006, docs/ANALYSIS.md).  Fails on any finding —
+# the lint engine self-hosts over this repository.
+lint:
+	$(PYTHON) -m repro lint src benchmarks
+
+# Runtime half: the race/overflow sanitizer over a threaded smoke
+# workload (atomic cell + shadowed accumulator + simulated-MPI reduce).
+sanitize:
+	$(PYTHON) -m repro lint --sanitize-smoke --smoke-n 50000 --smoke-pes 4 src
+
+check: lint test

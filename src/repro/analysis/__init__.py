@@ -1,0 +1,56 @@
+"""Correctness tooling for the HP kernels: domain lint + runtime sanitizer.
+
+Two halves (see ``docs/ANALYSIS.md`` for the full catalog):
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — an AST
+  lint engine with a plugin-rule registry and per-line/per-file
+  suppression comments, shipping six HP-specific rules (HP001-HP006):
+  unmasked word stores, float intermediates in integer paths, shared
+  state touched outside its lock, kernel nondeterminism, silent
+  ``np.uint64``/int promotion, and hard-coded carry-loop bounds.
+* :mod:`repro.analysis.sanitizer` + :mod:`repro.analysis.smoke` — a
+  runtime harness that wraps the shared-memory primitives with a
+  lock-discipline / torn-read detector (per-word version counters) and
+  shadows accumulators with exact big-int arithmetic to pinpoint the
+  first overflow or carry-loss divergence.
+
+CLI: ``repro lint [--format json] [--sanitize-smoke] PATH...`` (also
+installed as the ``repro-lint`` console script); both halves are gated
+in CI.  The linter self-hosts: it runs clean over this repository.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import (
+    Finding,
+    LintRule,
+    RULES,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+from repro.analysis.sanitizer import (
+    SanitizerContext,
+    SanitizerViolation,
+    ShadowAccumulator,
+    sanitize,
+)
+from repro.analysis.smoke import run_smoke
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "rule_catalog",
+    "SanitizerContext",
+    "SanitizerViolation",
+    "ShadowAccumulator",
+    "sanitize",
+    "run_smoke",
+]

@@ -1,0 +1,335 @@
+"""AST-based domain lint engine for the HP summation kernels.
+
+The HP method's correctness rests on invariants Python's type system
+cannot see: word arithmetic must wrap at 64 bits, carries must ripple
+most-significant-last, integer hot paths must never round through a
+float, shared accumulator state must be touched under its lock, and
+kernels must stay deterministic.  This module is the *engine*; the
+domain rules themselves (HP001-HP006) live in
+:mod:`repro.analysis.rules` and register here via :func:`rule`.
+
+Engine contract
+---------------
+
+* A rule is a function ``check(module: ModuleSource) -> Iterable[Finding]``
+  registered with the :func:`rule` decorator, carrying an id (``HPnnn``),
+  a one-line summary, a paper-section rationale, and an optional package
+  scope (e.g. only ``core/`` and ``parallel/`` files).
+* Suppressions are explicit and greppable:
+
+  - ``# hp: noqa`` silences every rule on that line;
+  - ``# hp: noqa[HP001,HP003]`` silences the listed rules on that line;
+  - ``# hp: noqa-file[HP001]`` anywhere in a file silences a rule for the
+    whole file (for modules whose *dtype* provides the invariant, e.g.
+    NumPy ``uint64`` arrays that wrap in hardware).
+
+* Output is deterministic: findings sort by (path, line, col, rule) and
+  the JSON document is schema-versioned like the observability exports.
+
+The engine self-hosts: ``repro lint src/`` runs clean on this repository
+(CI enforces it), so any new finding is a regression, not noise.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModuleSource",
+    "RULES",
+    "rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "format_text",
+    "format_json",
+    "LINT_SCHEMA_VERSION",
+    "main",
+]
+
+#: Version stamped into every ``--format json`` document.
+LINT_SCHEMA_VERSION = 1
+
+#: Pseudo-rule id for files the engine cannot parse.
+PARSE_ERROR_RULE = "HP000"
+
+_NOQA_LINE = re.compile(r"#\s*hp:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+_NOQA_FILE = re.compile(r"#\s*hp:\s*noqa-file\[([A-Za-z0-9_,\s]+)\]")
+
+#: Marker meaning "every rule" in a line-suppression entry.
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: metadata plus its check function."""
+
+    id: str
+    name: str
+    summary: str
+    paper_ref: str
+    packages: tuple[str, ...] | None
+    check: Callable[["ModuleSource"], Iterable[Finding]]
+
+    def applies_to(self, path: str) -> bool:
+        """Package scoping: ``packages=None`` means every file; otherwise
+        the file must live under one of the named ``repro`` subpackages.
+        Paths without a ``repro`` anchor (rule test fixtures) match if any
+        path segment names a scoped package."""
+        if self.packages is None:
+            return True
+        parts = Path(path).parts
+        if "repro" in parts:
+            idx = len(parts) - 1 - parts[::-1].index("repro")
+            tail = parts[idx + 1 :]
+            return bool(tail) and tail[0] in self.packages
+        return any(p in self.packages for p in parts)
+
+
+#: The plugin registry; populated by :mod:`repro.analysis.rules` imports.
+RULES: dict[str, LintRule] = {}
+
+
+def rule(
+    id: str,
+    name: str,
+    summary: str,
+    paper_ref: str,
+    packages: Sequence[str] | None = None,
+) -> Callable:
+    """Decorator registering a rule check function under ``id``."""
+
+    def decorate(fn: Callable[["ModuleSource"], Iterable[Finding]]):
+        if id in RULES:
+            raise ValueError(f"duplicate lint rule id {id!r}")
+        RULES[id] = LintRule(
+            id=id,
+            name=name,
+            summary=summary,
+            paper_ref=paper_ref,
+            packages=tuple(packages) if packages is not None else None,
+            check=fn,
+        )
+        return fn
+
+    return decorate
+
+
+@dataclass
+class ModuleSource:
+    """A parsed module handed to every rule: source text, AST with parent
+    links (``_hp_parent`` on every node), and location helpers."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str, path: str) -> "ModuleSource":
+        tree = ast.parse(text)
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._hp_parent = node  # type: ignore[attr-defined]
+        return cls(path=path, text=text, tree=tree, lines=text.splitlines())
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule_id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_hp_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+
+def _parse_rule_list(raw: str) -> set[str]:
+    return {tok.strip().upper() for tok in raw.split(",") if tok.strip()}
+
+
+def _suppressions(text: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract (line -> suppressed rule ids, file-wide suppressed ids).
+
+    A bare ``# hp: noqa`` maps to the ``*`` marker (all rules).
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "hp:" not in line:
+            continue
+        m = _NOQA_FILE.search(line)
+        if m:
+            per_file |= _parse_rule_list(m.group(1))
+            continue
+        m = _NOQA_LINE.search(line)
+        if m:
+            ids = _parse_rule_list(m.group(1)) if m.group(1) else {_ALL_RULES}
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, per_file
+
+
+def _suppressed(finding: Finding, per_line: dict[int, set[str]],
+                per_file: set[str]) -> bool:
+    if finding.rule in per_file:
+        return True
+    ids = per_line.get(finding.line)
+    return bool(ids) and (_ALL_RULES in ids or finding.rule in ids)
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns sorted, noqa-filtered
+    findings.  ``select`` restricts to the given rule ids."""
+    # Rules register at import time; pull them in lazily so the engine
+    # module stays importable on its own.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    try:
+        module = ModuleSource.parse(text, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    wanted = {s.upper() for s in select} if select is not None else None
+    per_line, per_file = _suppressions(text)
+    findings: list[Finding] = []
+    for lint_rule in RULES.values():
+        if wanted is not None and lint_rule.id not in wanted:
+            continue
+        if not lint_rule.applies_to(path):
+            continue
+        for f in lint_rule.check(module):
+            if not _suppressed(f, per_line, per_file):
+                findings.append(f)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        else:
+            candidates = []
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file), select)
+        )
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def format_text(findings: Sequence[Finding], checked_files: int | None = None) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per
+    finding plus a summary line."""
+    lines = [f.format() for f in findings]
+    summary = f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    if checked_files is not None:
+        summary += f" in {checked_files} file{'s' if checked_files != 1 else ''}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], checked_files: int | None = None) -> str:
+    """Machine-readable report (stable ordering, schema-versioned)."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    doc = {
+        "kind": "lint",
+        "schema_version": LINT_SCHEMA_VERSION,
+        "checked_files": checked_files,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def rule_catalog() -> list[LintRule]:
+    """Every registered rule, sorted by id (forces registration)."""
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point (``repro-lint``): delegates to ``repro lint``."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["lint", *args])

@@ -1,0 +1,461 @@
+"""Runtime race/overflow sanitizer for the HP shared-memory kernels.
+
+The static rules in :mod:`repro.analysis.rules` catch what the source
+shows; this module catches what only an execution shows.  Three
+detectors, all cheap enough to run over a real threaded workload:
+
+* **Lock discipline / unlocked writes** — :class:`SanitizedWord` extends
+  :class:`~repro.core.atomic.AtomicWord` with a *shadow copy* of the
+  value maintained under the word's lock.  Every sanctioned mutation
+  goes through ``cas`` and updates both; a write that bypassed the lock
+  (the exact bug class the paper's CAS construction forbids, Sec.
+  III.B.2) leaves ``value != shadow`` and is reported at the next CAS or
+  at :meth:`SanitizedWord.verify`.
+* **Torn reads** — each sanctioned mutation bumps a per-word *version
+  counter*.  :meth:`SanitizerContext.consistent_snapshot` reads every
+  word's ``(version, value)`` pair, then re-reads the versions; a change
+  in between means another thread committed mid-snapshot, i.e. the
+  snapshot may mix words from different logical states (a torn read).
+  The snapshot retries and counts; exhausting retries is a violation.
+  This is a happens-before check in miniature: version equality before
+  and after brackets the reads into a quiescent interval.
+* **Overflow / carry loss** — :class:`ShadowAccumulator` mirrors every
+  addition into an exact (unbounded) scaled integer and compares the
+  wrapped field value after each step, reporting the *first* divergence
+  by summand index, and flagging silent two's-complement wrap-around
+  when overflow checking is off.
+
+Violations are recorded in the context (and, when observability is
+enabled, as ``sanitizer.*`` counters in the PR 1 metrics registry); in
+``strict`` mode leaving the :func:`sanitize` block raises
+:class:`SanitizerViolation`.  When the sanitizer is *not* installed,
+nothing in the library changes: ``sanitize`` swaps the
+``repro.core.atomic.AtomicWord`` factory for the duration of the block
+only, and the sanitized arithmetic is bit-identical to the plain
+arithmetic (tested), so results never depend on whether the harness was
+attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.core import atomic as _atomic_mod
+from repro.core.accumulator import HPAccumulator
+from repro.core.atomic import AtomicHPCell, AtomicWord
+from repro.core.scalar import from_double, to_int_scaled
+from repro.observability import metrics as _obs
+from repro.util.bits import MASK64, WORD_MOD
+
+__all__ = [
+    "SanitizerViolation",
+    "Violation",
+    "SanitizedWord",
+    "SanitizerContext",
+    "ShadowAccumulator",
+    "sanitize",
+]
+
+
+class SanitizerViolation(RuntimeError):
+    """Raised (in strict mode) when the sanitizer detected a fault."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected fault."""
+
+    kind: str  # "unlocked-write" | "torn-read" | "shadow-divergence" |
+    #            "overflow-wrap" | "undelivered-messages"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+class SanitizedWord(AtomicWord):
+    """An :class:`AtomicWord` that notices writes bypassing its CAS.
+
+    Invariant maintained under ``self._lock``: after every *sanctioned*
+    mutation, ``_shadow == _value`` and ``_version`` was bumped.  A
+    direct store to ``_value`` (an unlocked write — precisely what a
+    non-atomic 64-bit store race looks like) breaks the invariant and is
+    detected at the next lock acquisition.  ``load()`` stays the
+    inherited relaxed read: changing its semantics would change the
+    system under test.
+    """
+
+    # (no __slots__: the bound subclass created per-context needs a dict)
+
+    def __init__(self, value: int = 0, ctx: "SanitizerContext | None" = None):
+        super().__init__(value)
+        self._ctx = ctx
+        self._version = 0
+        self._shadow = value & MASK64
+        if ctx is not None:
+            ctx.register_word(self)
+
+    def cas(self, expected: int, new: int) -> bool:
+        tainted: tuple[int, int] | None = None
+        with self._lock:
+            self._cas_attempts += 1
+            if self._value != self._shadow:
+                # Re-sync so one rogue write yields one report, then keep
+                # going with the observed memory state (what hardware does).
+                tainted = (self._shadow, self._value)
+                self._shadow = self._value
+            if self._value == (expected & MASK64):
+                self._value = new & MASK64
+                self._shadow = self._value
+                self._version += 1
+                ok = True
+            else:
+                self._cas_failures += 1
+                ok = False
+        # Report outside the word lock: the context takes its own lock and
+        # holding both here would invert the finalize() ordering.
+        if tainted is not None and self._ctx is not None:
+            self._ctx.record_unlocked_write(self, tainted)
+        return ok
+
+    def read_versioned(self) -> tuple[int, int]:
+        """Consistent ``(version, value)`` pair for snapshot validation."""
+        with self._lock:
+            return self._version, self._value
+
+    def verify(self) -> bool:
+        """Check the shadow invariant now; True when clean."""
+        tainted = None
+        with self._lock:
+            if self._value != self._shadow:
+                tainted = (self._shadow, self._value)
+                self._shadow = self._value
+        if tainted is not None:
+            if self._ctx is not None:
+                self._ctx.record_unlocked_write(self, tainted)
+            return False
+        return True
+
+
+class ShadowAccumulator:
+    """Wraps an :class:`HPAccumulator`, mirroring every addition into an
+    exact unbounded scaled integer and comparing after each step.
+
+    Not thread-safe by design: accumulators are per-PE thread-local
+    state (the paper's partial sums); share :class:`AtomicHPCell` for
+    cross-thread accumulation instead.
+    """
+
+    def __init__(
+        self,
+        acc: HPAccumulator,
+        ctx: "SanitizerContext | None" = None,
+    ) -> None:
+        self.acc = acc
+        self.ctx = ctx
+        self.exact = to_int_scaled(acc.words)  # adopt any prior content
+        self.first_divergence: Violation | None = None
+        self.overflow_wrap: Violation | None = None
+        if ctx is not None:
+            ctx.register_shadow(self)
+
+    # -- mirrored mutators -------------------------------------------------
+
+    def add(self, x: float) -> None:
+        """Convert once, feed the same words to both sides."""
+        self.add_words(from_double(x, self.acc.params))
+
+    def add_words(self, b: Sequence[int]) -> None:
+        self.acc.add_words(b)
+        self.exact += to_int_scaled(tuple(b))
+        self._compare()
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(float(x))
+
+    def merge(self, other: "ShadowAccumulator") -> None:
+        self.acc.merge(other.acc)
+        self.exact += other.exact
+        self._compare()
+
+    # -- checking ----------------------------------------------------------
+
+    def _wrapped_exact(self) -> int:
+        """The exact sum folded into the signed 64N-bit field — what a
+        correct accumulator must hold even after benign wrap-around."""
+        field = 1 << (64 * self.acc.params.n)
+        wrapped = self.exact % field
+        if wrapped >= field >> 1:
+            wrapped -= field
+        return wrapped
+
+    def _compare(self) -> None:
+        params = self.acc.params
+        if self.overflow_wrap is None and not (
+            params.min_int <= self.exact <= params.max_int
+        ):
+            self.overflow_wrap = Violation(
+                "overflow-wrap",
+                f"exact sum left the {params} range after "
+                f"{self.acc.count} additions (silent two's-complement "
+                "wrap; the sign-rule check cannot always see this)",
+            )
+            if self.ctx is not None:
+                self.ctx.record(self.overflow_wrap, counter="overflow_wraps")
+        if self.first_divergence is None:
+            actual = to_int_scaled(self.acc.words)
+            if actual != self._wrapped_exact():
+                self.first_divergence = Violation(
+                    "shadow-divergence",
+                    f"accumulator diverged from the exact shadow at "
+                    f"summand {self.acc.count}: words hold "
+                    f"{Fraction(actual, params.scale)} but exact arithmetic "
+                    f"gives {Fraction(self._wrapped_exact(), params.scale)}",
+                )
+                if self.ctx is not None:
+                    self.ctx.record(
+                        self.first_divergence, counter="shadow_divergences"
+                    )
+
+    def check(self) -> None:
+        """Re-run the comparison now (e.g. after direct word surgery)."""
+        self._compare()
+
+    @property
+    def exact_value(self) -> Fraction:
+        """The exact running sum as a rational (no wrap, no rounding)."""
+        return Fraction(self.exact, self.acc.params.scale)
+
+    def to_double(self) -> float:
+        return self.acc.to_double()
+
+
+class SanitizerContext:
+    """Collects registered primitives and detected violations.
+
+    All mutable state is guarded by ``self._lock`` — the sanitizer holds
+    itself to the lock discipline it enforces (and the HP003 lint rule
+    checks this file like any other).
+    """
+
+    def __init__(self, strict: bool = True, snapshot_retries: int = 8) -> None:
+        self.strict = strict
+        self.snapshot_retries = snapshot_retries
+        #: Test seam: called between the value reads and the version
+        #: re-check of a snapshot; lets tests inject a concurrent write
+        #: deterministically.  Public by design (it is not shared state).
+        self.snapshot_hook = None
+        self._lock = threading.Lock()
+        self._violations: list[Violation] = []
+        self._words: list[SanitizedWord] = []
+        self._shadows: list[ShadowAccumulator] = []
+        self._comms: list[object] = []
+        self._torn_reads = 0
+        self._unlocked_writes = 0
+        self._snapshot_retries_used = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register_word(self, word: SanitizedWord) -> None:
+        with self._lock:
+            self._words.append(word)
+
+    def register_shadow(self, shadow: ShadowAccumulator) -> None:
+        with self._lock:
+            self._shadows.append(shadow)
+
+    def watch_comm(self, comm) -> None:
+        """Register a :class:`~repro.parallel.simmpi.comm.SimComm`:
+        at finalize, pending (sent but never received) messages are a
+        violation — a lost contribution to the reduction."""
+        with self._lock:
+            self._comms.append(comm)
+
+    def wrap_cell(self, cell: AtomicHPCell) -> AtomicHPCell:
+        """Swap an existing cell's words for sanitized ones, in place,
+        preserving current values (call at quiescence)."""
+        cell.words = [
+            SanitizedWord(w.load(), ctx=self) for w in cell.words
+        ]
+        return cell
+
+    def shadow(self, acc: HPAccumulator) -> ShadowAccumulator:
+        """Wrap an accumulator with the exact-arithmetic shadow."""
+        return ShadowAccumulator(acc, ctx=self)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, violation: Violation, counter: str | None = None) -> None:
+        with self._lock:
+            self._violations.append(violation)
+        if counter and _obs.ENABLED:
+            _obs.REGISTRY.counter(f"sanitizer.{counter}").inc()
+
+    def record_unlocked_write(
+        self, word: SanitizedWord, tainted: tuple[int, int]
+    ) -> None:
+        expected, observed = tainted
+        with self._lock:
+            self._unlocked_writes += 1
+        self.record(
+            Violation(
+                "unlocked-write",
+                f"word value {observed:#018x} does not match the last "
+                f"CAS-committed value {expected:#018x}: a write bypassed "
+                "the CAS protocol (non-atomic store race)",
+            ),
+            counter="unlocked_writes",
+        )
+
+    def _record_torn_read(self, changed: list[int]) -> None:
+        with self._lock:
+            self._torn_reads += 1
+        self.record(
+            Violation(
+                "torn-read",
+                f"snapshot saw words {changed} commit mid-read "
+                f"{self.snapshot_retries} times in a row; the reader is "
+                "racing live adders (snapshot requires quiescence or "
+                "retry-on-version-change)",
+            ),
+            counter="torn_reads",
+        )
+
+    # -- detectors ---------------------------------------------------------
+
+    def consistent_snapshot(self, cell: AtomicHPCell) -> tuple[int, ...]:
+        """Version-validated read of a cell's words.
+
+        Unlike :meth:`AtomicHPCell.snapshot_words` (documented as
+        quiescence-only), this retries until no word's version changed
+        while reading — giving a snapshot that corresponds to an actual
+        happens-before cut.  Exhausting retries records a torn-read
+        violation and returns the last (possibly inconsistent) read.
+        """
+        words = cell.words
+        if not all(isinstance(w, SanitizedWord) for w in words):
+            raise TypeError(
+                "consistent_snapshot needs a sanitized cell; create it "
+                "inside sanitize() or pass it to wrap_cell()"
+            )
+        retries = 0
+        while True:
+            pairs = [w.read_versioned() for w in words]
+            hook = self.snapshot_hook
+            if hook is not None:
+                hook()
+            after = [w.read_versioned()[0] for w in words]
+            changed = [
+                i for i, ((v0, _), v1) in enumerate(zip(pairs, after))
+                if v0 != v1
+            ]
+            if not changed:
+                return tuple(value for _, value in pairs)
+            retries += 1
+            with self._lock:
+                self._snapshot_retries_used += 1
+            if _obs.ENABLED:
+                _obs.REGISTRY.counter("sanitizer.snapshot_retries").inc()
+            if retries >= self.snapshot_retries:
+                self._record_torn_read(changed)
+                return tuple(value for _, value in pairs)
+
+    # -- finalization ------------------------------------------------------
+
+    @property
+    def violations(self) -> list[Violation]:
+        with self._lock:
+            return list(self._violations)
+
+    def report(self) -> dict:
+        """Plain-dict summary (mirrors the counters in the registry)."""
+        with self._lock:
+            return {
+                "violations": [str(v) for v in self._violations],
+                "words_watched": len(self._words),
+                "shadows_watched": len(self._shadows),
+                "comms_watched": len(self._comms),
+                "unlocked_writes": self._unlocked_writes,
+                "torn_reads": self._torn_reads,
+                "snapshot_retries": self._snapshot_retries_used,
+            }
+
+    def check(self) -> None:
+        """Raise now (strict mode) if any violation has been recorded."""
+        found = self.violations
+        if self.strict and found:
+            raise SanitizerViolation(
+                f"{len(found)} sanitizer violation(s):\n"
+                + "\n".join(f"  {v}" for v in found)
+            )
+
+    def finalize(self) -> None:
+        """Final sweep: verify every word's shadow invariant, re-check
+        every shadow accumulator, assert comm quiescence, then (strict)
+        raise on anything recorded."""
+        with self._lock:
+            words = list(self._words)
+            shadows = list(self._shadows)
+            comms = list(self._comms)
+        for word in words:
+            word.verify()
+        for shadow in shadows:
+            shadow.check()
+        for comm in comms:
+            pending = comm.pending()
+            if pending:
+                self.record(
+                    Violation(
+                        "undelivered-messages",
+                        f"{pending} message(s) posted but never received: "
+                        "a partial sum was lost in flight",
+                    ),
+                    counter="undelivered_messages",
+                )
+        self.check()
+
+
+def _bound_word_class(ctx: SanitizerContext) -> type:
+    """An ``AtomicWord``-compatible class whose instances auto-register
+    with ``ctx`` — what gets patched into ``repro.core.atomic`` so cells
+    constructed inside the ``sanitize`` block are sanitized."""
+
+    class _ContextSanitizedWord(SanitizedWord):
+        def __init__(self, value: int = 0) -> None:
+            super().__init__(value, ctx=ctx)
+
+    return _ContextSanitizedWord
+
+
+@contextmanager
+def sanitize(
+    strict: bool = True, snapshot_retries: int = 8
+) -> Iterator[SanitizerContext]:
+    """Install the sanitizer for the duration of the block.
+
+    Inside the block, every ``AtomicWord`` the library constructs (and
+    therefore every ``AtomicHPCell``, including the ones the threads /
+    simulated-GPU substrates build) is a :class:`SanitizedWord` bound to
+    the yielded context.  Existing objects can be adopted with
+    :meth:`SanitizerContext.wrap_cell` / :meth:`SanitizerContext.shadow`
+    / :meth:`SanitizerContext.watch_comm`.  On exit the original class is
+    restored unconditionally and :meth:`SanitizerContext.finalize` runs —
+    in strict mode a detected fault raises :class:`SanitizerViolation`.
+
+    The disabled path is untouched code: outside this block the library
+    runs the plain classes, and sanitized arithmetic is bit-identical to
+    plain arithmetic, so enabling the harness never changes results.
+    """
+    ctx = SanitizerContext(strict=strict, snapshot_retries=snapshot_retries)
+    original = _atomic_mod.AtomicWord
+    _atomic_mod.AtomicWord = _bound_word_class(ctx)
+    try:
+        yield ctx
+    finally:
+        _atomic_mod.AtomicWord = original
+        ctx.finalize()

@@ -13,6 +13,10 @@ Subcommands:
 * ``calibration`` — audit the performance model's fitted anchors
 * ``stats``   — run an instrumented workload and print the metrics
   report (or validate previously emitted JSON with ``--validate``)
+* ``lint``    — run the HP domain linter (rules HP001-HP006) over
+  files/directories; ``--sanitize-smoke`` additionally runs the runtime
+  race/overflow sanitizer over a threaded smoke workload (also installed
+  as the ``repro-lint`` console script; see ``docs/ANALYSIS.md``)
 
 Every compute subcommand also accepts ``--metrics-out PATH`` /
 ``--trace-out PATH``: observability is enabled for the run and the
@@ -28,6 +32,8 @@ Examples::
     python -m repro stats --n 1000000 --pes 8
     python -m repro sum data.npy --metrics-out metrics.json
     python -m repro stats --validate metrics.json
+    python -m repro lint src/
+    python -m repro lint --format json --sanitize-smoke src/
 """
 
 from __future__ import annotations
@@ -166,6 +172,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", metavar="PATH", action="append", default=None,
         help="validate an emitted metrics/trace/run-report JSON file "
         "against the documented schema instead of running (repeatable)",
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="HP domain lint (static rules + runtime sanitizer)",
+        description="Run the AST-based HP invariant checker (rules "
+        "HP001-HP006, see docs/ANALYSIS.md) over Python files or "
+        "directories.  Exit status is the number-of-findings truth: 0 "
+        "when clean, 1 when findings (or sanitizer violations) exist.",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format (default text)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (e.g. HP001,HP003)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.add_argument(
+        "--sanitize-smoke", action="store_true",
+        help="also run the runtime race/overflow sanitizer over a "
+        "threaded smoke workload (atomic cell + shadowed accumulator + "
+        "simulated-MPI reduce)",
+    )
+    p_lint.add_argument(
+        "--smoke-n", type=int, default=20_000,
+        help="sanitizer smoke summand count (default 20000)",
+    )
+    p_lint.add_argument(
+        "--smoke-pes", type=int, default=4,
+        help="sanitizer smoke thread-team size (default 4)",
     )
 
     return parser
@@ -404,6 +449,57 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import lint as _lint
+
+    if args.list_rules:
+        for r in _lint.rule_catalog():
+            scope = ",".join(r.packages) if r.packages else "all files"
+            print(f"{r.id}  {r.name:24s} [{scope}]")
+            print(f"       {r.summary}")
+            print(f"       rationale: {r.paper_ref}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    files = _lint.iter_python_files(args.paths)
+    findings = _lint.lint_paths(args.paths, select=select)
+    failed = bool(findings)
+
+    smoke_report = None
+    if args.sanitize_smoke:
+        from repro.analysis.smoke import run_smoke
+
+        smoke_report = run_smoke(
+            n=args.smoke_n, pes=args.smoke_pes, strict=False
+        )
+        failed = failed or not smoke_report["ok"]
+
+    if args.format == "json":
+        doc = json.loads(_lint.format_json(findings, len(files)))
+        if smoke_report is not None:
+            doc["sanitizer_smoke"] = smoke_report
+        print(json.dumps(doc, indent=2))
+    else:
+        print(_lint.format_text(findings, len(files)))
+        if smoke_report is not None:
+            s = smoke_report["sanitizer"]
+            status = "ok" if smoke_report["ok"] else "FAILED"
+            print(
+                f"sanitizer smoke ({smoke_report['n']} summands, "
+                f"{smoke_report['pes']} threads): {status} — "
+                f"{s['words_watched']} words watched, "
+                f"{s['torn_reads']} torn reads, "
+                f"{s['unlocked_writes']} unlocked writes"
+            )
+            for v in s["violations"]:
+                print(f"  {v}")
+            for m in smoke_report["cross_check_mismatches"]:
+                print(f"  [cross-check] {m}")
+    return 1 if failed else 0
+
+
 def _cmd_calibration(args) -> int:
     from repro.perfmodel.calibration import calibration_anchors, render_calibration
 
@@ -423,6 +519,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "invariance": _cmd_invariance,
         "calibration": _cmd_calibration,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)

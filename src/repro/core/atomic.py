@@ -59,7 +59,11 @@ class AtomicWord:
         self._cas_failures = 0
 
     def load(self) -> int:
-        return self._value
+        # Deliberately lock-free: this models a relaxed 64-bit load and
+        # may race with CAS writers, exactly as the paper's construction
+        # permits (torn multi-word reads are the *cell's* problem; see
+        # repro.analysis.sanitizer.consistent_snapshot).
+        return self._value  # hp: noqa[HP003]
 
     def cas(self, expected: int, new: int) -> bool:
         """Atomically: if value == expected, store new and return True."""

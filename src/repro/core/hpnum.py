@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.core import scalar
 from repro.core.params import HPParams
 from repro.errors import MixedParameterError, ParameterError
+from repro.util.bits import MASK64
 
 __all__ = ["HPNumber"]
 
@@ -43,9 +44,9 @@ class HPNumber:
             raise ParameterError(
                 f"expected {params.n} words for {params}, got {len(words)}"
             )
-        for w in words:
-            if not 0 <= w < 2**64:
-                raise ParameterError(f"word out of uint64 range: {w:#x}")
+        bad = next((w for w in words if w != w & MASK64), None)
+        if bad is not None:
+            raise ParameterError(f"word out of uint64 range: {bad:#x}")
         self._words = words
         self._params = params
 

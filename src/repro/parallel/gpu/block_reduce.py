@@ -28,7 +28,7 @@ from repro.hallberg.params import HallbergParams
 from repro.hallberg.scalar import hb_add, hb_from_double, hb_to_double
 from repro.parallel.gpu.device import SimDevice
 from repro.parallel.gpu.kernels import _b2f, _f2b, _atomic_add_word
-from repro.util.bits import MASK64
+from repro.util.bits import MASK64, WORD_MOD
 
 __all__ = ["SpinBarrier", "launch_blocks", "gpu_block_sum", "BlockSumResult"]
 
@@ -131,7 +131,7 @@ class BlockSumResult:
 def _decode_signed(words):
     """Reinterpret raw uint64 memory words as signed int64 digits."""
     half = 1 << 63
-    return tuple((w - (1 << 64)) if w >= half else w for w in words)
+    return tuple((w - WORD_MOD) if w >= half else w for w in words)
 
 
 def _method_ops(method_name: str, params):

@@ -36,7 +36,7 @@ from repro.observability import metrics as _obs
 from repro.observability import tracing as _trace
 from repro.parallel.gpu.device import KernelRun, SimDevice
 from repro.parallel.gpu.memory import DeviceMemory
-from repro.util.bits import MASK64
+from repro.util.bits import MASK64, WORD_MOD
 
 __all__ = [
     "GPUSumResult",
@@ -281,7 +281,7 @@ def gpu_sum(
         half = 1 << 63
         partials = [
             tuple(
-                (w - (1 << 64)) if w >= half else w
+                (w - WORD_MOD) if w >= half else w
                 for w in raw[s * params.n : (s + 1) * params.n]
             )
             for s in range(num_partials)

@@ -21,11 +21,16 @@ from typing import Sequence
 
 WORD_BITS = 64
 MASK64 = (1 << 64) - 1
+#: Word modulus ``2**64``: the value every word computation wraps at.
+#: Hoisted here so call sites never spell ``2**64`` / ``1 << 64`` inline
+#: (the consistency rule HP001 expects masking against these names).
+WORD_MOD = 1 << 64
 MASK32 = (1 << 32) - 1
 
 __all__ = [
     "WORD_BITS",
     "MASK64",
+    "WORD_MOD",
     "MASK32",
     "mask64",
     "sign_bit",
@@ -68,7 +73,7 @@ def words_to_unsigned_int(words: Sequence[int]) -> int:
     """Concatenate words (word 0 most significant) into one unsigned int."""
     value = 0
     for w in words:
-        if not 0 <= w <= MASK64:
+        if w != w & MASK64:
             raise ValueError(f"word out of uint64 range: {w:#x}")
         value = (value << WORD_BITS) | w
     return value

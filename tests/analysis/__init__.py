@@ -1,0 +1,1 @@
+"""Tests for the static lint engine and the runtime sanitizer."""

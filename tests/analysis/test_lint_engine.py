@@ -1,0 +1,174 @@
+"""Engine mechanics: registry, scoping, suppressions, output formats.
+
+Rule *content* is covered in ``test_rules.py``; here we exercise the
+machinery those rules plug into, using HP001 as a convenient probe.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.lint import (
+    Finding,
+    LintRule,
+    ModuleSource,
+    PARSE_ERROR_RULE,
+    RULES,
+    lint_source,
+    rule,
+)
+
+#: Minimal HP001 violation used to probe engine behaviour.
+BAD = "def f(a, b, out):\n    out[0] = a[0] + b[0]\n"
+CORE = "src/repro/core/_fixture.py"
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        catalog = lint.rule_catalog()
+        assert [r.id for r in catalog] == [
+            "HP001", "HP002", "HP003", "HP004", "HP005", "HP006",
+        ]
+        for r in catalog:
+            assert r.summary and r.paper_ref and callable(r.check)
+
+    def test_duplicate_id_rejected(self):
+        lint.rule_catalog()  # force registration of HP001
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("HP001", "dup", "dup", "nowhere")(lambda m: [])
+
+    def test_package_scoping(self):
+        scoped = LintRule(
+            id="X", name="x", summary="", paper_ref="",
+            packages=("core", "parallel"), check=lambda m: [],
+        )
+        assert scoped.applies_to("src/repro/core/scalar.py")
+        assert scoped.applies_to("src/repro/parallel/threads.py")
+        assert not scoped.applies_to("src/repro/hallberg/scalar.py")
+        assert not scoped.applies_to("src/repro/analysis/lint.py")
+        # Fixture fallback: no "repro" anchor, any segment matches.
+        assert scoped.applies_to("fixtures/core/bad.py")
+        assert not scoped.applies_to("fixtures/other/bad.py")
+
+    def test_unscoped_rule_applies_everywhere(self):
+        everywhere = LintRule(
+            id="Y", name="y", summary="", paper_ref="",
+            packages=None, check=lambda m: [],
+        )
+        assert everywhere.applies_to("anything/at/all.py")
+
+
+class TestModuleSource:
+    def test_parent_links_and_ancestors(self):
+        module = ModuleSource.parse("def f():\n    return 1 + 2\n", "<t>")
+        import ast
+
+        binop = next(
+            n for n in ast.walk(module.tree) if isinstance(n, ast.BinOp)
+        )
+        chain = list(module.ancestors(binop))
+        kinds = [type(n).__name__ for n in chain]
+        assert kinds == ["Return", "FunctionDef", "Module"]
+        assert module.parent(module.tree) is None
+
+    def test_finding_coordinates(self):
+        module = ModuleSource.parse("x = 1\n", "p.py")
+        f = module.finding("HP999", module.tree.body[0], "msg")
+        assert (f.path, f.line, f.col) == ("p.py", 1, 1)
+        assert f.format() == "p.py:1:1: HP999 msg"
+
+
+class TestSuppressions:
+    def test_unsuppressed_probe_fires(self):
+        assert [f.rule for f in lint_source(BAD, CORE)] == ["HP001"]
+
+    def test_bare_noqa_silences_all(self):
+        src = BAD.replace("+ b[0]", "+ b[0]  # hp: noqa")
+        assert lint_source(src, CORE) == []
+
+    def test_listed_noqa_silences_named_rule(self):
+        src = BAD.replace("+ b[0]", "+ b[0]  # hp: noqa[HP001]")
+        assert lint_source(src, CORE) == []
+
+    def test_listed_noqa_keeps_other_rules(self):
+        src = BAD.replace("+ b[0]", "+ b[0]  # hp: noqa[HP002]")
+        assert [f.rule for f in lint_source(src, CORE)] == ["HP001"]
+
+    def test_noqa_on_other_line_does_not_apply(self):
+        src = "# hp: noqa[HP001]\n" + BAD
+        assert [f.rule for f in lint_source(src, CORE)] == ["HP001"]
+
+    def test_noqa_file_silences_whole_module(self):
+        src = "# hp: noqa-file[HP001]\n" + BAD + BAD.replace("def f", "def g")
+        assert lint_source(src, CORE) == []
+
+    def test_noqa_is_case_insensitive_in_rule_ids(self):
+        src = BAD.replace("+ b[0]", "+ b[0]  # hp: noqa[hp001]")
+        assert lint_source(src, CORE) == []
+
+
+class TestSelectAndErrors:
+    def test_select_restricts_rules(self):
+        assert lint_source(BAD, CORE, select=["HP002"]) == []
+        assert len(lint_source(BAD, CORE, select=["hp001"])) == 1
+
+    def test_syntax_error_becomes_hp000(self):
+        findings = lint_source("def f(:\n", CORE)
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR_RULE
+        assert "syntax error" in findings[0].message
+
+    def test_findings_sorted_deterministically(self):
+        src = BAD + "def g(a, b, out):\n    out[1] = a[1] - b[1]\n"
+        findings = lint_source(src, CORE)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestFileWalking:
+    def test_dirs_expand_files_dedupe(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        files = lint.iter_python_files([tmp_path, pkg / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint.iter_python_files([tmp_path / "nope"])
+
+    def test_lint_paths_reads_files(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(BAD)
+        findings = lint.lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["HP001"]
+        assert findings[0].path.endswith("bad.py")
+
+
+class TestOutputFormats:
+    def test_format_text(self):
+        findings = lint_source(BAD, CORE)
+        text = lint.format_text(findings, checked_files=1)
+        assert f"{CORE}:2:" in text
+        assert text.endswith("1 finding in 1 file")
+        assert lint.format_text([], 3).endswith("0 findings in 3 files")
+
+    def test_format_json_schema(self):
+        findings = lint_source(BAD, CORE)
+        doc = json.loads(lint.format_json(findings, checked_files=1))
+        assert doc["kind"] == "lint"
+        assert doc["schema_version"] == lint.LINT_SCHEMA_VERSION
+        assert doc["checked_files"] == 1
+        assert doc["counts"] == {"HP001": 1}
+        (entry,) = doc["findings"]
+        assert entry == findings[0].to_dict()
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+
+    def test_finding_roundtrip(self):
+        f = Finding(rule="HP001", path="p", line=3, col=7, message="m")
+        assert Finding(**f.to_dict()) == f

@@ -1,0 +1,296 @@
+"""Good/bad fixtures for every domain rule (HP001-HP006).
+
+Each bad fixture is a distilled real bug shape; each good fixture is a
+pattern the codebase legitimately uses and the rule must *not* flag —
+including the false positives found while self-hosting the linter
+(NumPy ``.astype`` shifts, Hallberg signed-digit loops, attribute-based
+subscripts), which are pinned here so they never regress into noise.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import lint_source
+
+CORE = "src/repro/core/_fixture.py"
+PARALLEL = "src/repro/parallel/_fixture.py"
+HALLBERG = "src/repro/hallberg/_fixture.py"
+
+
+def rules_in(src: str, path: str = CORE) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(src), path)]
+
+
+class TestHP001UnmaskedWordStore:
+    def test_bad_unmasked_add(self):
+        assert "HP001" in rules_in("""
+            def f(a, b, out):
+                out[0] = a[0] + b[0]
+        """)
+
+    def test_bad_unmasked_sub_and_shift_and_invert(self):
+        src = """
+            def f(a, w, out):
+                out[0] = a[0] - 1
+                out[1] = w[1] << 3
+                out[2] = ~w[2]
+        """
+        assert rules_in(src).count("HP001") == 3
+
+    def test_bad_inplace_update(self):
+        assert "HP001" in rules_in("""
+            def f(words, carry):
+                words[0] += carry
+        """)
+
+    def test_good_masked_stores(self):
+        src = """
+            def f(a, b, out, MASK64, WORD_MOD, mask64):
+                out[0] = (a[0] + b[0]) & MASK64
+                out[1] = (a[1] + b[1] + 1) % WORD_MOD
+                out[2] = mask64(a[2] + b[2])
+                out[3] = (a[3] - b[3]) & 0xFFFFFFFFFFFFFFFF
+        """
+        assert rules_in(src) == []
+
+    def test_good_numpy_astype_shift(self):
+        # False positive found self-hosting: repro/core/vectorized.py's
+        # uint64-dtype shift, where the dtype wraps in hardware.
+        assert rules_in("""
+            def f(out, mant, shift, left, np):
+                out[left] = mant[left] << shift[left].astype(np.uint64)
+        """) == []
+
+    def test_good_hallberg_signed_digit_loops(self):
+        # False positive found self-hosting: Hallberg digits are
+        # unbounded signed ints by design; names must not match.
+        assert rules_in("""
+            def f(digits, total, d):
+                digits[0] += d
+                total[1] += d
+        """) == []
+
+    def test_good_attribute_based_subscript(self):
+        # Only plain-Name bases are word containers; self.words[...]
+        # style stores go through richer protocols the rule cannot see.
+        assert rules_in("""
+            class C:
+                def f(self, i, d):
+                    self.words[i] = self.words[i] + d
+        """) == []
+
+    def test_scoped_to_kernel_packages(self):
+        bad = """
+            def f(a, b, out):
+                out[0] = a[0] + b[0]
+        """
+        assert "HP001" in rules_in(bad, PARALLEL)
+        assert rules_in(bad, HALLBERG) == []
+
+
+class TestHP002FloatIntermediate:
+    def test_bad_true_division(self):
+        assert "HP002" in rules_in("""
+            def f(words):
+                return words[0] / 2
+        """)
+
+    def test_bad_float_call(self):
+        assert "HP002" in rules_in("""
+            def f(acc):
+                return float(acc[0])
+        """)
+
+    def test_good_floor_division_and_nonword_floats(self):
+        assert rules_in("""
+            def f(words, n):
+                half = words[0] // 2
+                ratio = n / 2
+                return half, ratio, float(n)
+        """) == []
+
+
+class TestHP003LockDiscipline:
+    def test_bad_unlocked_access(self):
+        findings = lint_source(textwrap.dedent("""
+            import threading
+
+            class Cell:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    self._count += 1
+        """), "src/repro/anywhere/_fixture.py")
+        assert [f.rule for f in findings] == ["HP003"]
+        assert "_count" in findings[0].message
+        assert "_lock" in findings[0].message
+
+    def test_good_locked_access(self):
+        assert rules_in("""
+            import threading
+
+            class Cell:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+        """) == []
+
+    def test_good_thread_local_state_is_exempt(self):
+        assert rules_in("""
+            import threading
+
+            class Cell:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._tls = threading.local()
+                    self._n = 0
+
+                def f(self):
+                    self._tls.x = 1
+                    with self._lock:
+                        self._n += 1
+        """) == []
+
+    def test_good_lockless_class_unconstrained(self):
+        assert rules_in("""
+            class Plain:
+                def __init__(self):
+                    self._data = []
+
+                def push(self, x):
+                    self._data.append(x)
+        """) == []
+
+    def test_init_itself_is_exempt(self):
+        assert rules_in("""
+            import threading
+
+            class Cell:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+                    self._count += 1
+        """) == []
+
+
+class TestHP004KernelNondeterminism:
+    def test_bad_wall_clock(self):
+        assert "HP004" in rules_in("""
+            import time
+
+            def f():
+                return time.time()
+        """)
+
+    def test_bad_global_rng(self):
+        assert "HP004" in rules_in("""
+            import random
+
+            def f():
+                return random.random()
+        """)
+
+    def test_bad_unseeded_default_rng(self):
+        assert "HP004" in rules_in("""
+            from numpy.random import default_rng
+
+            def f():
+                return default_rng()
+        """)
+
+    def test_bad_as_completed(self):
+        assert "HP004" in rules_in("""
+            from concurrent.futures import as_completed
+
+            def f(futs):
+                return [g.result() for g in as_completed(futs)]
+        """)
+
+    def test_bad_arrival_order_dict_iteration(self):
+        assert "HP004" in rules_in("""
+            def f(results):
+                return [v for rank, v in results.items()]
+        """)
+
+    def test_good_seeded_and_rank_ordered(self):
+        assert rules_in("""
+            from numpy.random import default_rng
+
+            def f(futures, seed, config):
+                rng = default_rng(seed)
+                values = [fut.result() for fut in futures]
+                settings = dict(config.items())
+                return rng, values, settings
+        """) == []
+
+    def test_scoped_out_of_util(self):
+        # Timing helpers legitimately live outside the kernels.
+        assert rules_in("""
+            import time
+
+            def f():
+                return time.time()
+        """, "src/repro/util/_fixture.py") == []
+
+
+class TestHP005Uint64Promotion:
+    def test_bad_literal_mix(self):
+        src = """
+            def f(np, x):
+                a = np.uint64(x) + 1
+                b = 3 * np.uint64(x)
+                c = np.uint64(x) >> 2
+                return a, b, c
+        """
+        assert rules_in(src).count("HP005") == 3
+
+    def test_good_wrapped_or_symbolic_operands(self):
+        assert rules_in("""
+            def f(np, x, offset):
+                a = np.uint64(x) + np.uint64(1)
+                b = np.uint64(x) + offset
+                return a, b
+        """) == []
+
+
+class TestHP006HardcodedCarryBound:
+    def test_bad_literal_word_count(self):
+        assert "HP006" in rules_in("""
+            def f(out):
+                for i in range(8):
+                    out[i] = 0
+        """)
+
+    def test_bad_literal_start(self):
+        assert "HP006" in rules_in("""
+            def f(w, MASK64):
+                for i in range(2, 16):
+                    w[i] = w[i] & MASK64
+        """)
+
+    def test_good_format_derived_bounds(self):
+        assert rules_in("""
+            def f(out, words, params, x, MASK64):
+                for i in range(params.n):
+                    out[i] = 0
+                for i in range(len(words) - 1, -1, -1):
+                    out[i] = x & MASK64
+                for i in range(1):
+                    out[i] = 0
+        """) == []
+
+    def test_good_loop_without_word_stores(self):
+        assert rules_in("""
+            def f():
+                total = 0
+                for i in range(8):
+                    total += i
+                return total
+        """) == []

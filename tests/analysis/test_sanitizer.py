@@ -1,0 +1,272 @@
+"""Runtime sanitizer: fault injection and the disabled-path contract.
+
+Every detector is proven twice: a clean run stays silent, and a
+deliberately injected fault (an unlocked store, a concurrent write
+mid-snapshot, corrupted accumulator words, silent wrap-around, a lost
+message) is caught and classified.  The disabled path is held to bit
+identity: attaching the harness never changes results, and leaving the
+block restores the library exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizedWord,
+    SanitizerContext,
+    SanitizerViolation,
+    sanitize,
+)
+from repro.core import atomic as atomic_mod
+from repro.core.accumulator import HPAccumulator
+from repro.core.params import HPParams
+from repro.util.bits import MASK64
+
+P = HPParams(2, 1)
+DATA = [0.5, -0.25, 1.0 / 3.0, 7.25, -3.125, 0.1]
+
+
+def kinds(ctx: SanitizerContext) -> list[str]:
+    return [v.kind for v in ctx.violations]
+
+
+class FakeCell:
+    """Test double standing in for AtomicHPCell: just a words list."""
+
+    def __init__(self, ctx: SanitizerContext, n: int = 2) -> None:
+        self.words = [SanitizedWord(0, ctx=ctx) for _ in range(n)]
+
+
+class TestInstallation:
+    def test_atomic_word_patched_inside_and_restored_after(self):
+        original = atomic_mod.AtomicWord
+        with sanitize():
+            assert atomic_mod.AtomicWord is not original
+            assert issubclass(atomic_mod.AtomicWord, SanitizedWord)
+            cell = atomic_mod.AtomicHPCell(P)
+            assert all(isinstance(w, SanitizedWord) for w in cell.words)
+        assert atomic_mod.AtomicWord is original
+        plain = atomic_mod.AtomicHPCell(P)
+        assert not any(isinstance(w, SanitizedWord) for w in plain.words)
+
+    def test_restored_even_when_strict_raises(self):
+        original = atomic_mod.AtomicWord
+        with pytest.raises(SanitizerViolation):
+            with sanitize() as ctx:
+                cell = atomic_mod.AtomicHPCell(P)
+                ctx.consistent_snapshot(cell)
+                cell.words[0]._value = 0xDEAD
+        assert atomic_mod.AtomicWord is original
+
+    def test_wrap_cell_adopts_existing_cell_preserving_values(self):
+        cell = atomic_mod.AtomicHPCell(P)
+        for x in DATA:
+            cell.atomic_add_double(x)
+        before = cell.snapshot_words()
+        with sanitize() as ctx:
+            ctx.wrap_cell(cell)
+            assert all(isinstance(w, SanitizedWord) for w in cell.words)
+            assert ctx.consistent_snapshot(cell) == before
+
+    def test_clean_run_is_silent(self):
+        with sanitize() as ctx:
+            cell = atomic_mod.AtomicHPCell(P)
+            for x in DATA:
+                cell.atomic_add_double(x)
+            snap = ctx.consistent_snapshot(cell)
+        assert ctx.violations == []
+        acc = HPAccumulator(P)
+        acc.extend(DATA)
+        assert snap == acc.words  # sanitized arithmetic is the arithmetic
+
+
+class TestDisabledPathBitIdentity:
+    def test_sanitized_words_bit_identical_to_plain(self):
+        plain = atomic_mod.AtomicHPCell(P)
+        for x in DATA:
+            plain.atomic_add_double(x)
+        with sanitize() as ctx:
+            watched = atomic_mod.AtomicHPCell(P)
+            for x in DATA:
+                watched.atomic_add_double(x)
+            snap = ctx.consistent_snapshot(watched)
+        assert snap == plain.snapshot_words()
+
+    def test_outside_block_library_state_untouched(self):
+        with sanitize():
+            pass
+        cell = atomic_mod.AtomicHPCell(P)
+        cell.atomic_add_double(1.5)
+        assert type(cell.words[0]) is atomic_mod.AtomicWord
+        assert not hasattr(cell.words[0], "_ctx")  # __slots__ intact
+
+
+class TestUnlockedWriteDetection:
+    def test_injected_store_into_test_double(self):
+        ctx = SanitizerContext(strict=False)
+        fake = FakeCell(ctx)
+        fake.words[0].cas(0, 41)
+        fake.words[1]._value = 7  # the injected non-CAS store
+        ctx.finalize()
+        assert kinds(ctx) == ["unlocked-write"]
+        assert ctx.report()["unlocked_writes"] == 1
+        assert "bypassed" in ctx.violations[0].detail
+
+    def test_detected_at_next_cas_and_reported_once(self):
+        ctx = SanitizerContext(strict=False)
+        word = SanitizedWord(0, ctx=ctx)
+        word.cas(0, 5)
+        word._value = 9  # rogue store between sanctioned CASes
+        assert word.cas(9, 10)  # proceeds from observed memory state
+        ctx.finalize()
+        assert kinds(ctx) == ["unlocked-write"]  # resync => one report
+
+    def test_strict_mode_raises_on_exit(self):
+        with pytest.raises(SanitizerViolation, match="unlocked-write"):
+            with sanitize():
+                cell = atomic_mod.AtomicHPCell(P)
+                cell.atomic_add_double(2.0)
+                cell.words[0]._value ^= 1
+
+    def test_verify_returns_false_then_true(self):
+        ctx = SanitizerContext(strict=False)
+        word = SanitizedWord(3, ctx=ctx)
+        assert word.verify()
+        word._value = 4
+        assert not word.verify()
+        assert word.verify()  # resynced
+
+
+class TestTornReadDetection:
+    def test_concurrent_writer_mid_snapshot_exhausts_retries(self):
+        ctx = SanitizerContext(strict=False, snapshot_retries=3)
+        fake = FakeCell(ctx)
+
+        def racing_write():
+            w = fake.words[0]
+            cur = w.load()
+            assert w.cas(cur, (cur + 1) & MASK64)
+
+        ctx.snapshot_hook = racing_write
+        ctx.consistent_snapshot(fake)
+        report = ctx.report()
+        assert report["torn_reads"] == 1
+        assert report["snapshot_retries"] == 3
+        assert kinds(ctx) == ["torn-read"]
+
+    def test_transient_race_retries_and_succeeds(self):
+        ctx = SanitizerContext(strict=False, snapshot_retries=8)
+        fake = FakeCell(ctx)
+        fake.words[1].cas(0, 17)
+        fired = []
+
+        def write_once():
+            if not fired:
+                fired.append(True)
+                assert fake.words[0].cas(0, 99)
+
+        ctx.snapshot_hook = write_once
+        snap = ctx.consistent_snapshot(fake)
+        assert snap == (99, 17)  # retry observed the committed value
+        report = ctx.report()
+        assert report["torn_reads"] == 0
+        assert report["snapshot_retries"] == 1
+        ctx.finalize()  # clean
+
+    def test_snapshot_requires_sanitized_words(self):
+        ctx = SanitizerContext()
+        plain = atomic_mod.AtomicHPCell(P)
+        with pytest.raises(TypeError, match="sanitized"):
+            ctx.consistent_snapshot(plain)
+
+
+class TestShadowAccumulator:
+    def test_clean_tracking_and_exact_value(self):
+        from fractions import Fraction
+
+        ctx = SanitizerContext(strict=False)
+        shadow = ctx.shadow(HPAccumulator(P))
+        shadow.add(0.5)
+        shadow.add(0.25)
+        assert shadow.exact_value == Fraction(3, 4)
+        assert shadow.to_double() == 0.75
+        ctx.finalize()
+        assert ctx.violations == []
+
+    def test_corrupted_words_diverge_from_shadow(self):
+        ctx = SanitizerContext(strict=False)
+        shadow = ctx.shadow(HPAccumulator(P))
+        shadow.extend(DATA)
+        shadow.acc._words[1] ^= 1  # flip one bit: a dropped carry
+        ctx.finalize()
+        assert "shadow-divergence" in kinds(ctx)
+        assert f"summand {len(DATA)}" in ctx.violations[0].detail
+
+    def test_silent_overflow_wrap_flagged(self):
+        # HP(1,0) holds signed 64-bit; three 2**62 addends wrap silently
+        # when the sign-rule check is off.
+        p1 = HPParams(1, 0)
+        ctx = SanitizerContext(strict=False)
+        shadow = ctx.shadow(HPAccumulator(p1, check_overflow=False))
+        for _ in range(3):
+            shadow.add(float(2**62))
+        assert "overflow-wrap" in kinds(ctx)
+        # The wrap itself is consistent two's-complement arithmetic, so
+        # no divergence is (wrongly) reported on top.
+        assert "shadow-divergence" not in kinds(ctx)
+
+    def test_merge_tracks_exactly(self):
+        ctx = SanitizerContext(strict=False)
+        left = ctx.shadow(HPAccumulator(P))
+        right = ctx.shadow(HPAccumulator(P))
+        left.extend(DATA[:3])
+        right.extend(DATA[3:])
+        left.merge(right)
+        whole = HPAccumulator(P)
+        whole.extend(DATA)
+        assert left.acc.words == whole.words
+        ctx.finalize()
+        assert ctx.violations == []
+
+
+class TestCommWatch:
+    def test_undelivered_message_is_a_violation(self):
+        from repro.parallel.simmpi.comm import SimComm
+
+        ctx = SanitizerContext(strict=False)
+        comm = SimComm(2)
+        ctx.watch_comm(comm)
+        comm.send(0, 1, b"\x00" * 8)
+        ctx.finalize()
+        assert kinds(ctx) == ["undelivered-messages"]
+
+    def test_quiescent_comm_is_clean(self):
+        from repro.parallel.simmpi.comm import SimComm
+
+        ctx = SanitizerContext(strict=False)
+        comm = SimComm(2)
+        ctx.watch_comm(comm)
+        comm.send(0, 1, b"\x00" * 8)
+        comm.recv(1, 0)
+        ctx.finalize()
+        assert ctx.violations == []
+
+
+class TestObservabilityIntegration:
+    def test_violations_feed_metrics_registry(self):
+        from repro.observability import metrics
+
+        metrics.disable()
+        metrics.REGISTRY.clear()
+        metrics.enable()
+        try:
+            ctx = SanitizerContext(strict=False)
+            word = SanitizedWord(0, ctx=ctx)
+            word._value = 1
+            word.verify()
+            counter = metrics.REGISTRY.get("sanitizer.unlocked_writes")
+            assert counter is not None and counter.value == 1
+        finally:
+            metrics.disable()
+            metrics.REGISTRY.clear()

@@ -1,0 +1,133 @@
+"""The smoke workload, the ``repro lint`` CLI, and self-hosting.
+
+Self-hosting is the tentpole acceptance criterion: the linter runs
+clean over the repository's own sources, so any finding that appears in
+CI is a real regression, never ambient noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.smoke import run_smoke
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+BAD = "def f(a, b, out):\n    out[0] = a[0] + b[0]\n"
+GOOD = "def f(a, b, out, MASK64):\n    out[0] = (a[0] + b[0]) & MASK64\n"
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """A throwaway package layout the kernel-scoped rules apply to."""
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(BAD)
+    (pkg / "good.py").write_text(GOOD)
+    return pkg
+
+
+class TestSelfHost:
+    def test_linter_runs_clean_on_repo_sources(self):
+        paths = [REPO / "src", REPO / "benchmarks"]
+        files = lint.iter_python_files(paths)
+        assert len(files) > 80  # sanity: we really walked the tree
+        findings = lint.lint_paths(paths)
+        assert findings == [], lint.format_text(findings, len(files))
+
+
+class TestSmoke:
+    def test_clean_smoke_run(self):
+        report = run_smoke(n=2000, pes=2, seed=7)
+        assert report["ok"]
+        assert report["cross_check_mismatches"] == []
+        assert report["sanitizer"]["violations"] == []
+        assert report["sanitizer"]["words_watched"] == 3  # HP(3,2) cell
+        assert report["atomic"]["cas_attempts"] >= 2000
+        # Order invariance: all three paths produced the same double.
+        assert report["atomic"]["value"] == report["accumulator"]["value"]
+        assert report["atomic"]["value"] == report["simmpi"]["value"]
+
+    def test_smoke_is_deterministic(self):
+        a = run_smoke(n=500, pes=2, seed=3)
+        b = run_smoke(n=500, pes=2, seed=3)
+        assert a["atomic"]["value"] == b["atomic"]["value"]
+        assert a["accumulator"]["exact"] == b["accumulator"]["exact"]
+
+
+class TestLintCli:
+    def test_findings_fail_with_exit_1(self, fixture_tree, capsys):
+        code, out, _ = run_cli(capsys, "lint", str(fixture_tree))
+        assert code == 1
+        assert "HP001" in out and "bad.py" in out
+        assert "1 finding in 2 files" in out
+
+    def test_clean_tree_exits_0(self, fixture_tree, capsys):
+        code, out, _ = run_cli(capsys, "lint", str(fixture_tree / "good.py"))
+        assert code == 0
+        assert "0 findings in 1 file" in out
+
+    def test_json_format(self, fixture_tree, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--format", "json", str(fixture_tree)
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["kind"] == "lint"
+        assert doc["schema_version"] == lint.LINT_SCHEMA_VERSION
+        assert doc["counts"] == {"HP001": 1}
+        assert doc["findings"][0]["rule"] == "HP001"
+
+    def test_select_narrows_rules(self, fixture_tree, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--select", "HP002", str(fixture_tree)
+        )
+        assert code == 0 and "0 findings" in out
+
+    def test_list_rules_prints_catalog(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("HP001", "HP002", "HP003", "HP004", "HP005", "HP006"):
+            assert rule_id in out
+        assert "rationale:" in out
+
+    def test_missing_path_is_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "lint", "/no/such/dir")
+        assert code == 1 and "error:" in err
+
+    def test_sanitize_smoke_text(self, fixture_tree, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--sanitize-smoke", "--smoke-n", "400",
+            "--smoke-pes", "2", str(fixture_tree / "good.py"),
+        )
+        assert code == 0
+        assert "sanitizer smoke (400 summands, 2 threads): ok" in out
+
+    def test_sanitize_smoke_json(self, fixture_tree, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--format", "json", "--sanitize-smoke",
+            "--smoke-n", "400", "--smoke-pes", "2",
+            str(fixture_tree / "good.py"),
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["sanitizer_smoke"]["ok"]
+        assert doc["sanitizer_smoke"]["sanitizer"]["violations"] == []
+
+
+class TestConsoleScript:
+    def test_repro_lint_entry_point_delegates(self, fixture_tree, capsys):
+        code = lint.main([str(fixture_tree)])
+        out = capsys.readouterr().out
+        assert code == 1 and "HP001" in out
