@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize check
+.PHONY: test lint sanitize bench-regress check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,5 +19,13 @@ lint:
 # workload (atomic cell + shadowed accumulator + simulated-MPI reduce).
 sanitize:
 	$(PYTHON) -m repro lint --sanitize-smoke --smoke-n 50000 --smoke-pes 4 src
+
+# Performance-regression gate: times the superaccumulator against the
+# word-matrix engine over the pinned Table-1 matrix, pins bit-identity
+# against the scalar oracle, and writes BENCH_3.json (schema
+# repro.bench.regress/1).  Fails when superacc is not faster at the
+# N=8 / 1M-summand headline case.
+bench-regress:
+	$(PYTHON) -m repro bench --regress --out BENCH_3.json
 
 check: lint test

@@ -45,6 +45,8 @@ from repro.core import (
     hp_dot,
     HPNumber,
     HPParams,
+    SuperAccumulator,
+    superacc_total,
     batch_from_double,
     batch_sum_doubles,
     batch_sum_words,
@@ -81,6 +83,8 @@ __all__ = [
     "HPAccumulator",
     "HPMultiAccumulator",
     "AdaptiveAccumulator",
+    "SuperAccumulator",
+    "superacc_total",
     "hp_dot",
     "AtomicHPCell",
     "AtomicWord",

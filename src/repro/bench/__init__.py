@@ -1,0 +1,19 @@
+"""Benchmark-regression harness for the summation engines.
+
+``repro bench --regress`` runs a pinned benchmark matrix comparing the
+word-matrix batch path against the exponent-binned superaccumulator
+(:mod:`repro.core.superacc`) and writes a schema-versioned JSON report
+(``BENCH_<pr>.json``).  CI replays the matrix and fails when the
+superaccumulator stops being faster than the words path at the headline
+configuration (N=8 words, one million summands) or when either engine
+stops being bit-identical to the scalar accumulator oracle.
+"""
+
+from repro.bench.regress import (
+    SCHEMA,
+    default_report_name,
+    run_regress,
+    validate_report,
+)
+
+__all__ = ["SCHEMA", "default_report_name", "run_regress", "validate_report"]

@@ -1,0 +1,294 @@
+"""The pinned regression matrix behind ``repro bench --regress``.
+
+What it measures
+----------------
+For every Table-1 configuration the matrix times one full batch
+reduction of the same ``n`` summands through both engines of
+:func:`repro.core.vectorized.batch_sum_doubles`:
+
+``words``
+    the O(n * N) word-matrix path (convert every summand to N words,
+    fold the column sums);
+``superacc``
+    the exponent-binned superaccumulator fast path
+    (:mod:`repro.core.superacc`).
+
+Timing is best-of-``repeats`` wall time via ``time.perf_counter`` —
+best-of, not mean, because the regression question is "how fast can this
+engine go on this machine", and the minimum is the observation least
+polluted by scheduler noise.
+
+What it checks
+--------------
+* both engines produce bit-identical HP words on every case;
+* at the headline configuration (the largest word count in the matrix,
+  N=8 by default) the superaccumulator words match the scalar
+  :class:`repro.core.accumulator.HPAccumulator` oracle across several
+  random permutations of the input and several chunk sizes — the
+  order-invariance contract, pinned against the slowest, most literal
+  implementation in the repo;
+* the superaccumulator beats the words path at the headline
+  configuration by at least ``min_speedup``.
+
+The report is schema-versioned (``repro.bench.regress/1``) so later PRs
+can extend it without breaking consumers; ``BENCH_<pr>.json`` files
+committed at the repo root form the performance trajectory across the
+PR stack.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Callable, Sequence
+
+SCHEMA = "repro.bench.regress/1"
+
+#: matrix defaults, pinned so reports stay comparable across PRs
+DEFAULT_N = 1 << 20
+DEFAULT_REPEATS = 3
+DEFAULT_SEED = 20160523  # the paper's IPDPS 2016 presentation date
+DEFAULT_PERMUTATIONS = 3
+DEFAULT_CHUNK_SIZES = (1 << 16, 1 << 20)
+
+
+def default_report_name(pr: int) -> str:
+    """Trajectory-point filename for a PR number."""
+    return f"BENCH_{pr}.json"
+
+
+def _time_best(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _make_summands(n: int, seed: int):
+    """A sign-mixed, exponent-spread workload that fits every Table-1
+    range: magnitudes span ~2**-30 .. 2**30 so all bins participate."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    mantissa = rng.uniform(-1.0, 1.0, n)
+    scale = np.exp2(rng.uniform(-30.0, 30.0, n))
+    return mantissa * scale
+
+
+def _oracle_words(xs, params):
+    """Scalar accumulator reference — one summand at a time."""
+    from repro.core.accumulator import HPAccumulator
+
+    acc = HPAccumulator(params, check_overflow=False)
+    for x in xs:
+        acc.add(float(x))
+    return acc.words
+
+
+def run_regress(
+    n: int = DEFAULT_N,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    permutations: int = DEFAULT_PERMUTATIONS,
+    chunk_sizes: Sequence[int] = DEFAULT_CHUNK_SIZES,
+    min_speedup: float = 1.0,
+    pr: int | None = None,
+    skip_oracle: bool = False,
+) -> dict:
+    """Run the pinned matrix; return the schema-versioned report dict.
+
+    ``skip_oracle`` drops the scalar-oracle stage (used by quick smoke
+    runs; the full CI run always keeps it).
+    """
+    import numpy as np
+
+    from repro.core.params import TABLE1_CONFIGS, HPParams
+    from repro.core.superacc import SuperAccumulator
+    from repro.core.vectorized import batch_sum_doubles
+
+    xs = _make_summands(n, seed)
+
+    cases = []
+    headline = None
+    for n_words, k in TABLE1_CONFIGS:
+        params = HPParams(n_words, k)
+        words_result = batch_sum_doubles(xs, params, method="words")
+        superacc_result = batch_sum_doubles(xs, params, method="superacc")
+        bit_identical = words_result == superacc_result
+        words_s = _time_best(
+            lambda p=params: batch_sum_doubles(xs, p, method="words"),
+            repeats,
+        )
+        superacc_s = _time_best(
+            lambda p=params: batch_sum_doubles(xs, p, method="superacc"),
+            repeats,
+        )
+        case = {
+            "n_words": n_words,
+            "k": k,
+            "params": str(params),
+            "n": n,
+            "words_seconds": words_s,
+            "superacc_seconds": superacc_s,
+            "speedup": words_s / superacc_s if superacc_s > 0 else None,
+            "bit_identical": bool(bit_identical),
+        }
+        cases.append(case)
+        if headline is None or n_words > headline["n_words"]:
+            headline = case
+
+    oracle = None
+    oracle_ok = True
+    if not skip_oracle:
+        params = HPParams(headline["n_words"], headline["k"])
+        reference = _oracle_words(xs, params)
+        rng = np.random.default_rng(seed + 1)
+        trials = []
+        for p in range(permutations):
+            order = rng.permutation(n)
+            permuted = xs[order]
+            for chunk in chunk_sizes:
+                engine = SuperAccumulator(params, chunk=int(chunk))
+                engine.absorb(permuted)
+                match = engine.to_words() == reference
+                trials.append(
+                    {
+                        "permutation": p,
+                        "chunk": int(chunk),
+                        "bit_identical": bool(match),
+                    }
+                )
+                oracle_ok = oracle_ok and match
+        oracle = {
+            "params": str(params),
+            "n": n,
+            "permutations": permutations,
+            "chunk_sizes": [int(c) for c in chunk_sizes],
+            "trials": trials,
+            "bit_identical": bool(oracle_ok),
+        }
+
+    bit_identical_all = all(c["bit_identical"] for c in cases)
+    speedup_headline = headline["speedup"]
+    superacc_faster = (
+        speedup_headline is not None and speedup_headline >= min_speedup
+    )
+    checks = {
+        "bit_identical_all": bool(bit_identical_all),
+        "oracle_bit_identical": bool(oracle_ok),
+        "headline_params": headline["params"],
+        "speedup_headline": speedup_headline,
+        "min_speedup": min_speedup,
+        "superacc_faster": bool(superacc_faster),
+        "passed": bool(bit_identical_all and oracle_ok and superacc_faster),
+    }
+
+    return {
+        "schema": SCHEMA,
+        "pr": pr,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "n": n,
+            "repeats": repeats,
+            "seed": seed,
+            "permutations": permutations,
+            "chunk_sizes": [int(c) for c in chunk_sizes],
+        },
+        "cases": cases,
+        "oracle": oracle,
+        "checks": checks,
+    }
+
+
+_REQUIRED_TOP = ("schema", "environment", "config", "cases", "checks")
+_REQUIRED_CASE = (
+    "n_words",
+    "k",
+    "params",
+    "n",
+    "words_seconds",
+    "superacc_seconds",
+    "speedup",
+    "bit_identical",
+)
+_REQUIRED_CHECKS = (
+    "bit_identical_all",
+    "oracle_bit_identical",
+    "speedup_headline",
+    "superacc_faster",
+    "passed",
+)
+
+
+def validate_report(doc: dict) -> list[str]:
+    """Structural validation of a regression report; returns problems
+    (empty list means the document conforms to :data:`SCHEMA`)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["report is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    for i, case in enumerate(doc.get("cases", [])):
+        for key in _REQUIRED_CASE:
+            if key not in case:
+                problems.append(f"cases[{i}] missing key {key!r}")
+    checks = doc.get("checks", {})
+    if isinstance(checks, dict):
+        for key in _REQUIRED_CHECKS:
+            if key not in checks:
+                problems.append(f"checks missing key {key!r}")
+    return problems
+
+
+def format_summary(doc: dict) -> str:
+    """Human-readable one-screen summary of a report."""
+    lines = [f"bench regress (schema {doc['schema']})"]
+    for case in doc["cases"]:
+        lines.append(
+            "  {params:<14} n={n}  words {w:8.1f} ms  superacc {s:8.1f} ms"
+            "  speedup {x:5.2f}x  {eq}".format(
+                params=case["params"],
+                n=case["n"],
+                w=case["words_seconds"] * 1e3,
+                s=case["superacc_seconds"] * 1e3,
+                x=case["speedup"] or 0.0,
+                eq="bit-identical" if case["bit_identical"] else "MISMATCH",
+            )
+        )
+    oracle = doc.get("oracle")
+    if oracle:
+        lines.append(
+            "  oracle {params}: {t} permutation/chunk trials, {eq}".format(
+                params=oracle["params"],
+                t=len(oracle["trials"]),
+                eq=(
+                    "all bit-identical"
+                    if oracle["bit_identical"]
+                    else "MISMATCH"
+                ),
+            )
+        )
+    checks = doc["checks"]
+    lines.append(
+        "  headline {p}: {x:.2f}x (min {m:.2f}x) -> {verdict}".format(
+            p=checks["headline_params"],
+            x=checks["speedup_headline"] or 0.0,
+            m=checks["min_speedup"],
+            verdict="PASS" if checks["passed"] else "FAIL",
+        )
+    )
+    return "\n".join(lines)

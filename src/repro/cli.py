@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum.add_argument(
         "--words", action="store_true", help="also print the raw words"
     )
+    p_sum.add_argument(
+        "--engine",
+        choices=("superacc", "words"),
+        default="superacc",
+        help="hp batch engine: exponent-binned superaccumulator (default) "
+        "or the word-matrix path — bit-identical results either way",
+    )
 
     p_dot = sub.add_parser("dot", help="exact dot product of two vectors",
                            parents=[obs_flags])
@@ -172,6 +179,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", metavar="PATH", action="append", default=None,
         help="validate an emitted metrics/trace/run-report JSON file "
         "against the documented schema instead of running (repeatable)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark-regression harness (superacc vs words engines)",
+        description="Runs the pinned regression matrix from "
+        "repro.bench.regress: times both batch engines over every "
+        "Table-1 configuration, pins bit-identity against the scalar "
+        "oracle across input permutations and chunk sizes, and writes "
+        "a schema-versioned BENCH_<pr>.json report.  Exit status is 0 "
+        "only when every check passes.",
+    )
+    p_bench.add_argument(
+        "--regress", action="store_true",
+        help="run the regression matrix (required; reserves room for "
+        "other bench modes)",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="report path (default BENCH_<pr>.json in the CWD)",
+    )
+    p_bench.add_argument("--pr", type=int, default=3,
+                         help="PR number stamped into the report name")
+    p_bench.add_argument("--n", type=int, default=None,
+                         help="summands per case (default 1<<20)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timing repeats, best-of (default 3)")
+    p_bench.add_argument("--seed", type=int, default=None)
+    p_bench.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="required headline superacc speedup over the words path "
+        "(default 1.0: must not regress below parity)",
+    )
+    p_bench.add_argument(
+        "--skip-oracle", action="store_true",
+        help="skip the scalar-oracle bit-identity stage (quick smoke)",
     )
 
     p_lint = sub.add_parser(
@@ -248,7 +291,7 @@ def _cmd_sum(args) -> int:
             )
         else:
             params = HPParams(2, 1)
-        words = batch_sum_doubles(xs, params)
+        words = batch_sum_doubles(xs, params, method=args.engine)
         print(repr(to_double(words, params)))
         if args.words:
             print(f"{params}:", " ".join(f"{w:016x}" for w in words))
@@ -500,6 +543,36 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import default_report_name, run_regress
+    from repro.bench import regress as _regress
+
+    if not args.regress:
+        print("error: bench requires --regress (the only mode so far)",
+              file=sys.stderr)
+        return 2
+
+    kwargs = {"pr": args.pr, "min_speedup": args.min_speedup,
+              "skip_oracle": args.skip_oracle}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    doc = run_regress(**kwargs)
+
+    out = args.out or default_report_name(args.pr)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(_regress.format_summary(doc))
+    print(f"report written to {out}")
+    return 0 if doc["checks"]["passed"] else 1
+
+
 def _cmd_calibration(args) -> int:
     from repro.perfmodel.calibration import calibration_anchors, render_calibration
 
@@ -520,6 +593,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "calibration": _cmd_calibration,
         "stats": _cmd_stats,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)

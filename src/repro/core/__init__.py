@@ -35,6 +35,7 @@ from repro.core.matvec import CSRMatrix, hp_matvec, hp_spmv
 from repro.core.multi import HPMultiAccumulator
 from repro.core.norms import exact_norm2, exact_sum_abs, sqrt_correctly_rounded
 from repro.core.streaming import AdaptiveAccumulator
+from repro.core.superacc import SuperAccumulator, superacc_total
 from repro.core.hpnum import HPNumber
 from repro.core.params import HPParams, TABLE1_CONFIGS, suggest_params
 from repro.core.scalar import (
@@ -63,6 +64,8 @@ __all__ = [
     "HPAccumulator",
     "HPMultiAccumulator",
     "AdaptiveAccumulator",
+    "SuperAccumulator",
+    "superacc_total",
     "hp_dot",
     "hp_dot_words",
     "dot_params",

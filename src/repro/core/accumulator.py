@@ -136,6 +136,29 @@ class HPAccumulator:
         for x in xs:
             self.add(x)
 
+    def add_doubles(self, xs, method: str = "superacc") -> None:
+        """Bulk-absorb an array of doubles through the vectorized engine.
+
+        Bit-identical to calling :meth:`add` per element in any order
+        (the order-invariance property), but with per-summand cost
+        independent of ``N`` under the default superaccumulator engine.
+        ``method`` is forwarded to
+        :func:`repro.core.vectorized.batch_sum_doubles`.
+        """
+        import numpy as np
+
+        from repro.core.vectorized import batch_sum_doubles
+
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        if xs.shape[0] == 0:
+            return
+        batch = batch_sum_doubles(
+            xs, self.params, check_overflow=self.check_overflow, method=method
+        )
+        count = self.count
+        self.add_words(batch)
+        self.count = count + int(xs.shape[0])
+
     def merge(self, other: "HPAccumulator") -> None:
         """Fold another accumulator's partial sum into this one
         (the global-reduction step of the paper's benchmarks)."""

@@ -120,26 +120,48 @@ def dot_params(
 
 
 def hp_dot_words(
-    xs: np.ndarray, ys: np.ndarray, params: HPParams, chunk: int = 1 << 20
+    xs: np.ndarray,
+    ys: np.ndarray,
+    params: HPParams,
+    chunk: int = 1 << 20,
+    method: str = "superacc",
 ) -> Words:
     """Exact HP words of ``sum(xs * ys)`` (vectorized engine).
 
     Both the rounded products and their error terms are folded in, so
     the result is the exact inner product — invariant to term order.
+    ``method`` selects the summation engine exactly as in
+    :func:`repro.core.vectorized.batch_sum_doubles`.
     """
-    total = 0
     xs = np.ascontiguousarray(xs, dtype=np.float64)
     ys = np.ascontiguousarray(ys, dtype=np.float64)
     if xs.shape != ys.shape or xs.ndim != 1:
         raise ValueError(
             f"need equal-length 1-D arrays, got {xs.shape} and {ys.shape}"
         )
-    from repro.core.vectorized import batch_from_double
+    if method == "superacc":
+        from repro.core.superacc import SuperAccumulator
 
-    for start in range(0, len(xs), chunk):
-        p, e = split_products(xs[start:start + chunk], ys[start:start + chunk])
-        total += _signed_total(batch_from_double(p, params))
-        total += _signed_total(batch_from_double(e, params))
+        engine = SuperAccumulator(params, chunk=chunk)
+        for start in range(0, len(xs), chunk):
+            p, e = split_products(
+                xs[start:start + chunk], ys[start:start + chunk]
+            )
+            engine.absorb(p)
+            engine.absorb(e)
+        total = engine.total()
+    elif method == "words":
+        from repro.core.vectorized import batch_from_double
+
+        total = 0
+        for start in range(0, len(xs), chunk):
+            p, e = split_products(
+                xs[start:start + chunk], ys[start:start + chunk]
+            )
+            total += _signed_total(batch_from_double(p, params))
+            total += _signed_total(batch_from_double(e, params))
+    else:
+        raise ValueError(f"unknown summation method {method!r}")
     if not params.min_int <= total <= params.max_int:
         from repro.errors import AdditionOverflowError
 

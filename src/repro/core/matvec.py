@@ -38,6 +38,7 @@ def hp_matvec(
     matrix: np.ndarray,
     x: np.ndarray,
     params: HPParams | None = None,
+    method: str = "superacc",
 ) -> np.ndarray:
     """Exact ``matrix @ x`` with one correctly-rounded double per row.
 
@@ -63,7 +64,9 @@ def hp_matvec(
         )
     out = np.empty(matrix.shape[0], dtype=np.float64)
     for i in range(matrix.shape[0]):
-        out[i] = to_double(hp_dot_words(matrix[i], x, params), params)
+        out[i] = to_double(
+            hp_dot_words(matrix[i], x, params, method=method), params
+        )
     return out
 
 
@@ -118,6 +121,7 @@ def hp_spmv(
     matrix: CSRMatrix,
     x: np.ndarray,
     params: HPParams | None = None,
+    method: str = "superacc",
 ) -> np.ndarray:
     """Exact sparse matrix-vector product, invariant to nonzero order."""
     x = np.ascontiguousarray(x, dtype=np.float64)
@@ -138,5 +142,7 @@ def hp_spmv(
     out = np.empty(matrix.shape[0], dtype=np.float64)
     for i in range(matrix.shape[0]):
         vals, cols = matrix.row(i)
-        out[i] = to_double(hp_dot_words(vals, x[cols], params), params)
+        out[i] = to_double(
+            hp_dot_words(vals, x[cols], params, method=method), params
+        )
     return out

@@ -101,6 +101,50 @@ class AdaptiveAccumulator:
         for x in xs:
             self.add(float(x))
 
+    def extend_array(self, xs) -> None:
+        """Vectorized :meth:`extend`: one widening decision and one
+        superaccumulator pass for the whole array.
+
+        Ends at exactly the state sequential :meth:`add` calls reach —
+        the discovered format is the join of the per-value formats, which
+        is order-free — except that ``widenings`` counts at most one
+        event per batch rather than one per widening summand.
+        """
+        import numpy as np
+
+        from repro.core.superacc import superacc_total
+
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        if xs.ndim != 1:
+            raise ValueError(f"expected 1-D input, got shape {xs.shape}")
+        if not np.isfinite(xs).all():
+            from repro.errors import ConversionOverflowError
+
+            raise ConversionOverflowError("cannot accumulate non-finite values")
+        self.count += int(xs.shape[0])
+        nonzero = xs[xs != 0.0]
+        if nonzero.shape[0] == 0:
+            return
+        mantissa_f, exponent = np.frexp(nonzero)
+        mant = np.abs((mantissa_f * float(1 << 53)).astype(np.int64))
+        # Exponent of the lowest set bit: mant & -mant isolates it as a
+        # power of two, which converts to float64 and through log2
+        # exactly.
+        lowbit = (mant & -mant).astype(np.float64)
+        trailing = np.log2(lowbit).astype(np.int64)
+        den_bits = int(np.max(53 - exponent.astype(np.int64) - trailing))
+        if den_bits > self._frac_bits:
+            # Same word-aligned widening rule as the scalar add().
+            self._widen_fraction(-(-den_bits // WORD_BITS) * WORD_BITS)
+        # A throwaway format wide enough for every element of this batch;
+        # its fraction equals the (word-aligned) running binary point, so
+        # the exact scaled total drops straight into the running sum.
+        k = self._frac_bits // WORD_BITS
+        max_exp = int(np.max(exponent))  # every |x| < 2**max_exp
+        whole_words = max(1, -(-(max_exp + 2) // WORD_BITS))
+        params = HPParams(k + whole_words, k)
+        self._scaled += superacc_total(nonzero, params)
+
     def merge(self, other: "AdaptiveAccumulator") -> None:
         """Combine two adaptive partial sums exactly (cross-PE merge)."""
         target = max(self._frac_bits, other._frac_bits)

@@ -49,18 +49,26 @@ _MANT_BITS = 53
 # chunk * N words while staying far below the 2**31 half-sum safety bound.
 _DEFAULT_CHUNK = 1 << 20
 
+# Named uint64 scalars (rule HP005: a bare literal next to a uint64 value
+# promotes the pair to float64 and rounds through a 53-bit significand).
+_U0 = np.uint64(0)
+_U1 = np.uint64(1)
+_U2 = np.uint64(2)
+_U4 = np.uint64(4)
+_U8 = np.uint64(8)
+_U10 = np.uint64(10)
+_U11 = np.uint64(11)
+_U16 = np.uint64(16)
+_U32 = np.uint64(32)
+_U53 = np.uint64(53)
+_U63 = np.uint64(63)
+_ULOW10 = np.uint64(0x3FF)
+
 
 def _check_finite_in_range(x: np.ndarray, params: HPParams) -> None:
-    if not np.isfinite(x).all():
-        raise ConversionOverflowError("input contains NaN or infinity")
-    limit = 2.0**params.whole_bits
-    # The asymmetric two's-complement range admits exactly -limit.
-    bad = (x >= limit) | (x < -limit)
-    if bad.any():
-        idx = int(np.argmax(bad))
-        raise ConversionOverflowError(
-            f"element {idx} = {x.flat[idx]!r} outside {params} range ±{limit!r}"
-        )
+    from repro.core.superacc import check_finite_in_range
+
+    check_finite_in_range(x, params)
 
 
 def batch_from_double(xs: np.ndarray, params: HPParams) -> np.ndarray:
@@ -112,15 +120,24 @@ def batch_from_double(xs: np.ndarray, params: HPParams) -> np.ndarray:
 
 def _negate_rows_inplace(words: np.ndarray, mask: np.ndarray) -> None:
     """Two's-complement the selected rows: flip all bits, add one at the
-    least significant word, ripple the carry toward column 0."""
-    # uint64 dtype wraps in hardware; masking is the dtype's job here.
-    words[mask] = ~words[mask]  # hp: noqa[HP001]
-    carry = mask.copy()
-    for col in range(words.shape[1] - 1, -1, -1):
+    least significant word, ripple the carry toward column 0.
+
+    The selected rows are gathered once, negated in the compact copy
+    (uint64 dtype wraps in hardware, so masking is the dtype's job), and
+    scattered back once — fancy indexing on the full matrix would copy
+    twice per column of the ripple.
+    """
+    if not mask.any():
+        return
+    rows = words[mask]
+    np.invert(rows, out=rows)
+    carry = np.ones(rows.shape[0], dtype=bool)
+    for col in range(rows.shape[1] - 1, -1, -1):
         if not carry.any():
             break
-        words[carry, col] += np.uint64(1)
-        carry = carry & (words[:, col] == 0)
+        rows[carry, col] += _U1
+        carry = carry & (rows[:, col] == _U0)
+    words[mask] = rows
 
 
 def column_sums_int(words: np.ndarray) -> int:
@@ -170,15 +187,20 @@ def batch_sum_words(
             f"expected shape (n, {params.n}) for {params}, got {words.shape}"
         )
     total = _signed_total(words)
+    return _finalize_total(total, params, check_overflow)
+
+
+def _finalize_total(total: int, params: HPParams, check_overflow: bool = True) -> Words:
+    """Range-check a true (unwrapped) integer sum and wrap it into the
+    ``64N``-bit two's-complement field — the shared tail of every exact
+    batch reduction (word-matrix, superaccumulator, dot products)."""
     if check_overflow and not (params.min_int <= total <= params.max_int):
-        raise AdditionOverflowError(
-            f"batch sum {total} outside {params} range"
-        )
+        raise AdditionOverflowError(f"batch sum {total} outside {params} range")
     field = 1 << (64 * params.n)
     wrapped = total % field
     if wrapped >= field >> 1:
         wrapped -= field
-    return from_int_scaled(wrapped, params) if check_overflow else _wrap(wrapped, params)
+    return _wrap(wrapped, params)
 
 
 def _wrap(value: int, params: HPParams) -> Words:
@@ -192,45 +214,153 @@ def batch_sum_doubles(
     params: HPParams,
     chunk: int = _DEFAULT_CHUNK,
     check_overflow: bool = True,
+    method: str = "superacc",
 ) -> Words:
     """Fused convert-and-sum of an array of doubles into HP words.
 
-    Processes ``chunk`` elements at a time so temporary storage stays at
-    ``chunk * N`` words regardless of input size.  This is the routine the
+    Processes ``chunk`` elements at a time so temporary storage stays
+    bounded regardless of input size.  This is the routine the
     figure-4/5-8 benchmarks drive for 16M-32M summands.
+
+    ``method`` selects the engine — both produce bit-identical words:
+
+    ``"superacc"`` (default)
+        The exponent-binned superaccumulator
+        (:mod:`repro.core.superacc`): per-summand cost independent of
+        ``N``, typically several times faster for ``N >= 4``.
+    ``"words"``
+        The original word-matrix path (``batch_from_double`` +
+        column sums): ``O(n * N)`` work, kept as the reference engine.
     """
     xs = np.ascontiguousarray(xs, dtype=np.float64)
     if xs.ndim != 1:
         raise ValueError(f"expected 1-D input, got shape {xs.shape}")
     if chunk <= 0:
         raise ValueError(f"chunk must be positive, got {chunk}")
-    total = 0
-    for start in range(0, xs.shape[0], chunk):
-        piece = batch_from_double(xs[start : start + chunk], params)
-        total += _signed_total(piece)
-    if check_overflow and not (params.min_int <= total <= params.max_int):
-        raise AdditionOverflowError(f"batch sum {total} outside {params} range")
-    field = 1 << (64 * params.n)
-    wrapped = total % field
-    if wrapped >= field >> 1:
-        wrapped -= field
-    return _wrap(wrapped, params)
+    if method == "superacc":
+        from repro.core.superacc import superacc_total
+
+        total = superacc_total(xs, params, chunk=chunk)
+    elif method == "words":
+        total = 0
+        for start in range(0, xs.shape[0], chunk):
+            piece = batch_from_double(xs[start : start + chunk], params)
+            total += _signed_total(piece)
+    else:
+        raise ValueError(f"unknown summation method {method!r}")
+    return _finalize_total(total, params, check_overflow)
 
 
-def batch_to_double(words: np.ndarray, params: HPParams) -> np.ndarray:
-    """Convert HP word-vector rows back to (correctly rounded) doubles.
-
-    Not a hot path — decoding happens once per reduction — so this walks
-    rows in Python and reuses the exact big-int division of the scalar
-    path.
-    """
+def _to_double_rows_scalar(words: np.ndarray, params: HPParams) -> np.ndarray:
+    """Row-by-row decode through the exact big-int scalar path — the
+    oracle the vectorized decode is property-tested against, and the
+    fallback for rows near the double subnormal/overflow boundaries."""
     from repro.core.scalar import to_double
 
-    if words.ndim != 2 or words.shape[1] != params.n:
-        raise ValueError(
-            f"expected shape (n, {params.n}) for {params}, got {words.shape}"
-        )
     return np.array(
         [to_double(tuple(int(w) for w in row), params) for row in words],
         dtype=np.float64,
     )
+
+
+def batch_to_double(
+    words: np.ndarray, params: HPParams, method: str = "vectorized"
+) -> np.ndarray:
+    """Convert HP word-vector rows back to correctly rounded doubles.
+
+    The vectorized decode gathers each row's top three nonzero-leading
+    words, normalizes them to the leading bit, and applies IEEE
+    round-half-to-even with an exact sticky bit (suffix-OR of every word
+    below the 54-bit window plus the bits shifted out of it).  Rows whose
+    leading bit sits near the double subnormal or overflow boundary
+    (``E_lead < -1021`` or ``E_lead > 1022``) are delegated to the scalar
+    big-int path, which avoids double rounding through the subnormal
+    encoding and preserves :class:`NormalizationOverflowError` semantics.
+    ``method="scalar"`` forces the oracle path for every row.
+    """
+    if words.ndim != 2 or words.shape[1] != params.n:
+        raise ValueError(
+            f"expected shape (n, {params.n}) for {params}, got {words.shape}"
+        )
+    if method == "scalar":
+        return _to_double_rows_scalar(words, params)
+    if method != "vectorized":
+        raise ValueError(f"unknown decode method {method!r}")
+    n_vals, n_words = words.shape
+    result = np.zeros(n_vals, dtype=np.float64)
+    if n_vals == 0:
+        return result
+
+    mag = np.ascontiguousarray(words, dtype=np.uint64).copy()
+    neg = (mag[:, 0] >> _U63) != _U0
+    _negate_rows_inplace(mag, neg)
+
+    nonzero = mag != _U0
+    any_nz = nonzero.any(axis=1)
+    if not any_nz.any():
+        return result
+    hw_col = np.argmax(nonzero, axis=1)  # most significant nonzero column
+    row = np.arange(n_vals)
+
+    # Suffix OR of whole words strictly below the 3-word window: sticky
+    # contribution of everything the window cannot see.
+    acc_or = np.zeros((n_vals, n_words + 1), dtype=np.uint64)
+    for col in range(n_words - 1, -1, -1):
+        acc_or[:, col] = acc_or[:, col + 1] | mag[:, col]
+    tail_or = acc_or[row, np.minimum(hw_col + 3, n_words)]
+
+    padded = np.concatenate(
+        [mag, np.zeros((n_vals, 2), dtype=np.uint64)], axis=1
+    )
+    top = padded[row, hw_col]
+    next1 = padded[row, hw_col + 1]
+    next2 = padded[row, hw_col + 2]
+
+    # Position of the leading bit within the top word, by binary search
+    # (float log2 would misplace it when 2**53-rounding crosses a power
+    # of two).
+    lead = np.zeros(n_vals, dtype=np.uint64)
+    probe = top.copy()
+    for step in (_U32, _U16, _U8, _U4, _U2, _U1):
+        big = (probe >> step) != _U0
+        lead[big] += step
+        probe[big] >>= step
+
+    # Top 64 bits of the magnitude, aligned so the leading bit is bit 63.
+    # ``(next1 >> 1) >> lead`` expresses ``next1 >> (lead + 1)`` without
+    # an undefined shift-by-64 at lead == 63.
+    hi64 = (top << (_U63 - lead)) | ((next1 >> _U1) >> lead)
+    m53 = hi64 >> _U11
+    round_bit = (hi64 >> _U10) & _U1
+    # Sticky: low 10 bits of the window, the next1 bits shifted out of it
+    # (``(2 << lead) - 1`` wraps to all-ones at lead == 63, deliberately),
+    # the third word, and every word below the window.
+    dropped_mask = (_U2 << lead) - _U1
+    sticky = (
+        ((hi64 & _ULOW10) != _U0)
+        | ((next1 & dropped_mask) != _U0)
+        | (next2 != _U0)
+        | (tail_or != _U0)
+    )
+    mantissa = m53 + (round_bit & (sticky.astype(np.uint64) | (m53 & _U1)))
+
+    e_lead = (
+        64 * (n_words - 1 - hw_col.astype(np.int64))
+        + lead.astype(np.int64)
+        - params.frac_bits
+    )
+    carried = (mantissa >> _U53) != _U0  # rounded up to 2**53
+    e_lead = e_lead + carried.astype(np.int64)
+    mantissa = np.where(carried, mantissa >> _U1, mantissa)
+
+    hard = any_nz & ((e_lead < -1021) | (e_lead > 1022))
+    easy = any_nz & ~hard
+    if easy.any():
+        value = np.ldexp(
+            mantissa[easy].astype(np.float64),
+            (e_lead[easy] - 52).astype(np.int32),
+        )
+        result[easy] = np.where(neg[easy], -value, value)
+    if hard.any():
+        result[hard] = _to_double_rows_scalar(words[hard], params)
+    return result

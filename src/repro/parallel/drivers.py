@@ -26,6 +26,7 @@ from repro.parallel.methods import (
     DoubleMethod,
     HallbergMethod,
     HPMethod,
+    HPSuperaccMethod,
     ReductionMethod,
 )
 from repro.parallel.phi import offload_reduce
@@ -68,16 +69,28 @@ def make_method(
         if params is not None and not isinstance(params, HPParams):
             raise TypeError(f"hp needs HPParams, got {type(params).__name__}")
         return HPMethod(params or HPParams(6, 3))
+    if method == "hp-superacc":
+        if params is not None and not isinstance(params, HPParams):
+            raise TypeError(
+                f"hp-superacc needs HPParams, got {type(params).__name__}"
+            )
+        return HPSuperaccMethod(params or HPParams(6, 3))
     if method == "hallberg":
         if params is not None and not isinstance(params, HallbergParams):
             raise TypeError(
                 f"hallberg needs HallbergParams, got {type(params).__name__}"
             )
         return HallbergMethod(params or HallbergParams(10, 38))
-    raise ValueError(f"unknown method {method!r}; pick hp/hallberg/double")
+    raise ValueError(
+        f"unknown method {method!r}; pick hp/hp-superacc/hallberg/double"
+    )
 
 
 def _extract_words(method: ReductionMethod, partial: Any) -> tuple | None:
+    if isinstance(method, HPSuperaccMethod):
+        # Fold bins to HP words so results compare bitwise against the
+        # word-carrying hp adapter.
+        return tuple(method.words(partial))
     if isinstance(method, HPMethod):
         return tuple(partial)
     if isinstance(method, HallbergMethod):
@@ -162,6 +175,22 @@ def _dispatch(
         if name == "double":
             g = gpu_sum(data, "double", num_threads=pes, **kwargs)
             value, partial = g.value, None
+        elif name == "hp-superacc":
+            # Binned partials need the block-structured kernel: bins are
+            # signed lanes merged by carry-free atomic adds, which the
+            # 256-partial atomic kernel's word layout does not model.
+            from repro.parallel.gpu.block_reduce import gpu_block_sum
+
+            block_size = 1
+            while block_size * 2 <= min(pes, 256):
+                block_size *= 2
+            num_blocks = max(1, -(-pes // block_size))
+            g = gpu_block_sum(
+                data, "hp-superacc", num_blocks=num_blocks,
+                block_size=block_size, params=adapter.params, **kwargs,
+            )
+            value, partial = g.value, tuple(g.global_words)
+            pes = num_blocks * block_size
         else:
             g = gpu_sum(data, name, num_threads=pes,
                         params=adapter.params, **kwargs)

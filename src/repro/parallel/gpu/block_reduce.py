@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.params import HPParams
 from repro.core.scalar import add_words, from_double as hp_from_double
 from repro.core.scalar import to_double as hp_to_double
+from repro.core.superacc import bin_count, fold_bins, scatter_double
+from repro.core.vectorized import _finalize_total
 from repro.hallberg.params import HallbergParams
 from repro.hallberg.scalar import hb_add, hb_from_double, hb_to_double
 from repro.parallel.gpu.device import SimDevice
@@ -135,10 +137,14 @@ def _decode_signed(words):
 
 
 def _method_ops(method_name: str, params):
-    """(identity, convert, combine, finalize, decode, words_per_value)
-    for the shared-memory tree.  ``decode`` maps raw memory words back
-    to the method's working representation (Hallberg digits are signed;
-    HP words and double bits are unsigned)."""
+    """(identity, convert, combine, finalize, decode, words_per_value,
+    elementwise_merge) for the shared-memory tree.  ``decode`` maps raw
+    memory words back to the method's working representation (Hallberg
+    digits and superacc bins are signed; HP words and double bits are
+    unsigned).  ``elementwise_merge`` marks representations whose words
+    are independent signed lanes: the leader's global merge must be one
+    atomic add per word with NO inter-word carry, because a wrap of a
+    signed lane (e.g. a negative bin crossing zero) is not a carry."""
     if method_name == "double":
         return (
             (0,),
@@ -147,6 +153,7 @@ def _method_ops(method_name: str, params):
             lambda w: _b2f(w[0]),
             lambda w: w,
             1,
+            False,
         )
     if method_name == "hp":
         if not isinstance(params, HPParams):
@@ -158,6 +165,22 @@ def _method_ops(method_name: str, params):
             lambda w: hp_to_double(w, params),
             lambda w: w,
             params.n,
+            False,
+        )
+    if method_name == "hp-superacc":
+        if not isinstance(params, HPParams):
+            raise TypeError("hp-superacc kernel requires HPParams")
+        nbins = bin_count(params)
+        return (
+            (0,) * nbins,
+            lambda x: scatter_double(x, params, nbins),
+            lambda a, b: tuple(x + y for x, y in zip(a, b)),
+            lambda bins: hp_to_double(
+                _finalize_total(fold_bins(bins), params), params
+            ),
+            _decode_signed,
+            nbins,
+            True,
         )
     if method_name == "hallberg":
         if not isinstance(params, HallbergParams):
@@ -170,6 +193,7 @@ def _method_ops(method_name: str, params):
             lambda w: hb_to_double(w, params),
             _decode_signed,
             params.n,
+            False,
         )
     raise ValueError(f"unknown method {method_name!r}")
 
@@ -194,9 +218,15 @@ def gpu_block_sum(
     n = len(data)
     if num_blocks < 1 or block_size < 1 or block_size & (block_size - 1):
         raise ValueError("need >= 1 block and a power-of-two block size")
-    identity, convert, combine, finalize, decode, words_per = _method_ops(
-        method_name, params
-    )
+    (
+        identity,
+        convert,
+        combine,
+        finalize,
+        decode,
+        words_per,
+        elementwise_merge,
+    ) = _method_ops(method_name, params)
 
     total_threads = num_blocks * block_size
     # Memory map: [data n][global partial words_per][shared: per block,
@@ -258,6 +288,14 @@ def gpu_block_sum(
                     if ok:
                         break
                     old = observed
+            elif elementwise_merge:
+                # Signed independent lanes (superacc bins): one atomic
+                # add per word, two's-complement wrap is the signed add.
+                for w in range(words_per - 1, -1, -1):
+                    addend = words[w] & MASK64
+                    if addend == 0:
+                        continue
+                    yield from _atomic_add_word(mem, n + w)(addend)
             else:
                 carry = 0
                 for w in range(words_per - 1, -1, -1):
@@ -275,7 +313,8 @@ def gpu_block_sum(
     steps = launch_blocks(device, blocks)
 
     raw = mem.dump(n, words_per)
-    global_words = decode(tuple(raw)) if method_name == "hallberg" else tuple(raw)
+    signed_repr = method_name in ("hallberg", "hp-superacc")
+    global_words = decode(tuple(raw)) if signed_repr else tuple(raw)
     partials = [
         finalize(decode(load_words(slot_addr(b, 0))))
         for b in range(num_blocks)

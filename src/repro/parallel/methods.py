@@ -19,8 +19,9 @@ import numpy as np
 
 from repro.core.accumulator import HPAccumulator
 from repro.core.params import HPParams
-from repro.core.scalar import add_words_checked, to_double
-from repro.core.vectorized import batch_sum_doubles
+from repro.core.scalar import Words, add_words_checked, to_double
+from repro.core.superacc import SuperAccumulator, bin_count, fold_bins
+from repro.core.vectorized import _finalize_total, batch_sum_doubles
 from repro.errors import SummandLimitError
 from repro.hallberg.accumulator import HallbergAccumulator
 from repro.hallberg.params import HallbergParams
@@ -34,6 +35,7 @@ __all__ = [
     "ReductionMethod",
     "DoubleMethod",
     "HPMethod",
+    "HPSuperaccMethod",
     "HallbergMethod",
     "standard_methods",
 ]
@@ -115,16 +117,26 @@ class HPMethod(ReductionMethod[tuple]):
 
     name = "hp"
 
-    def __init__(self, params: HPParams, vectorized: bool = True) -> None:
+    def __init__(
+        self,
+        params: HPParams,
+        vectorized: bool = True,
+        engine: str = "superacc",
+    ) -> None:
         self.params = params
         self.vectorized = vectorized
+        self.engine = engine
 
     def identity(self) -> tuple:
         return (0,) * self.params.n
 
     def local_reduce(self, xs: np.ndarray) -> tuple:
         if self.vectorized:
-            return batch_sum_doubles(np.asarray(xs, dtype=np.float64), self.params)
+            return batch_sum_doubles(
+                np.asarray(xs, dtype=np.float64),
+                self.params,
+                method=self.engine,
+            )
         acc = HPAccumulator(self.params)
         for x in xs:
             acc.add(float(x))
@@ -138,6 +150,51 @@ class HPMethod(ReductionMethod[tuple]):
 
     def partial_nbytes(self) -> int:
         return 8 * self.params.n
+
+
+class HPSuperaccMethod(ReductionMethod[tuple]):
+    """The HP method with exponent-binned partials.
+
+    Where :class:`HPMethod` ships ``N``-word vectors between PEs, this
+    adapter keeps partials in superaccumulator form
+    (:mod:`repro.core.superacc`): a tuple of signed integer bins with bin
+    ``i`` weighted ``2**(32*i)``.  Bins merge by plain elementwise
+    addition — exact, associative, and carry-free — so any combine tree
+    over any partition yields the same fold, and the fold is converted to
+    HP words (and range-checked) exactly once at :meth:`finalize`.  The
+    resulting words are bit-identical to :class:`HPMethod` over the same
+    data.
+    """
+
+    name = "hp-superacc"
+
+    def __init__(self, params: HPParams, chunk: int = 1 << 20) -> None:
+        self.params = params
+        self.chunk = chunk
+        self.nbins = bin_count(params)
+
+    def identity(self) -> tuple:
+        return (0,) * self.nbins
+
+    def local_reduce(self, xs: np.ndarray) -> tuple:
+        engine = SuperAccumulator(self.params, chunk=self.chunk)
+        engine.absorb(np.asarray(xs, dtype=np.float64))
+        return engine.bins
+
+    def combine(self, a: tuple, b: tuple) -> tuple:
+        return tuple(x + y for x, y in zip(a, b))
+
+    def words(self, partial: tuple) -> Words:
+        """Fold a bin partial into range-checked HP words."""
+        return _finalize_total(fold_bins(partial), self.params, True)
+
+    def finalize(self, partial: tuple) -> float:
+        return to_double(self.words(partial), self.params)
+
+    def partial_nbytes(self) -> int:
+        # 16-byte signed bins on the wire (SuperaccBinsType): int64
+        # scatter headroom plus fold carry never exceeds 128 bits.
+        return 16 * self.nbins
 
 
 class HallbergMethod(ReductionMethod[tuple]):

@@ -14,6 +14,7 @@ from repro.parallel.simmpi.datatypes import (
     DoubleType,
     HallbergPartialType,
     HPWordsType,
+    SuperaccBinsType,
     datatype_for_method,
 )
 from repro.parallel.simmpi.reduce import (
@@ -30,6 +31,7 @@ __all__ = [
     "Datatype",
     "DoubleType",
     "HPWordsType",
+    "SuperaccBinsType",
     "HallbergPartialType",
     "datatype_for_method",
     "scatterv",

@@ -20,6 +20,7 @@ __all__ = [
     "Datatype",
     "DoubleType",
     "HPWordsType",
+    "SuperaccBinsType",
     "HallbergPartialType",
     "datatype_for_method",
 ]
@@ -88,6 +89,47 @@ class HPWordsType(Datatype):
         return struct.unpack(self._fmt, buf)
 
 
+class SuperaccBinsType(Datatype):
+    """Superaccumulator bin partials: fixed-size signed 128-bit bins.
+
+    A bin holds an int64 scatter residue plus a 32-bit window of the
+    fold carry, and combine trees add bins across ranks, so the wire
+    slot is 16 bytes signed little-endian per bin — enough headroom that
+    no realistic reduction tree can overflow a slot.
+    """
+
+    _BIN_BYTES = 16
+
+    def __init__(self, params: HPParams) -> None:
+        from repro.core.superacc import bin_count
+
+        self.params = params
+        self.nbins = bin_count(params)
+
+    @property
+    def nbytes(self) -> int:
+        return self._BIN_BYTES * self.nbins
+
+    def pack(self, value: tuple) -> bytes:
+        if len(value) != self.nbins:
+            raise ValueError(
+                f"expected {self.nbins} bins for {self.params}, "
+                f"got {len(value)}"
+            )
+        return b"".join(
+            int(limb).to_bytes(self._BIN_BYTES, "little", signed=True)
+            for limb in value
+        )
+
+    def unpack(self, buf: bytes) -> tuple:
+        self.check(buf)
+        size = self._BIN_BYTES
+        return tuple(
+            int.from_bytes(buf[i * size : (i + 1) * size], "little", signed=True)
+            for i in range(self.nbins)
+        )
+
+
 class HallbergPartialType(Datatype):
     """``N`` signed 64-bit digits plus the summand count (budget
     accounting travels on the wire with the digits)."""
@@ -112,10 +154,17 @@ class HallbergPartialType(Datatype):
 
 def datatype_for_method(method) -> Datatype:
     """Pick the wire codec matching a :class:`ReductionMethod`."""
-    from repro.parallel.methods import DoubleMethod, HallbergMethod, HPMethod
+    from repro.parallel.methods import (
+        DoubleMethod,
+        HallbergMethod,
+        HPMethod,
+        HPSuperaccMethod,
+    )
 
     if isinstance(method, DoubleMethod):
         return DoubleType()
+    if isinstance(method, HPSuperaccMethod):
+        return SuperaccBinsType(method.params)
     if isinstance(method, HPMethod):
         return HPWordsType(method.params)
     if isinstance(method, HallbergMethod):

@@ -151,3 +151,57 @@ class TestBatchToDouble:
     def test_shape_check(self):
         with pytest.raises(ValueError):
             batch_to_double(np.zeros((2, 5), dtype=np.uint64), P)
+
+    def test_vectorized_matches_scalar_oracle(self, rng, hp_params):
+        """The NumPy decode against the scalar to_double loop, over rows
+        biased toward rounding hazards: long runs of ones/zeros below
+        the round bit (tie and sticky cases), negatives, and tiny
+        magnitudes."""
+        n = hp_params.n
+        rows = rng.integers(0, 1 << 64, (1500, n), dtype=np.uint64)
+        # bias: zero out low words to hit exact ties, saturate others to
+        # hit all-ones sticky runs, clear high words for subnormal-ish
+        # magnitudes
+        rows[::3, n // 2:] = 0
+        rows[1::3, n // 2:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        rows[2::3, : max(n - 1, 1)] = 0
+        signs = rng.integers(0, 2, 1500, dtype=np.uint64)
+        rows[signs == 1, 0] |= np.uint64(1) << np.uint64(63)
+        fast = batch_to_double(rows, hp_params)
+        oracle = batch_to_double(rows, hp_params, method="scalar")
+        assert np.array_equal(fast, oracle)
+
+    def test_signed_zero_free(self):
+        """Word rows equal to zero decode to +0.0, matching to_double."""
+        rows = np.zeros((4, P.n), dtype=np.uint64)
+        out = batch_to_double(rows, P)
+        assert np.array_equal(out, np.zeros(4))
+        assert not np.signbit(out).any()
+
+    def test_negative_roundtrip(self, rng, hp_params):
+        xs = -np.abs(rng.uniform(0.001, 50.0, 200))
+        words = batch_from_double(xs, hp_params)
+        assert np.array_equal(batch_to_double(words, hp_params), xs)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            batch_to_double(np.zeros((1, P.n), dtype=np.uint64), P,
+                            method="fast")
+
+
+class TestEngineParity:
+    """batch_sum_doubles(method=...) is a pure engine switch."""
+
+    def test_default_is_superacc(self, rng):
+        xs = rng.uniform(-1.0, 1.0, 1000)
+        assert batch_sum_doubles(xs, P) == batch_sum_doubles(
+            xs, P, method="superacc"
+        )
+
+    def test_words_engine_matches(self, rng, hp_params):
+        xs = rng.choice([-1.0, 1.0], 2000) * np.exp2(
+            rng.uniform(-40, 40, 2000)
+        )
+        assert batch_sum_doubles(xs, hp_params, method="words") == (
+            batch_sum_doubles(xs, hp_params, method="superacc")
+        )

@@ -1,0 +1,118 @@
+"""Integration tests for the benchmark-regression harness and its CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    default_report_name,
+    run_regress,
+    validate_report,
+)
+from repro.bench.regress import format_summary
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    # Small n keeps the module fast; the oracle stage still runs so the
+    # bit-identity machinery is exercised end to end.
+    return run_regress(n=4000, repeats=1, pr=3)
+
+
+class TestRunRegress:
+    def test_schema_and_structure(self, report):
+        assert report["schema"] == SCHEMA
+        assert validate_report(report) == []
+
+    def test_covers_table1(self, report):
+        assert [(c["n_words"], c["k"]) for c in report["cases"]] == [
+            (2, 1), (3, 2), (6, 3), (8, 4),
+        ]
+
+    def test_engines_bit_identical(self, report):
+        assert report["checks"]["bit_identical_all"] is True
+        assert all(c["bit_identical"] for c in report["cases"])
+
+    def test_oracle_trials_cover_matrix(self, report):
+        oracle = report["oracle"]
+        assert oracle["bit_identical"] is True
+        # >= 3 permutations x >= 2 chunk sizes, every trial identical
+        assert oracle["permutations"] >= 3
+        assert len(oracle["chunk_sizes"]) >= 2
+        assert len(oracle["trials"]) == (
+            oracle["permutations"] * len(oracle["chunk_sizes"])
+        )
+        assert all(t["bit_identical"] for t in oracle["trials"])
+
+    def test_headline_is_widest_format(self, report):
+        assert report["checks"]["headline_params"] == "HP(N=8, k=4)"
+
+    def test_skip_oracle(self):
+        doc = run_regress(n=1000, repeats=1, skip_oracle=True)
+        assert doc["oracle"] is None
+        assert doc["checks"]["oracle_bit_identical"] is True
+
+    def test_unreachable_speedup_fails(self):
+        doc = run_regress(n=1000, repeats=1, skip_oracle=True,
+                          min_speedup=1e9)
+        assert doc["checks"]["superacc_faster"] is False
+        assert doc["checks"]["passed"] is False
+
+    def test_validate_flags_problems(self, report):
+        broken = dict(report, schema="something/else")
+        assert validate_report(broken)
+        assert validate_report({"schema": SCHEMA}) != []
+
+    def test_summary_renders(self, report):
+        text = format_summary(report)
+        assert "PASS" in text
+        assert "HP(N=8, k=4)" in text
+
+    def test_default_report_name(self):
+        assert default_report_name(3) == "BENCH_3.json"
+
+
+class TestBenchCLI:
+    def test_regress_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--regress", "--n", "2000", "--repeats", "1",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_report(doc) == []
+        assert doc["checks"]["passed"] is True
+        assert "report written" in capsys.readouterr().out
+
+    def test_requires_regress_flag(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--regress" in capsys.readouterr().err
+
+    def test_failing_gate_exits_nonzero(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--regress", "--n", "2000", "--repeats", "1",
+            "--skip-oracle", "--min-speedup", "1e9", "--out", str(out),
+        ])
+        assert rc == 1
+        assert json.loads(out.read_text())["checks"]["passed"] is False
+
+
+class TestCommittedTrajectoryPoint:
+    def test_bench_3_json_is_valid(self):
+        """The committed BENCH_3.json must conform and pass its gates."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_3.json"
+        doc = json.loads(path.read_text())
+        assert validate_report(doc) == []
+        checks = doc["checks"]
+        assert checks["passed"] is True
+        # the PR acceptance bar: >= 2x at the N=8 / 1M headline case
+        assert checks["speedup_headline"] >= 2.0
+        assert doc["config"]["n"] >= 1_000_000
