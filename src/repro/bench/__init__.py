@@ -1,4 +1,4 @@
-"""Benchmark-regression harness for the summation engines.
+"""Benchmark harnesses: engine regression and strong scaling.
 
 ``repro bench --regress`` runs a pinned benchmark matrix comparing the
 word-matrix batch path against the exponent-binned superaccumulator
@@ -7,6 +7,12 @@ word-matrix batch path against the exponent-binned superaccumulator
 superaccumulator stops being faster than the words path at the headline
 configuration (N=8 words, one million summands) or when either engine
 stops being bit-identical to the scalar accumulator oracle.
+
+``repro bench --scaling`` measures *real wall-clock* strong scaling of
+the ``procs`` substrate (:mod:`repro.parallel.procpool`) for double /
+hp / hp-superacc at >= 4M summands over p in {1, 2, 4, 8}, reports
+parallel efficiency, and gates on bit-identity plus a machine-aware
+minimum speedup (schema ``repro.bench.scaling/1``).
 """
 
 from repro.bench.regress import (
@@ -15,5 +21,24 @@ from repro.bench.regress import (
     run_regress,
     validate_report,
 )
+from repro.bench.scaling import (
+    SCALING_SCHEMA,
+    auto_min_speedup,
+    format_scaling_summary,
+    run_scaling,
+    usable_cpu_count,
+    validate_scaling_report,
+)
 
-__all__ = ["SCHEMA", "default_report_name", "run_regress", "validate_report"]
+__all__ = [
+    "SCHEMA",
+    "SCALING_SCHEMA",
+    "auto_min_speedup",
+    "default_report_name",
+    "format_scaling_summary",
+    "run_regress",
+    "run_scaling",
+    "usable_cpu_count",
+    "validate_report",
+    "validate_scaling_report",
+]

@@ -116,6 +116,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="hp batch engine: exponent-binned superaccumulator (default) "
         "or the word-matrix path — bit-identical results either way",
     )
+    p_sum.add_argument(
+        "--substrate",
+        choices=("serial", "threads", "procs", "mpi", "mpi-scatter", "phi"),
+        default=None,
+        help="run the sum through a parallel substrate (procs = true "
+        "multicore process pool); default is the direct serial engine",
+    )
+    p_sum.add_argument(
+        "--pes", type=int, default=4,
+        help="PE count for --substrate runs (default 4)",
+    )
+    p_sum.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="procs substrate worker start method (default: fork where "
+        "available, else spawn)",
+    )
+    p_sum.add_argument(
+        "--ooc", action="store_true",
+        help="out-of-core: stream a .npy input through np.memmap in "
+        "per-worker chunks instead of loading it (requires "
+        "--substrate procs and a .npy input)",
+    )
 
     p_dot = sub.add_parser("dot", help="exact dot product of two vectors",
                            parents=[obs_flags])
@@ -183,38 +206,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="benchmark-regression harness (superacc vs words engines)",
-        description="Runs the pinned regression matrix from "
-        "repro.bench.regress: times both batch engines over every "
-        "Table-1 configuration, pins bit-identity against the scalar "
-        "oracle across input permutations and chunk sizes, and writes "
-        "a schema-versioned BENCH_<pr>.json report.  Exit status is 0 "
-        "only when every check passes.",
+        help="benchmark harnesses (--regress engines / --scaling procs)",
+        description="Two modes.  --regress runs the pinned regression "
+        "matrix from repro.bench.regress: times both batch engines over "
+        "every Table-1 configuration, pins bit-identity against the "
+        "scalar oracle across input permutations and chunk sizes.  "
+        "--scaling runs the strong-scaling matrix from "
+        "repro.bench.scaling: real wall-clock timings of the procs "
+        "substrate for double/hp/hp-superacc over p in {1,2,4,8}, "
+        "gated on bit-identity and a machine-aware minimum speedup.  "
+        "Both write a schema-versioned BENCH_<pr>.json report; exit "
+        "status is 0 only when every check passes.",
     )
     p_bench.add_argument(
         "--regress", action="store_true",
-        help="run the regression matrix (required; reserves room for "
-        "other bench modes)",
+        help="run the engine-regression matrix (superacc vs words)",
+    )
+    p_bench.add_argument(
+        "--scaling", action="store_true",
+        help="run the procs-substrate strong-scaling matrix",
     )
     p_bench.add_argument(
         "--out", metavar="PATH", default=None,
         help="report path (default BENCH_<pr>.json in the CWD)",
     )
-    p_bench.add_argument("--pr", type=int, default=3,
-                         help="PR number stamped into the report name")
+    p_bench.add_argument("--pr", type=int, default=None,
+                         help="PR number stamped into the report name "
+                         "(default: 3 for --regress, 4 for --scaling)")
     p_bench.add_argument("--n", type=int, default=None,
-                         help="summands per case (default 1<<20)")
+                         help="summands per case (default 1<<20 regress, "
+                         "4<<20 scaling)")
     p_bench.add_argument("--repeats", type=int, default=None,
                          help="timing repeats, best-of (default 3)")
     p_bench.add_argument("--seed", type=int, default=None)
     p_bench.add_argument(
-        "--min-speedup", type=float, default=1.0,
-        help="required headline superacc speedup over the words path "
-        "(default 1.0: must not regress below parity)",
+        "--min-speedup", type=float, default=None,
+        help="regress: required headline superacc speedup over the words "
+        "path (default 1.0).  scaling: required procs speedup over serial "
+        "at the gate PE count (default: auto for this machine's core "
+        "count; 0 waives the gate, bit-identity still enforced)",
     )
     p_bench.add_argument(
         "--skip-oracle", action="store_true",
-        help="skip the scalar-oracle bit-identity stage (quick smoke)",
+        help="regress only: skip the scalar-oracle bit-identity stage",
+    )
+    p_bench.add_argument(
+        "--pes-list", metavar="P,P,...", default=None,
+        help="scaling only: comma-separated PE counts (default 1,2,4,8)",
+    )
+    p_bench.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None, dest="bench_start_method",
+        help="scaling only: worker start method (default: fork where "
+        "available, else spawn)",
     )
 
     p_lint = sub.add_parser(
@@ -259,7 +303,78 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_sum_substrate(args) -> int:
+    """``repro sum --substrate ...``: route through the parallel layer
+    (including the true-multicore ``procs`` pool and its out-of-core
+    streaming path)."""
+    from repro.core.params import HPParams
+    from repro.hallberg.params import HallbergParams
+    from repro.parallel.drivers import global_sum, make_method
+    from repro.parallel.procpool import procpool_reduce
+
+    if args.method not in ("hp", "hallberg", "double"):
+        print(
+            f"error: --substrate supports hp/hallberg/double, "
+            f"not {args.method}",
+            file=sys.stderr,
+        )
+        return 2
+    method = args.method
+    params = None
+    if method == "hp":
+        # superacc engine ships bin partials; words engine ships words.
+        method = "hp-superacc" if args.engine == "superacc" else "hp"
+        if args.params:
+            params = HPParams(*args.params)
+    elif args.params:
+        params = HallbergParams(*args.params)
+
+    if args.ooc:
+        if args.substrate != "procs" or not args.input.endswith(".npy"):
+            print(
+                "error: --ooc requires --substrate procs and a .npy input",
+                file=sys.stderr,
+            )
+            return 2
+        adapter = make_method(method, params)
+        r = procpool_reduce(
+            args.input, adapter, args.pes, start_method=args.start_method,
+        )
+        print(repr(r.value))
+        if args.words and adapter.is_exact():
+            from repro.parallel.drivers import _extract_words
+
+            words = _extract_words(adapter, r.partial)
+            print(f"{adapter.name}:", _format_words(adapter.name, words))
+        return 0
+
+    kwargs = {}
+    if args.substrate == "procs" and args.start_method:
+        kwargs["start_method"] = args.start_method
+    result = global_sum(
+        _load_values(args.input), method=method, substrate=args.substrate,
+        pes=args.pes, params=params, **kwargs,
+    )
+    print(repr(result.value))
+    if args.words and result.words is not None:
+        print(f"{result.method}:",
+              _format_words(result.method, result.words))
+    return 0
+
+
+def _format_words(method: str, words: tuple) -> str:
+    """Hex for 64-bit HP words, plain ints for signed Hallberg digits."""
+    if method.startswith("hp"):
+        return " ".join(f"{w:016x}" for w in words)
+    return " ".join(str(w) for w in words)
+
+
 def _cmd_sum(args) -> int:
+    if args.substrate is not None:
+        return _cmd_sum_substrate(args)
+    if args.ooc:
+        print("error: --ooc requires --substrate procs", file=sys.stderr)
+        return 2
     from repro.core.params import HPParams, suggest_params
     from repro.core.scalar import to_double
     from repro.core.vectorized import batch_sum_doubles
@@ -546,29 +661,61 @@ def _cmd_lint(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    from repro.bench import default_report_name, run_regress
-    from repro.bench import regress as _regress
-
-    if not args.regress:
-        print("error: bench requires --regress (the only mode so far)",
+    if args.regress == args.scaling:  # neither, or both
+        print("error: bench requires exactly one of --regress / --scaling",
               file=sys.stderr)
         return 2
 
-    kwargs = {"pr": args.pr, "min_speedup": args.min_speedup,
-              "skip_oracle": args.skip_oracle}
-    if args.n is not None:
-        kwargs["n"] = args.n
-    if args.repeats is not None:
-        kwargs["repeats"] = args.repeats
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
-    doc = run_regress(**kwargs)
+    if args.scaling:
+        from repro.bench import (
+            format_scaling_summary,
+            run_scaling,
+            validate_scaling_report,
+        )
 
-    out = args.out or default_report_name(args.pr)
+        pr = args.pr if args.pr is not None else 4
+        kwargs = {"pr": pr, "min_speedup": args.min_speedup,
+                  "start_method": args.bench_start_method}
+        if args.n is not None:
+            kwargs["n"] = args.n
+        if args.repeats is not None:
+            kwargs["repeats"] = args.repeats
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.pes_list is not None:
+            kwargs["pes_list"] = [
+                int(tok) for tok in args.pes_list.split(",") if tok
+            ]
+        doc = run_scaling(**kwargs)
+        problems = validate_scaling_report(doc)
+        if problems:  # a bug in the harness itself, not the run
+            for p in problems:
+                print(f"error: scaling report invalid: {p}",
+                      file=sys.stderr)
+            return 2
+        summary = format_scaling_summary(doc)
+    else:
+        from repro.bench import default_report_name, run_regress
+        from repro.bench import regress as _regress
+
+        pr = args.pr if args.pr is not None else 3
+        kwargs = {"pr": pr, "skip_oracle": args.skip_oracle,
+                  "min_speedup": (args.min_speedup
+                                  if args.min_speedup is not None else 1.0)}
+        if args.n is not None:
+            kwargs["n"] = args.n
+        if args.repeats is not None:
+            kwargs["repeats"] = args.repeats
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        doc = run_regress(**kwargs)
+        summary = _regress.format_summary(doc)
+
+    out = args.out or f"BENCH_{pr}.json"
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
-    print(_regress.format_summary(doc))
+    print(summary)
     print(f"report written to {out}")
     return 0 if doc["checks"]["passed"] else 1
 

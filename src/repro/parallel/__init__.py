@@ -4,6 +4,9 @@ Each substrate runs the same global-summation skeleton (local reductions
 + global combine) with interchangeable methods (double / HP / Hallberg):
 
 * :mod:`repro.parallel.threads` — OpenMP analog (fork/join team, Fig. 5)
+* :mod:`repro.parallel.procpool` — true multicore (shared-memory
+  process pool with out-of-core streaming; the repo's real wall-clock
+  strong-scaling substrate)
 * :mod:`repro.parallel.simmpi` — MPI analog (binomial reduce over byte
   channels with custom datatypes, Fig. 6)
 * :mod:`repro.parallel.gpu` — CUDA analog (atomic 256-partial kernel on
@@ -24,7 +27,14 @@ from repro.parallel.methods import (
     standard_methods,
 )
 from repro.parallel.partition import block_ranges, block_slices, round_robin_indices
-from repro.parallel.schedule import Schedule, assign_blocks, scheduled_reduce
+from repro.parallel.procpool import ProcPool, ProcReduceResult, procpool_reduce
+from repro.parallel.schedule import (
+    Schedule,
+    assign_blocks,
+    chunk_ranges,
+    scheduled_partial,
+    scheduled_reduce,
+)
 from repro.parallel.threads import ThreadReduceResult, thread_reduce
 
 __all__ = [
@@ -34,7 +44,12 @@ __all__ = [
     "make_method",
     "Schedule",
     "assign_blocks",
+    "chunk_ranges",
+    "scheduled_partial",
     "scheduled_reduce",
+    "ProcPool",
+    "ProcReduceResult",
+    "procpool_reduce",
     "ReductionMethod",
     "DoubleMethod",
     "HPMethod",

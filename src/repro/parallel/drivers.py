@@ -30,13 +30,14 @@ from repro.parallel.methods import (
     ReductionMethod,
 )
 from repro.parallel.phi import offload_reduce
-from repro.parallel.schedule import Schedule, scheduled_reduce
+from repro.parallel.procpool import procpool_reduce
+from repro.parallel.schedule import Schedule, scheduled_partial
 from repro.parallel.simmpi import distributed_sum, mpi_reduce
 from repro.parallel.threads import thread_reduce
 
 __all__ = ["GlobalSumResult", "global_sum", "SUBSTRATES", "make_method"]
 
-SUBSTRATES = ("serial", "threads", "mpi", "mpi-scatter", "gpu", "phi")
+SUBSTRATES = ("serial", "threads", "procs", "mpi", "mpi-scatter", "gpu", "phi")
 
 
 @dataclass(frozen=True)
@@ -110,10 +111,12 @@ def global_sum(
     """Sum ``data`` with ``method`` on ``substrate`` using ``pes`` PEs.
 
     Substrates: ``serial`` (one PE), ``threads`` (OpenMP analog, accepts
-    ``schedule=``), ``mpi`` (pre-placed ranks), ``mpi-scatter``
-    (root-held data, full SPMD), ``gpu`` (atomic-kernel device
-    simulation — small inputs only), ``phi`` (offload).  Extra kwargs
-    pass through to the substrate driver.
+    ``schedule=``), ``procs`` (true multicore: shared-memory process
+    pool, accepts ``schedule=`` / ``start_method=`` / ``chunk=``),
+    ``mpi`` (pre-placed ranks), ``mpi-scatter`` (root-held data, full
+    SPMD), ``gpu`` (atomic-kernel device simulation — small inputs
+    only), ``phi`` (offload).  Extra kwargs pass through to the
+    substrate driver.
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     adapter = make_method(method, params)
@@ -156,13 +159,18 @@ def _dispatch(
         pes = 1
     elif substrate == "threads":
         if schedule is not None:
-            value = scheduled_reduce(data, adapter, pes, schedule)
-            partial = adapter.local_reduce(data)  # exact: same words
+            # The scheduled combine already holds the exact words — no
+            # second full-array pass to recover them.
+            partial = scheduled_partial(data, adapter, pes, schedule)
+            value = adapter.finalize(partial)
             if not adapter.is_exact():
                 partial = None
         else:
             r = thread_reduce(data, adapter, pes, **kwargs)
             value, partial = r.value, r.partial
+    elif substrate == "procs":
+        r = procpool_reduce(data, adapter, pes, schedule=schedule, **kwargs)
+        value, partial = r.value, r.partial
     elif substrate == "mpi":
         r = mpi_reduce(data, adapter, pes, **kwargs)
         value, partial = r.value, r.partial

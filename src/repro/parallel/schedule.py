@@ -31,7 +31,13 @@ import numpy as np
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 
-__all__ = ["Schedule", "assign_blocks", "scheduled_reduce"]
+__all__ = [
+    "Schedule",
+    "assign_blocks",
+    "chunk_ranges",
+    "scheduled_partial",
+    "scheduled_reduce",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +79,15 @@ def _chunks(n: int, schedule: Schedule, p: int) -> list[tuple[int, int]]:
     return out
 
 
+def chunk_ranges(n: int, schedule: Schedule, p: int) -> list[tuple[int, int]]:
+    """The ordered chunk list a ``p``-PE scheduler deals out for ``n``
+    elements — the unit of claiming for work-queue substrates (the
+    process pool hands these to whichever worker is free next)."""
+    if p < 1:
+        raise ValueError(f"need >= 1 PE, got {p}")
+    return _chunks(n, schedule, p)
+
+
 def assign_blocks(
     n: int, num_threads: int, schedule: Schedule
 ) -> list[list[tuple[int, int]]]:
@@ -105,17 +120,19 @@ def assign_blocks(
     return blocks
 
 
-def scheduled_reduce(
+def scheduled_partial(
     data: np.ndarray,
     method: ReductionMethod,
     num_threads: int,
     schedule: Schedule = Schedule(),
 ) -> Any:
-    """Global summation under an arbitrary schedule.
+    """The combined (un-finalized) partial of a scheduled reduction.
 
     Each thread reduces its blocks in claim order into a thread partial;
     the master combines partials in thread-id order — the OpenMP
-    reduction clause's structure.  Returns the finalized double.
+    reduction clause's structure.  Callers that need both the double and
+    the exact words should take this partial and ``finalize`` it, rather
+    than re-reducing the whole array to recover the words.
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
     assignment = assign_blocks(len(data), num_threads, schedule)
@@ -125,4 +142,17 @@ def scheduled_reduce(
         for lo, hi in thread_blocks:
             partial = method.combine(partial, method.local_reduce(data[lo:hi]))
         total = method.combine(total, partial)
-    return method.finalize(total)
+    return total
+
+
+def scheduled_reduce(
+    data: np.ndarray,
+    method: ReductionMethod,
+    num_threads: int,
+    schedule: Schedule = Schedule(),
+) -> Any:
+    """Global summation under an arbitrary schedule, finalized to a
+    double (:func:`scheduled_partial` keeps the exact partial)."""
+    return method.finalize(
+        scheduled_partial(data, method, num_threads, schedule)
+    )

@@ -8,9 +8,14 @@ import pytest
 
 from repro.bench import (
     SCHEMA,
+    SCALING_SCHEMA,
+    auto_min_speedup,
     default_report_name,
+    format_scaling_summary,
     run_regress,
+    run_scaling,
     validate_report,
+    validate_scaling_report,
 )
 from repro.bench.regress import format_summary
 from repro.cli import main
@@ -103,6 +108,104 @@ class TestBenchCLI:
         assert json.loads(out.read_text())["checks"]["passed"] is False
 
 
+@pytest.fixture(scope="module")
+def scaling_report() -> dict:
+    # Tiny n and two PE counts keep the module fast while still running
+    # real worker processes end to end; min_speedup=0 waives the
+    # wall-clock gate (meaningless at this scale), bit-identity stays on.
+    return run_scaling(n=20_000, pes_list=(1, 2), repeats=1,
+                       min_speedup=0.0, pr=4)
+
+
+class TestRunScaling:
+    def test_schema_and_structure(self, scaling_report):
+        assert scaling_report["schema"] == SCALING_SCHEMA
+        assert validate_scaling_report(scaling_report) == []
+
+    def test_covers_matrix(self, scaling_report):
+        cases = scaling_report["cases"]
+        assert {(c["method"], c["pes"]) for c in cases} == {
+            (m, p)
+            for m in ("double", "hp", "hp-superacc")
+            for p in (1, 2)
+        }
+
+    def test_exact_methods_bit_identical(self, scaling_report):
+        assert scaling_report["checks"]["bit_identical_all"] is True
+        for case in scaling_report["cases"]:
+            if case["method"] == "double":
+                assert case["bit_identical"] is None
+            else:
+                assert case["bit_identical"] is True
+
+    def test_waived_gate_passes(self, scaling_report):
+        checks = scaling_report["checks"]
+        assert checks["speedup_gate_waived"] is True
+        assert checks["passed"] is True
+
+    def test_environment_records_machine(self, scaling_report):
+        env = scaling_report["environment"]
+        assert env["cpu_count"] >= 1
+        assert env["start_method"] in ("fork", "spawn", "forkserver")
+
+    def test_unreachable_gate_fails(self):
+        doc = run_scaling(n=2000, pes_list=(1, 2), repeats=1,
+                          min_speedup=1e9)
+        assert doc["checks"]["passed"] is False
+        assert doc["checks"]["speedup_gate_waived"] is False
+
+    def test_auto_min_speedup_tiers(self):
+        assert auto_min_speedup(1) == 0.0
+        assert auto_min_speedup(2) == 1.2
+        assert auto_min_speedup(3) == 1.2
+        assert auto_min_speedup(4) == 2.0
+        assert auto_min_speedup(64) == 2.0
+
+    def test_validate_flags_problems(self, scaling_report):
+        assert validate_scaling_report(
+            dict(scaling_report, schema="other/1")
+        )
+        assert validate_scaling_report({"schema": SCALING_SCHEMA}) != []
+
+    def test_summary_renders(self, scaling_report):
+        text = format_scaling_summary(scaling_report)
+        assert "PASS" in text
+        assert "bit-identical" in text
+        assert "waived" in text
+
+    def test_rejects_empty_pes_list(self):
+        with pytest.raises(ValueError):
+            run_scaling(n=100, pes_list=(), repeats=1)
+
+
+class TestScalingCLI:
+    def test_scaling_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "scaling.json"
+        rc = main([
+            "bench", "--scaling", "--n", "4000", "--pes-list", "1,2",
+            "--repeats", "1", "--min-speedup", "0", "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_scaling_report(doc) == []
+        assert doc["checks"]["passed"] is True
+        assert doc["pr"] == 4
+        assert "report written" in capsys.readouterr().out
+
+    def test_failing_gate_exits_nonzero(self, tmp_path):
+        out = tmp_path / "scaling.json"
+        rc = main([
+            "bench", "--scaling", "--n", "2000", "--pes-list", "1,2",
+            "--repeats", "1", "--min-speedup", "1e9", "--out", str(out),
+        ])
+        assert rc == 1
+        assert json.loads(out.read_text())["checks"]["passed"] is False
+
+    def test_rejects_both_modes(self, capsys):
+        assert main(["bench", "--regress", "--scaling"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
 class TestCommittedTrajectoryPoint:
     def test_bench_3_json_is_valid(self):
         """The committed BENCH_3.json must conform and pass its gates."""
@@ -116,3 +219,22 @@ class TestCommittedTrajectoryPoint:
         # the PR acceptance bar: >= 2x at the N=8 / 1M headline case
         assert checks["speedup_headline"] >= 2.0
         assert doc["config"]["n"] >= 1_000_000
+
+    def test_bench_4_json_is_valid(self):
+        """The committed BENCH_4.json strong-scaling point must conform
+        and pass its machine-aware gates."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_4.json"
+        doc = json.loads(path.read_text())
+        assert validate_scaling_report(doc) == []
+        checks = doc["checks"]
+        assert checks["passed"] is True
+        assert checks["bit_identical_all"] is True
+        # the PR acceptance bar: >= 4M summands over p up to 8
+        assert doc["config"]["n"] >= 4_000_000
+        assert max(doc["config"]["pes_list"]) >= 8
+        # gate honesty: waived only when the generating machine could
+        # not physically show a speedup
+        if checks["speedup_gate_waived"]:
+            assert checks["cpu_count"] < 2

@@ -65,6 +65,65 @@ class TestSum:
         assert code == 0 and out.strip() == "0.0"
 
 
+class TestSumSubstrate:
+    @pytest.fixture()
+    def npy(self, tmp_path, rng):
+        data = rng.uniform(-1.0, 1.0, 3000) * np.exp2(
+            rng.uniform(-15.0, 15.0, 3000)
+        )
+        f = tmp_path / "values.npy"
+        np.save(f, data)
+        return f
+
+    def test_procs_matches_serial_engine(self, npy, capsys):
+        code, serial_out, _ = run_cli(capsys, "sum", str(npy),
+                                      "--params", "6,3", "--words")
+        assert code == 0
+        code, procs_out, _ = run_cli(
+            capsys, "sum", str(npy), "--substrate", "procs", "--pes", "2",
+            "--params", "6,3", "--words",
+        )
+        assert code == 0
+        # same value line, same hex words (labels differ)
+        assert procs_out.splitlines()[0] == serial_out.splitlines()[0]
+        assert (procs_out.splitlines()[1].split(":")[1]
+                == serial_out.splitlines()[1].split(":")[1])
+
+    def test_ooc_streams_npy(self, npy, capsys):
+        code, direct_out, _ = run_cli(
+            capsys, "sum", str(npy), "--substrate", "procs", "--pes", "2",
+            "--params", "6,3", "--words",
+        )
+        assert code == 0
+        code, ooc_out, _ = run_cli(
+            capsys, "sum", str(npy), "--substrate", "procs", "--pes", "2",
+            "--params", "6,3", "--words", "--ooc",
+        )
+        assert code == 0
+        assert ooc_out == direct_out
+
+    def test_threads_substrate_still_routes(self, npy, capsys):
+        code, out, _ = run_cli(
+            capsys, "sum", str(npy), "--substrate", "threads", "--pes", "4",
+        )
+        assert code == 0 and out.strip()
+
+    def test_ooc_requires_procs(self, npy, capsys):
+        code, _, err = run_cli(capsys, "sum", str(npy), "--ooc")
+        assert code == 2 and "--substrate procs" in err
+        code, _, err = run_cli(
+            capsys, "sum", str(npy), "--substrate", "threads", "--ooc"
+        )
+        assert code == 2 and "--substrate procs" in err
+
+    def test_substrate_rejects_scalar_only_methods(self, npy, capsys):
+        code, _, err = run_cli(
+            capsys, "sum", str(npy), "--substrate", "procs",
+            "--method", "kahan",
+        )
+        assert code == 2 and "kahan" in err
+
+
 class TestDot:
     def test_exact(self, tmp_path, capsys):
         x = tmp_path / "x.txt"

@@ -14,8 +14,16 @@ from repro.parallel.methods import (
     DoubleMethod,
     HallbergMethod,
     HPMethod,
+    HPSuperaccMethod,
     standard_methods,
 )
+
+ALL_ADAPTERS = standard_methods() + [
+    HPSuperaccMethod(HPParams(6, 3)),
+    DoubleMethod(strict_serial=True),
+    HPMethod(HPParams(3, 2), vectorized=False),
+    HallbergMethod(HallbergParams(10, 38), vectorized=False),
+]
 
 
 class TestDoubleMethod:
@@ -88,6 +96,37 @@ class TestHallbergMethod:
 
     def test_wire_size_includes_count(self):
         assert HallbergMethod(HallbergParams(10, 38)).partial_nbytes() == 88
+
+
+class TestEmptyBlockIdentity:
+    """p > n partitions hand some PEs zero-length slices; every adapter
+    must treat one as the neutral element, or empty blocks would shift
+    the answer."""
+
+    @pytest.mark.parametrize(
+        "method", ALL_ADAPTERS,
+        ids=lambda m: f"{m.name}-{type(m).__name__}",
+    )
+    def test_empty_slice_is_identity(self, method):
+        assert method.local_reduce(np.empty(0, dtype=np.float64)) == (
+            method.identity()
+        )
+
+    @pytest.mark.parametrize(
+        "method", ALL_ADAPTERS,
+        ids=lambda m: f"{m.name}-{type(m).__name__}",
+    )
+    def test_identity_is_neutral_in_combine(self, method, rng):
+        part = method.local_reduce(rng.uniform(-1.0, 1.0, 50))
+        assert method.combine(method.identity(), part) == part
+        assert method.combine(part, method.identity()) == part
+
+    @pytest.mark.parametrize(
+        "method", ALL_ADAPTERS,
+        ids=lambda m: f"{m.name}-{type(m).__name__}",
+    )
+    def test_finalize_of_identity_is_zero(self, method):
+        assert method.finalize(method.identity()) == 0.0
 
 
 class TestStandardMethods:

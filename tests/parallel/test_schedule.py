@@ -10,7 +10,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.params import HPParams
 from repro.parallel.methods import DoubleMethod, HPMethod
-from repro.parallel.schedule import Schedule, assign_blocks, scheduled_reduce
+from repro.parallel.schedule import (
+    Schedule,
+    assign_blocks,
+    chunk_ranges,
+    scheduled_partial,
+    scheduled_reduce,
+)
 
 HP = HPMethod(HPParams(6, 3))
 
@@ -76,6 +82,43 @@ class TestAssignBlocks:
         a = assign_blocks(999, 5, Schedule("dynamic", 7))
         b = assign_blocks(999, 5, Schedule("dynamic", 7))
         assert a == b
+
+
+class TestChunkRanges:
+    @pytest.mark.parametrize("schedule", ALL_SCHEDULES, ids=str)
+    @pytest.mark.parametrize("n,p", [(100, 4), (7, 3), (0, 2), (5, 8)])
+    def test_covers_exactly_once(self, schedule, n, p):
+        seen = []
+        for lo, hi in chunk_ranges(n, schedule, p):
+            assert lo <= hi
+            seen.extend(range(lo, hi))
+        assert sorted(seen) == list(range(n))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, Schedule("static"), 0)
+
+
+class TestScheduledPartial:
+    """scheduled_reduce = finalize(scheduled_partial): the partial is
+    the combined un-finalized result a substrate driver can reuse
+    without a second pass over the data."""
+
+    @pytest.mark.parametrize("schedule", ALL_SCHEDULES, ids=str)
+    def test_finalize_of_partial_is_reduce(self, rng, schedule):
+        data = rng.uniform(-0.5, 0.5, 2000)
+        partial = scheduled_partial(data, HP, 4, schedule)
+        assert HP.finalize(partial) == scheduled_reduce(data, HP, 4, schedule)
+
+    def test_hp_partial_equals_serial_words(self, rng):
+        data = rng.uniform(-0.5, 0.5, 2000)
+        partial = scheduled_partial(data, HP, 4, Schedule("dynamic", 64))
+        assert partial == HP.local_reduce(data)
+
+    def test_empty_data_is_identity(self):
+        assert scheduled_partial(
+            np.empty(0), HP, 4, Schedule("static")
+        ) == HP.identity()
 
 
 class TestScheduledReduce:
