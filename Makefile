@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize bench-regress bench-scaling check
+.PHONY: test lint sanitize bench-regress bench-scaling serve check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,5 +36,13 @@ bench-regress:
 # (2x on >= 4 cores; waived — and recorded as waived — on one core).
 bench-scaling:
 	$(PYTHON) -m repro bench --scaling --out BENCH_4.json
+
+# Live telemetry: a continuously re-summed procs workload behind the
+# /metrics endpoint with the accuracy-drift monitor armed.  Scrape
+# with `curl localhost:9109/metrics | grep drift_` or watch it with
+# `python -m repro top` (docs/OBSERVABILITY.md, "Live telemetry").
+serve:
+	$(PYTHON) -m repro serve-metrics --port 9109 --workload 1000000 \
+		--substrate procs --pes 4
 
 check: lint test

@@ -99,19 +99,33 @@ def run_regress(
     min_speedup: float = 1.0,
     pr: int | None = None,
     skip_oracle: bool = False,
+    drift: bool = False,
 ) -> dict:
     """Run the pinned matrix; return the schema-versioned report dict.
 
     ``skip_oracle`` drops the scalar-oracle stage (used by quick smoke
-    runs; the full CI run always keeps it).
+    runs; the full CI run always keeps it).  ``drift`` additionally
+    arms the accuracy-drift monitor for the run — every Table-1 case is
+    shadow-summed and the monitor digest lands in the report under
+    ``"drift"`` (outside the timed sections).
     """
     import numpy as np
 
     from repro.core.params import TABLE1_CONFIGS, HPParams
+    from repro.core.scalar import to_double
     from repro.core.superacc import SuperAccumulator
     from repro.core.vectorized import batch_sum_doubles
 
     xs = _make_summands(n, seed)
+
+    drift_monitor = None
+    if drift:
+        from repro import observability as _observability
+        from repro.observability import monitor as _monitor
+
+        _observability.enable(enable_tracing=False)
+        drift_monitor = _monitor.MONITOR
+        drift_monitor.arm()
 
     cases = []
     headline = None
@@ -139,6 +153,15 @@ def run_regress(
             "bit_identical": bool(bit_identical),
         }
         cases.append(case)
+        if drift_monitor is not None:
+            # Outside the timed region: shadow-sum the case through the
+            # monitor with the engine's own adapter.
+            from repro.parallel.drivers import make_method
+
+            drift_monitor.observe(
+                xs, to_double(superacc_result, params),
+                make_method("hp-superacc", params), "bench-regress",
+            )
         if headline is None or n_words > headline["n_words"]:
             headline = case
 
@@ -188,7 +211,7 @@ def run_regress(
         "passed": bool(bit_identical_all and oracle_ok and superacc_faster),
     }
 
-    return {
+    doc = {
         "schema": SCHEMA,
         "pr": pr,
         "environment": {
@@ -207,6 +230,10 @@ def run_regress(
         "oracle": oracle,
         "checks": checks,
     }
+    if drift_monitor is not None:
+        doc["drift"] = drift_monitor.summary()
+        drift_monitor.disarm()
+    return doc
 
 
 _REQUIRED_TOP = ("schema", "environment", "config", "cases", "checks")

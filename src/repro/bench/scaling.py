@@ -103,17 +103,29 @@ def run_scaling(
     min_speedup: float | None = None,
     start_method: str | None = None,
     pr: int | None = None,
+    drift: bool = False,
 ) -> dict:
     """Run the strong-scaling matrix; return the schema-versioned report.
 
     ``min_speedup=None`` selects :func:`auto_min_speedup` for the current
     machine; pass an explicit value (0 waives) to pin the gate.
+    ``drift`` arms the accuracy-drift monitor: the procs substrate's own
+    hook then shadow-sums the (untimed) first reduction of every case
+    and the monitor digest lands in the report under ``"drift"``.
     """
     import numpy as np
 
     from repro.parallel.drivers import make_method
     from repro.parallel.methods import HPSuperaccMethod
     from repro.parallel.procpool import ProcPool, default_start_method
+
+    drift_monitor = None
+    if drift:
+        from repro import observability as _observability
+        from repro.observability import monitor as _monitor
+
+        _observability.enable(enable_tracing=False)
+        drift_monitor = _monitor.MONITOR
 
     pes_list = sorted(set(int(p) for p in pes_list))
     if not pes_list:
@@ -145,7 +157,15 @@ def run_scaling(
             pool.warmup()
             for method_name in methods:
                 adapter = make_method(method_name)
+                if drift_monitor is not None:
+                    # Armed for the untimed reduction only: the procs
+                    # hook shadow-sums it, and the timed repeats below
+                    # run with the monitor disarmed so the gate numbers
+                    # stay clean.
+                    drift_monitor.arm()
                 result = pool.reduce(adapter)
+                if drift_monitor is not None:
+                    drift_monitor.disarm()
                 seconds = _time_best(
                     lambda a=adapter: pool.reduce(a), repeats
                 )
@@ -195,7 +215,7 @@ def run_scaling(
         "passed": bool(bit_identical_all and speedup_ok),
     }
 
-    return {
+    doc = {
         "schema": SCALING_SCHEMA,
         "pr": pr,
         "environment": {
@@ -216,6 +236,9 @@ def run_scaling(
         "cases": cases,
         "checks": checks,
     }
+    if drift_monitor is not None:
+        doc["drift"] = drift_monitor.summary()
+    return doc
 
 
 _REQUIRED_TOP = ("schema", "environment", "config", "serial", "cases",

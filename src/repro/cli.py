@@ -17,11 +17,17 @@ Subcommands:
   files/directories; ``--sanitize-smoke`` additionally runs the runtime
   race/overflow sanitizer over a threaded smoke workload (also installed
   as the ``repro-lint`` console script; see ``docs/ANALYSIS.md``)
+* ``serve-metrics`` — live telemetry daemon: Prometheus ``/metrics``,
+  ``/healthz``, ``/snapshot``, optionally driving a continuous
+  instrumented workload with the accuracy-drift monitor armed
+* ``top``     — terminal dashboard polling a ``/snapshot`` endpoint
 
 Every compute subcommand also accepts ``--metrics-out PATH`` /
 ``--trace-out PATH``: observability is enabled for the run and the
 metrics/trace documents (schemas in ``docs/OBSERVABILITY.md``) are
-written on exit.
+written on exit.  ``--serve-metrics PORT`` additionally serves the live
+registry over HTTP for the duration of the run (``--serve-linger``
+keeps serving after the computation finishes).
 
 Examples::
 
@@ -90,6 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="enable tracing and write the span export JSON here",
+    )
+    obs_flags.add_argument(
+        "--prom-out", metavar="PATH", default=None,
+        help="enable metrics and write the Prometheus text exposition "
+        "here on exit",
+    )
+    obs_flags.add_argument(
+        "--perfetto-out", metavar="PATH", default=None,
+        help="enable tracing and write the Chrome/Perfetto trace-event "
+        "JSON here on exit",
+    )
+    obs_flags.add_argument(
+        "--serve-metrics", metavar="PORT", type=int, default=None,
+        dest="serve_metrics_port",
+        help="serve /metrics, /healthz and /snapshot on this port for "
+        "the duration of the run (0 = ephemeral port, printed on start); "
+        "also arms the accuracy-drift monitor",
+    )
+    obs_flags.add_argument(
+        "--serve-linger", metavar="SECONDS", type=float, default=0.0,
+        help="keep the --serve-metrics endpoint up this long after the "
+        "computation finishes (default 0)",
     )
 
     p_sum = sub.add_parser("sum", help="exact global sum of a vector",
@@ -251,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="regress only: skip the scalar-oracle bit-identity stage",
     )
     p_bench.add_argument(
+        "--drift", action="store_true",
+        help="arm the accuracy-drift monitor for the run and embed its "
+        "digest in the report under 'drift' (untimed stages only)",
+    )
+    p_bench.add_argument(
         "--pes-list", metavar="P,P,...", default=None,
         help="scaling only: comma-separated PE counts (default 1,2,4,8)",
     )
@@ -259,6 +292,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, dest="bench_start_method",
         help="scaling only: worker start method (default: fork where "
         "available, else spawn)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="live telemetry endpoint (/metrics, /healthz, /snapshot)",
+        description="Starts the stdlib HTTP telemetry server over the "
+        "process-wide metrics registry, with a background snapshot ring "
+        "for rate computation and the accuracy-drift monitor armed.  "
+        "With --workload N it also drives a continuous instrumented "
+        "global-sum workload so the endpoint has live traffic to show; "
+        "without it the server exposes whatever the process records.  "
+        "Runs until interrupted (or --iterations workload rounds).",
+    )
+    p_serve.add_argument("--port", type=int, default=9109,
+                         help="listen port (default 9109; 0 = ephemeral)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--interval", type=float, default=1.0,
+                         help="snapshot ring sampling period (default 1s)")
+    p_serve.add_argument(
+        "--workload", type=int, default=0, metavar="N",
+        help="drive a continuous workload of N summands per round "
+        "(default 0: serve only)",
+    )
+    p_serve.add_argument(
+        "--method", choices=("hp", "hp-superacc", "hallberg", "double"),
+        default="hp-superacc", help="workload method (default hp-superacc)",
+    )
+    p_serve.add_argument(
+        "--substrate", choices=("serial", "threads", "procs"),
+        default="threads", help="workload substrate (default threads)",
+    )
+    p_serve.add_argument("--pes", type=int, default=4,
+                         help="workload PE count (default 4)")
+    p_serve.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many workload rounds (default 0: forever)",
+    )
+    p_serve.add_argument(
+        "--drift-sample", type=int, default=1, metavar="K",
+        help="drift monitor samples every K-th batch (default 1)",
+    )
+    p_serve.add_argument("--seed", type=int, default=None)
+
+    p_top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a serve-metrics /snapshot endpoint",
+        description="Polls /snapshot on a running serve-metrics (or "
+        "--serve-metrics) endpoint and renders rates, drift, and hot "
+        "counters in place.  Ctrl-C exits.",
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:9109",
+        help="endpoint base URL (default http://127.0.0.1:9109)",
+    )
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="poll period in seconds (default 1)")
+    p_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="render this many frames then exit (default 0: forever)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of repainting in place",
     )
 
     p_lint = sub.add_parser(
@@ -658,6 +754,65 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve-metrics``: live telemetry daemon, optionally driving
+    a continuous instrumented workload."""
+    import time
+
+    from repro import observability as obs
+    from repro.observability import monitor as drift
+    from repro.observability.server import MetricsServer
+
+    obs.enable()
+    drift.enable(sample_period=max(1, args.drift_sample))
+
+    server = MetricsServer(
+        port=args.port, host=args.host, interval=args.interval
+    ).start()
+    # One parseable line on stdout: tests and scripts read the port
+    # from here (essential with --port 0).
+    print(f"serving telemetry on {server.url}", flush=True)
+
+    try:
+        if args.workload <= 0:
+            while True:
+                time.sleep(3600.0)
+        from repro.parallel.drivers import global_sum
+        from repro.util.rng import default_rng
+
+        rng = default_rng(args.seed)
+        rounds = 0
+        while True:
+            data = rng.uniform(-1.0, 1.0, args.workload)
+            global_sum(
+                data, method=args.method, substrate=args.substrate,
+                pes=args.pes,
+            )
+            rounds += 1
+            if args.iterations and rounds >= args.iterations:
+                # Keep serving until interrupted; the workload is done
+                # but the endpoint stays scrapeable.
+                while True:
+                    time.sleep(3600.0)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.close()
+        obs.disable()
+        drift.disable()
+
+
+def _cmd_top(args) -> int:
+    from repro.observability.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -675,7 +830,8 @@ def _cmd_bench(args) -> int:
 
         pr = args.pr if args.pr is not None else 4
         kwargs = {"pr": pr, "min_speedup": args.min_speedup,
-                  "start_method": args.bench_start_method}
+                  "start_method": args.bench_start_method,
+                  "drift": args.drift}
         if args.n is not None:
             kwargs["n"] = args.n
         if args.repeats is not None:
@@ -700,6 +856,7 @@ def _cmd_bench(args) -> int:
 
         pr = args.pr if args.pr is not None else 3
         kwargs = {"pr": pr, "skip_oracle": args.skip_oracle,
+                  "drift": args.drift,
                   "min_speedup": (args.min_speedup
                                   if args.min_speedup is not None else 1.0)}
         if args.n is not None:
@@ -741,27 +898,63 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "serve-metrics": _cmd_serve,
+        "top": _cmd_top,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
-    if metrics_out or trace_out:
+    prom_out = getattr(args, "prom_out", None)
+    perfetto_out = getattr(args, "perfetto_out", None)
+    serve_port = getattr(args, "serve_metrics_port", None)
+    any_out = metrics_out or trace_out or prom_out or perfetto_out
+    server = None
+    if any_out or serve_port is not None:
         from repro import observability as obs
 
-        obs.enable(enable_metrics=metrics_out is not None,
-                   enable_tracing=trace_out is not None)
+        obs.enable(
+            enable_metrics=(metrics_out is not None or prom_out is not None
+                            or serve_port is not None),
+            enable_tracing=(trace_out is not None
+                            or perfetto_out is not None
+                            or serve_port is not None),
+        )
+        if serve_port is not None:
+            from repro.observability import monitor as drift
+            from repro.observability.server import MetricsServer
+
+            drift.enable()
+            server = MetricsServer(port=serve_port, interval=0.5).start()
+            print(f"serving telemetry on {server.url}", flush=True)
     try:
         return handlers[args.command](args)
     except Exception as exc:  # clean CLI errors, full trace only via -X
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
-        if metrics_out or trace_out:
+        if server is not None:
+            import time as _time
+
+            linger = getattr(args, "serve_linger", 0.0) or 0.0
+            if linger > 0:
+                try:
+                    _time.sleep(linger)
+                except KeyboardInterrupt:
+                    pass
+            server.close()
+            from repro.observability import monitor as drift
+
+            drift.disable()
+        if any_out:
             from repro import observability as obs
 
             if metrics_out:
                 obs.write_metrics(metrics_out)
             if trace_out:
                 obs.write_trace(trace_out)
+            if prom_out:
+                obs.write_prometheus(prom_out)
+            if perfetto_out:
+                obs.write_chrome_trace(perfetto_out)
 
 
 if __name__ == "__main__":

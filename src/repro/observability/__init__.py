@@ -34,7 +34,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.observability import metrics, tracing
+from repro.observability import metrics, monitor, tracing
+from repro.observability.export import (
+    chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -42,7 +49,9 @@ from repro.observability.metrics import (
     MetricsRegistry,
     REGISTRY,
 )
+from repro.observability.monitor import MONITOR, DriftMonitor, monitoring
 from repro.observability.report import RunReport, write_metrics, write_trace
+from repro.observability.server import MetricsServer, SnapshotRing, serve_metrics
 from repro.observability.schema import (
     validate_document,
     validate_file,
@@ -70,6 +79,18 @@ __all__ = [
     "TRACER",
     "span",
     "traced",
+    # live telemetry: exporters, server, drift monitor
+    "prometheus_text",
+    "parse_prometheus_text",
+    "chrome_trace",
+    "write_prometheus",
+    "write_chrome_trace",
+    "MetricsServer",
+    "SnapshotRing",
+    "serve_metrics",
+    "DriftMonitor",
+    "MONITOR",
+    "monitoring",
     # reports + schemas
     "RunReport",
     "write_metrics",
@@ -102,9 +123,11 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Zero metrics and drop collected spans (gates are untouched)."""
+    """Zero metrics, drop collected spans, and clear the drift monitor's
+    tallies (gates and the monitor's armed state are untouched)."""
     REGISTRY.reset()
     TRACER.reset()
+    MONITOR.reset()
 
 
 @contextmanager

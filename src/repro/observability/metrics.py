@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from typing import Iterator, Mapping
 
 __all__ = [
@@ -170,11 +171,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        idx = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                idx = i
-                break
+        # First bound with ``value <= bound`` (bucket semantics are
+        # upper-inclusive); bisect keeps a wide ladder O(log B) instead
+        # of a linear scan per observation.
+        idx = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._count += 1
@@ -206,6 +206,21 @@ class Histogram:
             self._sum = 0.0
             self._min = None
             self._max = None
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative buckets: ``(le, count_of <= le)``
+        pairs ending with ``(+inf, total)``.  Storage stays per-bucket
+        (the JSON schema pins that); this is the exposition view, taken
+        under the lock so a concurrent observe can never yield a ladder
+        where a later bucket undercounts an earlier one."""
+        with self._lock:
+            running = 0
+            out: list[tuple[float, int]] = []
+            for bound, c in zip(self.buckets, self._counts):
+                running += c
+                out.append((bound, running))
+            out.append((float("inf"), running + self._counts[-1]))
+            return out
 
     def to_dict(self) -> dict:
         with self._lock:
@@ -313,10 +328,21 @@ class MetricsRegistry:
 
     def collect(self, prefix: str = "") -> list[dict]:
         """Export every metric (optionally name-filtered) as plain dicts,
-        sorted by (name, labels) for stable output."""
-        metrics = [m for m in self if m.name.startswith(prefix)]
-        metrics.sort(key=lambda m: (m.name, m.labels))
-        return [m.to_dict() for m in metrics]
+        sorted by (name, labels) for stable output.
+
+        The registry lock is held across the whole walk (not just the
+        dict copy), so a scrape that races :meth:`reset` sees every
+        series either before or after the wipe — never a half-cleared
+        registry.  Metric locks nest inside the registry lock, in that
+        order everywhere, so this cannot deadlock.
+        """
+        with self._lock:
+            metrics = [
+                m for m in self._metrics.values()
+                if m.name.startswith(prefix)
+            ]
+            metrics.sort(key=lambda m: (m.name, m.labels))
+            return [m.to_dict() for m in metrics]
 
     def snapshot(self, prefix: str = "") -> dict:
         """The full metrics document (see docs/OBSERVABILITY.md)."""
@@ -329,9 +355,13 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every registered metric (registration survives, so cached
-        references held by call sites stay valid)."""
-        for metric in self:
-            metric._reset()
+        references held by call sites stay valid).  Holds the registry
+        lock for the duration, pairing with :meth:`collect`, so a
+        concurrent scrape observes the registry wholly-before or
+        wholly-after the wipe."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._reset()
 
     def clear(self) -> None:
         """Drop every registration (tests use this for isolation)."""

@@ -1,0 +1,304 @@
+"""Live telemetry serving: ``/metrics``, ``/healthz``, ``/snapshot``.
+
+The JSON-file observability story is post-mortem; a long-running
+summation service needs its registry scrapeable *while it runs*.  This
+module is the stdlib-only serving layer:
+
+* :class:`SnapshotRing` — a background daemon thread samples the
+  registry every ``interval`` seconds into a bounded ring of
+  ``(timestamp, snapshot)`` pairs, so first-derivative rates
+  (summands/sec, carries/sec, CAS-failure ratio) come from *our own*
+  history instead of requiring two external scrapes.
+* :class:`MetricsServer` — a ``ThreadingHTTPServer`` exposing
+
+  - ``GET /metrics``  — Prometheus text exposition
+    (:func:`repro.observability.export.prometheus_text`);
+  - ``GET /healthz``  — liveness JSON (uptime, sample/request counts);
+  - ``GET /snapshot`` — the latest registry snapshot plus computed
+    rates, the payload ``repro top`` renders.
+
+Everything is daemonic and bounded: the ring holds at most
+``capacity`` snapshots, request handling reads lock-consistent
+registry state, and :meth:`MetricsServer.close` joins both the HTTP
+thread and the sampler.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.observability import metrics as _obs
+from repro.observability.export import prometheus_text
+from repro.observability.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["SnapshotRing", "MetricsServer", "serve_metrics"]
+
+
+class SnapshotRing:
+    """Bounded history of timestamped registry snapshots.
+
+    ``capacity`` bounds memory regardless of uptime; ``interval`` is the
+    sampling period.  :meth:`rates` differentiates counters between the
+    oldest and newest retained snapshots — a window of
+    ``capacity * interval`` seconds at most.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry = REGISTRY,
+        capacity: int = 120,
+        interval: float = 1.0,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(f"need >= 2 slots for a delta, got {capacity}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.registry = registry
+        self.capacity = capacity
+        self.interval = interval
+        self._ring: deque[tuple[float, dict]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self) -> dict:
+        """Take one snapshot now (also called by the background thread)."""
+        snap = self.registry.snapshot()
+        with self._lock:
+            self._ring.append((snap["generated_unix"], snap))
+        return snap
+
+    def _loop(self) -> None:
+        # threading.Event is internally synchronized; taking the ring
+        # lock around wait() would serialize the sampler against every
+        # scrape for no added safety.
+        while not self._stop.wait(self.interval):  # hp: noqa[HP003]
+            self.sample()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.sample()  # rate baseline exists before the first interval
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-snapshot-ring", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()  # hp: noqa[HP003] — Event is itself a sync primitive
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._stop.clear()  # hp: noqa[HP003]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- derived views ------------------------------------------------------
+
+    def latest(self) -> dict | None:
+        with self._lock:
+            return self._ring[-1][1] if self._ring else None
+
+    def window(self) -> tuple[float, float] | None:
+        """(oldest_ts, newest_ts) of the retained history."""
+        with self._lock:
+            if len(self._ring) < 2:
+                return None
+            return self._ring[0][0], self._ring[-1][0]
+
+    @staticmethod
+    def _counter_values(snap: dict) -> dict[tuple, float]:
+        return {
+            (m["name"], tuple(sorted(m["labels"].items()))): m["value"]
+            for m in snap["metrics"] if m["type"] == "counter"
+        }
+
+    def rates(self) -> list[dict]:
+        """Per-second counter rates over the retained window.
+
+        Each entry is ``{"name", "labels", "per_second"}``; counters
+        that did not move are omitted.  A registry reset mid-window
+        shows up as a negative delta — clamped to zero rather than
+        reported as a phantom negative rate.
+        """
+        with self._lock:
+            if len(self._ring) < 2:
+                return []
+            (t0, old), (t1, new) = self._ring[0], self._ring[-1]
+        dt = t1 - t0
+        if dt <= 0:
+            return []
+        before = self._counter_values(old)
+        out = []
+        for key, value in sorted(self._counter_values(new).items()):
+            delta = value - before.get(key, 0)
+            if delta <= 0:
+                continue
+            out.append({
+                "name": key[0],
+                "labels": dict(key[1]),
+                "per_second": delta / dt,
+            })
+        return out
+
+    def payload(self) -> dict:
+        """The ``/snapshot`` response body."""
+        window = self.window()
+        return {
+            "kind": "live_snapshot",
+            "schema_version": 1,
+            "latest": self.latest(),
+            "rates": self.rates(),
+            "samples": len(self),
+            "window_s": (window[1] - window[0]) if window else 0.0,
+            "interval_s": self.interval,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a :class:`MetricsServer` via the server
+    object (``self.server.telemetry``)."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        telemetry: MetricsServer = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_text(telemetry.registry).encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/healthz":
+            body = (json.dumps(telemetry.health()) + "\n").encode("utf-8")
+            ctype = "application/json"
+        elif path == "/snapshot":
+            body = (json.dumps(telemetry.ring.payload()) + "\n").encode(
+                "utf-8"
+            )
+            ctype = "application/json"
+        else:
+            body = b'{"error": "not found"}\n'
+            self._reply(404, "application/json", body)
+            return
+        telemetry.count_request(path)
+        self._reply(200, ctype, body)
+
+    def _reply(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # stay silent; requests are counted, not printed
+
+
+class MetricsServer:
+    """The serving daemon: HTTP endpoint + snapshot ring, both
+    background threads.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    available as :attr:`port` after :meth:`start`.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry = REGISTRY,
+        ring_capacity: int = 120,
+        interval: float = 1.0,
+    ) -> None:
+        self.host = host
+        self.registry = registry
+        self.ring = SnapshotRing(
+            registry, capacity=ring_capacity, interval=interval
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._started_unix = time.time()
+        self._requests = 0
+        self._req_lock = threading.Lock()
+
+    # ``self._httpd`` is assigned once in __init__ and never rebound;
+    # socketserver's own machinery (shutdown/serve_forever handshake)
+    # is designed for exactly this cross-thread use, so the request
+    # lock — which guards the request *counter* — stays out of it.
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]  # hp: noqa[HP003]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def count_request(self, path: str) -> None:
+        with self._req_lock:
+            self._requests += 1
+        if _obs.ENABLED:
+            self.registry.counter("obsserver.requests", path=path).inc()
+
+    def health(self) -> dict:
+        with self._req_lock:
+            requests = self._requests
+        return {
+            "status": "ok",
+            # written once before the serving thread exists
+            "uptime_s": time.time() - self._started_unix,  # hp: noqa[HP003]
+            "snapshots": len(self.ring),
+            "requests": requests,
+            "metrics": len(self.registry),
+        }
+
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            return self
+        self._started_unix = time.time()  # hp: noqa[HP003] — pre-thread
+        self.ring.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,  # hp: noqa[HP003]
+            name="obs-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()  # hp: noqa[HP003] — cross-thread by design
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()  # hp: noqa[HP003]
+        self.ring.stop()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def serve_metrics(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: MetricsRegistry = REGISTRY,
+    interval: float = 1.0,
+    ring_capacity: int = 120,
+) -> MetricsServer:
+    """Start (and return) a running :class:`MetricsServer`."""
+    return MetricsServer(
+        port=port, host=host, registry=registry,
+        ring_capacity=ring_capacity, interval=interval,
+    ).start()

@@ -1,0 +1,182 @@
+"""``repro top``: a curses-free terminal dashboard over ``/snapshot``.
+
+Polls a :class:`~repro.observability.server.MetricsServer`'s
+``/snapshot`` endpoint and renders the hot metrics in place using plain
+ANSI home/clear escapes — no curses, no dependencies, works over ssh.
+The renderer (:func:`render_top`) is a pure function of the snapshot
+payload, so tests drive it without a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import IO
+
+__all__ = ["fetch_snapshot", "render_top", "run_top"]
+
+#: ANSI: cursor home + erase to end of screen (repaint without flicker).
+_CLEAR = "\x1b[H\x1b[J"
+
+#: Counter-name prefixes surfaced in the "hot counters" section, in
+#: display order.
+_HOT_PREFIXES = (
+    "global_sum.", "procpool.", "superacc.", "atomic.", "simmpi.", "gpu.",
+    "hp.", "obsserver.",
+)
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/snapshot`` and decode the JSON payload."""
+    target = url.rstrip("/") + "/snapshot"
+    with urllib.request.urlopen(target, timeout=timeout) as resp:
+        return json.load(resp)
+
+
+def _fmt_rate(value: float) -> str:
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= scale:
+            return f"{value / scale:8.2f}{suffix}/s"
+        # fallthrough to the plain form
+    return f"{value:8.1f}/s "
+
+
+def _fmt_count(value: float) -> str:
+    for scale, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_top(payload: dict, url: str = "") -> str:
+    """Render one dashboard frame from a ``/snapshot`` payload."""
+    lines: list[str] = []
+    latest = payload.get("latest") or {"metrics": []}
+    metrics = latest.get("metrics", [])
+    samples = payload.get("samples", 0)
+    window = payload.get("window_s", 0.0)
+    lines.append(
+        f"repro top — {url or 'local snapshot'} — "
+        f"{samples} samples over {window:.1f}s "
+        f"(every {payload.get('interval_s', 0):.2g}s)"
+    )
+    lines.append("")
+
+    rates = sorted(
+        payload.get("rates", []), key=lambda r: -r["per_second"]
+    )
+    lines.append("rates (window delta / window seconds):")
+    if rates:
+        for r in rates[:10]:
+            lines.append(
+                f"  {_fmt_rate(r['per_second'])}  "
+                f"{r['name']}{_label_str(r['labels'])}"
+            )
+    else:
+        lines.append("  (need two ring samples with counter movement)")
+    lines.append("")
+
+    # Accuracy drift: the paper's invariant, live.
+    drift_hists = [
+        m for m in metrics
+        if m["name"] == "drift.ulp_error" and m["type"] == "histogram"
+    ]
+    violations = [
+        m for m in metrics
+        if m["name"] == "drift.order_invariance_violations"
+    ]
+    lines.append("accuracy drift (ULP distance from exact reference):")
+    if drift_hists:
+        for m in drift_hists:
+            path = m["labels"].get("path", "?")
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            lines.append(
+                f"  path={path:12s} samples={count:<7d} "
+                f"mean={mean:10.2f}  max={m['max'] if m['max'] is not None else 0:g}"
+            )
+        total_viol = sum(m["value"] for m in violations)
+        by_path = ", ".join(
+            f"{m['labels'].get('path', '?')}={m['value']}"
+            for m in violations
+        ) or "none recorded"
+        lines.append(
+            f"  order-invariance violations: {int(total_viol)} ({by_path})"
+        )
+    else:
+        lines.append("  (drift monitor idle — no samples yet)")
+    lines.append("")
+
+    # Hot counters, aggregated over labels per name.
+    totals: dict[str, float] = {}
+    for m in metrics:
+        if m["type"] != "counter":
+            continue
+        if any(m["name"].startswith(p) for p in _HOT_PREFIXES):
+            totals[m["name"]] = totals.get(m["name"], 0) + m["value"]
+    lines.append("hot counters (summed over labels):")
+    if totals:
+        for name in sorted(totals, key=lambda k: -totals[k])[:12]:
+            lines.append(f"  {name:36s} {_fmt_count(totals[name]):>10s}")
+    else:
+        lines.append("  (none yet)")
+
+    histo = [
+        m for m in metrics
+        if m["type"] == "histogram" and m["name"] == "procpool.task_seconds"
+    ]
+    if histo:
+        lines.append("")
+        lines.append("procpool task seconds:")
+        for m in histo:
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            lines.append(
+                f"  method={m['labels'].get('method', '?'):12s} "
+                f"tasks={count:<7d} mean={mean * 1e3:8.2f} ms  "
+                f"max={(m['max'] or 0.0) * 1e3:8.2f} ms"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 1.0,
+    iterations: int = 0,
+    clear: bool = True,
+    out: IO[str] | None = None,
+) -> int:
+    """Poll-and-render loop.  ``iterations=0`` runs until interrupted;
+    a positive count renders that many frames (tests, one-shot looks).
+    Returns a process exit status."""
+    out = out if out is not None else sys.stdout
+    frame = 0
+    while True:
+        try:
+            payload = fetch_snapshot(url, timeout=max(interval, 5.0))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot fetch {url}/snapshot: {exc}",
+                  file=sys.stderr)
+            return 1
+        if clear:
+            out.write(_CLEAR)
+        out.write(render_top(payload, url=url))
+        out.flush()
+        frame += 1
+        if iterations and frame >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.params import HPParams
 from repro.hallberg.params import HallbergParams
 from repro.observability import metrics as _obs
+from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
 from repro.parallel.methods import (
     DoubleMethod,
@@ -134,6 +135,12 @@ def global_sum(
         _obs.REGISTRY.counter(
             "global_sum.summands", method=name, substrate=substrate
         ).inc(len(data))
+    # Accuracy-drift watchdog: the threads/procs substrates observe
+    # their own reductions (they are also entered directly, without this
+    # driver), so the driver only reports the substrates that lack a
+    # hook of their own.
+    if _drift.MONITOR.armed and substrate not in ("threads", "procs"):
+        _drift.MONITOR.observe(data, value, adapter, substrate)
 
     words = None
     if partial is not None and adapter.is_exact():

@@ -56,6 +56,7 @@ from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import shared_memory as _shm_mod
 
 from repro.observability import metrics as _obs
+from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.schedule import Schedule, chunk_ranges
@@ -405,10 +406,27 @@ class ProcPool:
             for part, _meta in outcomes:
                 total = method.combine(total, part)
             self._record(outcomes, method, source, reduce_span)
+        value = method.finalize(total)
+        if _drift.MONITOR.armed:
+            view = self._data_view(path)
+            if view is not None:
+                _drift.MONITOR.observe(view, value, method, "procs")
         return ProcReduceResult(
-            value=method.finalize(total), partial=total, pes=self.pes,
+            value=value, partial=total, pes=self.pes,
             tasks=len(ranges), start_method=self.start_method, source=source,
         )
+
+    def _data_view(self, path: str | None) -> np.ndarray | None:
+        """Master-side read view of the summands for the drift monitor:
+        a zero-copy view over the shared segment, or a memmap of the
+        out-of-core file (the monitor's sample cap bounds page faults)."""
+        if path is not None:
+            return np.load(path, mmap_mode="r")
+        if self._shm is not None and self._shape is not None:
+            return np.ndarray(
+                self._shape, dtype=np.float64, buffer=self._shm.buf
+            )
+        return None
 
     def _record(self, outcomes, method, source, reduce_span) -> None:
         """Fold worker metadata into the master's observability layer."""

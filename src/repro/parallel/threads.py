@@ -27,6 +27,7 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
+from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
@@ -106,8 +107,11 @@ def thread_reduce(
             for part in partials:
                 total = method.combine(total, part)
 
+    value = method.finalize(total)
+    if _drift.MONITOR.armed:
+        _drift.MONITOR.observe(data, value, method, "threads")
     return ThreadReduceResult(
-        value=method.finalize(total),
+        value=value,
         partial=total,
         num_threads=num_threads,
         block_sizes=[hi - lo for lo, hi in ranges],

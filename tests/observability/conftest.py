@@ -7,6 +7,7 @@ import pytest
 
 from repro.observability import metrics, tracing
 from repro.observability.metrics import REGISTRY
+from repro.observability.monitor import MONITOR
 from repro.observability.tracing import TRACER
 
 
@@ -14,10 +15,14 @@ from repro.observability.tracing import TRACER
 def clean_observability():
     metrics.disable()
     tracing.disable()
+    MONITOR.disarm()
+    MONITOR.reset()
     REGISTRY.clear()
     TRACER.reset()
     yield
     metrics.disable()
     tracing.disable()
+    MONITOR.disarm()
+    MONITOR.reset()
     REGISTRY.clear()
     TRACER.reset()

@@ -217,3 +217,73 @@ class TestDisabledMode:
         metrics.enable()
         assert add_words(a, b) == plain
         assert REGISTRY.value("hp.scalar.adds", n=3) == 1
+
+
+class TestResetScrapeHammer:
+    """Scrape hygiene under fire: collect()/reset() hold the registry
+    lock for their whole walk, so a scrape racing a reset must see the
+    registry wholly-before or wholly-after the wipe — every snapshot
+    validates, every histogram ladder is internally consistent."""
+
+    def test_concurrent_observe_reset_scrape(self):
+        from repro.observability.export import (
+            parse_prometheus_text,
+            prometheus_text,
+        )
+
+        reg = MetricsRegistry()
+        rounds = 200
+
+        def writer(worker: int):
+            for i in range(rounds):
+                reg.counter("hammer.events", worker=worker).inc()
+                reg.histogram(
+                    "hammer.sizes", buckets=(1, 10, 100), worker=worker
+                ).observe(i % 150)
+
+        def resetter():
+            for _ in range(rounds // 4):
+                reg.reset()
+
+        def scraper():
+            problems = []
+            for _ in range(rounds // 4):
+                doc = reg.snapshot()
+                problems.extend(validate_metrics_doc(doc))
+                families = parse_prometheus_text(prometheus_text(reg))
+                for family in families.values():
+                    if family["type"] != "histogram":
+                        continue
+                    by_labels: dict = {}
+                    for name, labels, value in family["samples"]:
+                        if name.endswith("_bucket"):
+                            key = tuple(sorted(
+                                (k, v) for k, v in labels.items()
+                                if k != "le"
+                            ))
+                            by_labels.setdefault(key, []).append(value)
+                        # cumulative ladders never decrease
+                    for ladder in by_labels.values():
+                        if ladder != sorted(ladder):
+                            problems.append(f"non-monotone ladder {ladder}")
+            return problems
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            writers = [pool.submit(writer, w) for w in range(4)]
+            resets = [pool.submit(resetter) for _ in range(2)]
+            scrapes = [pool.submit(scraper) for _ in range(2)]
+            for f in writers + resets:
+                f.result()
+            for f in scrapes:
+                assert f.result() == []
+
+    def test_reset_during_scrape_no_partial_wipe(self):
+        """Single-threaded sanity for the same guarantee: a snapshot
+        taken right after reset() shows *every* series zeroed."""
+        reg = MetricsRegistry()
+        for i in range(50):
+            reg.counter("c", i=i).inc(i + 1)
+        reg.reset()
+        doc = reg.snapshot()
+        assert len(doc["metrics"]) == 50
+        assert all(m["value"] == 0 for m in doc["metrics"])

@@ -1,0 +1,204 @@
+"""SnapshotRing sampling/rates and the MetricsServer HTTP endpoints."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability import metrics
+from repro.observability.export import parse_prometheus_text
+from repro.observability.metrics import REGISTRY, MetricsRegistry
+from repro.observability.server import MetricsServer, SnapshotRing, serve_metrics
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestSnapshotRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match=">= 2 slots"):
+            SnapshotRing(MetricsRegistry(), capacity=1)
+        with pytest.raises(ValueError, match="interval"):
+            SnapshotRing(MetricsRegistry(), interval=0)
+
+    def test_manual_samples_accumulate(self):
+        reg = MetricsRegistry()
+        ring = SnapshotRing(reg, capacity=3, interval=0.01)
+        assert len(ring) == 0 and ring.latest() is None
+        ring.sample()
+        assert len(ring) == 1
+        assert ring.latest()["kind"] == "metrics"
+
+    def test_ring_is_bounded(self):
+        ring = SnapshotRing(MetricsRegistry(), capacity=3, interval=0.01)
+        for _ in range(10):
+            ring.sample()
+        assert len(ring) == 3
+
+    def test_rates_need_two_samples(self):
+        ring = SnapshotRing(MetricsRegistry(), capacity=4)
+        ring.sample()
+        assert ring.rates() == []
+
+    def test_rates_reflect_counter_movement(self):
+        reg = MetricsRegistry()
+        c = reg.counter("global_sum.summands", substrate="procs")
+        ring = SnapshotRing(reg, capacity=4)
+        ring.sample()
+        time.sleep(0.02)
+        c.inc(1000)
+        ring.sample()
+        (rate,) = ring.rates()
+        assert rate["name"] == "global_sum.summands"
+        assert rate["labels"] == {"substrate": "procs"}
+        window = ring.window()
+        expected = 1000 / (window[1] - window[0])
+        assert rate["per_second"] == pytest.approx(expected)
+
+    def test_unmoved_counters_and_gauges_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("still").inc(5)
+        reg.gauge("moving").set(1)
+        ring = SnapshotRing(reg, capacity=4)
+        ring.sample()
+        time.sleep(0.01)
+        reg.gauge("moving").set(99)  # gauges never produce rates
+        ring.sample()
+        assert ring.rates() == []
+
+    def test_reset_mid_window_never_reports_negative_rate(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(500)
+        ring = SnapshotRing(reg, capacity=4)
+        ring.sample()
+        time.sleep(0.01)
+        reg.reset()
+        ring.sample()
+        assert all(r["per_second"] > 0 for r in ring.rates())
+        assert ring.rates() == []
+
+    def test_background_sampler_runs_and_stops(self):
+        reg = MetricsRegistry()
+        ring = SnapshotRing(reg, capacity=50, interval=0.01)
+        ring.start()
+        try:
+            deadline = time.time() + 5
+            while len(ring) < 3 and time.time() < deadline:
+                time.sleep(0.01)
+            assert len(ring) >= 3
+        finally:
+            ring.stop()
+        settled = len(ring)
+        time.sleep(0.05)
+        assert len(ring) == settled
+
+    def test_payload_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        ring = SnapshotRing(reg, capacity=4, interval=0.5)
+        ring.sample()
+        payload = ring.payload()
+        assert payload["kind"] == "live_snapshot"
+        assert payload["schema_version"] == 1
+        assert payload["samples"] == 1
+        assert payload["interval_s"] == 0.5
+        assert payload["latest"]["metrics"][0]["name"] == "c"
+        assert payload["rates"] == []
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestMetricsServer:
+    def test_ephemeral_port_and_url(self):
+        with MetricsServer(port=0) as server:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint_serves_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("global_sum.calls", substrate="threads").inc(2)
+        with MetricsServer(port=0, registry=reg) as server:
+            status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        families = parse_prometheus_text(body.decode())
+        assert (
+            "global_sum_calls", {"substrate": "threads"}, 2.0
+        ) in families["global_sum_calls"]["samples"]
+
+    def test_healthz(self):
+        with MetricsServer(port=0, registry=MetricsRegistry()) as server:
+            status, ctype, body = _get(server.url + "/healthz")
+            health = json.loads(body)
+        assert status == 200
+        assert ctype == "application/json"
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        assert health["snapshots"] >= 1  # baseline sample at start()
+
+    def test_snapshot_endpoint(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        with MetricsServer(port=0, registry=reg) as server:
+            _, _, body = _get(server.url + "/snapshot")
+        payload = json.loads(body)
+        assert payload["kind"] == "live_snapshot"
+        names = {m["name"] for m in payload["latest"]["metrics"]}
+        assert "c" in names
+
+    def test_unknown_path_404(self):
+        with MetricsServer(port=0, registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_requests_counted_in_health_and_metric(self):
+        metrics.enable()
+        with MetricsServer(port=0) as server:
+            _get(server.url + "/metrics")
+            _get(server.url + "/metrics")
+            _, _, body = _get(server.url + "/healthz")
+        assert json.loads(body)["requests"] >= 2
+        assert REGISTRY.value("obsserver.requests", path="/metrics") == 2
+
+    def test_request_metric_not_registered_while_gate_off(self):
+        with MetricsServer(port=0) as server:
+            _get(server.url + "/metrics")
+        assert REGISTRY.get("obsserver.requests", path="/metrics") is None
+
+    def test_query_strings_ignored(self):
+        with MetricsServer(port=0, registry=MetricsRegistry()) as server:
+            status, _, _ = _get(server.url + "/healthz?verbose=1")
+        assert status == 200
+
+    def test_close_is_idempotent_and_frees_port(self):
+        server = MetricsServer(port=0, registry=MetricsRegistry()).start()
+        url = server.url
+        server.close()
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(url + "/healthz")
+
+    def test_serve_metrics_helper_returns_running_server(self):
+        server = serve_metrics(port=0, registry=MetricsRegistry())
+        try:
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.close()
+
+    def test_live_scrape_sees_concurrent_updates(self):
+        reg = MetricsRegistry()
+        with MetricsServer(port=0, registry=reg, interval=0.01) as server:
+            reg.counter("c").inc(1)
+            _, _, first = _get(server.url + "/metrics")
+            reg.counter("c").inc(41)
+            _, _, second = _get(server.url + "/metrics")
+        assert "c 1" in first.decode()
+        assert "c 42" in second.decode()

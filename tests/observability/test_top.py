@@ -1,0 +1,86 @@
+"""The ``repro top`` dashboard: pure rendering plus the poll loop
+against a real MetricsServer."""
+
+from __future__ import annotations
+
+import io
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.monitor import ULP_BUCKETS
+from repro.observability.server import MetricsServer, SnapshotRing
+from repro.observability.top import fetch_snapshot, render_top, run_top
+
+
+def _payload():
+    """A /snapshot payload with every section populated, built from a
+    real ring over a real registry."""
+    reg = MetricsRegistry()
+    ring = SnapshotRing(reg, capacity=4)
+    ring.sample()
+    reg.counter("global_sum.summands", substrate="procs").inc(1_000_000)
+    reg.counter("procpool.reduces").inc(3)
+    reg.histogram("drift.ulp_error", buckets=ULP_BUCKETS,
+                  path="hp-superacc").observe(0)
+    reg.histogram("drift.ulp_error", buckets=ULP_BUCKETS,
+                  path="float64").observe(120)
+    reg.counter("drift.order_invariance_violations", path="float64").inc(2)
+    reg.histogram("procpool.task_seconds", buckets=(0.01, 0.1),
+                  method="hp-superacc").observe(0.004)
+    import time
+
+    time.sleep(0.01)  # nonzero window so rates are well-defined
+    ring.sample()
+    return ring.payload()
+
+
+class TestRenderTop:
+    def test_all_sections_render(self):
+        frame = render_top(_payload(), url="http://127.0.0.1:9")
+        assert "repro top — http://127.0.0.1:9" in frame
+        assert "global_sum.summands{substrate=procs}" in frame
+        assert "path=hp-superacc" in frame
+        assert "path=float64" in frame
+        assert "order-invariance violations: 2 (float64=2)" in frame
+        assert "procpool.reduces" in frame
+        assert "procpool task seconds:" in frame
+        assert "method=hp-superacc" in frame
+
+    def test_rates_section_scales_units(self):
+        frame = render_top(_payload())
+        # 1M summands over a ~10ms window: rendered with an M or G suffix
+        assert "M/s" in frame or "G/s" in frame
+
+    def test_empty_payload_renders_placeholders(self):
+        frame = render_top({"latest": None, "rates": [], "samples": 0,
+                            "window_s": 0.0, "interval_s": 1.0})
+        assert "(need two ring samples" in frame
+        assert "(drift monitor idle" in frame
+        assert "(none yet)" in frame
+
+
+class TestRunTop:
+    def test_run_top_against_live_server(self):
+        reg = MetricsRegistry()
+        reg.counter("procpool.reduces").inc()
+        with MetricsServer(port=0, registry=reg, interval=0.05) as server:
+            payload = fetch_snapshot(server.url)
+            assert payload["kind"] == "live_snapshot"
+            out = io.StringIO()
+            status = run_top(server.url, interval=0.01, iterations=2,
+                             clear=False, out=out)
+        assert status == 0
+        assert out.getvalue().count("repro top —") == 2
+        assert "\x1b[" not in out.getvalue()  # clear=False: no ANSI
+
+    def test_clear_writes_ansi_home(self):
+        with MetricsServer(port=0, registry=MetricsRegistry()) as server:
+            out = io.StringIO()
+            run_top(server.url, interval=0.01, iterations=1, clear=True,
+                    out=out)
+        assert out.getvalue().startswith("\x1b[H\x1b[J")
+
+    def test_unreachable_server_exits_nonzero(self, capsys):
+        status = run_top("http://127.0.0.1:9", interval=0.01, iterations=1,
+                         clear=False, out=io.StringIO())
+        assert status == 1
+        assert "cannot fetch" in capsys.readouterr().err
