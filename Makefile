@@ -4,13 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize bench-regress bench-scaling serve check
+.PHONY: test lint sanitize bench-regress bench-scaling profile serve check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Static half of the correctness tooling: the HP domain linter
-# (rules HP001-HP006, docs/ANALYSIS.md).  Fails on any finding —
+# (rules HP001-HP007, docs/ANALYSIS.md).  Fails on any finding —
 # the lint engine self-hosts over this repository.
 lint:
 	$(PYTHON) -m repro lint src benchmarks
@@ -36,6 +36,17 @@ bench-regress:
 # (2x on >= 4 cores; waived — and recorded as waived — on one core).
 bench-scaling:
 	$(PYTHON) -m repro bench --scaling --out BENCH_4.json
+
+# Phase-level cost attribution of the headline reduction: prints the
+# self/cumulative/% cost table and writes flamegraph + speedscope +
+# Perfetto artifacts (docs/OBSERVABILITY.md, "Profiling & cost
+# attribution").  `--calibrate` feeds measured anchors back into the
+# performance model.
+profile:
+	$(PYTHON) -m repro profile --engine hp-superacc --n 1048576 \
+		--flamegraph profile.collapsed \
+		--speedscope profile.speedscope.json \
+		--perfetto profile.perfetto.json
 
 # Live telemetry: a continuously re-summed procs workload behind the
 # /metrics endpoint with the accuracy-drift monitor armed.  Scrape

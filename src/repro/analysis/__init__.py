@@ -4,10 +4,11 @@ Two halves (see ``docs/ANALYSIS.md`` for the full catalog):
 
 * :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — an AST
   lint engine with a plugin-rule registry and per-line/per-file
-  suppression comments, shipping six HP-specific rules (HP001-HP006):
+  suppression comments, shipping seven HP-specific rules (HP001-HP007):
   unmasked word stores, float intermediates in integer paths, shared
   state touched outside its lock, kernel nondeterminism, silent
-  ``np.uint64``/int promotion, and hard-coded carry-loop bounds.
+  ``np.uint64``/int promotion, hard-coded carry-loop bounds, and
+  timing/profiling regions entered under an accumulator lock.
 * :mod:`repro.analysis.sanitizer` + :mod:`repro.analysis.smoke` — a
   runtime harness that wraps the shared-memory primitives with a
   lock-discipline / torn-read detector (per-word version counters) and

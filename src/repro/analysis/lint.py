@@ -5,7 +5,7 @@ cannot see: word arithmetic must wrap at 64 bits, carries must ripple
 most-significant-last, integer hot paths must never round through a
 float, shared accumulator state must be touched under its lock, and
 kernels must stay deterministic.  This module is the *engine*; the
-domain rules themselves (HP001-HP006) live in
+domain rules themselves (HP001-HP007) live in
 :mod:`repro.analysis.rules` and register here via :func:`rule`.
 
 Engine contract

@@ -1,4 +1,4 @@
-"""The HP domain lint rules (HP001-HP006).
+"""The HP domain lint rules (HP001-HP007).
 
 Each rule encodes one invariant from the paper that ordinary Python
 tooling cannot check (see ``docs/ANALYSIS.md`` for the full catalog with
@@ -14,6 +14,8 @@ HP005     ``np.uint64`` scalars must not mix with bare Python literals
           (NumPy promotes the pair to float64 and drops low bits)
 HP006     carry-propagation loops must derive their bounds from the data,
           not hard-coded word counts
+HP007     profiling/timing regions must not be entered while holding an
+          accumulator lock
 ========  ==================================================================
 
 Rules are deliberately *precise over complete*: each one matches a
@@ -289,8 +291,8 @@ def _lock_and_protected_attrs(
             leaf = dotted.rsplit(".", 1)[-1] if dotted else None
             if leaf in ("Lock", "RLock"):
                 locks.add(attr)
-            elif leaf == "local":
-                continue  # threading.local(): per-thread by construction
+            elif leaf in ("local", "Event", "Condition", "Semaphore"):
+                continue  # thread-safe by construction
             else:
                 protected.add(attr)
     return locks, protected
@@ -538,3 +540,94 @@ def check_hardcoded_carry_bound(module: ModuleSource) -> Iterator[Finding]:
                     "full carry chain",
                 )
                 break
+
+
+# ---------------------------------------------------------------------------
+# HP007 — timing/profiling region entered under an accumulator lock
+# ---------------------------------------------------------------------------
+
+#: Context managers that read the wall clock and/or take the metrics
+#: registry lock on exit.  Leading underscores are stripped before
+#: matching, so the conventional ``_phase`` / ``_trace.span`` import
+#: aliases are recognized.
+_TIMING_LEAVES = frozenset(
+    {"phase", "span", "timer", "repeat_timeit", "traced", "profiled"}
+)
+
+
+def _is_timing_context(expr: ast.AST) -> bool:
+    """True for ``phase(...)`` / ``TRACER.span(...)`` / ``Timer(...)`` /
+    ``repeat_timeit(...)`` / ``traced(...)`` / ``profiled(...)`` calls
+    (any dotted prefix, optional leading underscores)."""
+    if not isinstance(expr, ast.Call):
+        return False
+    dotted = _dotted(expr.func)
+    if dotted is None:
+        return False
+    leaf = dotted.rsplit(".", 1)[-1].lstrip("_").lower()
+    return leaf in _TIMING_LEAVES
+
+
+@rule(
+    "HP007",
+    "timing-under-lock",
+    "profiling/timing regions must not be entered while holding an "
+    "accumulator lock",
+    "paper Sec. III.B.2 (short critical sections); PR 6 phase profiler",
+    packages=None,  # lock-owning classes can live anywhere
+)
+def check_timing_under_lock(module: ModuleSource) -> Iterator[Finding]:
+    """In a class whose ``__init__`` creates a ``threading.Lock``, flag
+    any ``phase(...)`` / ``span(...)`` / ``Timer(...)`` /
+    ``repeat_timeit(...)`` context entered inside ``with self._lock:``
+    (or combined with the lock in the same ``with`` statement, lock
+    first).  A span exit reads the wall clock and takes the metrics
+    registry lock; doing that while holding the accumulator lock
+    stretches the critical section by the profiler's overhead — the
+    measurement distorts exactly the contention it is trying to observe
+    — and nests an unrelated lock inside it.  Hoist the timing region
+    outside the lock (time the acquisition + update together, or record
+    after release)."""
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        init = next(
+            (
+                n
+                for n in cls.body
+                if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            continue
+        locks, _ = _lock_and_protected_attrs(init)
+        if not locks:
+            continue
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef) or method is init:
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, ast.With):
+                    continue
+                lock_seen = False
+                for item in node.items:
+                    if _self_attr(item.context_expr) in locks:
+                        lock_seen = True
+                        continue
+                    if not _is_timing_context(item.context_expr):
+                        continue
+                    # Same-statement combo (lock listed first) or any
+                    # enclosing ``with self.<lock>:`` block.
+                    if lock_seen or _under_lock(
+                        module, node, method, locks
+                    ):
+                        yield module.finding(
+                            "HP007",
+                            item.context_expr,
+                            "timing/profiling region entered while holding "
+                            f"'self.{sorted(locks)[0]}' in "
+                            f"{cls.name}.{method.name}(); hoist it outside "
+                            "the lock so the span exit does not extend the "
+                            "critical section",
+                        )

@@ -12,16 +12,23 @@ stops being bit-identical to the scalar accumulator oracle.
 the ``procs`` substrate (:mod:`repro.parallel.procpool`) for double /
 hp / hp-superacc at >= 4M summands over p in {1, 2, 4, 8}, reports
 parallel efficiency, and gates on bit-identity plus a machine-aware
-minimum speedup (schema ``repro.bench.scaling/1``).
+minimum speedup (schema ``repro.bench.scaling/2``).
+
+Both harnesses accept ``profile=True`` (CLI ``--profile``), which runs
+one phase-attributed pass after the timed sections and embeds the
+per-phase cost table in the report under ``"phases"`` (the additive
+/1 -> /2 schema bump; validators accept both).
 """
 
 from repro.bench.regress import (
+    ACCEPTED_SCHEMAS,
     SCHEMA,
     default_report_name,
     run_regress,
     validate_report,
 )
 from repro.bench.scaling import (
+    ACCEPTED_SCALING_SCHEMAS,
     SCALING_SCHEMA,
     auto_min_speedup,
     format_scaling_summary,
@@ -31,6 +38,8 @@ from repro.bench.scaling import (
 )
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
+    "ACCEPTED_SCALING_SCHEMAS",
     "SCHEMA",
     "SCALING_SCHEMA",
     "auto_min_speedup",

@@ -30,7 +30,7 @@ What it checks
 * the superaccumulator beats the words path at the headline
   configuration by at least ``min_speedup``.
 
-The report is schema-versioned (``repro.bench.regress/1``) so later PRs
+The report is schema-versioned (``repro.bench.regress/2``) so later PRs
 can extend it without breaking consumers; ``BENCH_<pr>.json`` files
 committed at the repo root form the performance trajectory across the
 PR stack.
@@ -42,7 +42,12 @@ import platform
 import time
 from typing import Callable, Sequence
 
-SCHEMA = "repro.bench.regress/1"
+SCHEMA = "repro.bench.regress/2"
+
+#: Prior schema versions a report may still carry: /2 only *added* the
+#: optional ``phases`` block, so /1 documents (the committed trajectory
+#: points) remain fully valid.
+ACCEPTED_SCHEMAS = ("repro.bench.regress/1", SCHEMA)
 
 #: matrix defaults, pinned so reports stay comparable across PRs
 DEFAULT_N = 1 << 20
@@ -100,6 +105,7 @@ def run_regress(
     pr: int | None = None,
     skip_oracle: bool = False,
     drift: bool = False,
+    profile: bool = False,
 ) -> dict:
     """Run the pinned matrix; return the schema-versioned report dict.
 
@@ -107,7 +113,11 @@ def run_regress(
     runs; the full CI run always keeps it).  ``drift`` additionally
     arms the accuracy-drift monitor for the run — every Table-1 case is
     shadow-summed and the monitor digest lands in the report under
-    ``"drift"`` (outside the timed sections).
+    ``"drift"`` (outside the timed sections).  ``profile`` runs one
+    phase-attributed pass of the headline case through both engines
+    *after* the timed sections and embeds the cost table under
+    ``"phases"``, so a trajectory point carries attribution, not just
+    totals.
     """
     import numpy as np
 
@@ -233,7 +243,38 @@ def run_regress(
     if drift_monitor is not None:
         doc["drift"] = drift_monitor.summary()
         drift_monitor.disarm()
+    if profile:
+        doc["phases"] = _profile_pass(xs, headline)
     return doc
+
+
+def _profile_pass(xs, headline: dict) -> dict:
+    """One instrumented reduction of the headline case per engine,
+    outside the timed sections; returns the embedded ``phases`` block."""
+    from repro.core.params import HPParams
+    from repro.core.vectorized import batch_sum_doubles
+    from repro.observability import profile as _prof
+    from repro.observability import tracing as _tracing
+
+    params = HPParams(headline["n_words"], headline["k"])
+    engines: dict[str, dict] = {}
+    for engine in ("superacc", "words"):
+        prior_spans = _tracing.TRACER.export()["spans"]
+        _tracing.TRACER.reset()
+        try:
+            with _prof.profiled():
+                with _tracing.TRACER.span(_prof.RUN_SPAN, engine=engine):
+                    batch_sum_doubles(xs, params, method=engine)
+            engines[engine] = _prof.ProfileReport.from_tracer().to_dict()
+        finally:
+            _tracing.TRACER.reset()
+            if prior_spans:
+                _tracing.TRACER.import_spans({"spans": prior_spans})
+    return {
+        "params": str(params),
+        "n": int(xs.shape[0]),
+        "engines": engines,
+    }
 
 
 _REQUIRED_TOP = ("schema", "environment", "config", "cases", "checks")
@@ -262,10 +303,21 @@ def validate_report(doc: dict) -> list[str]:
     problems = []
     if not isinstance(doc, dict):
         return ["report is not a JSON object"]
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
         problems.append(
-            f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}"
+            f"schema is {doc.get('schema')!r}, expected one of "
+            f"{ACCEPTED_SCHEMAS!r}"
         )
+    phases = doc.get("phases")
+    if phases is not None:
+        if not isinstance(phases, dict) or "engines" not in phases:
+            problems.append("phases block present but has no engines map")
+        else:
+            for engine, report in phases["engines"].items():
+                if not isinstance(report, dict) or "phases" not in report:
+                    problems.append(
+                        f"phases.engines[{engine!r}] is not a profile dict"
+                    )
     for key in _REQUIRED_TOP:
         if key not in doc:
             problems.append(f"missing top-level key {key!r}")

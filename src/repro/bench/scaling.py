@@ -36,7 +36,7 @@ What it checks
   waived, so a single-core ``BENCH_4.json`` is honest rather than
   vacuous.
 
-The report is schema-versioned (``repro.bench.scaling/1``);
+The report is schema-versioned (``repro.bench.scaling/2``);
 ``BENCH_4.json`` at the repo root is this PR's trajectory point.
 """
 
@@ -48,7 +48,11 @@ from typing import Sequence
 
 from repro.bench.regress import _make_summands, _time_best
 
-SCALING_SCHEMA = "repro.bench.scaling/1"
+SCALING_SCHEMA = "repro.bench.scaling/2"
+
+#: Prior schema versions still accepted by the validator: /2 only added
+#: the optional ``phases`` block.
+ACCEPTED_SCALING_SCHEMAS = ("repro.bench.scaling/1", SCALING_SCHEMA)
 
 #: >= 4M summands — the scale where the paper's amortization argument
 #: starts to hold and per-reduction overheads are noise.
@@ -104,6 +108,7 @@ def run_scaling(
     start_method: str | None = None,
     pr: int | None = None,
     drift: bool = False,
+    profile: bool = False,
 ) -> dict:
     """Run the strong-scaling matrix; return the schema-versioned report.
 
@@ -112,6 +117,9 @@ def run_scaling(
     ``drift`` arms the accuracy-drift monitor: the procs substrate's own
     hook then shadow-sums the (untimed) first reduction of every case
     and the monitor digest lands in the report under ``"drift"``.
+    ``profile`` runs one phase-attributed ``hp-superacc`` procs
+    reduction at the gate PE count after the timed matrix (per-worker
+    rows included) and embeds the cost table under ``"phases"``.
     """
     import numpy as np
 
@@ -238,6 +246,38 @@ def run_scaling(
     }
     if drift_monitor is not None:
         doc["drift"] = drift_monitor.summary()
+    if profile:
+        doc["phases"] = _profile_scaling_pass(xs, gate_pes, start)
+    return doc
+
+
+def _profile_scaling_pass(xs, pes: int, start: str) -> dict:
+    """One instrumented procs reduction after the timed matrix: worker
+    phases ship back with the partials and re-home under the master
+    trace, so the embedded cost table carries per-worker rows."""
+    from repro.observability import profile as _prof
+    from repro.observability import tracing as _tracing
+    from repro.parallel.drivers import make_method
+    from repro.parallel.procpool import ProcPool
+
+    prior_spans = _tracing.TRACER.export()["spans"]
+    _tracing.TRACER.reset()
+    try:
+        with _prof.profiled():
+            with _tracing.TRACER.span(_prof.RUN_SPAN, substrate="procs",
+                                      pes=pes):
+                with ProcPool(data=xs, pes=pes, start_method=start) as pool:
+                    pool.warmup()
+                    pool.reduce(make_method("hp-superacc"))
+        report = _prof.ProfileReport.from_tracer()
+    finally:
+        _tracing.TRACER.reset()
+        if prior_spans:
+            _tracing.TRACER.import_spans({"spans": prior_spans})
+    doc = report.to_dict()
+    doc["substrate"] = "procs"
+    doc["pes"] = pes
+    doc["method"] = "hp-superacc"
     return doc
 
 
@@ -256,10 +296,16 @@ def validate_scaling_report(doc: dict) -> list[str]:
     problems = []
     if not isinstance(doc, dict):
         return ["report is not a JSON object"]
-    if doc.get("schema") != SCALING_SCHEMA:
+    if doc.get("schema") not in ACCEPTED_SCALING_SCHEMAS:
         problems.append(
-            f"schema is {doc.get('schema')!r}, expected {SCALING_SCHEMA!r}"
+            f"schema is {doc.get('schema')!r}, expected one of "
+            f"{ACCEPTED_SCALING_SCHEMAS!r}"
         )
+    phases = doc.get("phases")
+    if phases is not None and (
+        not isinstance(phases, dict) or "phases" not in phases
+    ):
+        problems.append("phases block present but not a profile dict")
     for key in _REQUIRED_TOP:
         if key not in doc:
             problems.append(f"missing top-level key {key!r}")

@@ -13,10 +13,14 @@ Subcommands:
 * ``calibration`` — audit the performance model's fitted anchors
 * ``stats``   — run an instrumented workload and print the metrics
   report (or validate previously emitted JSON with ``--validate``)
-* ``lint``    — run the HP domain linter (rules HP001-HP006) over
+* ``lint``    — run the HP domain linter (rules HP001-HP007) over
   files/directories; ``--sanitize-smoke`` additionally runs the runtime
   race/overflow sanitizer over a threaded smoke workload (also installed
   as the ``repro-lint`` console script; see ``docs/ANALYSIS.md``)
+* ``profile`` — phase-level cost attribution of one reduction: cost
+  table (self/cumulative/% per phase, per-worker under ``procs``),
+  flamegraph/speedscope/Perfetto exports from the stdlib sampling
+  profiler, and ``--calibrate`` for measured-anchor perfmodel feedback
 * ``serve-metrics`` — live telemetry daemon: Prometheus ``/metrics``,
   ``/healthz``, ``/snapshot``, optionally driving a continuous
   instrumented workload with the accuracy-drift monitor armed
@@ -284,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
         "digest in the report under 'drift' (untimed stages only)",
     )
     p_bench.add_argument(
+        "--profile", action="store_true", dest="bench_profile",
+        help="run one phase-attributed pass after the timed sections and "
+        "embed the per-phase cost table in the report under 'phases'",
+    )
+    p_bench.add_argument(
         "--pes-list", metavar="P,P,...", default=None,
         help="scaling only: comma-separated PE counts (default 1,2,4,8)",
     )
@@ -293,6 +302,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaling only: worker start method (default: fork where "
         "available, else spawn)",
     )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="phase-level cost attribution of one reduction",
+        parents=[obs_flags],
+        description="Runs one instrumented reduction with the phase "
+        "markers armed and prints the per-phase cost table (self time, "
+        "cumulative time, percent of wall clock; per-worker rows under "
+        "--substrate procs).  A stdlib sampling profiler runs alongside "
+        "for unattributed time; --flamegraph / --speedscope export its "
+        "merged stacks, --perfetto exports the span trace plus per-phase "
+        "counter tracks.  --calibrate instead measures this machine's "
+        "per-engine costs and renders the measured-anchor residual table "
+        "against the perfmodel (see docs/OBSERVABILITY.md).",
+    )
+    p_prof.add_argument(
+        "--engine",
+        choices=("hp-superacc", "hp-words", "hallberg", "double"),
+        default="hp-superacc",
+        help="reduction engine to profile (default hp-superacc)",
+    )
+    p_prof.add_argument("--n", type=int, default=1 << 20,
+                        help="summand count (default 1M)")
+    p_prof.add_argument("--params", type=_parse_pair, default=None,
+                        help="N,K / N,M format override")
+    p_prof.add_argument(
+        "--substrate", choices=("serial", "threads", "procs"),
+        default="serial",
+        help="execution substrate (default serial; procs adds per-worker "
+        "phase rows)",
+    )
+    p_prof.add_argument("--pes", type=int, default=4,
+                        help="PE count for threads/procs (default 4)")
+    p_prof.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="procs worker start method (default: fork where available)",
+    )
+    p_prof.add_argument("--seed", type=int, default=None)
+    p_prof.add_argument(
+        "--flamegraph", metavar="PATH", default=None,
+        help="write collapsed-stack flamegraph text here",
+    )
+    p_prof.add_argument(
+        "--speedscope", metavar="PATH", default=None,
+        help="write speedscope JSON here",
+    )
+    p_prof.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write the Chrome/Perfetto trace (spans + phase counter "
+        "tracks) here",
+    )
+    p_prof.add_argument(
+        "--sample-hz", type=float, default=200.0,
+        help="sampling profiler frequency (default 200 Hz)",
+    )
+    p_prof.add_argument(
+        "--no-sample", action="store_true",
+        help="disable the sampling profiler (phase markers only)",
+    )
+    p_prof.add_argument(
+        "--calibrate", action="store_true",
+        help="measure per-engine costs on this machine and render the "
+        "measured-anchor residual table from perfmodel.calibration",
+    )
+    p_prof.add_argument(
+        "--calibrate-out", metavar="PATH", default=None,
+        help="with --calibrate: write the measured cost JSON here",
+    )
+    p_prof.add_argument(
+        "--repeats", type=int, default=3,
+        help="--calibrate timing repeats, best-of (default 3)",
+    )
+    p_prof.add_argument("--json", action="store_true",
+                        help="print the profile report as JSON")
 
     p_serve = sub.add_parser(
         "serve-metrics",
@@ -361,7 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="HP domain lint (static rules + runtime sanitizer)",
         description="Run the AST-based HP invariant checker (rules "
-        "HP001-HP006, see docs/ANALYSIS.md) over Python files or "
+        "HP001-HP007, see docs/ANALYSIS.md) over Python files or "
         "directories.  Exit status is the number-of-findings truth: 0 "
         "when clean, 1 when findings (or sanitizer violations) exist.",
     )
@@ -831,7 +915,7 @@ def _cmd_bench(args) -> int:
         pr = args.pr if args.pr is not None else 4
         kwargs = {"pr": pr, "min_speedup": args.min_speedup,
                   "start_method": args.bench_start_method,
-                  "drift": args.drift}
+                  "drift": args.drift, "profile": args.bench_profile}
         if args.n is not None:
             kwargs["n"] = args.n
         if args.repeats is not None:
@@ -856,7 +940,7 @@ def _cmd_bench(args) -> int:
 
         pr = args.pr if args.pr is not None else 3
         kwargs = {"pr": pr, "skip_oracle": args.skip_oracle,
-                  "drift": args.drift,
+                  "drift": args.drift, "profile": args.bench_profile,
                   "min_speedup": (args.min_speedup
                                   if args.min_speedup is not None else 1.0)}
         if args.n is not None:
@@ -875,6 +959,168 @@ def _cmd_bench(args) -> int:
     print(summary)
     print(f"report written to {out}")
     return 0 if doc["checks"]["passed"] else 1
+
+
+def _profile_workload(args):
+    """Build the (callable, label) pair ``repro profile`` measures."""
+    from repro.bench.regress import _make_summands
+    from repro.core.params import HPParams
+    from repro.core.vectorized import batch_sum_doubles, batch_to_double
+    from repro.hallberg.params import HallbergParams
+    from repro.hallberg.scalar import hb_to_double
+    from repro.hallberg.vectorized import hb_batch_sum_doubles
+
+    seed = args.seed if args.seed is not None else 20160523
+    xs = _make_summands(args.n, seed)
+
+    if args.substrate != "serial":
+        from repro.parallel.drivers import make_method
+
+        name = {"hp-words": "hp", "double": "double",
+                "hallberg": "hallberg",
+                "hp-superacc": "hp-superacc"}[args.engine]
+        params = None
+        if args.params is not None and args.engine != "double":
+            params = (HallbergParams(*args.params)
+                      if args.engine == "hallberg"
+                      else HPParams(*args.params))
+        adapter = make_method(name, params)
+        if args.substrate == "threads":
+            from repro.parallel.threads import thread_reduce
+
+            return xs, lambda: thread_reduce(
+                xs, adapter, args.pes, engine="native"
+            ).value
+        from repro.parallel.procpool import procpool_reduce
+
+        return xs, lambda: procpool_reduce(
+            xs, adapter, args.pes, start_method=args.start_method
+        ).value
+
+    if args.engine == "double":
+        return xs, lambda: float(np.sum(xs))
+    if args.engine == "hallberg":
+        hb = (HallbergParams(*args.params) if args.params
+              else HallbergParams(10, 38))
+        return xs, lambda: hb_to_double(hb_batch_sum_doubles(xs, hb), hb)
+    hp = HPParams(*args.params) if args.params else HPParams(6, 3)
+    method = "superacc" if args.engine == "hp-superacc" else "words"
+
+    def run():
+        words = batch_sum_doubles(xs, hp, method=method)
+        row = np.array([words], dtype=np.uint64)
+        return float(batch_to_double(row, hp)[0])
+
+    return xs, run
+
+
+def _cmd_profile_calibrate(args) -> int:
+    import json
+
+    from repro.bench.regress import _make_summands, _time_best
+    from repro.core.params import HPParams
+    from repro.core.vectorized import batch_sum_doubles
+    from repro.hallberg.params import HallbergParams
+    from repro.hallberg.vectorized import hb_batch_sum_doubles
+    from repro.perfmodel.calibration import MEASURED_SCHEMA, render_measured
+
+    seed = args.seed if args.seed is not None else 20160523
+    xs = _make_summands(args.n, seed)
+    hp = HPParams(6, 3)
+    hb = HallbergParams(10, 38)
+    measured = {
+        "double": _time_best(lambda: float(np.sum(xs)), args.repeats),
+        "hp-superacc": _time_best(
+            lambda: batch_sum_doubles(xs, hp, method="superacc"),
+            args.repeats,
+        ),
+        "hallberg": _time_best(
+            lambda: hb_batch_sum_doubles(xs, hb), args.repeats
+        ),
+    }
+    if args.calibrate_out:
+        doc = {
+            "schema": MEASURED_SCHEMA,
+            "n": args.n,
+            "repeats": args.repeats,
+            "seed": seed,
+            "measured": measured,
+        }
+        with open(args.calibrate_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"measured cost file written to {args.calibrate_out}")
+    print(render_measured(measured, n=args.n))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro import observability as obs
+    from repro.observability import profile as prof
+
+    if args.calibrate:
+        return _cmd_profile_calibrate(args)
+
+    xs, run = _profile_workload(args)
+
+    # One discarded warmup pass (same policy as util.timing.repeat_timeit)
+    # so the attributed pass reflects steady-state costs, not first-call
+    # allocator/import effects.  Skipped for procs: a throwaway pool
+    # spawn would cost more than the skew it removes.
+    if args.substrate != "procs":
+        run()
+
+    sampler = None
+    if not args.no_sample:
+        sampler = prof.SamplingProfiler(interval_s=1.0 / args.sample_hz)
+    with prof.profiled():
+        if sampler is not None:
+            sampler.start()
+        try:
+            with obs.TRACER.span(prof.RUN_SPAN, engine=args.engine,
+                                 substrate=args.substrate, n=args.n):
+                value = run()
+        finally:
+            if sampler is not None:
+                sampler.stop()
+    report = prof.ProfileReport.from_tracer()
+
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(sampler.collapsed() if sampler else "")
+        print(f"flamegraph collapsed stacks written to {args.flamegraph}")
+    if args.speedscope:
+        doc = (sampler.speedscope(f"repro profile {args.engine}")
+               if sampler else prof.speedscope_document({}))
+        with open(args.speedscope, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"speedscope profile written to {args.speedscope}")
+    if args.perfetto:
+        with open(args.perfetto, "w", encoding="utf-8") as fh:
+            json.dump(prof.chrome_trace_with_phases(), fh, indent=2)
+            fh.write("\n")
+        print(f"perfetto trace written to {args.perfetto}")
+
+    if args.json:
+        doc = report.to_dict()
+        doc["engine"] = args.engine
+        doc["substrate"] = args.substrate
+        doc["n"] = args.n
+        doc["value"] = value
+        doc["samples"] = sampler.samples if sampler else 0
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"profile: engine={args.engine} substrate={args.substrate} "
+          f"n={args.n} value={value!r}")
+    if sampler is not None:
+        print(f"sampling profiler: {sampler.samples} stacks at "
+              f"{args.sample_hz:g} Hz")
+    print()
+    print(report.render())
+    return 0
 
 
 def _cmd_calibration(args) -> int:
@@ -898,6 +1144,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
         "serve-metrics": _cmd_serve,
         "top": _cmd_top,
     }

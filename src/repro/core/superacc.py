@@ -55,6 +55,7 @@ import numpy as np
 from repro.core.params import HPParams
 from repro.errors import ConversionOverflowError
 from repro.observability import metrics as _obs
+from repro.observability.profile import phase as _phase
 from repro.util.bits import MASK32
 
 __all__ = [
@@ -238,12 +239,14 @@ class SuperAccumulator:
         xs = np.ascontiguousarray(xs, dtype=np.float64)
         if xs.ndim != 1:
             raise ValueError(f"expected 1-D input, got shape {xs.shape}")
-        check_finite_in_range(xs, self.params)
+        with _phase("superacc.validate"):
+            check_finite_in_range(xs, self.params)
         for start in range(0, xs.shape[0], self.chunk):
             piece = xs[start : start + self.chunk]
             if self._pending + piece.shape[0] > FOLD_LIMIT:
                 self._fold("headroom")
-            _scatter_chunk(piece, self.params, self._bins)
+            with _phase("superacc.scatter"):
+                _scatter_chunk(piece, self.params, self._bins)
             self._pending += piece.shape[0]
             self.count += piece.shape[0]
         if _obs.ENABLED:
@@ -254,9 +257,10 @@ class SuperAccumulator:
     def _fold(self, reason: str) -> None:
         """Collapse the bins into the exact integer carry and zero them,
         resetting the overflow-headroom clock."""
-        self._carry += fold_bins(self._bins)
-        self._bins[:] = 0
-        self._pending = 0
+        with _phase("superacc.fold"):
+            self._carry += fold_bins(self._bins)
+            self._bins[:] = 0
+            self._pending = 0
         if _obs.ENABLED:
             reg = _obs.REGISTRY
             reg.counter("superacc.fold_triggers", reason=reason).inc()
@@ -277,10 +281,11 @@ class SuperAccumulator:
         # fold both sides' headroom into the carry first.
         if self._pending + other._pending > FOLD_LIMIT:
             self._fold("merge")
-        self._bins += other._bins
-        self._carry += other._carry
-        self._pending += other._pending
-        self.count += other.count
+        with _phase("superacc.merge"):
+            self._bins += other._bins
+            self._carry += other._carry
+            self._pending += other._pending
+            self.count += other.count
 
     # -- extraction ---------------------------------------------------------
 

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.params import HPParams
 from repro.core.scalar import from_int_scaled, Words
 from repro.errors import AdditionOverflowError, ConversionOverflowError
+from repro.observability.profile import phase as _phase
 
 __all__ = [
     "batch_from_double",
@@ -194,13 +195,16 @@ def _finalize_total(total: int, params: HPParams, check_overflow: bool = True) -
     """Range-check a true (unwrapped) integer sum and wrap it into the
     ``64N``-bit two's-complement field — the shared tail of every exact
     batch reduction (word-matrix, superaccumulator, dot products)."""
-    if check_overflow and not (params.min_int <= total <= params.max_int):
-        raise AdditionOverflowError(f"batch sum {total} outside {params} range")
-    field = 1 << (64 * params.n)
-    wrapped = total % field
-    if wrapped >= field >> 1:
-        wrapped -= field
-    return _wrap(wrapped, params)
+    with _phase("hp.finalize"):
+        if check_overflow and not (params.min_int <= total <= params.max_int):
+            raise AdditionOverflowError(
+                f"batch sum {total} outside {params} range"
+            )
+        field = 1 << (64 * params.n)
+        wrapped = total % field
+        if wrapped >= field >> 1:
+            wrapped -= field
+        return _wrap(wrapped, params)
 
 
 def _wrap(value: int, params: HPParams) -> Words:
@@ -244,8 +248,10 @@ def batch_sum_doubles(
     elif method == "words":
         total = 0
         for start in range(0, xs.shape[0], chunk):
-            piece = batch_from_double(xs[start : start + chunk], params)
-            total += _signed_total(piece)
+            with _phase("words.convert"):
+                piece = batch_from_double(xs[start : start + chunk], params)
+            with _phase("words.colsum"):
+                total += _signed_total(piece)
     else:
         raise ValueError(f"unknown summation method {method!r}")
     return _finalize_total(total, params, check_overflow)
@@ -283,9 +289,17 @@ def batch_to_double(
             f"expected shape (n, {params.n}) for {params}, got {words.shape}"
         )
     if method == "scalar":
-        return _to_double_rows_scalar(words, params)
+        with _phase("hp.round"):
+            return _to_double_rows_scalar(words, params)
     if method != "vectorized":
         raise ValueError(f"unknown decode method {method!r}")
+    with _phase("hp.round"):
+        return _batch_to_double_vectorized(words, params)
+
+
+def _batch_to_double_vectorized(
+    words: np.ndarray, params: HPParams
+) -> np.ndarray:
     n_vals, n_words = words.shape
     result = np.zeros(n_vals, dtype=np.float64)
     if n_vals == 0:

@@ -14,6 +14,7 @@ import numpy as np
 from repro.errors import ConversionOverflowError, SummandLimitError
 from repro.hallberg.params import HallbergParams
 from repro.hallberg.scalar import Digits
+from repro.observability.profile import phase as _phase
 
 __all__ = ["hb_batch_from_double", "hb_batch_sum_digits", "hb_batch_sum_doubles"]
 
@@ -100,8 +101,10 @@ def hb_batch_sum_doubles(
         )
     total = [0] * params.n
     for start in range(0, xs.shape[0], chunk):
-        piece = hb_batch_from_double(xs[start : start + chunk], params)
-        sums = np.sum(piece, axis=0, dtype=np.int64)
-        for i in range(params.n):
-            total[i] += int(sums[i])
+        with _phase("hallberg.convert"):
+            piece = hb_batch_from_double(xs[start : start + chunk], params)
+        with _phase("hallberg.colsum"):
+            sums = np.sum(piece, axis=0, dtype=np.int64)
+            for i in range(params.n):
+                total[i] += int(sums[i])
     return tuple(total)

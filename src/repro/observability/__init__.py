@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.observability import metrics, monitor, tracing
+from repro.observability import metrics, monitor, profile, tracing
 from repro.observability.export import (
     chrome_trace,
     parse_prometheus_text,
@@ -50,6 +50,16 @@ from repro.observability.metrics import (
     REGISTRY,
 )
 from repro.observability.monitor import MONITOR, DriftMonitor, monitoring
+from repro.observability.profile import (
+    ProfileReport,
+    SamplingProfiler,
+    chrome_trace_with_phases,
+    parse_collapsed,
+    phase,
+    profiled,
+    speedscope_document,
+    validate_speedscope,
+)
 from repro.observability.report import RunReport, write_metrics, write_trace
 from repro.observability.server import MetricsServer, SnapshotRing, serve_metrics
 from repro.observability.schema import (
@@ -91,6 +101,15 @@ __all__ = [
     "DriftMonitor",
     "MONITOR",
     "monitoring",
+    # profiling
+    "phase",
+    "profiled",
+    "ProfileReport",
+    "SamplingProfiler",
+    "parse_collapsed",
+    "speedscope_document",
+    "validate_speedscope",
+    "chrome_trace_with_phases",
     # reports + schemas
     "RunReport",
     "write_metrics",

@@ -69,6 +69,12 @@ HELP_TEXT = {
     "drift_permutation_probes": "Permutation re-sum probes executed.",
     "drift_threshold_breaches": "Drift observations beyond a threshold.",
     "obsserver_requests": "HTTP requests served by the metrics endpoint.",
+    "profile_phase_calls": "Times each named phase region was entered.",
+    "profile_phase_seconds":
+        "Wall seconds spent inside each named phase region.",
+    "profile_phase_call_seconds":
+        "Per-entry phase latency (seconds) as a histogram.",
+    "profile_samples": "Stacks captured by the sampling profiler.",
 }
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -24,7 +24,7 @@ _CLEAR = "\x1b[H\x1b[J"
 #: display order.
 _HOT_PREFIXES = (
     "global_sum.", "procpool.", "superacc.", "atomic.", "simmpi.", "gpu.",
-    "hp.", "obsserver.",
+    "hp.", "obsserver.", "profile.",
 )
 
 
@@ -145,6 +145,26 @@ def render_top(payload: dict, url: str = "") -> str:
             lines.append(
                 f"  method={m['labels'].get('method', '?'):12s} "
                 f"tasks={count:<7d} mean={mean * 1e3:8.2f} ms  "
+                f"max={(m['max'] or 0.0) * 1e3:8.2f} ms"
+            )
+
+    # Phase cost table from the profiling layer's latency histograms.
+    phases = [
+        m for m in metrics
+        if m["type"] == "histogram"
+        and m["name"] == "profile.phase_call_seconds"
+    ]
+    if phases:
+        lines.append("")
+        lines.append("profiled phases (per-call latency):")
+        phases.sort(key=lambda m: -m["sum"])
+        for m in phases:
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            lines.append(
+                f"  {m['labels'].get('phase', '?'):24s} "
+                f"calls={count:<7d} total={m['sum'] * 1e3:9.2f} ms  "
+                f"mean={mean * 1e3:8.2f} ms  "
                 f"max={(m['max'] or 0.0) * 1e3:8.2f} ms"
             )
     return "\n".join(lines) + "\n"

@@ -28,6 +28,7 @@ from repro.core.superacc import bin_count, fold_bins, scatter_double
 from repro.core.vectorized import _finalize_total
 from repro.hallberg.params import HallbergParams
 from repro.hallberg.scalar import hb_add, hb_from_double, hb_to_double
+from repro.observability.profile import phase as _phase
 from repro.parallel.gpu.device import SimDevice
 from repro.parallel.gpu.kernels import _b2f, _f2b, _atomic_add_word
 from repro.util.bits import MASK64, WORD_MOD
@@ -310,7 +311,8 @@ def gpu_block_sum(
     blocks = [
         [kernel(b, t) for t in range(block_size)] for b in range(num_blocks)
     ]
-    steps = launch_blocks(device, blocks)
+    with _phase("gpu.block_kernel", method=method_name):
+        steps = launch_blocks(device, blocks)
 
     raw = mem.dump(n, words_per)
     signed_repr = method_name in ("hallberg", "hp-superacc")

@@ -57,7 +57,9 @@ from multiprocessing import shared_memory as _shm_mod
 
 from repro.observability import metrics as _obs
 from repro.observability import monitor as _drift
+from repro.observability import profile as _profile
 from repro.observability import tracing as _trace
+from repro.observability.profile import phase as _phase
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.schedule import Schedule, chunk_ranges
 
@@ -101,6 +103,7 @@ def _worker_init(
     shape: tuple[int, ...],
     metrics_on: bool,
     tracing_on: bool,
+    profile_on: bool = False,
 ) -> None:
     """Pool initializer: attach the shared segment and arm observability.
 
@@ -113,6 +116,10 @@ def _worker_init(
         _obs.enable()
     if tracing_on:
         _trace.enable()
+    if profile_on:
+        # spawn starts from a fresh interpreter, so the master's phase
+        # gate does not carry over; re-arm it explicitly.
+        _profile.enable()
     _obs.REGISTRY.reset()
     _trace.TRACER.reset()
     shm = None
@@ -160,7 +167,8 @@ def _worker_run(task: tuple) -> tuple[Any, dict]:
         "procpool.worker", pid=os.getpid(), lo=lo, hi=hi, n=hi - lo,
         method=method.name, source="memmap" if path else "shm",
     ):
-        part = method.local_reduce(_worker_slice(lo, hi, path))
+        with _phase("procs.compute"):
+            part = method.local_reduce(_worker_slice(lo, hi, path))
     meta: dict = {
         "pid": os.getpid(),
         "lo": lo,
@@ -296,7 +304,8 @@ class ProcPool:
             self._pool = self._ctx.Pool(
                 processes=self.pes,
                 initializer=_worker_init,
-                initargs=(shm_name, shape, _obs.ENABLED, _trace.ENABLED),
+                initargs=(shm_name, shape, _obs.ENABLED, _trace.ENABLED,
+                          _profile.ENABLED),
             )
             if _obs.ENABLED:
                 _obs.REGISTRY.counter(
@@ -394,17 +403,21 @@ class ProcPool:
                     pes=self.pes, tasks=0,
                     start_method=self.start_method, source=source,
                 )
-            ranges = _task_ranges(n, schedule, self.pes, chunk)
+            with _phase("procs.partition"):
+                ranges = _task_ranges(n, schedule, self.pes, chunk)
             pool = self._ensure_pool()
-            outcomes = pool.map(
-                _worker_run, [(method, lo, hi, path) for lo, hi in ranges]
-            )
+            with _phase("procs.dispatch"):
+                outcomes = pool.map(
+                    _worker_run,
+                    [(method, lo, hi, path) for lo, hi in ranges],
+                )
             # Combine per-chunk partials in chunk (submission) order:
             # exact methods are order-free anyway; for doubles this makes
             # the result deterministic for a fixed (n, schedule, chunk).
-            total = method.identity()
-            for part, _meta in outcomes:
-                total = method.combine(total, part)
+            with _phase("procs.combine"):
+                total = method.identity()
+                for part, _meta in outcomes:
+                    total = method.combine(total, part)
             self._record(outcomes, method, source, reduce_span)
         value = method.finalize(total)
         if _drift.MONITOR.armed:

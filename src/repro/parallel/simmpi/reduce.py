@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.observability import metrics as _obs
 from repro.observability import tracing as _trace
+from repro.observability.profile import phase as _phase
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 from repro.parallel.simmpi.comm import SimComm, TrafficStats
@@ -62,7 +63,7 @@ def mpi_reduce_partials(
     virt_to_real = [(v + root) % comm.size for v in range(comm.size)]
     dtype = datatype or datatype_for_method(method)
     with _trace.span("simmpi.reduce", algo="binomial", size=comm.size,
-                     method=method.name):
+                     method=method.name), _phase("simmpi.tree_reduce"):
         acc: list[P] = [partials[r] for r in virt_to_real]
         mask = 1
         depth = 0

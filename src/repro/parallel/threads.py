@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
+from repro.observability.profile import phase as _phase
 from repro.parallel.methods import ReductionMethod
 from repro.parallel.partition import block_ranges
 
@@ -75,14 +76,16 @@ def thread_reduce(
         ``"simulated"`` or ``"native"`` (real threads).
     """
     data = np.ascontiguousarray(data, dtype=np.float64)
-    ranges = block_ranges(len(data), num_threads)
+    with _phase("threads.partition"):
+        ranges = block_ranges(len(data), num_threads)
 
     def worker(rank: int, lo: int, hi: int):
         # One span per PE: on the native engine these run on real pool
         # threads, so each worker span is a root in its own thread.
         with _trace.span("threads.worker", rank=rank, engine=engine,
                          size=hi - lo):
-            return method.local_reduce(data[lo:hi])
+            with _phase("threads.compute"):
+                return method.local_reduce(data[lo:hi])
 
     with _trace.span("threads.reduce", engine=engine, p=num_threads,
                      method=method.name, n=len(data)):
@@ -102,7 +105,8 @@ def thread_reduce(
 
         # Master-thread reduction of the p partials, in rank order —
         # exactly the paper's "master PE reduces the p partial sums" step.
-        with _trace.span("threads.combine", p=num_threads):
+        with _trace.span("threads.combine", p=num_threads), \
+                _phase("threads.combine"):
             total: Any = method.identity()
             for part in partials:
                 total = method.combine(total, part)

@@ -6,7 +6,14 @@ eqs. (3)-(6) block-cost analysis, and ``scaling`` the four per-figure
 strong-scaling models.
 """
 
-from repro.perfmodel.calibration import Anchor, calibration_anchors, render_calibration
+from repro.perfmodel.calibration import (
+    Anchor,
+    MeasuredAnchor,
+    calibration_anchors,
+    measured_anchors,
+    render_calibration,
+    render_measured,
+)
 from repro.perfmodel.costs import (
     MemTraffic,
     OpCounts,
@@ -50,8 +57,11 @@ from repro.perfmodel.scaling import (
 
 __all__ = [
     "Anchor",
+    "MeasuredAnchor",
     "calibration_anchors",
+    "measured_anchors",
     "render_calibration",
+    "render_measured",
     "OpCounts",
     "MemTraffic",
     "hp_ops",

@@ -22,14 +22,26 @@ transfer floor — emerges from the model structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.perfmodel.machines import TESLA_K20M, XEON_PHI_5110P, XEON_X5650
 from repro.perfmodel.scaling import cuda_time, openmp_time, phi_time, standard_specs
 from repro.util.tables import render_table
 
-__all__ = ["Anchor", "calibration_anchors", "render_calibration"]
+__all__ = [
+    "Anchor",
+    "MeasuredAnchor",
+    "MEASURED_SCHEMA",
+    "calibration_anchors",
+    "measured_anchors",
+    "render_calibration",
+    "render_measured",
+]
 
 N = 1 << 25
+
+#: Schema tag of the cost file ``repro profile --calibrate`` emits.
+MEASURED_SCHEMA = "repro.profile.calibration/1"
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,85 @@ def calibration_anchors() -> list[Anchor]:
     phi_gap = phi_time(N, 1, specs["hp"]) / phi_dbl
     anchors.append(Anchor("Phi HP/double at 1 thread", 10.0, 20.0, phi_gap))
     return anchors
+
+
+@dataclass(frozen=True)
+class MeasuredAnchor:
+    """One quantity pinned twice: by the model and by this machine.
+
+    Unlike :class:`Anchor`, whose reference is a band read off the
+    paper's figures, the reference here is a wall-clock measurement from
+    ``repro profile --calibrate`` on the host running the model — so the
+    residual says how far the X5650-anchored structural model is from
+    *this* hardware, which is exactly the correction a measured-cost
+    refit would absorb.
+    """
+
+    name: str
+    model_value: float
+    measured_value: float
+
+    @property
+    def residual(self) -> float:
+        """measured / model — 1.0 means the model nailed it here."""
+        if self.model_value == 0.0:
+            return float("inf")
+        return self.measured_value / self.model_value
+
+
+def measured_anchors(measured: Mapping[str, float],
+                     n: int = N) -> list[MeasuredAnchor]:
+    """Pair machine measurements with the model's single-thread values.
+
+    ``measured`` maps engine keys to best-of wall seconds for an
+    ``n``-summand batch sum, as emitted by ``repro profile --calibrate``:
+    ``double`` (naive ``np.sum``), ``hp-superacc``
+    (:func:`~repro.core.vectorized.batch_sum_doubles`) and ``hallberg``
+    (:func:`~repro.hallberg.vectorized.hb_batch_sum_doubles`).  Ratio
+    anchors are preferred over absolute ones where possible — they
+    cancel the host's absolute clock rate, isolating the *structural*
+    per-method cost the model actually predicts.
+    """
+    specs = {s.name: s for s in standard_specs()}
+    t_dbl = openmp_time(n, 1, specs["double"])
+    t_hp = openmp_time(n, 1, specs["hp"])
+    t_hb = openmp_time(n, 1, specs["hallberg"])
+    out: list[MeasuredAnchor] = []
+    if "double" in measured:
+        out.append(MeasuredAnchor(
+            f"double, {n} summands, 1 thread (s)",
+            t_dbl, measured["double"],
+        ))
+    if "double" in measured and "hp-superacc" in measured:
+        out.append(MeasuredAnchor(
+            "HP(6,3) superacc / double ratio",
+            t_hp / t_dbl, measured["hp-superacc"] / measured["double"],
+        ))
+    if "hp-superacc" in measured and "hallberg" in measured:
+        out.append(MeasuredAnchor(
+            "Hallberg(10,38) / HP superacc ratio",
+            t_hb / t_hp, measured["hallberg"] / measured["hp-superacc"],
+        ))
+    return out
+
+
+def render_measured(measured: Mapping[str, float], n: int = N) -> str:
+    """The residual table: anchor, model, this machine, measured/model."""
+    anchors = measured_anchors(measured, n)
+    if not anchors:
+        return "no measured anchors (need double/hp-superacc/hallberg keys)"
+    rows = [
+        (a.name, a.model_value, a.measured_value, a.residual)
+        for a in anchors
+    ]
+    header = (
+        f"paper anchors: {XEON_X5650.name}; measured: this machine, "
+        f"n={n}\n"
+    )
+    return header + render_table(
+        ["anchor", "model", "measured", "measured/model"], rows,
+        precision=3,
+    )
 
 
 def render_calibration() -> str:

@@ -27,10 +27,11 @@ CORE = "src/repro/core/_fixture.py"
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         catalog = lint.rule_catalog()
         assert [r.id for r in catalog] == [
             "HP001", "HP002", "HP003", "HP004", "HP005", "HP006",
+            "HP007",
         ]
         for r in catalog:
             assert r.summary and r.paper_ref and callable(r.check)

@@ -1,4 +1,4 @@
-"""Good/bad fixtures for every domain rule (HP001-HP006).
+"""Good/bad fixtures for every domain rule (HP001-HP007).
 
 Each bad fixture is a distilled real bug shape; each good fixture is a
 pattern the codebase legitimately uses and the rule must *not* flag —
@@ -294,3 +294,115 @@ class TestHP006HardcodedCarryBound:
                     total += i
                 return total
         """) == []
+
+
+class TestHP007TimingUnderLock:
+    def test_bad_phase_inside_lock(self):
+        findings = lint_source(textwrap.dedent("""
+            import threading
+            from repro.observability.profile import phase
+
+            class Acc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._bins = None
+
+                def merge(self, other):
+                    with self._lock:
+                        with phase("merge"):
+                            self._bins = other
+        """), "src/repro/core/_fixture.py")
+        rules = [f.rule for f in findings]
+        assert "HP007" in rules
+        hp007 = next(f for f in findings if f.rule == "HP007")
+        assert "Acc.merge" in hp007.message
+        assert "_lock" in hp007.message
+
+    def test_bad_same_statement_lock_then_span(self):
+        src = """
+            import threading
+
+            class Acc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def merge(self, tracer, other):
+                    with self._lock, tracer.span("merge"):
+                        pass
+        """
+        assert "HP007" in rules_in(src)
+
+    def test_bad_aliased_phase_and_timer(self):
+        # Conventional underscore import aliases must still match.
+        src = """
+            import threading
+            from repro.observability.profile import phase as _phase
+            from repro.util.timing import Timer
+
+            class Acc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def a(self):
+                    with self._lock:
+                        with _phase("fold"):
+                            pass
+
+                def b(self):
+                    with self._lock:
+                        with Timer("fold"):
+                            pass
+        """
+        assert rules_in(src).count("HP007") == 2
+
+    def test_good_lock_inside_timing_region(self):
+        # The recommended hoist: the span surrounds the acquisition, so
+        # its exit handler runs after the lock is released.
+        src = """
+            import threading
+            from repro.observability.profile import phase
+
+            class Acc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def merge(self, other):
+                    with phase("merge"):
+                        with self._lock:
+                            pass
+        """
+        assert "HP007" not in rules_in(src)
+
+    def test_good_lockless_class_unconstrained(self):
+        src = """
+            from repro.observability.profile import phase
+
+            class Plain:
+                def merge(self, other):
+                    with phase("merge"):
+                        pass
+        """
+        assert rules_in(src) == []
+
+    def test_good_non_timing_context_under_lock(self):
+        src = """
+            import threading
+
+            class Acc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def f(self, path):
+                    with self._lock:
+                        with open(path) as fh:
+                            return fh.read()
+        """
+        assert "HP007" not in rules_in(src)
+
+    def test_self_host_no_false_positives(self):
+        # The repo's own sources must stay clean under HP007 — the
+        # profiler was deliberately wired with every phase marker
+        # outside the accumulator locks.
+        from repro.analysis.lint import lint_paths
+
+        assert lint_paths(["src"], select=["HP007"]) == []

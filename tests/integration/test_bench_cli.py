@@ -238,3 +238,72 @@ class TestCommittedTrajectoryPoint:
         # not physically show a speedup
         if checks["speedup_gate_waived"]:
             assert checks["cpu_count"] < 2
+
+
+class TestBenchProfileFlag:
+    @pytest.fixture(scope="class")
+    def profiled_report(self) -> dict:
+        return run_regress(n=2000, repeats=1, skip_oracle=True, profile=True)
+
+    def test_report_without_profile_has_no_phases(self):
+        doc = run_regress(n=1000, repeats=1, skip_oracle=True)
+        assert "phases" not in doc
+
+    def test_phases_block_covers_both_engines(self, profiled_report):
+        phases = profiled_report["phases"]
+        assert set(phases["engines"]) == {"superacc", "words"}
+        assert phases["n"] == 2000
+        for engine, rep in phases["engines"].items():
+            assert rep["kind"] == "profile"
+            names = {row["phase"] for row in rep["phases"]}
+            if engine == "superacc":
+                assert "superacc.scatter" in names
+            else:
+                assert "words.convert" in names
+
+    def test_profiled_report_still_validates(self, profiled_report):
+        assert profiled_report["schema"] == SCHEMA
+        assert validate_report(profiled_report) == []
+
+    def test_validator_flags_malformed_phases_block(self, profiled_report):
+        bad = dict(profiled_report, phases={"nope": 1})
+        assert any("engines" in p for p in validate_report(bad))
+        bad = dict(profiled_report,
+                   phases={"engines": {"superacc": "not-a-dict"}})
+        assert any("profile dict" in p for p in validate_report(bad))
+
+    def test_old_schema_reports_still_accepted(self, profiled_report):
+        legacy = dict(profiled_report, schema="repro.bench.regress/1")
+        legacy.pop("phases")
+        assert validate_report(legacy) == []
+
+    def test_profile_pass_leaves_tracer_as_found(self):
+        from repro.observability import tracing
+
+        tracing.TRACER.reset()
+        run_regress(n=1000, repeats=1, skip_oracle=True, profile=True)
+        # The instrumented pass ran inside profiled(); the ambient
+        # tracer must come back empty and the gates disarmed.
+        assert tracing.TRACER.spans() == []
+        assert not tracing.ENABLED
+
+    def test_scaling_profile_has_worker_rows(self):
+        doc = run_scaling(n=20_000, pes_list=(1, 2), repeats=1,
+                          min_speedup=0.0, profile=True,
+                          methods=("hp-superacc",))
+        assert validate_scaling_report(doc) == []
+        block = doc["phases"]
+        assert block["substrate"] == "procs"
+        assert block["pes"] == 2
+        workers = {row["worker"] for row in block["phases"]}
+        assert "master" in workers
+        assert sum(1 for w in workers if w.startswith("pid=")) == 2
+
+    def test_cli_regress_profile_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        status = main(["bench", "--regress", "--n", "1000", "--repeats",
+                       "1", "--skip-oracle", "--profile",
+                       "--out", str(out)])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert set(doc["phases"]["engines"]) == {"superacc", "words"}

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.observability import metrics, tracing
+from repro.observability import metrics, profile, tracing
 from repro.observability.metrics import REGISTRY
 from repro.observability.monitor import MONITOR
 from repro.observability.tracing import TRACER
@@ -15,6 +15,7 @@ from repro.observability.tracing import TRACER
 def clean_observability():
     metrics.disable()
     tracing.disable()
+    profile.disable()
     MONITOR.disarm()
     MONITOR.reset()
     REGISTRY.clear()
@@ -22,6 +23,7 @@ def clean_observability():
     yield
     metrics.disable()
     tracing.disable()
+    profile.disable()
     MONITOR.disarm()
     MONITOR.reset()
     REGISTRY.clear()

@@ -26,6 +26,8 @@ def _payload():
     reg.counter("drift.order_invariance_violations", path="float64").inc(2)
     reg.histogram("procpool.task_seconds", buckets=(0.01, 0.1),
                   method="hp-superacc").observe(0.004)
+    reg.histogram("profile.phase_call_seconds", buckets=(0.01, 0.1),
+                  phase="superacc.scatter").observe(0.02)
     import time
 
     time.sleep(0.01)  # nonzero window so rates are well-defined
@@ -44,6 +46,8 @@ class TestRenderTop:
         assert "procpool.reduces" in frame
         assert "procpool task seconds:" in frame
         assert "method=hp-superacc" in frame
+        assert "profiled phases (per-call latency):" in frame
+        assert "superacc.scatter" in frame
 
     def test_rates_section_scales_units(self):
         frame = render_top(_payload())

@@ -42,6 +42,28 @@ class TestRepeatTimeit:
         repeat_timeit(lambda: calls.append(1), trials=2, warmup=3)
         assert len(calls) == 5  # warmup runs happen but are not timed
 
+    def test_default_warmup_is_one_discarded_iteration(self):
+        # Pin the default: one warmup call runs before the timed trials
+        # so first-call costs (allocator, caches, imports) never skew
+        # the samples.  trials=2 + the discarded warmup = 3 calls.
+        calls = []
+        repeat_timeit(lambda: calls.append(1), trials=2)
+        assert len(calls) == 3
+
+    def test_default_warmup_absorbs_cold_first_call(self):
+        import time
+
+        state = {"first": True}
+
+        def fn():
+            if state["first"]:
+                state["first"] = False
+                time.sleep(0.05)  # one-time setup cost
+
+        result = repeat_timeit(fn, trials=3)
+        # The cold call landed in the warmup, not the samples.
+        assert max(result.times) < 0.05
+
     def test_rejects_bad_trials(self):
         with pytest.raises(ValueError):
             repeat_timeit(lambda: None, trials=0)
