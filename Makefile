@@ -4,16 +4,32 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize bench-regress bench-scaling profile serve check
+.PHONY: test lint analyze race-smoke sanitize bench-regress \
+	bench-scaling profile serve check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Static half of the correctness tooling: the HP domain linter
-# (rules HP001-HP007, docs/ANALYSIS.md).  Fails on any finding —
-# the lint engine self-hosts over this repository.
+# Static half of the correctness tooling: the per-file HP domain
+# linter (rules HP001-HP007, docs/ANALYSIS.md).  Fails on any
+# finding — the lint engine self-hosts over this repository.
 lint:
 	$(PYTHON) -m repro lint src benchmarks
+
+# Whole-program analysis: call graph + lock graph + nondeterminism
+# taint (rules HP008-HP011 on top of the per-file set), gated by the
+# checked-in suppression baseline.  Only NEW findings fail; warm runs
+# re-parse just the files whose content hash changed.
+analyze:
+	$(PYTHON) -m repro lint --call-graph \
+		--baseline src benchmarks
+
+# Dynamic half of the race story: the happens-before detector over the
+# instrumented thread/process substrates.  Runs the clean workloads
+# (must report zero races) AND the seeded fault injection (must be
+# caught), so the gate proves the detector works in both directions.
+race-smoke:
+	$(PYTHON) -m repro lint --race-smoke src/repro/analysis
 
 # Runtime half: the race/overflow sanitizer over a threaded smoke
 # workload (atomic cell + shadowed accumulator + simulated-MPI reduce).
@@ -56,4 +72,4 @@ serve:
 	$(PYTHON) -m repro serve-metrics --port 9109 --workload 1000000 \
 		--substrate procs --pes 4
 
-check: lint test
+check: lint analyze test

@@ -1,37 +1,55 @@
-"""Correctness tooling for the HP kernels: domain lint + runtime sanitizer.
+"""Correctness tooling for the HP kernels: domain lint, whole-program
+reproducibility analysis, and runtime checkers.
 
-Two halves (see ``docs/ANALYSIS.md`` for the full catalog):
+Three layers (see ``docs/ANALYSIS.md`` for the full catalog):
 
 * :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — an AST
   lint engine with a plugin-rule registry and per-line/per-file
-  suppression comments, shipping seven HP-specific rules (HP001-HP007):
+  suppression comments, shipping seven per-file rules (HP001-HP007):
   unmasked word stores, float intermediates in integer paths, shared
   state touched outside its lock, kernel nondeterminism, silent
   ``np.uint64``/int promotion, hard-coded carry-loop bounds, and
   timing/profiling regions entered under an accumulator lock.
-* :mod:`repro.analysis.sanitizer` + :mod:`repro.analysis.smoke` — a
-  runtime harness that wraps the shared-memory primitives with a
-  lock-discipline / torn-read detector (per-word version counters) and
-  shadows accumulators with exact big-int arithmetic to pinpoint the
-  first overflow or carry-loss divergence.
+* :mod:`repro.analysis.callgraph` + :mod:`repro.analysis.lockgraph` +
+  :mod:`repro.analysis.taint` — the whole-program analyzer: a symbol
+  table and call graph with an incremental content-hash cache, feeding
+  four interprocedural passes (HP008-HP011): nondeterminism taint
+  reaching documented-exact results, lock-order-inversion deadlock
+  cycles and process spawns under a held lock, non-commutative
+  partial-result merges, and completion-order scheduling.  Findings
+  gate through the :mod:`repro.analysis.baseline` ratchet (line-free
+  fingerprints, mandatory justifications) and export as SARIF 2.1.0
+  via :mod:`repro.analysis.sarif`.
+* :mod:`repro.analysis.sanitizer` + :mod:`repro.analysis.smoke` +
+  :mod:`repro.analysis.racecheck` — runtime checkers: the sanitizer
+  wraps the shared-memory primitives with a lock-discipline /
+  torn-read detector and exact big-int shadows, and the racecheck
+  module is a happens-before (vector-clock) race detector hooked into
+  the instrumented thread/process substrates, with seeded fault
+  injection proving the gate can fail.
 
-CLI: ``repro lint [--format json] [--sanitize-smoke] PATH...`` (also
-installed as the ``repro-lint`` console script); both halves are gated
-in CI.  The linter self-hosts: it runs clean over this repository.
+CLI: ``repro lint [--call-graph] [--baseline] [--sarif PATH]
+[--sanitize-smoke] [--race-smoke] [--explain HPnnn] PATH...`` (also
+installed as the ``repro-lint`` console script); all layers are gated
+in CI.  The analyzer self-hosts: all eleven rules run clean over this
+repository with an empty baseline.
 """
 
 from __future__ import annotations
 
+from repro.analysis.callgraph import analyze_paths, build_project
 from repro.analysis.lint import (
     Finding,
     LintRule,
     RULES,
+    explain_rule,
     format_json,
     format_text,
     lint_paths,
     lint_source,
     rule_catalog,
 )
+from repro.analysis.racecheck import detect_races, race_smoke
 from repro.analysis.sanitizer import (
     SanitizerContext,
     SanitizerViolation,
@@ -49,6 +67,11 @@ __all__ = [
     "format_text",
     "format_json",
     "rule_catalog",
+    "explain_rule",
+    "analyze_paths",
+    "build_project",
+    "detect_races",
+    "race_smoke",
     "SanitizerContext",
     "SanitizerViolation",
     "ShadowAccumulator",

@@ -1,0 +1,197 @@
+"""Finding baselines: record once, ratchet down, never grow.
+
+A whole-program pass lands on a codebase with pre-existing findings; a
+baseline lets CI gate on *new* findings immediately while the
+grandfathered ones are burned down.  Semantics (the ratchet):
+
+* every baseline entry carries a **fingerprint** and a human-written
+  **justification** — an entry without one is itself an error, so the
+  file stays an auditable list of accepted debt, not a mute allowlist;
+* a finding whose fingerprint is in the baseline is *suppressed*;
+* a finding **not** in the baseline is *new* and fails the run;
+* a baseline entry matching **no** current finding is *stale*: the run
+  still passes, but ``repro lint --baseline-write`` rewrites the file
+  without it — the baseline only ever shrinks unless a human records
+  new debt explicitly.
+
+Fingerprints hash ``rule | path | message | occurrence-index`` (the
+index distinguishes repeated identical findings in one file) and
+deliberately exclude line numbers, so unrelated edits that shift code
+do not churn the file.  The same fingerprint feeds the SARIF
+``partialFingerprints`` field (:mod:`repro.analysis.sarif`), keeping
+CI-side deduplication consistent with the local ratchet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineError",
+    "apply_baseline",
+    "fingerprint",
+    "fingerprints",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Bumped when the baseline document layout changes shape.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Justification placeholder rejected by :func:`load_baseline`.
+_TODO = "TODO"
+
+
+class BaselineError(ValueError):
+    """A malformed or unjustified baseline document."""
+
+
+def fingerprint(finding: Finding, index: int = 0) -> str:
+    """Stable identity for one finding occurrence (line-number free)."""
+    h = hashlib.sha1()
+    h.update(
+        f"{finding.rule}|{finding.path}|{finding.message}|{index}".encode()
+    )
+    return h.hexdigest()
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
+    """Pair every finding with its occurrence-indexed fingerprint."""
+    counts: dict[tuple[str, str, str], int] = {}
+    out = []
+    for f in findings:
+        key = (f.rule, f.path, f.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        out.append((f, fingerprint(f, index)))
+    return out
+
+
+@dataclass
+class Baseline:
+    """The accepted-debt ledger: fingerprint -> entry metadata."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+    path: str | None = None
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching a finding set against a baseline."""
+
+    new: list[Finding]
+    suppressed: list[Finding]
+    stale: list[str]  # fingerprints no current finding matches
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load and validate a baseline document.
+
+    Raises :class:`BaselineError` when the document is malformed or any
+    entry lacks a real justification — an unexplained suppression is
+    treated as worse than the finding it hides.
+    """
+    p = Path(path)
+    if not p.exists():
+        return Baseline(entries={}, path=str(p))
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"{p}: unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"{p}: not valid JSON: {exc}") from exc
+    if doc.get("kind") != "analysis_baseline":
+        raise BaselineError(f"{p}: kind must be 'analysis_baseline'")
+    if doc.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"{p}: schema_version {doc.get('schema_version')!r} != "
+            f"{BASELINE_SCHEMA_VERSION}"
+        )
+    entries: dict[str, dict] = {}
+    for entry in doc.get("entries", []):
+        fp = entry.get("fingerprint")
+        if not fp:
+            raise BaselineError(f"{p}: entry without a fingerprint: {entry}")
+        just = (entry.get("justification") or "").strip()
+        if not just or just.upper() == _TODO:
+            raise BaselineError(
+                f"{p}: entry {fp[:12]} ({entry.get('rule', '?')}) has no "
+                "justification; every baselined finding must say why it "
+                "is accepted"
+            )
+        entries[fp] = entry
+    return Baseline(entries=entries, path=str(p))
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> BaselineResult:
+    """Split ``findings`` into new vs. suppressed; list stale entries."""
+    matched: set[str] = set()
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding, fp in fingerprints(findings):
+        if fp in baseline:
+            matched.add(fp)
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline.entries) - matched)
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(
+    path: str | Path,
+    findings: Sequence[Finding],
+    previous: Baseline | None = None,
+    default_justification: str = _TODO,
+) -> Baseline:
+    """Record ``findings`` as the new baseline (the ratchet's write side).
+
+    Entries for findings already in ``previous`` keep their existing
+    justification; genuinely new entries get ``default_justification``
+    (the ``TODO`` placeholder makes the *next* ``load_baseline`` fail
+    until a human writes the reason in, which is the point).  Stale
+    entries are dropped — the file never grows back silently.
+    """
+    prev = previous.entries if previous is not None else {}
+    entries = []
+    for finding, fp in fingerprints(findings):
+        old = prev.get(fp)
+        entries.append({
+            "fingerprint": fp,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+            "justification": (
+                old["justification"] if old else default_justification
+            ),
+        })
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    doc = {
+        "kind": "analysis_baseline",
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "entries": entries,
+    }
+    p = Path(path)
+    p.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return Baseline(entries={e["fingerprint"]: e for e in entries},
+                    path=str(p))

@@ -1,0 +1,553 @@
+"""Whole-program index: symbol table, call graph, and incremental cache.
+
+The per-file rules (HP001-HP007) see one module at a time; the
+reproducibility properties the paper actually promises — no
+order-dependent reduction feeding an exact path, no lock-order
+inversion across modules, no nondeterministic scheduling — are
+*whole-program* properties.  This module builds the shared substrate
+those passes (:mod:`repro.analysis.lockgraph`,
+:mod:`repro.analysis.taint`) run on:
+
+* **Per-file summaries.**  Each Python file is parsed once into a plain
+  JSON-serializable dict: its dotted module name, an import alias map,
+  every function/method with the calls it makes (best-effort resolved
+  to project-qualified names), the lock facts and taint facts the
+  downstream passes need, the per-file HP001-HP007 findings, and the
+  file's noqa suppression tables.
+* **Content-hash caching.**  Summaries are keyed by the SHA-256 of the
+  file's bytes plus a signature over the analyzer's own source, so a
+  warm run re-parses only edited files (asserted in tests) and any
+  change to the analysis code invalidates everything.
+* **The project graph.**  :class:`Project` stitches summaries into a
+  global symbol table with ``resolve``/``callees``/``callers`` and a
+  reachability helper; project-scope rules receive it whole.
+
+Driver: :func:`analyze_paths` runs the per-file rules (cached) plus
+every registered project rule and returns deterministic, noqa-filtered
+findings with cache statistics — this is what ``repro lint
+--call-graph`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    RULES,
+    _suppressed,
+    _suppressions,
+    iter_python_files,
+    lint_source,
+    rule_catalog,
+)
+from repro.observability import metrics as _obs
+
+__all__ = [
+    "ANALYSIS_CACHE_SCHEMA",
+    "AnalysisResult",
+    "FileSummary",
+    "Project",
+    "analysis_signature",
+    "analyze_paths",
+    "build_project",
+    "build_project_from_sources",
+    "module_name_for",
+    "summarize_source",
+]
+
+#: Bumped when the cache document layout changes shape.
+ANALYSIS_CACHE_SCHEMA = 1
+
+#: Analysis-package files whose content participates in the cache
+#: signature: editing any of them invalidates every cached summary.
+_SIGNATURE_MODULES = ("lint.py", "rules.py", "callgraph.py", "lockgraph.py",
+                      "taint.py")
+
+
+def analysis_signature() -> str:
+    """SHA-256 over the analyzer's own source: cached summaries are only
+    reusable while the code that produced them is unchanged."""
+    h = hashlib.sha256()
+    here = Path(__file__).parent
+    for name in _SIGNATURE_MODULES:
+        h.update(name.encode())
+        h.update((here / name).read_bytes())
+    return h.hexdigest()
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path.
+
+    Anchors at the last ``src`` segment when present (the repo's import
+    contract is ``PYTHONPATH=src``); otherwise uses the whole relative
+    path.  ``__init__.py`` names the package itself.
+    """
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[idx + 1:]
+    parts = [p for p in parts if p not in (".", "..", "/")]
+    if not parts:
+        return "<unknown>"
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    parts[-1] = leaf
+    if leaf == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else "<unknown>"
+
+
+# ---------------------------------------------------------------------------
+# per-file summarization
+# ---------------------------------------------------------------------------
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted target, from every import in the module."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".", 1)[0]] = (
+                    a.name if a.asname else a.name.split(".", 1)[0]
+                )
+                if a.asname:
+                    aliases[a.asname] = a.name
+        elif isinstance(node, ast.ImportFrom) and node.module and (
+            node.level == 0
+        ):
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Resolver:
+    """Best-effort resolution of call targets to project-qualified
+    dotted names, using the module's imports and local definitions."""
+
+    def __init__(self, module: str, aliases: dict[str, str],
+                 local_defs: set[str]) -> None:
+        self.module = module
+        self.aliases = aliases
+        self.local_defs = local_defs
+
+    def resolve(self, dotted: str, cls: str | None = None) -> str:
+        head, _, tail = dotted.partition(".")
+        if head == "self" and cls is not None:
+            return f"{self.module}.{cls}.{tail}" if tail else dotted
+        if head == "cls" and cls is not None:
+            return f"{self.module}.{cls}.{tail}" if tail else dotted
+        if head in self.aliases:
+            target = self.aliases[head]
+            return f"{target}.{tail}" if tail else target
+        if not tail and head in self.local_defs:
+            return f"{self.module}.{head}"
+        if tail and head in self.local_defs:
+            return f"{self.module}.{dotted}"
+        return dotted
+
+
+def _function_nodes(
+    tree: ast.Module,
+) -> list[tuple[str, str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """``(qualname, class_name, node)`` for module functions + methods."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node.name, None, node))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((f"{node.name}.{item.name}", node.name, item))
+    return out
+
+
+def _calls_in(node: ast.AST, resolver: _Resolver,
+              cls: str | None) -> list[dict]:
+    calls = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            dotted = _dotted(sub.func)
+            if dotted is None:
+                continue
+            calls.append({
+                "callee": resolver.resolve(dotted, cls),
+                "raw": dotted,
+                "line": sub.lineno,
+            })
+    return calls
+
+
+#: Docstring phrases that mark a function as part of the exact path.
+_EXACT_PHRASES = ("bit-identical", "bitwise identical", "order-invariant",
+                  "order invariant", "exact sum", "exactly the sequential",
+                  "exact, order")
+_EXACT_NAME = ("exact",)
+
+
+def _exact_claim(name: str, node: ast.AST) -> bool:
+    lowered = name.lower()
+    if any(tok in lowered for tok in _EXACT_NAME):
+        return True
+    doc = ast.get_docstring(node) or ""
+    head = doc.split("\n\n", 1)[0].lower()
+    return any(phrase in head for phrase in _EXACT_PHRASES)
+
+
+def summarize_source(text: str, path: str) -> dict:
+    """One file's whole-program facts, as a JSON-serializable dict.
+
+    Includes the per-file rule findings so a cache hit skips both the
+    re-parse *and* the HP001-HP007 re-check.
+    """
+    from repro.analysis import lockgraph as _lockgraph
+    from repro.analysis import taint as _taint
+
+    module_name = module_name_for(path)
+    per_line, per_file = _suppressions(text)
+    summary: dict = {
+        "path": path,
+        "module": module_name,
+        "suppress_lines": {str(k): sorted(v) for k, v in per_line.items()},
+        "suppress_file": sorted(per_file),
+        "file_findings": [f.to_dict() for f in lint_source(text, path)],
+        "functions": {},
+        "locks": {
+            "classes": {},
+            "acquisitions": [],
+            "calls_under_lock": [],
+            "process_spawn_under_lock": [],
+        },
+        "local_findings": [],
+        "parse_error": None,
+    }
+    try:
+        module = ModuleSource.parse(text, path)
+    except SyntaxError as exc:
+        summary["parse_error"] = f"line {exc.lineno}: {exc.msg}"
+        return summary
+
+    aliases = _import_aliases(module.tree)
+    local_defs = {
+        n.name for n in module.tree.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef))
+    }
+    resolver = _Resolver(module_name, aliases, local_defs)
+
+    for qualname, cls, node in _function_nodes(module.tree):
+        info = {
+            "line": node.lineno,
+            "end_line": getattr(node, "end_lineno", node.lineno),
+            "class": cls,
+            "exact_claim": _exact_claim(node.name, node),
+            "calls": _calls_in(node, resolver, cls),
+        }
+        info.update(_taint.function_taint_facts(node, resolver, cls))
+        summary["functions"][f"{module_name}.{qualname}"] = info
+
+    summary["locks"] = _lockgraph.lock_facts(module, resolver)
+    # Local (single-file) whole-program findings honor the same noqa
+    # tables as the classic rules, at summarize time, so cache hits
+    # carry already-filtered findings.
+    summary["local_findings"] = [
+        f.to_dict()
+        for f in sorted(
+            (
+                f for f in _taint.local_findings(module, resolver)
+                if not _suppressed(f, per_line, per_file)
+            ),
+            key=lambda f: f.sort_key,
+        )
+    ]
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# the project graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileSummary:
+    """A summary plus its content hash (one cache entry)."""
+
+    sha256: str
+    summary: dict
+    from_cache: bool = False
+
+
+@dataclass
+class Project:
+    """The stitched whole-program view handed to project-scope rules."""
+
+    files: dict[str, FileSummary] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._functions: dict[str, dict] = {}
+        self._callers: dict[str, list[str]] = {}
+        for path, fs in self.files.items():
+            for fq, info in fs.summary.get("functions", {}).items():
+                info = dict(info)
+                info["path"] = path
+                self._functions[fq] = info
+        for fq, info in self._functions.items():
+            for call in info["calls"]:
+                target = self.resolve(call["callee"])
+                if target is not None:
+                    self._callers.setdefault(target, []).append(fq)
+
+    # -- symbol table -------------------------------------------------------
+
+    @property
+    def functions(self) -> dict[str, dict]:
+        return self._functions
+
+    def resolve(self, dotted: str) -> str | None:
+        """Project-qualified function for a (possibly partial) dotted
+        callee; None for externals (``np.sum``, ``time.time``, ...)."""
+        if dotted in self._functions:
+            return dotted
+        # Unique suffix match on "Class.method" handles cross-module
+        # `ClassName.method` references whose module prefix is untracked.
+        tail = dotted.rsplit(".", 2)
+        if len(tail) >= 2:
+            suffix = ".".join(tail[-2:])
+            hits = [
+                fq for fq in self._functions
+                if fq.endswith("." + suffix)
+            ]
+            if len(hits) == 1:
+                return hits[0]
+        # `obj.method()` with an untracked receiver: resolve through the
+        # method name alone when exactly one class in the project
+        # defines it (best-effort, uniqueness-guarded).
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf != dotted:
+            hits = [
+                fq for fq, info in self._functions.items()
+                if info.get("class") and fq.endswith("." + leaf)
+            ]
+            if len(hits) == 1:
+                return hits[0]
+        return None
+
+    def callees(self, fq: str) -> list[str]:
+        info = self._functions.get(fq)
+        if info is None:
+            return []
+        out = []
+        for call in info["calls"]:
+            target = self.resolve(call["callee"])
+            if target is not None:
+                out.append(target)
+        return out
+
+    def callers(self, fq: str) -> list[str]:
+        return sorted(set(self._callers.get(fq, [])))
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Transitive closure of :meth:`callees` from ``roots``."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self._functions]
+        while stack:
+            fq = stack.pop()
+            if fq in seen:
+                continue
+            seen.add(fq)
+            stack.extend(c for c in self.callees(fq) if c not in seen)
+        return seen
+
+    # -- suppression-aware finding filter -----------------------------------
+
+    def filter_suppressed(
+        self, findings: Iterable[Finding]
+    ) -> list[Finding]:
+        out = []
+        for f in findings:
+            fs = self.files.get(f.path)
+            if fs is None:
+                out.append(f)
+                continue
+            per_line = {
+                int(k): set(v)
+                for k, v in fs.summary["suppress_lines"].items()
+            }
+            per_file = set(fs.summary["suppress_file"])
+            if not _suppressed(f, per_line, per_file):
+                out.append(f)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# cache + driver
+# ---------------------------------------------------------------------------
+
+
+def _load_cache(path: Path | None, signature: str) -> dict:
+    if path is None or not path.exists():
+        return {}
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if (
+        doc.get("schema_version") != ANALYSIS_CACHE_SCHEMA
+        or doc.get("signature") != signature
+    ):
+        return {}
+    return doc.get("files", {})
+
+
+def _save_cache(path: Path | None, signature: str,
+                files: dict[str, FileSummary]) -> None:
+    if path is None:
+        return
+    doc = {
+        "kind": "analysis_cache",
+        "schema_version": ANALYSIS_CACHE_SCHEMA,
+        "signature": signature,
+        "files": {
+            p: {"sha256": fs.sha256, "summary": fs.summary}
+            for p, fs in sorted(files.items())
+        },
+    }
+    path.write_text(json.dumps(doc), encoding="utf-8")
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus cache statistics for one analyzer run."""
+
+    findings: list[Finding]
+    project: Project
+    files_indexed: int
+    files_parsed: int
+    cache_hits: int
+
+    def stats(self) -> dict:
+        return {
+            "files_indexed": self.files_indexed,
+            "files_parsed": self.files_parsed,
+            "cache_hits": self.cache_hits,
+        }
+
+
+def build_project(
+    paths: Sequence[str | Path],
+    cache_path: str | Path | None = None,
+) -> tuple[Project, int, int]:
+    """Index every file under ``paths``; returns ``(project, parsed,
+    cache_hits)``.  Unedited files (by content hash) reuse their cached
+    summaries without re-parsing."""
+    signature = analysis_signature()
+    cpath = Path(cache_path) if cache_path is not None else None
+    cached = _load_cache(cpath, signature)
+    files: dict[str, FileSummary] = {}
+    parsed = hits = 0
+    for file in iter_python_files(paths):
+        key = str(file)
+        raw = file.read_bytes()
+        sha = hashlib.sha256(raw).hexdigest()
+        entry = cached.get(key)
+        if entry is not None and entry.get("sha256") == sha:
+            files[key] = FileSummary(sha, entry["summary"], from_cache=True)
+            hits += 1
+        else:
+            text = raw.decode("utf-8")
+            files[key] = FileSummary(sha, summarize_source(text, key))
+            parsed += 1
+    _save_cache(cpath, signature, files)
+    return Project(files=files), parsed, hits
+
+
+def build_project_from_sources(sources: dict[str, str]) -> Project:
+    """Project over in-memory ``{path: source}`` (tests, tooling)."""
+    files = {
+        path: FileSummary(
+            hashlib.sha256(text.encode()).hexdigest(),
+            summarize_source(text, path),
+        )
+        for path, text in sources.items()
+    }
+    return Project(files=files)
+
+
+def project_rules() -> list:
+    """Registered project-scope rules, id order."""
+    return [r for r in rule_catalog() if r.scope == "project"]
+
+
+def run_project_rules(
+    project: Project, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Every project rule over ``project``; suppression-filtered and
+    sorted."""
+    wanted = {s.upper() for s in select} if select is not None else None
+    findings: list[Finding] = []
+    for prule in project_rules():
+        if wanted is not None and prule.id not in wanted:
+            continue
+        findings.extend(project.filter_suppressed(prule.check(project)))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    cache_path: str | Path | None = None,
+    select: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """The full whole-program run: cached per-file rules + call-graph
+    construction + every project rule (HP008-HP011)."""
+    project, parsed, hits = build_project(paths, cache_path)
+    wanted = {s.upper() for s in select} if select is not None else None
+    findings: list[Finding] = []
+    for fs in project.files.values():
+        for doc in fs.summary["file_findings"]:
+            f = Finding.from_dict(doc)
+            if wanted is None or f.rule in wanted:
+                findings.append(f)
+        for doc in fs.summary["local_findings"]:
+            f = Finding.from_dict(doc)
+            if wanted is None or f.rule in wanted:
+                findings.append(f)
+    findings.extend(run_project_rules(project, select))
+    findings.sort(key=lambda f: f.sort_key)
+
+    if _obs.ENABLED:
+        reg = _obs.REGISTRY
+        reg.counter("analysis.files_indexed").inc(len(project.files))
+        reg.counter("analysis.files_parsed").inc(parsed)
+        reg.counter("analysis.cache_hits").inc(hits)
+        for f in findings:
+            reg.counter("analysis.findings", rule=f.rule).inc()
+    return AnalysisResult(
+        findings=findings,
+        project=project,
+        files_indexed=len(project.files),
+        files_parsed=parsed,
+        cache_hits=hits,
+    )

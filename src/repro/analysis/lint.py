@@ -50,6 +50,7 @@ __all__ = [
     "iter_python_files",
     "format_text",
     "format_json",
+    "explain_rule",
     "LINT_SCHEMA_VERSION",
     "main",
 ]
@@ -69,17 +70,28 @@ _ALL_RULES = "*"
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint violation, anchored to a source location."""
+    """One lint violation, anchored to a source location.
+
+    ``end_line`` is the last line of the offending *statement* (0 means
+    "same as line"): a ``# hp: noqa`` on any line of a multi-line
+    statement suppresses findings anchored anywhere on it.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    end_line: int = 0
 
     @property
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def line_span(self) -> range:
+        """Every source line this finding's statement occupies."""
+        return range(self.line, max(self.line, self.end_line) + 1)
 
     def to_dict(self) -> dict:
         return {
@@ -88,7 +100,19 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "end_line": max(self.line, self.end_line),
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        return cls(
+            rule=doc["rule"],
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            message=doc["message"],
+            end_line=doc.get("end_line", 0),
+        )
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -96,14 +120,25 @@ class Finding:
 
 @dataclass(frozen=True)
 class LintRule:
-    """A registered rule: metadata plus its check function."""
+    """A registered rule: metadata plus its check function.
+
+    ``scope`` selects the engine that runs the check: ``"file"`` rules
+    receive one parsed :class:`ModuleSource` at a time (the classic
+    HP001-HP007 shape), ``"project"`` rules receive the whole-program
+    :class:`repro.analysis.callgraph.Project` and may reason across
+    modules (HP008-HP011).  ``example_bad`` / ``example_good`` feed
+    ``repro lint --explain``.
+    """
 
     id: str
     name: str
     summary: str
     paper_ref: str
     packages: tuple[str, ...] | None
-    check: Callable[["ModuleSource"], Iterable[Finding]]
+    check: Callable[..., Iterable[Finding]]
+    scope: str = "file"
+    example_bad: str = ""
+    example_good: str = ""
 
     def applies_to(self, path: str) -> bool:
         """Package scoping: ``packages=None`` means every file; otherwise
@@ -130,10 +165,15 @@ def rule(
     summary: str,
     paper_ref: str,
     packages: Sequence[str] | None = None,
+    scope: str = "file",
+    example_bad: str = "",
+    example_good: str = "",
 ) -> Callable:
     """Decorator registering a rule check function under ``id``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
 
-    def decorate(fn: Callable[["ModuleSource"], Iterable[Finding]]):
+    def decorate(fn: Callable[..., Iterable[Finding]]):
         if id in RULES:
             raise ValueError(f"duplicate lint rule id {id!r}")
         RULES[id] = LintRule(
@@ -143,6 +183,9 @@ def rule(
             paper_ref=paper_ref,
             packages=tuple(packages) if packages is not None else None,
             check=fn,
+            scope=scope,
+            example_bad=example_bad,
+            example_good=example_good,
         )
         return fn
 
@@ -168,12 +211,26 @@ class ModuleSource:
         return cls(path=path, text=text, tree=tree, lines=text.splitlines())
 
     def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        # Anchor the suppression span to the *statement* containing the
+        # node, so `# hp: noqa[...]` works on any line of a multi-line
+        # call/expression (the comment usually sits on the closing line).
+        stmt = node
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                stmt = ancestor
+                break
+        if isinstance(node, ast.stmt):
+            stmt = node
+        end = getattr(stmt, "end_lineno", None) or getattr(
+            node, "end_lineno", 0
+        )
         return Finding(
             rule=rule_id,
             path=self.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            end_line=end or 0,
         )
 
     def parent(self, node: ast.AST) -> ast.AST | None:
@@ -215,8 +272,14 @@ def _suppressed(finding: Finding, per_line: dict[int, set[str]],
                 per_file: set[str]) -> bool:
     if finding.rule in per_file:
         return True
-    ids = per_line.get(finding.line)
-    return bool(ids) and (_ALL_RULES in ids or finding.rule in ids)
+    # A finding attached to a multi-line statement is suppressed by a
+    # noqa comment on *any* line of that statement (the comment usually
+    # lives on the closing paren's line, not the anchor line).
+    for lineno in finding.line_span:
+        ids = per_line.get(lineno)
+        if ids and (_ALL_RULES in ids or finding.rule in ids):
+            return True
+    return False
 
 
 def lint_source(
@@ -246,6 +309,8 @@ def lint_source(
     per_line, per_file = _suppressions(text)
     findings: list[Finding] = []
     for lint_rule in RULES.values():
+        if lint_rule.scope != "file":
+            continue  # project rules need the whole-program index
         if wanted is not None and lint_rule.id not in wanted:
             continue
         if not lint_rule.applies_to(path):
@@ -319,10 +384,53 @@ def format_json(findings: Sequence[Finding], checked_files: int | None = None) -
 
 
 def rule_catalog() -> list[LintRule]:
-    """Every registered rule, sorted by id (forces registration)."""
+    """Every registered rule, sorted by id (forces registration of both
+    the per-file rules and the whole-program HP008-HP011 passes)."""
+    from repro.analysis import lockgraph as _lockgraph  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
+    from repro.analysis import taint as _taint  # noqa: F401
 
     return [RULES[k] for k in sorted(RULES)]
+
+
+def explain_rule(rule_id: str) -> str:
+    """The ``repro lint --explain HPnnn`` payload: the rule's metadata,
+    its check function's docstring, and a bad/good example pair."""
+    rule_id = rule_id.upper()
+    if rule_id == PARSE_ERROR_RULE:
+        return (
+            f"{PARSE_ERROR_RULE} parse-error\n\n"
+            "Pseudo-rule: a file the engine cannot parse surfaces as one "
+            f"{PARSE_ERROR_RULE} finding at the syntax error's location "
+            "instead of crashing the run."
+        )
+    catalog = {r.id: r for r in rule_catalog()}
+    if rule_id not in catalog:
+        known = ", ".join(sorted(catalog))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+    r = catalog[rule_id]
+    scope = (
+        "whole-program (needs --call-graph)"
+        if r.scope == "project"
+        else ("/".join(r.packages) if r.packages else "all files")
+    )
+    doc = (r.check.__doc__ or "").strip()
+    parts = [
+        f"{r.id} {r.name} [{scope}]",
+        r.summary,
+        f"rationale: {r.paper_ref}",
+    ]
+    if doc:
+        parts.append("\n" + doc)
+    if r.example_bad:
+        parts.append("\nbad:\n" + _indent(r.example_bad))
+    if r.example_good:
+        parts.append("\ngood:\n" + _indent(r.example_good))
+    return "\n".join(parts)
+
+
+def _indent(block: str) -> str:
+    return "\n".join(f"    {line}" for line in block.strip().splitlines())
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -1,0 +1,373 @@
+"""Static lock-order analysis across modules (rule HP009).
+
+The per-file HP003 rule proves each lock-owning class touches its own
+state under its own lock; it says nothing about how locks *nest* across
+classes and modules.  Two hazards matter for the concurrent substrates
+the ROADMAP grows next:
+
+* **Lock-order inversion.**  If one code path acquires lock *A* and,
+  while holding it, acquires *B* (directly, or by calling a method that
+  does), and another path nests them the other way around, two threads
+  can each hold one lock and wait forever for the other — the classic
+  deadly embrace.  The pass extracts a global directed graph of
+  ``held -> acquired`` edges (including interprocedural edges through
+  the project call graph) and reports every cycle.
+* **Lock crossing a process boundary.**  Starting worker processes
+  (``Pool``, ``Process``, ``ProcessPoolExecutor``) while holding a lock
+  is a fork-time deadlock on POSIX: the child inherits the *locked*
+  mutex with no owner thread to ever release it.  Acquisitions around
+  process creation are flagged at the creation site.
+
+Lock identity is the class attribute (``module.Class._lock``): every
+instance of a class shares one position in the global order, which is
+exactly the granularity a static pass can promise.  Both hazards are
+reported under rule id **HP009** with distinguishing messages.
+
+Extraction runs per file (cache-friendly, see
+:mod:`repro.analysis.callgraph`); cycle detection runs on the stitched
+project.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleSource, rule
+
+__all__ = ["lock_facts", "build_lock_graph", "find_cycles"]
+
+#: Callables that create a lock (leaf of the dotted constructor name).
+_LOCK_CTORS = ("Lock", "RLock")
+
+#: Callables that create/start a child process (leaf names).
+_PROCESS_CTORS = ("Pool", "Process", "ProcessPoolExecutor")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _class_lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Underscore attributes assigned a Lock/RLock in ``__init__``."""
+    locks: set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            for stmt in ast.walk(node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                dotted = (
+                    _dotted(value.func)
+                    if isinstance(value, ast.Call) else None
+                )
+                leaf = dotted.rsplit(".", 1)[-1] if dotted else None
+                if leaf not in _LOCK_CTORS:
+                    continue
+                for target in stmt.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+    return locks
+
+
+def lock_facts(module: ModuleSource, resolver) -> dict:
+    """Per-file lock facts (JSON-serializable, cached by the callgraph).
+
+    Returns::
+
+        {
+          "classes": {"module.Class": ["_lock", ...]},
+          "acquisitions": [  # every `with self.<lock>:` entry
+            {"lock", "method", "line", "held": [outer locks]}
+          ],
+          "calls_under_lock": [  # callee invoked while a lock is held
+            {"lock", "callee", "method", "line"}
+          ],
+          "process_spawn_under_lock": [
+            {"lock", "ctor", "method", "line"}
+          ],
+        }
+    """
+    facts: dict = {
+        "classes": {},
+        "acquisitions": [],
+        "calls_under_lock": [],
+        "process_spawn_under_lock": [],
+    }
+    module_name = resolver.module
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        lock_attrs = _class_lock_attrs(cls)
+        if not lock_attrs:
+            continue
+        cls_fq = f"{module_name}.{cls.name}"
+        facts["classes"][cls_fq] = sorted(lock_attrs)
+
+        def lock_id(attr: str) -> str:
+            return f"{cls_fq}.{attr}"
+
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            method_fq = f"{cls_fq}.{method.name}"
+            _walk_method(
+                method, method_fq, lock_attrs, lock_id, resolver,
+                cls.name, facts,
+            )
+    return facts
+
+
+def _walk_method(method, method_fq, lock_attrs, lock_id, resolver,
+                 cls_name, facts) -> None:
+    """Record acquisitions/calls/spawns with the held-lock stack."""
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, ast.With):
+            inner_held = held
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr in lock_attrs:
+                    acquired = lock_id(attr)
+                    facts["acquisitions"].append({
+                        "lock": acquired,
+                        "method": method_fq,
+                        "line": item.context_expr.lineno,
+                        "held": list(inner_held),
+                    })
+                    inner_held = inner_held + (acquired,)
+            for child in node.body:
+                visit(child, inner_held)
+            return
+        if isinstance(node, ast.Call) and held:
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                leaf = dotted.rsplit(".", 1)[-1]
+                if leaf in _PROCESS_CTORS:
+                    facts["process_spawn_under_lock"].append({
+                        "lock": held[-1],
+                        "ctor": dotted,
+                        "method": method_fq,
+                        "line": node.lineno,
+                    })
+                else:
+                    facts["calls_under_lock"].append({
+                        "lock": held[-1],
+                        "callee": resolver.resolve(dotted, cls_name),
+                        "method": method_fq,
+                        "line": node.lineno,
+                    })
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in method.body:
+        visit(stmt, ())
+
+
+# ---------------------------------------------------------------------------
+# whole-program: edges, cycles, findings
+# ---------------------------------------------------------------------------
+
+
+def _direct_locks_by_function(project) -> dict[str, list[dict]]:
+    """fq function -> acquisitions it performs directly."""
+    out: dict[str, list[dict]] = {}
+    for fs in project.files.values():
+        for acq in fs.summary["locks"]["acquisitions"]:
+            out.setdefault(acq["method"], []).append(
+                {**acq, "path": fs.summary["path"]}
+            )
+    return out
+
+
+def _locks_reachable_from(
+    project, fq: str, direct: dict[str, list[dict]],
+    cache: dict[str, dict[str, dict]],
+) -> dict[str, dict]:
+    """Locks acquired by ``fq`` or anything it (transitively) calls:
+    ``lock -> representative acquisition site``."""
+    if fq in cache:
+        return cache[fq]
+    cache[fq] = {}  # cycle guard: recursive calls contribute nothing new
+    acquired: dict[str, dict] = {}
+    for acq in direct.get(fq, []):
+        acquired.setdefault(acq["lock"], acq)
+    for callee in project.callees(fq):
+        for lock, acq in _locks_reachable_from(
+            project, callee, direct, cache
+        ).items():
+            acquired.setdefault(lock, acq)
+    cache[fq] = acquired
+    return acquired
+
+
+def build_lock_graph(project) -> dict[tuple[str, str], dict]:
+    """The global ``(held, acquired)`` edge set with witness sites.
+
+    Direct edges come from nested ``with`` statements; interprocedural
+    edges from a call made while holding a lock to a function that
+    (transitively) acquires another lock.
+    """
+    edges: dict[tuple[str, str], dict] = {}
+    direct = _direct_locks_by_function(project)
+    reach_cache: dict[str, dict[str, dict]] = {}
+
+    for fs in project.files.values():
+        path = fs.summary["path"]
+        locks = fs.summary["locks"]
+        for acq in locks["acquisitions"]:
+            for held in acq["held"]:
+                if held == acq["lock"]:
+                    continue
+                edges.setdefault((held, acq["lock"]), {
+                    "method": acq["method"],
+                    "path": path,
+                    "line": acq["line"],
+                    "via": None,
+                })
+        for call in locks["calls_under_lock"]:
+            callee = project.resolve(call["callee"])
+            if callee is None:
+                continue
+            for lock, acq in _locks_reachable_from(
+                project, callee, direct, reach_cache
+            ).items():
+                if lock == call["lock"]:
+                    continue
+                edges.setdefault((call["lock"], lock), {
+                    "method": call["method"],
+                    "path": path,
+                    "line": call["line"],
+                    "via": callee,
+                })
+    return edges
+
+
+def find_cycles(edges: dict[tuple[str, str], dict]) -> list[list[str]]:
+    """Elementary cycles in the lock graph (deterministic order).
+
+    Simple DFS from each node over the (small) lock graph; each cycle is
+    reported once, rotated so its lexicographically smallest lock comes
+    first.
+    """
+    graph: dict[str, list[str]] = {}
+    for held, acquired in edges:
+        graph.setdefault(held, []).append(acquired)
+        graph.setdefault(acquired, [])
+    for succs in graph.values():
+        succs.sort()
+
+    seen_cycles: set[tuple[str, ...]] = set()
+    cycles: list[list[str]] = []
+
+    def dfs(start: str, node: str, path: list[str],
+            on_path: set[str]) -> None:
+        for nxt in graph[node]:
+            if nxt == start:
+                cycle = path[:]
+                pivot = cycle.index(min(cycle))
+                canon = tuple(cycle[pivot:] + cycle[:pivot])
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycles.append(list(canon))
+            elif nxt not in on_path and nxt > start:
+                # Only explore nodes > start: each cycle is found from
+                # its smallest node exactly once.
+                path.append(nxt)
+                on_path.add(nxt)
+                dfs(start, nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    for node in sorted(graph):
+        dfs(node, node, [node], {node})
+    cycles.sort()
+    return cycles
+
+
+@rule(
+    "HP009",
+    "lock-order-inversion",
+    "lock acquisition order must be globally consistent, and locks must "
+    "not cross a process boundary",
+    "paper Sec. III.B.2 (the CAS construction exists so shared-memory "
+    "addition needs no compound locking); deadlock-freedom is a "
+    "precondition for the sharded substrate",
+    scope="project",
+    example_bad=(
+        "with self._a:\n"
+        "    with self._b: ...     # thread 1: a -> b\n"
+        "# elsewhere:\n"
+        "with self._b:\n"
+        "    self.helper()         # helper() takes self._a: b -> a"
+    ),
+    example_good=(
+        "# one global order: _a before _b, everywhere\n"
+        "with self._a:\n"
+        "    with self._b: ..."
+    ),
+)
+def check_lock_graph(project) -> Iterator[Finding]:
+    """Whole-program lock-order pass.
+
+    Builds the global ``held -> acquired`` graph (nested ``with``
+    statements plus calls-under-lock resolved through the project call
+    graph) and reports (a) every lock-order-inversion cycle at each
+    participating acquisition site, and (b) every child-process creation
+    performed while holding a lock — on POSIX ``fork`` the child
+    inherits a locked mutex no thread will ever release.
+    """
+    edges = build_lock_graph(project)
+    for cycle in find_cycles(edges):
+        ring = cycle + [cycle[0]]
+        order = " -> ".join(ring)
+        for held, acquired in zip(ring, ring[1:]):
+            site = edges.get((held, acquired))
+            if site is None:
+                continue
+            via = f" via {site['via']}()" if site["via"] else ""
+            yield Finding(
+                rule="HP009",
+                path=site["path"],
+                line=site["line"],
+                col=1,
+                message=(
+                    f"lock-order inversion: acquiring {acquired} while "
+                    f"holding {held}{via} closes the cycle {order} "
+                    f"(in {site['method']}); pick one global order"
+                ),
+            )
+    for fs in project.files.values():
+        for spawn in fs.summary["locks"]["process_spawn_under_lock"]:
+            yield Finding(
+                rule="HP009",
+                path=fs.summary["path"],
+                line=spawn["line"],
+                col=1,
+                message=(
+                    f"{spawn['ctor']}() starts worker processes while "
+                    f"holding {spawn['lock']} (in {spawn['method']}); a "
+                    "forked child inherits the locked mutex and deadlocks "
+                    "on first acquire — release the lock before spawning"
+                ),
+            )

@@ -1,0 +1,482 @@
+"""Happens-before race detector (vector clocks) for the shared-memory
+substrates.
+
+The sanitizer's shadow-copy check (:mod:`repro.analysis.sanitizer`)
+catches a write that *bypassed* a word's CAS protocol — after the fact,
+by value divergence.  What it cannot see is an unsynchronized read/write
+*pair*: two accesses to the same location with no happens-before edge
+between them, which happened not to corrupt anything in this run but
+may in the next.  This module closes that gap with the classic
+vector-clock construction:
+
+* every logical thread ``t`` carries a clock ``C_t`` mapping thread ids
+  to event counters;
+* releasing a lock publishes the releaser's clock on the lock; acquiring
+  it joins the lock's clock into the acquirer's — the lock edge;
+* creating a task snapshots the creator's clock; the task's first event
+  joins it (fork edge); joining a finished task joins the task's final
+  clock into the joiner (join edge);
+* two accesses to the same variable, at least one a write, from
+  different threads, **race** iff neither's clock is ≤ the other's at
+  access time.
+
+Because the analysis orders accesses by happens-before edges rather than
+wall-clock interleaving, detection is *schedule-insensitive*: a rogue
+access with no edge to the worker writes is reported every run, even if
+it never physically interleaved — which is what lets the seeded
+fault-injection workload in :func:`race_smoke` assert "must be caught"
+deterministically, and the clean workloads assert "must pass".
+
+Instrumentation is opt-in and free when disabled: the substrates and
+:class:`~repro.analysis.sanitizer.SanitizedWord` call the module-level
+hook functions, which are a single ``None`` check unless a detector is
+installed with :func:`detect_races`.
+
+Modeling note — ``SanitizedWord.load`` is a deliberately relaxed read
+(the CAS loop re-validates staleness, so a stale load is retried, never
+trusted); the detector therefore models sanctioned word accesses as
+synchronized on the word's lock, and provides :func:`racy_read` /
+:func:`racy_store` as the *genuinely* unsynchronized accessors — the
+fault-injection primitives a seeded workload uses to model a non-atomic
+hardware access.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Race",
+    "RaceDetector",
+    "VectorClock",
+    "active",
+    "detect_races",
+    "race_smoke",
+    "racy_read",
+    "racy_store",
+    "task_begun",
+    "task_created",
+    "task_done",
+    "task_joined",
+]
+
+
+class VectorClock(dict):
+    """``thread id -> event count``; absent entries are zero."""
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self)
+
+    def join(self, other: dict) -> None:
+        """Pointwise maximum, in place (the happens-before join)."""
+        for tid, n in other.items():
+            if n > self.get(tid, 0):
+                self[tid] = n
+
+    def tick(self, tid: str) -> None:
+        self[tid] = self.get(tid, 0) + 1
+
+    def le(self, other: dict) -> bool:
+        """True when self ≤ other pointwise (self happens-before or
+        equals other's knowledge)."""
+        return all(n <= other.get(tid, 0) for tid, n in self.items())
+
+
+@dataclass(frozen=True)
+class Race:
+    """One unsynchronized access pair on a shared variable."""
+
+    var: str
+    first_kind: str  # "read" | "write"
+    first_thread: str
+    first_site: str
+    second_kind: str
+    second_thread: str
+    second_site: str
+
+    def __str__(self) -> str:
+        return (
+            f"race on {self.var}: {self.first_kind} by "
+            f"{self.first_thread} at {self.first_site} is unordered with "
+            f"{self.second_kind} by {self.second_thread} at "
+            f"{self.second_site}"
+        )
+
+
+@dataclass
+class _VarState:
+    """Latest access per thread, per kind (monotone clocks make the
+    latest access the only one that needs checking)."""
+
+    writes: dict[str, tuple[VectorClock, str]] = field(default_factory=dict)
+    reads: dict[str, tuple[VectorClock, str]] = field(default_factory=dict)
+
+
+class RaceDetector:
+    """Vector-clock state machine; all methods are thread-safe.
+
+    Threads are identified by their :mod:`threading` name by default;
+    the task hooks let pool code stitch fork/join edges between the
+    submitting thread and whichever worker thread ran the task.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._clocks: dict[str, VectorClock] = {}
+        self._locks: dict[str, VectorClock] = {}
+        self._tasks: dict[str, VectorClock] = {}
+        self._vars: dict[str, _VarState] = {}
+        self._races: list[Race] = []
+        self._seen: set[tuple] = set()
+        self._accesses = 0
+
+    # -- identity -----------------------------------------------------------
+
+    @staticmethod
+    def _tid() -> str:
+        return threading.current_thread().name
+
+    def _clock(self, tid: str) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock({tid: 1})
+            self._clocks[tid] = clock
+        return clock
+
+    # -- synchronization edges (callers hold no detector lock) --------------
+
+    def acquire(self, lock_key: str) -> None:
+        with self._mu:
+            self._acquire(self._tid(), lock_key)
+
+    def release(self, lock_key: str) -> None:
+        with self._mu:
+            self._release(self._tid(), lock_key)
+
+    def _acquire(self, tid: str, lock_key: str) -> None:
+        published = self._locks.get(lock_key)
+        if published is not None:
+            self._clock(tid).join(published)
+
+    def _release(self, tid: str, lock_key: str) -> None:
+        clock = self._clock(tid)
+        clock.tick(tid)
+        self._locks[lock_key] = clock.copy()
+
+    def task_created(self, task: str) -> None:
+        """Snapshot the creator's clock under ``task`` (the fork edge's
+        source); call before handing the task to a pool."""
+        with self._mu:
+            tid = self._tid()
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._tasks[task] = clock.copy()
+
+    def task_begun(self, task: str) -> None:
+        """First event of the task body: join the creator's snapshot."""
+        with self._mu:
+            snap = self._tasks.get(task)
+            if snap is not None:
+                self._clock(self._tid()).join(snap)
+
+    def task_done(self, task: str) -> None:
+        """Last event of the task body: publish the worker's clock."""
+        with self._mu:
+            tid = self._tid()
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._tasks[task] = clock.copy()
+
+    def task_joined(self, task: str) -> None:
+        """The creator observed the task's completion (future.result(),
+        pool.map return): join the worker's published clock."""
+        with self._mu:
+            snap = self._tasks.get(task)
+            if snap is not None:
+                self._clock(self._tid()).join(snap)
+
+    # -- accesses -----------------------------------------------------------
+
+    def read(self, var: str, site: str = "?", sync: str | None = None) -> None:
+        self._access(var, "read", site, sync)
+
+    def write(self, var: str, site: str = "?",
+              sync: str | None = None) -> None:
+        self._access(var, "write", site, sync)
+
+    def _access(self, var: str, kind: str, site: str,
+                sync: str | None) -> None:
+        with self._mu:
+            tid = self._tid()
+            if sync is not None:
+                self._acquire(tid, sync)
+            clock = self._clock(tid)
+            self._accesses += 1
+            state = self._vars.setdefault(var, _VarState())
+            # A write races with any unordered read or write; a read
+            # races with any unordered write.
+            against = (
+                (state.writes,) if kind == "read"
+                else (state.writes, state.reads)
+            )
+            for table in against:
+                for other_tid, (other_clock, other_site) in table.items():
+                    if other_tid == tid:
+                        continue
+                    if not other_clock.le(clock):
+                        other_kind = (
+                            "write" if table is state.writes else "read"
+                        )
+                        self._record(Race(
+                            var=var,
+                            first_kind=other_kind,
+                            first_thread=other_tid,
+                            first_site=other_site,
+                            second_kind=kind,
+                            second_thread=tid,
+                            second_site=site,
+                        ))
+            table = state.reads if kind == "read" else state.writes
+            table[tid] = (clock.copy(), site)
+            if sync is not None:
+                self._release(tid, sync)
+
+    def _record(self, race: Race) -> None:
+        key = (race.var, race.first_kind, race.first_site,
+               race.second_kind, race.second_site)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._races.append(race)
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def races(self) -> list[Race]:
+        with self._mu:
+            return list(self._races)
+
+    def report(self) -> dict:
+        with self._mu:
+            return {
+                "races": [str(r) for r in self._races],
+                "race_count": len(self._races),
+                "accesses": self._accesses,
+                "threads": sorted(self._clocks),
+                "vars": len(self._vars),
+            }
+
+
+# ---------------------------------------------------------------------------
+# module-level installation + zero-cost hooks
+# ---------------------------------------------------------------------------
+
+#: The installed detector; None means every hook is a no-op.
+_ACTIVE: RaceDetector | None = None
+
+
+def active() -> RaceDetector | None:
+    """The installed detector, or None (hooks guard on this)."""
+    return _ACTIVE
+
+
+@contextmanager
+def detect_races() -> Iterator[RaceDetector]:
+    """Install a fresh detector for the duration of the block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    det = RaceDetector()
+    _ACTIVE = det
+    try:
+        yield det
+    finally:
+        _ACTIVE = prev
+
+
+def task_created(task: str) -> None:
+    det = _ACTIVE
+    if det is not None:
+        det.task_created(task)
+
+
+def task_begun(task: str) -> None:
+    det = _ACTIVE
+    if det is not None:
+        det.task_begun(task)
+
+
+def task_done(task: str) -> None:
+    det = _ACTIVE
+    if det is not None:
+        det.task_done(task)
+
+
+def task_joined(task: str) -> None:
+    det = _ACTIVE
+    if det is not None:
+        det.task_joined(task)
+
+
+def word_var(word) -> str:
+    """Stable variable identity for one atomic word."""
+    return f"word@{id(word):#x}"
+
+
+def word_sync(word) -> str:
+    """The lock key sanctioned word accesses synchronize on."""
+    return f"lock@{id(word._lock):#x}"
+
+
+def on_word_access(word, kind: str, site: str) -> None:
+    """Hook for *sanctioned* word accesses (CAS-protocol reads/writes):
+    modeled as synchronized on the word's lock."""
+    det = _ACTIVE
+    if det is not None:
+        det._access(word_var(word), kind, site, word_sync(word))
+
+
+def racy_read(word, site: str = "racecheck.racy_read") -> int:
+    """Genuinely unsynchronized read of an atomic word — the
+    fault-injection model of a non-atomic hardware load.  Reports a
+    read with no synchronization edge, then returns the raw value."""
+    det = _ACTIVE
+    if det is not None:
+        det.read(word_var(word), site=site)
+    return word._value  # hp: noqa[HP003] -- deliberate unlocked read
+
+
+def racy_store(word, value: int, site: str = "racecheck.racy_store") -> None:
+    """Genuinely unsynchronized store to an atomic word — the seeded
+    fault the race smoke must catch (and, when the value differs from
+    the CAS-committed one, the sanitizer's shadow check also fires)."""
+    det = _ACTIVE
+    if det is not None:
+        det.write(word_var(word), site=site)
+    word._value = value & ((1 << 64) - 1)  # hp: noqa[HP003] -- fault injection
+
+
+# ---------------------------------------------------------------------------
+# smoke workloads
+# ---------------------------------------------------------------------------
+
+
+def _shared_cell_workload(det: RaceDetector, pes: int, n: int,
+                          seed_race: bool) -> float:
+    """Workers CAS-add disjoint slices into one shared AtomicHPCell under
+    the sanitizer (so every word access reports to the detector); a
+    seeded run forks one rogue thread that stores to the words with no
+    synchronization edge."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.analysis.sanitizer import sanitize
+    from repro.core.atomic import AtomicHPCell
+    from repro.core.params import HPParams
+    from repro.util.rng import default_rng
+
+    params = HPParams(3, 2)
+    rng = default_rng(7)
+    data = rng.uniform(-1.0, 1.0, n)
+    ranges = [(i * n // pes, (i + 1) * n // pes) for i in range(pes)]
+
+    with sanitize(strict=not seed_race) as ctx:
+        cell = AtomicHPCell(params)
+
+        def worker(rank: int, lo: int, hi: int) -> None:
+            task = f"smoke.worker[{rank}]"
+            det.task_begun(task)
+            try:
+                for x in data[lo:hi]:
+                    cell.atomic_add_double(float(x))
+            finally:
+                det.task_done(task)
+
+        def rogue() -> None:
+            # No task_begun: the rogue models an access with no
+            # happens-before edge to anything.
+            for word in cell.words:
+                racy_store(word, racy_read(word, site="smoke.rogue"),
+                           site="smoke.rogue")
+
+        # The rogue needs its own thread, NOT a pool slot: executor
+        # threads are reused, and a thread that earlier ran a sanctioned
+        # worker carries a vector clock that can order the "racy"
+        # accesses after the CAS writes it synchronized with — hiding
+        # the injected race on some schedules.  A fresh thread has no
+        # edge to anything by construction.
+        rogue_thread = (
+            threading.Thread(target=rogue, name="smoke.rogue-thread")
+            if seed_race else None
+        )
+        with ThreadPoolExecutor(max_workers=pes) as pool:
+            futures = []
+            for rank, (lo, hi) in enumerate(ranges):
+                det.task_created(f"smoke.worker[{rank}]")
+                futures.append(pool.submit(worker, rank, lo, hi))
+            if rogue_thread is not None:
+                rogue_thread.start()
+            for f in futures:
+                f.result()
+        if rogue_thread is not None:
+            rogue_thread.join()
+        for rank in range(pes):
+            det.task_joined(f"smoke.worker[{rank}]")
+        # Master reads after every join: ordered, race-free.
+        total = ctx.consistent_snapshot(cell)
+    from repro.core.scalar import to_double
+
+    return to_double(total, params)
+
+
+def race_smoke(
+    seed_race: bool = False,
+    pes: int = 4,
+    n: int = 2048,
+    include_procs: bool = True,
+) -> dict:
+    """Run the race-detector smoke workloads; returns a report dict.
+
+    * ``seed_race=False`` (clean): the shared-cell CAS workload, a
+      native ``thread_reduce``, and (optionally) a small ``procpool``
+      reduction all run under the detector and must report **zero**
+      races.
+    * ``seed_race=True``: the shared-cell workload additionally forks a
+      rogue thread performing unsynchronized loads/stores on the shared
+      words; the detector must report at least one race naming the
+      offending access pair.  Detection is happens-before based, hence
+      independent of how the schedule actually interleaved.
+    """
+    from repro.core.params import HPParams
+    from repro.parallel.methods import HPMethod
+    from repro.parallel.threads import thread_reduce
+    from repro.util.rng import default_rng
+
+    method = HPMethod(HPParams(3, 2))
+    report: dict = {"seeded": seed_race, "workloads": []}
+    with detect_races() as det:
+        value = _shared_cell_workload(det, pes=pes, n=n,
+                                      seed_race=seed_race)
+        report["workloads"].append({"name": "shared-cell", "value": value})
+
+        data = default_rng(11).uniform(-1.0, 1.0, n)
+        res = thread_reduce(data, method, num_threads=pes,
+                            engine="native")
+        report["workloads"].append(
+            {"name": "threads-native", "value": res.value}
+        )
+
+        if include_procs and not seed_race:
+            from repro.parallel.procpool import procpool_reduce
+
+            pres = procpool_reduce(data, method, pes=2)
+            report["workloads"].append(
+                {"name": "procpool", "value": pres.value}
+            )
+        report.update(det.report())
+
+    report["ok"] = (
+        bool(report["race_count"]) if seed_race
+        else report["race_count"] == 0
+    )
+    return report

@@ -172,6 +172,8 @@ def _self_attr(node: ast.AST) -> str | None:
     "word-array stores must wrap to 64 bits with & MASK64",
     "paper Sec. III.A (eq. 2) / Listing 2",
     packages=KERNEL_PACKAGES,
+    example_bad='out[i] = a[i] + b[i]          # grows past 64 bits\nwords[i] += carry             # cannot mask in place',
+    example_good='out[i] = (a[i] + b[i]) & MASK64\nwords[i] = (words[i] + carry) & MASK64',
 )
 def check_unmasked_word_store(module: ModuleSource) -> Iterator[Finding]:
     """Flag ``x[i] = <+ / - / << / ~ expression>`` (and ``x[i] += ...``)
@@ -233,6 +235,8 @@ def check_unmasked_word_store(module: ModuleSource) -> Iterator[Finding]:
     "integer word paths must not round through a float",
     "paper Sec. II (rounding loss) / Sec. III.A exactness",
     packages=("core", "parallel"),
+    example_bad='half = words[i] / 2           # float intermediate\nx = float(words[0])',
+    example_good='half = words[i] // 2          # stays integer',
 )
 def check_float_intermediate(module: ModuleSource) -> Iterator[Finding]:
     """Flag true division (``/``) and ``float(...)`` applied to word
@@ -319,6 +323,8 @@ def _under_lock(module: ModuleSource, node: ast.AST, boundary: ast.AST,
     "lock-owning classes must touch shared state under their lock",
     "paper Sec. III.B.2 (CAS atomicity); PR 1 AtomicWord counter race",
     packages=None,  # shared-state classes can live anywhere
+    example_bad='def bump(self):\n    self._count += 1          # unlocked access',
+    example_good='def bump(self):\n    with self._lock:\n        self._count += 1',
 )
 def check_lock_discipline(module: ModuleSource) -> Iterator[Finding]:
     """In any class whose ``__init__`` creates a ``threading.Lock``,
@@ -384,6 +390,8 @@ _BANNED_CALLS = {
     "arrival-order iteration",
     "paper Sec. III.B.3 (order invariance is the contract under test)",
     packages=("core", "parallel"),
+    example_bad='for fut in as_completed(futures): ...   # arrival order\nrng = default_rng()                     # OS entropy',
+    example_good='for fut in futures: ...                 # submission (rank) order\nrng = default_rng(seed)',
 )
 def check_kernel_nondeterminism(module: ModuleSource) -> Iterator[Finding]:
     """The whole point of the HP method is that results are bit-identical
@@ -454,6 +462,8 @@ def _is_np_uint64_call(node: ast.AST) -> bool:
     "paper Sec. IV (vectorized path exactness); NumPy promotes "
     "uint64 (+) signed int to float64",
     packages=("core", "parallel"),
+    example_bad='y = np.uint64(x) + 1          # promotes to float64',
+    example_good='y = np.uint64(x) + np.uint64(1)',
 )
 def check_uint64_promotion(module: ModuleSource) -> Iterator[Finding]:
     """``np.uint64(x) + 1`` is not a 64-bit add: NumPy resolves
@@ -507,6 +517,8 @@ def _body_stores_subscript(loop: ast.For) -> bool:
     "paper Sec. III.A: the ripple runs word N-1 up to word 0 for the "
     "format's N, not a fixed width",
     packages=("core", "parallel"),
+    example_bad='for i in range(8):\n    out[i] = 0                # hard-coded word count',
+    example_good='for i in range(params.n):\n    out[i] = 0',
 )
 def check_hardcoded_carry_bound(module: ModuleSource) -> Iterator[Finding]:
     """A ``for i in range(...)`` that stores into subscripts (a word
@@ -575,6 +587,8 @@ def _is_timing_context(expr: ast.AST) -> bool:
     "accumulator lock",
     "paper Sec. III.B.2 (short critical sections); PR 6 phase profiler",
     packages=None,  # lock-owning classes can live anywhere
+    example_bad='with self._lock:\n    with phase("merge"):      # span exit inside the lock\n        self._bins += other.bins',
+    example_good='with phase("merge"):\n    with self._lock:\n        self._bins += other.bins',
 )
 def check_timing_under_lock(module: ModuleSource) -> Iterator[Finding]:
     """In a class whose ``__init__`` creates a ``threading.Lock``, flag

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator, Sequence
 
+from repro.analysis import racecheck as _race
 from repro.core import atomic as _atomic_mod
 from repro.core.accumulator import HPAccumulator
 from repro.core.atomic import AtomicHPCell, AtomicWord
@@ -84,9 +85,14 @@ class SanitizedWord(AtomicWord):
     mutation, ``_shadow == _value`` and ``_version`` was bumped.  A
     direct store to ``_value`` (an unlocked write — precisely what a
     non-atomic 64-bit store race looks like) breaks the invariant and is
-    detected at the next lock acquisition.  ``load()`` stays the
-    inherited relaxed read: changing its semantics would change the
-    system under test.
+    detected at the next lock acquisition.  ``load()`` keeps the
+    inherited relaxed-read *semantics* (changing them would change the
+    system under test) but, when a happens-before detector is installed
+    (:mod:`repro.analysis.racecheck`), reports the access — modeled as
+    synchronized on the word's lock, because the CAS protocol re-validates
+    every load before trusting it.  Genuinely unsynchronized accesses go
+    through :func:`repro.analysis.racecheck.racy_read` /
+    :func:`~repro.analysis.racecheck.racy_store` and carry no edge.
     """
 
     # (no __slots__: the bound subclass created per-context needs a dict)
@@ -118,12 +124,26 @@ class SanitizedWord(AtomicWord):
                 ok = False
         # Report outside the word lock: the context takes its own lock and
         # holding both here would invert the finalize() ordering.
+        if _race.active() is not None:
+            # A successful CAS is a sanctioned write; a failed one only
+            # observed the value.  Either way the access synchronized on
+            # the word's lock, which the hook models as the HB edge.
+            _race.on_word_access(
+                self, "write" if ok else "read", "SanitizedWord.cas"
+            )
         if tainted is not None and self._ctx is not None:
             self._ctx.record_unlocked_write(self, tainted)
         return ok
 
+    def load(self) -> int:
+        if _race.active() is not None:
+            _race.on_word_access(self, "read", "SanitizedWord.load")
+        return self._value  # hp: noqa[HP003] -- relaxed by contract (base class)
+
     def read_versioned(self) -> tuple[int, int]:
         """Consistent ``(version, value)`` pair for snapshot validation."""
+        if _race.active() is not None:
+            _race.on_word_access(self, "read", "SanitizedWord.read_versioned")
         with self._lock:
             return self._version, self._value
 

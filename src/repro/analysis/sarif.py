@@ -1,0 +1,261 @@
+"""SARIF 2.1.0 export for analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest; emitting it makes the whole-program
+analyzer's findings reviewable inline on a pull request instead of in a
+CI log.  One ``run`` is emitted per invocation:
+
+* ``tool.driver.rules`` carries the full HP rule catalog (id, name,
+  summary, paper rationale) so viewers can render rule help;
+* each ``result`` links its rule by index, carries the finding location
+  (1-based line/column, artifact URI relative to the repo root), and a
+  ``partialFingerprints`` entry matching the baseline fingerprint
+  (:func:`repro.analysis.baseline.fingerprint`), so server-side
+  deduplication agrees with the local ratchet.
+
+:func:`validate_sarif` checks the structural subset of the 2.1.0 schema
+this exporter uses — and, when the ``jsonschema`` package is available,
+also validates against the bundled schema subset — so tests can assert
+validity without a network fetch of the full OASIS schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.baseline import fingerprints
+from repro.analysis.lint import Finding, rule_catalog
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: severity per rule family: deadlock/race hazards error, the rest warn.
+_ERROR_RULES = {"HP000", "HP003", "HP008", "HP009"}
+
+
+def _rules_array() -> list[dict]:
+    rules = []
+    for r in rule_catalog():
+        rules.append({
+            "id": r.id,
+            "name": r.name,
+            "shortDescription": {"text": r.summary},
+            "fullDescription": {
+                "text": f"{r.summary} (rationale: {r.paper_ref})"
+            },
+            "defaultConfiguration": {
+                "level": "error" if r.id in _ERROR_RULES else "warning",
+            },
+            "properties": {"scope": r.scope},
+        })
+    return rules
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    tool_version: str = "0",
+) -> dict:
+    """Build the SARIF 2.1.0 document for ``findings``."""
+    rules = _rules_array()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for finding, fp in fingerprints(findings):
+        result = {
+            "ruleId": finding.rule,
+            "level": (
+                "error" if finding.rule in _ERROR_RULES else "warning"
+            ),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                        "endLine": max(finding.end_line, finding.line, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {"hpFingerprint/v1": fp},
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": (
+                        "https://example.invalid/repro/docs/ANALYSIS.md"
+                    ),
+                    "version": str(tool_version),
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(findings: Sequence[Finding]) -> str:
+    """The document as stable, indented JSON (what ``--sarif`` writes)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+#: The structural subset of the SARIF 2.1.0 schema this exporter emits.
+#: Kept inline so validation needs no network fetch; mirrors the OASIS
+#: schema's requirements for the fields we produce.
+_SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                ],
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def validate_sarif(doc: dict) -> list[str]:
+    """Validate ``doc`` against the SARIF 2.1.0 structural requirements.
+
+    Returns a list of violation messages (empty means valid).  Always
+    runs the built-in structural checks; when ``jsonschema`` is
+    importable the document is additionally validated against the
+    bundled schema subset.
+    """
+    errors: list[str] = []
+
+    def req(cond: bool, msg: str) -> None:
+        if not cond:
+            errors.append(msg)
+
+    req(isinstance(doc, dict), "document must be an object")
+    if not isinstance(doc, dict):
+        return errors
+    req(doc.get("version") == SARIF_VERSION,
+        f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    req(isinstance(runs, list) and len(runs) >= 1,
+        "runs must be a non-empty array")
+    for i, run in enumerate(runs or []):
+        driver = (run.get("tool") or {}).get("driver") or {}
+        req(bool(driver.get("name")), f"runs[{i}].tool.driver.name required")
+        rules = driver.get("rules", [])
+        rule_count = len(rules)
+        for j, r in enumerate(rules):
+            req(bool(r.get("id")),
+                f"runs[{i}].tool.driver.rules[{j}].id required")
+        for j, result in enumerate(run.get("results", [])):
+            where = f"runs[{i}].results[{j}]"
+            req(isinstance((result.get("message") or {}).get("text"), str),
+                f"{where}.message.text required")
+            idx = result.get("ruleIndex")
+            if idx is not None:
+                req(0 <= idx < rule_count,
+                    f"{where}.ruleIndex {idx} out of range")
+                if 0 <= idx < rule_count:
+                    req(rules[idx]["id"] == result.get("ruleId"),
+                        f"{where}.ruleIndex does not match ruleId")
+            for k, loc in enumerate(result.get("locations", [])):
+                phys = loc.get("physicalLocation") or {}
+                art = phys.get("artifactLocation") or {}
+                req(bool(art.get("uri")),
+                    f"{where}.locations[{k}] artifactLocation.uri required")
+                region = phys.get("region") or {}
+                start = region.get("startLine")
+                if start is not None:
+                    req(start >= 1, f"{where}.locations[{k}] startLine >= 1")
+
+    try:
+        import jsonschema
+    except ImportError:  # structural checks above still gate validity
+        return errors
+    validator = jsonschema.Draft7Validator(_SARIF_SUBSET_SCHEMA)
+    for err in validator.iter_errors(doc):
+        errors.append(f"schema: {'/'.join(map(str, err.path))}: "
+                      f"{err.message}")
+    return errors

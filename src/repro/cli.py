@@ -441,13 +441,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of repainting in place",
     )
 
+    from repro.analysis.lint import rule_catalog as _rule_catalog
+
+    rule_lines = "\n".join(
+        f"  {r.id}  {r.name}" for r in _rule_catalog()
+    )
     p_lint = sub.add_parser(
         "lint",
-        help="HP domain lint (static rules + runtime sanitizer)",
+        help="HP domain lint (static rules + whole-program analyzer + "
+        "runtime sanitizer/race detector)",
         description="Run the AST-based HP invariant checker (rules "
-        "HP001-HP007, see docs/ANALYSIS.md) over Python files or "
-        "directories.  Exit status is the number-of-findings truth: 0 "
-        "when clean, 1 when findings (or sanitizer violations) exist.",
+        "HP001-HP011, see docs/ANALYSIS.md) over Python files or "
+        "directories.  --call-graph adds the whole-program passes "
+        "(HP008-HP011).  Exit status is the number-of-findings truth: 0 "
+        "when clean, 1 when findings (or sanitizer/race failures) exist.",
+        epilog="rules (use --explain ID for details):\n"
+        "  HP000  parse-error\n" + rule_lines,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -478,6 +488,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--smoke-pes", type=int, default=4,
         help="sanitizer smoke thread-team size (default 4)",
+    )
+    p_lint.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's documentation + good/bad example and exit",
+    )
+    p_lint.add_argument(
+        "--call-graph", action="store_true",
+        help="build the whole-program index and run the project passes "
+        "(HP008-HP011) in addition to the per-file rules",
+    )
+    p_lint.add_argument(
+        "--cache", metavar="PATH", default=".hp-analysis-cache.json",
+        help="analyzer summary cache for incremental --call-graph runs "
+        "(default .hp-analysis-cache.json)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the analyzer cache",
+    )
+    p_lint.add_argument(
+        "--baseline", action="store_true",
+        help="suppress findings recorded in the baseline file; only NEW "
+        "findings fail (default file: analysis-baseline.json)",
+    )
+    p_lint.add_argument(
+        "--baseline-path", metavar="PATH", default=None,
+        help="baseline file to gate against (implies --baseline)",
+    )
+    p_lint.add_argument(
+        "--baseline-write", action="store_true",
+        help="record current findings into the baseline (ratchet: stale "
+        "entries are dropped, kept entries keep their justification)",
+    )
+    p_lint.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write findings as a SARIF 2.1.0 document to PATH",
+    )
+    p_lint.add_argument(
+        "--race-smoke", action="store_true",
+        help="run the happens-before race detector self-test: clean "
+        "threads/procs workloads must report zero races AND the seeded "
+        "fault-injection workload must be caught",
     )
 
     return parser
@@ -792,9 +844,20 @@ def _cmd_lint(args) -> int:
 
     from repro.analysis import lint as _lint
 
+    if args.explain:
+        try:
+            print(_lint.explain_rule(args.explain))
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        return 0
+
     if args.list_rules:
         for r in _lint.rule_catalog():
-            scope = ",".join(r.packages) if r.packages else "all files"
+            scope = (
+                "whole-program" if r.scope == "project"
+                else (",".join(r.packages) if r.packages else "all files")
+            )
             print(f"{r.id}  {r.name:24s} [{scope}]")
             print(f"       {r.summary}")
             print(f"       rationale: {r.paper_ref}")
@@ -802,8 +865,48 @@ def _cmd_lint(args) -> int:
 
     select = args.select.split(",") if args.select else None
     files = _lint.iter_python_files(args.paths)
-    findings = _lint.lint_paths(args.paths, select=select)
+    analysis_stats = None
+    if args.call_graph:
+        from repro.analysis.callgraph import analyze_paths
+
+        cache = None if args.no_cache else args.cache
+        result = analyze_paths(args.paths, cache_path=cache, select=select)
+        findings = result.findings
+        analysis_stats = result.stats()
+    else:
+        findings = _lint.lint_paths(args.paths, select=select)
     failed = bool(findings)
+
+    baseline_report = None
+    if args.baseline or args.baseline_path or args.baseline_write:
+        from repro.analysis import baseline as _bl
+
+        bl_path = args.baseline_path or "analysis-baseline.json"
+        try:
+            previous = _bl.load_baseline(bl_path)
+        except _bl.BaselineError as exc:
+            print(f"baseline error: {exc}")
+            return 2
+        if args.baseline_write:
+            written = _bl.write_baseline(bl_path, findings, previous)
+            print(f"baseline: wrote {len(written)} entr"
+                  f"{'y' if len(written) == 1 else 'ies'} to {bl_path}")
+            return 0
+        matched = _bl.apply_baseline(findings, previous)
+        baseline_report = {
+            "file": bl_path,
+            "new": len(matched.new),
+            "suppressed": len(matched.suppressed),
+            "stale": len(matched.stale),
+        }
+        findings = matched.new  # only unbaselined findings gate the run
+        failed = bool(findings)
+
+    if args.sarif:
+        from repro.analysis.sarif import format_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(format_sarif(findings))
 
     smoke_report = None
     if args.sanitize_smoke:
@@ -814,13 +917,54 @@ def _cmd_lint(args) -> int:
         )
         failed = failed or not smoke_report["ok"]
 
+    race_report = None
+    if args.race_smoke:
+        from repro.analysis.racecheck import race_smoke
+
+        clean = race_smoke(seed_race=False, pes=args.smoke_pes)
+        seeded = race_smoke(seed_race=True, pes=args.smoke_pes,
+                            include_procs=False)
+        race_report = {"clean": clean, "seeded": seeded,
+                       "ok": clean["ok"] and seeded["ok"]}
+        failed = failed or not race_report["ok"]
+
     if args.format == "json":
         doc = json.loads(_lint.format_json(findings, len(files)))
+        if analysis_stats is not None:
+            doc["analysis"] = analysis_stats
+        if baseline_report is not None:
+            doc["baseline"] = baseline_report
         if smoke_report is not None:
             doc["sanitizer_smoke"] = smoke_report
+        if race_report is not None:
+            doc["race_smoke"] = race_report
         print(json.dumps(doc, indent=2))
     else:
         print(_lint.format_text(findings, len(files)))
+        if analysis_stats is not None:
+            print(
+                f"call graph: {analysis_stats['files_indexed']} files "
+                f"indexed, {analysis_stats['files_parsed']} parsed, "
+                f"{analysis_stats['cache_hits']} cache hits"
+            )
+        if baseline_report is not None:
+            print(
+                f"baseline {baseline_report['file']}: "
+                f"{baseline_report['new']} new, "
+                f"{baseline_report['suppressed']} suppressed, "
+                f"{baseline_report['stale']} stale"
+            )
+        if race_report is not None:
+            c, s = race_report["clean"], race_report["seeded"]
+            status = "ok" if race_report["ok"] else "FAILED"
+            print(
+                f"race smoke: {status} — clean workloads "
+                f"{c['race_count']} races over {c['accesses']} accesses; "
+                f"seeded fault injection caught {s['race_count']} "
+                f"race(s)"
+            )
+            for r in s["races"][:3]:
+                print(f"  [seeded] {r}")
         if smoke_report is not None:
             s = smoke_report["sanitizer"]
             status = "ok" if smoke_report["ok"] else "FAILED"

@@ -55,6 +55,7 @@ import numpy as np
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import shared_memory as _shm_mod
 
+from repro.analysis import racecheck as _race
 from repro.observability import metrics as _obs
 from repro.observability import monitor as _drift
 from repro.observability import profile as _profile
@@ -407,10 +408,15 @@ class ProcPool:
                 ranges = _task_ranges(n, schedule, self.pes, chunk)
             pool = self._ensure_pool()
             with _phase("procs.dispatch"):
+                # pool.map is a full barrier: the race detector (when
+                # armed) records the dispatch as one fork/join so the
+                # master's combine is ordered after every worker result.
+                _race.task_created("procpool.map")
                 outcomes = pool.map(
                     _worker_run,
                     [(method, lo, hi, path) for lo, hi in ranges],
                 )
+                _race.task_joined("procpool.map")
             # Combine per-chunk partials in chunk (submission) order:
             # exact methods are order-free anyway; for doubles this makes
             # the result deterministic for a fixed (n, schedule, chunk).

@@ -27,6 +27,7 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
+from repro.analysis import racecheck as _race
 from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
 from repro.observability.profile import phase as _phase
@@ -94,12 +95,24 @@ def thread_reduce(
                 worker(rank, lo, hi) for rank, (lo, hi) in enumerate(ranges)
             ]
         elif engine == "native":
+            # Fork/join edges for the happens-before race detector: a
+            # no-op unless repro.analysis.racecheck is armed.
+            def run_task(rank: int, lo: int, hi: int):
+                task = f"threads.worker[{rank}]"
+                _race.task_begun(task)
+                try:
+                    return worker(rank, lo, hi)
+                finally:
+                    _race.task_done(task)
+
             with ThreadPoolExecutor(max_workers=num_threads) as pool:
-                futures = [
-                    pool.submit(worker, rank, lo, hi)
-                    for rank, (lo, hi) in enumerate(ranges)
-                ]
+                futures = []
+                for rank, (lo, hi) in enumerate(ranges):
+                    _race.task_created(f"threads.worker[{rank}]")
+                    futures.append(pool.submit(run_task, rank, lo, hi))
                 partials = [f.result() for f in futures]
+                for rank in range(len(ranges)):
+                    _race.task_joined(f"threads.worker[{rank}]")
         else:
             raise ValueError(f"unknown engine {engine!r}")
 

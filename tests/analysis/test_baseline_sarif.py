@@ -1,0 +1,158 @@
+"""Baseline ratchet semantics and SARIF 2.1.0 export validity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    apply_baseline,
+    fingerprint,
+    fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint import Finding
+from repro.analysis.sarif import to_sarif, validate_sarif
+
+
+def F(rule="HP001", path="src/a.py", line=3, message="bad store"):
+    return Finding(rule=rule, path=path, line=line, col=1, message=message)
+
+
+class TestFingerprints:
+    def test_stable_and_line_free(self):
+        a = F(line=3)
+        b = F(line=99)  # same finding after unrelated edits moved it
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_occurrence_index_distinguishes_duplicates(self):
+        pairs = fingerprints([F(), F()])
+        assert pairs[0][1] != pairs[1][1]
+
+    def test_different_findings_differ(self):
+        assert fingerprint(F()) != fingerprint(F(message="other"))
+
+
+class TestRatchet:
+    def test_new_finding_fails(self, tmp_path):
+        bl = write_baseline(tmp_path / "b.json", [F()],
+                            default_justification="accepted: legacy")
+        result = apply_baseline([F(), F(message="fresh")], bl)
+        assert not result.ok
+        assert [f.message for f in result.new] == ["fresh"]
+        assert [f.message for f in result.suppressed] == ["bad store"]
+
+    def test_removed_finding_shrinks_baseline(self, tmp_path):
+        path = tmp_path / "b.json"
+        bl = write_baseline(path, [F(), F(message="gone")],
+                            default_justification="accepted: legacy")
+        assert len(bl) == 2
+        # The "gone" finding was fixed: the run passes and reports it
+        # stale; rewriting drops it.
+        result = apply_baseline([F()], bl)
+        assert result.ok and len(result.stale) == 1
+        rewritten = write_baseline(path, [F()], previous=bl)
+        assert len(rewritten) == 1
+        doc = json.loads(path.read_text())
+        assert [e["message"] for e in doc["entries"]] == ["bad store"]
+
+    def test_rewrite_preserves_justifications(self, tmp_path):
+        path = tmp_path / "b.json"
+        bl = write_baseline(path, [F()],
+                            default_justification="accepted: legacy")
+        rewritten = write_baseline(path, [F()], previous=bl)
+        (entry,) = rewritten.entries.values()
+        assert entry["justification"] == "accepted: legacy"
+
+    def test_empty_baseline_everything_is_new(self):
+        result = apply_baseline([F()], Baseline())
+        assert not result.ok and len(result.new) == 1
+
+
+class TestJustificationEnforcement:
+    def test_missing_justification_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, [F()])  # default justification is TODO
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(path)
+
+    def test_justified_entry_loads(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, [F()],
+                       default_justification="integer bins; associative")
+        bl = load_baseline(path)
+        assert len(bl) == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        bl = load_baseline(tmp_path / "absent.json")
+        assert len(bl) == 0
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="JSON"):
+            load_baseline(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"kind": "other", "schema_version": 1}))
+        with pytest.raises(BaselineError, match="kind"):
+            load_baseline(path)
+
+
+class TestSarif:
+    def test_document_validates(self):
+        doc = to_sarif([F(), F(rule="HP009", message="inversion")])
+        assert validate_sarif(doc) == []
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_empty_findings_still_valid(self):
+        assert validate_sarif(to_sarif([])) == []
+
+    def test_rules_catalog_embedded(self):
+        doc = to_sarif([])
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)
+        assert {"HP001", "HP008", "HP009", "HP010", "HP011"} <= set(ids)
+
+    def test_result_links_rule_by_index(self):
+        doc = to_sarif([F(rule="HP009", message="x")])
+        (result,) = doc["runs"][0]["results"]
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "HP009"
+        assert result["level"] == "error"  # deadlock family is error
+
+    def test_fingerprint_matches_baseline(self):
+        f = F()
+        doc = to_sarif([f])
+        (result,) = doc["runs"][0]["results"]
+        assert result["partialFingerprints"]["hpFingerprint/v1"] == (
+            fingerprint(f, 0)
+        )
+
+    def test_location_is_one_based(self):
+        doc = to_sarif([F(line=3)])
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] >= 1
+
+    def test_validator_flags_broken_documents(self):
+        assert validate_sarif({"version": "2.0.0", "runs": []})
+        doc = to_sarif([F()])
+        doc["runs"][0]["results"][0]["ruleIndex"] = 999
+        assert any("out of range" in e for e in validate_sarif(doc))
+
+    def test_jsonschema_path_exercised_when_available(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        assert jsonschema is not None
+        doc = to_sarif([F()])
+        del doc["runs"][0]["results"][0]["message"]
+        errors = validate_sarif(doc)
+        assert any("message" in e for e in errors)

@@ -1,0 +1,158 @@
+"""Whole-program index: call graph, summaries, and the incremental cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.callgraph import (
+    ANALYSIS_CACHE_SCHEMA,
+    analysis_signature,
+    analyze_paths,
+    build_project,
+    build_project_from_sources,
+    module_name_for,
+)
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text, encoding="utf-8")
+    return p
+
+
+CALLER = (
+    "from pkg.callee import helper\n"
+    "\n"
+    "def outer():\n"
+    "    return helper()\n"
+)
+CALLEE = (
+    "def helper():\n"
+    "    return 1\n"
+)
+
+
+class TestModuleNames:
+    def test_src_anchored(self):
+        assert module_name_for("src/repro/core/scalar.py") == (
+            "repro.core.scalar"
+        )
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_no_src_anchor(self):
+        assert module_name_for("benchmarks/bench_x.py") == (
+            "benchmarks.bench_x"
+        )
+
+
+class TestCallGraph:
+    def test_cross_module_call_resolves(self):
+        project = build_project_from_sources({
+            "src/pkg/caller.py": CALLER,
+            "src/pkg/callee.py": CALLEE,
+        })
+        assert project.callees("pkg.caller.outer") == ["pkg.callee.helper"]
+        assert project.callers("pkg.callee.helper") == ["pkg.caller.outer"]
+
+    def test_method_suffix_resolution(self):
+        project = build_project_from_sources({
+            "src/pkg/a.py": (
+                "class Acc:\n"
+                "    def total(self):\n"
+                "        return 0\n"
+            ),
+            "src/pkg/b.py": (
+                "def use(acc):\n"
+                "    return acc.total()\n"
+            ),
+        })
+        # obj.method() resolves through the unique Class.method suffix.
+        assert project.callees("pkg.b.use") == ["pkg.a.Acc.total"]
+
+    def test_reachability(self):
+        project = build_project_from_sources({
+            "src/pkg/caller.py": CALLER,
+            "src/pkg/callee.py": CALLEE,
+        })
+        assert project.reachable(["pkg.caller.outer"]) == {
+            "pkg.caller.outer", "pkg.callee.helper",
+        }
+
+
+class TestCache:
+    BAD = "def f(a, b, out):\n    out[0] = a[0] + b[0]\n"
+
+    def test_cold_then_warm_same_findings(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/mod.py", self.BAD)
+        cache = tmp_path / "cache.json"
+
+        cold = analyze_paths([src_dir], cache_path=cache)
+        assert cold.files_parsed == 1 and cold.cache_hits == 0
+        warm = analyze_paths([src_dir], cache_path=cache)
+        assert warm.files_parsed == 0 and warm.cache_hits == 1
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+        assert [f.rule for f in cold.findings] == ["HP001"]
+
+    def test_warm_run_reparses_only_edited_files(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/a.py", "x = 1\n")
+        edited = _write(tmp_path, "src/repro/core/b.py", "y = 2\n")
+        cache = tmp_path / "cache.json"
+
+        analyze_paths([src_dir], cache_path=cache)
+        edited.write_text("y = 3\n", encoding="utf-8")
+        warm = analyze_paths([src_dir], cache_path=cache)
+        # Content-hash invalidation: exactly the edited file re-parses.
+        assert warm.files_parsed == 1
+        assert warm.cache_hits == 1
+
+    def test_analyzer_signature_invalidates_cache(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/a.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+        analyze_paths([src_dir], cache_path=cache)
+
+        doc = json.loads(cache.read_text())
+        assert doc["kind"] == "analysis_cache"
+        assert doc["schema_version"] == ANALYSIS_CACHE_SCHEMA
+        assert doc["signature"] == analysis_signature()
+        # Simulate an analyzer-source edit: stamp a different signature.
+        doc["signature"] = "0" * 64
+        cache.write_text(json.dumps(doc), encoding="utf-8")
+
+        rerun = analyze_paths([src_dir], cache_path=cache)
+        assert rerun.files_parsed == 1 and rerun.cache_hits == 0
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/a.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        res = analyze_paths([src_dir], cache_path=cache)
+        assert res.files_parsed == 1
+
+    def test_parse_error_surfaces_and_caches(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/bad.py", "def f(:\n")
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([src_dir], cache_path=cache)
+        assert [f.rule for f in cold.findings] == ["HP000"]
+        warm = analyze_paths([src_dir], cache_path=cache)
+        assert [f.rule for f in warm.findings] == ["HP000"]
+        assert warm.cache_hits == 1
+
+
+class TestProjectBuild:
+    def test_build_project_counts(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "core"
+        _write(tmp_path, "src/repro/core/a.py", "x = 1\n")
+        _write(tmp_path, "src/repro/core/b.py", "y = 2\n")
+        project, parsed, hits = build_project([src_dir])
+        assert len(project.files) == 2
+        assert parsed == 2 and hits == 0

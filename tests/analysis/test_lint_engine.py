@@ -27,14 +27,21 @@ CORE = "src/repro/core/_fixture.py"
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_rules_registered(self):
         catalog = lint.rule_catalog()
         assert [r.id for r in catalog] == [
             "HP001", "HP002", "HP003", "HP004", "HP005", "HP006",
-            "HP007",
+            "HP007", "HP008", "HP009", "HP010", "HP011",
         ]
         for r in catalog:
             assert r.summary and r.paper_ref and callable(r.check)
+            assert r.scope in ("file", "project")
+        # The whole-program passes are project-scoped; the classics are
+        # per-file.
+        scopes = {r.id: r.scope for r in catalog}
+        assert scopes["HP001"] == "file"
+        for rid in ("HP008", "HP009", "HP010", "HP011"):
+            assert scopes[rid] == "project"
 
     def test_duplicate_id_rejected(self):
         lint.rule_catalog()  # force registration of HP001
@@ -110,6 +117,36 @@ class TestSuppressions:
         src = BAD.replace("+ b[0]", "+ b[0]  # hp: noqa[hp001]")
         assert lint_source(src, CORE) == []
 
+    # -- multi-line statement span (regression: suppressions used to
+    # anchor only to the node's first line) ------------------------------
+
+    MULTILINE = (
+        "def f(a, b, out):\n"
+        "    out[0] = (\n"
+        "        a[0]\n"
+        "        + b[0]\n"
+        "    )\n"
+    )
+
+    def test_multiline_statement_fires_without_noqa(self):
+        (finding,) = lint_source(self.MULTILINE, CORE)
+        assert finding.rule == "HP001"
+        # The finding records the statement's full span.
+        assert finding.line == 2
+        assert finding.end_line == 5
+        assert list(finding.line_span) == [2, 3, 4, 5]
+
+    def test_noqa_on_any_line_of_multiline_statement_suppresses(self):
+        for lineno in (2, 3, 4, 5):
+            lines = self.MULTILINE.splitlines()
+            lines[lineno - 1] += "  # hp: noqa[HP001]"
+            src = "\n".join(lines) + "\n"
+            assert lint_source(src, CORE) == [], f"line {lineno}"
+
+    def test_noqa_outside_statement_span_does_not_suppress(self):
+        src = self.MULTILINE + "x = 1  # hp: noqa[HP001]\n"
+        assert [f.rule for f in lint_source(src, CORE)] == ["HP001"]
+
 
 class TestSelectAndErrors:
     def test_select_restricts_rules(self):
@@ -168,8 +205,11 @@ class TestOutputFormats:
         assert doc["counts"] == {"HP001": 1}
         (entry,) = doc["findings"]
         assert entry == findings[0].to_dict()
-        assert set(entry) == {"rule", "path", "line", "col", "message"}
+        assert set(entry) == {
+            "rule", "path", "line", "col", "message", "end_line",
+        }
 
     def test_finding_roundtrip(self):
-        f = Finding(rule="HP001", path="p", line=3, col=7, message="m")
-        assert Finding(**f.to_dict()) == f
+        f = Finding(rule="HP001", path="p", line=3, col=7, message="m",
+                    end_line=5)
+        assert Finding.from_dict(f.to_dict()) == f

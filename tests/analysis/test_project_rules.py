@@ -1,0 +1,325 @@
+"""The whole-program passes HP008-HP011 on synthetic projects."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import build_project_from_sources
+from repro.analysis.callgraph import run_project_rules
+
+
+def findings_for(sources: dict, select=None):
+    project = build_project_from_sources(sources)
+    return run_project_rules(project, select=select)
+
+
+class TestHP008Taint:
+    def test_direct_np_sum_in_exact_function(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def exact_total(xs):\n"
+                "    t = np.sum(xs)\n"
+                "    return float(t)\n"
+            ),
+        }, select=["HP008"])
+        assert len(out) == 1
+        assert "np.sum" in out[0].message
+        assert out[0].path == "src/pkg/m.py"
+
+    def test_interprocedural_taint_via_helper(self):
+        out = findings_for({
+            "src/pkg/helper.py": (
+                "import numpy as np\n"
+                "def noisy(xs):\n"
+                "    return np.sum(xs)\n"
+            ),
+            "src/pkg/m.py": (
+                "from pkg.helper import noisy\n"
+                "def exact_total(xs):\n"
+                "    return noisy(xs)\n"
+            ),
+        }, select=["HP008"])
+        # Both the exact claimer and nothing else: the helper makes no
+        # exactness claim so only the caller is reported, naming the
+        # function the taint arrived through.
+        assert [f.path for f in out] == ["src/pkg/m.py"]
+        assert "via pkg.helper.noisy()" in out[0].message
+
+    def test_docstring_exactness_claim_counts(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def total(xs):\n"
+                '    """Order-invariant total of xs."""\n'
+                "    return np.sum(xs)\n"
+            ),
+        }, select=["HP008"])
+        assert len(out) == 1
+
+    def test_non_exact_function_not_reported(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def fast_total(xs):\n"
+                "    return np.sum(xs)\n"
+            ),
+        }, select=["HP008"])
+        assert out == []
+
+    def test_integer_dtype_reduction_exempt(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def exact_count(xs):\n"
+                "    return int(np.sum(xs, dtype=np.uint64))\n"
+            ),
+        }, select=["HP008"])
+        assert out == []
+
+    def test_integer_container_name_exempt(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def exact_total(bins):\n"
+                "    return int(np.sum(bins))\n"
+            ),
+        }, select=["HP008"])
+        assert out == []
+
+    def test_wall_clock_taint(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import time\n"
+                "def exact_stamp():\n"
+                "    t = time.time()\n"
+                "    return t\n"
+            ),
+        }, select=["HP008"])
+        assert len(out) == 1
+        assert "wall-clock" in out[0].message
+
+    def test_unseeded_rng_taint_and_seeded_ok(self):
+        bad = findings_for({
+            "src/pkg/m.py": (
+                "from numpy.random import default_rng\n"
+                "def exact_noise(n):\n"
+                "    return default_rng().uniform(0, 1, n)\n"
+            ),
+        }, select=["HP008"])
+        good = findings_for({
+            "src/pkg/m.py": (
+                "from numpy.random import default_rng\n"
+                "def exact_noise(n):\n"
+                "    return default_rng(42).uniform(0, 1, n)\n"
+            ),
+        }, select=["HP008"])
+        assert len(bad) == 1 and good == []
+
+    def test_sorted_launders_order_dependence(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "def exact_keys(d):\n"
+                "    return sorted(set(d))\n"
+            ),
+        }, select=["HP008"])
+        assert out == []
+
+    def test_noqa_suppresses_project_finding(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import numpy as np\n"
+                "def exact_total(xs):  # hp: noqa[HP008]\n"
+                "    return float(np.sum(xs))\n"
+            ),
+        }, select=["HP008"])
+        assert out == []
+
+
+class TestHP009LockGraph:
+    AB = (
+        "import threading\n"
+        "class Pair:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def ab(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+    )
+
+    def test_direct_inversion_cycle(self):
+        out = findings_for({
+            "src/pkg/m.py": self.AB + (
+                "    def ba(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                pass\n"
+            ),
+        }, select=["HP009"])
+        assert len(out) == 2  # one finding per edge site in the cycle
+        assert all("lock-order inversion" in f.message for f in out)
+        assert "pkg.m.Pair._a" in out[0].message
+
+    def test_consistent_order_is_clean(self):
+        out = findings_for({"src/pkg/m.py": self.AB}, select=["HP009"])
+        assert out == []
+
+    def test_interprocedural_inversion(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import threading\n"
+                "class Pair:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "    def take_a(self):\n"
+                "        with self._a:\n"
+                "            pass\n"
+                "    def ab(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n"
+                "    def ba(self):\n"
+                "        with self._b:\n"
+                "            self.take_a()\n"
+            ),
+        }, select=["HP009"])
+        assert len(out) >= 1
+        assert any("via pkg.m.Pair.take_a()" in f.message for f in out)
+
+    def test_process_spawn_under_lock(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import threading\n"
+                "from multiprocessing import Pool\n"
+                "class Spawner:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def go(self):\n"
+                "        with self._lock:\n"
+                "            return Pool(2)\n"
+            ),
+        }, select=["HP009"])
+        assert len(out) == 1
+        assert "inherits the locked mutex" in out[0].message
+
+    def test_spawn_outside_lock_is_clean(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import threading\n"
+                "from multiprocessing import Pool\n"
+                "class Spawner:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def go(self):\n"
+                "        with self._lock:\n"
+                "            n = 2\n"
+                "        return Pool(n)\n"
+            ),
+        }, select=["HP009"])
+        assert out == []
+
+
+class TestHP010Merge:
+    def test_subtraction_between_partials(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "class M:\n"
+                "    def combine(self, a, b):\n"
+                "        return a - b\n"
+            ),
+        }, select=["HP010"])
+        assert len(out) == 1
+        assert "non-commutative '-'" in out[0].message
+
+    def test_division_between_partials(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "class M:\n"
+                "    def merge(self, left, right):\n"
+                "        return left / right\n"
+            ),
+        }, select=["HP010"])
+        assert len(out) == 1
+
+    def test_elementwise_addition_is_clean(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "class M:\n"
+                "    def combine(self, a, b):\n"
+                "        return tuple(x + y for x, y in zip(a, b))\n"
+            ),
+        }, select=["HP010"])
+        assert out == []
+
+    def test_subtracting_a_constant_is_clean(self):
+        # Only partial-vs-partial subtraction is order-dependent.
+        out = findings_for({
+            "src/pkg/m.py": (
+                "class M:\n"
+                "    def combine(self, a, b):\n"
+                "        return (a + b) - 1\n"
+            ),
+        }, select=["HP010"])
+        assert out == []
+
+
+class TestHP011Scheduling:
+    def test_imap_unordered(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "def run(pool, tasks):\n"
+                "    return list(pool.imap_unordered(str, tasks))\n"
+            ),
+        }, select=["HP011"])
+        assert len(out) == 1
+        assert "imap_unordered" in out[0].message
+
+    def test_map_over_set_literal(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "def run(pool):\n"
+                "    return pool.map(str, {1, 2, 3})\n"
+            ),
+        }, select=["HP011"])
+        assert len(out) == 1
+
+    def test_submit_loop_over_glob(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import glob\n"
+                "def run(pool):\n"
+                "    for p in glob.glob('*.npy'):\n"
+                "        pool.submit(str, p)\n"
+            ),
+        }, select=["HP011"])
+        assert len(out) == 1
+
+    def test_sorted_glob_is_clean(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "import glob\n"
+                "def run(pool):\n"
+                "    for p in sorted(glob.glob('*.npy')):\n"
+                "        pool.submit(str, p)\n"
+            ),
+        }, select=["HP011"])
+        assert out == []
+
+    def test_map_over_list_is_clean(self):
+        out = findings_for({
+            "src/pkg/m.py": (
+                "def run(pool, tasks):\n"
+                "    return pool.map(str, tasks)\n"
+            ),
+        }, select=["HP011"])
+        assert out == []
+
+
+class TestSelfHost:
+    def test_repo_self_hosts_clean(self):
+        from repro.analysis.callgraph import analyze_paths
+
+        res = analyze_paths(["src", "benchmarks"], cache_path=None)
+        assert res.findings == [], [f.format() for f in res.findings]
+        assert res.files_indexed > 100

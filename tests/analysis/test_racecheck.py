@@ -1,0 +1,204 @@
+"""Happens-before race detector: vector clocks, detector semantics, and
+the fault-injection / clean smoke workloads."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.racecheck import (
+    RaceDetector,
+    VectorClock,
+    active,
+    detect_races,
+    race_smoke,
+    racy_read,
+    racy_store,
+)
+
+
+class TestVectorClock:
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({"t1": 3, "t2": 1})
+        a.join({"t1": 2, "t3": 5})
+        assert a == {"t1": 3, "t2": 1, "t3": 5}
+
+    def test_le(self):
+        assert VectorClock({"t1": 1}).le({"t1": 2})
+        assert VectorClock({"t1": 1}).le({"t1": 1})
+        assert not VectorClock({"t1": 2}).le({"t1": 1})
+        assert not VectorClock({"t1": 1, "t2": 1}).le({"t1": 5})
+        assert VectorClock().le({})
+
+
+def _run_in_thread(fn, name):
+    t = threading.Thread(target=fn, name=name)
+    t.start()
+    t.join()
+
+
+class TestDetectorSemantics:
+    def test_unordered_write_write_races(self):
+        det = RaceDetector()
+        det.write("x", site="main-site")
+        _run_in_thread(lambda: det.write("x", site="other-site"), "other")
+        (race,) = det.races
+        assert race.var == "x"
+        assert {race.first_site, race.second_site} == {
+            "main-site", "other-site",
+        }
+
+    def test_read_write_races_but_read_read_does_not(self):
+        det = RaceDetector()
+        det.read("x", site="r1")
+        _run_in_thread(lambda: det.read("x", site="r2"), "reader")
+        assert det.races == []
+        _run_in_thread(lambda: det.write("x", site="w"), "writer")
+        assert len(det.races) == 2  # vs both unordered reads
+
+    def test_lock_synchronization_orders_accesses(self):
+        det = RaceDetector()
+
+        def locked_write(site):
+            det.acquire("L")
+            det.write("x", site=site)
+            det.release("L")
+
+        locked_write("first")
+        _run_in_thread(lambda: locked_write("second"), "other")
+        assert det.races == []
+
+    def test_sync_shorthand_matches_explicit_lock(self):
+        det = RaceDetector()
+        det.write("x", site="a", sync="L")
+        _run_in_thread(
+            lambda: det.write("x", site="b", sync="L"), "other"
+        )
+        assert det.races == []
+
+    def test_different_locks_do_not_order(self):
+        det = RaceDetector()
+        det.write("x", site="a", sync="L1")
+        _run_in_thread(
+            lambda: det.write("x", site="b", sync="L2"), "other"
+        )
+        assert len(det.races) == 1
+
+    def test_fork_join_edges(self):
+        det = RaceDetector()
+        det.write("x", site="before-fork")
+        det.task_created("t")
+
+        def body():
+            det.task_begun("t")
+            det.write("x", site="in-task")  # ordered after the fork
+            det.task_done("t")
+
+        _run_in_thread(body, "worker")
+        det.task_joined("t")
+        det.write("x", site="after-join")  # ordered after the join
+        assert det.races == []
+
+    def test_missing_fork_edge_is_a_race(self):
+        det = RaceDetector()
+        det.write("x", site="master")
+        _run_in_thread(lambda: det.write("x", site="rogue"), "rogue")
+        assert len(det.races) == 1
+
+    def test_races_deduplicate_by_site_pair(self):
+        det = RaceDetector()
+        det.write("x", site="a")
+
+        def body():
+            det.write("x", site="b")
+            det.write("x", site="b")
+
+        _run_in_thread(body, "other")
+        assert len(det.races) == 1
+
+    def test_report_shape(self):
+        det = RaceDetector()
+        det.write("x", site="a")
+        rep = det.report()
+        assert rep["race_count"] == 0
+        assert rep["accesses"] == 1
+        assert rep["vars"] == 1
+
+
+class TestInstallation:
+    def test_hooks_are_noops_when_inactive(self):
+        assert active() is None
+
+        class FakeWord:
+            _value = 7
+            _lock = threading.Lock()
+
+        # No detector installed: raw access, nothing recorded.
+        assert racy_read(FakeWord) == 7
+        racy_store(FakeWord, 9)
+        assert FakeWord._value == 9
+
+    def test_detect_races_installs_and_restores(self):
+        assert active() is None
+        with detect_races() as det:
+            assert active() is det
+        assert active() is None
+
+    def test_racy_accessors_report(self):
+        class FakeWord:
+            _value = 7
+            _lock = threading.Lock()
+
+        with detect_races() as det:
+            racy_store(FakeWord, 1, site="w")
+            _run_in_thread(
+                lambda: racy_read(FakeWord, site="r"), "reader"
+            )
+            assert len(det.races) == 1
+
+
+class TestSanitizedWordHooks:
+    def test_cas_accesses_are_lock_ordered(self):
+        from repro.analysis.sanitizer import SanitizedWord
+
+        with detect_races() as det:
+            word = SanitizedWord(0)
+            word.cas(0, 5)
+            _run_in_thread(lambda: word.cas(5, 6), "other")
+            assert det.races == []
+            assert word.load() == 6
+
+    def test_racy_store_races_with_cas(self):
+        from repro.analysis.sanitizer import SanitizedWord
+
+        with detect_races() as det:
+            word = SanitizedWord(0)
+            word.cas(0, 5)
+            _run_in_thread(
+                lambda: racy_store(word, 9, site="rogue"), "rogue"
+            )
+            assert len(det.races) >= 1
+            assert any(r.second_site == "rogue" for r in det.races)
+
+
+class TestSmokeWorkloads:
+    def test_clean_workloads_report_zero_races(self):
+        report = race_smoke(seed_race=False, pes=3, n=512,
+                            include_procs=True)
+        assert report["ok"]
+        assert report["race_count"] == 0
+        assert report["accesses"] > 0
+        names = [w["name"] for w in report["workloads"]]
+        assert names == ["shared-cell", "threads-native", "procpool"]
+        # The two HP reductions agree (exactness is preserved under
+        # instrumentation).
+        values = {w["name"]: w["value"] for w in report["workloads"]}
+        assert values["threads-native"] == values["procpool"]
+
+    def test_seeded_fault_injection_is_caught(self):
+        report = race_smoke(seed_race=True, pes=3, n=512,
+                            include_procs=False)
+        assert report["ok"]
+        assert report["race_count"] >= 1
+        # The report names the offending unsynchronized access pair.
+        assert any("smoke.rogue" in r for r in report["races"])
+        assert any("unordered with" in r for r in report["races"])

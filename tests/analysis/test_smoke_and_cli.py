@@ -126,6 +126,148 @@ class TestLintCli:
         assert doc["sanitizer_smoke"]["sanitizer"]["violations"] == []
 
 
+class TestExplainFlag:
+    def test_explain_prints_doc_and_examples(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--explain", "HP008")
+        assert code == 0
+        assert "HP008 nondeterminism-reaches-exact-result" in out
+        assert "bad:" in out and "good:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--explain", "hp001")
+        assert code == 0 and "HP001" in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--explain", "HP999")
+        assert code == 2
+        assert "unknown rule" in out and "HP008" in out
+
+    def test_help_epilog_lists_every_rule(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for r in lint.rule_catalog():
+            assert r.id in out
+        assert "HP000" in out  # the parse-error pseudo-rule too
+
+    def test_list_rules_marks_whole_program_scope(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("HP008", "HP009", "HP010", "HP011"):
+            assert rule_id in out
+        assert "whole-program" in out
+
+
+class TestCallGraphFlag:
+    def test_call_graph_reports_cache_stats(self, fixture_tree, capsys):
+        cache = fixture_tree.parent / "cache.json"
+        code, out, _ = run_cli(
+            capsys, "lint", "--call-graph", "--cache", str(cache),
+            str(fixture_tree),
+        )
+        assert code == 1  # bad.py still fires HP001
+        assert "call graph: 2 files indexed, 2 parsed, 0 cache hits" in out
+
+        code, out, _ = run_cli(
+            capsys, "lint", "--call-graph", "--cache", str(cache),
+            str(fixture_tree),
+        )
+        assert "call graph: 2 files indexed, 0 parsed, 2 cache hits" in out
+
+    def test_no_cache_always_parses(self, fixture_tree, capsys):
+        for _ in range(2):
+            _, out, _ = run_cli(
+                capsys, "lint", "--call-graph", "--no-cache",
+                str(fixture_tree),
+            )
+            assert "2 parsed, 0 cache hits" in out
+
+    def test_call_graph_json_embeds_stats(self, fixture_tree, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--format", "json", "--call-graph",
+            "--no-cache", str(fixture_tree),
+        )
+        doc = json.loads(out)
+        assert doc["analysis"]["files_indexed"] == 2
+
+
+class TestBaselineFlag:
+    def test_write_then_gate_roundtrip(self, fixture_tree, capsys, tmp_path):
+        bl = tmp_path / "bl.json"
+        code, out, _ = run_cli(
+            capsys, "lint", "--baseline-path", str(bl), "--baseline-write",
+            str(fixture_tree),
+        )
+        assert code == 0
+        assert f"baseline: wrote 1 entry to {bl}" in out
+
+        # The freshly written entry carries a TODO justification, which
+        # the loader refuses: justifications are mandatory.
+        code, out, _ = run_cli(
+            capsys, "lint", "--baseline-path", str(bl), str(fixture_tree),
+        )
+        assert code == 2 and "baseline error" in out
+
+        doc = json.loads(bl.read_text())
+        doc["entries"][0]["justification"] = "legacy kernel; tracked"
+        bl.write_text(json.dumps(doc))
+
+        code, out, _ = run_cli(
+            capsys, "lint", "--baseline-path", str(bl), str(fixture_tree),
+        )
+        assert code == 0
+        assert f"baseline {bl}: 0 new, 1 suppressed, 0 stale" in out
+
+    def test_new_finding_still_fails_under_baseline(
+        self, fixture_tree, capsys, tmp_path
+    ):
+        bl = tmp_path / "bl.json"
+        bl.write_text(json.dumps({
+            "kind": "analysis_baseline", "schema_version": 1,
+            "entries": [],
+        }))
+        code, out, _ = run_cli(
+            capsys, "lint", "--baseline-path", str(bl), str(fixture_tree),
+        )
+        assert code == 1 and "1 new" in out
+
+
+class TestSarifFlag:
+    def test_sarif_file_written_and_valid(
+        self, fixture_tree, capsys, tmp_path
+    ):
+        from repro.analysis.sarif import validate_sarif
+
+        out_path = tmp_path / "lint.sarif"
+        code, _, _ = run_cli(
+            capsys, "lint", "--sarif", str(out_path), str(fixture_tree),
+        )
+        assert code == 1
+        doc = json.loads(out_path.read_text())
+        assert validate_sarif(doc) == []
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["HP001"]
+
+    def test_sarif_respects_baseline_filter(
+        self, fixture_tree, capsys, tmp_path
+    ):
+        bl = tmp_path / "bl.json"
+        run_cli(capsys, "lint", "--baseline-path", str(bl), "--baseline-write",
+                str(fixture_tree))
+        doc = json.loads(bl.read_text())
+        doc["entries"][0]["justification"] = "legacy kernel; tracked"
+        bl.write_text(json.dumps(doc))
+
+        out_path = tmp_path / "lint.sarif"
+        code, _, _ = run_cli(
+            capsys, "lint", "--baseline-path", str(bl), "--sarif",
+            str(out_path), str(fixture_tree),
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["runs"][0]["results"] == []  # suppressed, not exported
+
+
 class TestConsoleScript:
     def test_repro_lint_entry_point_delegates(self, fixture_tree, capsys):
         code = lint.main([str(fixture_tree)])
