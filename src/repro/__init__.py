@@ -45,6 +45,8 @@ from repro.core import (
     hp_dot,
     HPNumber,
     HPParams,
+    SmallAccumulator,
+    smallacc_total,
     SuperAccumulator,
     superacc_total,
     batch_from_double,
@@ -85,6 +87,8 @@ __all__ = [
     "AdaptiveAccumulator",
     "SuperAccumulator",
     "superacc_total",
+    "SmallAccumulator",
+    "smallacc_total",
     "hp_dot",
     "AtomicHPCell",
     "AtomicWord",

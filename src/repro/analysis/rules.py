@@ -1,4 +1,4 @@
-"""The HP domain lint rules (HP001-HP007).
+"""The HP domain lint rules (HP001-HP007, HP012).
 
 Each rule encodes one invariant from the paper that ordinary Python
 tooling cannot check (see ``docs/ANALYSIS.md`` for the full catalog with
@@ -16,6 +16,8 @@ HP006     carry-propagation loops must derive their bounds from the data,
           not hard-coded word counts
 HP007     profiling/timing regions must not be entered while holding an
           accumulator lock
+HP012     engine entry points must be reached through the registry
+          (``repro.core.engines``), not imported directly
 ========  ==================================================================
 
 Rules are deliberately *precise over complete*: each one matches a
@@ -32,6 +34,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import Path
 from typing import Iterator
 
 from repro.analysis.lint import Finding, ModuleSource, rule
@@ -645,3 +648,77 @@ def check_timing_under_lock(module: ModuleSource) -> Iterator[Finding]:
                             "the lock so the span exit does not extend the "
                             "critical section",
                         )
+
+
+# ---------------------------------------------------------------------------
+# HP012 — engine functions imported around the registry
+# ---------------------------------------------------------------------------
+
+#: Engine entry points that must be reached through the registry
+#: (``repro.core.engines``) rather than bound directly.
+_ENGINE_FUNCS = frozenset(
+    {"superacc_total", "smallacc_total", "words_scaled_total"}
+)
+
+#: Files allowed to bind engine functions directly: the engines
+#: themselves, the registry that wraps them, and the package surfaces
+#: that re-export them.
+_ENGINE_HOSTS = frozenset(
+    {
+        ("core", "engines.py"),
+        ("core", "superacc.py"),
+        ("core", "smallacc.py"),
+        ("core", "vectorized.py"),
+        ("core", "__init__.py"),
+        ("repro", "__init__.py"),
+    }
+)
+
+
+def _is_engine_host(path: str) -> bool:
+    parts = Path(path).parts
+    return len(parts) >= 2 and (parts[-2], parts[-1]) in _ENGINE_HOSTS
+
+
+@rule(
+    "HP012",
+    "engine-registry-bypass",
+    "engine entry points must be dispatched through repro.core.engines",
+    "paper Sec. IV (one exactness contract per engine); PR 8 registry "
+    "unification",
+    packages=None,  # callers can live anywhere outside the hosts
+    example_bad='from repro.core.superacc import superacc_total\ntotal = superacc_total(xs, params)',
+    example_good='from repro.core import engines\ntotal = engines.scaled_total(xs, params, chunk, "superacc")',
+)
+def check_engine_registry_bypass(module: ModuleSource) -> Iterator[Finding]:
+    """Flag direct imports (and dotted references) of the per-engine
+    total functions — ``superacc_total`` / ``smallacc_total`` /
+    ``words_scaled_total`` — anywhere outside the engine modules, the
+    registry, and the ``repro.core`` re-export surface.  The registry
+    (:mod:`repro.core.engines`) is the single dispatch point: a caller
+    that binds an engine function directly re-grows the if/elif ladders
+    the registry replaced, and silently misses engines added later
+    (aliases, capability checks, new backends)."""
+    if _is_engine_host(module.path):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _ENGINE_FUNCS:
+                    yield module.finding(
+                        "HP012",
+                        node,
+                        f"direct import of engine function "
+                        f"{alias.name!r} bypasses the registry; dispatch "
+                        "via repro.core.engines (scaled_total/batch_words "
+                        "or get(name).scaled_total)",
+                    )
+        elif isinstance(node, ast.Attribute) and node.attr in _ENGINE_FUNCS:
+            dotted = _dotted(node)
+            if dotted is not None:
+                yield module.finding(
+                    "HP012",
+                    node,
+                    f"dotted engine call {dotted}() bypasses the registry; "
+                    "dispatch via repro.core.engines",
+                )

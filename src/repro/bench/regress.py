@@ -3,15 +3,20 @@
 What it measures
 ----------------
 For every Table-1 configuration the matrix times one full batch
-reduction of the same ``n`` summands through both engines of
-:func:`repro.core.vectorized.batch_sum_doubles`:
+reduction of the same ``n`` summands through every engine of
+:func:`repro.core.vectorized.batch_sum_doubles` (the
+:mod:`repro.core.engines` registry):
 
 ``words``
     the O(n * N) word-matrix path (convert every summand to N words,
     fold the column sums);
 ``superacc``
     the exponent-binned superaccumulator fast path
-    (:mod:`repro.core.superacc`).
+    (:mod:`repro.core.superacc`), timed on its default pure-NumPy
+    backend — "today's" baseline for the small-engine speedup;
+``small``
+    Neal's small superaccumulator (:mod:`repro.core.smallacc`) on its
+    default ``auto`` backend (compiled when available).
 
 Timing is best-of-``repeats`` wall time via ``time.perf_counter`` —
 best-of, not mean, because the regression question is "how fast can this
@@ -20,17 +25,24 @@ polluted by scheduler noise.
 
 What it checks
 --------------
-* both engines produce bit-identical HP words on every case;
+* all engines produce bit-identical HP words on every case;
 * at the headline configuration (the largest word count in the matrix,
-  N=8 by default) the superaccumulator words match the scalar
-  :class:`repro.core.accumulator.HPAccumulator` oracle across several
-  random permutations of the input and several chunk sizes — the
-  order-invariance contract, pinned against the slowest, most literal
-  implementation in the repo;
+  N=8 by default) the superaccumulator AND small-engine words match the
+  scalar :class:`repro.core.accumulator.HPAccumulator` oracle across
+  several random permutations of the input and several chunk sizes —
+  the order-invariance contract, pinned against the slowest, most
+  literal implementation in the repo.  The small engine is checked on
+  *both* the pure-NumPy backend and the resolved compiled backend (when
+  one is available), so backend interchangeability is part of the gate;
 * the superaccumulator beats the words path at the headline
-  configuration by at least ``min_speedup``.
+  configuration by at least ``min_speedup``;
+* the small engine's speedup over the superaccumulator at the headline
+  is recorded against the ``small_target`` (10x): missing the target
+  does not fail the gate (container-dependent), but the honest measured
+  ratio and an explanatory note land in ``checks`` — the PR 4
+  waived-gate precedent.
 
-The report is schema-versioned (``repro.bench.regress/2``) so later PRs
+The report is schema-versioned (``repro.bench.regress/3``) so later PRs
 can extend it without breaking consumers; ``BENCH_<pr>.json`` files
 committed at the repo root form the performance trajectory across the
 PR stack.
@@ -42,12 +54,22 @@ import platform
 import time
 from typing import Callable, Sequence
 
-SCHEMA = "repro.bench.regress/2"
+SCHEMA = "repro.bench.regress/3"
 
 #: Prior schema versions a report may still carry: /2 only *added* the
-#: optional ``phases`` block, so /1 documents (the committed trajectory
-#: points) remain fully valid.
-ACCEPTED_SCHEMAS = ("repro.bench.regress/1", SCHEMA)
+#: optional ``phases`` block and /3 only added the small-engine columns
+#: (``small_*`` case keys, the ``small_oracle`` block, small checks), so
+#: earlier documents (the committed trajectory points) remain fully
+#: valid.
+ACCEPTED_SCHEMAS = (
+    "repro.bench.regress/1",
+    "repro.bench.regress/2",
+    SCHEMA,
+)
+
+#: Headline speedup target for the small engine over the (pure) superacc
+#: baseline.  Recorded, not enforced: see the module docstring.
+SMALL_TARGET_SPEEDUP = 10.0
 
 #: matrix defaults, pinned so reports stay comparable across PRs
 DEFAULT_N = 1 << 20
@@ -121,8 +143,10 @@ def run_regress(
     """
     import numpy as np
 
+    from repro.core import native as _native
     from repro.core.params import TABLE1_CONFIGS, HPParams
     from repro.core.scalar import to_double
+    from repro.core.smallacc import SmallAccumulator
     from repro.core.superacc import SuperAccumulator
     from repro.core.vectorized import batch_sum_doubles
 
@@ -143,13 +167,19 @@ def run_regress(
         params = HPParams(n_words, k)
         words_result = batch_sum_doubles(xs, params, method="words")
         superacc_result = batch_sum_doubles(xs, params, method="superacc")
+        small_result = batch_sum_doubles(xs, params, method="small")
         bit_identical = words_result == superacc_result
+        small_bit_identical = small_result == words_result
         words_s = _time_best(
             lambda p=params: batch_sum_doubles(xs, p, method="words"),
             repeats,
         )
         superacc_s = _time_best(
             lambda p=params: batch_sum_doubles(xs, p, method="superacc"),
+            repeats,
+        )
+        small_s = _time_best(
+            lambda p=params: batch_sum_doubles(xs, p, method="small"),
             repeats,
         )
         case = {
@@ -159,8 +189,11 @@ def run_regress(
             "n": n,
             "words_seconds": words_s,
             "superacc_seconds": superacc_s,
+            "small_seconds": small_s,
             "speedup": words_s / superacc_s if superacc_s > 0 else None,
+            "small_speedup": superacc_s / small_s if small_s > 0 else None,
             "bit_identical": bool(bit_identical),
+            "small_bit_identical": bool(small_bit_identical),
         }
         cases.append(case)
         if drift_monitor is not None:
@@ -176,12 +209,22 @@ def run_regress(
             headline = case
 
     oracle = None
+    small_oracle = None
     oracle_ok = True
+    small_oracle_ok = True
     if not skip_oracle:
         params = HPParams(headline["n_words"], headline["k"])
         reference = _oracle_words(xs, params)
         rng = np.random.default_rng(seed + 1)
         trials = []
+        small_trials = []
+        # The small engine is oracle-checked on the pure backend and,
+        # when the resolution chain yields a compiled one, on that too —
+        # the same permutation/chunk grid for every backend.
+        small_backends = ["pure"]
+        resolved = _native.backend_name()
+        if resolved != "pure":
+            small_backends.append("auto")
         for p in range(permutations):
             order = rng.permutation(n)
             permuted = xs[order]
@@ -197,6 +240,21 @@ def run_regress(
                     }
                 )
                 oracle_ok = oracle_ok and match
+                for backend in small_backends:
+                    small = SmallAccumulator(
+                        params, chunk=int(chunk), backend=backend
+                    )
+                    small.absorb(permuted)
+                    small_match = small.to_words() == reference
+                    small_trials.append(
+                        {
+                            "permutation": p,
+                            "chunk": int(chunk),
+                            "backend": small.backend,
+                            "bit_identical": bool(small_match),
+                        }
+                    )
+                    small_oracle_ok = small_oracle_ok and small_match
         oracle = {
             "params": str(params),
             "n": n,
@@ -205,20 +263,66 @@ def run_regress(
             "trials": trials,
             "bit_identical": bool(oracle_ok),
         }
+        small_oracle = {
+            "params": str(params),
+            "n": n,
+            "permutations": permutations,
+            "chunk_sizes": [int(c) for c in chunk_sizes],
+            "backends": [
+                "pure" if b == "pure" else resolved for b in small_backends
+            ],
+            "compiled_backend_available": resolved != "pure",
+            "trials": small_trials,
+            "bit_identical": bool(small_oracle_ok),
+        }
 
     bit_identical_all = all(c["bit_identical"] for c in cases)
+    small_bit_identical_all = all(c["small_bit_identical"] for c in cases)
     speedup_headline = headline["speedup"]
+    small_speedup_headline = headline["small_speedup"]
     superacc_faster = (
         speedup_headline is not None and speedup_headline >= min_speedup
     )
+    small_target_met = (
+        small_speedup_headline is not None
+        and small_speedup_headline >= SMALL_TARGET_SPEEDUP
+    )
+    if small_target_met:
+        small_target_note = None
+    else:
+        # PR 4 precedent: record the honest measured ratio and say why
+        # the bar was not cleared on this machine, instead of failing a
+        # container-dependent gate.
+        small_target_note = (
+            "small engine measured "
+            f"{small_speedup_headline:.2f}x over the pure-NumPy "
+            f"hp-superacc serial path on backend "
+            f"{_native.backend_name()!r}, below the "
+            f"{SMALL_TARGET_SPEEDUP:.0f}x target; ratio is "
+            "machine/backend dependent (compiled backend unavailable or "
+            "slow container) — recorded, not gated."
+        )
     checks = {
         "bit_identical_all": bool(bit_identical_all),
         "oracle_bit_identical": bool(oracle_ok),
+        "small_bit_identical_all": bool(small_bit_identical_all),
+        "small_oracle_bit_identical": bool(small_oracle_ok),
+        "small_backend": _native.backend_name(),
         "headline_params": headline["params"],
         "speedup_headline": speedup_headline,
         "min_speedup": min_speedup,
         "superacc_faster": bool(superacc_faster),
-        "passed": bool(bit_identical_all and oracle_ok and superacc_faster),
+        "small_speedup_headline": small_speedup_headline,
+        "small_target": SMALL_TARGET_SPEEDUP,
+        "small_target_met": bool(small_target_met),
+        "small_target_note": small_target_note,
+        "passed": bool(
+            bit_identical_all
+            and oracle_ok
+            and superacc_faster
+            and small_bit_identical_all
+            and small_oracle_ok
+        ),
     }
 
     doc = {
@@ -238,6 +342,7 @@ def run_regress(
         },
         "cases": cases,
         "oracle": oracle,
+        "small_oracle": small_oracle,
         "checks": checks,
     }
     if drift_monitor is not None:
@@ -258,7 +363,7 @@ def _profile_pass(xs, headline: dict) -> dict:
 
     params = HPParams(headline["n_words"], headline["k"])
     engines: dict[str, dict] = {}
-    for engine in ("superacc", "words"):
+    for engine in ("superacc", "small", "words"):
         prior_spans = _tracing.TRACER.export()["spans"]
         _tracing.TRACER.reset()
         try:
@@ -296,6 +401,17 @@ _REQUIRED_CHECKS = (
     "passed",
 )
 
+#: Additional keys required from /3 reports (the small-engine columns).
+_REQUIRED_CASE_V3 = ("small_seconds", "small_speedup", "small_bit_identical")
+_REQUIRED_CHECKS_V3 = (
+    "small_bit_identical_all",
+    "small_oracle_bit_identical",
+    "small_speedup_headline",
+    "small_target",
+    "small_target_met",
+    "small_backend",
+)
+
 
 def validate_report(doc: dict) -> list[str]:
     """Structural validation of a regression report; returns problems
@@ -321,15 +437,23 @@ def validate_report(doc: dict) -> list[str]:
     for key in _REQUIRED_TOP:
         if key not in doc:
             problems.append(f"missing top-level key {key!r}")
+    is_v3 = doc.get("schema") == SCHEMA
+    case_keys = _REQUIRED_CASE + (_REQUIRED_CASE_V3 if is_v3 else ())
+    check_keys = _REQUIRED_CHECKS + (_REQUIRED_CHECKS_V3 if is_v3 else ())
     for i, case in enumerate(doc.get("cases", [])):
-        for key in _REQUIRED_CASE:
+        for key in case_keys:
             if key not in case:
                 problems.append(f"cases[{i}] missing key {key!r}")
     checks = doc.get("checks", {})
     if isinstance(checks, dict):
-        for key in _REQUIRED_CHECKS:
+        for key in check_keys:
             if key not in checks:
                 problems.append(f"checks missing key {key!r}")
+    small_oracle = doc.get("small_oracle")
+    if is_v3 and small_oracle is not None:
+        for key in ("backends", "trials", "bit_identical"):
+            if key not in small_oracle:
+                problems.append(f"small_oracle missing key {key!r}")
     return problems
 
 
@@ -337,7 +461,7 @@ def format_summary(doc: dict) -> str:
     """Human-readable one-screen summary of a report."""
     lines = [f"bench regress (schema {doc['schema']})"]
     for case in doc["cases"]:
-        lines.append(
+        line = (
             "  {params:<14} n={n}  words {w:8.1f} ms  superacc {s:8.1f} ms"
             "  speedup {x:5.2f}x  {eq}".format(
                 params=case["params"],
@@ -348,6 +472,17 @@ def format_summary(doc: dict) -> str:
                 eq="bit-identical" if case["bit_identical"] else "MISMATCH",
             )
         )
+        if "small_seconds" in case:
+            line += "  | small {sm:8.1f} ms ({sx:5.2f}x vs superacc, {eq})".format(
+                sm=case["small_seconds"] * 1e3,
+                sx=case["small_speedup"] or 0.0,
+                eq=(
+                    "bit-identical"
+                    if case["small_bit_identical"]
+                    else "MISMATCH"
+                ),
+            )
+        lines.append(line)
     oracle = doc.get("oracle")
     if oracle:
         lines.append(
@@ -361,6 +496,20 @@ def format_summary(doc: dict) -> str:
                 ),
             )
         )
+    small_oracle = doc.get("small_oracle")
+    if small_oracle:
+        lines.append(
+            "  small oracle {params} [{be}]: {t} trials, {eq}".format(
+                params=small_oracle["params"],
+                be=",".join(small_oracle["backends"]),
+                t=len(small_oracle["trials"]),
+                eq=(
+                    "all bit-identical"
+                    if small_oracle["bit_identical"]
+                    else "MISMATCH"
+                ),
+            )
+        )
     checks = doc["checks"]
     lines.append(
         "  headline {p}: {x:.2f}x (min {m:.2f}x) -> {verdict}".format(
@@ -370,4 +519,16 @@ def format_summary(doc: dict) -> str:
             verdict="PASS" if checks["passed"] else "FAIL",
         )
     )
+    if "small_speedup_headline" in checks:
+        lines.append(
+            "  small headline: {x:.2f}x vs superacc on backend {be} "
+            "(target {t:.0f}x, {met})".format(
+                x=checks["small_speedup_headline"] or 0.0,
+                be=checks.get("small_backend", "?"),
+                t=checks.get("small_target", 0.0),
+                met="met" if checks.get("small_target_met") else "NOT met",
+            )
+        )
+        if checks.get("small_target_note"):
+            lines.append(f"  note: {checks['small_target_note']}")
     return "\n".join(lines)

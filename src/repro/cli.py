@@ -13,7 +13,7 @@ Subcommands:
 * ``calibration`` — audit the performance model's fitted anchors
 * ``stats``   — run an instrumented workload and print the metrics
   report (or validate previously emitted JSON with ``--validate``)
-* ``lint``    — run the HP domain linter (rules HP001-HP007) over
+* ``lint``    — run the HP domain linter (rules HP001-HP012) over
   files/directories; ``--sanitize-smoke`` additionally runs the runtime
   race/overflow sanitizer over a threaded smoke workload (also installed
   as the ``repro-lint`` console script; see ``docs/ANALYSIS.md``)
@@ -141,12 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum.add_argument(
         "--words", action="store_true", help="also print the raw words"
     )
+    from repro.core.engines import names as _engine_names
+
     p_sum.add_argument(
         "--engine",
-        choices=("superacc", "words"),
+        choices=_engine_names(),
         default="superacc",
-        help="hp batch engine: exponent-binned superaccumulator (default) "
-        "or the word-matrix path — bit-identical results either way",
+        help="hp batch engine from the repro.core.engines registry: "
+        "exponent-binned superaccumulator (default), Neal small "
+        "superaccumulator with optional compiled backend ('small'), or "
+        "the word-matrix path — bit-identical results in every case",
     )
     p_sum.add_argument(
         "--substrate",
@@ -319,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument(
         "--engine",
-        choices=("hp-superacc", "hp-words", "hallberg", "double"),
+        choices=("hp-superacc", "hp-small", "hp-words", "hallberg", "double"),
         default="hp-superacc",
         help="reduction engine to profile (default hp-superacc)",
     )
@@ -451,7 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="HP domain lint (static rules + whole-program analyzer + "
         "runtime sanitizer/race detector)",
         description="Run the AST-based HP invariant checker (rules "
-        "HP001-HP011, see docs/ANALYSIS.md) over Python files or "
+        "HP001-HP012, see docs/ANALYSIS.md) over Python files or "
         "directories.  --call-graph adds the whole-program passes "
         "(HP008-HP011).  Exit status is the number-of-findings truth: 0 "
         "when clean, 1 when findings (or sanitizer/race failures) exist.",
@@ -554,8 +558,11 @@ def _cmd_sum_substrate(args) -> int:
     method = args.method
     params = None
     if method == "hp":
-        # superacc engine ships bin partials; words engine ships words.
-        method = "hp-superacc" if args.engine == "superacc" else "hp"
+        # Each engine's adapter ships its native partial representation
+        # (bins / chunks / words); the registry maps engine -> adapter.
+        from repro.core.engines import get as _get_engine
+
+        method = _get_engine(args.engine).adapter_name
         if args.params:
             params = HPParams(*args.params)
     elif args.params:
@@ -767,6 +774,17 @@ def _cmd_stats(args) -> int:
 
     obs.enable()
     report = obs.RunReport("repro-stats")
+    # Compiled-backend introspection (repro.core.native chain): recorded
+    # as a report event so --json carries it, echoed in the text output.
+    from repro.core import native as _native
+
+    _backend = _native.backend_info()
+    report.event(
+        "native_backend",
+        backend=_backend["backend"],
+        compiled=_backend["compiled"],
+        force_pure=_backend["force_pure"],
+    )
     rng = default_rng(args.seed)
     data = rng.uniform(-1.0, 1.0, args.n)
     params = None
@@ -819,6 +837,9 @@ def _cmd_stats(args) -> int:
 
     print(f"sum({args.n} summands, method={args.method}, "
           f"pes={args.pes}) = {result.value!r}")
+    print(f"native backend: {_backend['backend']} "
+          f"(compiled={_backend['compiled']}, "
+          f"force_pure={_backend['force_pure']})")
     print()
     print("metrics:")
     for m in summary["metrics"]:
@@ -1122,7 +1143,8 @@ def _profile_workload(args):
 
         name = {"hp-words": "hp", "double": "double",
                 "hallberg": "hallberg",
-                "hp-superacc": "hp-superacc"}[args.engine]
+                "hp-superacc": "hp-superacc",
+                "hp-small": "hp-small"}[args.engine]
         params = None
         if args.params is not None and args.engine != "double":
             params = (HallbergParams(*args.params)
@@ -1148,7 +1170,11 @@ def _profile_workload(args):
               else HallbergParams(10, 38))
         return xs, lambda: hb_to_double(hb_batch_sum_doubles(xs, hb), hb)
     hp = HPParams(*args.params) if args.params else HPParams(6, 3)
-    method = "superacc" if args.engine == "hp-superacc" else "words"
+    # hp-superacc/hp-small map to their registry engines; hp-words is
+    # the word-matrix reference path.
+    from repro.core.engines import engine_for_adapter
+
+    method = engine_for_adapter(args.engine) or "words"
 
     def run():
         words = batch_sum_doubles(xs, hp, method=method)

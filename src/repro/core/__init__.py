@@ -34,6 +34,7 @@ from repro.core.io import (
 from repro.core.matvec import CSRMatrix, hp_matvec, hp_spmv
 from repro.core.multi import HPMultiAccumulator
 from repro.core.norms import exact_norm2, exact_sum_abs, sqrt_correctly_rounded
+from repro.core.smallacc import SmallAccumulator, smallacc_total
 from repro.core.streaming import AdaptiveAccumulator
 from repro.core.superacc import SuperAccumulator, superacc_total
 from repro.core.hpnum import HPNumber
@@ -66,6 +67,8 @@ __all__ = [
     "AdaptiveAccumulator",
     "SuperAccumulator",
     "superacc_total",
+    "SmallAccumulator",
+    "smallacc_total",
     "hp_dot",
     "hp_dot_words",
     "dot_params",

@@ -1,0 +1,265 @@
+"""Engine registry: one dispatch table for every summation engine.
+
+Before this module, each layer of the stack grew its own ``if/elif``
+ladder over engine names — ``batch_sum_doubles`` on ``method=``,
+``repro sum`` on ``--engine``, ``drivers.make_method`` on parallel
+adapter names — and adding an engine meant touching every ladder.  This
+registry is the single source of truth the ROADMAP's engine-unification
+item calls for: a name maps to the engine's batch kernel, its parallel
+:class:`~repro.parallel.methods.ReductionMethod` adapter, and a
+capability set the CLI and benches can introspect.
+
+Specs resolve their implementations through *lazy* callables (imports
+happen inside the spec functions), so this module can sit at the bottom
+of :mod:`repro.core` without import cycles, and registering an engine
+never pays for engines the process doesn't use.
+
+Registered engines
+------------------
+``superacc``
+    Exponent-binned superaccumulator with big-integer folds
+    (:mod:`repro.core.superacc`) — PR 3's fast path.
+``small`` (alias ``smallacc``)
+    Neal-style small superaccumulator with in-place deferred carry
+    propagation and an optional compiled backend
+    (:mod:`repro.core.smallacc`).
+``words``
+    The original word-matrix reference engine
+    (:mod:`repro.core.vectorized`), ``O(n*N)`` work.
+
+All engines are exact and produce bit-identical HP words by
+construction; they differ in cost model and partial representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.params import HPParams
+
+__all__ = [
+    "EngineSpec",
+    "adapter_factory",
+    "adapter_names",
+    "batch_words",
+    "engine_for_adapter",
+    "get",
+    "names",
+    "register",
+    "scaled_total",
+    "specs",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Registry entry for one summation engine.
+
+    Attributes
+    ----------
+    name:
+        Canonical engine name (the ``method=`` / ``--engine`` token).
+    summary:
+        One-line description for ``--help`` epilogs and docs tables.
+    scaled_total:
+        ``(xs, params, chunk) -> int`` — the exact signed scaled-integer
+        sum; the batch kernel every consumer builds on.
+    adapter_name:
+        Name of the parallel reduction method built on this engine
+        (``drivers.make_method`` token, e.g. ``"hp-small"``).
+    make_adapter:
+        ``(params, chunk) -> ReductionMethod`` factory for
+        :attr:`adapter_name`.
+    capabilities:
+        Introspectable feature tags, e.g. ``"exact"``,
+        ``"mergeable-partials"``, ``"compiled-backend"``, ``"gpu"``.
+    aliases:
+        Extra names :func:`get` resolves to this spec.
+    """
+
+    name: str
+    summary: str
+    scaled_total: Callable[[np.ndarray, HPParams, int], int]
+    adapter_name: str
+    make_adapter: Callable[..., object]
+    capabilities: frozenset = field(default_factory=frozenset)
+    aliases: tuple = ()
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(spec: EngineSpec) -> EngineSpec:
+    """Register an engine spec (idempotent per canonical name)."""
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get(name: str) -> EngineSpec:
+    """Resolve an engine name or alias; raises ``ValueError`` otherwise.
+
+    The message keeps the historical ``unknown summation method``
+    wording that callers (and their tests) match on.
+    """
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        raise ValueError(
+            f"unknown summation method {name!r}; known engines: "
+            f"{', '.join(names())}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Canonical engine names, registration order (CLI choice lists)."""
+    return tuple(_REGISTRY)
+
+
+def specs() -> tuple[EngineSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def adapter_names() -> tuple[str, ...]:
+    """Parallel method names contributed by registered engines."""
+    return tuple(spec.adapter_name for spec in _REGISTRY.values())
+
+
+def adapter_factory(method_name: str):
+    """The adapter factory for a parallel method name, or ``None`` —
+    :func:`repro.parallel.drivers.make_method` resolves engine-backed
+    methods here instead of growing its own ladder."""
+    for spec in _REGISTRY.values():
+        if spec.adapter_name == method_name:
+            return spec.make_adapter
+    return None
+
+
+def engine_for_adapter(method_name: str) -> str | None:
+    """Canonical engine name behind a parallel method name, if any."""
+    for spec in _REGISTRY.values():
+        if spec.adapter_name == method_name:
+            return spec.name
+    return None
+
+
+def scaled_total(
+    xs: np.ndarray, params: HPParams, chunk: int, method: str
+) -> int:
+    """Exact scaled-integer total of ``xs`` via the named engine."""
+    return get(method).scaled_total(xs, params, chunk)
+
+
+def batch_words(
+    xs: np.ndarray,
+    params: HPParams,
+    chunk: int,
+    check_overflow: bool,
+    method: str,
+):
+    """Engine total wrapped into HP words — the shared dispatch tail of
+    :func:`repro.core.vectorized.batch_sum_doubles`."""
+    from repro.core.vectorized import _finalize_total
+
+    total = get(method).scaled_total(xs, params, chunk)
+    return _finalize_total(total, params, check_overflow)
+
+
+# ---------------------------------------------------------------------------
+# built-in engines (lazy bodies: nothing below imports at module load)
+# ---------------------------------------------------------------------------
+
+
+def _superacc_total(xs, params, chunk):
+    from repro.core.superacc import superacc_total
+
+    return superacc_total(xs, params, chunk=chunk)
+
+
+def _superacc_adapter(params, chunk=1 << 20):
+    from repro.parallel.methods import HPSuperaccMethod
+
+    return HPSuperaccMethod(params, chunk=chunk)
+
+
+def _small_total(xs, params, chunk):
+    from repro.core.smallacc import smallacc_total
+
+    return smallacc_total(xs, params, chunk=chunk)
+
+
+def _small_adapter(params, chunk=1 << 20):
+    from repro.parallel.methods import HPSmallaccMethod
+
+    return HPSmallaccMethod(params, chunk=chunk)
+
+
+def _words_total(xs, params, chunk):
+    from repro.core.vectorized import words_scaled_total
+
+    return words_scaled_total(xs, params, chunk)
+
+
+def _words_adapter(params, chunk=1 << 20):
+    from repro.parallel.methods import HPMethod
+
+    return HPMethod(params)
+
+
+register(
+    EngineSpec(
+        name="superacc",
+        summary=(
+            "exponent-binned superaccumulator, big-int folds "
+            "(repro.core.superacc)"
+        ),
+        scaled_total=_superacc_total,
+        adapter_name="hp-superacc",
+        make_adapter=_superacc_adapter,
+        capabilities=frozenset(
+            {"exact", "order-invariant", "mergeable-partials", "gpu"}
+        ),
+    )
+)
+
+register(
+    EngineSpec(
+        name="small",
+        summary=(
+            "Neal small superaccumulator, deferred in-place carries, "
+            "optional compiled backend (repro.core.smallacc)"
+        ),
+        scaled_total=_small_total,
+        adapter_name="hp-small",
+        make_adapter=_small_adapter,
+        capabilities=frozenset(
+            {
+                "exact",
+                "order-invariant",
+                "mergeable-partials",
+                "compiled-backend",
+            }
+        ),
+        aliases=("smallacc",),
+    )
+)
+
+register(
+    EngineSpec(
+        name="words",
+        summary=(
+            "word-matrix reference engine, O(n*N) "
+            "(repro.core.vectorized)"
+        ),
+        scaled_total=_words_total,
+        adapter_name="hp",
+        make_adapter=_words_adapter,
+        capabilities=frozenset({"exact", "order-invariant", "reference"}),
+    )
+)

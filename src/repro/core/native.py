@@ -1,0 +1,531 @@
+"""Optional compiled backend for the accumulation inner loops.
+
+The superaccumulator engines (:mod:`repro.core.superacc`,
+:mod:`repro.core.smallacc`) spend essentially all of their time in three
+tiny integer loops: scatter a mantissa's 32-bit limbs into exponent-
+indexed ``int64`` slots, and ripple deferred carries between slots.
+NumPy executes those loops through ``np.add.at`` — deterministic, but a
+dispatch-heavy scalar fallback inside NumPy.  This module compiles the
+same loops to machine code when the environment allows it, with a
+three-step fallback chain:
+
+``numba``
+    If :mod:`numba` is importable, the kernels are ``@njit``-compiled
+    from the pure-Python integer specification below.
+``cext``
+    Otherwise, a small self-contained C translation unit (embedded in
+    this file, no build system needed) is compiled best-effort with the
+    system C compiler into a cached shared object and loaded through
+    :mod:`ctypes`.  The first build happens at install/first use; later
+    processes reuse the cached ``.so`` keyed by a hash of the source.
+``pure``
+    If neither is available — or ``REPRO_FORCE_PURE=1`` is set — the
+    engines keep their pure-NumPy paths.  Nothing is lost but speed.
+
+**Bit-identity contract.**  Every backend implements the *same* exact
+integer arithmetic: the scatter decomposition reproduces ``frexp``
+(including subnormal normalization) bit-for-bit, limb adds are plain
+two's-complement ``int64`` adds, and carry propagation uses arithmetic
+(floor) right shifts — exactly the NumPy semantics.  Backends are
+therefore interchangeable mid-computation, and the regression harness
+(``repro bench --regress``) gates on compiled-vs-pure bit-identity.
+
+The selected backend is introspectable via :func:`backend_info` /
+``repro stats`` and published as the ``smallacc.backend`` gauge.
+
+Environment knobs
+-----------------
+``REPRO_FORCE_PURE=1``
+    Skip every compiled backend (CI uses this for the pure leg of the
+    backend matrix).
+``REPRO_NATIVE=auto|numba|cext|pure``
+    Pin the resolution order's answer (``auto`` is the default chain).
+``REPRO_NATIVE_CACHE=DIR``
+    Directory for the compiled shared object (default: a content-keyed
+    subdirectory of the system temp dir).
+
+Run ``python -m repro.core.native`` to force a build eagerly and print
+the resolved backend.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "KernelSet",
+    "NativeUnavailableError",
+    "backend_info",
+    "backend_name",
+    "force_pure",
+    "resolve",
+]
+
+#: Adds between in-loop carry propagations on the two-limb (Neal) path.
+#: Per add a chunk gains at most one addend of magnitude < 2**52, so
+#: after a post-propagation residue (< 2**33) plus 2046 adds every
+#: |chunk| < 2**33 + 2046 * 2**52 < 2**63 - 2**52: comfortably inside
+#: ``int64``.  2047 would shave the margin to under 2**33.
+SMALL_PROPAGATE_LIMIT = 2046
+
+
+class NativeUnavailableError(RuntimeError):
+    """The explicitly requested compiled backend cannot be provided."""
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """The compiled inner loops, or ``None`` each for the pure backend.
+
+    Uniform Python-side signatures (arrays are contiguous, caller-owned):
+
+    * ``smallacc_scatter(xs, frac_bits, chunks)`` — two-limb Neal adds of
+      every element of ``xs`` (float64) into ``chunks`` (int64), with
+      internal carry propagation every :data:`SMALL_PROPAGATE_LIMIT`
+      adds and a final canonicalizing pass, so the array returns fully
+      propagated.
+    * ``superacc_scatter(xs, frac_bits, bins)`` — three-limb scatter,
+      bit-identical to :func:`repro.core.superacc._scatter_chunk`; no
+      internal propagation (the caller's FOLD_LIMIT accounting governs).
+    * ``propagate(chunks)`` — one full sequential carry sweep leaving
+      the canonical decomposition (non-negative 32-bit low windows,
+      signed top chunk).
+    """
+
+    name: str
+    smallacc_scatter: Callable | None
+    superacc_scatter: Callable | None
+    propagate: Callable | None
+
+    @property
+    def compiled(self) -> bool:
+        return self.smallacc_scatter is not None
+
+
+#: The pure backend: engines use their own NumPy loops.
+PURE = KernelSet("pure", None, None, None)
+
+_LOCK = threading.Lock()
+_RESOLVED: dict[str, KernelSet] = {}
+_BUILD_ERRORS: dict[str, str] = {}
+
+
+def force_pure() -> bool:
+    """True when the environment pins the pure backend."""
+    if os.environ.get("REPRO_FORCE_PURE", "").strip() not in ("", "0"):
+        return True
+    return os.environ.get("REPRO_NATIVE", "").strip().lower() == "pure"
+
+
+# ---------------------------------------------------------------------------
+# C extension backend: embedded source, built best-effort with ctypes
+# ---------------------------------------------------------------------------
+
+# The translation unit is embedded so no packaging machinery is needed:
+# the cached .so is keyed by the source hash, so editing this string
+# transparently rebuilds.  ``>> 32`` on int64 relies on arithmetic
+# (floor) shift — the behavior of every compiler this repo targets and
+# the exact semantics of NumPy's int64 right shift.
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* frexp-compatible decomposition by bit inspection: for finite nonzero
+   x, returns the 53-bit integer mantissa m (frexp fraction * 2**53,
+   leading bit set) and writes e so that |x| = m * 2**(e - 53).
+   Subnormals are normalized exactly as frexp does.  Returns 0 for
+   (+/-)0.0; the caller validates away NaN/inf beforehand. */
+static int64_t repro_decompose(double x, int64_t *e) {
+    union { double d; uint64_t u; } b;
+    uint64_t u, frac;
+    int64_t biased;
+    b.d = x;
+    u = b.u & 0x7FFFFFFFFFFFFFFFULL;           /* drop the sign bit */
+    if (u == 0) { *e = 0; return 0; }
+    biased = (int64_t)(u >> 52);
+    frac = u & 0xFFFFFFFFFFFFFULL;
+    if (biased != 0) {                          /* normal */
+        *e = biased - 1022;
+        return (int64_t)((1ULL << 52) | frac);
+    }
+    {                                           /* subnormal */
+        int z = 0;
+        while (!(frac & (1ULL << 52))) { frac <<= 1; z++; }
+        *e = -1021 - z;
+        return (int64_t)frac;
+    }
+}
+
+/* One full sequential carry sweep: every chunk i < n-1 is left holding
+   its non-negative 32-bit window, the top chunk keeps the signed high
+   part.  Because the carry rides along the sweep, a single pass lands
+   on the canonical decomposition of the represented total. */
+void repro_smallacc_propagate(int64_t *chunks, int64_t nchunks) {
+    int64_t carry = 0, i, v;
+    for (i = 0; i < nchunks - 1; i++) {
+        v = chunks[i] + carry;
+        chunks[i] = v & 0xFFFFFFFFLL;           /* low window, >= 0 */
+        carry = v >> 32;                        /* arithmetic = floor */
+    }
+    chunks[nchunks - 1] += carry;
+}
+
+/* Neal's small-superaccumulator add: two 64-bit adds per summand.
+   t = e - 53 + frac_bits positions the mantissa; below-resolution bits
+   truncate toward zero (the batch_from_double rule).  The mantissa's
+   low 32-sub bits land in chunk t>>5, the rest in the chunk above.
+   Deferred carries are propagated every SMALL_PROPAGATE_LIMIT adds
+   and once more on exit, so the array returns canonical. */
+void repro_smallacc_scatter(const double *xs, int64_t n, int64_t frac_bits,
+                            int64_t *chunks, int64_t nchunks) {
+    int64_t since = 0, i;
+    for (i = 0; i < n; i++) {
+        double x = xs[i];
+        int64_t e, mant, t, idx, sub, sign;
+        uint64_t lo, hi;
+        mant = repro_decompose(x, &e);
+        if (mant == 0) continue;
+        t = e - 53 + frac_bits;
+        if (t < 0) {
+            int64_t down = -t;
+            if (down > 63) down = 63;
+            mant >>= down;
+            if (mant == 0) continue;
+            t = 0;
+        }
+        idx = t >> 5;
+        sub = t & 31;
+        /* (mant << sub) may exceed 64 bits; unsigned wrap keeps the low
+           32 bits exact, and the high part is mant >> (32 - sub). */
+        lo = ((uint64_t)mant << sub) & 0xFFFFFFFFULL;
+        hi = (uint64_t)mant >> (32 - sub);
+        sign = (x < 0.0) ? -1 : 1;
+        chunks[idx] += sign * (int64_t)lo;
+        chunks[idx + 1] += sign * (int64_t)hi;
+        if (++since >= 2046) {                  /* SMALL_PROPAGATE_LIMIT */
+            repro_smallacc_propagate(chunks, nchunks);
+            since = 0;
+        }
+    }
+    repro_smallacc_propagate(chunks, nchunks);
+}
+
+/* Three-limb scatter, bit-identical to superacc._scatter_chunk: the
+   32-bit mantissa halves are shifted by sub and split into three limbs
+   with weights 2**(32*idx..32*(idx+2)).  No internal propagation: the
+   caller's FOLD_LIMIT accounting provides the headroom proof. */
+void repro_superacc_scatter(const double *xs, int64_t n, int64_t frac_bits,
+                            int64_t *bins) {
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        double x = xs[i];
+        int64_t e, mant, t, idx, sub, sign;
+        uint64_t m, lo_sh, hi_sh;
+        mant = repro_decompose(x, &e);
+        t = e - 53 + frac_bits;
+        if (t < 0) {
+            int64_t down = -t;
+            if (down > 63) down = 63;
+            mant >>= down;
+            t = 0;
+        }
+        if (mant == 0) continue;
+        idx = t >> 5;
+        sub = t & 31;
+        m = (uint64_t)mant;
+        lo_sh = (m & 0xFFFFFFFFULL) << sub;     /* < 2**63 */
+        hi_sh = (m >> 32) << sub;               /* < 2**52 */
+        sign = (x < 0.0) ? -1 : 1;
+        bins[idx]     += sign * (int64_t)(lo_sh & 0xFFFFFFFFULL);
+        bins[idx + 1] += sign * (int64_t)((lo_sh >> 32)
+                                          + (hi_sh & 0xFFFFFFFFULL));
+        bins[idx + 2] += sign * (int64_t)(hi_sh >> 32);
+    }
+}
+"""
+
+
+def _cache_dir(digest: str) -> str:
+    base = os.environ.get("REPRO_NATIVE_CACHE")
+    if not base:
+        base = os.path.join(
+            tempfile.gettempdir(), f"repro-native-{digest[:16]}"
+        )
+    return base
+
+
+def _find_cc() -> str | None:
+    from shutil import which
+
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and which(cand):
+            return cand
+    return None
+
+
+def _build_cext() -> KernelSet:
+    """Compile (or reuse) the shared object and wrap it with ctypes."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()
+    cache = _cache_dir(digest)
+    so_path = os.path.join(cache, "libreprokern.so")
+    if not os.path.exists(so_path):
+        cc = _find_cc()
+        if cc is None:
+            raise NativeUnavailableError("no C compiler on PATH")
+        os.makedirs(cache, exist_ok=True)
+        src_path = os.path.join(cache, "reprokern.c")
+        with open(src_path, "w", encoding="utf-8") as fh:
+            fh.write(_C_SOURCE)
+        tmp_path = so_path + f".tmp.{os.getpid()}"
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp_path, src_path, "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise NativeUnavailableError(
+                f"C build failed: {proc.stderr.strip()[:400]}"
+            )
+        os.replace(tmp_path, so_path)  # atomic: concurrent builders race safely
+
+    lib = ctypes.CDLL(so_path)
+    c_i64 = ctypes.c_longlong
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    p_i64 = ctypes.POINTER(c_i64)
+    lib.repro_smallacc_scatter.argtypes = [p_f64, c_i64, c_i64, p_i64, c_i64]
+    lib.repro_smallacc_scatter.restype = None
+    lib.repro_superacc_scatter.argtypes = [p_f64, c_i64, c_i64, p_i64]
+    lib.repro_superacc_scatter.restype = None
+    lib.repro_smallacc_propagate.argtypes = [p_i64, c_i64]
+    lib.repro_smallacc_propagate.restype = None
+
+    def smallacc_scatter(xs, frac_bits: int, chunks) -> None:
+        lib.repro_smallacc_scatter(
+            xs.ctypes.data_as(p_f64), xs.shape[0], frac_bits,
+            chunks.ctypes.data_as(p_i64), chunks.shape[0],
+        )
+
+    def superacc_scatter(xs, frac_bits: int, bins) -> None:
+        lib.repro_superacc_scatter(
+            xs.ctypes.data_as(p_f64), xs.shape[0], frac_bits,
+            bins.ctypes.data_as(p_i64),
+        )
+
+    def propagate(chunks) -> None:
+        lib.repro_smallacc_propagate(
+            chunks.ctypes.data_as(p_i64), chunks.shape[0]
+        )
+
+    return KernelSet("cext", smallacc_scatter, superacc_scatter, propagate)
+
+
+# ---------------------------------------------------------------------------
+# numba backend: the same integer kernels, JIT-compiled from Python
+# ---------------------------------------------------------------------------
+
+
+def _build_numba() -> KernelSet:
+    try:
+        import numba
+    except ImportError as exc:
+        raise NativeUnavailableError("numba is not importable") from exc
+    import numpy as np
+
+    # The kernels consume the raw IEEE-754 bit patterns (a uint64 view of
+    # the float64 array) so the decomposition is pure integer code —
+    # identical math to the C translation unit above.
+    @numba.njit(cache=False)
+    def _propagate(chunks):  # pragma: no cover - requires numba
+        carry = np.int64(0)
+        for i in range(chunks.shape[0] - 1):
+            v = chunks[i] + carry
+            chunks[i] = v & np.int64(0xFFFFFFFF)
+            carry = v >> np.int64(32)
+        chunks[chunks.shape[0] - 1] += carry
+
+    @numba.njit(cache=False)
+    def _small_scatter(bits, frac_bits, chunks):  # pragma: no cover
+        since = 0
+        for i in range(bits.shape[0]):
+            u = bits[i]
+            neg = (u >> np.uint64(63)) != np.uint64(0)
+            u = u & np.uint64(0x7FFFFFFFFFFFFFFF)
+            if u == np.uint64(0):
+                continue
+            biased = np.int64(u >> np.uint64(52))
+            frac = u & np.uint64(0xFFFFFFFFFFFFF)
+            if biased != 0:
+                e = biased - 1022
+                mant = np.int64(frac | np.uint64(1 << 52))
+            else:
+                z = 0
+                while (frac & np.uint64(1 << 52)) == np.uint64(0):
+                    frac = frac << np.uint64(1)
+                    z += 1
+                e = -1021 - z
+                mant = np.int64(frac)
+            t = e - 53 + frac_bits
+            if t < 0:
+                down = min(-t, 63)
+                mant = mant >> np.int64(down)
+                if mant == 0:
+                    continue
+                t = 0
+            idx = t >> 5
+            sub = np.uint64(t & 31)
+            lo = (np.uint64(mant) << sub) & np.uint64(0xFFFFFFFF)
+            hi = np.uint64(mant) >> (np.uint64(32) - sub)
+            sign = np.int64(-1) if neg else np.int64(1)
+            chunks[idx] += sign * np.int64(lo)
+            chunks[idx + 1] += sign * np.int64(hi)
+            since += 1
+            if since >= 2046:  # SMALL_PROPAGATE_LIMIT
+                _propagate(chunks)
+                since = 0
+        _propagate(chunks)
+
+    @numba.njit(cache=False)
+    def _super_scatter(bits, frac_bits, bins):  # pragma: no cover
+        for i in range(bits.shape[0]):
+            u = bits[i]
+            neg = (u >> np.uint64(63)) != np.uint64(0)
+            u = u & np.uint64(0x7FFFFFFFFFFFFFFF)
+            if u == np.uint64(0):
+                continue
+            biased = np.int64(u >> np.uint64(52))
+            frac = u & np.uint64(0xFFFFFFFFFFFFF)
+            if biased != 0:
+                e = biased - 1022
+                mant = np.int64(frac | np.uint64(1 << 52))
+            else:
+                z = 0
+                while (frac & np.uint64(1 << 52)) == np.uint64(0):
+                    frac = frac << np.uint64(1)
+                    z += 1
+                e = -1021 - z
+                mant = np.int64(frac)
+            t = e - 53 + frac_bits
+            if t < 0:
+                down = min(-t, 63)
+                mant = mant >> np.int64(down)
+                t = 0
+            if mant == 0:
+                continue
+            idx = t >> 5
+            sub = np.uint64(t & 31)
+            m = np.uint64(mant)
+            lo_sh = (m & np.uint64(0xFFFFFFFF)) << sub
+            hi_sh = (m >> np.uint64(32)) << sub
+            sign = np.int64(-1) if neg else np.int64(1)
+            bins[idx] += sign * np.int64(lo_sh & np.uint64(0xFFFFFFFF))
+            bins[idx + 1] += sign * np.int64(
+                (lo_sh >> np.uint64(32)) + (hi_sh & np.uint64(0xFFFFFFFF))
+            )
+            bins[idx + 2] += sign * np.int64(hi_sh >> np.uint64(32))
+
+    def smallacc_scatter(xs, frac_bits: int, chunks) -> None:
+        _small_scatter(xs.view(np.uint64), frac_bits, chunks)
+
+    def superacc_scatter(xs, frac_bits: int, bins) -> None:
+        _super_scatter(xs.view(np.uint64), frac_bits, bins)
+
+    def propagate(chunks) -> None:
+        _propagate(chunks)
+
+    # Trigger compilation now so resolution fails fast (and once) if the
+    # installed numba cannot handle the kernels.
+    probe = np.array([1.0, -2.5, 5e-324], dtype=np.float64)
+    state = np.zeros(8, dtype=np.int64)
+    smallacc_scatter(probe, 32, state)
+    return KernelSet("numba", smallacc_scatter, superacc_scatter, propagate)
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+_BUILDERS = {"numba": _build_numba, "cext": _build_cext}
+
+
+def resolve(backend: str = "auto") -> KernelSet:
+    """Resolve a backend name to a :class:`KernelSet`.
+
+    ``auto`` walks the chain numba -> cext -> pure, honoring
+    ``REPRO_FORCE_PURE`` / ``REPRO_NATIVE``; failures along the chain
+    degrade silently (recorded in :func:`backend_info`).  Explicit
+    ``numba`` / ``cext`` raise :class:`NativeUnavailableError` when the
+    backend cannot be provided; explicit ``pure`` always succeeds.
+    """
+    if backend == "auto":
+        env = os.environ.get("REPRO_NATIVE", "").strip().lower()
+        if env and env != "auto":
+            backend = env
+    if backend == "pure" or (backend == "auto" and force_pure()):
+        return PURE
+    with _LOCK:
+        if backend in _RESOLVED:
+            return _RESOLVED[backend]
+        if backend == "auto":
+            for name in ("numba", "cext"):
+                try:
+                    kern = _RESOLVED.get(name) or _BUILDERS[name]()
+                    _RESOLVED[name] = kern
+                    _RESOLVED["auto"] = kern
+                    return kern
+                except Exception as exc:
+                    _BUILD_ERRORS[name] = f"{type(exc).__name__}: {exc}"
+            _RESOLVED["auto"] = PURE
+            return PURE
+        if backend not in _BUILDERS:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick auto/numba/cext/pure"
+            )
+        try:
+            kern = _BUILDERS[backend]()
+        except NativeUnavailableError:
+            raise
+        except Exception as exc:
+            raise NativeUnavailableError(
+                f"{backend} backend failed: {exc}"
+            ) from exc
+        _RESOLVED[backend] = kern
+        return kern
+
+
+def backend_name() -> str:
+    """The backend ``auto`` resolves to right now."""
+    return resolve("auto").name
+
+
+def backend_info() -> dict:
+    """Introspection dict for ``repro stats`` and the bench reports."""
+    kern = resolve("auto")
+    return {
+        "backend": kern.name,
+        "compiled": kern.compiled,
+        "force_pure": force_pure(),
+        "build_errors": dict(_BUILD_ERRORS),
+    }
+
+
+def _reset_for_tests() -> None:
+    """Drop resolution caches so env-var changes take effect (tests)."""
+    with _LOCK:
+        _RESOLVED.clear()
+        _BUILD_ERRORS.clear()
+
+
+if __name__ == "__main__":  # pragma: no cover - utility entry point
+    info = backend_info()
+    print(f"repro native backend: {info['backend']}")
+    for name, err in info["build_errors"].items():
+        print(f"  {name}: {err}", file=sys.stderr)
+    sys.exit(0 if info["compiled"] or info["force_pure"] else 1)

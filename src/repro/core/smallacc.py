@@ -1,0 +1,387 @@
+"""Neal's small superaccumulator: deferred-carry exact summation.
+
+:mod:`repro.core.superacc` already scatters mantissa limbs into
+exponent-indexed ``int64`` bins, but it periodically *folds* the whole
+bin array into a Python big integer to reclaim overflow headroom — a
+pass through arbitrary-precision arithmetic on the hot path, and a
+partial (bins + bigint carry) that is only mergeable after re-expansion.
+Neal, *Fast exact summation using small and large superaccumulators*
+(arXiv:1505.05571, Sec. 3), shows the fold is unnecessary: leave enough
+headroom bits in each 64-bit chunk that carries can ride along unsealed,
+and **propagate** them in place — chunk ``i`` keeps its low 32-bit
+window, the signed high part moves up to chunk ``i+1`` — only once every
+few thousand (compiled path) to ~10^9 (NumPy path) adds.  The whole
+accumulator state is then *one flat ``int64`` array*, so partials merge
+by elementwise addition with no big-integer round-trip, and the engine
+maps directly onto a compiled inner loop (:mod:`repro.core.native`).
+
+Chunk layout
+------------
+Chunk geometry is **identical** to the superaccumulator's bins — chunk
+``i`` carries weight ``2**(32*i)``, sized by
+:func:`repro.core.superacc.bin_count` — so both engines decompose the
+same exact scaled-integer total and are bit-identical at the word level
+by construction::
+
+    chunk:   [ 0 ] [ 1 ] [ 2 ] ... [ nchunks-1 ]
+    weight:  2^0   2^32  2^64      2^(32*(nchunks-1))
+    layout:  |  32-bit window + signed carry headroom  | per int64 slot
+
+A summand's 53-bit mantissa, shifted to its HP position ``t``, straddles
+at most two 32-bit windows, so Neal's add is two 64-bit adds::
+
+    idx, sub = divmod(t, 32)
+    chunks[idx]     += sign * ((mant << sub) & MASK32)
+    chunks[idx + 1] += sign * (mant >> (32 - sub))
+
+Deferred-carry bound
+--------------------
+Adds are allowed to pile signed spill into each chunk until the headroom
+runs out, then one :meth:`~SmallAccumulator._propagate` pass restores
+every non-top chunk to roughly one window's magnitude:
+
+* **Two-limb path** (scalar oracle, compiled kernels): each add puts at
+  most one addend of magnitude below ``2**52`` into a chunk (the high
+  limb ``mant >> (32-sub)`` can carry up to 52 significant bits), so
+  after a propagation residue (< ``2**33``) plus ``P`` adds every
+  ``|chunk| < 2**33 + P * 2**52``, which stays below ``2**63`` for
+  ``P <= 2046`` (:data:`repro.core.native.SMALL_PROPAGATE_LIMIT`).
+* **Three-limb path** (the vectorized NumPy scatter, shared verbatim
+  with superacc): addends stay below ``2**33``, so the same slot-wise
+  argument allows ``P`` up to ``2**30`` — :data:`PROPAGATE_LIMIT` of
+  ``2**30 - 2`` *units*, where one unit is a ``2**33`` magnitude bound
+  and a freshly propagated array counts as one unit of residue.
+
+Both paths land on the same chunk totals; the propagation pass is pure
+integer rearrangement and never changes the represented value.  The top
+chunk absorbs signed overflow permanently; with range-checked inputs its
+magnitude stays below ``count * 2**20`` (value bound over top-chunk
+weight), so the engine is exact to beyond ``2**40`` absorbed summands —
+far past the ``FOLD_LIMIT`` economics this replaces.
+
+Merging adds chunk arrays elementwise and sums the unit accounts,
+propagating first when the combined account would exceed the limit:
+exact, associative, idempotent-friendly — the same contract the paper's
+Sec. III.B.3 order-invariance argument needs.
+
+Backend
+-------
+``backend="auto"`` (default) uses :mod:`repro.core.native`'s resolution
+chain (numba → C-extension → pure NumPy) for the scatter/propagate inner
+loops; ``backend="pure"`` pins the NumPy path.  All backends are
+bit-identical (gated by ``repro bench --regress``); the active choice is
+published as the ``smallacc.backend`` gauge and shown by ``repro
+stats``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import native as _native
+from repro.core.params import HPParams
+from repro.core.superacc import (
+    BIN_BITS,
+    _DEFAULT_CHUNK,
+    _MANT_BITS,
+    _scatter_chunk,
+    bin_count,
+    bins_from_int,
+    check_finite_in_range,
+    fold_bins,
+)
+from repro.errors import ConversionOverflowError
+from repro.observability import metrics as _obs
+from repro.observability.profile import phase as _phase
+from repro.util.bits import MASK32
+
+__all__ = [
+    "PROPAGATE_LIMIT",
+    "SmallAccumulator",
+    "chunk_count",
+    "scatter_one",
+    "smallacc_total",
+]
+
+#: Headroom units accumulated between deferred-carry propagations on the
+#: NumPy path.  One unit bounds a chunk's magnitude by ``2**33`` (the
+#: three-limb scatter's largest addend, and one propagation residue), so
+#: at the limit every ``|chunk| < (2**30 - 1) * 2**33 < 2**63``.
+PROPAGATE_LIMIT = (1 << 30) - 2
+
+#: Pending-unit ceiling before handing the array to a compiled kernel,
+#: whose own in-loop propagation cadence assumes starting chunks below
+#: ``2**53``: ``2**19`` units * ``2**33`` = ``2**52`` of prior spill
+#: still leaves the kernel's ``2046 * 2**52`` budget intact.
+_NATIVE_PENDING_LIMIT = 1 << 19
+
+_S32 = np.int64(BIN_BITS)
+_SMASK32 = np.int64(MASK32)
+
+#: Alias: the chunk array uses the superaccumulator's bin geometry.
+chunk_count = bin_count
+
+
+def scatter_one(x: float, params: HPParams, nchunks: int | None = None) -> tuple[int, ...]:
+    """Chunk decomposition of a single double via Neal's two-add scheme.
+
+    This is the scalar oracle mirror of the engine: summing the returned
+    tuples elementwise over any set of values and canonicalizing yields
+    exactly the engine's :attr:`SmallAccumulator.chunks` after
+    :meth:`~SmallAccumulator.propagate` — the bit-identity anchor used
+    by ``repro bench --regress``.  (Intermediate limb splits differ from
+    the vectorized three-limb scatter; the represented total is equal.)
+    """
+    if not math.isfinite(x):
+        raise ConversionOverflowError(f"cannot convert {x!r} to chunks")
+    nchunks = chunk_count(params) if nchunks is None else nchunks
+    limbs = [0] * nchunks
+    mantissa_f, exponent = math.frexp(abs(x))
+    mant = int(mantissa_f * (1 << _MANT_BITS))
+    t = exponent - _MANT_BITS + params.frac_bits
+    if t < 0:
+        mant >>= min(-t, 63)
+        t = 0
+    if mant:
+        idx, sub = divmod(t, BIN_BITS)
+        sign = -1 if x < 0.0 else 1
+        limbs[idx] += sign * ((mant << sub) & MASK32)
+        limbs[idx + 1] += sign * (mant >> (BIN_BITS - sub))
+    return tuple(limbs)
+
+
+class SmallAccumulator:
+    """Small-superaccumulator engine: flat ``int64`` chunks, in-place
+    deferred carry propagation, optional compiled inner loops.
+
+    Parameters
+    ----------
+    params:
+        The HP format; every absorbed double must be within its range.
+    chunk:
+        Elements scattered per pass (bounds temporary storage).
+    backend:
+        ``"auto"`` (resolution chain), ``"pure"``, ``"numba"`` or
+        ``"cext"``; explicit compiled names raise
+        :class:`repro.core.native.NativeUnavailableError` when missing.
+    propagate_limit:
+        Headroom units between deferred propagations (testing hook; the
+        default is the proof-backed :data:`PROPAGATE_LIMIT`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> acc = SmallAccumulator(HPParams(3, 2), backend="pure")
+    >>> acc.absorb(np.array([0.1, 0.2, -0.1, -0.2]))
+    >>> acc.total()
+    0
+    """
+
+    __slots__ = (
+        "params",
+        "chunk",
+        "propagate_limit",
+        "count",
+        "_chunks",
+        "_pending",
+        "_kernel",
+    )
+
+    def __init__(
+        self,
+        params: HPParams,
+        chunk: int = _DEFAULT_CHUNK,
+        backend: str = "auto",
+        propagate_limit: int = PROPAGATE_LIMIT,
+    ) -> None:
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        if not 1 <= propagate_limit <= PROPAGATE_LIMIT:
+            raise ValueError(
+                f"propagate_limit must be in [1, {PROPAGATE_LIMIT}], "
+                f"got {propagate_limit}"
+            )
+        self.params = params
+        self.chunk = int(chunk)
+        self.propagate_limit = int(propagate_limit)
+        self._chunks = np.zeros(chunk_count(params), dtype=np.int64)
+        self._pending = 0  # headroom units since the last propagation
+        self.count = 0
+        self._kernel = _native.resolve(backend)
+        if _obs.ENABLED:
+            _obs.REGISTRY.gauge(
+                "smallacc.backend", backend=self._kernel.name
+            ).set(1)
+
+    @property
+    def backend(self) -> str:
+        """Name of the active inner-loop backend."""
+        return self._kernel.name
+
+    # -- accumulation -------------------------------------------------------
+
+    def absorb(self, xs: np.ndarray) -> None:
+        """Scatter an array of doubles into the chunks, propagating
+        deferred carries whenever the int64 headroom would run out."""
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        if xs.ndim != 1:
+            raise ValueError(f"expected 1-D input, got shape {xs.shape}")
+        with _phase("smallacc.validate"):
+            check_finite_in_range(xs, self.params)
+        kern = self._kernel
+        if kern.compiled:
+            # The kernel propagates internally every SMALL_PROPAGATE_LIMIT
+            # adds and returns the array canonical (= one residue unit);
+            # it only needs prior spill below its starting-state budget.
+            if self._pending > _NATIVE_PENDING_LIMIT:
+                self._propagate("headroom")
+            with _phase("smallacc.scatter"):
+                kern.smallacc_scatter(xs, self.params.frac_bits, self._chunks)
+            self._pending = 1
+            self.count += int(xs.shape[0])
+        else:
+            for start in range(0, xs.shape[0], self.chunk):
+                piece = xs[start : start + self.chunk]
+                if self._pending + piece.shape[0] > self.propagate_limit:
+                    self._propagate("headroom")
+                with _phase("smallacc.scatter"):
+                    _scatter_chunk(piece, self.params, self._chunks)
+                self._pending += int(piece.shape[0])
+                self.count += int(piece.shape[0])
+        if _obs.ENABLED:
+            _obs.REGISTRY.counter(
+                "smallacc.scatter_bytes", n=self.params.n, k=self.params.k
+            ).inc(2 * 8 * int(xs.shape[0]))
+
+    def _propagate(self, reason: str) -> None:
+        """One vectorized carry pass: every non-top chunk keeps its
+        non-negative 32-bit window, the signed high part moves one slot
+        up.  Leaves every non-top ``|chunk| < 2**33`` (one headroom
+        unit) without changing the represented total."""
+        with _phase("smallacc.propagate"):
+            carry = self._chunks[:-1] >> _S32  # arithmetic shift: floor
+            self._chunks[:-1] &= _SMASK32
+            self._chunks[1:] += carry
+            self._pending = 1
+        if _obs.ENABLED:
+            _obs.REGISTRY.counter(
+                "smallacc.propagate_triggers", reason=reason
+            ).inc()
+
+    def propagate(self) -> None:
+        """Full sequential carry sweep to the *canonical* decomposition
+        (the unique :func:`bins_from_int` form of the total): every
+        non-top chunk holds exactly its 32-bit window, the top chunk the
+        remaining signed high part.  Python-int arithmetic, so the
+        running carry can never wrap; cost is ``O(nchunks)``."""
+        with _phase("smallacc.propagate"):
+            ch = self._chunks
+            carry = 0
+            for i in range(ch.shape[0] - 1):
+                v = int(ch[i]) + carry
+                ch[i] = v & MASK32
+                carry = v >> BIN_BITS
+            ch[-1] = int(ch[-1]) + carry
+            self._pending = 1
+
+    def merge(self, other: "SmallAccumulator") -> None:
+        """Add another small accumulator's chunks into this one (the
+        cross-PE combine: exact, associative, order-free)."""
+        if other.params != self.params:
+            from repro.errors import MixedParameterError
+
+            raise MixedParameterError(
+                f"cannot merge {other.params} into {self.params}"
+            )
+        if self._pending + other._pending > self.propagate_limit:
+            # One pass leaves us at 1 unit; the worst case is then
+            # 1 + PROPAGATE_LIMIT = 2**30 - 1 units, whose per-slot
+            # bound (2**30 - 1) * 2**33 still clears 2**63 — this is
+            # why the limit is 2**30 - 2 rather than 2**30 - 1.
+            self._propagate("merge")
+        with _phase("smallacc.merge"):
+            self._chunks += other._chunks
+            self._pending += other._pending
+            self.count += other.count
+
+    def merge_chunks(self, chunks, count: int = 0, units: int | None = None) -> None:
+        """Merge a transported chunk partial (any integer sequence of
+        matching length, e.g. :attr:`chunks` of a remote accumulator).
+
+        ``units`` is the sender's headroom account; a canonicalized
+        partial (the transport contract) is one unit.
+        """
+        limbs = [int(v) for v in chunks]
+        if len(limbs) != self._chunks.shape[0]:
+            raise ValueError(
+                f"expected {self._chunks.shape[0]} chunks, got {len(limbs)}"
+            )
+        units = 1 if units is None else int(units)
+        if self._pending + units > self.propagate_limit:
+            self._propagate("merge")
+        with _phase("smallacc.merge"):
+            self._chunks += np.array(limbs, dtype=np.int64)
+            self._pending += units
+            self.count += int(count)
+
+    # -- extraction ---------------------------------------------------------
+
+    @property
+    def chunks(self) -> tuple[int, ...]:
+        """Complete state as a flat int tuple — unlike the
+        superaccumulator there is no side carry: the array *is* the
+        state.  Tuples from different accumulators merge by elementwise
+        addition; :func:`fold_bins` of the result is the merged total."""
+        return tuple(int(v) for v in self._chunks)
+
+    def total(self) -> int:
+        """The exact signed scaled-integer sum absorbed so far."""
+        return fold_bins(self._chunks)
+
+    def to_words(self, check_overflow: bool = True):
+        """Wrap the exact total into HP words (two's complement)."""
+        from repro.core.vectorized import _finalize_total
+
+        return _finalize_total(self.total(), self.params, check_overflow)
+
+    def to_double(self) -> float:
+        from repro.core.scalar import to_double
+
+        return to_double(self.to_words(), self.params)
+
+    def reset(self) -> None:
+        self._chunks[:] = 0
+        self._pending = 0
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SmallAccumulator({self.params}, count={self.count}, "
+            f"backend={self._kernel.name!r}, pending={self._pending})"
+        )
+
+
+def smallacc_total(
+    xs: np.ndarray,
+    params: HPParams,
+    chunk: int = _DEFAULT_CHUNK,
+    backend: str = "auto",
+) -> int:
+    """Exact signed scaled-integer sum of ``xs`` via the small engine.
+
+    This is the kernel behind the ``method="small"`` path of
+    :func:`repro.core.vectorized.batch_sum_doubles`; callers wanting HP
+    words should use that entry point (or the engine registry).
+    """
+    engine = SmallAccumulator(params, chunk=chunk, backend=backend)
+    engine.absorb(xs)
+    return engine.total()
+
+
+def canonical_chunks(value: int, nchunks: int) -> tuple[int, ...]:
+    """Canonical chunk decomposition of a signed scaled integer — the
+    unique fixed point of :meth:`SmallAccumulator.propagate` (identical
+    to the superaccumulator's :func:`bins_from_int` layout)."""
+    return bins_from_int(value, nchunks)

@@ -101,18 +101,21 @@ class AdaptiveAccumulator:
         for x in xs:
             self.add(float(x))
 
-    def extend_array(self, xs) -> None:
+    def extend_array(self, xs, method: str = "superacc") -> None:
         """Vectorized :meth:`extend`: one widening decision and one
-        superaccumulator pass for the whole array.
+        engine pass for the whole array.
 
         Ends at exactly the state sequential :meth:`add` calls reach —
         the discovered format is the join of the per-value formats, which
         is order-free — except that ``widenings`` counts at most one
-        event per batch rather than one per widening summand.
+        event per batch rather than one per widening summand.  ``method``
+        names an engine in the :mod:`repro.core.engines` registry
+        (``"superacc"``, ``"small"``, ``"words"``); all engines yield the
+        same exact scaled total.
         """
         import numpy as np
 
-        from repro.core.superacc import superacc_total
+        from repro.core import engines
 
         xs = np.ascontiguousarray(xs, dtype=np.float64)
         if xs.ndim != 1:
@@ -143,7 +146,9 @@ class AdaptiveAccumulator:
         max_exp = int(np.max(exponent))  # every |x| < 2**max_exp
         whole_words = max(1, -(-(max_exp + 2) // WORD_BITS))
         params = HPParams(k + whole_words, k)
-        self._scaled += superacc_total(nonzero, params)
+        self._scaled += engines.scaled_total(
+            nonzero, params, 1 << 20, method
+        )
 
     def merge(self, other: "AdaptiveAccumulator") -> None:
         """Combine two adaptive partial sums exactly (cross-PE merge)."""

@@ -209,6 +209,15 @@ class SuperAccumulator:
     chunk:
         Elements scattered per pass — bounds temporary storage at a few
         ``chunk``-length arrays regardless of input size.
+    backend:
+        Inner-loop backend for the scatter (``"pure"``, ``"auto"``,
+        ``"numba"``, ``"cext"`` — see :mod:`repro.core.native`).  Every
+        backend computes the same three-limb integer adds, so bins are
+        bit-identical across backends.  The default stays ``"pure"``:
+        this engine is the repo's established baseline and its profile
+        and bench envelopes are calibrated to the NumPy path; pass
+        ``"auto"`` to opt into the compiled path (the new
+        :mod:`repro.core.smallacc` engine defaults to it).
 
     Examples
     --------
@@ -219,17 +228,32 @@ class SuperAccumulator:
     0
     """
 
-    __slots__ = ("params", "chunk", "_bins", "_carry", "_pending", "count")
+    __slots__ = (
+        "params", "chunk", "_bins", "_carry", "_pending", "count", "_kernel"
+    )
 
-    def __init__(self, params: HPParams, chunk: int = _DEFAULT_CHUNK) -> None:
+    def __init__(
+        self,
+        params: HPParams,
+        chunk: int = _DEFAULT_CHUNK,
+        backend: str = "pure",
+    ) -> None:
         if chunk <= 0:
             raise ValueError(f"chunk must be positive, got {chunk}")
+        from repro.core import native as _native
+
         self.params = params
         self.chunk = int(chunk)
         self._bins = np.zeros(bin_count(params), dtype=np.int64)
         self._carry = 0    # folded exact total, scaled-integer units
         self._pending = 0  # summands scattered since the last fold
         self.count = 0
+        self._kernel = _native.resolve(backend)
+
+    @property
+    def backend(self) -> str:
+        """Name of the active inner-loop backend."""
+        return self._kernel.name
 
     # -- accumulation -------------------------------------------------------
 
@@ -246,7 +270,16 @@ class SuperAccumulator:
             if self._pending + piece.shape[0] > FOLD_LIMIT:
                 self._fold("headroom")
             with _phase("superacc.scatter"):
-                _scatter_chunk(piece, self.params, self._bins)
+                if self._kernel.compiled:
+                    # Same three-limb integer adds, compiled: the bins
+                    # are bit-identical to _scatter_chunk, and the
+                    # FOLD_LIMIT headroom accounting is unchanged (the
+                    # kernel never propagates internally).
+                    self._kernel.superacc_scatter(
+                        piece, self.params.frac_bits, self._bins
+                    )
+                else:
+                    _scatter_chunk(piece, self.params, self._bins)
             self._pending += piece.shape[0]
             self.count += piece.shape[0]
         if _obs.ENABLED:
@@ -329,13 +362,18 @@ class SuperAccumulator:
         )
 
 
-def superacc_total(xs: np.ndarray, params: HPParams, chunk: int = _DEFAULT_CHUNK) -> int:
+def superacc_total(
+    xs: np.ndarray,
+    params: HPParams,
+    chunk: int = _DEFAULT_CHUNK,
+    backend: str = "pure",
+) -> int:
     """Exact signed scaled-integer sum of ``xs`` via the binned engine.
 
     This is the kernel behind the ``method="superacc"`` fast path of
     :func:`repro.core.vectorized.batch_sum_doubles`; callers wanting HP
-    words should use that entry point.
+    words should use that entry point (or the engine registry).
     """
-    engine = SuperAccumulator(params, chunk=chunk)
+    engine = SuperAccumulator(params, chunk=chunk, backend=backend)
     engine.absorb(xs)
     return engine.total()

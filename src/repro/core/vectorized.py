@@ -213,6 +213,21 @@ def _wrap(value: int, params: HPParams) -> Words:
     return signed_int_to_words(value, params.n)
 
 
+def words_scaled_total(
+    xs: np.ndarray, params: HPParams, chunk: int = _DEFAULT_CHUNK
+) -> int:
+    """Exact scaled-integer sum via the word-matrix reference path
+    (``batch_from_double`` + column sums), chunked so temporary storage
+    stays bounded.  This is the ``words`` entry in the engine registry."""
+    total = 0
+    for start in range(0, xs.shape[0], chunk):
+        with _phase("words.convert"):
+            piece = batch_from_double(xs[start : start + chunk], params)
+        with _phase("words.colsum"):
+            total += _signed_total(piece)
+    return total
+
+
 def batch_sum_doubles(
     xs: np.ndarray,
     params: HPParams,
@@ -226,35 +241,29 @@ def batch_sum_doubles(
     bounded regardless of input size.  This is the routine the
     figure-4/5-8 benchmarks drive for 16M-32M summands.
 
-    ``method`` selects the engine — both produce bit-identical words:
+    ``method`` names an engine in the :mod:`repro.core.engines` registry
+    — all engines produce bit-identical words:
 
     ``"superacc"`` (default)
         The exponent-binned superaccumulator
         (:mod:`repro.core.superacc`): per-summand cost independent of
         ``N``, typically several times faster for ``N >= 4``.
+    ``"small"``
+        Neal's small superaccumulator (:mod:`repro.core.smallacc`):
+        deferred in-place carries and an optional compiled backend —
+        the fastest serial engine when the native path is available.
     ``"words"``
         The original word-matrix path (``batch_from_double`` +
         column sums): ``O(n * N)`` work, kept as the reference engine.
     """
+    from repro.core import engines
+
     xs = np.ascontiguousarray(xs, dtype=np.float64)
     if xs.ndim != 1:
         raise ValueError(f"expected 1-D input, got shape {xs.shape}")
     if chunk <= 0:
         raise ValueError(f"chunk must be positive, got {chunk}")
-    if method == "superacc":
-        from repro.core.superacc import superacc_total
-
-        total = superacc_total(xs, params, chunk=chunk)
-    elif method == "words":
-        total = 0
-        for start in range(0, xs.shape[0], chunk):
-            with _phase("words.convert"):
-                piece = batch_from_double(xs[start : start + chunk], params)
-            with _phase("words.colsum"):
-                total += _signed_total(piece)
-    else:
-        raise ValueError(f"unknown summation method {method!r}")
-    return _finalize_total(total, params, check_overflow)
+    return engines.batch_words(xs, params, chunk, check_overflow, method)
 
 
 def _to_double_rows_scalar(words: np.ndarray, params: HPParams) -> np.ndarray:

@@ -27,6 +27,7 @@ from repro.parallel.methods import (
     DoubleMethod,
     HallbergMethod,
     HPMethod,
+    HPSmallaccMethod,
     HPSuperaccMethod,
     ReductionMethod,
 )
@@ -62,36 +63,39 @@ def make_method(
     params: HPParams | HallbergParams | None = None,
 ) -> ReductionMethod:
     """Resolve a method name to an adapter (paper defaults when no
-    params are given: HP(6,3), Hallberg(10,38))."""
+    params are given: HP(6,3), Hallberg(10,38)).
+
+    HP engine-backed methods (``hp``, ``hp-superacc``, ``hp-small``)
+    resolve through the :mod:`repro.core.engines` registry, so a newly
+    registered engine is reachable here without touching this function.
+    """
+    from repro.core import engines
+
     if isinstance(method, ReductionMethod):
         return method
     if method == "double":
         return DoubleMethod()
-    if method == "hp":
-        if params is not None and not isinstance(params, HPParams):
-            raise TypeError(f"hp needs HPParams, got {type(params).__name__}")
-        return HPMethod(params or HPParams(6, 3))
-    if method == "hp-superacc":
-        if params is not None and not isinstance(params, HPParams):
-            raise TypeError(
-                f"hp-superacc needs HPParams, got {type(params).__name__}"
-            )
-        return HPSuperaccMethod(params or HPParams(6, 3))
     if method == "hallberg":
         if params is not None and not isinstance(params, HallbergParams):
             raise TypeError(
                 f"hallberg needs HallbergParams, got {type(params).__name__}"
             )
         return HallbergMethod(params or HallbergParams(10, 38))
-    raise ValueError(
-        f"unknown method {method!r}; pick hp/hp-superacc/hallberg/double"
-    )
+    factory = engines.adapter_factory(method)
+    if factory is not None:
+        if params is not None and not isinstance(params, HPParams):
+            raise TypeError(
+                f"{method} needs HPParams, got {type(params).__name__}"
+            )
+        return factory(params or HPParams(6, 3))
+    known = "/".join((*engines.adapter_names(), "hallberg", "double"))
+    raise ValueError(f"unknown method {method!r}; pick {known}")
 
 
 def _extract_words(method: ReductionMethod, partial: Any) -> tuple | None:
-    if isinstance(method, HPSuperaccMethod):
-        # Fold bins to HP words so results compare bitwise against the
-        # word-carrying hp adapter.
+    if isinstance(method, (HPSuperaccMethod, HPSmallaccMethod)):
+        # Fold bins/chunks to HP words so results compare bitwise
+        # against the word-carrying hp adapter.
         return tuple(method.words(partial))
     if isinstance(method, HPMethod):
         return tuple(partial)
@@ -206,6 +210,12 @@ def _dispatch(
             )
             value, partial = g.value, tuple(g.global_words)
             pes = num_blocks * block_size
+        elif name == "hp-small":
+            raise ValueError(
+                "substrate 'gpu' has no hp-small kernel; use hp-superacc "
+                "(same bin geometry) on gpu, or hp-small on "
+                "serial/threads/procs/mpi"
+            )
         else:
             g = gpu_sum(data, name, num_threads=pes,
                         params=adapter.params, **kwargs)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.accumulator import HPAccumulator
 from repro.core.params import HPParams
 from repro.core.scalar import Words, add_words_checked, to_double
+from repro.core.smallacc import SmallAccumulator
 from repro.core.superacc import SuperAccumulator, bin_count, fold_bins
 from repro.core.vectorized import _finalize_total, batch_sum_doubles
 from repro.errors import SummandLimitError
@@ -36,6 +37,7 @@ __all__ = [
     "DoubleMethod",
     "HPMethod",
     "HPSuperaccMethod",
+    "HPSmallaccMethod",
     "HallbergMethod",
     "standard_methods",
 ]
@@ -195,6 +197,61 @@ class HPSuperaccMethod(ReductionMethod[tuple]):
         # 16-byte signed bins on the wire (SuperaccBinsType): int64
         # scatter headroom plus fold carry never exceeds 128 bits.
         return 16 * self.nbins
+
+
+class HPSmallaccMethod(ReductionMethod[tuple]):
+    """The HP method with Neal small-superaccumulator partials.
+
+    Like :class:`HPSuperaccMethod`, partials are tuples of signed
+    integer chunks with chunk ``i`` weighted ``2**(32*i)`` (the two
+    engines share the same geometry), merging by plain elementwise
+    addition.  The difference is the local engine: deferred in-place
+    carry propagation with an optional compiled inner loop
+    (:mod:`repro.core.native`), and **no** big-integer fold — the chunk
+    array *is* the whole local state, so partials are canonicalized
+    (fully propagated) before shipping and merges stay idempotent-safe
+    under re-delivery of an identity partial.  Words are bit-identical
+    to :class:`HPMethod` / :class:`HPSuperaccMethod` over the same data.
+    """
+
+    name = "hp-small"
+
+    def __init__(
+        self, params: HPParams, chunk: int = 1 << 20, backend: str = "auto"
+    ) -> None:
+        self.params = params
+        self.chunk = chunk
+        self.backend = backend
+        self.nchunks = bin_count(params)
+
+    def identity(self) -> tuple:
+        return (0,) * self.nchunks
+
+    def local_reduce(self, xs: np.ndarray) -> tuple:
+        engine = SmallAccumulator(
+            self.params, chunk=self.chunk, backend=self.backend
+        )
+        engine.absorb(np.asarray(xs, dtype=np.float64))
+        # Canonicalize before shipping: every non-top chunk is a 32-bit
+        # window, so transported partials are backend-independent and
+        # compact on the wire.
+        engine.propagate()
+        return engine.chunks
+
+    def combine(self, a: tuple, b: tuple) -> tuple:
+        return tuple(x + y for x, y in zip(a, b))
+
+    def words(self, partial: tuple) -> Words:
+        """Fold a chunk partial into range-checked HP words."""
+        return _finalize_total(fold_bins(partial), self.params, True)
+
+    def finalize(self, partial: tuple) -> float:
+        return to_double(self.words(partial), self.params)
+
+    def partial_nbytes(self) -> int:
+        # Same 16-byte signed wire slots as SuperaccBinsType: combined
+        # (unpropagated) partials can exceed 64 bits per chunk.
+        return 16 * self.nchunks
 
 
 class HallbergMethod(ReductionMethod[tuple]):

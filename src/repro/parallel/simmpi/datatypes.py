@@ -21,6 +21,7 @@ __all__ = [
     "DoubleType",
     "HPWordsType",
     "SuperaccBinsType",
+    "SmallaccChunksType",
     "HallbergPartialType",
     "datatype_for_method",
 ]
@@ -130,6 +131,17 @@ class SuperaccBinsType(Datatype):
         )
 
 
+class SmallaccChunksType(SuperaccBinsType):
+    """Small-superaccumulator chunk partials.
+
+    The small engine shares the superaccumulator's bin geometry (chunk
+    ``i`` weighted ``2**(32*i)``, same count), so the wire layout is the
+    same 16-byte signed slots; only the semantic label differs — chunks
+    ship canonicalized (32-bit windows plus a signed top), and combine
+    trees may widen any slot past 64 bits before the final fold.
+    """
+
+
 class HallbergPartialType(Datatype):
     """``N`` signed 64-bit digits plus the summand count (budget
     accounting travels on the wire with the digits)."""
@@ -158,11 +170,14 @@ def datatype_for_method(method) -> Datatype:
         DoubleMethod,
         HallbergMethod,
         HPMethod,
+        HPSmallaccMethod,
         HPSuperaccMethod,
     )
 
     if isinstance(method, DoubleMethod):
         return DoubleType()
+    if isinstance(method, HPSmallaccMethod):
+        return SmallaccChunksType(method.params)
     if isinstance(method, HPSuperaccMethod):
         return SuperaccBinsType(method.params)
     if isinstance(method, HPMethod):

@@ -1,4 +1,4 @@
-"""Good/bad fixtures for every domain rule (HP001-HP007).
+"""Good/bad fixtures for every per-file domain rule (HP001-HP007, HP012).
 
 Each bad fixture is a distilled real bug shape; each good fixture is a
 pattern the codebase legitimately uses and the rule must *not* flag —
@@ -406,3 +406,64 @@ class TestHP007TimingUnderLock:
         from repro.analysis.lint import lint_paths
 
         assert lint_paths(["src"], select=["HP007"]) == []
+
+
+class TestHP012EngineRegistryBypass:
+    def test_bad_direct_import(self):
+        assert "HP012" in rules_in("""
+            from repro.core.superacc import superacc_total
+        """, "src/repro/apps/_fixture.py")
+
+    def test_bad_each_engine_function(self):
+        src = """
+            from repro.core.superacc import superacc_total
+            from repro.core.smallacc import smallacc_total
+            from repro.core.vectorized import words_scaled_total
+        """
+        assert rules_in(src, "src/repro/bench/_fixture.py").count(
+            "HP012"
+        ) == 3
+
+    def test_bad_dotted_call(self):
+        assert "HP012" in rules_in("""
+            from repro.core import superacc
+
+            def f(xs, params):
+                return superacc.superacc_total(xs, params)
+        """, "src/repro/apps/_fixture.py")
+
+    def test_good_registry_dispatch(self):
+        assert rules_in("""
+            from repro.core import engines
+
+            def f(xs, params, chunk):
+                return engines.scaled_total(xs, params, chunk, "small")
+        """, "src/repro/apps/_fixture.py") == []
+
+    def test_good_engine_class_imports_unflagged(self):
+        # Only the batch total functions are registry-gated; the engine
+        # classes remain importable for streaming/merge use.
+        assert rules_in("""
+            from repro.core.smallacc import SmallAccumulator
+            from repro.core.superacc import SuperAccumulator
+        """, "src/repro/parallel/_fixture.py") == []
+
+    def test_hosts_are_exempt(self):
+        src = """
+            from repro.core.superacc import superacc_total
+        """
+        for host in (
+            "src/repro/core/engines.py",
+            "src/repro/core/superacc.py",
+            "src/repro/core/smallacc.py",
+            "src/repro/core/vectorized.py",
+            "src/repro/core/__init__.py",
+            "src/repro/__init__.py",
+        ):
+            assert rules_in(src, host) == [], host
+
+    def test_self_host_no_findings(self):
+        # The registry refactor must leave no bypasses in the tree.
+        from repro.analysis.lint import lint_paths
+
+        assert lint_paths(["src"], select=["HP012"]) == []

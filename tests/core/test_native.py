@@ -1,0 +1,180 @@
+"""Compiled-backend contract: resolution chain, env pins, bit identity.
+
+The native module promises that every backend computes the *same* exact
+integer arithmetic and that resolution degrades gracefully (auto never
+raises; explicit compiled names raise
+:class:`~repro.core.native.NativeUnavailableError` when missing).  Tests
+that need a compiled kernel skip when the environment cannot build one —
+the pure leg always runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import native
+from repro.core.params import HPParams
+from repro.core.smallacc import SmallAccumulator
+from repro.core.superacc import SuperAccumulator, bin_count, bins_from_int
+
+from tests.core.test_superacc import adversarial_pool
+
+P = HPParams(3, 2)
+
+
+def _compiled_or_skip() -> native.KernelSet:
+    kern = native.resolve("auto")
+    if not kern.compiled:
+        pytest.skip("no compiled backend available in this environment")
+    return kern
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Reset resolution caches and scrub the env knobs around a test."""
+    for var in ("REPRO_FORCE_PURE", "REPRO_NATIVE", "REPRO_NATIVE_CACHE"):
+        monkeypatch.delenv(var, raising=False)
+    native._reset_for_tests()
+    yield monkeypatch
+    native._reset_for_tests()
+
+
+class TestResolution:
+    def test_pure_always_available(self):
+        kern = native.resolve("pure")
+        assert kern.name == "pure"
+        assert not kern.compiled
+
+    def test_auto_never_raises(self, clean_env):
+        kern = native.resolve("auto")
+        assert kern.name in ("numba", "cext", "pure")
+
+    def test_force_pure_env(self, clean_env):
+        clean_env.setenv("REPRO_FORCE_PURE", "1")
+        assert native.force_pure()
+        assert native.resolve("auto") is native.PURE
+        assert native.backend_name() == "pure"
+
+    def test_repro_native_pure_pin(self, clean_env):
+        clean_env.setenv("REPRO_NATIVE", "pure")
+        assert native.resolve("auto") is native.PURE
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            native.resolve("fortran")
+
+    def test_explicit_numba_raises_when_missing(self, clean_env):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(native.NativeUnavailableError):
+                native.resolve("numba")
+        else:
+            assert native.resolve("numba").compiled
+
+    def test_backend_info_shape(self, clean_env):
+        info = native.backend_info()
+        assert set(info) == {
+            "backend", "compiled", "force_pure", "build_errors"
+        }
+        assert isinstance(info["compiled"], bool)
+
+    def test_resolution_is_cached(self, clean_env):
+        assert native.resolve("auto") is native.resolve("auto")
+
+
+class TestKernelBitIdentity:
+    def test_smallacc_scatter_matches_pure(self, rng, hp_params):
+        kern = _compiled_or_skip()
+        xs = adversarial_pool(hp_params, rng, 800)
+        chunks = np.zeros(bin_count(hp_params), dtype=np.int64)
+        kern.smallacc_scatter(
+            np.ascontiguousarray(xs), hp_params.frac_bits, chunks
+        )
+        pure = SmallAccumulator(hp_params, backend="pure")
+        pure.absorb(xs)
+        pure.propagate()
+        # The kernel returns the array canonical, so raw comparison holds.
+        assert tuple(int(v) for v in chunks) == pure.chunks
+
+    def test_superacc_scatter_matches_pure(self, rng, hp_params):
+        kern = _compiled_or_skip()
+        xs = adversarial_pool(hp_params, rng, 800)
+        compiled = SuperAccumulator(hp_params, backend="auto")
+        assert compiled.backend == kern.name
+        compiled.absorb(xs)
+        pure = SuperAccumulator(hp_params, backend="pure")
+        pure.absorb(xs)
+        assert compiled.to_words() == pure.to_words()
+
+    def test_propagate_matches_canonical(self, rng):
+        kern = _compiled_or_skip()
+        limbs = np.array(
+            [int(v) for v in rng.integers(-(2**40), 2**40, 8)],
+            dtype=np.int64,
+        )
+        from repro.core.superacc import fold_bins
+
+        value = fold_bins(limbs)
+        kern.propagate(limbs)
+        assert tuple(int(v) for v in limbs) == bins_from_int(value, 8)
+
+    def test_internal_propagation_cadence(self, rng):
+        """More elements than SMALL_PROPAGATE_LIMIT forces in-kernel
+        carry propagation; exactness must survive the cadence."""
+        kern = _compiled_or_skip()
+        n = 3 * native.SMALL_PROPAGATE_LIMIT + 17
+        xs = adversarial_pool(P, rng, n)
+        chunks = np.zeros(bin_count(P), dtype=np.int64)
+        kern.smallacc_scatter(np.ascontiguousarray(xs), P.frac_bits, chunks)
+        pure = SmallAccumulator(P, backend="pure")
+        pure.absorb(xs)
+        pure.propagate()
+        assert tuple(int(v) for v in chunks) == pure.chunks
+
+    def test_denormals_and_signed_zero(self):
+        """Bit-inspection decompose must match frexp on the edge cases
+        it reimplements: subnormal normalization and both zeros."""
+        kern = _compiled_or_skip()
+        xs = np.array([5e-324, -5e-324, 2.0**-1022, 0.0, -0.0,
+                       2.0**-1040, -(2.0**-1060)])
+        chunks = np.zeros(bin_count(P), dtype=np.int64)
+        kern.smallacc_scatter(np.ascontiguousarray(xs), P.frac_bits, chunks)
+        pure = SmallAccumulator(P, backend="pure")
+        pure.absorb(xs)
+        pure.propagate()
+        assert tuple(int(v) for v in chunks) == pure.chunks
+
+    def test_cross_backend_merge(self, rng, hp_params):
+        """Compiled and pure accumulators over different halves must
+        merge to the one-shot pure result — interchangeable mid-stream."""
+        _compiled_or_skip()
+        xs = adversarial_pool(hp_params, rng, 600)
+        a = SmallAccumulator(hp_params, backend="auto")
+        b = SmallAccumulator(hp_params, backend="pure")
+        a.absorb(xs[:300])
+        b.absorb(xs[300:])
+        a.merge(b)
+        whole = SmallAccumulator(hp_params, backend="pure")
+        whole.absorb(xs)
+        assert a.total() == whole.total()
+
+
+class TestEngineBackendSelection:
+    def test_smallacc_pure_pin(self):
+        assert SmallAccumulator(P, backend="pure").backend == "pure"
+
+    def test_superacc_defaults_pure(self):
+        # The superaccumulator keeps its established pure path unless a
+        # caller opts in; smallacc defaults to auto.
+        assert SuperAccumulator(P).backend == "pure"
+
+    def test_smallacc_honors_force_pure(self, clean_env):
+        clean_env.setenv("REPRO_FORCE_PURE", "1")
+        assert SmallAccumulator(P, backend="auto").backend == "pure"
+
+    def test_explicit_compiled_name_round_trips(self):
+        kern = _compiled_or_skip()
+        engine = SmallAccumulator(P, backend=kern.name)
+        assert engine.backend == kern.name

@@ -56,6 +56,29 @@ class TestRunRegress:
     def test_headline_is_widest_format(self, report):
         assert report["checks"]["headline_params"] == "HP(N=8, k=4)"
 
+    def test_small_engine_bit_identical(self, report):
+        assert report["checks"]["small_bit_identical_all"] is True
+        assert all(c["small_bit_identical"] for c in report["cases"])
+
+    def test_small_oracle_covers_backends(self, report):
+        oracle = report["small_oracle"]
+        assert oracle["bit_identical"] is True
+        assert "pure" in oracle["backends"]
+        # one trial per permutation x chunk x backend
+        assert len(oracle["trials"]) == (
+            oracle["permutations"]
+            * len(oracle["chunk_sizes"])
+            * len(oracle["backends"])
+        )
+        assert all(t["bit_identical"] for t in oracle["trials"])
+
+    def test_small_target_recorded_not_gated(self, report):
+        checks = report["checks"]
+        assert checks["small_target"] == 10.0
+        assert isinstance(checks["small_target_met"], bool)
+        if not checks["small_target_met"]:
+            assert checks["small_target_note"]
+
     def test_skip_oracle(self):
         doc = run_regress(n=1000, repeats=1, skip_oracle=True)
         assert doc["oracle"] is None
@@ -126,9 +149,15 @@ class TestRunScaling:
         cases = scaling_report["cases"]
         assert {(c["method"], c["pes"]) for c in cases} == {
             (m, p)
-            for m in ("double", "hp", "hp-superacc")
+            for m in ("double", "hp", "hp-superacc", "hp-small")
             for p in (1, 2)
         }
+
+    def test_tasks_match_pes(self, scaling_report):
+        assert scaling_report["checks"]["tasks_match_pes"] is True
+        for case in scaling_report["cases"]:
+            assert case["tasks_match_pes"] is True
+            assert case["tasks"] == case["pes"]
 
     def test_exact_methods_bit_identical(self, scaling_report):
         assert scaling_report["checks"]["bit_identical_all"] is True
@@ -249,17 +278,19 @@ class TestBenchProfileFlag:
         doc = run_regress(n=1000, repeats=1, skip_oracle=True)
         assert "phases" not in doc
 
-    def test_phases_block_covers_both_engines(self, profiled_report):
+    def test_phases_block_covers_every_engine(self, profiled_report):
         phases = profiled_report["phases"]
-        assert set(phases["engines"]) == {"superacc", "words"}
+        assert set(phases["engines"]) == {"superacc", "small", "words"}
         assert phases["n"] == 2000
+        expected_hot = {
+            "superacc": "superacc.scatter",
+            "small": "smallacc.scatter",
+            "words": "words.convert",
+        }
         for engine, rep in phases["engines"].items():
             assert rep["kind"] == "profile"
             names = {row["phase"] for row in rep["phases"]}
-            if engine == "superacc":
-                assert "superacc.scatter" in names
-            else:
-                assert "words.convert" in names
+            assert expected_hot[engine] in names
 
     def test_profiled_report_still_validates(self, profiled_report):
         assert profiled_report["schema"] == SCHEMA
@@ -306,4 +337,6 @@ class TestBenchProfileFlag:
                        "--out", str(out)])
         assert status == 0
         doc = json.loads(out.read_text())
-        assert set(doc["phases"]["engines"]) == {"superacc", "words"}
+        assert set(doc["phases"]["engines"]) == {
+            "superacc", "small", "words"
+        }
