@@ -1,4 +1,4 @@
-"""The HP domain lint rules (HP001-HP007, HP012).
+"""The HP domain lint rules (HP001-HP007, HP012, HP013).
 
 Each rule encodes one invariant from the paper that ordinary Python
 tooling cannot check (see ``docs/ANALYSIS.md`` for the full catalog with
@@ -18,6 +18,9 @@ HP007     profiling/timing regions must not be entered while holding an
           accumulator lock
 HP012     engine entry points must be reached through the registry
           (``repro.core.engines``), not imported directly
+HP013     result-producing float reductions must go through a registry
+          engine or a bounded compensated tier, not raw ``np.sum`` /
+          builtin ``sum()``
 ========  ==================================================================
 
 Rules are deliberately *precise over complete*: each one matches a
@@ -722,3 +725,109 @@ def check_engine_registry_bypass(module: ModuleSource) -> Iterator[Finding]:
                     f"dotted engine call {dotted}() bypasses the registry; "
                     "dispatch via repro.core.engines",
                 )
+
+
+# ---------------------------------------------------------------------------
+# HP013 — unbounded float reductions outside the engine registry
+# ---------------------------------------------------------------------------
+
+#: Dotted NumPy reducers whose float64 accumulation carries an O(n*u)
+#: error with no advertised bound.
+_FLOAT_REDUCERS = frozenset(
+    {"np.sum", "numpy.sum", "np.add.reduce", "numpy.add.reduce"}
+)
+
+#: Files allowed to reduce float arrays directly: the compensated tiers
+#: are the sanctioned bounded wrapper around these primitives.
+_FLOAT_SUM_HOSTS = frozenset({("core", "compensated.py")})
+
+#: Integer dtype names: a reduction forced to an integer dtype is exact
+#: (the vectorized column sums rely on this).
+_INT_DTYPES = frozenset(
+    {
+        "int", "intp", "int_", "int8", "int16", "int32", "int64",
+        "uint", "uint8", "uint16", "uint32", "uint64",
+    }
+)
+
+
+def _is_float_sum_host(path: str) -> bool:
+    parts = Path(path).parts
+    return len(parts) >= 2 and (parts[-2], parts[-1]) in _FLOAT_SUM_HOSTS
+
+
+def _keyword(call: ast.Call, name: str) -> ast.keyword | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def _is_integer_dtype(expr: ast.AST) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value.lstrip("u").startswith("int")
+    dotted = _dotted(expr)
+    return dotted is not None and dotted.rsplit(".", 1)[-1] in _INT_DTYPES
+
+
+@rule(
+    "HP013",
+    "unbounded-float-reduction",
+    "result-producing float reductions must carry an error bound",
+    "Hallman & Ipsen 2021 (a-priori bounds); PR 9 accuracy planner",
+    packages=("core", "parallel", "apps"),
+    example_bad="total = float(np.sum(xs))         # O(n*u) error, no bound\ntotal = sum(values)               # builtin float accumulation",
+    example_good='words = engines.batch_words(xs, params, chunk, True, "superacc")\ntotal = compensated_sum(xs, kernel="neumaier")  # bounded tier',
+)
+def check_unbounded_float_reduction(module: ModuleSource) -> Iterator[Finding]:
+    """Flag ``np.sum`` / ``np.add.reduce`` / builtin ``sum()`` whose
+    result feeds the library's answers.  Every such reduction accumulates
+    ``O(n*u)`` rounding error with *no advertised bound* — exactly the
+    failure mode this codebase exists to prevent.  Sanctioned reducers:
+    the exact engines (:mod:`repro.core.engines`), the compensated tiers
+    (:mod:`repro.core.compensated`, whose bound the planner checks), and
+    ``math.fsum`` for small metadata reductions.
+
+    Exemptions keep the rule precise: an integer ``dtype=`` makes the
+    reduction exact (the word-column sums); an ``axis=`` keyword marks a
+    per-element geometry reduction (e.g. particle distances), not a
+    result-producing global sum; builtin ``sum()`` over a generator or
+    comprehension is the idiomatic count/length aggregation.  A float
+    baseline that *intends* the unbounded behavior (``DoubleMethod`` —
+    the non-reproducibility under study) suppresses with justification.
+    """
+    if _is_float_sum_host(module.path):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _FLOAT_REDUCERS:
+            dtype = _keyword(node, "dtype")
+            if dtype is not None and _is_integer_dtype(dtype.value):
+                continue
+            if _keyword(node, "axis") is not None:
+                continue
+            yield module.finding(
+                "HP013",
+                node,
+                f"{dotted}() over a float array carries O(n*u) error with "
+                "no advertised bound; route through repro.core.engines or "
+                "a compensated tier (repro.core.compensated)",
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+            and node.args
+            and not isinstance(
+                node.args[0],
+                (ast.GeneratorExp, ast.ListComp, ast.SetComp),
+            )
+        ):
+            yield module.finding(
+                "HP013",
+                node,
+                "builtin sum() accumulates in left-to-right float order "
+                "with no bound; use math.fsum, a registry engine, or a "
+                "compensated tier for result-producing sums",
+            )

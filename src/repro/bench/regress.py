@@ -42,7 +42,18 @@ What it checks
   ratio and an explanatory note land in ``checks`` — the PR 4
   waived-gate precedent.
 
-The report is schema-versioned (``repro.bench.regress/3``) so later PRs
+* the compensated tiers (``comp-pairwise`` / ``comp-kahan`` /
+  ``comp-neumaier``, PR 9) are timed on the full batch and held to
+  *their* contract — realized error within the a-priori bound
+  (:mod:`repro.core.bounds`) and run-to-run bit determinism for the
+  fixed input order — **not** to bit-identity (they are registered
+  ``exact=False`` and the bit-identity gates skip them by
+  construction).  The fastest bound-satisfying tier's speedup over the
+  ``small`` exact engine is recorded against the 5x
+  ``COMPENSATED_TARGET_SPEEDUP``; like the small engine's 10x, it is
+  recorded, not gated.
+
+The report is schema-versioned (``repro.bench.regress/4``) so later PRs
 can extend it without breaking consumers; ``BENCH_<pr>.json`` files
 committed at the repo root form the performance trajectory across the
 PR stack.
@@ -54,22 +65,36 @@ import platform
 import time
 from typing import Callable, Sequence
 
-SCHEMA = "repro.bench.regress/3"
+SCHEMA = "repro.bench.regress/4"
 
 #: Prior schema versions a report may still carry: /2 only *added* the
-#: optional ``phases`` block and /3 only added the small-engine columns
-#: (``small_*`` case keys, the ``small_oracle`` block, small checks), so
+#: optional ``phases`` block, /3 only added the small-engine columns
+#: (``small_*`` case keys, the ``small_oracle`` block, small checks),
+#: and /4 only added the ``compensated`` block and its checks, so
 #: earlier documents (the committed trajectory points) remain fully
 #: valid.
 ACCEPTED_SCHEMAS = (
     "repro.bench.regress/1",
     "repro.bench.regress/2",
+    "repro.bench.regress/3",
     SCHEMA,
 )
 
 #: Headline speedup target for the small engine over the (pure) superacc
 #: baseline.  Recorded, not enforced: see the module docstring.
 SMALL_TARGET_SPEEDUP = 10.0
+
+#: Speedup target for the fastest bound-satisfying compensated tier
+#: over the ``small`` exact engine at the headline case.  Recorded, not
+#: enforced (same precedent as :data:`SMALL_TARGET_SPEEDUP`).
+COMPENSATED_TARGET_SPEEDUP = 5.0
+
+#: The mass-relative accuracy target the compensated pass is held to —
+#: the PR 9 acceptance scenario (``repro sum --target-accuracy 1e-12``).
+COMPENSATED_TARGET_ACCURACY = 1e-12
+
+#: The inexact tiers the /4 compensated pass covers.
+COMPENSATED_TIERS = ("comp-pairwise", "comp-kahan", "comp-neumaier")
 
 #: matrix defaults, pinned so reports stay comparable across PRs
 DEFAULT_N = 1 << 20
@@ -276,6 +301,8 @@ def run_regress(
             "bit_identical": bool(small_oracle_ok),
         }
 
+    compensated = _compensated_pass(xs, headline, repeats)
+
     bit_identical_all = all(c["bit_identical"] for c in cases)
     small_bit_identical_all = all(c["small_bit_identical"] for c in cases)
     speedup_headline = headline["speedup"]
@@ -302,6 +329,28 @@ def run_regress(
             "machine/backend dependent (compiled backend unavailable or "
             "slow container) — recorded, not gated."
         )
+    comp_within = all(
+        t["within_bound"] for t in compensated["tiers"].values()
+    )
+    comp_deterministic = all(
+        t["deterministic"] for t in compensated["tiers"].values()
+    )
+    comp_speedup = compensated["best_speedup_vs_small"]
+    comp_target_met = (
+        comp_speedup is not None
+        and comp_speedup >= COMPENSATED_TARGET_SPEEDUP
+    )
+    if comp_target_met:
+        comp_target_note = None
+    else:
+        comp_target_note = (
+            "fastest bound-satisfying compensated tier "
+            f"({compensated['best_tier']}) measured "
+            f"{comp_speedup:.2f}x over the small exact engine at the "
+            f"headline case, below the {COMPENSATED_TARGET_SPEEDUP:.0f}x "
+            "target; ratio is machine/backend dependent — recorded, not "
+            "gated."
+        )
     checks = {
         "bit_identical_all": bool(bit_identical_all),
         "oracle_bit_identical": bool(oracle_ok),
@@ -316,12 +365,20 @@ def run_regress(
         "small_target": SMALL_TARGET_SPEEDUP,
         "small_target_met": bool(small_target_met),
         "small_target_note": small_target_note,
+        "compensated_within_bounds": bool(comp_within),
+        "compensated_deterministic": bool(comp_deterministic),
+        "compensated_speedup_headline": comp_speedup,
+        "compensated_target": COMPENSATED_TARGET_SPEEDUP,
+        "compensated_target_met": bool(comp_target_met),
+        "compensated_target_note": comp_target_note,
         "passed": bool(
             bit_identical_all
             and oracle_ok
             and superacc_faster
             and small_bit_identical_all
             and small_oracle_ok
+            and comp_within
+            and comp_deterministic
         ),
     }
 
@@ -343,6 +400,7 @@ def run_regress(
         "cases": cases,
         "oracle": oracle,
         "small_oracle": small_oracle,
+        "compensated": compensated,
         "checks": checks,
     }
     if drift_monitor is not None:
@@ -351,6 +409,71 @@ def run_regress(
     if profile:
         doc["phases"] = _profile_pass(xs, headline)
     return doc
+
+
+def _compensated_pass(xs, headline: dict, repeats: int) -> dict:
+    """Time the inexact tiers on the full batch and hold each to its
+    contract: realized error within the a-priori bound, and bit-equal
+    results across two runs on the fixed input order.  Returns the
+    schema /4 ``compensated`` block."""
+    import math
+
+    import numpy as np
+
+    from repro.core import bounds as _bounds
+    from repro.core import engines as _engines
+    from repro.core import native as _native
+    from repro.core import planner as _planner
+
+    n = int(xs.shape[0])
+    reference = math.fsum(xs)
+    mass = math.fsum(np.abs(xs))
+    tiers: dict[str, dict] = {}
+    small_s = headline["small_seconds"]
+    for name in COMPENSATED_TIERS:
+        spec = _engines.get(name)
+        value = spec.float_total(xs, 1 << 16)
+        rerun = spec.float_total(xs, 1 << 16)
+        seconds = _time_best(
+            lambda s=spec: s.float_total(xs, 1 << 16), repeats
+        )
+        bound_abs = _bounds.coefficient(spec.bound_model, n) * mass
+        error = abs(value - reference)
+        tiers[name] = {
+            "seconds": seconds,
+            "value": value,
+            "error": error,
+            "bound": bound_abs,
+            "margin": error / bound_abs if bound_abs > 0 else None,
+            "within_bound": bool(error <= bound_abs),
+            "deterministic": bool(value == rerun),
+            "speedup_vs_small": (
+                small_s / seconds if seconds > 0 else None
+            ),
+        }
+    plan = _planner.plan(n, COMPENSATED_TARGET_ACCURACY)
+    satisfying = {
+        name: t
+        for name, t in tiers.items()
+        if t["within_bound"] and t["speedup_vs_small"] is not None
+    }
+    best_tier = (
+        max(satisfying, key=lambda k: satisfying[k]["speedup_vs_small"])
+        if satisfying
+        else None
+    )
+    return {
+        "n": n,
+        "target_accuracy": COMPENSATED_TARGET_ACCURACY,
+        "backend": _native.backend_name(),
+        "small_seconds_headline": small_s,
+        "planner_choice": plan.engine,
+        "tiers": tiers,
+        "best_tier": best_tier,
+        "best_speedup_vs_small": (
+            satisfying[best_tier]["speedup_vs_small"] if best_tier else None
+        ),
+    }
 
 
 def _profile_pass(xs, headline: dict) -> dict:
@@ -412,6 +535,24 @@ _REQUIRED_CHECKS_V3 = (
     "small_backend",
 )
 
+#: Additional keys required from /4 reports (the compensated tiers).
+_REQUIRED_CHECKS_V4 = (
+    "compensated_within_bounds",
+    "compensated_deterministic",
+    "compensated_speedup_headline",
+    "compensated_target",
+    "compensated_target_met",
+)
+_REQUIRED_TIER = (
+    "seconds",
+    "error",
+    "bound",
+    "margin",
+    "within_bound",
+    "deterministic",
+    "speedup_vs_small",
+)
+
 
 def validate_report(doc: dict) -> list[str]:
     """Structural validation of a regression report; returns problems
@@ -437,9 +578,15 @@ def validate_report(doc: dict) -> list[str]:
     for key in _REQUIRED_TOP:
         if key not in doc:
             problems.append(f"missing top-level key {key!r}")
-    is_v3 = doc.get("schema") == SCHEMA
+    schema = doc.get("schema")
+    is_v4 = schema == SCHEMA
+    is_v3 = is_v4 or schema == "repro.bench.regress/3"
     case_keys = _REQUIRED_CASE + (_REQUIRED_CASE_V3 if is_v3 else ())
-    check_keys = _REQUIRED_CHECKS + (_REQUIRED_CHECKS_V3 if is_v3 else ())
+    check_keys = (
+        _REQUIRED_CHECKS
+        + (_REQUIRED_CHECKS_V3 if is_v3 else ())
+        + (_REQUIRED_CHECKS_V4 if is_v4 else ())
+    )
     for i, case in enumerate(doc.get("cases", [])):
         for key in case_keys:
             if key not in case:
@@ -454,6 +601,17 @@ def validate_report(doc: dict) -> list[str]:
         for key in ("backends", "trials", "bit_identical"):
             if key not in small_oracle:
                 problems.append(f"small_oracle missing key {key!r}")
+    if is_v4:
+        compensated = doc.get("compensated")
+        if not isinstance(compensated, dict) or "tiers" not in compensated:
+            problems.append("/4 report missing the compensated block")
+        else:
+            for name, tier in compensated["tiers"].items():
+                for key in _REQUIRED_TIER:
+                    if key not in tier:
+                        problems.append(
+                            f"compensated.tiers[{name!r}] missing {key!r}"
+                        )
     return problems
 
 
@@ -510,6 +668,40 @@ def format_summary(doc: dict) -> str:
                 ),
             )
         )
+    compensated = doc.get("compensated")
+    if compensated:
+        for name, tier in compensated["tiers"].items():
+            lines.append(
+                "  {name:<14} {ms:8.1f} ms  margin {mg}  {bd}, {det}"
+                "  ({sx:5.2f}x vs small)".format(
+                    name=name,
+                    ms=tier["seconds"] * 1e3,
+                    mg=(
+                        f"{tier['margin']:.2e}"
+                        if tier["margin"] is not None
+                        else "n/a"
+                    ),
+                    bd=(
+                        "within bound"
+                        if tier["within_bound"]
+                        else "BOUND BREACH"
+                    ),
+                    det=(
+                        "deterministic"
+                        if tier["deterministic"]
+                        else "NONDETERMINISTIC"
+                    ),
+                    sx=tier["speedup_vs_small"] or 0.0,
+                )
+            )
+        lines.append(
+            "  planner @ target {t:g}: {e} (fastest in-bound tier: "
+            "{b})".format(
+                t=compensated["target_accuracy"],
+                e=compensated["planner_choice"],
+                b=compensated["best_tier"] or "none",
+            )
+        )
     checks = doc["checks"]
     lines.append(
         "  headline {p}: {x:.2f}x (min {m:.2f}x) -> {verdict}".format(
@@ -531,4 +723,27 @@ def format_summary(doc: dict) -> str:
         )
         if checks.get("small_target_note"):
             lines.append(f"  note: {checks['small_target_note']}")
+    if "compensated_speedup_headline" in checks:
+        lines.append(
+            "  compensated headline: {x:.2f}x vs small "
+            "(target {t:.0f}x, {met}; bounds {bd}, determinism "
+            "{det})".format(
+                x=checks["compensated_speedup_headline"] or 0.0,
+                t=checks.get("compensated_target", 0.0),
+                met=(
+                    "met" if checks.get("compensated_target_met")
+                    else "NOT met"
+                ),
+                bd=(
+                    "ok" if checks.get("compensated_within_bounds")
+                    else "BREACHED"
+                ),
+                det=(
+                    "ok" if checks.get("compensated_deterministic")
+                    else "VIOLATED"
+                ),
+            )
+        )
+        if checks.get("compensated_target_note"):
+            lines.append(f"  note: {checks['compensated_target_note']}")
     return "\n".join(lines)

@@ -149,8 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="superacc",
         help="hp batch engine from the repro.core.engines registry: "
         "exponent-binned superaccumulator (default), Neal small "
-        "superaccumulator with optional compiled backend ('small'), or "
-        "the word-matrix path — bit-identical results in every case",
+        "superaccumulator with optional compiled backend ('small'), the "
+        "word-matrix path, or a bounded-error compensated tier "
+        "('comp-pairwise'/'comp-kahan'/'comp-neumaier') — exact engines "
+        "give bit-identical results; comp-* tiers promise an a-priori "
+        "error bound instead",
+    )
+    p_sum.add_argument(
+        "--target-accuracy", type=float, default=None, metavar="EPS",
+        help="pick the engine by error bound instead of by name: the "
+        "cheapest engine whose a-priori bound coefficient satisfies "
+        "|error| <= EPS * sum|x_i| (0 demands an exact engine); "
+        "overrides --engine",
+    )
+    p_sum.add_argument(
+        "--explain-plan", action="store_true",
+        help="with --target-accuracy, print the planner's candidate "
+        "table (bounds, costs, verdicts) to stderr",
     )
     p_sum.add_argument(
         "--substrate",
@@ -539,10 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_sum_substrate(args) -> int:
+def _cmd_sum_substrate(args, xs=None) -> int:
     """``repro sum --substrate ...``: route through the parallel layer
     (including the true-multicore ``procs`` pool and its out-of-core
-    streaming path)."""
+    streaming path).  ``xs`` carries pre-loaded values (the planner path
+    loads once to size the plan)."""
     from repro.core.params import HPParams
     from repro.hallberg.params import HallbergParams
     from repro.parallel.drivers import global_sum, make_method
@@ -591,7 +607,8 @@ def _cmd_sum_substrate(args) -> int:
     if args.substrate == "procs" and args.start_method:
         kwargs["start_method"] = args.start_method
     result = global_sum(
-        _load_values(args.input), method=method, substrate=args.substrate,
+        xs if xs is not None else _load_values(args.input),
+        method=method, substrate=args.substrate,
         pes=args.pes, params=params, **kwargs,
     )
     print(repr(result.value))
@@ -608,7 +625,51 @@ def _format_words(method: str, words: tuple) -> str:
     return " ".join(str(w) for w in words)
 
 
+def _cmd_sum_planned(args) -> int:
+    """``repro sum --target-accuracy EPS``: error-bound-driven engine
+    selection (:mod:`repro.core.planner`) instead of a named engine."""
+    from repro.core import planner as _planner
+    from repro.core.params import HPParams
+
+    if args.method != "hp":
+        print(
+            "error: --target-accuracy plans over the hp engine registry; "
+            f"drop --method {args.method}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ooc:
+        print(
+            "error: --target-accuracy needs the batch in memory to plan; "
+            "--ooc is not supported",
+            file=sys.stderr,
+        )
+        return 2
+    xs = _load_values(args.input)
+    if args.substrate is not None:
+        decision = _planner.plan(len(xs), args.target_accuracy)
+        args.engine = decision.engine
+        rc = _cmd_sum_substrate(args, xs)
+        if rc == 0 and args.explain_plan:
+            print(decision.explain(), file=sys.stderr)
+        return rc
+    result = _planner.planned_sum(
+        xs,
+        args.target_accuracy,
+        params=HPParams(*args.params) if args.params else None,
+    )
+    print(repr(result.value))
+    if args.words and result.words is not None:
+        print(f"{result.params}:",
+              " ".join(f"{w:016x}" for w in result.words))
+    if args.explain_plan:
+        print(result.plan.explain(), file=sys.stderr)
+    return 0
+
+
 def _cmd_sum(args) -> int:
+    if args.target_accuracy is not None:
+        return _cmd_sum_planned(args)
     if args.substrate is not None:
         return _cmd_sum_substrate(args)
     if args.ooc:

@@ -11,6 +11,11 @@ Public surface:
   summation for multimillion-summand workloads.
 * scalar free functions (``from_double``, ``add_words``, ...) — the
   bit-level reference semantics (paper Listings 1-2).
+* :func:`plan` / :func:`planned_sum` — error-bound-driven engine
+  selection: the cheapest registered engine whose a-priori bound
+  (:mod:`repro.core.bounds`) meets a mass-relative accuracy target.
+* :func:`compensated_sum` / :class:`CompPartial` — the bounded-error
+  compensated tiers the planner routes tolerant traffic onto.
 """
 
 from repro.core.accumulator import HPAccumulator
@@ -58,6 +63,9 @@ from repro.core.vectorized import (
     batch_sum_words,
     batch_to_double,
 )
+from repro.core.bounds import ErrorBound
+from repro.core.compensated import CompPartial, compensated_sum
+from repro.core.planner import EnginePlan, PlannedSum, plan, planned_sum
 
 __all__ = [
     "HPParams",
@@ -109,4 +117,11 @@ __all__ = [
     "batch_sum_doubles",
     "batch_sum_words",
     "batch_to_double",
+    "ErrorBound",
+    "CompPartial",
+    "compensated_sum",
+    "EnginePlan",
+    "PlannedSum",
+    "plan",
+    "planned_sum",
 ]

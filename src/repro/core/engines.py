@@ -26,9 +26,31 @@ Registered engines
 ``words``
     The original word-matrix reference engine
     (:mod:`repro.core.vectorized`), ``O(n*N)`` work.
+``comp-pairwise`` (alias ``pairwise``), ``comp-kahan``, ``comp-neumaier``
+    The compensated tiers (:mod:`repro.core.compensated`): cheap,
+    bounded-error float64 kernels the accuracy planner
+    (:mod:`repro.core.planner`) selects when a request's target
+    tolerates them.
 
-All engines are exact and produce bit-identical HP words by
-construction; they differ in cost model and partial representation.
+Engines are **not** all exact anymore: capability introspection
+distinguishes three independent guarantees a consumer can gate on.
+
+``spec.exact``
+    combine order cannot affect the result *bits*; the engine's words
+    decode to the correctly rounded sum.  Bit-identity gates (the bench
+    oracle matrix, cross-substrate comparisons) apply only to these.
+``spec.deterministic``
+    a fixed summand order reproduces the same bits run-to-run on the
+    same backend — true for every registered engine, including the
+    compensated tiers (whose contract is bound satisfaction plus
+    fixed-order determinism, not bit-identity).
+``spec.order_invariant``
+    any permutation of the summands yields the same bits — the paper's
+    headline property, exclusive to the exact HP engines.
+
+Inexact engines carry ``bound_model`` naming their a-priori error
+coefficient in :mod:`repro.core.bounds` and serve float totals through
+``float_total``; their ``scaled_total`` is ``None``.
 """
 
 from __future__ import annotations
@@ -46,6 +68,7 @@ __all__ = [
     "adapter_names",
     "batch_words",
     "engine_for_adapter",
+    "exact_names",
     "get",
     "names",
     "register",
@@ -66,7 +89,8 @@ class EngineSpec:
         One-line description for ``--help`` epilogs and docs tables.
     scaled_total:
         ``(xs, params, chunk) -> int`` — the exact signed scaled-integer
-        sum; the batch kernel every consumer builds on.
+        sum; the batch kernel every exact consumer builds on.  ``None``
+        for inexact engines (which serve :attr:`float_total` instead).
     adapter_name:
         Name of the parallel reduction method built on this engine
         (``drivers.make_method`` token, e.g. ``"hp-small"``).
@@ -75,18 +99,49 @@ class EngineSpec:
         :attr:`adapter_name`.
     capabilities:
         Introspectable feature tags, e.g. ``"exact"``,
+        ``"deterministic"``, ``"order-invariant"``,
         ``"mergeable-partials"``, ``"compiled-backend"``, ``"gpu"``.
+        The :attr:`exact` / :attr:`deterministic` /
+        :attr:`order_invariant` properties are the supported way to ask.
     aliases:
         Extra names :func:`get` resolves to this spec.
+    float_total:
+        ``(xs, chunk) -> float`` — the inexact engines' batch kernel.
+        ``None`` for exact engines.
+    bound_model:
+        Name of this engine's a-priori error coefficient in
+        :mod:`repro.core.bounds` (``"exact"`` / ``"pairwise"`` /
+        ``"compensated"`` / ``"recursive"``) — what the planner prices
+        eligibility with.
     """
 
     name: str
     summary: str
-    scaled_total: Callable[[np.ndarray, HPParams, int], int]
+    scaled_total: Callable[[np.ndarray, HPParams, int], int] | None
     adapter_name: str
     make_adapter: Callable[..., object]
     capabilities: frozenset = field(default_factory=frozenset)
     aliases: tuple = ()
+    float_total: Callable[[np.ndarray, int], float] | None = None
+    bound_model: str = "exact"
+
+    @property
+    def exact(self) -> bool:
+        """Combine order cannot affect the result bits; bit-identity
+        gates apply only to engines answering True here."""
+        return "exact" in self.capabilities
+
+    @property
+    def deterministic(self) -> bool:
+        """A fixed summand order reproduces the same bits run-to-run
+        (on the same backend).  Exact implies deterministic."""
+        return self.exact or "deterministic" in self.capabilities
+
+    @property
+    def order_invariant(self) -> bool:
+        """Any permutation yields the same bits — the paper's headline
+        property, exclusive to the exact HP engines."""
+        return "order-invariant" in self.capabilities
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
@@ -122,6 +177,12 @@ def names() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def exact_names() -> tuple[str, ...]:
+    """Canonical names of the exact engines only — the set bit-identity
+    gates (bench oracle matrix, cross-substrate comparisons) iterate."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.exact)
+
+
 def specs() -> tuple[EngineSpec, ...]:
     return tuple(_REGISTRY.values())
 
@@ -153,7 +214,13 @@ def scaled_total(
     xs: np.ndarray, params: HPParams, chunk: int, method: str
 ) -> int:
     """Exact scaled-integer total of ``xs`` via the named engine."""
-    return get(method).scaled_total(xs, params, chunk)
+    spec = get(method)
+    if spec.scaled_total is None:
+        raise ValueError(
+            f"engine {spec.name!r} is inexact and has no scaled integer "
+            f"total; exact engines: {', '.join(exact_names())}"
+        )
+    return spec.scaled_total(xs, params, chunk)
 
 
 def batch_words(
@@ -164,10 +231,22 @@ def batch_words(
     method: str,
 ):
     """Engine total wrapped into HP words — the shared dispatch tail of
-    :func:`repro.core.vectorized.batch_sum_doubles`."""
+    :func:`repro.core.vectorized.batch_sum_doubles`.
+
+    Exact engines produce the words of the exact sum.  Inexact
+    (compensated) engines produce the words *of their float64 result* —
+    an exact encoding of an approximate value, so the return type stays
+    uniform while the ``exact`` capability keeps the two cases
+    distinguishable to gates.
+    """
     from repro.core.vectorized import _finalize_total
 
-    total = get(method).scaled_total(xs, params, chunk)
+    spec = get(method)
+    if spec.scaled_total is None:
+        from repro.core.scalar import from_double
+
+        return from_double(spec.float_total(xs, chunk), params)
+    total = spec.scaled_total(xs, params, chunk)
     return _finalize_total(total, params, check_overflow)
 
 
@@ -261,5 +340,78 @@ register(
         adapter_name="hp",
         make_adapter=_words_adapter,
         capabilities=frozenset({"exact", "order-invariant", "reference"}),
+    )
+)
+
+
+def _comp_total(kernel: str):
+    def float_total(xs, chunk):
+        from repro.core.compensated import compensated_sum
+
+        return compensated_sum(xs, kernel=kernel, chunk=chunk)
+
+    return float_total
+
+
+def _comp_adapter(kernel: str):
+    def make_adapter(params=None, chunk=1 << 20):
+        # Compensated tiers carry no HP format; the params slot exists
+        # for factory-signature uniformity with the exact adapters.
+        from repro.parallel.methods import CompensatedMethod
+
+        return CompensatedMethod(kernel, chunk=chunk)
+
+    return make_adapter
+
+
+_COMP_CAPS = frozenset({"deterministic", "mergeable-partials", "bounded-error"})
+
+register(
+    EngineSpec(
+        name="comp-pairwise",
+        summary=(
+            "chunked pairwise float64 reduction, O(u log n) bound "
+            "(repro.core.compensated)"
+        ),
+        scaled_total=None,
+        adapter_name="comp-pairwise",
+        make_adapter=_comp_adapter("pairwise"),
+        capabilities=_COMP_CAPS,
+        aliases=("pairwise",),
+        float_total=_comp_total("pairwise"),
+        bound_model="pairwise",
+    )
+)
+
+register(
+    EngineSpec(
+        name="comp-kahan",
+        summary=(
+            "lane-vectorized Kahan compensated sum, O(u) bound "
+            "(repro.core.compensated)"
+        ),
+        scaled_total=None,
+        adapter_name="comp-kahan",
+        make_adapter=_comp_adapter("kahan"),
+        capabilities=_COMP_CAPS,
+        float_total=_comp_total("kahan"),
+        bound_model="compensated",
+    )
+)
+
+register(
+    EngineSpec(
+        name="comp-neumaier",
+        summary=(
+            "lane-vectorized Neumaier compensated sum, optional compiled "
+            "backend, O(u) bound (repro.core.compensated)"
+        ),
+        scaled_total=None,
+        adapter_name="comp-neumaier",
+        make_adapter=_comp_adapter("neumaier"),
+        capabilities=_COMP_CAPS | {"compiled-backend"},
+        aliases=("neumaier",),
+        float_total=_comp_total("neumaier"),
+        bound_model="compensated",
     )
 )

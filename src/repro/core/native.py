@@ -98,12 +98,20 @@ class KernelSet:
     * ``propagate(chunks)`` — one full sequential carry sweep leaving
       the canonical decomposition (non-negative 32-bit low windows,
       signed top chunk).
+    * ``neumaier_partial(xs)`` — sequential Neumaier compensated sum
+      over ``xs`` (float64), returning ``(total, err, max_abs)`` for
+      :func:`repro.core.compensated.neumaier_partial`.  Unlike the
+      integer kernels above this one carries **no** bit-identity
+      contract against the pure path (the pure tier is lane-vectorized);
+      each backend is deterministic for a fixed order and meets the same
+      advertised error bound (:mod:`repro.core.bounds`).
     """
 
     name: str
     smallacc_scatter: Callable | None
     superacc_scatter: Callable | None
     propagate: Callable | None
+    neumaier_partial: Callable | None = None
 
     @property
     def compiled(self) -> bool:
@@ -249,6 +257,31 @@ void repro_superacc_scatter(const double *xs, int64_t n, int64_t frac_bits,
         bins[idx + 2] += sign * (int64_t)(hi_sh >> 32);
     }
 }
+
+/* Sequential Neumaier (1974) compensated sum with a running max|x_i|:
+   out[0] = running total, out[1] = pending compensation (to be *added*
+   at finalization), out[2] = max|x_i|.  The branch credits the rounding
+   error from whichever operand dominates in magnitude, so large-cancel
+   inputs keep their low bits in the compensation term. */
+void repro_neumaier_partial(const double *xs, int64_t n, double *out) {
+    double total = 0.0, comp = 0.0, max_abs = 0.0;
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        double x = xs[i];
+        double ax = (x < 0.0) ? -x : x;
+        double at = (total < 0.0) ? -total : total;
+        double t = total + x;
+        if (at >= ax)
+            comp += (total - t) + x;
+        else
+            comp += (x - t) + total;
+        total = t;
+        if (ax > max_abs) max_abs = ax;
+    }
+    out[0] = total;
+    out[1] = comp;
+    out[2] = max_abs;
+}
 """
 
 
@@ -306,6 +339,8 @@ def _build_cext() -> KernelSet:
     lib.repro_superacc_scatter.restype = None
     lib.repro_smallacc_propagate.argtypes = [p_i64, c_i64]
     lib.repro_smallacc_propagate.restype = None
+    lib.repro_neumaier_partial.argtypes = [p_f64, c_i64, p_f64]
+    lib.repro_neumaier_partial.restype = None
 
     def smallacc_scatter(xs, frac_bits: int, chunks) -> None:
         lib.repro_smallacc_scatter(
@@ -324,7 +359,17 @@ def _build_cext() -> KernelSet:
             chunks.ctypes.data_as(p_i64), chunks.shape[0]
         )
 
-    return KernelSet("cext", smallacc_scatter, superacc_scatter, propagate)
+    def neumaier_partial(xs) -> tuple:
+        out = (ctypes.c_double * 3)()
+        lib.repro_neumaier_partial(
+            xs.ctypes.data_as(p_f64), xs.shape[0], out
+        )
+        return (out[0], out[1], out[2])
+
+    return KernelSet(
+        "cext", smallacc_scatter, superacc_scatter, propagate,
+        neumaier_partial,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -431,6 +476,27 @@ def _build_numba() -> KernelSet:
             )
             bins[idx + 2] += sign * np.int64(hi_sh >> np.uint64(32))
 
+    @numba.njit(cache=False)
+    def _neumaier(xs, out):  # pragma: no cover - requires numba
+        total = 0.0
+        comp = 0.0
+        max_abs = 0.0
+        for i in range(xs.shape[0]):
+            x = xs[i]
+            ax = -x if x < 0.0 else x
+            at = -total if total < 0.0 else total
+            t = total + x
+            if at >= ax:
+                comp += (total - t) + x
+            else:
+                comp += (x - t) + total
+            total = t
+            if ax > max_abs:
+                max_abs = ax
+        out[0] = total
+        out[1] = comp
+        out[2] = max_abs
+
     def smallacc_scatter(xs, frac_bits: int, chunks) -> None:
         _small_scatter(xs.view(np.uint64), frac_bits, chunks)
 
@@ -440,12 +506,22 @@ def _build_numba() -> KernelSet:
     def propagate(chunks) -> None:
         _propagate(chunks)
 
+    def neumaier_partial(xs) -> tuple:
+        out = np.zeros(3, dtype=np.float64)
+        _neumaier(xs, out)
+        total, err, max_abs = out.tolist()
+        return (total, err, max_abs)
+
     # Trigger compilation now so resolution fails fast (and once) if the
     # installed numba cannot handle the kernels.
     probe = np.array([1.0, -2.5, 5e-324], dtype=np.float64)
     state = np.zeros(8, dtype=np.int64)
     smallacc_scatter(probe, 32, state)
-    return KernelSet("numba", smallacc_scatter, superacc_scatter, propagate)
+    neumaier_partial(probe)
+    return KernelSet(
+        "numba", smallacc_scatter, superacc_scatter, propagate,
+        neumaier_partial,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -234,6 +234,7 @@ def batch_sum_doubles(
     chunk: int = _DEFAULT_CHUNK,
     check_overflow: bool = True,
     method: str = "superacc",
+    accuracy: float | None = None,
 ) -> Words:
     """Fused convert-and-sum of an array of doubles into HP words.
 
@@ -242,7 +243,7 @@ def batch_sum_doubles(
     figure-4/5-8 benchmarks drive for 16M-32M summands.
 
     ``method`` names an engine in the :mod:`repro.core.engines` registry
-    — all engines produce bit-identical words:
+    — all *exact* engines produce bit-identical words:
 
     ``"superacc"`` (default)
         The exponent-binned superaccumulator
@@ -255,6 +256,16 @@ def batch_sum_doubles(
     ``"words"``
         The original word-matrix path (``batch_from_double`` +
         column sums): ``O(n * N)`` work, kept as the reference engine.
+    ``"comp-pairwise"`` / ``"comp-kahan"`` / ``"comp-neumaier"``
+        Bounded-error compensated tiers (:mod:`repro.core.compensated`):
+        the float result is encoded exactly into HP words, but the value
+        itself carries the tier's a-priori error bound rather than
+        exactness.
+
+    ``accuracy`` overrides ``method`` with a planner decision
+    (:func:`repro.core.planner.plan`): the cheapest registered engine
+    whose a-priori bound coefficient meets the mass-relative target is
+    selected (``accuracy=0.0`` demands an exact engine).
     """
     from repro.core import engines
 
@@ -263,6 +274,10 @@ def batch_sum_doubles(
         raise ValueError(f"expected 1-D input, got shape {xs.shape}")
     if chunk <= 0:
         raise ValueError(f"chunk must be positive, got {chunk}")
+    if accuracy is not None:
+        from repro.core import planner as _planner
+
+        method = _planner.plan(xs.shape[0], accuracy).engine
     return engines.batch_words(xs, params, chunk, check_overflow, method)
 
 

@@ -24,6 +24,16 @@ assert once in CI.  :class:`DriftMonitor` does that, live:
 * **Threshold callbacks.**  ``on_breach`` callbacks fire (with a
   description dict) when a path's ULP or relative error exceeds the
   configured threshold, and ``drift.threshold_breaches`` counts them.
+* **Planner bound validation.**  Every planner-routed summation
+  (:func:`repro.core.planner.planned_sum`) reports through
+  :meth:`DriftMonitor.observe_planned`: the delivered value is checked
+  against the plan's *promised* a-priori bound
+  ``|value - fsum| <= coefficient * sum|x_i|``.  The consumed fraction
+  of the budget lands in the ``planner.bound_margin`` histogram; a
+  breach counts ``planner.bound_breaches``, fires the ``on_breach``
+  callbacks, and escalates the engine
+  (:func:`repro.core.planner.record_breach`) so subsequent plans route
+  around it — automatic escalation toward exact HP.
 
 The monitor is armed explicitly (:func:`enable` / ``monitoring()``),
 publishes through the metrics registry only while the metrics gate is
@@ -53,6 +63,7 @@ __all__ = [
     "monitoring",
     "ULP_BUCKETS",
     "REL_BUCKETS",
+    "MARGIN_BUCKETS",
 ]
 
 #: Bucket ladder for ULP distances: 0 (exact) through catastrophic.
@@ -60,6 +71,10 @@ ULP_BUCKETS = (0, 1, 2, 5, 10, 100, 1_000, 10_000, 1e6, 1e9, 1e12)
 
 #: Bucket ladder for relative errors (unit roundoff up to total loss).
 REL_BUCKETS = (0.0, 1e-16, 1e-15, 1e-14, 1e-12, 1e-9, 1e-6, 1e-3, 1.0)
+
+#: Bucket ladder for the planner bound margin: the fraction of the
+#: promised error budget actually consumed (>= 1.0 is a breach).
+MARGIN_BUCKETS = (0.0, 1e-6, 1e-3, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 def _relative_error(value: float, reference: float) -> float:
@@ -264,6 +279,93 @@ class DriftMonitor:
             "original": original,
             "reordered": reordered,
         }
+
+    # -- planner bound validation -------------------------------------------
+
+    def observe_planned(
+        self,
+        data: np.ndarray,
+        value: float,
+        plan,
+        recompute: Callable | None = None,
+    ) -> dict | None:
+        """Validate one planner-routed sum against its promised bound.
+
+        ``plan`` is the :class:`repro.core.planner.EnginePlan` that chose
+        the engine; the promise is ``|value - fsum(data)| <=
+        plan.bound.coefficient * sum|data|``.  Batches longer than
+        ``sample_limit`` are validated over a prefix by re-running the
+        chosen engine on it via ``recompute`` (bound coefficients are
+        nondecreasing in ``n``, so the full-``n`` coefficient upper-
+        bounds the prefix's).  Unlike :meth:`observe`, every call
+        validates — planner routing is explicit opt-in traffic.
+
+        A breach fires the ``on_breach`` callbacks and distrusts the
+        engine for subsequent plans
+        (:func:`repro.core.planner.record_breach`).
+        """
+        if not (self.armed and _obs.ENABLED):
+            return None
+        n = len(data)
+        if n == 0:
+            return None
+        full = n <= self.sample_limit
+        sample = np.asarray(
+            data if full else data[: self.sample_limit], dtype=np.float64
+        )
+        if not full:
+            if recompute is None:
+                return None
+            value = float(recompute(sample))
+        reference = math.fsum(sample)
+        mass = math.fsum(np.abs(sample))
+        bound_abs = plan.bound.coefficient * mass
+        err = abs(value - reference)
+        if math.isnan(err):
+            err = math.inf
+        if bound_abs > 0.0:
+            margin = err / bound_abs
+        else:
+            # Exact plans promise the correctly rounded sum: any error
+            # at all consumes an infinite fraction of a zero budget.
+            margin = 0.0 if err == 0.0 else math.inf
+        breached = err > bound_abs
+
+        reg = _obs.REGISTRY
+        reg.counter("planner.validations", engine=plan.engine).inc()
+        reg.histogram(
+            "planner.bound_margin", buckets=MARGIN_BUCKETS,
+            engine=plan.engine,
+        ).observe(margin)
+        record = {
+            "engine": plan.engine,
+            "n": n,
+            "validated": len(sample),
+            "value": value,
+            "reference": reference,
+            "error": err,
+            "bound": bound_abs,
+            "margin": margin,
+            "breached": breached,
+        }
+        if breached:
+            from repro.core import planner as _planner
+
+            reg.counter(
+                "planner.bound_breaches", engine=plan.engine
+            ).inc()
+            _planner.record_breach(plan.engine)
+            self._breach({
+                "kind": "planner_bound",
+                "path": plan.engine,
+                "substrate": "planner",
+                "error": err,
+                "bound": bound_abs,
+                "margin": margin,
+                "value": value,
+                "reference": reference,
+            })
+        return record
 
     # -- thresholds ---------------------------------------------------------
 

@@ -24,7 +24,7 @@ _CLEAR = "\x1b[H\x1b[J"
 #: display order.
 _HOT_PREFIXES = (
     "global_sum.", "procpool.", "superacc.", "atomic.", "simmpi.", "gpu.",
-    "hp.", "obsserver.", "profile.",
+    "hp.", "obsserver.", "profile.", "planner.",
 )
 
 
@@ -117,6 +117,29 @@ def render_top(payload: dict, url: str = "") -> str:
     else:
         lines.append("  (drift monitor idle — no samples yet)")
     lines.append("")
+
+    # Planner bound validation: promised error budget actually consumed.
+    margins = [
+        m for m in metrics
+        if m["name"] == "planner.bound_margin" and m["type"] == "histogram"
+    ]
+    if margins:
+        breaches = {
+            m["labels"].get("engine", "?"): m["value"]
+            for m in metrics
+            if m["name"] == "planner.bound_breaches"
+        }
+        lines.append("planner bound margin (fraction of promised budget):")
+        for m in margins:
+            engine = m["labels"].get("engine", "?")
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            lines.append(
+                f"  engine={engine:14s} validated={count:<7d} "
+                f"mean={mean:8.3g}  max={m['max'] if m['max'] is not None else 0:g}  "
+                f"breaches={int(breaches.get(engine, 0))}"
+            )
+        lines.append("")
 
     # Hot counters, aggregated over labels per name.
     totals: dict[str, float] = {}

@@ -216,6 +216,11 @@ def _dispatch(
                 "(same bin geometry) on gpu, or hp-small on "
                 "serial/threads/procs/mpi"
             )
+        elif name.startswith("comp-"):
+            raise ValueError(
+                f"substrate 'gpu' has no {name} kernel; run the "
+                "compensated tiers on serial/threads/procs/mpi/phi"
+            )
         else:
             g = gpu_sum(data, name, num_threads=pes,
                         params=adapter.params, **kwargs)

@@ -17,6 +17,7 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
+from repro.core import compensated as _comp
 from repro.core.accumulator import HPAccumulator
 from repro.core.params import HPParams
 from repro.core.scalar import Words, add_words_checked, to_double
@@ -34,6 +35,7 @@ P = TypeVar("P")
 
 __all__ = [
     "ReductionMethod",
+    "CompensatedMethod",
     "DoubleMethod",
     "HPMethod",
     "HPSuperaccMethod",
@@ -94,7 +96,9 @@ class DoubleMethod(ReductionMethod[float]):
     def local_reduce(self, xs: np.ndarray) -> float:
         if self.strict_serial:
             return naive_sum(xs)
-        return float(np.add.reduce(np.asarray(xs, dtype=np.float64)))
+        # The unbounded float accumulation IS this baseline's semantics —
+        # the non-reproducibility the experiments measure.
+        return float(np.add.reduce(np.asarray(xs, dtype=np.float64)))  # hp: noqa[HP013]
 
     def combine(self, a: float, b: float) -> float:
         return a + b
@@ -104,6 +108,55 @@ class DoubleMethod(ReductionMethod[float]):
 
     def partial_nbytes(self) -> int:
         return 8
+
+    def is_exact(self) -> bool:
+        return False
+
+
+class CompensatedMethod(ReductionMethod[tuple]):
+    """Bounded-error compensated tiers on any substrate.
+
+    Partials are :class:`repro.core.compensated.CompPartial` tuples —
+    ``(total, err, count, max_abs)`` — which pickle through the procs
+    pool and pack through the simmpi wire codec like any other partial.
+    Merging keeps the totals' exact rounding error (``two_sum``), so a
+    reduction tree adds nothing beyond the per-slice kernel error and
+    the whole reduction stays inside the tier's a-priori bound
+    (:mod:`repro.core.bounds`).  Not exact: different combine *trees*
+    may differ in the last ulp — the contract is bound satisfaction plus
+    run-to-run determinism for a fixed order, which is what the
+    regression gate checks for these tiers.
+    """
+
+    def __init__(self, kernel: str = "neumaier", chunk: int = 1 << 20) -> None:
+        if kernel not in _comp.KERNELS:
+            raise ValueError(
+                f"unknown compensated kernel {kernel!r}; "
+                f"pick one of {'/'.join(_comp.KERNELS)}"
+            )
+        self.kernel = kernel
+        self.chunk = chunk
+        self.name = f"comp-{kernel}"
+
+    def identity(self) -> tuple:
+        return _comp.IDENTITY
+
+    def local_reduce(self, xs: np.ndarray) -> tuple:
+        return _comp.KERNELS[self.kernel](
+            np.asarray(xs, dtype=np.float64), self.chunk
+        )
+
+    def combine(self, a: tuple, b: tuple) -> tuple:
+        return _comp.merge_partials(
+            _comp.CompPartial(*a), _comp.CompPartial(*b)
+        )
+
+    def finalize(self, partial: tuple) -> float:
+        return _comp.finalize_partial(_comp.CompPartial(*partial))
+
+    def partial_nbytes(self) -> int:
+        # total f64 + err f64 + count u64 + max_abs f64 on the wire.
+        return 32
 
     def is_exact(self) -> bool:
         return False

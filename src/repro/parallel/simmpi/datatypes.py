@@ -18,6 +18,7 @@ from repro.hallberg.params import HallbergParams
 
 __all__ = [
     "Datatype",
+    "CompensatedPartialType",
     "DoubleType",
     "HPWordsType",
     "SuperaccBinsType",
@@ -142,6 +143,33 @@ class SmallaccChunksType(SuperaccBinsType):
     """
 
 
+class CompensatedPartialType(Datatype):
+    """Compensated-tier partials: ``(total, err, count, max_abs)``.
+
+    Two IEEE doubles (running total and pending compensation), the
+    summand count (the ``n`` the a-priori bound formulas need), and the
+    running ``max|x_i|`` (the streaming mass estimate) — 32 bytes
+    little-endian, architecture-independent like every codec here.
+    """
+
+    _FMT = "<ddQd"
+
+    @property
+    def nbytes(self) -> int:
+        return 32
+
+    def pack(self, value: tuple) -> bytes:
+        total, err, count, max_abs = value
+        return struct.pack(self._FMT, total, err, count, max_abs)
+
+    def unpack(self, buf: bytes) -> tuple:
+        self.check(buf)
+        from repro.core.compensated import CompPartial
+
+        total, err, count, max_abs = struct.unpack(self._FMT, buf)
+        return CompPartial(total, err, count, max_abs)
+
+
 class HallbergPartialType(Datatype):
     """``N`` signed 64-bit digits plus the summand count (budget
     accounting travels on the wire with the digits)."""
@@ -167,6 +195,7 @@ class HallbergPartialType(Datatype):
 def datatype_for_method(method) -> Datatype:
     """Pick the wire codec matching a :class:`ReductionMethod`."""
     from repro.parallel.methods import (
+        CompensatedMethod,
         DoubleMethod,
         HallbergMethod,
         HPMethod,
@@ -176,6 +205,8 @@ def datatype_for_method(method) -> Datatype:
 
     if isinstance(method, DoubleMethod):
         return DoubleType()
+    if isinstance(method, CompensatedMethod):
+        return CompensatedPartialType()
     if isinstance(method, HPSmallaccMethod):
         return SmallaccChunksType(method.params)
     if isinstance(method, HPSuperaccMethod):

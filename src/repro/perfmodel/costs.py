@@ -20,12 +20,14 @@ and writes ``W``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.params import HPParams
 from repro.hallberg.params import HallbergParams
 
 __all__ = ["OpCounts", "MemTraffic", "hp_ops", "hallberg_ops", "double_ops",
-           "hp_mem", "hallberg_mem", "double_mem"]
+           "hp_mem", "hallberg_mem", "double_mem",
+           "PLANNER_UNIT_COSTS", "planner_unit_costs"]
 
 
 @dataclass(frozen=True)
@@ -89,3 +91,48 @@ def hallberg_mem(params: HallbergParams) -> MemTraffic:
 def double_mem() -> MemTraffic:
     """2 reads (summand + partial), 1 write."""
     return MemTraffic(reads=2, writes=1)
+
+
+#: Per-summand engine costs in "double-add units" (a naive ``np.sum``
+#: pass = 1.0), the static prior the accuracy planner ranks engines by.
+#: The compensated tiers are structural estimates from their vector-op
+#: counts (pairwise is one reduce pass; Kahan ~6 vector ops per lane
+#: row; Neumaier ~9 with the dominance branch); the exact-engine entries
+#: reflect the measured serial ratios in the BENCH_* trajectory on this
+#: repo's pure/compiled backends.  :func:`planner_unit_costs` refits the
+#: exact entries from a ``repro profile --calibrate`` measurement when
+#: one is supplied.
+PLANNER_UNIT_COSTS: Mapping[str, float] = {
+    "comp-pairwise": 1.0,
+    "comp-kahan": 7.0,
+    "comp-neumaier": 10.0,
+    "small": 45.0,
+    "superacc": 70.0,
+    "words": 260.0,
+}
+
+
+def planner_unit_costs(
+    measured: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """The planner's per-summand cost table, optionally refit.
+
+    ``measured`` is the mapping a ``repro profile --calibrate`` document
+    carries (engine key -> best-of wall seconds; see
+    :data:`repro.perfmodel.calibration.MEASURED_SCHEMA`).  When it holds
+    both ``double`` and ``hp-superacc``, the measured ratio re-anchors
+    the exact-engine entries — the correction PR 6's measured-anchor
+    residuals exist to absorb — while the compensated tiers stay pinned
+    to the double pass they are structurally multiples of.
+    """
+    costs = dict(PLANNER_UNIT_COSTS)
+    if not measured:
+        return costs
+    t_dbl = measured.get("double")
+    t_sup = measured.get("hp-superacc")
+    if not t_dbl or not t_sup or t_dbl <= 0 or t_sup <= 0:
+        return costs
+    scale = (t_sup / t_dbl) / PLANNER_UNIT_COSTS["superacc"]
+    for name in ("small", "superacc", "words"):
+        costs[name] = PLANNER_UNIT_COSTS[name] * scale
+    return costs

@@ -1,4 +1,5 @@
-"""Good/bad fixtures for every per-file domain rule (HP001-HP007, HP012).
+"""Good/bad fixtures for every per-file domain rule (HP001-HP007,
+HP012, HP013).
 
 Each bad fixture is a distilled real bug shape; each good fixture is a
 pattern the codebase legitimately uses and the rule must *not* flag —
@@ -467,3 +468,88 @@ class TestHP012EngineRegistryBypass:
         from repro.analysis.lint import lint_paths
 
         assert lint_paths(["src"], select=["HP012"]) == []
+
+
+class TestHP013UnboundedFloatReduction:
+    def test_bad_np_sum(self):
+        assert "HP013" in rules_in("""
+            def f(xs, np):
+                return float(np.sum(xs))
+        """)
+
+    def test_bad_add_reduce_and_numpy_spelling(self):
+        src = """
+            def f(xs, np, numpy):
+                a = np.add.reduce(xs)
+                b = numpy.sum(xs)
+                return a + b
+        """
+        assert rules_in(src).count("HP013") == 2
+
+    def test_bad_builtin_sum_over_sequence(self):
+        assert "HP013" in rules_in("""
+            def f(values):
+                return sum(values)
+        """)
+
+    def test_good_integer_dtype_is_exact(self):
+        # The vectorized word-column sums: an integer dtype= makes the
+        # reduction exact, no rounding to bound.
+        assert rules_in("""
+            def f(cols, np):
+                return np.sum(cols, dtype=np.uint64)
+        """) == []
+        assert rules_in("""
+            def f(cols, np):
+                return np.sum(cols, dtype="uint64")
+        """) == []
+
+    def test_good_axis_reduction_is_geometry(self):
+        # Per-element reductions (particle distances in apps/nbody.py)
+        # never feed a global result.
+        assert rules_in("""
+            def f(dx, np):
+                return np.sum(dx * dx, axis=1)
+        """) == []
+
+    def test_good_builtin_sum_over_generator(self):
+        # Count/length aggregation over a comprehension is the Python
+        # idiom for metadata, not a float result path.
+        assert rules_in("""
+            def f(chunks):
+                n = sum(len(c) for c in chunks)
+                m = sum([c.nbytes for c in chunks])
+                return n + m
+        """) == []
+
+    def test_good_compensated_host_exempt(self):
+        # The compensated tiers ARE the sanctioned bounded wrapper over
+        # these primitives.
+        assert rules_in("""
+            def f(xs, np):
+                return np.sum(xs)
+        """, "src/repro/core/compensated.py") == []
+
+    def test_package_scoping(self):
+        # Only core/parallel/apps are result-producing; bench harness
+        # timing code is out of scope.
+        src = """
+            def f(xs, np):
+                return np.sum(xs)
+        """
+        assert rules_in(src, "src/repro/bench/_fixture.py") == []
+        assert "HP013" in rules_in(src, "src/repro/apps/_fixture.py")
+        assert "HP013" in rules_in(src, PARALLEL)
+
+    def test_noqa_suppression(self):
+        assert rules_in("""
+            def f(xs, np):
+                return np.sum(xs)  # hp: noqa[HP013]
+        """) == []
+
+    def test_self_host_single_justified_suppression(self):
+        # The only raw reduction in the tree is DoubleMethod's baseline
+        # (the non-reproducibility under study), suppressed at the site.
+        from repro.analysis.lint import lint_paths
+
+        assert lint_paths(["src"], select=["HP013"]) == []

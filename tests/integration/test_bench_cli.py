@@ -79,6 +79,32 @@ class TestRunRegress:
         if not checks["small_target_met"]:
             assert checks["small_target_note"]
 
+    def test_compensated_tiers_within_bound_and_deterministic(self, report):
+        compensated = report["compensated"]
+        assert set(compensated["tiers"]) == {
+            "comp-pairwise", "comp-kahan", "comp-neumaier",
+        }
+        for tier in compensated["tiers"].values():
+            assert tier["within_bound"] is True
+            assert tier["deterministic"] is True
+            assert tier["error"] <= tier["bound"]
+        assert report["checks"]["compensated_within_bounds"] is True
+        assert report["checks"]["compensated_deterministic"] is True
+        # The planner's choice at the pinned target is one of the tiers
+        # the pass measured (it can never pick an escalated or exact
+        # engine at 1e-12 with every tier in bound).
+        assert compensated["planner_choice"] in compensated["tiers"]
+
+    def test_compensated_target_recorded_not_gated(self, report):
+        checks = report["checks"]
+        assert checks["compensated_target"] == 5.0
+        assert isinstance(checks["compensated_target_met"], bool)
+        if not checks["compensated_target_met"]:
+            assert checks["compensated_target_note"]
+        # Like the small engine's 10x: missing the ratio never fails
+        # the gate on its own.
+        assert checks["passed"] is True
+
     def test_skip_oracle(self):
         doc = run_regress(n=1000, repeats=1, skip_oracle=True)
         assert doc["oracle"] is None
