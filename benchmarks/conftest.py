@@ -32,4 +32,6 @@ def emit(title: str, body: str) -> None:
     """Print a figure/table reproduction block (visible with -s; captured
     into the bench log otherwise)."""
     bar = "=" * 72
-    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+    # This helper IS the benchmark suite's output surface: pytest
+    # captures the block into the bench log, which is the deliverable.
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")  # hp: noqa[HP014]

@@ -1,4 +1,4 @@
-"""The HP domain lint rules (HP001-HP007, HP012, HP013).
+"""The HP domain lint rules (HP001-HP007, HP012-HP014).
 
 Each rule encodes one invariant from the paper that ordinary Python
 tooling cannot check (see ``docs/ANALYSIS.md`` for the full catalog with
@@ -21,6 +21,9 @@ HP012     engine entry points must be reached through the registry
 HP013     result-producing float reductions must go through a registry
           engine or a bounded compensated tier, not raw ``np.sum`` /
           builtin ``sum()``
+HP014     library code must not ``print()`` or write to ``sys.stdout`` /
+          ``sys.stderr``; diagnostics route through the event journal or
+          metrics (CLI/top/``__main__`` surfaces are exempt)
 ========  ==================================================================
 
 Rules are deliberately *precise over complete*: each one matches a
@@ -831,3 +834,91 @@ def check_unbounded_float_reduction(module: ModuleSource) -> Iterator[Finding]:
                 "with no bound; use math.fsum, a registry engine, or a "
                 "compensated tier for result-producing sums",
             )
+
+
+# ---------------------------------------------------------------------------
+# HP014 — stray diagnostic output in library code
+# ---------------------------------------------------------------------------
+
+#: Files whose *job* is terminal output: the CLI surface, the package
+#: entry point, and the dashboard renderer.
+_OUTPUT_HOSTS = frozenset(
+    {
+        ("repro", "cli.py"),
+        ("repro", "__main__.py"),
+        ("observability", "top.py"),
+    }
+)
+
+#: Dotted stream attributes whose ``.write()`` is a diagnostic print.
+_STREAMS = frozenset({"sys.stdout", "sys.stderr"})
+
+
+def _is_output_host(path: str) -> bool:
+    parts = Path(path).parts
+    return len(parts) >= 2 and (parts[-2], parts[-1]) in _OUTPUT_HOSTS
+
+
+def _is_main_guard(node: ast.AST) -> bool:
+    """``if __name__ == "__main__":`` — a script entry point, not library
+    code."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value == "__main__"
+    )
+
+
+@rule(
+    "HP014",
+    "print-in-library",
+    "library code must report through the journal/metrics, not print()",
+    "PR 10 flight recorder: diagnostics must survive the process and "
+    "carry trace context",
+    packages=None,  # all library code; hosts are exempted by path
+    example_bad='def local_reduce(self, xs):\n    print(f"reducing {len(xs)} summands")  # lost on crash, no trace id',
+    example_good='from repro.observability import journal as _journal\n_journal.emit("worker.task", n=len(xs))  # journaled, trace-correlated',
+)
+def check_print_in_library(module: ModuleSource) -> Iterator[Finding]:
+    """Flag bare ``print()`` calls and ``sys.stdout``/``sys.stderr``
+    writes outside the sanctioned output surfaces (the CLI, the package
+    ``__main__``, the ``repro top`` renderer) and outside
+    ``if __name__ == "__main__"`` script blocks.  A library that prints
+    bypasses every delivery guarantee this package builds: the text is
+    not in the journal (so the flight recorder cannot replay it), carries
+    no trace/span id (so it cannot be correlated across processes), and
+    vanishes when stdout is not a terminal.  Route diagnostics through
+    :func:`repro.observability.journal.emit` or a metric; genuinely
+    user-facing output belongs in the CLI layer."""
+    if _is_output_host(module.path):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = None
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            target = "print()"
+        elif isinstance(node.func, ast.Attribute):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                base = dotted.rsplit(".", 1)[0]
+                if base in _STREAMS:
+                    target = f"{dotted}()"
+        if target is None:
+            continue
+        if any(_is_main_guard(a) for a in module.ancestors(node)):
+            continue  # script entry point, not library surface
+        yield module.finding(
+            "HP014",
+            node,
+            f"{target} in library code: diagnostics must route through "
+            "the event journal (repro.observability.journal.emit) or a "
+            "metric so they survive crashes and carry trace context; "
+            "user-facing output belongs in the CLI layer",
+        )

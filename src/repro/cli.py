@@ -123,6 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the --serve-metrics endpoint up this long after the "
         "computation finishes (default 0)",
     )
+    obs_flags.add_argument(
+        "--journal-out", metavar="PATH", default=None,
+        help="enable the structured event journal and mirror every event "
+        "to PATH as JSONL (inspect with 'repro events')",
+    )
+    obs_flags.add_argument(
+        "--forensics-out", metavar="PATH", default=None,
+        help="arm the crash flight recorder: on exit, unhandled "
+        "exception or fatal signal a forensics bundle (journal tail, "
+        "metrics snapshot, open spans, planner escalations, SLOs) is "
+        "written to PATH; also enables metrics+tracing+journal",
+    )
 
     p_sum = sub.add_parser("sum", help="exact global sum of a vector",
                            parents=[obs_flags])
@@ -312,6 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
         "embed the per-phase cost table in the report under 'phases'",
     )
     p_bench.add_argument(
+        "--journal", metavar="PATH", default=None, dest="bench_journal",
+        help="enable the structured event journal for the run and write "
+        "its JSONL spill to PATH (untimed overhead: the gate is flipped "
+        "before the harness starts)",
+    )
+    p_bench.add_argument(
         "--pes-list", metavar="P,P,...", default=None,
         help="scaling only: comma-separated PE counts (default 1,2,4,8)",
     )
@@ -460,6 +478,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of repainting in place",
     )
 
+    p_ev = sub.add_parser(
+        "events",
+        help="inspect a journal spill (JSONL) or forensics bundle",
+        description="Reads the structured event journal written by "
+        "--journal-out (JSONL, one event per line), an exported journal "
+        "document, or the journal embedded in a --forensics-out bundle, "
+        "and prints/filters/validates its events.  --trace ID "
+        "reassembles one causal trace: events from every participating "
+        "process (master and workers), ordered by time, with the span "
+        "ids that tie them to the trace document.",
+    )
+    p_ev.add_argument(
+        "file",
+        help="journal JSONL spill, journal export JSON, or forensics "
+        "bundle JSON",
+    )
+    p_ev.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="show only the last N matching events (default: all)",
+    )
+    p_ev.add_argument(
+        "--event", metavar="PREFIX", default=None,
+        help="filter by event-name prefix (e.g. 'plan.', 'worker.')",
+    )
+    p_ev.add_argument(
+        "--trace", metavar="ID", default=None,
+        help="reassemble one cross-process trace by trace_id",
+    )
+    p_ev.add_argument(
+        "--stats", action="store_true",
+        help="print event-name counts instead of the events",
+    )
+    p_ev.add_argument(
+        "--json", action="store_true",
+        help="print matching events as JSON lines",
+    )
+    p_ev.add_argument(
+        "--validate", action="store_true",
+        help="validate every record against the journal_event schema; "
+        "exit 1 when any record does not conform",
+    )
+
     from repro.analysis.lint import rule_catalog as _rule_catalog
 
     rule_lines = "\n".join(
@@ -554,11 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_sum_substrate(args, xs=None) -> int:
+def _cmd_sum_substrate(args, xs=None, decision=None) -> int:
     """``repro sum --substrate ...``: route through the parallel layer
     (including the true-multicore ``procs`` pool and its out-of-core
-    streaming path).  ``xs`` carries pre-loaded values (the planner path
-    loads once to size the plan)."""
+    streaming path).  ``xs`` carries pre-loaded values and ``decision``
+    the engine plan (the planner path loads once to size the plan and
+    audits the delivered value against the plan's promised bound)."""
     from repro.core.params import HPParams
     from repro.hallberg.params import HallbergParams
     from repro.parallel.drivers import global_sum, make_method
@@ -606,11 +667,18 @@ def _cmd_sum_substrate(args, xs=None) -> int:
     kwargs = {}
     if args.substrate == "procs" and args.start_method:
         kwargs["start_method"] = args.start_method
+    values = xs if xs is not None else _load_values(args.input)
     result = global_sum(
-        xs if xs is not None else _load_values(args.input),
-        method=method, substrate=args.substrate,
+        values, method=method, substrate=args.substrate,
         pes=args.pes, params=params, **kwargs,
     )
+    if decision is not None:
+        from repro.core import planner as _planner
+
+        _planner.validate_routed(
+            values, result.value, decision,
+            params=params if args.method == "hp" else None,
+        )
     print(repr(result.value))
     if args.words and result.words is not None:
         print(f"{result.method}:",
@@ -647,9 +715,15 @@ def _cmd_sum_planned(args) -> int:
         return 2
     xs = _load_values(args.input)
     if args.substrate is not None:
-        decision = _planner.plan(len(xs), args.target_accuracy)
-        args.engine = decision.engine
-        rc = _cmd_sum_substrate(args, xs)
+        from repro.observability import tracing as _tracing
+
+        # One trace for the whole planned request: the plan.decision
+        # row, the substrate execution (global_sum reuses the active
+        # context), and the bound.check audit all share a trace_id.
+        with _tracing.activate_context(_tracing.TraceContext.new()):
+            decision = _planner.plan(len(xs), args.target_accuracy)
+            args.engine = decision.engine
+            rc = _cmd_sum_substrate(args, xs, decision=decision)
         if rc == 0 and args.explain_plan:
             print(decision.explain(), file=sys.stderr)
         return rc
@@ -1123,6 +1197,124 @@ def _cmd_top(args) -> int:
     )
 
 
+def _load_journal_records(path: str) -> list[dict]:
+    """Journal events from a JSONL spill, a journal export, or a
+    forensics bundle — whatever the flight recorder left behind."""
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        kind = doc.get("kind")
+        if kind == "forensics_bundle":
+            journal = doc.get("journal") or {}
+            return [r for r in journal.get("events", [])
+                    if isinstance(r, dict)]
+        if kind == "journal":
+            return [r for r in doc.get("events", []) if isinstance(r, dict)]
+        if kind == "journal_event":
+            return [doc]
+        raise ValueError(
+            f"{path}: unsupported document kind {kind!r} (expected a "
+            f"journal spill, journal export, or forensics bundle)"
+        )
+    records: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: not a JSON object")
+        records.append(record)
+    return records
+
+
+def _format_event(record: dict) -> str:
+    skip = {"kind", "schema_version", "event", "time_unix", "pid", "seq",
+            "trace_id", "span_id"}
+    t = record.get("time_unix")
+    stamp = f"{t:.6f}" if isinstance(t, (int, float)) else "?"
+    fields = " ".join(
+        f"{k}={record[k]!r}" for k in sorted(record) if k not in skip
+    )
+    where = f"pid={record.get('pid', '?')} seq={record.get('seq', '?')}"
+    span = record.get("span_id")
+    if span is not None:
+        where += f" span={span}"
+    return f"{stamp}  {where:<28s} {record.get('event', '?'):<16s} {fields}"
+
+
+def _cmd_events(args) -> int:
+    import json
+
+    try:
+        records = _load_journal_records(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        from repro.observability.schema import validate_journal_event
+
+        problems = []
+        for i, record in enumerate(records):
+            problems.extend(
+                f"event[{i}]: {p}" for p in validate_journal_event(record)
+            )
+        if problems:
+            for p in problems:
+                print(f"error: {p}", file=sys.stderr)
+            return 1
+        print(f"{len(records)} events conform to the journal_event schema")
+        return 0
+
+    if args.event is not None:
+        records = [
+            r for r in records
+            if str(r.get("event", "")).startswith(args.event)
+        ]
+    if args.trace is not None:
+        records = [r for r in records if r.get("trace_id") == args.trace]
+
+    if args.stats:
+        from collections import Counter
+
+        tally = Counter(str(r.get("event", "?")) for r in records)
+        for name in sorted(tally):
+            print(f"{tally[name]:8d}  {name}")
+        print(f"{len(records):8d}  total")
+        return 0
+
+    if args.trace is not None:
+        # Causal reassembly: one trace, every process, time order (ties
+        # broken by pid/seq so the listing is deterministic).
+        records.sort(key=lambda r: (
+            r.get("time_unix") or 0.0, r.get("pid") or 0, r.get("seq") or 0,
+        ))
+        if not records:
+            print(f"no events for trace {args.trace}", file=sys.stderr)
+            return 1
+        pids = sorted({r.get("pid") for r in records if r.get("pid")})
+        print(f"trace {args.trace}: {len(records)} events across "
+              f"{len(pids)} process(es) {pids}")
+    if args.tail:
+        records = records[-args.tail:]
+    for record in records:
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(_format_event(record))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -1130,6 +1322,23 @@ def _cmd_bench(args) -> int:
         print("error: bench requires exactly one of --regress / --scaling",
               file=sys.stderr)
         return 2
+
+    if args.bench_journal:
+        from repro.observability import journal as _journal
+
+        _journal.enable()
+        _journal.JOURNAL.spill_to(args.bench_journal)
+        try:
+            return _cmd_bench_run(args)
+        finally:
+            _journal.JOURNAL.close_spill()
+            _journal.disable()
+            print(f"journal spill written to {args.bench_journal}")
+    return _cmd_bench_run(args)
+
+
+def _cmd_bench_run(args) -> int:
+    import json
 
     if args.scaling:
         from repro.bench import (
@@ -1378,24 +1587,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "serve-metrics": _cmd_serve,
         "top": _cmd_top,
+        "events": _cmd_events,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
     prom_out = getattr(args, "prom_out", None)
     perfetto_out = getattr(args, "perfetto_out", None)
+    journal_out = getattr(args, "journal_out", None)
+    forensics_out = getattr(args, "forensics_out", None)
     serve_port = getattr(args, "serve_metrics_port", None)
-    any_out = metrics_out or trace_out or prom_out or perfetto_out
+    any_out = (metrics_out or trace_out or prom_out or perfetto_out
+               or journal_out or forensics_out)
     server = None
     if any_out or serve_port is not None:
         from repro import observability as obs
 
+        # The flight recorder records everything it can — a bundle with
+        # an empty metrics snapshot or no spans answers nothing.
         obs.enable(
             enable_metrics=(metrics_out is not None or prom_out is not None
-                            or serve_port is not None),
+                            or serve_port is not None
+                            or forensics_out is not None),
             enable_tracing=(trace_out is not None
                             or perfetto_out is not None
-                            or serve_port is not None),
+                            or serve_port is not None
+                            or forensics_out is not None),
+            enable_journal=(journal_out is not None
+                            or forensics_out is not None),
         )
+        if journal_out is not None:
+            obs.JOURNAL.spill_to(journal_out)
+        if forensics_out is not None:
+            from repro.observability import recorder as _recorder
+
+            _recorder.install(forensics_out)
         if serve_port is not None:
             from repro.observability import monitor as drift
             from repro.observability.server import MetricsServer
@@ -1406,6 +1631,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except Exception as exc:  # clean CLI errors, full trace only via -X
+        if forensics_out is not None:
+            from repro.observability.recorder import RECORDER
+
+            RECORDER.flush(f"exception: {exc}")
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
@@ -1433,6 +1662,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 obs.write_prometheus(prom_out)
             if perfetto_out:
                 obs.write_chrome_trace(perfetto_out)
+            if forensics_out:
+                from repro.observability.recorder import RECORDER
+
+                RECORDER.flush("exit")
+                RECORDER.uninstall()
+            if journal_out:
+                obs.JOURNAL.close_spill()
 
 
 if __name__ == "__main__":

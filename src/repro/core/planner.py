@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core import bounds as _bounds
 from repro.core import engines as _engines
+from repro.observability import journal as _journal
 from repro.observability import metrics as _obs
 
 __all__ = [
@@ -155,6 +156,7 @@ def record_breach(engine: str) -> None:
         _obs.REGISTRY.counter(
             "planner.escalations", engine=spec.name
         ).inc()
+    _journal.emit("plan.escalation", engine=spec.name, exact=spec.exact)
     if spec.exact:
         return
     with _LOCK:
@@ -244,6 +246,27 @@ def plan(
         _obs.REGISTRY.counter(
             "planner.decisions", engine=spec.name, mode=mode
         ).inc()
+    if _journal.ENABLED:
+        _journal.emit(
+            "plan.decision", n=n, target=target, mode=mode,
+            engine=spec.name,
+            exact=spec.exact, coefficient=best["coefficient"],
+            predicted_cost=best["cost"],
+            escalated_from=sorted(distrusted),
+            verdicts=[
+                {
+                    "engine": r["spec"].name,
+                    "coefficient": r["coefficient"],
+                    "verdict": (
+                        "CHOSEN" if r is best
+                        else "escalated away" if r["escalated"]
+                        else "bound exceeds target" if not r["eligible"]
+                        else "eligible, costlier"
+                    ),
+                }
+                for r in rows
+            ],
+        )
     return EnginePlan(
         n=n,
         target=target,
@@ -340,9 +363,54 @@ def planned_sum(
         def recompute(sample, _m=spec.name):
             return _engines.get(_m).float_total(sample, chunk)
 
-    if _drift.MONITOR.armed:
-        _drift.MONITOR.observe_planned(xs, value, decision, recompute)
+    # The monitor gates internally: fully armed publishes planner.*
+    # metrics and escalates on breach; journal-only still lands the
+    # bound.check promise-vs-measurement row.
+    _drift.MONITOR.observe_planned(xs, value, decision, recompute)
     return PlannedSum(
         value=value, plan=decision, words=words,
         params=params if spec.exact else None,
     )
+
+
+def validate_routed(
+    xs: np.ndarray,
+    value: float,
+    decision,
+    params=None,
+    chunk: int = 1 << 20,
+) -> None:
+    """Audit a planner-routed sum that was executed elsewhere.
+
+    The substrate path (``repro sum --target-accuracy --substrate ...``)
+    plans here but executes in the parallel layer, so :func:`planned_sum`
+    never sees the delivered value.  This re-attaches it to the plan's
+    promise via :meth:`DriftMonitor.observe_planned` — the same
+    ``bound.check`` journal row, ``planner.*`` metrics, and breach
+    escalation the serial path gets.
+    """
+    from repro.observability import journal as _journal
+    from repro.observability import monitor as _drift
+
+    if not (_drift.MONITOR.armed or _journal.ENABLED):
+        return
+    xs = np.ascontiguousarray(xs, dtype=np.float64)
+    spec = _engines.get(decision.engine)
+    recompute: Callable[[np.ndarray], float]
+    if spec.exact:
+        from repro.core.scalar import to_double
+        from repro.core.vectorized import batch_sum_doubles
+
+        if params is None:
+            params = _suggest_params(xs)
+
+        def recompute(sample, _p=params, _m=spec.name):
+            return to_double(
+                batch_sum_doubles(sample, _p, chunk=chunk, method=_m), _p
+            )
+
+    else:
+        def recompute(sample, _m=spec.name):
+            return _engines.get(_m).float_total(sample, chunk)
+
+    _drift.MONITOR.observe_planned(xs, value, decision, recompute)

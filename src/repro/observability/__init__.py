@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.observability import metrics, monitor, profile, tracing
+from repro.observability import journal, metrics, monitor, profile, tracing
 from repro.observability.export import (
     chrome_trace,
     parse_prometheus_text,
@@ -60,16 +60,33 @@ from repro.observability.profile import (
     speedscope_document,
     validate_speedscope,
 )
+from repro.observability.journal import JOURNAL, EventJournal
+from repro.observability.recorder import RECORDER, FlightRecorder
 from repro.observability.report import RunReport, write_metrics, write_trace
 from repro.observability.server import MetricsServer, SnapshotRing, serve_metrics
 from repro.observability.schema import (
     validate_document,
     validate_file,
+    validate_forensics_doc,
+    validate_journal_doc,
+    validate_journal_event,
+    validate_jsonl_file,
     validate_metrics_doc,
     validate_run_report_doc,
+    validate_slo_doc,
     validate_trace_doc,
 )
-from repro.observability.tracing import Span, TRACER, Tracer, span, traced
+from repro.observability.slo import SloStatus, compute_slos, slo_report
+from repro.observability.tracing import (
+    Span,
+    TRACER,
+    TraceContext,
+    Tracer,
+    activate_context,
+    current_context,
+    span,
+    traced,
+)
 
 __all__ = [
     "enable",
@@ -87,8 +104,19 @@ __all__ = [
     "Span",
     "Tracer",
     "TRACER",
+    "TraceContext",
+    "activate_context",
+    "current_context",
     "span",
     "traced",
+    # journal + flight recorder + SLOs
+    "EventJournal",
+    "JOURNAL",
+    "FlightRecorder",
+    "RECORDER",
+    "SloStatus",
+    "compute_slos",
+    "slo_report",
     # live telemetry: exporters, server, drift monitor
     "prometheus_text",
     "parse_prometheus_text",
@@ -116,49 +144,64 @@ __all__ = [
     "write_trace",
     "validate_document",
     "validate_file",
+    "validate_jsonl_file",
     "validate_metrics_doc",
     "validate_trace_doc",
     "validate_run_report_doc",
+    "validate_journal_doc",
+    "validate_journal_event",
+    "validate_slo_doc",
+    "validate_forensics_doc",
 ]
 
 
-def enable(enable_metrics: bool = True, enable_tracing: bool = True) -> None:
-    """Turn instrumentation on (both layers by default)."""
+def enable(
+    enable_metrics: bool = True,
+    enable_tracing: bool = True,
+    enable_journal: bool = False,
+) -> None:
+    """Turn instrumentation on (metrics + tracing by default)."""
     if enable_metrics:
         metrics.enable()
     if enable_tracing:
         tracing.enable()
+    if enable_journal:
+        journal.enable()
 
 
 def disable() -> None:
-    """Turn both layers off; collected data is retained."""
+    """Turn all layers off; collected data is retained."""
     metrics.disable()
     tracing.disable()
+    journal.disable()
 
 
 def is_enabled() -> bool:
-    """True when either layer's gate is on."""
-    return metrics.ENABLED or tracing.ENABLED
+    """True when any layer's gate is on."""
+    return metrics.ENABLED or tracing.ENABLED or journal.ENABLED
 
 
 def reset() -> None:
-    """Zero metrics, drop collected spans, and clear the drift monitor's
-    tallies (gates and the monitor's armed state are untouched)."""
+    """Zero metrics, drop collected spans and journal events, and clear
+    the drift monitor's tallies (gates and the monitor's armed state are
+    untouched)."""
     REGISTRY.reset()
     TRACER.reset()
     MONITOR.reset()
+    JOURNAL.reset()
 
 
 @contextmanager
-def observed(enable_metrics: bool = True, enable_tracing: bool = True):
+def observed(enable_metrics: bool = True, enable_tracing: bool = True,
+             enable_journal: bool = False):
     """Enable instrumentation for one region, restoring prior gates::
 
         with observed():
             run_benchmark()
     """
-    prior = (metrics.ENABLED, tracing.ENABLED)
-    enable(enable_metrics, enable_tracing)
+    prior = (metrics.ENABLED, tracing.ENABLED, journal.ENABLED)
+    enable(enable_metrics, enable_tracing, enable_journal)
     try:
         yield
     finally:
-        metrics.ENABLED, tracing.ENABLED = prior
+        metrics.ENABLED, tracing.ENABLED, journal.ENABLED = prior

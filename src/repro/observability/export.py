@@ -47,27 +47,70 @@ __all__ = [
 ]
 
 #: ``# HELP`` strings for the built-in metric families (sanitized
-#: names).  Families not listed get a generic line — HELP is
-#: documentation, not schema.
+#: names).  Every family the repo emits must be catalogued here —
+#: ``tests/observability/test_export.py`` walks the source tree for
+#: metric registrations and fails on any uncatalogued family, so an
+#: instrumented scrape never ships an undocumented series.
 HELP_TEXT = {
     "hp_carry_words": "Word positions that received a carry-in during an add.",
     "hp_overflows": "Overflow detections raised as AdditionOverflowError.",
+    "hp_overflow_checks": "Sign-rule overflow checks performed on adds.",
+    "hp_scalar_adds": "Scalar double-to-words additions performed.",
+    "hp_accumulator_adds": "HPAccumulator add operations performed.",
     "superacc_fold_triggers": "Bin-array folds into the exact integer carry.",
+    "superacc_bins_folded": "Bins folded during headroom folds.",
+    "superacc_scatter_bytes": "Bytes scattered into superaccumulator bins.",
+    "smallacc_backend":
+        "Resolved smallacc kernel backend (labelled gauge, value 1).",
+    "smallacc_propagate_triggers":
+        "Deferred carry propagations forced by the add-count headroom bound.",
+    "smallacc_scatter_bytes": "Bytes scattered into small-accumulator chunks.",
     "atomic_cas_retries": "Failed CAS attempts (attempts minus successes).",
     "atomic_cas_attempts_per_add": "CAS attempts per successful word add.",
+    "atomic_word_adds": "Word adds committed through the CAS protocol.",
     "simmpi_messages": "Point-to-point sends through SimComm.",
+    "simmpi_bytes": "Payload bytes sent through SimComm point-to-point.",
+    "simmpi_rounds": "Communication rounds completed (barrier_round marks).",
+    "simmpi_reduce_depth": "Tree depth of the last simmpi reduction.",
+    "gpu_steps": "Simulated GPU kernel scheduler steps.",
+    "gpu_loads": "Simulated GPU global-memory loads.",
+    "gpu_stores": "Simulated GPU global-memory stores.",
+    "gpu_cas_attempts": "Simulated GPU CAS attempts.",
+    "gpu_cas_failures": "Simulated GPU CAS failures (retried).",
+    "gpu_cas_retries": "Simulated GPU CAS retries.",
+    "gpu_cas_attempts_per_word_add":
+        "Simulated GPU CAS attempts per committed word add.",
     "global_sum_calls": "global_sum invocations.",
     "global_sum_summands": "Summands processed by global_sum.",
     "procpool_reduces": "Process-pool reductions completed.",
     "procpool_tasks": "Chunk tasks dispatched to pool workers.",
     "procpool_task_seconds": "Per-task worker wall time (seconds).",
+    "procpool_partial_bytes": "Partial-result bytes returned by workers.",
+    "procpool_workers_spawned": "Worker processes started by ProcPool.",
+    "procpool_ooc_spill_bytes":
+        "Bytes spilled to temporary .npy files for out-of-core streaming.",
     "drift_ulp_error": "Shadow-sum ULP distance from the exact reference.",
     "drift_relative_error": "Shadow-sum relative error vs the exact reference.",
+    "drift_last_ulp_error": "Most recent ULP distance per path (gauge).",
     "drift_order_invariance_violations":
         "Permutation probes whose re-sum changed the result bits.",
     "drift_samples": "Traffic batches shadow-summed by the drift monitor.",
+    "drift_shadow_summands": "Summands re-summed by the shadow paths.",
     "drift_permutation_probes": "Permutation re-sum probes executed.",
     "drift_threshold_breaches": "Drift observations beyond a threshold.",
+    "planner_plans": "Engine-selection plans computed.",
+    "planner_decisions": "Plans per chosen engine and bound mode.",
+    "planner_escalations": "Bound breaches reported against an engine.",
+    "planner_validations": "Planner-routed sums validated by the monitor.",
+    "planner_bound_margin":
+        "Fraction of the promised error budget consumed per validated sum.",
+    "planner_bound_breaches":
+        "Validated sums whose measured error exceeded the promised bound.",
+    "slo_target": "Configured target compliance ratio per objective.",
+    "slo_compliance": "Good/total event ratio per objective (1 = no events).",
+    "slo_burn_rate":
+        "Error rate over error budget per objective (-1 = infinite).",
+    "slo_events": "Good and total event counts per objective.",
     "obsserver_requests": "HTTP requests served by the metrics endpoint.",
     "profile_phase_calls": "Times each named phase region was entered.",
     "profile_phase_seconds":
@@ -75,6 +118,21 @@ HELP_TEXT = {
     "profile_phase_call_seconds":
         "Per-entry phase latency (seconds) as a histogram.",
     "profile_samples": "Stacks captured by the sampling profiler.",
+    "analysis_files_indexed": "Files indexed by the whole-program analyzer.",
+    "analysis_files_parsed": "Files parsed (cache misses) by the analyzer.",
+    "analysis_cache_hits": "Analyzer per-file summaries served from cache.",
+    "analysis_findings": "Findings produced by analyzer rule passes.",
+    "sanitizer_snapshot_retries":
+        "Torn-read snapshot retries by the runtime sanitizer.",
+    "sanitizer_overflow_wraps":
+        "Silent two's-complement wraps caught by the shadow accumulator.",
+    "sanitizer_shadow_divergences":
+        "Accumulator divergences from the exact integer shadow.",
+    "sanitizer_unlocked_writes":
+        "Writes that bypassed the CAS protocol (non-atomic store races).",
+    "sanitizer_torn_reads": "Snapshots that raced live adders.",
+    "sanitizer_undelivered_messages":
+        "Messages posted but never received at quiescence checks.",
 }
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -360,6 +418,12 @@ def chrome_trace(
 
     ``metadata`` (``"ph": "M"``) events name each track so Perfetto and
     ``chrome://tracing`` show ``repro`` and ``worker pid=N`` lanes.
+
+    Parent→child links that *cross tracks* (the master's reduce span to
+    a worker's span, stitched by trace-context propagation) additionally
+    emit a flow-event pair (``"ph": "s"`` on the parent slice,
+    ``"ph": "f"`` on the child slice), so Perfetto draws the causal
+    arrows between process lanes.
     """
     spans = [s for s in tracer.spans() if s.finished]
     spans.sort(key=lambda s: s.span_id or 0)
@@ -400,6 +464,27 @@ def chrome_trace(
                 {"error": sp.error} if sp.error else {}
             ),
         })
+        # Cross-track parent link → flow arrow between the lanes.
+        parent = by_id.get(sp.parent_id) if sp.parent_id is not None else None
+        if parent is not None:
+            ppid, ptid = track(parent)
+            if (ppid, ptid) != (pid, tid):
+                flow_name = str(sp.attrs.get("trace", "trace"))
+                # The start step must sit inside the parent slice; the
+                # child may begin before the parent's clock says so
+                # (separate processes), so clamp into the slice.
+                parent_t0 = parent.start_unix * 1e6
+                parent_t1 = parent_t0 + (parent.duration_s or 0.0) * 1e6
+                ts_s = min(max(sp.start_unix * 1e6, parent_t0), parent_t1)
+                events.append({
+                    "ph": "s", "id": sp.span_id, "name": flow_name,
+                    "cat": "flow", "ts": ts_s, "pid": ppid, "tid": ptid,
+                })
+                events.append({
+                    "ph": "f", "bp": "e", "id": sp.span_id,
+                    "name": flow_name, "cat": "flow",
+                    "ts": sp.start_unix * 1e6, "pid": pid, "tid": tid,
+                })
 
     meta: list[dict] = []
     for pid, tid in sorted(tracks_seen):

@@ -1,0 +1,259 @@
+"""Structured event journal: the flight recorder's data plane.
+
+Metrics aggregate (how many bound breaches?) and spans time (how long
+did the reduce take?), but neither answers the auditor's question about
+one specific request: *which engine did the planner pick, what bound did
+it promise, and what drift did the monitor actually measure?*  The
+journal records exactly that — an append-only, schema-versioned stream
+of structured events (request start/finish, engine selection, plan
+verdicts, bound promise vs. measured margin, worker lifecycle, merges,
+alarms) held in a bounded in-memory ring with an optional JSONL spill.
+
+Design rules, matching the rest of :mod:`repro.observability`:
+
+* module-level :data:`ENABLED` gate; :func:`emit` is a dict-build plus a
+  deque append when on and a single attribute load when off, so the
+  journal is cheap enough to stay on by default alongside metrics;
+* all mutation happens under one lock (seq allocation, ring append,
+  spill write), so a concurrent reader never sees a torn record and the
+  JSONL spill is line-consistent;
+* the ring is bounded (old events are *dropped*, counted, never block);
+* events are plain JSON-able dicts stamped with
+  :data:`JOURNAL_SCHEMA_VERSION`, a per-process monotonically increasing
+  ``seq``, the emitting ``pid``, and — when a trace context is active —
+  the ``trace_id``/``span_id`` that tie the event into the causal trace
+  (see :class:`repro.observability.tracing.TraceContext`).
+
+Worker processes journal locally and ship their events back with the
+partials (:func:`EventJournal.drain` → :func:`EventJournal.absorb`), so
+the master's ring and spill contain the whole cross-process story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import Any, IO, Iterable
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "EventJournal",
+    "JOURNAL",
+    "emit",
+    "JOURNAL_SCHEMA_VERSION",
+]
+
+#: Hot-path gate.  Mutate only through :func:`enable` / :func:`disable`.
+ENABLED = False
+
+#: Version stamped into every journal event and exported journal document.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Default ring capacity: large enough for a multi-million-summand procs
+#: run (a few events per task), small enough to stay off the heap radar.
+DEFAULT_CAPACITY = 4096
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class EventJournal:
+    """Bounded, lock-consistent ring of structured events.
+
+    One instance (:data:`JOURNAL`) serves the whole process; workers get
+    their own by virtue of being separate processes and ship events back
+    via :meth:`drain` / :meth:`absorb`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._spill: IO[str] | None = None
+        self._spill_path: str | None = None
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> dict | None:
+        """Append one event; returns the record, or ``None`` when gated off.
+
+        ``trace_id`` / ``span_id`` are filled from the active
+        :class:`~repro.observability.tracing.TraceContext` unless passed
+        explicitly in ``fields``.
+        """
+        if not ENABLED:
+            return None
+        record: dict[str, Any] = {
+            "kind": "journal_event",
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "event": event,
+            "time_unix": time.time(),
+            "pid": os.getpid(),
+        }
+        if "trace_id" not in fields or "span_id" not in fields:
+            from repro.observability import tracing as _trace
+
+            ctx = _trace.current_context()
+            if ctx is not None:
+                record.setdefault("trace_id", ctx.trace_id)
+                record.setdefault("span_id", ctx.span_id)
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(record)
+            if self._spill is not None:
+                self._spill.write(json.dumps(record, sort_keys=True) + "\n")
+                self._spill.flush()
+        return record
+
+    def absorb(self, records: Iterable[dict]) -> int:
+        """Adopt events journaled elsewhere (a worker process) verbatim.
+
+        Records keep their origin ``pid``/``seq``/``trace_id`` — that is
+        the point: the master's spill then tells the cross-process story
+        in one file.  Returns the number absorbed; no-op when gated off.
+        """
+        if not ENABLED:
+            return 0
+        n = 0
+        with self._lock:
+            for record in records:
+                if len(self._ring) == self._ring.maxlen:
+                    self._dropped += 1
+                self._ring.append(record)
+                if self._spill is not None:
+                    self._spill.write(
+                        json.dumps(record, sort_keys=True) + "\n"
+                    )
+                n += 1
+            if self._spill is not None and n:
+                self._spill.flush()
+        return n
+
+    def drain(self) -> list[dict]:
+        """Remove and return every buffered event (worker → master ship)."""
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+        return records
+
+    # -- spill -------------------------------------------------------------
+
+    def spill_to(self, path: str | os.PathLike) -> None:
+        """Mirror every subsequent event to ``path`` as JSONL (append)."""
+        with self._lock:
+            if self._spill is not None:
+                self._spill.close()
+            self._spill = open(path, "a", encoding="utf-8")
+            self._spill_path = os.fspath(path)
+
+    @property
+    def spill_path(self) -> str | None:
+        return self._spill_path
+
+    def close_spill(self) -> None:
+        with self._lock:
+            if self._spill is not None:
+                self._spill.close()
+            self._spill = None
+            self._spill_path = None
+
+    # -- introspection / export -------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def events(
+        self,
+        event: str | None = None,
+        trace_id: str | None = None,
+    ) -> list[dict]:
+        """Buffered events, optionally filtered by name prefix / trace."""
+        with self._lock:
+            found = list(self._ring)
+        if event is not None:
+            found = [r for r in found if r.get("event", "").startswith(event)]
+        if trace_id is not None:
+            found = [r for r in found if r.get("trace_id") == trace_id]
+        return found
+
+    def tail(self, n: int = 50) -> list[dict]:
+        with self._lock:
+            return list(self._ring)[-n:]
+
+    def stats(self) -> dict[str, int]:
+        """Event-name → count over the buffered window."""
+        with self._lock:
+            tally = _TallyCounter(r.get("event", "?") for r in self._ring)
+        return dict(sorted(tally.items()))
+
+    def export(self) -> dict:
+        """The journal document (see docs/OBSERVABILITY.md)."""
+        with self._lock:
+            events = list(self._ring)
+            dropped = self._dropped
+        return {
+            "kind": "journal",
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "generated_unix": time.time(),
+            "dropped": dropped,
+            "events": events,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0
+            self._dropped = 0
+            if self._spill is not None:
+                self._spill.close()
+            self._spill = None
+            self._spill_path = None
+
+
+#: The process-wide journal all built-in instrumentation targets.
+JOURNAL = EventJournal()
+
+
+def enable() -> None:
+    """Turn the journal gate on."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn the journal gate off (buffered events are kept)."""
+    global ENABLED
+    ENABLED = False
+
+
+def emit(event: str, **fields: Any) -> dict | None:
+    """Emit on the default journal::
+
+        emit("plan.decision", engine="small", target=0.0)
+    """
+    return JOURNAL.emit(event, **fields)

@@ -52,6 +52,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.observability import journal as _journal
 from repro.observability import metrics as _obs
 from repro.summation.stats import ulp_distance
 
@@ -303,8 +304,16 @@ class DriftMonitor:
         A breach fires the ``on_breach`` callbacks and distrusts the
         engine for subsequent plans
         (:func:`repro.core.planner.record_breach`).
+
+        Runs in two modes: fully armed (metrics gate on + monitor
+        armed) publishes the ``planner.*`` series and drives the breach
+        machinery; with only the journal gate on, the promise-vs-
+        measurement audit still runs but lands solely as the
+        ``bound.check`` journal row — a ``--journal-out`` run records
+        the margin without paying for the metrics pipeline.
         """
-        if not (self.armed and _obs.ENABLED):
+        audited = self.armed and _obs.ENABLED
+        if not (audited or _journal.ENABLED):
             return None
         n = len(data)
         if n == 0:
@@ -331,12 +340,13 @@ class DriftMonitor:
             margin = 0.0 if err == 0.0 else math.inf
         breached = err > bound_abs
 
-        reg = _obs.REGISTRY
-        reg.counter("planner.validations", engine=plan.engine).inc()
-        reg.histogram(
-            "planner.bound_margin", buckets=MARGIN_BUCKETS,
-            engine=plan.engine,
-        ).observe(margin)
+        if audited:
+            reg = _obs.REGISTRY
+            reg.counter("planner.validations", engine=plan.engine).inc()
+            reg.histogram(
+                "planner.bound_margin", buckets=MARGIN_BUCKETS,
+                engine=plan.engine,
+            ).observe(margin)
         record = {
             "engine": plan.engine,
             "n": n,
@@ -348,7 +358,15 @@ class DriftMonitor:
             "margin": margin,
             "breached": breached,
         }
-        if breached:
+        # The journal's promise-vs-measurement row: the plan's promised
+        # absolute bound next to the drift actually measured — the
+        # per-request audit record the accuracy SLO is computed from.
+        _journal.emit(
+            "bound.check", engine=plan.engine, n=n,
+            target=plan.target, bound=bound_abs, error=err,
+            margin=margin, breached=breached,
+        )
+        if breached and audited:
             from repro.core import planner as _planner
 
             reg.counter(
@@ -394,6 +412,7 @@ class DriftMonitor:
             "drift.threshold_breaches", path=event["path"],
             kind=event["kind"],
         ).inc()
+        _journal.emit("alarm", **event)
         for callback in list(self.on_breach):
             callback(event)
 

@@ -1,0 +1,218 @@
+"""Crash flight recorder: flush the journal to a forensics bundle.
+
+A service run that dies — unhandled exception, SIGTERM from an
+orchestrator, plain exit — should leave behind what the black box knew:
+the journal tail (what the process was doing), a metrics snapshot (what
+it had counted), the spans still open (what it was *in the middle of*),
+the planner's escalation state (which engines it had stopped trusting),
+and the SLO standings.  :class:`FlightRecorder` installs atexit,
+``sys.excepthook`` and signal hooks that write exactly that as one
+schema-versioned JSON bundle.
+
+The write path is deliberately boring: collect plain dicts, dump to a
+temp file, ``os.replace`` into place — atomic on POSIX, so a bundle is
+either absent or complete, never torn.  Only the first trigger writes
+(an exception hook followed by atexit would otherwise overwrite the
+interesting reason with ``"exit"``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+import traceback
+
+from repro.observability import metrics as _obs
+from repro.observability import tracing as _trace
+from repro.observability.journal import JOURNAL
+
+__all__ = [
+    "FlightRecorder",
+    "RECORDER",
+    "install",
+    "uninstall",
+    "FORENSICS_SCHEMA_VERSION",
+]
+
+#: Version stamped into every forensics bundle.
+FORENSICS_SCHEMA_VERSION = 1
+
+#: Signals that should flush before the process dies.  SIGINT is left to
+#: Python's KeyboardInterrupt → excepthook path.
+_SIGNALS = ("SIGTERM", "SIGHUP", "SIGQUIT")
+
+
+class FlightRecorder:
+    """Owns the hooks and the one-shot bundle write."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._path: str | None = None
+        self._written = False
+        self._installed = False
+        self._prev_excepthook = None
+        self._prev_handlers: dict[int, object] = {}
+
+    @property
+    def installed(self) -> bool:
+        # Advisory read for tests/CLI; writes are lock-protected.
+        return self._installed  # hp: noqa[HP003]
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, path: str | os.PathLike) -> "FlightRecorder":
+        """Arm the recorder: bundle lands at ``path`` on death."""
+        with self._lock:
+            self._path = os.fspath(path)
+            self._written = False
+            if self._installed:
+                return self
+            self._installed = True
+        # Hook bookkeeping below runs only on the install/uninstall
+        # path — lifecycle calls made from one thread, serialized by the
+        # _installed latch flipped under the lock above.
+        atexit.register(self._atexit)
+        self._prev_excepthook = sys.excepthook  # hp: noqa[HP003]
+        sys.excepthook = self._excepthook
+        # Signal handlers only work on the main thread; a recorder armed
+        # from elsewhere (tests, embedded use) still gets atexit+excepthook.
+        if threading.current_thread() is threading.main_thread():
+            for name in _SIGNALS:
+                signum = getattr(signal, name, None)
+                if signum is None:
+                    continue
+                try:
+                    self._prev_handlers[signum] = signal.signal(
+                        signum, self._on_signal
+                    )
+                except (ValueError, OSError):
+                    pass
+        return self
+
+    def uninstall(self) -> None:
+        with self._lock:
+            if not self._installed:
+                return
+            self._installed = False
+        atexit.unregister(self._atexit)
+        # Same single-threaded lifecycle path as install() above.
+        if self._prev_excepthook is not None:  # hp: noqa[HP003]
+            sys.excepthook = self._prev_excepthook  # hp: noqa[HP003]
+            self._prev_excepthook = None  # hp: noqa[HP003]
+        for signum, handler in self._prev_handlers.items():
+            try:
+                signal.signal(signum, handler)  # type: ignore[arg-type]
+            except (ValueError, OSError):
+                pass
+        self._prev_handlers.clear()
+
+    # -- triggers ----------------------------------------------------------
+
+    def _atexit(self) -> None:
+        self.flush("exit")
+
+    def _excepthook(self, exc_type, exc, tb) -> None:
+        detail = "".join(traceback.format_exception_only(exc_type, exc)).strip()
+        self.flush(f"exception: {detail}")
+        # The interpreter is already unwinding; the chained hook was
+        # stored once at install time and never mutated concurrently.
+        if self._prev_excepthook is not None:  # hp: noqa[HP003]
+            self._prev_excepthook(exc_type, exc, tb)  # hp: noqa[HP003]
+
+    def _on_signal(self, signum, frame) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = str(signum)
+        self.flush(f"signal: {name}")
+        # Restore the previous disposition and re-raise so the exit
+        # status still says "killed by signal".
+        prev = self._prev_handlers.get(signum, signal.SIG_DFL)
+        try:
+            signal.signal(signum, prev)  # type: ignore[arg-type]
+        except (ValueError, OSError):
+            prev = None
+        if callable(prev) and prev not in (signal.SIG_IGN, signal.SIG_DFL):
+            prev(signum, frame)
+        else:
+            os.kill(os.getpid(), signum)
+
+    # -- the bundle --------------------------------------------------------
+
+    def flush(self, reason: str, force: bool = False) -> str | None:
+        """Write the bundle once; returns its path (None when disarmed
+        or already written and not ``force``)."""
+        with self._lock:
+            path = self._path
+            if path is None or (self._written and not force):
+                return None
+            self._written = True
+        bundle = self.bundle(reason)
+        tmp_path = None
+        try:
+            tmp_fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(os.path.abspath(path)) or ".",
+                suffix=".forensics.tmp",
+            )
+            with os.fdopen(tmp_fd, "w", encoding="utf-8") as fh:
+                json.dump(bundle, fh, indent=2, default=str)
+                fh.write("\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            return None
+        return path
+
+    def bundle(self, reason: str) -> dict:
+        """Assemble the bundle dict (pure read of observability state)."""
+        from repro.observability import slo as _slo
+
+        try:
+            from repro.core import planner as _planner
+
+            escalated = sorted(_planner.escalated_engines())
+        except Exception:
+            escalated = []
+        try:
+            slo_doc = _slo.slo_report()
+        except Exception:
+            slo_doc = None
+        return {
+            "kind": "forensics_bundle",
+            "schema_version": FORENSICS_SCHEMA_VERSION,
+            "generated_unix": time.time(),
+            "pid": os.getpid(),
+            "reason": reason,
+            "journal": JOURNAL.export(),
+            "metrics": _obs.REGISTRY.snapshot(),
+            "active_spans": [s.to_dict() for s in _trace.TRACER.active()],
+            "planner": {"escalated_engines": escalated},
+            "slo": slo_doc,
+        }
+
+
+#: The process-wide recorder the CLI arms via ``--forensics-out``.
+RECORDER = FlightRecorder()
+
+
+def install(path: str | os.PathLike) -> FlightRecorder:
+    """Arm the process-wide recorder."""
+    return RECORDER.install(path)
+
+
+def uninstall() -> None:
+    RECORDER.uninstall()

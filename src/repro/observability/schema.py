@@ -12,16 +12,24 @@ from __future__ import annotations
 
 import json
 
+from repro.observability.journal import JOURNAL_SCHEMA_VERSION
 from repro.observability.metrics import METRICS_SCHEMA_VERSION
+from repro.observability.recorder import FORENSICS_SCHEMA_VERSION
 from repro.observability.report import REPORT_SCHEMA_VERSION
+from repro.observability.slo import SLO_SCHEMA_VERSION
 from repro.observability.tracing import TRACE_SCHEMA_VERSION
 
 __all__ = [
     "validate_metrics_doc",
     "validate_trace_doc",
     "validate_run_report_doc",
+    "validate_journal_event",
+    "validate_journal_doc",
+    "validate_slo_doc",
+    "validate_forensics_doc",
     "validate_document",
     "validate_file",
+    "validate_jsonl_file",
 ]
 
 _NUMBER = (int, float)
@@ -179,10 +187,140 @@ def validate_run_report_doc(doc) -> list[str]:
     return errors
 
 
+def validate_journal_event(doc) -> list[str]:
+    """Problems with one journal event record (a spill JSONL line)."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "journal_event",
+                         JOURNAL_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("event"), str) and doc.get("event"),
+           "missing event name")
+    _check(errors, isinstance(doc.get("time_unix"), _NUMBER),
+           "time_unix is not a number")
+    _check(errors, isinstance(doc.get("pid"), int),
+           "pid is not an integer")
+    seq = doc.get("seq")
+    _check(errors, isinstance(seq, int) and seq >= 0,
+           "seq is not a non-negative integer")
+    trace_id = doc.get("trace_id")
+    _check(errors, trace_id is None or isinstance(trace_id, str),
+           "trace_id is neither string nor null")
+    span_id = doc.get("span_id")
+    _check(errors, span_id is None or isinstance(span_id, int),
+           "span_id is neither integer nor null")
+    return errors
+
+
+def validate_journal_doc(doc) -> list[str]:
+    """Problems with an exported journal document."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "journal", JOURNAL_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("generated_unix"), _NUMBER),
+           "generated_unix is not a number")
+    dropped = doc.get("dropped")
+    _check(errors, isinstance(dropped, int) and dropped >= 0,
+           "dropped is not a non-negative integer")
+    events = doc.get("events")
+    if not _check(errors, isinstance(events, list), "events is not a list"):
+        return errors
+    for i, record in enumerate(events):
+        where = f"events[{i}]"
+        if not _check(errors, isinstance(record, dict),
+                      f"{where}: not an object"):
+            continue
+        errors.extend(f"{where}: {e}" for e in validate_journal_event(record))
+    return errors
+
+
+def validate_slo_doc(doc) -> list[str]:
+    """Problems with an SLO report document."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "slo", SLO_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("generated_unix"), _NUMBER),
+           "generated_unix is not a number")
+    _check(errors, isinstance(doc.get("latency_threshold_s"), _NUMBER),
+           "latency_threshold_s is not a number")
+    objectives = doc.get("objectives")
+    if not _check(errors, isinstance(objectives, list),
+                  "objectives is not a list"):
+        return errors
+    for i, o in enumerate(objectives):
+        where = f"objectives[{i}]"
+        if not _check(errors, isinstance(o, dict), f"{where}: not an object"):
+            continue
+        _check(errors,
+               isinstance(o.get("objective"), str) and o.get("objective"),
+               f"{where}: missing objective name")
+        _check(errors, isinstance(o.get("target"), _NUMBER),
+               f"{where}: target is not a number")
+        for field in ("good", "total"):
+            value = o.get(field)
+            _check(errors, isinstance(value, int) and value >= 0,
+                   f"{where}: {field} is not a non-negative integer")
+        compliance = o.get("compliance")
+        _check(errors,
+               compliance is None or isinstance(compliance, _NUMBER),
+               f"{where}: compliance is neither number nor null")
+        burn = o.get("burn_rate")
+        _check(errors, burn is None or isinstance(burn, _NUMBER),
+               f"{where}: burn_rate is neither number nor null")
+        _check(errors, isinstance(o.get("healthy"), bool),
+               f"{where}: healthy is not a boolean")
+    return errors
+
+
+def validate_forensics_doc(doc) -> list[str]:
+    """Problems with a crash flight-recorder forensics bundle."""
+    errors: list[str] = []
+    if not _check_header(errors, doc, "forensics_bundle",
+                         FORENSICS_SCHEMA_VERSION):
+        return errors
+    _check(errors, isinstance(doc.get("generated_unix"), _NUMBER),
+           "generated_unix is not a number")
+    _check(errors, isinstance(doc.get("pid"), int), "pid is not an integer")
+    _check(errors, isinstance(doc.get("reason"), str) and doc.get("reason"),
+           "missing reason")
+    journal = doc.get("journal")
+    if _check(errors, isinstance(journal, dict), "journal is not an object"):
+        errors.extend(f"journal: {e}" for e in validate_journal_doc(journal))
+    metrics = doc.get("metrics")
+    if _check(errors, isinstance(metrics, dict), "metrics is not an object"):
+        errors.extend(
+            f"metrics: {e}" for e in validate_metrics_doc(metrics)
+        )
+    spans = doc.get("active_spans")
+    if _check(errors, isinstance(spans, list), "active_spans is not a list"):
+        for i, s in enumerate(spans):
+            where = f"active_spans[{i}]"
+            if not _check(errors, isinstance(s, dict),
+                          f"{where}: not an object"):
+                continue
+            _check(errors, isinstance(s.get("name"), str) and s.get("name"),
+                   f"{where}: missing name")
+            sid = s.get("span_id")
+            _check(errors, isinstance(sid, int) and sid > 0,
+                   f"{where}: span_id is not a positive integer")
+    planner = doc.get("planner")
+    if _check(errors, isinstance(planner, dict), "planner is not an object"):
+        _check(errors, isinstance(planner.get("escalated_engines"), list),
+               "planner.escalated_engines is not a list")
+    slo = doc.get("slo")
+    if slo is not None and _check(errors, isinstance(slo, dict),
+                                  "slo is neither object nor null"):
+        errors.extend(f"slo: {e}" for e in validate_slo_doc(slo))
+    return errors
+
+
 _VALIDATORS = {
     "metrics": validate_metrics_doc,
     "trace": validate_trace_doc,
     "run_report": validate_run_report_doc,
+    "journal": validate_journal_doc,
+    "journal_event": validate_journal_event,
+    "slo": validate_slo_doc,
+    "forensics_bundle": validate_forensics_doc,
 }
 
 
@@ -204,3 +342,30 @@ def validate_file(path: str) -> tuple[str, list[str]]:
     except (OSError, json.JSONDecodeError) as exc:
         return "unreadable", [f"{path}: {exc}"]
     return validate_document(doc)
+
+
+def validate_jsonl_file(path: str) -> tuple[int, list[str]]:
+    """Validate a journal spill (one JSON document per line).
+
+    Returns ``(lines_checked, problems)``; each problem is prefixed
+    with its 1-based line number.
+    """
+    errors: list[str] = []
+    checked = 0
+    try:
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                checked += 1
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"line {lineno}: not JSON ({exc})")
+                    continue
+                _, problems = validate_document(doc)
+                errors.extend(f"line {lineno}: {p}" for p in problems)
+    except OSError as exc:
+        return 0, [f"{path}: {exc}"]
+    return checked, errors

@@ -15,7 +15,9 @@ module is the stdlib-only serving layer:
     (:func:`repro.observability.export.prometheus_text`);
   - ``GET /healthz``  — liveness JSON (uptime, sample/request counts);
   - ``GET /snapshot`` — the latest registry snapshot plus computed
-    rates, the payload ``repro top`` renders.
+    rates, the payload ``repro top`` renders;
+  - ``GET /slo``      — the SLO engine's compliance/burn-rate report
+    (:func:`repro.observability.slo.slo_report`).
 
 Everything is daemonic and bounded: the ring holds at most
 ``capacity`` snapshots, request handling reads lock-consistent
@@ -182,6 +184,12 @@ class _Handler(BaseHTTPRequestHandler):
             body = (json.dumps(telemetry.ring.payload()) + "\n").encode(
                 "utf-8"
             )
+            ctype = "application/json"
+        elif path == "/slo":
+            from repro.observability.slo import slo_report
+
+            report = slo_report(registry=telemetry.registry)
+            body = (json.dumps(report) + "\n").encode("utf-8")
             ctype = "application/json"
         else:
             body = b'{"error": "not found"}\n'

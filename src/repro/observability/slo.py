@@ -1,0 +1,246 @@
+"""Service-level objectives computed from signals the stack already emits.
+
+The planner *promises* a forward-error bound per request and the drift
+monitor *measures* whether it held (:meth:`DriftMonitor.observe_planned`);
+the permutation probes check order-invariance; the journal records how
+long each request took.  This module turns those raw signals into
+objectives a service can be held to:
+
+* **accuracy** — fraction of planner-routed sums whose measured error
+  stayed within the promised a-priori bound
+  (``planner.validations`` vs ``planner.bound_breaches``);
+* **exactness** — order-invariance probes on *exact* engines must never
+  find a violation (the paper's invariant as an SLO; the float64 path's
+  violations are the probe's positive control and are excluded);
+* **latency** — fraction of finished requests (journal
+  ``request.finish`` events) under a threshold.
+
+Each objective yields a compliance ratio, a *burn rate* — the ratio of
+the observed error rate to the error budget ``1 - target``, the standard
+"how many times faster than allowed are we burning budget" number — and
+a health verdict.  Results publish as ``slo.*`` gauges, serve as JSON on
+the metrics server's ``/slo`` endpoint, and render as a ``repro top``
+panel.
+
+A burn rate of ``None`` in the JSON document means *infinite*: the
+objective has a zero error budget (target 1.0) and at least one bad
+event — by construction the exactness objective's only failure mode.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.observability import metrics as _obs
+from repro.observability.journal import JOURNAL
+
+__all__ = [
+    "SloStatus",
+    "compute_slos",
+    "slo_report",
+    "SLO_SCHEMA_VERSION",
+    "DEFAULT_TARGETS",
+    "DEFAULT_LATENCY_THRESHOLD_S",
+]
+
+#: Version stamped into every exported SLO document.
+SLO_SCHEMA_VERSION = 1
+
+#: Objective → target compliance ratio.  Exactness is 1.0 by design: the
+#: paper's guarantee admits no error budget.
+DEFAULT_TARGETS = {
+    "accuracy": 0.999,
+    "exactness": 1.0,
+    "latency": 0.95,
+}
+
+#: A request slower than this burns latency budget.
+DEFAULT_LATENCY_THRESHOLD_S = 1.0
+
+
+@dataclass
+class SloStatus:
+    """One objective's current standing over the observed window."""
+
+    objective: str
+    target: float
+    good: int
+    total: int
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def compliance(self) -> float | None:
+        """Good/total ratio; ``None`` with no events (vacuously healthy)."""
+        if self.total == 0:
+            return None
+        return self.good / self.total
+
+    @property
+    def burn_rate(self) -> float | None:
+        """Observed error rate over error budget; ``None`` = infinite."""
+        compliance = self.compliance
+        if compliance is None:
+            return 0.0
+        error_rate = 1.0 - compliance
+        budget = 1.0 - self.target
+        if budget <= 0.0:
+            return 0.0 if error_rate == 0.0 else None
+        return error_rate / budget
+
+    @property
+    def healthy(self) -> bool:
+        compliance = self.compliance
+        return compliance is None or compliance >= self.target
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "target": self.target,
+            "good": self.good,
+            "total": self.total,
+            "compliance": self.compliance,
+            "burn_rate": self.burn_rate,
+            "healthy": self.healthy,
+            "detail": dict(self.detail),
+        }
+
+
+def _series(registry: _obs.MetricsRegistry, name: str) -> list[dict]:
+    return [m for m in registry.collect(prefix=name) if m["name"] == name]
+
+
+def _series_total(registry: _obs.MetricsRegistry, name: str) -> int:
+    return int(sum(m.get("value", 0) for m in _series(registry, name)))
+
+
+def _is_exact_path(path: str) -> bool:
+    """Whether a drift-metric ``path`` label names an exact method."""
+    try:
+        from repro.parallel.drivers import make_method
+
+        return bool(make_method(path).is_exact())
+    except Exception:
+        return False
+
+
+def _accuracy(registry: _obs.MetricsRegistry, target: float) -> SloStatus:
+    total = _series_total(registry, "planner.validations")
+    bad = _series_total(registry, "planner.bound_breaches")
+    return SloStatus(
+        objective="accuracy",
+        target=target,
+        good=max(0, total - bad),
+        total=total,
+        detail={"validations": total, "bound_breaches": bad},
+    )
+
+
+def _exactness(registry: _obs.MetricsRegistry, target: float) -> SloStatus:
+    probes = 0
+    violations = 0
+    by_path: dict[str, dict[str, int]] = {}
+    for m in _series(registry, "drift.permutation_probes"):
+        path = m["labels"].get("path", "")
+        if not _is_exact_path(path):
+            continue
+        probes += int(m.get("value", 0))
+        by_path.setdefault(path, {})["probes"] = int(m.get("value", 0))
+    for m in _series(registry, "drift.order_invariance_violations"):
+        path = m["labels"].get("path", "")
+        if not _is_exact_path(path):
+            continue
+        violations += int(m.get("value", 0))
+        by_path.setdefault(path, {})["violations"] = int(m.get("value", 0))
+    return SloStatus(
+        objective="exactness",
+        target=target,
+        good=max(0, probes - violations),
+        total=probes,
+        detail={"probes": probes, "violations": violations,
+                "by_path": by_path},
+    )
+
+
+def _latency(journal, target: float, threshold_s: float) -> SloStatus:
+    finished = journal.events(event="request.finish")
+    durations = [
+        r["duration_s"] for r in finished
+        if isinstance(r.get("duration_s"), (int, float))
+    ]
+    good = sum(1 for d in durations if d <= threshold_s)
+    worst = max(durations, default=0.0)
+    return SloStatus(
+        objective="latency",
+        target=target,
+        good=good,
+        total=len(durations),
+        detail={"threshold_s": threshold_s, "worst_s": worst},
+    )
+
+
+def compute_slos(
+    registry: _obs.MetricsRegistry | None = None,
+    journal=None,
+    targets: dict[str, float] | None = None,
+    latency_threshold_s: float = DEFAULT_LATENCY_THRESHOLD_S,
+) -> list[SloStatus]:
+    """Evaluate every objective against the current window."""
+    registry = registry if registry is not None else _obs.REGISTRY
+    journal = journal if journal is not None else JOURNAL
+    want = dict(DEFAULT_TARGETS)
+    if targets:
+        want.update(targets)
+    return [
+        _accuracy(registry, want["accuracy"]),
+        _exactness(registry, want["exactness"]),
+        _latency(journal, want["latency"], latency_threshold_s),
+    ]
+
+
+def publish(statuses: list[SloStatus],
+            registry: _obs.MetricsRegistry | None = None) -> None:
+    """Mirror the objectives into ``slo.*`` gauges for Prometheus.
+
+    An infinite burn rate publishes as ``-1`` — gauges cannot carry
+    +inf through the text exposition, and a negative burn rate is
+    otherwise impossible, so the sentinel is unambiguous.
+    """
+    registry = registry if registry is not None else _obs.REGISTRY
+    for s in statuses:
+        compliance = s.compliance
+        burn = s.burn_rate
+        registry.gauge("slo.target", objective=s.objective).set(s.target)
+        registry.gauge(
+            "slo.compliance", objective=s.objective
+        ).set(1.0 if compliance is None else compliance)
+        registry.gauge(
+            "slo.burn_rate", objective=s.objective
+        ).set(-1.0 if burn is None or math.isinf(burn) else burn)
+        registry.gauge(
+            "slo.events", objective=s.objective, status="good"
+        ).set(s.good)
+        registry.gauge(
+            "slo.events", objective=s.objective, status="total"
+        ).set(s.total)
+
+
+def slo_report(
+    registry: _obs.MetricsRegistry | None = None,
+    journal=None,
+    targets: dict[str, float] | None = None,
+    latency_threshold_s: float = DEFAULT_LATENCY_THRESHOLD_S,
+) -> dict:
+    """The SLO document (see docs/OBSERVABILITY.md); also publishes the
+    ``slo.*`` gauges when the metrics gate is on."""
+    statuses = compute_slos(registry, journal, targets, latency_threshold_s)
+    if _obs.ENABLED:
+        publish(statuses, registry)
+    return {
+        "kind": "slo",
+        "schema_version": SLO_SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "latency_threshold_s": latency_threshold_s,
+        "objectives": [s.to_dict() for s in statuses],
+    }

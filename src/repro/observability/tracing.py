@@ -18,6 +18,7 @@ export) when the gate is on at entry.
 from __future__ import annotations
 
 import functools
+import os
 import threading
 import time
 from typing import Any, Callable, Iterator, TypeVar
@@ -29,6 +30,9 @@ __all__ = [
     "Span",
     "Tracer",
     "TRACER",
+    "TraceContext",
+    "current_context",
+    "activate_context",
     "span",
     "traced",
     "TRACE_SCHEMA_VERSION",
@@ -103,6 +107,126 @@ def _jsonable(value):
     return str(value)
 
 
+#: Size of the span-id block handed to each remote worker: big enough
+#: that no realistic task exhausts it, small enough that a 64-bit id
+#: space holds millions of blocks.
+ID_BLOCK = 1 << 20
+
+
+class TraceContext:
+    """Propagatable trace identity: *which* request, under *which* span.
+
+    A context names one causal trace (``trace_id``, a random hex token
+    minted at the request root) and the span the next child should hang
+    under (``span_id``).  It crosses process boundaries as a plain dict
+    (procpool task envelopes) or a byte header (simmpi messages); the
+    receiving side seeds its tracer from ``id_base`` — a disjoint span-id
+    block allocated by the sender — so spans created remotely carry
+    globally unique ids and real parent links from birth, with no
+    post-hoc re-homing.
+    """
+
+    __slots__ = ("trace_id", "span_id", "id_base")
+
+    def __init__(self, trace_id: str, span_id: int | None = None,
+                 id_base: int | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.id_base = id_base
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a fresh root context (16 hex chars of OS entropy)."""
+        return cls(trace_id=os.urandom(8).hex())
+
+    def child(self, span_id: int | None, id_base: int | None = None
+              ) -> "TraceContext":
+        """Same trace, re-parented under ``span_id``."""
+        return TraceContext(self.trace_id, span_id, id_base)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "id_base": self.id_base,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "TraceContext | None":
+        if not data or not data.get("trace_id"):
+            return None
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=data.get("span_id"),
+            id_base=data.get("id_base"),
+        )
+
+    # Wire form for byte transports (simmpi message headers).  Fixed
+    # width keeps the parse trivial: magic + 16 hex chars + 16 hex chars
+    # of parent span id (0 means "no parent").
+    _MAGIC = b"RTC1"
+    HEADER_LEN = 4 + 16 + 16
+
+    def to_header(self) -> bytes:
+        return (
+            self._MAGIC
+            + self.trace_id[:16].rjust(16, "0").encode("ascii")
+            + format(self.span_id or 0, "016x").encode("ascii")
+        )
+
+    @classmethod
+    def from_header(cls, payload: bytes) -> "tuple[TraceContext | None, bytes]":
+        """Split ``payload`` into (context, body); context is ``None``
+        when the payload carries no header."""
+        if len(payload) >= cls.HEADER_LEN and payload[:4] == cls._MAGIC:
+            try:
+                trace_id = payload[4:20].decode("ascii").lstrip("0") or "0"
+                span_id = int(payload[20:36], 16) or None
+            except (UnicodeDecodeError, ValueError):
+                return None, payload
+            return cls(trace_id, span_id), payload[cls.HEADER_LEN:]
+        return None, payload
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id!r}, span_id={self.span_id}, "
+                f"id_base={self.id_base})")
+
+
+_CONTEXT = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The innermost active context on this thread (None outside one)."""
+    stack = getattr(_CONTEXT, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _ContextScope:
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        stack = getattr(_CONTEXT, "stack", None)
+        if stack is None:
+            stack = _CONTEXT.stack = []
+        stack.append(self._ctx)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = getattr(_CONTEXT, "stack", None)
+        if stack and stack[-1] is self._ctx:
+            stack.pop()
+        elif stack and self._ctx in stack:
+            stack.remove(self._ctx)
+
+
+def activate_context(ctx: TraceContext) -> _ContextScope:
+    """Make ``ctx`` the thread's current context for a ``with`` block."""
+    return _ContextScope(ctx)
+
+
 class _SpanContext:
     """Context manager produced by :meth:`Tracer.span`.
 
@@ -138,6 +262,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._next_id = 1
+        self._block_next = ID_BLOCK
+        self._active: dict[int, Span] = {}
         self._local = threading.local()
 
     # -- recording ---------------------------------------------------------
@@ -152,6 +278,7 @@ class Tracer:
         with self._lock:
             sp.span_id = self._next_id
             self._next_id += 1
+            self._active[sp.span_id] = sp
         stack = self._stack()
         if sp.parent_id is None and stack:
             sp.parent_id = stack[-1].span_id
@@ -164,20 +291,66 @@ class Tracer:
         elif sp in stack:  # tolerate mis-nested exits rather than corrupt
             stack.remove(sp)
         with self._lock:
+            if sp.span_id is not None:
+                self._active.pop(sp.span_id, None)
             self._spans.append(sp)
 
     def span(self, name: str, parent: Span | None = None,
-             **attrs: object) -> _SpanContext:
-        """Open a (to-be-)recorded span as a context manager."""
+             parent_id: int | None = None, **attrs: object) -> _SpanContext:
+        """Open a (to-be-)recorded span as a context manager.
+
+        ``parent_id`` links under a span that lives in *another* process
+        (the master's reduce span, named by a :class:`TraceContext`);
+        ``parent`` links under a local :class:`Span` object.
+        """
         sp = Span(name, dict(attrs))
         if parent is not None:
             sp.parent_id = parent.span_id
+        elif parent_id is not None:
+            sp.parent_id = parent_id
         return _SpanContext(self, sp)
 
     def current(self) -> Span | None:
         """The innermost open span on this thread (None at top level)."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def active(self) -> list[Span]:
+        """Every span currently open on *any* thread, in open order.
+
+        This is the flight recorder's view: at crash time the open spans
+        say what the process was in the middle of."""
+        with self._lock:
+            return [self._active[k] for k in sorted(self._active)]
+
+    # -- cross-process id space -------------------------------------------
+
+    def allocate_block(self) -> int:
+        """Reserve a disjoint span-id block for a remote worker.
+
+        The local tracer allocates ids from 1 upward; blocks start at
+        :data:`ID_BLOCK`, so remotely created spans can never collide
+        with local ones and can be adopted verbatim."""
+        with self._lock:
+            base = self._block_next
+            self._block_next += ID_BLOCK
+        return base
+
+    def seed(self, base: int) -> None:
+        """Start allocating ids at ``base`` (worker-side, post-reset)."""
+        with self._lock:
+            self._next_id = base
+
+    def adopt(self, spans: list[Span]) -> list[Span]:
+        """Append remotely-created spans *verbatim* — ids and parent
+        links were assigned at creation time from a disjoint block (see
+        :meth:`allocate_block`), so unlike :meth:`record_imported` there
+        is nothing to remap.  No-op while the gate is off."""
+        if not ENABLED:
+            return []
+        with self._lock:
+            self._spans.extend(spans)
+        return list(spans)
 
     # -- introspection / export -------------------------------------------
 
@@ -255,6 +428,8 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self._next_id = 1
+            self._block_next = ID_BLOCK
+            self._active.clear()
         self._local = threading.local()
 
 

@@ -13,6 +13,7 @@ PE counts for reproducibility checks is one loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from repro.core.params import HPParams
 from repro.hallberg.params import HallbergParams
+from repro.observability import journal as _journal
 from repro.observability import metrics as _obs
 from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
@@ -127,11 +129,41 @@ def global_sum(
     adapter = make_method(method, params)
     name = adapter.name
 
-    with _trace.span("global_sum", method=name, substrate=substrate,
-                     pes=pes, n=len(data)):
-        value, partial, pes = _dispatch(
-            data, adapter, substrate, pes, schedule, kwargs
-        )
+    # Every request runs under a trace context: a fresh one at the root,
+    # or the caller's when global_sum is nested (bench sweeps).  The
+    # context follows the request across process and rank boundaries
+    # (procpool envelopes, simmpi headers), so the journal and the trace
+    # tell one causal story per trace_id.
+    ctx = _trace.current_context()
+    if ctx is None:
+        ctx = _trace.TraceContext.new()
+    start = time.perf_counter()
+    _journal.emit(
+        "request.start", trace_id=ctx.trace_id, span_id=ctx.span_id,
+        method=name, substrate=substrate, pes=pes, n=len(data),
+    )
+    with _trace.activate_context(ctx):
+        with _trace.span("global_sum", method=name, substrate=substrate,
+                         pes=pes, n=len(data), trace=ctx.trace_id) as sp:
+            if sp.span_id is not None:
+                ctx.span_id = sp.span_id
+            try:
+                value, partial, pes = _dispatch(
+                    data, adapter, substrate, pes, schedule, kwargs
+                )
+            except BaseException as exc:
+                _journal.emit(
+                    "request.finish", trace_id=ctx.trace_id,
+                    span_id=ctx.span_id, method=name, substrate=substrate,
+                    ok=False, error=f"{type(exc).__name__}: {exc}",
+                    duration_s=time.perf_counter() - start,
+                )
+                raise
+    _journal.emit(
+        "request.finish", trace_id=ctx.trace_id, span_id=ctx.span_id,
+        method=name, substrate=substrate, pes=pes, n=len(data),
+        ok=True, value=value, duration_s=time.perf_counter() - start,
+    )
     if _obs.ENABLED:
         _obs.REGISTRY.counter(
             "global_sum.calls", method=name, substrate=substrate
@@ -144,7 +176,8 @@ def global_sum(
     # driver), so the driver only reports the substrates that lack a
     # hook of their own.
     if _drift.MONITOR.armed and substrate not in ("threads", "procs"):
-        _drift.MONITOR.observe(data, value, adapter, substrate)
+        with _trace.activate_context(ctx):
+            _drift.MONITOR.observe(data, value, adapter, substrate)
 
     words = None
     if partial is not None and adapter.is_exact():

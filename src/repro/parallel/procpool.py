@@ -56,6 +56,7 @@ from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import shared_memory as _shm_mod
 
 from repro.analysis import racecheck as _race
+from repro.observability import journal as _journal
 from repro.observability import metrics as _obs
 from repro.observability import monitor as _drift
 from repro.observability import profile as _profile
@@ -105,12 +106,13 @@ def _worker_init(
     metrics_on: bool,
     tracing_on: bool,
     profile_on: bool = False,
+    journal_on: bool = False,
 ) -> None:
     """Pool initializer: attach the shared segment and arm observability.
 
     Runs once per worker process.  Under ``fork`` the child inherits the
-    master's registry/tracer *contents*, so both are reset here — a
-    worker must only ever report its own increments and spans.
+    master's registry/tracer/journal *contents*, so all are reset here —
+    a worker must only ever report its own increments, spans and events.
     """
     global _STATE
     if metrics_on:
@@ -121,8 +123,12 @@ def _worker_init(
         # spawn starts from a fresh interpreter, so the master's phase
         # gate does not carry over; re-arm it explicitly.
         _profile.enable()
+    if journal_on:
+        _journal.enable()
     _obs.REGISTRY.reset()
     _trace.TRACER.reset()
+    _journal.JOURNAL.reset()
+    _journal.emit("worker.start", shm=shm_name is not None)
     shm = None
     view = None
     if shm_name is not None:
@@ -157,35 +163,67 @@ def _worker_slice(lo: int, hi: int, path: str | None) -> np.ndarray:
 def _worker_run(task: tuple) -> tuple[Any, dict]:
     """Reduce one ``[lo, hi)`` chunk; return ``(partial, meta)``.
 
+    The task envelope carries the master's :class:`TraceContext`: the
+    worker seeds its tracer from the context's disjoint id block and
+    parents its span directly under the master's reduce span, so the
+    spans (and journal events) it ships back are part of the request's
+    causal trace *at creation time* — no post-hoc re-homing.
+
     ``meta`` carries the worker pid, wall time, and — when observability
-    is armed — the worker's span export and counter snapshot, both
-    drained so a persistent worker never reports the same measurement
-    twice.
+    is armed — the worker's span export, counter snapshot and journal
+    events, all drained so a persistent worker never reports the same
+    measurement twice.
     """
-    method, lo, hi, path = task
-    start = time.perf_counter()
-    with _trace.span(
-        "procpool.worker", pid=os.getpid(), lo=lo, hi=hi, n=hi - lo,
-        method=method.name, source="memmap" if path else "shm",
-    ):
-        with _phase("procs.compute"):
-            part = method.local_reduce(_worker_slice(lo, hi, path))
-    meta: dict = {
-        "pid": os.getpid(),
-        "lo": lo,
-        "hi": hi,
-        "seconds": time.perf_counter() - start,
-    }
-    if _trace.ENABLED:
-        meta["spans"] = _trace.TRACER.export()["spans"]
-        _trace.TRACER.reset()
-    if _obs.ENABLED:
-        snapshot = _obs.REGISTRY.snapshot()
-        meta["counters"] = [
-            m for m in snapshot["metrics"] if m["type"] == "counter"
-        ]
-        _obs.REGISTRY.reset()
-    return part, meta
+    method, lo, hi, path, ctx_data = task
+    ctx = _trace.TraceContext.from_dict(ctx_data)
+    if ctx is not None and ctx.id_base:
+        _trace.TRACER.seed(ctx.id_base)
+    scope = _trace.activate_context(ctx) if ctx is not None else None
+    if scope is not None:
+        scope.__enter__()
+    try:
+        start = time.perf_counter()
+        attrs = {
+            "pid": os.getpid(), "lo": lo, "hi": hi, "n": hi - lo,
+            "method": method.name, "source": "memmap" if path else "shm",
+        }
+        if ctx is not None:
+            attrs["trace"] = ctx.trace_id
+        with _trace.span(
+            "procpool.worker",
+            parent_id=ctx.span_id if ctx is not None else None,
+            **attrs,
+        ):
+            with _phase("procs.compute"):
+                part = method.local_reduce(_worker_slice(lo, hi, path))
+        seconds = time.perf_counter() - start
+        _journal.emit(
+            "worker.task", lo=lo, hi=hi, n=hi - lo, method=method.name,
+            seconds=seconds, source="memmap" if path else "shm",
+        )
+        meta: dict = {
+            "pid": os.getpid(),
+            "lo": lo,
+            "hi": hi,
+            "seconds": seconds,
+        }
+        if ctx is not None:
+            meta["trace"] = ctx.trace_id
+        if _trace.ENABLED:
+            meta["spans"] = _trace.TRACER.export()["spans"]
+            _trace.TRACER.reset()
+        if _obs.ENABLED:
+            snapshot = _obs.REGISTRY.snapshot()
+            meta["counters"] = [
+                m for m in snapshot["metrics"] if m["type"] == "counter"
+            ]
+            _obs.REGISTRY.reset()
+        if _journal.ENABLED:
+            meta["journal"] = _journal.JOURNAL.drain()
+        return part, meta
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
 
 
 def _worker_ping(_: int) -> int:
@@ -306,7 +344,7 @@ class ProcPool:
                 processes=self.pes,
                 initializer=_worker_init,
                 initargs=(shm_name, shape, _obs.ENABLED, _trace.ENABLED,
-                          _profile.ENABLED),
+                          _profile.ENABLED, _journal.ENABLED),
             )
             if _obs.ENABLED:
                 _obs.REGISTRY.counter(
@@ -407,6 +445,18 @@ class ProcPool:
             with _phase("procs.partition"):
                 ranges = _task_ranges(n, schedule, self.pes, chunk)
             pool = self._ensure_pool()
+            # Each task envelope carries the request's trace context,
+            # re-parented under this reduce span, plus a disjoint span-id
+            # block so worker-created spans are globally unique and can
+            # be adopted verbatim (no re-homing).
+            ctx = _trace.current_context() or _trace.TraceContext.new()
+            task_ctxs = [
+                ctx.child(
+                    reduce_span.span_id,
+                    id_base=_trace.TRACER.allocate_block(),
+                ).to_dict()
+                for _ in ranges
+            ]
             with _phase("procs.dispatch"):
                 # pool.map is a full barrier: the race detector (when
                 # armed) records the dispatch as one fork/join so the
@@ -414,7 +464,10 @@ class ProcPool:
                 _race.task_created("procpool.map")
                 outcomes = pool.map(
                     _worker_run,
-                    [(method, lo, hi, path) for lo, hi in ranges],
+                    [
+                        (method, lo, hi, path, task_ctx)
+                        for (lo, hi), task_ctx in zip(ranges, task_ctxs)
+                    ],
                 )
                 _race.task_joined("procpool.map")
             # Combine per-chunk partials in chunk (submission) order:
@@ -425,6 +478,11 @@ class ProcPool:
                 for part, _meta in outcomes:
                     total = method.combine(total, part)
             self._record(outcomes, method, source, reduce_span)
+            _journal.emit(
+                "merge", trace_id=ctx.trace_id, span_id=reduce_span.span_id,
+                method=method.name, substrate="procs", pes=self.pes,
+                tasks=len(ranges), source=source,
+            )
         value = method.finalize(total)
         if _drift.MONITOR.armed:
             view = self._data_view(path)
@@ -453,10 +511,21 @@ class ProcPool:
             for _part, meta in outcomes:
                 worker_spans = meta.get("spans")
                 if worker_spans:
-                    _trace.TRACER.record_imported(
-                        [_trace.Span.from_dict(d) for d in worker_spans],
-                        parent=reduce_span,
-                    )
+                    spans = [_trace.Span.from_dict(d) for d in worker_spans]
+                    if meta.get("trace"):
+                        # Created under a propagated TraceContext: ids
+                        # come from a disjoint block and parent links
+                        # already point at the reduce span.
+                        _trace.TRACER.adopt(spans)
+                    else:
+                        _trace.TRACER.record_imported(
+                            spans, parent=reduce_span
+                        )
+        if _journal.ENABLED:
+            for _part, meta in outcomes:
+                events = meta.get("journal")
+                if events:
+                    _journal.JOURNAL.absorb(events)
         if not _obs.ENABLED:
             return
         reg = _obs.REGISTRY

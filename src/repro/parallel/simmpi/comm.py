@@ -13,7 +13,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.observability import journal as _journal
 from repro.observability import metrics as _obs
+from repro.observability import tracing as _trace
 
 __all__ = ["SimComm", "TrafficStats"]
 
@@ -53,14 +55,34 @@ class SimComm:
             raise ValueError(f"{label} rank {rank} outside [0, {self.size})")
 
     def send(self, src: int, dst: int, payload: bytes) -> None:
-        """Post a message from ``src`` to ``dst`` (non-blocking buffered)."""
+        """Post a message from ``src`` to ``dst`` (non-blocking buffered).
+
+        When a :class:`~repro.observability.tracing.TraceContext` is
+        active and the journal or tracing gate is on, the message is
+        framed with a fixed-width trace header — the receive side strips
+        it and journals the hop, so a cross-rank trace carries its
+        identity *in band* the way a real MPI deployment would tag
+        messages.  Traffic stats and ``simmpi.*`` counters charge the
+        caller's payload only (the performance model sees the algorithm's
+        bytes, not the telemetry's).
+        """
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         if src == dst:
             raise ValueError("self-sends are not part of the reduction protocol")
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
-        self._channels.setdefault((src, dst), deque()).append(bytes(payload))
+        wire = bytes(payload)
+        if _journal.ENABLED or _trace.ENABLED:
+            ctx = _trace.current_context()
+            if ctx is not None:
+                wire = ctx.to_header() + wire
+                _journal.emit(
+                    "message.send", trace_id=ctx.trace_id,
+                    span_id=ctx.span_id, src=src, dst=dst,
+                    nbytes=len(payload),
+                )
+        self._channels.setdefault((src, dst), deque()).append(wire)
         self.stats.record(src, len(payload))
         if _obs.ENABLED:
             reg = _obs.REGISTRY
@@ -68,7 +90,11 @@ class SimComm:
             reg.counter("simmpi.bytes", size=self.size).inc(len(payload))
 
     def recv(self, dst: int, src: int) -> bytes:
-        """Receive the oldest pending message on channel ``src -> dst``."""
+        """Receive the oldest pending message on channel ``src -> dst``.
+
+        Strips (and journals) the trace header when one is present; the
+        caller always gets exactly the bytes its peer passed to
+        :meth:`send`."""
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         channel = self._channels.get((src, dst))
@@ -77,7 +103,14 @@ class SimComm:
                 f"deadlock: rank {dst} waiting on rank {src} with no "
                 "message pending"
             )
-        return channel.popleft()
+        wire = channel.popleft()
+        ctx, body = _trace.TraceContext.from_header(wire)
+        if ctx is not None:
+            _journal.emit(
+                "message.recv", trace_id=ctx.trace_id, span_id=ctx.span_id,
+                src=src, dst=dst, nbytes=len(body),
+            )
+        return body
 
     def pending(self) -> int:
         """Messages posted but not yet received (0 at quiescence)."""

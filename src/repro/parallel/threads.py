@@ -28,6 +28,7 @@ from typing import Any, Generic, TypeVar
 import numpy as np
 
 from repro.analysis import racecheck as _race
+from repro.observability import journal as _journal
 from repro.observability import monitor as _drift
 from repro.observability import tracing as _trace
 from repro.observability.profile import phase as _phase
@@ -80,13 +81,39 @@ def thread_reduce(
     with _phase("threads.partition"):
         ranges = block_ranges(len(data), num_threads)
 
+    # The request's trace context is thread-local; capture it here so
+    # native pool threads re-activate it and their spans/journal events
+    # stay inside the request's causal trace.
+    ctx = _trace.current_context()
+
     def worker(rank: int, lo: int, hi: int):
         # One span per PE: on the native engine these run on real pool
-        # threads, so each worker span is a root in its own thread.
-        with _trace.span("threads.worker", rank=rank, engine=engine,
-                         size=hi - lo):
-            with _phase("threads.compute"):
-                return method.local_reduce(data[lo:hi])
+        # threads, so each worker span is a root in its own thread
+        # (re-parented via the propagated context when one is active).
+        scope = _trace.activate_context(ctx) if ctx is not None else None
+        if scope is not None:
+            scope.__enter__()
+        try:
+            # Nest under the thread's open span when there is one (the
+            # simulated engine runs under threads.reduce); a bare pool
+            # thread parents to the propagated context instead.
+            parent_id = None
+            if ctx is not None and _trace.TRACER.current() is None:
+                parent_id = ctx.span_id
+            with _trace.span(
+                "threads.worker", rank=rank, engine=engine, size=hi - lo,
+                parent_id=parent_id,
+            ):
+                with _phase("threads.compute"):
+                    part = method.local_reduce(data[lo:hi])
+            _journal.emit(
+                "worker.task", rank=rank, lo=lo, hi=hi, n=hi - lo,
+                method=method.name, engine=engine, substrate="threads",
+            )
+            return part
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
 
     with _trace.span("threads.reduce", engine=engine, p=num_threads,
                      method=method.name, n=len(data)):
@@ -123,6 +150,10 @@ def thread_reduce(
             total: Any = method.identity()
             for part in partials:
                 total = method.combine(total, part)
+        _journal.emit(
+            "merge", method=method.name, substrate="threads",
+            pes=num_threads, tasks=len(ranges), engine=engine,
+        )
 
     value = method.finalize(total)
     if _drift.MONITOR.armed:

@@ -32,7 +32,7 @@ class TestRegistry:
         assert [r.id for r in catalog] == [
             "HP001", "HP002", "HP003", "HP004", "HP005", "HP006",
             "HP007", "HP008", "HP009", "HP010", "HP011", "HP012",
-            "HP013",
+            "HP013", "HP014",
         ]
         for r in catalog:
             assert r.summary and r.paper_ref and callable(r.check)

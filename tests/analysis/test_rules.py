@@ -553,3 +553,84 @@ class TestHP013UnboundedFloatReduction:
         from repro.analysis.lint import lint_paths
 
         assert lint_paths(["src"], select=["HP013"]) == []
+
+
+class TestHP014PrintInLibrary:
+    def test_bad_bare_print(self):
+        assert "HP014" in rules_in("""
+            def local_reduce(self, xs):
+                print(f"reducing {len(xs)} summands")
+                return xs
+        """)
+
+    def test_bad_stderr_write(self):
+        src = """
+            import sys
+
+            def f(msg):
+                sys.stderr.write(msg + "\\n")
+                sys.stdout.write("done\\n")
+        """
+        assert rules_in(src).count("HP014") == 2
+
+    def test_bad_stderr_print_kwarg_is_still_print(self):
+        assert "HP014" in rules_in("""
+            import sys
+
+            def f(msg):
+                print(msg, file=sys.stderr)
+        """)
+
+    def test_good_main_guard_script_block(self):
+        # A module runnable as a script may print in its entry block.
+        assert rules_in("""
+            def compute():
+                return 42
+
+            if __name__ == "__main__":
+                print(compute())
+        """) == []
+
+    def test_good_cli_module_is_an_output_host(self):
+        src = """
+            def _cmd_sum(args):
+                print("3.14")
+        """
+        assert rules_in(src, "src/repro/cli.py") == []
+        assert rules_in(src, "src/repro/__main__.py") == []
+        assert rules_in(src, "src/repro/observability/top.py") == []
+
+    def test_good_journal_emit(self):
+        assert rules_in("""
+            from repro.observability import journal as _journal
+
+            def local_reduce(self, xs):
+                _journal.emit("worker.task", n=len(xs))
+                return xs
+        """) == []
+
+    def test_good_noqa_suppression(self):
+        assert rules_in("""
+            def f(msg):
+                print(msg)  # hp: noqa[HP014]
+        """) == []
+
+    def test_good_other_attribute_writes(self):
+        # Only the process streams are diagnostics; file handles and
+        # arbitrary .write() calls are data paths.
+        assert rules_in("""
+            def f(fh, payload):
+                fh.write(payload)
+                fh.stdout.write(payload)
+        """) == []
+
+    def test_self_host_library_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import lint
+
+        repo = Path(__file__).resolve().parents[2]
+        findings = lint.lint_paths(
+            [repo / "src", repo / "benchmarks"], select=["HP014"]
+        )
+        assert findings == [], lint.format_text(findings, 0)

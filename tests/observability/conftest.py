@@ -1,30 +1,33 @@
 """Isolation for observability tests: every test starts with disabled
-gates and an empty registry/tracer, and leaves no state behind."""
+gates and an empty registry/tracer/journal, and leaves no state behind."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.observability import metrics, profile, tracing
+from repro.observability import journal, metrics, profile, tracing
+from repro.observability.journal import JOURNAL
 from repro.observability.metrics import REGISTRY
 from repro.observability.monitor import MONITOR
+from repro.observability.recorder import RECORDER
 from repro.observability.tracing import TRACER
+
+
+def _scrub():
+    metrics.disable()
+    tracing.disable()
+    profile.disable()
+    journal.disable()
+    MONITOR.disarm()
+    MONITOR.reset()
+    REGISTRY.clear()
+    TRACER.reset()
+    JOURNAL.reset()
+    RECORDER.uninstall()
 
 
 @pytest.fixture(autouse=True)
 def clean_observability():
-    metrics.disable()
-    tracing.disable()
-    profile.disable()
-    MONITOR.disarm()
-    MONITOR.reset()
-    REGISTRY.clear()
-    TRACER.reset()
+    _scrub()
     yield
-    metrics.disable()
-    tracing.disable()
-    profile.disable()
-    MONITOR.disarm()
-    MONITOR.reset()
-    REGISTRY.clear()
-    TRACER.reset()
+    _scrub()

@@ -249,3 +249,101 @@ class TestDefaultRegistryExport:
         metrics.enable()
         REGISTRY.counter("global_sum.calls", substrate="serial").inc()
         assert 'global_sum_calls{substrate="serial"} 1' in prometheus_text()
+
+
+class TestHelpCatalogAudit:
+    """Satellite contract: every metric family the source tree registers
+    has a curated ``# HELP`` entry — an instrumented scrape never ships
+    an undocumented series."""
+
+    @staticmethod
+    def _registered_families():
+        """(static names, dynamic prefix -> suffixes) found by walking
+        every ``.counter/.gauge/.histogram`` registration in src."""
+        import ast
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        names: set[str] = set()
+        dynamic: dict[pathlib.Path, set[str]] = {}
+        kwarg_suffixes: dict[pathlib.Path, set[str]] = {}
+        for path in sorted(src.rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for kw in node.keywords:
+                    if (kw.arg == "counter"
+                            and isinstance(kw.value, ast.Constant)
+                            and isinstance(kw.value.value, str)):
+                        kwarg_suffixes.setdefault(path, set()).add(
+                            kw.value.value
+                        )
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in ("counter", "gauge", "histogram")):
+                    continue
+                if not node.args:
+                    continue
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str):
+                    names.add(arg.value)
+                elif isinstance(arg, ast.JoinedStr):
+                    # f"prefix.{suffix}" — record the constant prefix;
+                    # suffixes come from counter= kwargs in the same file.
+                    head = arg.values[0] if arg.values else None
+                    if isinstance(head, ast.Constant):
+                        dynamic.setdefault(path, set()).add(
+                            str(head.value)
+                        )
+        for path, prefixes in dynamic.items():
+            for prefix in prefixes:
+                for suffix in kwarg_suffixes.get(path, ()):
+                    names.add(prefix + suffix)
+        return names, dynamic
+
+    def test_every_registered_family_is_cataloged(self):
+        names, _ = self._registered_families()
+        assert names, "source scan found no metric registrations"
+        missing = sorted(
+            n for n in names if sanitize_metric_name(n) not in HELP_TEXT
+        )
+        assert missing == [], (
+            f"metric families without a HELP_TEXT entry: {missing}; "
+            "add curated help strings in repro.observability.export"
+        )
+
+    def test_dynamic_prefixes_have_coverage(self):
+        _, dynamic = self._registered_families()
+        for path, prefixes in dynamic.items():
+            for prefix in prefixes:
+                want = sanitize_metric_name(prefix + "x")[:-1]
+                assert any(k.startswith(want) for k in HELP_TEXT), (
+                    f"{path}: dynamic family prefix {prefix!r} has no "
+                    "HELP_TEXT entries"
+                )
+
+    def test_scrape_never_emits_generic_fallback(self):
+        import numpy as np
+
+        from repro.core.planner import planned_sum
+        from repro.observability import journal
+        from repro.observability.slo import slo_report
+        from repro.parallel.drivers import global_sum
+
+        metrics.enable()
+        journal.enable()
+        xs = np.linspace(-1.0, 1.0, 512)
+        global_sum(xs, "hp", "threads", pes=2)
+        planned_sum(xs, 0.0)
+        slo_report()
+        text = prometheus_text()
+        fallback = [
+            line for line in text.splitlines()
+            if line.startswith("# HELP") and "repro metric " in line
+        ]
+        assert fallback == [], (
+            "scrape produced generic fallback HELP lines (uncatalogued "
+            f"families): {fallback}"
+        )

@@ -1,0 +1,209 @@
+"""The structured event journal: gating, ring bounds, trace stamping,
+spill, worker absorption, and the exported document's schema."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.observability import journal
+from repro.observability.journal import (
+    DEFAULT_CAPACITY,
+    EventJournal,
+    JOURNAL,
+    JOURNAL_SCHEMA_VERSION,
+)
+from repro.observability.schema import (
+    validate_journal_doc,
+    validate_journal_event,
+    validate_jsonl_file,
+)
+from repro.observability.tracing import TraceContext, activate_context
+
+
+class TestGating:
+    def test_disabled_emit_is_a_noop(self):
+        assert journal.emit("request.start") is None
+        assert len(JOURNAL) == 0
+
+    def test_enable_disable_roundtrip(self):
+        journal.enable()
+        assert journal.emit("request.start") is not None
+        journal.disable()
+        assert journal.emit("request.start") is None
+        assert len(JOURNAL) == 1
+
+    def test_absorb_gated_off(self):
+        assert JOURNAL.absorb([{"event": "x"}]) == 0
+
+
+class TestEmission:
+    def test_record_shape(self):
+        journal.enable()
+        record = journal.emit("plan.decision", engine="small", target=0.0)
+        assert record["kind"] == "journal_event"
+        assert record["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert record["event"] == "plan.decision"
+        assert record["pid"] == os.getpid()
+        assert record["engine"] == "small"
+        assert validate_journal_event(record) == []
+
+    def test_seq_is_monotonic(self):
+        journal.enable()
+        seqs = [journal.emit("e")["seq"] for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_non_jsonable_fields_are_stringified(self):
+        journal.enable()
+        record = journal.emit("e", obj=object(), xs=(1, 2), d={"k": set()})
+        json.dumps(record)  # must not raise
+        assert record["xs"] == [1, 2]
+
+    def test_trace_context_is_stamped_when_active(self):
+        journal.enable()
+        ctx = TraceContext.new()
+        ctx.span_id = 7
+        with activate_context(ctx):
+            record = journal.emit("e")
+        assert record["trace_id"] == ctx.trace_id
+        assert record["span_id"] == 7
+        bare = journal.emit("e")
+        assert "trace_id" not in bare
+
+    def test_explicit_trace_id_wins(self):
+        journal.enable()
+        ctx = TraceContext.new()
+        with activate_context(ctx):
+            record = journal.emit("e", trace_id="override", span_id=3)
+        assert record["trace_id"] == "override"
+        assert record["span_id"] == 3
+
+
+class TestRing:
+    def test_capacity_bounds_and_counts_drops(self):
+        journal.enable()
+        j = EventJournal(capacity=4)
+        for i in range(7):
+            j.emit("e", i=i)
+        assert len(j) == 4
+        assert j.dropped == 3
+        assert [r["i"] for r in j.events()] == [3, 4, 5, 6]
+
+    def test_default_capacity(self):
+        assert EventJournal()._ring.maxlen == DEFAULT_CAPACITY
+
+    def test_drain_empties_the_ring(self):
+        journal.enable()
+        j = EventJournal()
+        j.emit("a")
+        j.emit("b")
+        records = j.drain()
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert len(j) == 0
+
+    def test_filters(self):
+        journal.enable()
+        j = EventJournal()
+        j.emit("worker.start", trace_id="t1", span_id=1)
+        j.emit("worker.task", trace_id="t2", span_id=1)
+        j.emit("merge", trace_id="t1", span_id=1)
+        assert [r["event"] for r in j.events(event="worker.")] == [
+            "worker.start", "worker.task",
+        ]
+        assert [r["event"] for r in j.events(trace_id="t1")] == [
+            "worker.start", "merge",
+        ]
+        assert j.stats() == {"merge": 1, "worker.start": 1,
+                             "worker.task": 1}
+        assert [r["event"] for r in j.tail(2)] == ["worker.task", "merge"]
+
+    def test_concurrent_emit_keeps_unique_seqs(self):
+        journal.enable()
+        j = EventJournal(capacity=4096)
+
+        def worker():
+            for _ in range(100):
+                j.emit("e")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [r["seq"] for r in j.events()]
+        assert len(seqs) == 800
+        assert len(set(seqs)) == 800
+
+
+class TestAbsorb:
+    def test_worker_records_kept_verbatim(self):
+        journal.enable()
+        j = EventJournal()
+        worker_records = [
+            {"kind": "journal_event",
+             "schema_version": JOURNAL_SCHEMA_VERSION,
+             "event": "worker.task", "time_unix": 1.0, "pid": 99999,
+             "seq": 0, "trace_id": "abc"},
+        ]
+        assert j.absorb(worker_records) == 1
+        record = j.events()[0]
+        assert record["pid"] == 99999  # origin pid survives
+        assert record["seq"] == 0
+
+
+class TestSpill:
+    def test_jsonl_spill_validates(self, tmp_path):
+        journal.enable()
+        j = EventJournal()
+        path = tmp_path / "journal.jsonl"
+        j.spill_to(path)
+        assert j.spill_path == str(path)
+        j.emit("request.start", n=10)
+        j.emit("request.finish", ok=True)
+        j.close_spill()
+        checked, problems = validate_jsonl_file(str(path))
+        assert checked == 2
+        assert problems == []
+
+    def test_spill_appends(self, tmp_path):
+        journal.enable()
+        j = EventJournal()
+        path = tmp_path / "journal.jsonl"
+        j.spill_to(path)
+        j.emit("a")
+        j.close_spill()
+        j.spill_to(path)
+        j.emit("b")
+        j.close_spill()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["event"] for e in events] == ["a", "b"]
+
+
+class TestExport:
+    def test_document_validates(self):
+        journal.enable()
+        JOURNAL.emit("request.start")
+        JOURNAL.emit("request.finish")
+        doc = JOURNAL.export()
+        assert doc["kind"] == "journal"
+        assert validate_journal_doc(doc) == []
+
+    def test_reset_clears_everything(self, tmp_path):
+        journal.enable()
+        JOURNAL.spill_to(tmp_path / "j.jsonl")
+        JOURNAL.emit("e")
+        JOURNAL.reset()
+        assert len(JOURNAL) == 0
+        assert JOURNAL.dropped == 0
+        assert JOURNAL.spill_path is None
+
+    def test_bad_document_rejected(self):
+        doc = {"kind": "journal", "schema_version": JOURNAL_SCHEMA_VERSION,
+               "generated_unix": 0.0, "dropped": -1,
+               "events": [{"kind": "journal_event"}]}
+        problems = validate_journal_doc(doc)
+        assert any("dropped" in p for p in problems)
+        assert any("events[0]" in p for p in problems)

@@ -1,0 +1,229 @@
+"""DriftMonitor under concurrency: alarm callbacks and threshold
+bookkeeping must hold up when many threads observe at once.
+
+The monitor's contract: every breaching observation fires the
+``on_breach`` callbacks exactly once (no lost alarms, no duplicates),
+the ``drift.threshold_breaches`` / ``planner.bound_breaches`` counters
+agree with the callback count, and a callback that itself reads monitor
+or registry state must not deadlock — ``_breach`` runs outside both the
+monitor's lock and the registry's lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import planner
+from repro.observability import journal, metrics
+from repro.observability.metrics import REGISTRY
+from repro.observability.monitor import DriftMonitor
+from repro.parallel.drivers import make_method
+
+THREADS = 8
+ROUNDS = 25
+
+
+def _counter_total(name: str) -> int:
+    return int(sum(
+        m["value"] for m in REGISTRY.collect(prefix=name)
+        if m["name"] == name
+    ))
+
+
+def _run_threads(worker, count=THREADS):
+    """Start ``count`` threads on ``worker``, release them together,
+    join with a deadlock-catching timeout, and re-raise any failure."""
+    start = threading.Barrier(count)
+    errors: list[BaseException] = []
+
+    def wrapped(rank):
+        try:
+            start.wait(timeout=10)
+            worker(rank)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(rank,))
+        for rank in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in threads), (
+        "worker threads did not finish — deadlock between the monitor "
+        "lock and a breach callback?"
+    )
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture
+def armed_monitor():
+    metrics.enable()
+    mon = DriftMonitor(permute_period=0)  # no probes: deterministic counts
+    mon.arm()
+    return mon
+
+
+class TestConcurrentObserve:
+    def test_every_breaching_observation_alarms_exactly_once(
+        self, armed_monitor
+    ):
+        mon = armed_monitor
+        alarms: list[dict] = []
+        alarm_lock = threading.Lock()
+
+        def on_breach(event):
+            with alarm_lock:
+                alarms.append(event)
+
+        mon.on_breach.append(on_breach)
+        method = make_method("double")
+        xs = np.linspace(-1.0, 1.0, 64)
+        reference = float(np.cumsum(xs)[-1])
+
+        def worker(rank):
+            for _ in range(ROUNDS):
+                # Deliver a value 1.0 off the reference: guaranteed
+                # past the default ulp_threshold=0 on every call.
+                mon.observe(xs, reference + 1.0, method, "test")
+
+        _run_threads(worker)
+
+        expected = THREADS * ROUNDS
+        assert len(alarms) == expected, (
+            f"lost or duplicated alarms: {len(alarms)} != {expected}"
+        )
+        assert _counter_total("drift.threshold_breaches") == expected
+        assert _counter_total("drift.samples") == expected
+        assert all(e["kind"] == "accuracy_drift" for e in alarms)
+
+    def test_non_breaching_traffic_fires_nothing(self, armed_monitor):
+        mon = armed_monitor
+        alarms: list[dict] = []
+        mon.on_breach.append(alarms.append)
+        method = make_method("hp")
+        xs = np.linspace(-1.0, 1.0, 64)
+        import math
+
+        exact = math.fsum(xs)
+
+        def worker(rank):
+            for _ in range(ROUNDS):
+                mon.observe(xs, exact, method, "test")
+
+        _run_threads(worker)
+        assert alarms == []
+        assert _counter_total("drift.threshold_breaches") == 0
+
+    def test_callback_reading_monitor_and_registry_does_not_deadlock(
+        self, armed_monitor
+    ):
+        mon = armed_monitor
+        seen = []
+
+        def nosy_callback(event):
+            # Reads that take the monitor lock and the registry lock —
+            # legal because _breach holds neither while dispatching.
+            summary = mon.summary()
+            families = REGISTRY.collect(prefix="drift.")
+            seen.append((summary["samples"], len(families)))
+
+        mon.on_breach.append(nosy_callback)
+        method = make_method("double")
+        xs = np.linspace(-1.0, 1.0, 64)
+        bad = float(np.cumsum(xs)[-1]) + 1.0
+
+        def worker(rank):
+            for _ in range(ROUNDS):
+                mon.observe(xs, bad, method, "test")
+
+        _run_threads(worker)
+        assert len(seen) == THREADS * ROUNDS
+
+
+class TestConcurrentObservePlanned:
+    def test_breach_accounting_is_exact_under_contention(
+        self, armed_monitor
+    ):
+        mon = armed_monitor
+        alarms: list[dict] = []
+        alarm_lock = threading.Lock()
+
+        def on_breach(event):
+            with alarm_lock:
+                alarms.append(event)
+
+        mon.on_breach.append(on_breach)
+        journal.enable()
+        xs = np.linspace(-1.0, 1.0, 64)
+        decision = planner.plan(len(xs), target=1e-12)
+        assert not decision.exact
+
+        def worker(rank):
+            for _ in range(ROUNDS):
+                # error of 1.0 dwarfs any 1e-12 mass-relative bound
+                mon.observe_planned(xs, 1.0, decision)
+
+        try:
+            _run_threads(worker)
+        finally:
+            planner.reset_escalations()
+
+        expected = THREADS * ROUNDS
+        assert len(alarms) == expected
+        assert all(e["kind"] == "planner_bound" for e in alarms)
+        assert _counter_total("planner.validations") == expected
+        assert _counter_total("planner.bound_breaches") == expected
+        # Every breach journals one alarm event alongside its callback.
+        alarm_events = journal.JOURNAL.events(event="alarm")
+        checks = journal.JOURNAL.events(event="bound.check")
+        assert len(checks) == expected
+        # The ring holds the tail; nothing beyond capacity is expected
+        # here (ROUNDS*THREADS*2 fits in the default ring).
+        assert len(alarm_events) == expected
+
+    def test_mixed_observe_paths_keep_independent_tallies(
+        self, armed_monitor
+    ):
+        mon = armed_monitor
+        alarms: list[dict] = []
+        alarm_lock = threading.Lock()
+
+        def on_breach(event):
+            with alarm_lock:
+                alarms.append(event)
+
+        mon.on_breach.append(on_breach)
+        method = make_method("double")
+        xs = np.linspace(-1.0, 1.0, 64)
+        bad = float(np.cumsum(xs)[-1]) + 1.0
+        decision = planner.plan(len(xs), target=1e-12)
+
+        def worker(rank):
+            for _ in range(ROUNDS):
+                if rank % 2:
+                    mon.observe(xs, bad, method, "test")
+                else:
+                    mon.observe_planned(xs, 1.0, decision)
+
+        try:
+            _run_threads(worker)
+        finally:
+            planner.reset_escalations()
+
+        half = (THREADS // 2) * ROUNDS
+        kinds = {}
+        for e in alarms:
+            kinds[e["kind"]] = kinds.get(e["kind"], 0) + 1
+        assert kinds == {
+            "accuracy_drift": half,
+            "planner_bound": half,
+        }
+        assert _counter_total("planner.bound_breaches") == half
+        assert _counter_total("drift.threshold_breaches") == 2 * half

@@ -145,3 +145,87 @@ class TestObservePlanned:
         arm()
         plan = make_plan("comp-neumaier", 0, 1e-15)
         assert MONITOR.observe_planned(np.array([]), 0.0, plan) is None
+
+
+class TestJournalOnlyAudit:
+    """With only the journal gate on, the promise-vs-measurement audit
+    still runs — it lands solely as the ``bound.check`` journal row, no
+    ``planner.*`` metrics, no breach escalation."""
+
+    def test_emits_bound_check_without_metrics(self):
+        from repro.observability import journal
+
+        journal.enable()
+        xs = np.ones(10)
+        plan = make_plan("comp-neumaier", 10, 1e-15)
+        record = MONITOR.observe_planned(xs, 10.0, plan)
+        assert record is not None and not record["breached"]
+        (event,) = journal.JOURNAL.events(event="bound.check")
+        assert event["engine"] == "comp-neumaier"
+        assert event["margin"] == record["margin"]
+        assert not event["breached"]
+        assert REGISTRY.collect(prefix="planner") == []
+
+    def test_breach_is_journaled_but_not_escalated(self):
+        from repro.observability import journal
+
+        journal.enable()
+        xs = np.ones(10)
+        plan = make_plan("comp-neumaier", 10, 1e-30)
+        record = MONITOR.observe_planned(xs, 10.5, plan)
+        assert record["breached"]
+        (event,) = journal.JOURNAL.events(event="bound.check")
+        assert event["breached"] is True
+        # Escalation is the armed monitor's job; a journal-only run
+        # records the breach without rerouting subsequent plans.
+        assert planner.escalated_engines() == {}
+        assert REGISTRY.collect(prefix="planner") == []
+
+    def test_all_gates_off_is_noop(self):
+        from repro.observability.journal import JOURNAL
+
+        plan = make_plan("comp-neumaier", 10, 1e-15)
+        assert MONITOR.observe_planned(np.ones(10), 10.0, plan) is None
+        assert JOURNAL.stats() == {}
+
+
+class TestValidateRouted:
+    """``validate_routed`` re-attaches a substrate-executed value to its
+    plan — the CLI's ``--target-accuracy --substrate`` path."""
+
+    def test_audits_through_armed_monitor(self):
+        arm()
+        rng = np.random.default_rng(44)
+        xs = rng.standard_normal(2_000)
+        decision = planner.plan(xs.size, 1e-12)
+        planner.validate_routed(xs, math.fsum(xs), decision)
+        assert counter_value(
+            "planner.validations", engine=decision.engine) == 1
+        assert counter_value(
+            "planner.bound_breaches", engine=decision.engine) == 0
+
+    def test_exact_plan_recomputes_with_exact_engine(self):
+        arm()
+        MONITOR.sample_limit = 256
+        try:
+            rng = np.random.default_rng(45)
+            xs = rng.standard_normal(1_000)
+            decision = planner.plan(xs.size, 0.0)
+            assert decision.exact
+            # Above the sample limit the prefix is re-run through the
+            # chosen exact engine; it must match fsum bit-for-bit.
+            planner.validate_routed(xs, 0.0, decision)
+            assert counter_value(
+                "planner.validations", engine=decision.engine) == 1
+            assert counter_value(
+                "planner.bound_breaches", engine=decision.engine) == 0
+        finally:
+            MONITOR.sample_limit = 1 << 21
+
+    def test_noop_when_gates_off(self):
+        from repro.observability.journal import JOURNAL
+
+        decision = planner.plan(100, 1e-12)
+        planner.validate_routed(np.ones(100), 100.0, decision)
+        assert JOURNAL.stats() == {}
+        assert REGISTRY.collect(prefix="planner") == []

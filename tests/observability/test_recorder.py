@@ -1,0 +1,146 @@
+"""The crash flight recorder: one-shot bundle writes, hook lifecycle,
+and the forensics document's schema."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.observability import journal, metrics, tracing
+from repro.observability.recorder import (
+    FORENSICS_SCHEMA_VERSION,
+    FlightRecorder,
+    RECORDER,
+)
+from repro.observability.schema import (
+    validate_document,
+    validate_forensics_doc,
+)
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    rec = FlightRecorder()
+    path = tmp_path / "forensics.json"
+    yield rec, path
+    rec.uninstall()
+
+
+class TestFlush:
+    def test_disarmed_flush_writes_nothing(self, tmp_path):
+        rec = FlightRecorder()
+        assert rec.flush("exit") is None
+
+    def test_flush_writes_schema_valid_bundle(self, recorder):
+        rec, path = recorder
+        metrics.enable()
+        journal.enable()
+        journal.emit("request.start", n=10)
+        rec.install(path)
+        assert rec.flush("test") == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "forensics_bundle"
+        assert doc["schema_version"] == FORENSICS_SCHEMA_VERSION
+        assert doc["reason"] == "test"
+        assert validate_forensics_doc(doc) == []
+        assert validate_document(doc) == ("forensics_bundle", [])
+        events = [e["event"] for e in doc["journal"]["events"]]
+        assert "request.start" in events
+
+    def test_first_reason_wins(self, recorder):
+        rec, path = recorder
+        rec.install(path)
+        rec.flush("exception: boom")
+        rec.flush("exit")  # atexit after excepthook: must not overwrite
+        doc = json.loads(path.read_text())
+        assert doc["reason"] == "exception: boom"
+
+    def test_force_rewrites(self, recorder):
+        rec, path = recorder
+        rec.install(path)
+        rec.flush("first")
+        assert rec.flush("second", force=True) == str(path)
+        assert json.loads(path.read_text())["reason"] == "second"
+
+    def test_active_spans_are_captured(self, recorder):
+        rec, path = recorder
+        tracing.enable()
+        rec.install(path)
+        with tracing.span("global_sum"):
+            with tracing.span("procpool.reduce"):
+                rec.flush("signal: SIGTERM")
+        doc = json.loads(path.read_text())
+        names = [s["name"] for s in doc["active_spans"]]
+        assert names == ["global_sum", "procpool.reduce"]
+        assert validate_forensics_doc(doc) == []
+
+
+class TestLifecycle:
+    def test_install_is_idempotent(self, recorder):
+        rec, path = recorder
+        rec.install(path)
+        hook = sys.excepthook
+        rec.install(path)
+        assert sys.excepthook is hook
+        assert rec.installed
+
+    def test_uninstall_restores_excepthook(self, recorder):
+        rec, path = recorder
+        prev = sys.excepthook
+        rec.install(path)
+        assert sys.excepthook is not prev
+        rec.uninstall()
+        assert sys.excepthook is prev
+        assert not rec.installed
+
+    def test_rearming_resets_the_one_shot_latch(self, recorder):
+        rec, path = recorder
+        rec.install(path)
+        rec.flush("first")
+        rec.install(path)  # re-arm: a fresh run gets a fresh bundle
+        assert rec.flush("second") == str(path)
+        assert json.loads(path.read_text())["reason"] == "second"
+
+    def test_excepthook_chains_to_previous(self, recorder):
+        rec, path = recorder
+        seen = []
+        prev = sys.excepthook
+        sys.excepthook = lambda *a: seen.append(a)
+        try:
+            rec.install(path)
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                sys.excepthook(*sys.exc_info())
+        finally:
+            rec.uninstall()
+            sys.excepthook = prev
+        assert len(seen) == 1
+        doc = json.loads(path.read_text())
+        assert doc["reason"].startswith("exception: ValueError: boom")
+
+    def test_global_recorder_starts_disarmed(self):
+        assert not RECORDER.installed
+        assert RECORDER.flush("exit") is None or RECORDER.path is not None
+
+
+class TestAtomicity:
+    def test_no_tmp_file_left_behind(self, recorder):
+        rec, path = recorder
+        rec.install(path)
+        rec.flush("exit")
+        leftovers = [
+            p for p in path.parent.iterdir()
+            if p.name.endswith(".forensics.tmp")
+        ]
+        assert leftovers == []
+
+    def test_unwritable_target_fails_quietly(self, tmp_path):
+        rec = FlightRecorder()
+        rec.install(tmp_path / "missing-dir" / "forensics.json")
+        try:
+            assert rec.flush("exit") is None
+        finally:
+            rec.uninstall()

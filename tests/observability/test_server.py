@@ -202,3 +202,33 @@ class TestMetricsServer:
             _, _, second = _get(server.url + "/metrics")
         assert "c 1" in first.decode()
         assert "c 42" in second.decode()
+
+
+class TestSloEndpoint:
+    def test_slo_endpoint_serves_the_report(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        reg.counter("planner.validations", engine="small").inc(5)
+        with MetricsServer(port=0, registry=reg) as server:
+            status, ctype, body = _get(server.url + "/slo")
+        doc = json.loads(body)
+        assert status == 200
+        assert ctype == "application/json"
+        assert doc["kind"] == "slo"
+        from repro.observability.schema import validate_slo_doc
+
+        assert validate_slo_doc(doc) == []
+        accuracy = next(
+            o for o in doc["objectives"] if o["objective"] == "accuracy"
+        )
+        assert accuracy["total"] == 5
+        assert accuracy["compliance"] == 1.0
+
+    def test_slo_scrape_publishes_gauges_into_the_registry(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        with MetricsServer(port=0, registry=reg) as server:
+            _get(server.url + "/slo")
+            _, _, body = _get(server.url + "/metrics")
+        families = parse_prometheus_text(body.decode())
+        assert "slo_compliance" in families

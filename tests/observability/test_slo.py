@@ -1,0 +1,176 @@
+"""The SLO engine: compliance/burn-rate arithmetic, exact-engine
+filtering, gauge publication, and the exported document's schema."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observability import journal, metrics
+from repro.observability.journal import EventJournal
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import (
+    DEFAULT_LATENCY_THRESHOLD_S,
+    DEFAULT_TARGETS,
+    SloStatus,
+    compute_slos,
+    publish,
+    slo_report,
+)
+from repro.observability.schema import validate_document, validate_slo_doc
+
+
+def _by_name(statuses):
+    return {s.objective: s for s in statuses}
+
+
+class TestSloStatus:
+    def test_no_events_is_vacuously_healthy(self):
+        s = SloStatus("accuracy", target=0.999, good=0, total=0)
+        assert s.compliance is None
+        assert s.burn_rate == 0.0
+        assert s.healthy
+
+    def test_compliance_and_burn_rate(self):
+        # 99 of 100 good against a 99.9% target: error rate 1e-2,
+        # budget 1e-3 → burning budget 10x faster than allowed.
+        s = SloStatus("accuracy", target=0.999, good=99, total=100)
+        assert s.compliance == pytest.approx(0.99)
+        assert s.burn_rate == pytest.approx(10.0)
+        assert not s.healthy
+
+    def test_zero_budget_burn_rate_is_infinite(self):
+        # Exactness admits no error budget: one bad event → burn None.
+        s = SloStatus("exactness", target=1.0, good=9, total=10)
+        assert s.burn_rate is None
+        assert not s.healthy
+        clean = SloStatus("exactness", target=1.0, good=10, total=10)
+        assert clean.burn_rate == 0.0
+        assert clean.healthy
+
+
+class TestComputeSlos:
+    def test_accuracy_from_planner_counters(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        reg.counter("planner.validations", engine="small").inc(10)
+        reg.counter("planner.bound_breaches", engine="small").inc(2)
+        acc = _by_name(compute_slos(registry=reg, journal=EventJournal()))[
+            "accuracy"
+        ]
+        assert acc.total == 10
+        assert acc.good == 8
+        assert acc.detail == {"validations": 10, "bound_breaches": 2}
+
+    def test_exactness_excludes_inexact_paths(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        # "double" is the probe's positive control — must not count.
+        reg.counter("drift.permutation_probes", path="double").inc(5)
+        reg.counter("drift.order_invariance_violations", path="double").inc(3)
+        reg.counter("drift.permutation_probes", path="hp").inc(7)
+        ex = _by_name(compute_slos(registry=reg, journal=EventJournal()))[
+            "exactness"
+        ]
+        assert ex.total == 7
+        assert ex.good == 7
+        assert ex.healthy
+        assert ex.detail["violations"] == 0
+
+    def test_exactness_violation_on_exact_engine_breaches(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        reg.counter("drift.permutation_probes", path="hp").inc(4)
+        reg.counter("drift.order_invariance_violations", path="hp").inc(1)
+        ex = _by_name(compute_slos(registry=reg, journal=EventJournal()))[
+            "exactness"
+        ]
+        assert ex.total == 4
+        assert ex.good == 3
+        assert not ex.healthy
+        assert ex.burn_rate is None  # zero budget, one violation
+
+    def test_latency_from_journal_finish_events(self):
+        journal.enable()
+        j = EventJournal()
+        j.emit("request.finish", duration_s=0.1)
+        j.emit("request.finish", duration_s=5.0)
+        j.emit("request.finish")  # no duration: ignored
+        lat = _by_name(
+            compute_slos(registry=MetricsRegistry(), journal=j)
+        )["latency"]
+        assert lat.total == 2
+        assert lat.good == 1
+        assert lat.detail["worst_s"] == 5.0
+        assert lat.detail["threshold_s"] == DEFAULT_LATENCY_THRESHOLD_S
+
+    def test_target_overrides(self):
+        statuses = _by_name(compute_slos(
+            registry=MetricsRegistry(), journal=EventJournal(),
+            targets={"latency": 0.5},
+        ))
+        assert statuses["latency"].target == 0.5
+        assert statuses["accuracy"].target == DEFAULT_TARGETS["accuracy"]
+
+
+class TestPublish:
+    def test_gauges_cover_every_objective(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        statuses = compute_slos(registry=reg, journal=EventJournal())
+        publish(statuses, registry=reg)
+        families = {m["name"] for m in reg.collect(prefix="slo.")}
+        assert families == {
+            "slo.target", "slo.compliance", "slo.burn_rate", "slo.events",
+        }
+        objectives = {
+            m["labels"]["objective"]
+            for m in reg.collect(prefix="slo.target")
+        }
+        assert objectives == {"accuracy", "exactness", "latency"}
+
+    def test_infinite_burn_publishes_minus_one(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        bad = SloStatus("exactness", target=1.0, good=0, total=1)
+        publish([bad], registry=reg)
+        burn = [
+            m for m in reg.collect(prefix="slo.burn_rate")
+            if m["labels"]["objective"] == "exactness"
+        ]
+        assert burn[0]["value"] == -1.0
+
+    def test_vacuous_compliance_publishes_one(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        publish([SloStatus("accuracy", 0.999, 0, 0)], registry=reg)
+        values = [m["value"] for m in reg.collect(prefix="slo.compliance")]
+        assert values == [1.0]
+
+
+class TestSloReport:
+    def test_document_validates(self):
+        doc = slo_report(registry=MetricsRegistry(), journal=EventJournal())
+        assert doc["kind"] == "slo"
+        assert validate_slo_doc(doc) == []
+        assert validate_document(doc) == ("slo", [])
+        assert {o["objective"] for o in doc["objectives"]} == {
+            "accuracy", "exactness", "latency",
+        }
+
+    def test_report_publishes_gauges_when_metrics_on(self):
+        metrics.enable()
+        reg = MetricsRegistry()
+        slo_report(registry=reg, journal=EventJournal())
+        assert reg.collect(prefix="slo.") != []
+
+    def test_report_skips_gauges_when_metrics_off(self):
+        reg = MetricsRegistry()
+        slo_report(registry=reg, journal=EventJournal())
+        assert reg.collect(prefix="slo.") == []
+
+    def test_bad_document_rejected(self):
+        doc = slo_report(registry=MetricsRegistry(), journal=EventJournal())
+        doc["objectives"][0]["healthy"] = "yes"
+        assert validate_slo_doc(doc) != []

@@ -88,3 +88,115 @@ class TestRunTop:
                          clear=False, out=io.StringIO())
         assert status == 1
         assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestSparseSnapshots:
+    """Satellite: the dashboard must degrade gracefully when fed a
+    sparse or partially-populated snapshot (older server, forensics
+    bundle, registry that never saw a subsystem) instead of stack-
+    tracing."""
+
+    def test_missing_top_level_keys(self):
+        frame = render_top({})
+        assert "repro top" in frame
+        assert "(need two ring samples" in frame
+        assert "(drift monitor idle" in frame
+        assert "(none yet)" in frame
+
+    def test_latest_without_metrics_key(self):
+        frame = render_top({"latest": {}, "samples": 1, "window_s": 0.5,
+                            "interval_s": 1.0})
+        assert "(none yet)" in frame
+
+    def test_non_dict_entries_are_skipped(self):
+        payload = {
+            "latest": {"metrics": ["garbage", None, 42,
+                                   {"name": "procpool.reduces",
+                                    "type": "counter", "value": 3}]},
+            "rates": ["also-garbage", {"name": "x"}],
+            "samples": 2, "window_s": 1.0, "interval_s": 1.0,
+        }
+        frame = render_top(payload)
+        assert "procpool.reduces" in frame
+
+    def test_metrics_missing_numeric_fields(self):
+        payload = {
+            "latest": {"metrics": [
+                {"name": "drift.ulp_error", "type": "histogram",
+                 "labels": {"path": "hp"}},  # no count/sum/max
+                {"name": "planner.bound_margin", "type": "histogram"},
+                {"name": "procpool.task_seconds", "type": "histogram"},
+                {"name": "profile.phase_call_seconds", "type": "histogram"},
+                {"name": "global_sum.calls", "type": "counter"},
+            ]},
+            "rates": [{"name": "global_sum.calls"}],  # no per_second
+            "samples": 2, "window_s": 1.0, "interval_s": 1.0,
+        }
+        frame = render_top(payload)
+        assert "path=hp" in frame
+        assert "engine=?" in frame
+
+    def test_labels_of_wrong_type_are_tolerated(self):
+        payload = {
+            "latest": {"metrics": [
+                {"name": "drift.order_invariance_violations",
+                 "type": "counter", "value": 1, "labels": "not-a-dict"},
+                {"name": "drift.ulp_error", "type": "histogram",
+                 "count": 1, "sum": 0.0, "max": 0.0, "labels": None},
+            ]},
+            "samples": 2, "window_s": 1.0, "interval_s": 1.0,
+        }
+        frame = render_top(payload)
+        assert "path=?" in frame
+        assert "?=1" in frame
+
+
+class TestSloPanel:
+    @staticmethod
+    def _gauges(objective, target, compliance, burn, good, total):
+        def g(name, value, **labels):
+            return {"name": name, "type": "gauge", "value": value,
+                    "labels": {"objective": objective, **labels}}
+
+        return [
+            g("slo.target", target),
+            g("slo.compliance", compliance),
+            g("slo.burn_rate", burn),
+            g("slo.events", good, status="good"),
+            g("slo.events", total, status="total"),
+        ]
+
+    def _frame(self, gauges):
+        return render_top({"latest": {"metrics": gauges}, "samples": 2,
+                           "window_s": 1.0, "interval_s": 1.0})
+
+    def test_absent_gauges_hide_the_panel(self):
+        assert "service-level objectives" not in render_top({})
+
+    def test_healthy_objective_reads_ok(self):
+        frame = self._frame(
+            self._gauges("accuracy", 0.999, 1.0, 0.0, 10, 10)
+        )
+        assert "service-level objectives:" in frame
+        assert "accuracy" in frame
+        assert "good/total=10/10" in frame
+        assert "[OK]" in frame
+
+    def test_breached_objective_reads_breached(self):
+        frame = self._frame(
+            self._gauges("accuracy", 0.999, 0.9, 100.0, 9, 10)
+        )
+        assert "[BREACHED]" in frame
+        assert "burn=100.00x" in frame
+
+    def test_infinite_burn_sentinel_renders_inf(self):
+        frame = self._frame(
+            self._gauges("exactness", 1.0, 0.5, -1.0, 1, 2)
+        )
+        assert "burn=   inf" in frame
+
+    def test_no_events_standing(self):
+        frame = self._frame(
+            self._gauges("latency", 0.95, 1.0, 0.0, 0, 0)
+        )
+        assert "[no events]" in frame

@@ -1,0 +1,163 @@
+"""Cross-boundary trace propagation: one request = one trace_id across
+threads, worker processes, and simmpi message headers — with worker
+spans and journal events adopted verbatim (no post-hoc re-homing)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.observability import journal, metrics, tracing
+from repro.observability.journal import JOURNAL
+from repro.observability.tracing import ID_BLOCK, TRACER, TraceContext
+from repro.parallel.drivers import global_sum
+
+
+@pytest.fixture(autouse=True)
+def observability_on():
+    metrics.enable()
+    tracing.enable()
+    journal.enable()
+    yield
+    metrics.disable()
+    tracing.disable()
+    journal.disable()
+    metrics.REGISTRY.clear()
+    TRACER.reset()
+    JOURNAL.reset()
+
+
+def _xs(n=512):
+    rng = np.random.default_rng(7)
+    return rng.standard_normal(n)
+
+
+class TestRequestEvents:
+    def test_every_request_brackets_with_start_finish(self):
+        xs = _xs()
+        result = global_sum(xs, method="hp", substrate="serial")
+        assert result.value == pytest.approx(math.fsum(xs))
+        starts = JOURNAL.events(event="request.start")
+        finishes = JOURNAL.events(event="request.finish")
+        assert len(starts) == 1
+        assert len(finishes) == 1
+        assert finishes[0]["ok"] is True
+        assert finishes[0]["trace_id"] == starts[0]["trace_id"]
+        assert isinstance(finishes[0]["duration_s"], float)
+
+    def test_failed_request_journals_the_error(self):
+        with pytest.raises(ValueError):
+            global_sum(_xs(), substrate="no-such-substrate")
+        finishes = JOURNAL.events(event="request.finish")
+        assert len(finishes) == 1
+        assert finishes[0]["ok"] is False
+        assert "ValueError" in finishes[0]["error"]
+
+    def test_caller_context_is_reused_when_nested(self):
+        ctx = TraceContext.new()
+        with tracing.activate_context(ctx):
+            global_sum(_xs(), method="hp", substrate="serial")
+        start = JOURNAL.events(event="request.start")[0]
+        assert start["trace_id"] == ctx.trace_id
+
+
+class TestThreadsPropagation:
+    def test_single_trace_across_worker_threads(self):
+        global_sum(_xs(4096), method="hp", substrate="threads", pes=4)
+        root = TRACER.spans("global_sum")[0]
+        trace_id = root.attrs["trace"]
+        start = JOURNAL.events(event="request.start")[0]
+        assert start["trace_id"] == trace_id
+        # Thread spans hang somewhere under the request root.
+        by_id = {s.span_id: s for s in TRACER.spans()}
+
+        def has_root(span):
+            while span.parent_id is not None:
+                span = by_id[span.parent_id]
+            return span is root
+
+        workers = [s for s in TRACER.spans() if s.name.startswith("thread")]
+        assert all(has_root(s) for s in workers)
+
+
+class TestProcsPropagation:
+    def test_one_trace_spans_master_and_workers(self):
+        xs = _xs(4096)
+        result = global_sum(
+            xs, method="hp", substrate="procs", pes=2, chunk=1024
+        )
+        assert result.value == pytest.approx(math.fsum(xs))
+
+        start = JOURNAL.events(event="request.start")[0]
+        trace_id = start["trace_id"]
+
+        # Worker journal events were absorbed verbatim: same trace_id,
+        # origin pids differ from the master's.
+        import os
+
+        tasks = JOURNAL.events(event="worker.task", trace_id=trace_id)
+        assert tasks, "worker journal events were not shipped back"
+        assert all(t["pid"] != os.getpid() for t in tasks)
+
+        # The merge event closes the story on the master side.
+        merges = JOURNAL.events(event="merge", trace_id=trace_id)
+        assert len(merges) == 1
+
+        # Worker spans were adopted with their block-allocated ids and
+        # link under the master's reduce span — one connected trace.
+        worker_spans = TRACER.spans("procpool.worker")
+        assert worker_spans
+        reduce_ids = {s.span_id for s in TRACER.spans("procpool.reduce")}
+        for sp in worker_spans:
+            assert sp.span_id >= ID_BLOCK
+            assert sp.parent_id in reduce_ids
+            assert sp.attrs.get("trace") == trace_id
+
+    def test_worker_ids_never_collide(self):
+        global_sum(_xs(4096), method="hp", substrate="procs", pes=2,
+                   chunk=512)
+        ids = [s.span_id for s in TRACER.spans()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSimmpiPropagation:
+    def test_messages_carry_the_context_in_band(self):
+        from repro.parallel.simmpi import SimComm
+
+        ctx = TraceContext.new()
+        comm = SimComm(2)
+        with tracing.activate_context(ctx):
+            comm.send(0, 1, b"payload-bytes")
+            body = comm.recv(1, 0)
+        # The peer sees exactly the bytes that were sent...
+        assert body == b"payload-bytes"
+        # ...and both hops were journaled under the request's trace.
+        sends = JOURNAL.events(event="message.send", trace_id=ctx.trace_id)
+        recvs = JOURNAL.events(event="message.recv", trace_id=ctx.trace_id)
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0]["nbytes"] == recvs[0]["nbytes"] == 13
+
+    def test_traffic_stats_charge_payload_not_header(self):
+        from repro.parallel.simmpi import mpi_reduce
+        from repro.core.params import HPParams
+        from repro.parallel.methods import HPMethod
+
+        xs = _xs(256)
+        method = HPMethod(HPParams(6, 3))
+        bare = mpi_reduce(xs, method, 8)
+        with tracing.activate_context(TraceContext.new()):
+            framed = mpi_reduce(xs, method, 8)
+        assert framed.value == bare.value == pytest.approx(math.fsum(xs))
+        # Header framing must be invisible to the performance model.
+        assert framed.traffic.bytes == bare.traffic.bytes
+        assert framed.traffic.messages == bare.traffic.messages
+
+    def test_header_framing_is_lossless_for_byte_payloads(self):
+        ctx = TraceContext("abcdef0123456789", span_id=5)
+        for body in (b"", b"\x00" * 8, b"RTC1-lookalike-body"):
+            back, rest = TraceContext.from_header(ctx.to_header() + body)
+            assert rest == body
+            assert back.trace_id == ctx.trace_id
+            assert back.span_id == 5
